@@ -1,0 +1,86 @@
+//! Criterion benches for the linear-solver kernels — the §II-H
+//! bottleneck ("up to 90 % of the total runtime").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sprout_linalg::bicgstab::{solve_bicgstab, BiCgStabOptions};
+use sprout_linalg::cg::{solve_cg, CgOptions};
+use sprout_linalg::cholesky::SparseCholesky;
+use sprout_linalg::laplacian::GraphLaplacian;
+use sprout_linalg::{Complex, Csr, Triplets};
+
+/// Grounded Laplacian of a w×w grid (the tile-graph structure).
+fn grid_laplacian(w: usize) -> Csr<f64> {
+    let n = w * w;
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..w {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((idx(x, y), idx(x + 1, y), 1.0));
+            }
+            if y + 1 < w {
+                edges.push((idx(x, y), idx(x, y + 1), 1.0));
+            }
+        }
+    }
+    GraphLaplacian::from_edges(n, &edges)
+        .expect("valid grid")
+        .grounded(0)
+        .expect("valid ground")
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky_factor_solve");
+    for w in [16usize, 32, 48] {
+        let a = grid_laplacian(w);
+        let b: Vec<f64> = (0..a.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        group.bench_with_input(BenchmarkId::new("factor", w * w), &a, |bench, a| {
+            bench.iter(|| SparseCholesky::factor(a).expect("SPD"));
+        });
+        let chol = SparseCholesky::factor(&a).expect("SPD");
+        group.bench_with_input(BenchmarkId::new("solve", w * w), &chol, |bench, chol| {
+            bench.iter(|| chol.solve(&b).expect("solve"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cg_solve");
+    for w in [16usize, 32, 48] {
+        let a = grid_laplacian(w);
+        let b: Vec<f64> = (0..a.rows()).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(w * w), &a, |bench, a| {
+            bench.iter(|| solve_cg(a, &b, CgOptions::default()).expect("converges"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bicgstab_complex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bicgstab_complex");
+    for n in [256usize, 1024] {
+        let mut t = Triplets::<Complex>::new(n, n);
+        let y = Complex::new(1.0, 0.4);
+        for i in 0..n {
+            t.push(i, i, y * 2.0 + Complex::new(0.05, 0.0)).expect("in bounds");
+            if i + 1 < n {
+                t.push(i, i + 1, -y).expect("in bounds");
+                t.push(i + 1, i, -y).expect("in bounds");
+            }
+        }
+        let a = t.to_csr();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), 0.2))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bench, a| {
+            bench.iter(|| {
+                solve_bicgstab(a, &b, BiCgStabOptions::default()).expect("converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cholesky, bench_cg, bench_bicgstab_complex);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Ablations of the design choices §II calls out.
+//!
+//! ```text
+//! cargo run -p sprout-bench --release --bin ablation
+//! ```
+//!
+//! * void filling in the seed (Algorithm 2's convergence-acceleration
+//!   claim),
+//! * subgraph reheating (§II-F's local-minimum claim),
+//! * the decreasing refinement move count (§II-E's discussion),
+//! * the terminal-pair policy of Algorithm 3.
+
+use sprout_board::presets;
+use sprout_core::current::PairPolicy;
+use sprout_core::reheat::ReheatConfig;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_core::seed::SeedOptions;
+use sprout_extract::ac::ac_impedance_25mhz;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::resistance::dc_resistance;
+use std::time::Instant;
+
+fn base_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.25,
+        grow_iterations: 20,
+        refine_iterations: 8,
+        ..RouterConfig::default()
+    }
+}
+
+fn run(label: &str, config: RouterConfig) -> Result<(), Box<dyn std::error::Error>> {
+    // The comparison metric must be independent of the knob under test
+    // (all-pairs changes the *objective definition*), so every variant
+    // is judged by the same extracted DC resistance and 25 MHz
+    // inductance.
+    let board = presets::two_rail();
+    let (vdd1, _) = board.power_nets().next().expect("preset has rails");
+    let router = Router::new(&board, config);
+    let t = Instant::now();
+    let result = router.route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 22.0)?;
+    let elapsed = t.elapsed().as_secs_f64();
+    let network = RailNetwork::build(&board, &result)?;
+    let dc = dc_resistance(&network)?;
+    let ac = ac_impedance_25mhz(&network)?;
+    println!(
+        "{:<30} R_dc {:>6.2} mΩ   L {:>7.1} pH   {:>6.2} s   {:>5} solves",
+        label,
+        dc.total_ohm * 1e3,
+        ac.inductance_h * 1e12,
+        elapsed,
+        result.timings.solves
+    );
+    Ok(())
+}
+
+/// The future-work variant (§IV): SmartGrow followed by simulated
+/// annealing instead of SmartRefine + reheating.
+fn run_annealed(label: &str) -> Result<(), Box<dyn std::error::Error>> {
+    use sprout_core::anneal::{anneal_refine, AnnealConfig};
+    use sprout_core::current::node_current;
+    use sprout_core::NodeId;
+    let board = presets::two_rail();
+    let (vdd1, _) = board.power_nets().next().expect("preset has rails");
+    let mut config = base_config();
+    config.refine_iterations = 0;
+    config.reheat = None;
+    let router = Router::new(&board, config);
+    let t = Instant::now();
+    let mut result = router.route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 22.0)?;
+    let protected: Vec<NodeId> = result
+        .terminals
+        .iter()
+        .flat_map(|t| t.covered.clone())
+        .collect();
+    let terminal_nodes: Vec<NodeId> = result.terminals.iter().map(|t| t.node).collect();
+    let out = anneal_refine(
+        &result.graph,
+        &mut result.subgraph,
+        &result.pairs,
+        &protected,
+        &terminal_nodes,
+        AnnealConfig::default(),
+    )?;
+    result.shape = sprout_core::backconv::back_convert(&result.graph, &result.subgraph);
+    let _ = node_current(&result.graph, &result.subgraph, &result.pairs)?;
+    let elapsed = t.elapsed().as_secs_f64();
+    let network = RailNetwork::build(&board, &result)?;
+    let dc = dc_resistance(&network)?;
+    let ac = ac_impedance_25mhz(&network)?;
+    println!(
+        "{:<30} R_dc {:>6.2} mΩ   L {:>7.1} pH   {:>6.2} s   {:>5} solves",
+        label,
+        dc.total_ohm * 1e3,
+        ac.inductance_h * 1e12,
+        elapsed,
+        result.timings.solves + out.solves
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== SPROUT ablations (two-rail VDD1, 22 mm² budget) ===");
+    run("baseline (all features)", base_config())?;
+
+    let mut no_voids = base_config();
+    no_voids.seed = SeedOptions { fill_voids: false };
+    run("no void filling (Alg. 2)", no_voids)?;
+
+    let mut no_reheat = base_config();
+    no_reheat.reheat = None;
+    run("no reheating (§II-F)", no_reheat)?;
+
+    let mut deep_reheat = base_config();
+    deep_reheat.reheat = Some(ReheatConfig {
+        dilate_iterations: 4,
+        erode_step: 16,
+    });
+    run("deep reheating (4 rings)", deep_reheat)?;
+
+    let mut fixed_step = base_config();
+    fixed_step.refine_step = Some(24);
+    run("large fixed refine moves", fixed_step)?;
+
+    let mut few_iters = base_config();
+    few_iters.grow_iterations = 5;
+    run("coarse growth (ΔA large)", few_iters)?;
+
+    let mut all_pairs = base_config();
+    all_pairs.pair_policy = PairPolicy::AllPairs;
+    run("all-pairs injections (Alg. 3)", all_pairs)?;
+
+    run_annealed("simulated annealing (§IV)")?;
+
+    println!();
+    println!("expected: removing void filling or reheating costs impedance or runtime;");
+    println!("large fixed refine moves converge worse late (§II-E); all-pairs costs");
+    println!("solves for marginal objective change (BGA-BGA currents are small, §II-D);");
+    println!("annealing at a similar solve count trails the node-current-guided");
+    println!("SmartRefine — evidence for the paper's gradient-proxy design.");
+    Ok(())
+}

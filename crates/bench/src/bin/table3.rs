@@ -1,0 +1,121 @@
+//! Table III reproduction: the six-rail congested-BGA system.
+//!
+//! ```text
+//! cargo run -p sprout-bench --release --bin table3 [--svg]
+//! ```
+//!
+//! Routes the six rails sequentially (each routed shape blocks the nets
+//! after it, §II-G), compares against the manual baseline, and prints
+//! the §III-B stage timings ("the six rail PCB layout is synthesized in
+//! approximately 11 minutes" on the authors' machine; we report ours).
+
+use sprout_baseline::{ManualConfig, ManualRouter};
+use sprout_bench::{experiments_dir, extract_row, print_comparison, svg_requested, ExtractedRow};
+use sprout_board::presets;
+use sprout_core::drc::check_route;
+use sprout_core::router::{Router, RouterConfig, StageTimings};
+use sprout_render::SvgScene;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = presets::six_rail();
+    let layer = presets::TEN_LAYER_ROUTE_LAYER;
+    let config = RouterConfig {
+        tile_pitch_mm: 0.25,
+        grow_iterations: 15,
+        refine_iterations: 4,
+        ..RouterConfig::default()
+    };
+    let router = Router::new(&board, config);
+    let manual = ManualRouter::new(
+        &board,
+        ManualConfig {
+            tile_pitch_mm: config.tile_pitch_mm,
+            ..ManualConfig::default()
+        },
+    );
+
+    // The paper's methodology: the manual layouts exist first, and
+    // SPROUT is asked to match their metal area. Each rail's manual
+    // budget scales with its current the way a designer allots copper —
+    // this is what spreads the per-rail impedances the way Table III's
+    // are spread (high-current V2/V6 low R, low-current V4/V5 high R).
+    let budget_for = |current_a: f64| 16.0 + 1.8 * current_a;
+    let started = Instant::now();
+    let mut rows: Vec<ExtractedRow> = Vec::new();
+    let mut claimed_sprout = Vec::new();
+    let mut claimed_manual = Vec::new();
+    let mut totals = StageTimings::default();
+    let mut scene = SvgScene::new(&board, layer);
+    for (net_id, net) in board.power_nets() {
+        let manual_budget = budget_for(net.current_a);
+        // Manual first; SPROUT then matches the manual layout's
+        // realized area (the paper's §III-B comparison discipline).
+        let (sprout_budget, manual_result) =
+            match manual.route_net_with(net_id, layer, manual_budget, &claimed_manual) {
+                Ok(m) => (m.shape.area_mm2(), Some(m)),
+                Err(e) => {
+                    println!("note: manual baseline failed on {}: {e}", net.name);
+                    (manual_budget, None)
+                }
+            };
+        if let Some(m) = &manual_result {
+            rows.push(extract_row(&board, &net.name, "manual", m)?);
+            claimed_manual.extend(m.shape.blocker_polygons());
+        }
+
+        let s = router.route_net_with(net_id, layer, sprout_budget, &claimed_sprout, &[])?;
+        let drc = check_route(&board, net_id, layer, &s.shape, &claimed_sprout)?;
+        assert!(drc.is_empty(), "SPROUT {} has DRC violations", net.name);
+        totals.space_ms += s.timings.space_ms;
+        totals.tile_ms += s.timings.tile_ms;
+        totals.seed_ms += s.timings.seed_ms;
+        totals.grow_ms += s.timings.grow_ms;
+        totals.refine_ms += s.timings.refine_ms;
+        totals.reheat_ms += s.timings.reheat_ms;
+        totals.backconv_ms += s.timings.backconv_ms;
+        totals.solves += s.timings.solves;
+        rows.push(extract_row(&board, &net.name, "SPROUT", s_ref(&s))?);
+        scene.add_route(net.name.clone(), &s.shape);
+        claimed_sprout.extend(s.shape.blocker_polygons());
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    println!("=== Table III: six-rail system, manual vs SPROUT ===");
+    println!("(normalization anchored at manual VDD1: L = 133, R = 15.0 mΩ, as the paper)");
+    print_comparison(&rows, 15.0, 133.0);
+    println!();
+    println!("paper reference (normalized L / R): VDD1 133/15.0→131/16.8, V2 103/8.4→99/9.1,");
+    println!("  V3 131/13.0→127/14.2, V4 161/18.4→155/18.2, V5 152/18.5→150/18.9, V6 116/9.2→114/9.2");
+    println!("expected: SPROUT inductance 1-4 % below manual; resistance within ~11 %.");
+    println!();
+    println!("=== §III-B runtime (ours; the paper reports ~11 min on an i7-6700) ===");
+    println!("total wall clock: {wall_s:.1} s for six rails");
+    println!(
+        "stage breakdown (ms): space {:.0}, tile {:.0}, seed {:.0}, grow {:.0}, refine {:.0}, reheat {:.0}, backconv {:.0}",
+        totals.space_ms,
+        totals.tile_ms,
+        totals.seed_ms,
+        totals.grow_ms,
+        totals.refine_ms,
+        totals.reheat_ms,
+        totals.backconv_ms
+    );
+    println!(
+        "solve-stage fraction: {:.0} % across {} linear solves (paper: ≈90 %)",
+        totals.solve_stage_fraction() * 100.0,
+        totals.solves
+    );
+
+    if svg_requested() {
+        let path = experiments_dir().join("fig10_six_rail.svg");
+        std::fs::write(&path, scene.to_svg())?;
+        println!("Fig. 10-style layout written to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Identity helper keeping borrowck happy while rows borrow the route.
+fn s_ref(r: &sprout_core::router::RouteResult) -> &sprout_core::router::RouteResult {
+    r
+}

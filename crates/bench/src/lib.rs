@@ -1,0 +1,154 @@
+//! # sprout-bench
+//!
+//! Experiment harness regenerating every table and figure of the SPROUT
+//! paper's evaluation (§III), plus criterion micro-benchmarks for the
+//! §II-H runtime analysis.
+//!
+//! Experiment binaries (run with `--release`):
+//!
+//! * `table2` — two-rail manual-vs-SPROUT comparison (Table II, Fig. 9).
+//! * `table3` — six-rail comparison with stage timings (Table III,
+//!   Fig. 10, §III-B runtime).
+//! * `fig12`  — the nine-prototype area/impedance trade-off across the
+//!   Table IV schedule (Figs. 11, 12a-d).
+//! * `ablation` — design-choice ablations: void filling, reheating,
+//!   refinement schedule, pair policy.
+//! * `scaling` — tile-pitch sweep measuring the §II-H complexity
+//!   exponent.
+//!
+//! Pass `--svg` to `table2`, `table3`, or `fig12` to also write Fig. 9 /
+//! Fig. 10 / Fig. 11-style SVGs under `target/experiments/`.
+
+use sprout_board::Board;
+use sprout_core::router::RouteResult;
+use sprout_extract::ac::ac_impedance_25mhz;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::resistance::dc_resistance;
+use std::path::PathBuf;
+
+/// One extracted row of a comparison table.
+#[derive(Debug, Clone)]
+pub struct ExtractedRow {
+    /// Net name.
+    pub net: String,
+    /// Engine name (`SPROUT` / `manual`).
+    pub engine: &'static str,
+    /// Realized metal area (mm²).
+    pub area_mm2: f64,
+    /// DC resistance (Ω).
+    pub resistance_ohm: f64,
+    /// Loop inductance at 25 MHz (H).
+    pub inductance_h: f64,
+}
+
+/// Extracts one routed result into a table row.
+///
+/// # Errors
+///
+/// Propagates extraction failures.
+pub fn extract_row(
+    board: &Board,
+    net_name: &str,
+    engine: &'static str,
+    route: &RouteResult,
+) -> Result<ExtractedRow, sprout_extract::ExtractError> {
+    let network = RailNetwork::build(board, route)?;
+    let dc = dc_resistance(&network)?;
+    let ac = ac_impedance_25mhz(&network)?;
+    Ok(ExtractedRow {
+        net: net_name.to_owned(),
+        engine,
+        area_mm2: route.shape.area_mm2(),
+        resistance_ohm: dc.total_ohm,
+        inductance_h: ac.inductance_h,
+    })
+}
+
+/// Prints a Table II/III-shaped comparison. Values are normalized the
+/// way the paper normalizes: the *manual* layout of the first net
+/// anchors the scales (its inductance defines "100", its resistance
+/// defines the paper's first-row value).
+pub fn print_comparison(rows: &[ExtractedRow], anchor_r_mohm: f64, anchor_l: f64) {
+    let anchor = rows
+        .iter()
+        .find(|r| r.engine == "manual")
+        .or_else(|| rows.first())
+        .expect("at least one row");
+    let l_scale = anchor_l / anchor.inductance_h;
+    let r_scale = anchor_r_mohm / (anchor.resistance_ohm * 1e3);
+    println!(
+        "{:<8} {:<8} {:>9} {:>11} {:>9} {:>12} {:>10}",
+        "net", "engine", "area mm²", "R_dc mΩ", "R_norm", "L@25MHz pH", "L_norm"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:<8} {:>9.1} {:>11.2} {:>9.1} {:>12.1} {:>10.1}",
+            r.net,
+            r.engine,
+            r.area_mm2,
+            r.resistance_ohm * 1e3,
+            r.resistance_ohm * 1e3 * r_scale,
+            r.inductance_h * 1e12,
+            r.inductance_h * l_scale,
+        );
+    }
+}
+
+/// Output directory for experiment artifacts.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// `true` when `--svg` was passed on the command line.
+pub fn svg_requested() -> bool {
+    std::env::args().any(|a| a == "--svg")
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the complexity
+/// exponent estimator for the §II-H scaling study.
+///
+/// # Panics
+///
+/// Panics when fewer than two points are supplied.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points");
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let lx = x.ln();
+        let ly = y.ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_power_law() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|k| {
+            let x = k as f64 * 100.0;
+            (x, 3.0 * x.powf(1.7))
+        })
+        .collect();
+        let q = log_log_slope(&pts);
+        assert!((q - 1.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn slope_needs_points() {
+        let _ = log_log_slope(&[(1.0, 1.0)]);
+    }
+}

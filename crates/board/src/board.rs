@@ -1,0 +1,367 @@
+//! The board aggregate: outline, stackup, rules, nets, elements, decaps.
+
+use crate::element::{Element, ElementRole};
+use crate::net::{Net, NetClass, NetId};
+use crate::rules::DesignRules;
+use crate::stackup::Stackup;
+use crate::BoardError;
+use sprout_geom::{Point, Rect};
+
+/// A decoupling capacitor attached to a rail (§III-C places two on the
+/// modem rail and five on the CPU rail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decap {
+    /// The rail the capacitor decouples.
+    pub net: NetId,
+    /// Layer its pads sit on.
+    pub layer: usize,
+    /// Pad centre location (mm).
+    pub location: Point,
+    /// Capacitance (F).
+    pub capacitance_f: f64,
+    /// Equivalent series resistance (Ω).
+    pub esr_ohm: f64,
+    /// Equivalent series inductance (H).
+    pub esl_h: f64,
+}
+
+/// A complete board description: the input to SPROUT.
+///
+/// # Example
+///
+/// ```
+/// use sprout_board::{Board, DesignRules, Net, Stackup};
+/// use sprout_geom::{Point, Rect};
+///
+/// # fn main() -> Result<(), sprout_board::BoardError> {
+/// let outline = Rect::new(Point::new(0.0, 0.0), Point::new(20.0, 20.0))
+///     .map_err(sprout_board::BoardError::Geometry)?;
+/// let mut board = Board::new("demo", outline, Stackup::eight_layer(), DesignRules::default());
+/// let vdd = board.add_net(Net::power("VDD", 2.0, 1e9, 1.0)?);
+/// assert_eq!(vdd.0, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Board {
+    name: String,
+    outline: Rect,
+    stackup: Stackup,
+    rules: DesignRules,
+    nets: Vec<Net>,
+    elements: Vec<Element>,
+    decaps: Vec<Decap>,
+}
+
+impl Board {
+    /// Creates an empty board.
+    pub fn new(
+        name: impl Into<String>,
+        outline: Rect,
+        stackup: Stackup,
+        rules: DesignRules,
+    ) -> Self {
+        Board {
+            name: name.into(),
+            outline,
+            stackup,
+            rules,
+            nets: Vec::new(),
+            elements: Vec::new(),
+            decaps: Vec::new(),
+        }
+    }
+
+    /// Board name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Board outline (the design space `U` of Eq. 1).
+    pub fn outline(&self) -> Rect {
+        self.outline
+    }
+
+    /// The stackup.
+    pub fn stackup(&self) -> &Stackup {
+        &self.stackup
+    }
+
+    /// The design rules.
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// Registers a net and returns its id.
+    pub fn add_net(&mut self, net: Net) -> NetId {
+        self.nets.push(net);
+        NetId(self.nets.len() - 1)
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// A net by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::UnknownNet`] for an invalid id.
+    pub fn net(&self, id: NetId) -> Result<&Net, BoardError> {
+        self.nets.get(id.0).ok_or(BoardError::UnknownNet { id: id.0 })
+    }
+
+    /// Iterator over `(id, net)` of the power rails.
+    pub fn power_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.class == NetClass::Power)
+            .map(|(i, n)| (NetId(i), n))
+    }
+
+    /// Places an element.
+    ///
+    /// # Errors
+    ///
+    /// * [`BoardError::UnknownNet`] — element references a missing net.
+    /// * [`BoardError::UnknownLayer`] — layer outside the stackup.
+    /// * [`BoardError::OutsideOutline`] — geometry leaves the outline.
+    pub fn add_element(&mut self, element: Element) -> Result<usize, BoardError> {
+        if let Some(net) = element.net {
+            self.net(net)?;
+        }
+        if element.layer >= self.stackup.layer_count() {
+            return Err(BoardError::UnknownLayer {
+                index: element.layer,
+                layers: self.stackup.layer_count(),
+            });
+        }
+        let b = element.shape.bounds();
+        if !self.outline.contains_rect(&b) {
+            return Err(BoardError::OutsideOutline {
+                element: self.elements.len(),
+            });
+        }
+        self.elements.push(element);
+        Ok(self.elements.len() - 1)
+    }
+
+    /// All elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Elements on one layer.
+    pub fn elements_on_layer(&self, layer: usize) -> impl Iterator<Item = &Element> {
+        self.elements.iter().filter(move |e| e.layer == layer)
+    }
+
+    /// Terminal elements of `net` on `layer` (sources, sinks, decap pads).
+    pub fn terminals(&self, net: NetId, layer: usize) -> Vec<&Element> {
+        self.elements
+            .iter()
+            .filter(|e| e.layer == layer && e.net == Some(net) && e.is_terminal())
+            .collect()
+    }
+
+    /// Terminal elements of `net` on any layer.
+    pub fn terminals_all_layers(&self, net: NetId) -> Vec<&Element> {
+        self.elements
+            .iter()
+            .filter(|e| e.net == Some(net) && e.is_terminal())
+            .collect()
+    }
+
+    /// Attaches a decoupling capacitor.
+    ///
+    /// # Errors
+    ///
+    /// * [`BoardError::UnknownNet`] / [`BoardError::UnknownLayer`] — bad
+    ///   references.
+    /// * [`BoardError::InvalidParameter`] — non-positive C/ESR/ESL.
+    pub fn add_decap(&mut self, decap: Decap) -> Result<usize, BoardError> {
+        self.net(decap.net)?;
+        if decap.layer >= self.stackup.layer_count() {
+            return Err(BoardError::UnknownLayer {
+                index: decap.layer,
+                layers: self.stackup.layer_count(),
+            });
+        }
+        if decap.capacitance_f <= 0.0 || decap.esr_ohm <= 0.0 || decap.esl_h <= 0.0 {
+            return Err(BoardError::InvalidParameter(
+                "decap C/ESR/ESL must be positive",
+            ));
+        }
+        self.decaps.push(decap);
+        Ok(self.decaps.len() - 1)
+    }
+
+    /// All decoupling capacitors.
+    pub fn decaps(&self) -> &[Decap] {
+        &self.decaps
+    }
+
+    /// Decaps on one net.
+    pub fn decaps_for(&self, net: NetId) -> impl Iterator<Item = &Decap> {
+        self.decaps.iter().filter(move |d| d.net == net)
+    }
+
+    /// The effective clearance (mm) of an element: its override or the
+    /// board default.
+    pub fn clearance_of(&self, element: &Element) -> f64 {
+        element.clearance_mm.unwrap_or(self.rules.clearance_mm)
+    }
+
+    /// Full consistency check: every power net must have at least one
+    /// source and one sink terminal somewhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::InvalidParameter`] naming the failed
+    /// invariant.
+    pub fn validate(&self) -> Result<(), BoardError> {
+        for (id, _net) in self.power_nets() {
+            let terms = self.terminals_all_layers(id);
+            let has_source = terms.iter().any(|e| e.role == ElementRole::Source);
+            let has_sink = terms.iter().any(|e| e.role == ElementRole::Sink);
+            if !has_source {
+                return Err(BoardError::InvalidParameter(
+                    "a power net has no source terminal",
+                ));
+            }
+            if !has_sink {
+                return Err(BoardError::InvalidParameter(
+                    "a power net has no sink terminal",
+                ));
+            }
+        }
+        for d in &self.decaps {
+            if !self.outline.contains_point(d.location) {
+                return Err(BoardError::InvalidParameter(
+                    "a decap sits outside the outline",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_geom::Polygon;
+
+    fn test_board() -> Board {
+        let outline = Rect::new(Point::new(0.0, 0.0), Point::new(30.0, 20.0)).unwrap();
+        Board::new(
+            "t",
+            outline,
+            Stackup::eight_layer(),
+            DesignRules::default(),
+        )
+    }
+
+    fn pad_at(x: f64, y: f64) -> Polygon {
+        Polygon::rectangle(Point::new(x, y), Point::new(x + 0.5, y + 0.5)).unwrap()
+    }
+
+    #[test]
+    fn nets_register_and_filter() {
+        let mut b = test_board();
+        let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
+        let gnd = b.add_net(Net::ground("GND"));
+        assert_eq!(b.power_nets().count(), 1);
+        assert_eq!(b.net(vdd).unwrap().name, "VDD");
+        assert_eq!(b.net(gnd).unwrap().class, NetClass::Ground);
+        assert!(b.net(NetId(7)).is_err());
+    }
+
+    #[test]
+    fn element_placement_validates() {
+        let mut b = test_board();
+        let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
+        assert!(b
+            .add_element(Element::terminal(vdd, 6, pad_at(1.0, 1.0), ElementRole::Source))
+            .is_ok());
+        // Unknown net.
+        assert!(matches!(
+            b.add_element(Element::terminal(NetId(9), 6, pad_at(1.0, 1.0), ElementRole::Sink)),
+            Err(BoardError::UnknownNet { .. })
+        ));
+        // Bad layer.
+        assert!(matches!(
+            b.add_element(Element::blockage(12, pad_at(1.0, 1.0))),
+            Err(BoardError::UnknownLayer { .. })
+        ));
+        // Outside the outline.
+        assert!(matches!(
+            b.add_element(Element::blockage(0, pad_at(40.0, 1.0))),
+            Err(BoardError::OutsideOutline { .. })
+        ));
+    }
+
+    #[test]
+    fn terminal_queries() {
+        let mut b = test_board();
+        let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
+        let gnd = b.add_net(Net::ground("GND"));
+        b.add_element(Element::terminal(vdd, 6, pad_at(1.0, 1.0), ElementRole::Source))
+            .unwrap();
+        b.add_element(Element::terminal(vdd, 6, pad_at(5.0, 5.0), ElementRole::Sink))
+            .unwrap();
+        b.add_element(Element::net_obstacle(gnd, 6, pad_at(3.0, 3.0)))
+            .unwrap();
+        b.add_element(Element::terminal(vdd, 0, pad_at(1.0, 1.0), ElementRole::Sink))
+            .unwrap();
+        assert_eq!(b.terminals(vdd, 6).len(), 2);
+        assert_eq!(b.terminals_all_layers(vdd).len(), 3);
+        assert_eq!(b.terminals(gnd, 6).len(), 0);
+        assert_eq!(b.elements_on_layer(6).count(), 3);
+    }
+
+    #[test]
+    fn decap_validation() {
+        let mut b = test_board();
+        let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
+        let good = Decap {
+            net: vdd,
+            layer: 7,
+            location: Point::new(10.0, 10.0),
+            capacitance_f: 1e-6,
+            esr_ohm: 5e-3,
+            esl_h: 5e-10,
+        };
+        assert!(b.add_decap(good.clone()).is_ok());
+        let mut bad = good.clone();
+        bad.capacitance_f = 0.0;
+        assert!(b.add_decap(bad).is_err());
+        let mut bad_layer = good;
+        bad_layer.layer = 99;
+        assert!(b.add_decap(bad_layer).is_err());
+        assert_eq!(b.decaps_for(vdd).count(), 1);
+    }
+
+    #[test]
+    fn validate_requires_source_and_sink() {
+        let mut b = test_board();
+        let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
+        assert!(b.validate().is_err());
+        b.add_element(Element::terminal(vdd, 6, pad_at(1.0, 1.0), ElementRole::Source))
+            .unwrap();
+        assert!(b.validate().is_err());
+        b.add_element(Element::terminal(vdd, 6, pad_at(5.0, 5.0), ElementRole::Sink))
+            .unwrap();
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn clearance_override_respected() {
+        let b = test_board();
+        let e = Element::blockage(0, pad_at(1.0, 1.0));
+        assert_eq!(b.clearance_of(&e), b.rules().clearance_mm);
+        let e2 = e.with_clearance(0.4);
+        assert_eq!(b.clearance_of(&e2), 0.4);
+    }
+}

@@ -1,0 +1,115 @@
+//! Layout elements: pads, vias, BGA balls, blockages.
+//!
+//! §II-A of the paper: "Each element of the layout is converted into a
+//! polygon with four parameters, layer, net, geometry, and buffer."
+
+use crate::net::NetId;
+use sprout_geom::Polygon;
+
+/// The routing role an element plays for its net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElementRole {
+    /// A source terminal (PMIC output pad/via) — current enters here.
+    Source,
+    /// A sink terminal (BGA ball/via) — current leaves here.
+    Sink,
+    /// A decoupling-capacitor pad — optional terminal (§II intro).
+    DecapPad,
+    /// Passive geometry: keep-outs, foreign-net vias, mechanical
+    /// blockages. Never a terminal.
+    Obstacle,
+}
+
+/// A placed layout element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Net the element belongs to (`None` for net-less blockages, which
+    /// block every net).
+    pub net: Option<NetId>,
+    /// Stackup layer index the element occupies.
+    pub layer: usize,
+    /// Geometry (board coordinates, mm).
+    pub shape: Polygon,
+    /// Role for routing.
+    pub role: ElementRole,
+    /// Optional clearance override (mm); falls back to
+    /// [`crate::DesignRules::clearance_mm`].
+    pub clearance_mm: Option<f64>,
+}
+
+impl Element {
+    /// A terminal element (source/sink/decap) of `net`.
+    pub fn terminal(net: NetId, layer: usize, shape: Polygon, role: ElementRole) -> Self {
+        debug_assert!(role != ElementRole::Obstacle, "terminals need a terminal role");
+        Element {
+            net: Some(net),
+            layer,
+            shape,
+            role,
+            clearance_mm: None,
+        }
+    }
+
+    /// An obstacle belonging to a net (e.g. a foreign power via).
+    pub fn net_obstacle(net: NetId, layer: usize, shape: Polygon) -> Self {
+        Element {
+            net: Some(net),
+            layer,
+            shape,
+            role: ElementRole::Obstacle,
+            clearance_mm: None,
+        }
+    }
+
+    /// A net-less blockage (mechanical keep-out) blocking all nets.
+    pub fn blockage(layer: usize, shape: Polygon) -> Self {
+        Element {
+            net: None,
+            layer,
+            shape,
+            role: ElementRole::Obstacle,
+            clearance_mm: None,
+        }
+    }
+
+    /// `true` if the element is a routing terminal.
+    pub fn is_terminal(&self) -> bool {
+        self.role != ElementRole::Obstacle
+    }
+
+    /// Element with a clearance override.
+    pub fn with_clearance(mut self, clearance_mm: f64) -> Self {
+        self.clearance_mm = Some(clearance_mm);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_geom::Point;
+
+    fn pad() -> Polygon {
+        Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn constructors_assign_roles() {
+        let t = Element::terminal(NetId(0), 2, pad(), ElementRole::Source);
+        assert!(t.is_terminal());
+        assert_eq!(t.net, Some(NetId(0)));
+        let o = Element::net_obstacle(NetId(1), 0, pad());
+        assert!(!o.is_terminal());
+        let b = Element::blockage(3, pad());
+        assert_eq!(b.net, None);
+        assert!(!b.is_terminal());
+    }
+
+    #[test]
+    fn clearance_override() {
+        let e = Element::blockage(0, pad()).with_clearance(0.25);
+        assert_eq!(e.clearance_mm, Some(0.25));
+        let d = Element::blockage(0, pad());
+        assert_eq!(d.clearance_mm, None);
+    }
+}

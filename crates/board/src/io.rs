@@ -1,0 +1,499 @@
+//! Plain-text board interchange format.
+//!
+//! SPROUT's value is running on *your* board, not just the bundled
+//! case studies. This module defines a minimal line-oriented format —
+//! no external parser dependencies — and a round-trippable
+//! reader/writer:
+//!
+//! ```text
+//! # comment
+//! board <name> <width_mm> <height_mm>
+//! stackup <eight|ten>
+//! rules <clearance_mm> <min_width_mm> <via_drill_mm> <via_plating_um>
+//! net power <name> <current_a> <slew_a_per_s> <supply_v>
+//! net ground <name>
+//! source   <net> <layer> <x> <y> <pad_w_mm>
+//! sink     <net> <layer> <x> <y> <pad_w_mm>
+//! decappad <net> <layer> <x> <y> <pad_w_mm>
+//! obstacle <net> <layer> <x> <y> <pad_w_mm>
+//! blockage <layer> <x0> <y0> <x1> <y1>
+//! decap    <net> <layer> <x> <y> <c_f> <esr_ohm> <esl_h>
+//! ```
+//!
+//! Layers are 1-based in the file (matching the paper's "layer 7"
+//! phrasing) and 0-based in the API.
+
+use crate::board::{Board, Decap};
+use crate::element::{Element, ElementRole};
+use crate::net::{Net, NetClass, NetId};
+use crate::rules::DesignRules;
+use crate::stackup::Stackup;
+use sprout_geom::{Point, Polygon, Rect};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseBoardError {
+    /// Line the error occurred on (0 for file-level problems).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBoardError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseBoardError {
+    ParseBoardError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a board from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseBoardError`] with the offending line on any syntax or
+/// consistency problem (unknown net, bad layer, element outside the
+/// outline, …).
+pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
+    let mut pending: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut name = String::from("imported");
+    let mut size: Option<(f64, f64)> = None;
+    let mut stackup = Stackup::eight_layer();
+    let mut rules = DesignRules::default();
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+
+    // Pass 1: header lines; element lines are deferred until the board
+    // exists (headers may appear in any order before the first element).
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        match tokens[0].as_str() {
+            "board" => {
+                if tokens.len() != 4 {
+                    return Err(err(line_no, "board needs: board <name> <w> <h>"));
+                }
+                name = tokens[1].clone();
+                let w = parse_f64(&tokens[2], line_no)?;
+                let h = parse_f64(&tokens[3], line_no)?;
+                if w <= 0.0 || h <= 0.0 {
+                    return Err(err(line_no, "board dimensions must be positive"));
+                }
+                size = Some((w, h));
+            }
+            "stackup" => {
+                stackup = match tokens.get(1).map(String::as_str) {
+                    Some("eight") => Stackup::eight_layer(),
+                    Some("ten") => Stackup::ten_layer(),
+                    other => {
+                        return Err(err(
+                            line_no,
+                            format!("unknown stackup {other:?} (eight|ten)"),
+                        ))
+                    }
+                };
+            }
+            "rules" => {
+                if tokens.len() != 5 {
+                    return Err(err(line_no, "rules needs four values"));
+                }
+                rules = DesignRules::new(
+                    parse_f64(&tokens[1], line_no)?,
+                    parse_f64(&tokens[2], line_no)?,
+                    parse_f64(&tokens[3], line_no)?,
+                    parse_f64(&tokens[4], line_no)?,
+                )
+                .map_err(|e| err(line_no, e.to_string()))?;
+            }
+            _ => pending.push((line_no, tokens)),
+        }
+    }
+    let (w, h) = size.ok_or_else(|| err(0, "missing `board` line"))?;
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(w, h))
+        .map_err(|e| err(0, e.to_string()))?;
+    let mut b = Board::new(name, outline, stackup, rules);
+
+    // Pass 2: nets first, then elements.
+    for (line_no, tokens) in &pending {
+        if tokens[0] == "net" {
+            match tokens.get(1).map(String::as_str) {
+                Some("power") => {
+                    if tokens.len() != 6 {
+                        return Err(err(
+                            *line_no,
+                            "net power needs: net power <name> <i> <slew> <v>",
+                        ));
+                    }
+                    let net = Net::power(
+                        tokens[2].clone(),
+                        parse_f64(&tokens[3], *line_no)?,
+                        parse_f64(&tokens[4], *line_no)?,
+                        parse_f64(&tokens[5], *line_no)?,
+                    )
+                    .map_err(|e| err(*line_no, e.to_string()))?;
+                    nets.insert(tokens[2].clone(), b.add_net(net));
+                }
+                Some("ground") => {
+                    if tokens.len() != 3 {
+                        return Err(err(*line_no, "net ground needs: net ground <name>"));
+                    }
+                    nets.insert(tokens[2].clone(), b.add_net(Net::ground(tokens[2].clone())));
+                }
+                other => return Err(err(*line_no, format!("unknown net class {other:?}"))),
+            }
+        }
+    }
+    for (line_no, tokens) in &pending {
+        let line_no = *line_no;
+        let lookup = |name: &str| -> Result<NetId, ParseBoardError> {
+            nets.get(name)
+                .copied()
+                .ok_or_else(|| err(line_no, format!("unknown net `{name}`")))
+        };
+        match tokens[0].as_str() {
+            "net" => {}
+            kind @ ("source" | "sink" | "decappad" | "obstacle") => {
+                if tokens.len() != 6 {
+                    return Err(err(
+                        line_no,
+                        format!("{kind} needs: {kind} <net> <layer> <x> <y> <w>"),
+                    ));
+                }
+                let net = lookup(&tokens[1])?;
+                let layer = parse_layer(&tokens[2], line_no)?;
+                let x = parse_f64(&tokens[3], line_no)?;
+                let y = parse_f64(&tokens[4], line_no)?;
+                let pad = parse_f64(&tokens[5], line_no)?;
+                let shape = Polygon::rectangle(
+                    Point::new(x - pad / 2.0, y - pad / 2.0),
+                    Point::new(x + pad / 2.0, y + pad / 2.0),
+                )
+                .map_err(|e| err(line_no, e.to_string()))?;
+                let element = match kind {
+                    "source" => Element::terminal(net, layer, shape, ElementRole::Source),
+                    "sink" => Element::terminal(net, layer, shape, ElementRole::Sink),
+                    "decappad" => Element::terminal(net, layer, shape, ElementRole::DecapPad),
+                    _ => Element::net_obstacle(net, layer, shape),
+                };
+                b.add_element(element)
+                    .map_err(|e| err(line_no, e.to_string()))?;
+            }
+            "blockage" => {
+                if tokens.len() != 6 {
+                    return Err(err(
+                        line_no,
+                        "blockage needs: blockage <layer> <x0> <y0> <x1> <y1>",
+                    ));
+                }
+                let layer = parse_layer(&tokens[1], line_no)?;
+                let shape = Polygon::rectangle(
+                    Point::new(
+                        parse_f64(&tokens[2], line_no)?,
+                        parse_f64(&tokens[3], line_no)?,
+                    ),
+                    Point::new(
+                        parse_f64(&tokens[4], line_no)?,
+                        parse_f64(&tokens[5], line_no)?,
+                    ),
+                )
+                .map_err(|e| err(line_no, e.to_string()))?;
+                b.add_element(Element::blockage(layer, shape))
+                    .map_err(|e| err(line_no, e.to_string()))?;
+            }
+            "decap" => {
+                if tokens.len() != 8 {
+                    return Err(err(
+                        line_no,
+                        "decap needs: decap <net> <layer> <x> <y> <c> <esr> <esl>",
+                    ));
+                }
+                let net = lookup(&tokens[1])?;
+                let decap = Decap {
+                    net,
+                    layer: parse_layer(&tokens[2], line_no)?,
+                    location: Point::new(
+                        parse_f64(&tokens[3], line_no)?,
+                        parse_f64(&tokens[4], line_no)?,
+                    ),
+                    capacitance_f: parse_f64(&tokens[5], line_no)?,
+                    esr_ohm: parse_f64(&tokens[6], line_no)?,
+                    esl_h: parse_f64(&tokens[7], line_no)?,
+                };
+                b.add_decap(decap).map_err(|e| err(line_no, e.to_string()))?;
+            }
+            other => return Err(err(line_no, format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok(b)
+}
+
+/// Serializes a board to the text format (round-trips with
+/// [`parse_board`] for boards composed of the supported primitives;
+/// non-square element shapes are written as their bounding squares).
+/// Coordinates are written at micrometre precision (6 decimals), which
+/// both suppresses floating-point noise and matches PCB manufacturing
+/// resolution.
+pub fn write_board(board: &Board) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let o = board.outline();
+    let _ = writeln!(
+        out,
+        "board {} {} {}",
+        board.name().replace(' ', "_"),
+        o.width(),
+        o.height()
+    );
+    let _ = writeln!(
+        out,
+        "stackup {}",
+        if board.stackup().layer_count() == 8 {
+            "eight"
+        } else {
+            "ten"
+        }
+    );
+    let r = board.rules();
+    let _ = writeln!(
+        out,
+        "rules {} {} {} {}",
+        r.clearance_mm, r.min_width_mm, r.via_drill_mm, r.via_plating_um
+    );
+    for net in board.nets() {
+        match net.class {
+            NetClass::Power => {
+                let _ = writeln!(
+                    out,
+                    "net power {} {} {} {}",
+                    net.name, net.current_a, net.slew_a_per_s, net.supply_v
+                );
+            }
+            NetClass::Ground => {
+                let _ = writeln!(out, "net ground {}", net.name);
+            }
+        }
+    }
+    for e in board.elements() {
+        let bnd = e.shape.bounds();
+        let c = bnd.min().lerp(bnd.max(), 0.5);
+        let pad = bnd.width().max(bnd.height());
+        let layer = e.layer + 1;
+        match (e.role, e.net) {
+            (ElementRole::Source, Some(n)) => {
+                let _ = writeln!(
+                    out,
+                    "source {} {} {} {} {}",
+                    board.net(n).expect("valid").name,
+                    layer,
+                    fmt6(c.x),
+                    fmt6(c.y),
+                    fmt6(pad)
+                );
+            }
+            (ElementRole::Sink, Some(n)) => {
+                let _ = writeln!(
+                    out,
+                    "sink {} {} {} {} {}",
+                    board.net(n).expect("valid").name,
+                    layer,
+                    fmt6(c.x),
+                    fmt6(c.y),
+                    fmt6(pad)
+                );
+            }
+            (ElementRole::DecapPad, Some(n)) => {
+                let _ = writeln!(
+                    out,
+                    "decappad {} {} {} {} {}",
+                    board.net(n).expect("valid").name,
+                    layer,
+                    fmt6(c.x),
+                    fmt6(c.y),
+                    fmt6(pad)
+                );
+            }
+            (ElementRole::Obstacle, Some(n)) => {
+                let _ = writeln!(
+                    out,
+                    "obstacle {} {} {} {} {}",
+                    board.net(n).expect("valid").name,
+                    layer,
+                    fmt6(c.x),
+                    fmt6(c.y),
+                    fmt6(pad)
+                );
+            }
+            (ElementRole::Obstacle, None) => {
+                let _ = writeln!(
+                    out,
+                    "blockage {} {} {} {} {}",
+                    layer,
+                    fmt6(bnd.min().x),
+                    fmt6(bnd.min().y),
+                    fmt6(bnd.max().x),
+                    fmt6(bnd.max().y)
+                );
+            }
+            _ => {}
+        }
+    }
+    for d in board.decaps() {
+        let _ = writeln!(
+            out,
+            "decap {} {} {} {} {} {} {}",
+            board.net(d.net).expect("valid").name,
+            d.layer + 1,
+            fmt6(d.location.x),
+            fmt6(d.location.y),
+            d.capacitance_f,
+            d.esr_ohm,
+            d.esl_h
+        );
+    }
+    out
+}
+
+/// Trimmed fixed-point formatting at micrometre precision.
+fn fmt6(x: f64) -> String {
+    let s = format!("{x:.6}");
+    let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+    if trimmed.is_empty() {
+        "0".to_owned()
+    } else {
+        trimmed.to_owned()
+    }
+}
+
+fn parse_f64(token: &str, line: usize) -> Result<f64, ParseBoardError> {
+    token
+        .parse::<f64>()
+        .map_err(|_| err(line, format!("`{token}` is not a number")))
+}
+
+fn parse_layer(token: &str, line: usize) -> Result<usize, ParseBoardError> {
+    let one_based: usize = token
+        .parse()
+        .map_err(|_| err(line, format!("`{token}` is not a layer number")))?;
+    if one_based == 0 {
+        return Err(err(line, "layers are 1-based in board files"));
+    }
+    Ok(one_based - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small demo board
+board demo 12 8
+stackup eight
+rules 0.1 0.1 0.2 20
+net power VDD 2.5 5e7 1.0
+net ground GND
+source VDD 7 1.5 4.0 0.45
+sink VDD 7 10.0 4.0 0.45   # right-hand ball
+sink VDD 7 10.0 5.0 0.45
+obstacle GND 7 6.0 2.0 0.45
+blockage 7 5.0 6.0 7.0 7.5
+decap VDD 8 9.0 3.0 1e-5 5e-3 4e-10
+";
+
+    #[test]
+    fn parses_a_complete_board() {
+        let board = parse_board(SAMPLE).unwrap();
+        assert_eq!(board.name(), "demo");
+        assert_eq!(board.power_nets().count(), 1);
+        let (vdd, net) = board.power_nets().next().unwrap();
+        assert_eq!(net.current_a, 2.5);
+        // 1 source + 2 sinks on (0-based) layer 6.
+        assert_eq!(board.terminals(vdd, 6).len(), 3);
+        assert_eq!(board.decaps().len(), 1);
+        board.validate().unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let board = parse_board(&format!("\n# hi\n\n{SAMPLE}")).unwrap();
+        assert_eq!(board.elements().len(), 5);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "board demo 12 8\nnet power VDD nope 1 1\n";
+        let e = parse_board(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nope"));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let bad = "board demo 12 8\nsource MISSING 7 1 1 0.4\n";
+        let e = parse_board(bad).unwrap_err();
+        assert!(e.message.contains("MISSING"));
+    }
+
+    #[test]
+    fn missing_board_line_rejected() {
+        let e = parse_board("net ground GND\n").unwrap_err();
+        assert!(e.message.contains("board"));
+    }
+
+    #[test]
+    fn zero_layer_rejected() {
+        let bad = "board demo 12 8\nnet ground G\nobstacle G 0 1 1 0.4\n";
+        let e = parse_board(bad).unwrap_err();
+        assert!(e.message.contains("1-based"));
+    }
+
+    #[test]
+    fn element_outside_outline_rejected() {
+        let bad = "board demo 12 8\nnet power V 1 1e7 1\nsource V 7 50 4 0.4\n";
+        let e = parse_board(bad).unwrap_err();
+        assert!(e.message.contains("outline"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let board = parse_board(SAMPLE).unwrap();
+        let text = write_board(&board);
+        let again = parse_board(&text).unwrap();
+        assert_eq!(again.elements().len(), board.elements().len());
+        assert_eq!(again.nets().len(), board.nets().len());
+        assert_eq!(again.decaps().len(), board.decaps().len());
+        assert_eq!(again.outline().width(), board.outline().width());
+        let (vdd, _) = again.power_nets().next().unwrap();
+        assert_eq!(again.terminals(vdd, 6).len(), 3);
+    }
+
+    #[test]
+    fn presets_survive_the_round_trip() {
+        let board = crate::presets::two_rail();
+        let text = write_board(&board);
+        let again = parse_board(&text).unwrap();
+        assert_eq!(again.elements().len(), board.elements().len());
+        again.validate().unwrap();
+    }
+
+    #[test]
+    fn parsed_board_routes() {
+        // The acid test: a text-imported board must run the pipeline.
+        let board = parse_board(SAMPLE).unwrap();
+        // (routing lives in sprout-core; here we only assert the board
+        // validates and exposes the expected terminals — the integration
+        // crate runs the full pipeline on parsed boards.)
+        board.validate().unwrap();
+    }
+}

@@ -1,0 +1,102 @@
+//! # sprout-board
+//!
+//! PCB data model and synthetic case-study generators for SPROUT.
+//!
+//! The SPROUT paper evaluates on three proprietary Qualcomm boards (an
+//! 8-layer two-rail wireless board, a 10-layer six-rail 612-BGA board,
+//! and a 10-layer three-rail 86-BGA trade-off board). Those layouts are
+//! not public, so this crate rebuilds their *structure* — layer stackups,
+//! BGA patterns, PMIC and decap placement, blockages, per-rail current
+//! demands — as parameterized generators ([`presets`]). The SPROUT
+//! algorithm only ever sees geometry + netlist + design rules, so the
+//! substitution preserves every code path the paper exercises (see
+//! DESIGN.md §2).
+//!
+//! Data model (§II-A of the paper): every layout element carries four
+//! parameters — *layer*, *net*, *geometry*, and *buffer* (clearance) —
+//! exactly as the paper prescribes.
+//!
+//! # Example
+//!
+//! ```
+//! use sprout_board::presets;
+//!
+//! let board = presets::two_rail();
+//! assert_eq!(board.stackup().layer_count(), 8);
+//! assert_eq!(board.power_nets().count(), 2);
+//! board.validate().expect("presets are always valid");
+//! ```
+
+pub mod board;
+pub mod element;
+pub mod io;
+pub mod net;
+pub mod presets;
+pub mod rules;
+pub mod stackup;
+pub mod units;
+
+pub use board::{Board, Decap};
+pub use element::{Element, ElementRole};
+pub use net::{Net, NetClass, NetId};
+pub use rules::DesignRules;
+pub use stackup::{Layer, Stackup};
+
+use std::fmt;
+
+/// Errors from board construction and validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoardError {
+    /// Referenced a net id that does not exist.
+    UnknownNet {
+        /// The offending id.
+        id: usize,
+    },
+    /// Referenced a layer index beyond the stackup.
+    UnknownLayer {
+        /// The offending layer index.
+        index: usize,
+        /// Number of layers in the stackup.
+        layers: usize,
+    },
+    /// An element's geometry extends outside the board outline.
+    OutsideOutline {
+        /// Index of the offending element.
+        element: usize,
+    },
+    /// Invalid parameter (non-positive dimension, current, etc.).
+    InvalidParameter(&'static str),
+    /// Geometry construction failed.
+    Geometry(sprout_geom::GeomError),
+}
+
+impl fmt::Display for BoardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoardError::UnknownNet { id } => write!(f, "unknown net id {id}"),
+            BoardError::UnknownLayer { index, layers } => {
+                write!(f, "layer {index} out of range (stackup has {layers})")
+            }
+            BoardError::OutsideOutline { element } => {
+                write!(f, "element {element} extends outside the board outline")
+            }
+            BoardError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            BoardError::Geometry(e) => write!(f, "geometry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BoardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BoardError::Geometry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sprout_geom::GeomError> for BoardError {
+    fn from(e: sprout_geom::GeomError) -> Self {
+        BoardError::Geometry(e)
+    }
+}

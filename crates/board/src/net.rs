@@ -1,0 +1,112 @@
+//! Nets: power rails and ground, with their electrical demand.
+
+use crate::BoardError;
+
+/// Identifier of a net within a [`crate::Board`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+impl std::fmt::Display for NetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Electrical class of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetClass {
+    /// A power rail to be synthesized by SPROUT.
+    Power,
+    /// The ground / return net (routed as planes, not by SPROUT).
+    Ground,
+}
+
+/// A net with its power-delivery demand parameters (used by the node
+/// current metric of §II-D and the PDN simulation of §III-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Display name (e.g. `"VDD1"`, `"CPU"`).
+    pub name: String,
+    /// Power or ground.
+    pub class: NetClass,
+    /// Maximum load current drawn from the rail (A).
+    pub current_a: f64,
+    /// Load current slew rate (A/s) — sets the inductive `L·di/dt` noise.
+    pub slew_a_per_s: f64,
+    /// Nominal supply voltage (V); 1.0 V in the paper's §III-C study.
+    pub supply_v: f64,
+}
+
+impl Net {
+    /// Creates a power net.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::InvalidParameter`] for non-positive current,
+    /// slew, or supply.
+    pub fn power(
+        name: impl Into<String>,
+        current_a: f64,
+        slew_a_per_s: f64,
+        supply_v: f64,
+    ) -> Result<Self, BoardError> {
+        if current_a <= 0.0 {
+            return Err(BoardError::InvalidParameter("rail current must be > 0"));
+        }
+        if slew_a_per_s <= 0.0 {
+            return Err(BoardError::InvalidParameter("slew rate must be > 0"));
+        }
+        if supply_v <= 0.0 {
+            return Err(BoardError::InvalidParameter("supply voltage must be > 0"));
+        }
+        Ok(Net {
+            name: name.into(),
+            class: NetClass::Power,
+            current_a,
+            slew_a_per_s,
+            supply_v,
+        })
+    }
+
+    /// Creates the ground net.
+    pub fn ground(name: impl Into<String>) -> Self {
+        Net {
+            name: name.into(),
+            class: NetClass::Ground,
+            current_a: 0.0,
+            slew_a_per_s: 0.0,
+            supply_v: 0.0,
+        }
+    }
+
+    /// `true` for power rails.
+    pub fn is_power(&self) -> bool {
+        self.class == NetClass::Power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_net_validation() {
+        assert!(Net::power("VDD", 2.0, 1e9, 1.0).is_ok());
+        assert!(Net::power("VDD", 0.0, 1e9, 1.0).is_err());
+        assert!(Net::power("VDD", 2.0, 0.0, 1.0).is_err());
+        assert!(Net::power("VDD", 2.0, 1e9, 0.0).is_err());
+    }
+
+    #[test]
+    fn ground_net() {
+        let g = Net::ground("GND");
+        assert_eq!(g.class, NetClass::Ground);
+        assert!(!g.is_power());
+    }
+
+    #[test]
+    fn net_id_display_and_ordering() {
+        assert_eq!(NetId(3).to_string(), "net#3");
+        assert!(NetId(1) < NetId(2));
+    }
+}

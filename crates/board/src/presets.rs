@@ -1,0 +1,513 @@
+//! Synthetic reconstructions of the paper's three industrial case
+//! studies, plus a seeded random board generator for stress tests.
+//!
+//! The proprietary Qualcomm layouts are not public; these generators
+//! rebuild every structural parameter the paper states (layer counts,
+//! BGA counts and patterns, PMIC/decap placement, blockages) so the
+//! SPROUT pipeline exercises the same code paths. See DESIGN.md §2.
+
+use crate::board::{Board, Decap};
+use crate::element::{Element, ElementRole};
+use crate::net::{Net, NetId};
+use crate::rules::DesignRules;
+use crate::stackup::Stackup;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sprout_geom::{Point, Polygon, Rect};
+
+/// Routing layer index of the eight-layer two-rail board (layer 7).
+pub const TWO_RAIL_ROUTE_LAYER: usize = 6;
+/// Routing layer index of the ten-layer boards (layer 9).
+pub const TEN_LAYER_ROUTE_LAYER: usize = 8;
+
+/// Square via pad centred at `c` with the given pad width (mm).
+fn via_pad(c: Point, width: f64) -> Polygon {
+    Polygon::rectangle(
+        Point::new(c.x - width / 2.0, c.y - width / 2.0),
+        Point::new(c.x + width / 2.0, c.y + width / 2.0),
+    )
+    .expect("positive pad width")
+}
+
+/// The two-rail wireless-application board of §III-A / Fig. 9.
+///
+/// Eight layers; the PMIC at the bottom layer feeds two rails through
+/// inductors and vias; the power shapes are routed on layer 7 to two
+/// groups of BGA vias; ground planes on layers 2, 6, 8; one mechanical
+/// blockage in the middle of the routing region.
+///
+/// # Example
+///
+/// ```
+/// use sprout_board::presets::{two_rail, TWO_RAIL_ROUTE_LAYER};
+/// let board = two_rail();
+/// let (vdd1, _) = board.power_nets().next().unwrap();
+/// assert!(!board.terminals(vdd1, TWO_RAIL_ROUTE_LAYER).is_empty());
+/// ```
+pub fn two_rail() -> Board {
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(24.0, 16.0)).expect("static");
+    let mut board = Board::new(
+        "two-rail",
+        outline,
+        Stackup::eight_layer(),
+        DesignRules::default(),
+    );
+    let vdd1 = board.add_net(Net::power("VDD1", 3.0, 5.0e7, 1.0).expect("static"));
+    let vdd2 = board.add_net(Net::power("VDD2", 2.0, 4.0e7, 1.0).expect("static"));
+    let gnd = board.add_net(Net::ground("GND"));
+    let l = TWO_RAIL_ROUTE_LAYER;
+    let pad = 0.45;
+
+    // PMIC inductor outputs arrive on the routing layer through vias at
+    // the left edge (the PMIC itself sits on bottom layer 8).
+    board
+        .add_element(Element::terminal(
+            vdd1,
+            l,
+            via_pad(Point::new(2.5, 4.5), pad),
+            ElementRole::Source,
+        ))
+        .expect("static");
+    board
+        .add_element(Element::terminal(
+            vdd2,
+            l,
+            via_pad(Point::new(2.5, 11.5), pad),
+            ElementRole::Source,
+        ))
+        .expect("static");
+
+    // BGA via groups on the right: 3×3 clusters at 0.8 mm pitch.
+    for (net, cy) in [(vdd1, 4.5_f64), (vdd2, 11.5_f64)] {
+        for i in 0..3 {
+            for j in 0..3 {
+                let c = Point::new(19.0 + i as f64 * 0.8, cy - 0.8 + j as f64 * 0.8);
+                board
+                    .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                    .expect("static");
+            }
+        }
+    }
+
+    // Ground stitching vias scattered through the routing region.
+    for &(x, y) in &[
+        (7.0, 2.0),
+        (7.0, 14.0),
+        (13.0, 2.5),
+        (13.0, 13.5),
+        (16.0, 8.0),
+        (6.5, 8.0),
+    ] {
+        board
+            .add_element(Element::net_obstacle(gnd, l, via_pad(Point::new(x, y), pad)))
+            .expect("static");
+    }
+
+    // Central mechanical blockage (diagonal hatch in Fig. 9a).
+    board
+        .add_element(Element::blockage(
+            l,
+            Polygon::rectangle(Point::new(9.5, 6.0), Point::new(13.0, 10.0)).expect("static"),
+        ))
+        .expect("static");
+
+    board.validate().expect("preset is consistent");
+    board
+}
+
+/// The six-rail congested-BGA board of §III-B / Fig. 10.
+///
+/// Ten layers; 612 BGA vias (306 power across six nets + 306 ground) in a
+/// dense array at the top; two PMICs at the bottom layer each regulating
+/// three rails; power routed on layer 9.
+///
+/// The BGA array is a 36 × 17 grid at 0.5 mm pitch, split into six
+/// vertical bands; within each band power and ground vias alternate in a
+/// checkerboard (51 power + 51 ground per band).
+pub fn six_rail() -> Board {
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(30.0, 16.0)).expect("static");
+    let mut board = Board::new(
+        "six-rail",
+        outline,
+        Stackup::ten_layer(),
+        DesignRules::default(),
+    );
+    // Currents chosen so that rails the paper reports with low resistance
+    // (V2, V6 ≈ 9 mΩ) carry more current than the high-resistance rails
+    // (V4, V5 ≈ 18.5 mΩ).
+    let currents = [3.0, 5.0, 3.5, 2.0, 2.0, 4.5];
+    let names = ["VDD1", "V2", "V3", "V4", "V5", "V6"];
+    let nets: Vec<NetId> = names
+        .iter()
+        .zip(currents)
+        .map(|(name, i)| {
+            board.add_net(Net::power(*name, i, 5.0e7, 1.0).expect("static"))
+        })
+        .collect();
+    let gnd = board.add_net(Net::ground("GND"));
+    let l = TEN_LAYER_ROUTE_LAYER;
+    let pad = 0.28;
+    let pitch = 0.5;
+
+    // 36 × 17 BGA array centred horizontally, towards the top.
+    let x0 = 6.25;
+    let y0 = 5.5;
+    for col in 0..36usize {
+        for row in 0..17usize {
+            let c = Point::new(x0 + col as f64 * pitch, y0 + row as f64 * pitch);
+            let band = col / 6; // six bands of six columns
+            let net = nets[band];
+            if (col + row) % 2 == 0 {
+                board
+                    .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                    .expect("static");
+            } else {
+                board
+                    .add_element(Element::net_obstacle(gnd, l, via_pad(c, pad)))
+                    .expect("static");
+            }
+        }
+    }
+
+    // PMIC A (bottom-left) feeds bands 0-2; PMIC B (bottom-right) feeds
+    // bands 3-5. Each output reaches the routing layer through a via
+    // below its band, so the six rails run in parallel vertical channels
+    // up into the array (the feed structure visible in Fig. 10).
+    for (k, &net) in nets.iter().enumerate() {
+        let cx = x0 + (k as f64 * 6.0 + 2.5) * pitch;
+        board
+            .add_element(Element::terminal(
+                net,
+                l,
+                via_pad(Point::new(cx, 2.5), 0.45),
+                ElementRole::Source,
+            ))
+            .expect("static");
+    }
+
+    board.validate().expect("preset is consistent");
+    board
+}
+
+/// Per-rail area budgets (mm², 1 mm² = 1 normalized unit) of the nine
+/// Table IV prototypes: `(modem, cpu, dsp)`.
+pub fn table_iv_area_schedule() -> [(f64, f64, f64); 9] {
+    [
+        (15.0, 15.0, 2.5),
+        (17.5, 17.5, 3.125),
+        (20.0, 20.0, 3.75),
+        (22.5, 22.5, 4.375),
+        (25.0, 25.0, 5.0),
+        (27.5, 27.5, 5.625),
+        (30.0, 30.0, 6.25),
+        (32.5, 32.5, 6.875),
+        (35.0, 35.0, 7.5),
+    ]
+}
+
+/// The three-rail (modem / CPU / DSP) trade-off board of §III-C /
+/// Fig. 11: ten layers, 86 BGA vias, two modem decaps and five CPU
+/// decaps at the bottom layer, blockages in the routing region.
+pub fn three_rail() -> Board {
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(22.0, 22.0)).expect("static");
+    let mut board = Board::new(
+        "three-rail",
+        outline,
+        Stackup::ten_layer(),
+        DesignRules::default(),
+    );
+    // §III-C: modem and CPU draw large current with fast slew; the DSP
+    // draws much less ("the voltage drop in the DSP power rail is
+    // significantly less due to the smaller load current").
+    let modem = board.add_net(Net::power("MODEM", 4.0, 8.0e7, 1.0).expect("static"));
+    let cpu = board.add_net(Net::power("CPU", 6.0, 1.0e8, 1.0).expect("static"));
+    let dsp = board.add_net(Net::power("DSP", 0.8, 1.5e7, 1.0).expect("static"));
+    let gnd = board.add_net(Net::ground("GND"));
+    let l = TEN_LAYER_ROUTE_LAYER;
+    let pad = 0.3;
+    let pitch = 0.65;
+
+    // 86 BGA vias: modem cluster top-left (20), CPU centre (28), DSP
+    // bottom-right (8), ground scattered through all clusters (30).
+    let mut ground_count = 0usize;
+    let mut cluster = |board: &mut Board,
+                       net: NetId,
+                       origin: Point,
+                       cols: usize,
+                       rows: usize,
+                       power_count: usize| {
+        let mut placed = 0usize;
+        for row in 0..rows {
+            for col in 0..cols {
+                let c = Point::new(origin.x + col as f64 * pitch, origin.y + row as f64 * pitch);
+                if (col + row) % 3 == 2 {
+                    board
+                        .add_element(Element::net_obstacle(gnd, l, via_pad(c, pad)))
+                        .expect("static");
+                    ground_count += 1;
+                } else if placed < power_count {
+                    board
+                        .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                        .expect("static");
+                    placed += 1;
+                } else {
+                    board
+                        .add_element(Element::net_obstacle(gnd, l, via_pad(c, pad)))
+                        .expect("static");
+                    ground_count += 1;
+                }
+            }
+        }
+    };
+    cluster(&mut board, modem, Point::new(3.0, 14.5), 6, 5, 20);
+    cluster(&mut board, cpu, Point::new(9.0, 8.0), 7, 6, 28);
+    cluster(&mut board, dsp, Point::new(16.5, 2.5), 4, 3, 8);
+    let _ = ground_count;
+
+    // PMIC outputs, each near its cluster (the DSP rail's small area
+    // budget — 2.5 units in Table IV — only covers a short trunk).
+    for (net, x, y) in [(modem, 1.5, 17.0), (cpu, 1.5, 10.5), (dsp, 15.3, 3.0)] {
+        board
+            .add_element(Element::terminal(
+                net,
+                l,
+                via_pad(Point::new(x, y), 0.45),
+                ElementRole::Source,
+            ))
+            .expect("static");
+    }
+
+    // Blockages (hatched rectangles of Fig. 11a).
+    board
+        .add_element(Element::blockage(
+            l,
+            Polygon::rectangle(Point::new(6.8, 3.0), Point::new(9.3, 6.0)).expect("static"),
+        ))
+        .expect("static");
+    board
+        .add_element(Element::blockage(
+            l,
+            Polygon::rectangle(Point::new(14.0, 12.5), Point::new(17.0, 15.0)).expect("static"),
+        ))
+        .expect("static");
+
+    // Decaps: 2 on the modem rail, 5 on the CPU rail (bottom layer 10).
+    let decap = |net: NetId, x: f64, y: f64| Decap {
+        net,
+        layer: 9,
+        location: Point::new(x, y),
+        capacitance_f: 10.0e-6,
+        esr_ohm: 5.0e-3,
+        esl_h: 0.4e-9,
+    };
+    board.add_decap(decap(modem, 4.0, 12.5)).expect("static");
+    board.add_decap(decap(modem, 6.5, 16.0)).expect("static");
+    board.add_decap(decap(cpu, 9.5, 6.5)).expect("static");
+    board.add_decap(decap(cpu, 12.0, 6.5)).expect("static");
+    board.add_decap(decap(cpu, 14.5, 8.5)).expect("static");
+    board.add_decap(decap(cpu, 9.5, 12.5)).expect("static");
+    board.add_decap(decap(cpu, 12.0, 12.5)).expect("static");
+
+    // Decap pads are also sink-class terminals on the routing layer
+    // (§II: "connecting the power management IC with the target ball
+    // grid array (BGA) balls and decoupling capacitors").
+    let decap_pads: Vec<(NetId, Point)> = board
+        .decaps()
+        .iter()
+        .map(|d| (d.net, d.location))
+        .collect();
+    for (net, loc) in decap_pads {
+        board
+            .add_element(Element::terminal(
+                net,
+                l,
+                via_pad(loc, pad),
+                ElementRole::DecapPad,
+            ))
+            .expect("static");
+    }
+
+    board.validate().expect("preset is consistent");
+    board
+}
+
+/// Parameters for [`random_board`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomBoardConfig {
+    /// Board side length (mm).
+    pub size_mm: f64,
+    /// Number of power nets.
+    pub nets: usize,
+    /// Sink vias per net.
+    pub sinks_per_net: usize,
+    /// Number of net-less blockages.
+    pub blockages: usize,
+}
+
+impl Default for RandomBoardConfig {
+    fn default() -> Self {
+        RandomBoardConfig {
+            size_mm: 15.0,
+            nets: 2,
+            sinks_per_net: 4,
+            blockages: 2,
+        }
+    }
+}
+
+/// Seeded random board for stress and property tests: clustered sink
+/// groups, one source per net, random blockages. Deterministic for a
+/// given seed.
+pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = cfg.size_mm;
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(s, s)).expect("positive size");
+    let mut board = Board::new(
+        format!("random-{seed}"),
+        outline,
+        Stackup::eight_layer(),
+        DesignRules::default(),
+    );
+    let l = TWO_RAIL_ROUTE_LAYER;
+    let pad = 0.4;
+    let nets: Vec<NetId> = (0..cfg.nets)
+        .map(|k| {
+            let current = rng.gen_range(0.5..5.0);
+            board
+                .add_net(Net::power(format!("P{k}"), current, 1e9, 1.0).expect("valid range"))
+        })
+        .collect();
+
+    // One source per net along the left edge, a sink cluster elsewhere.
+    for (k, &net) in nets.iter().enumerate() {
+        let sy = s * (k as f64 + 1.0) / (cfg.nets as f64 + 1.0);
+        board
+            .add_element(Element::terminal(
+                net,
+                l,
+                via_pad(Point::new(1.0, sy), pad),
+                ElementRole::Source,
+            ))
+            .expect("inside outline");
+        let cx = rng.gen_range(s * 0.5..s - 2.0);
+        let cy = rng.gen_range(2.0..s - 2.0);
+        for i in 0..cfg.sinks_per_net {
+            let angle = std::f64::consts::TAU * i as f64 / cfg.sinks_per_net as f64;
+            let r = 0.9 + 0.2 * (i % 3) as f64;
+            let c = Point::new(
+                (cx + r * angle.cos()).clamp(1.0, s - 1.0),
+                (cy + r * angle.sin()).clamp(1.0, s - 1.0),
+            );
+            board
+                .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                .expect("inside outline");
+        }
+    }
+
+    for _ in 0..cfg.blockages {
+        let w = rng.gen_range(1.0..s / 4.0);
+        let h = rng.gen_range(1.0..s / 4.0);
+        let x = rng.gen_range(3.0..(s - w - 3.0).max(3.1));
+        let y = rng.gen_range(1.0..(s - h - 1.0).max(1.1));
+        let shape =
+            Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("positive");
+        board
+            .add_element(Element::blockage(l, shape))
+            .expect("inside outline");
+    }
+
+    board
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_rail_structure() {
+        let b = two_rail();
+        assert_eq!(b.stackup().layer_count(), 8);
+        assert_eq!(b.power_nets().count(), 2);
+        let (vdd1, net) = b.power_nets().next().unwrap();
+        assert_eq!(net.name, "VDD1");
+        let terms = b.terminals(vdd1, TWO_RAIL_ROUTE_LAYER);
+        // 1 source + 9 sinks.
+        assert_eq!(terms.len(), 10);
+        assert!(terms.iter().any(|e| e.role == ElementRole::Source));
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn six_rail_counts_match_paper() {
+        let b = six_rail();
+        assert_eq!(b.stackup().layer_count(), 10);
+        assert_eq!(b.power_nets().count(), 6);
+        // 612 BGA vias total on the routing layer (+6 PMIC sources).
+        let on_layer = b.elements_on_layer(TEN_LAYER_ROUTE_LAYER).count();
+        assert_eq!(on_layer, 612 + 6);
+        // 306 power sinks, 306 ground.
+        let sinks: usize = b
+            .power_nets()
+            .map(|(id, _)| {
+                b.terminals(id, TEN_LAYER_ROUTE_LAYER)
+                    .iter()
+                    .filter(|e| e.role == ElementRole::Sink)
+                    .count()
+            })
+            .sum();
+        assert_eq!(sinks, 306);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn six_rail_each_net_has_51_sinks() {
+        let b = six_rail();
+        for (id, _) in b.power_nets() {
+            let sinks = b
+                .terminals(id, TEN_LAYER_ROUTE_LAYER)
+                .iter()
+                .filter(|e| e.role == ElementRole::Sink)
+                .count();
+            assert_eq!(sinks, 51, "net {id}");
+        }
+    }
+
+    #[test]
+    fn three_rail_structure() {
+        let b = three_rail();
+        assert_eq!(b.power_nets().count(), 3);
+        assert_eq!(b.decaps().len(), 7);
+        let (modem, _) = b.power_nets().next().unwrap();
+        assert_eq!(b.decaps_for(modem).count(), 2);
+        // DSP current is much smaller than CPU current.
+        let nets: Vec<_> = b.power_nets().map(|(_, n)| n.clone()).collect();
+        let cpu = nets.iter().find(|n| n.name == "CPU").unwrap();
+        let dsp = nets.iter().find(|n| n.name == "DSP").unwrap();
+        assert!(dsp.current_a < cpu.current_a / 3.0);
+        b.validate().unwrap();
+    }
+
+    #[test]
+    fn table_iv_schedule_monotone() {
+        let sched = table_iv_area_schedule();
+        assert_eq!(sched.len(), 9);
+        for w in sched.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 > w[0].1);
+            assert!(w[1].2 > w[0].2);
+        }
+        assert_eq!(sched[0], (15.0, 15.0, 2.5));
+        assert_eq!(sched[8], (35.0, 35.0, 7.5));
+    }
+
+    #[test]
+    fn random_board_deterministic_and_valid() {
+        let a = random_board(42, RandomBoardConfig::default());
+        let b = random_board(42, RandomBoardConfig::default());
+        assert_eq!(a.elements().len(), b.elements().len());
+        a.validate().unwrap();
+        let c = random_board(7, RandomBoardConfig { nets: 3, ..Default::default() });
+        assert_eq!(c.power_nets().count(), 3);
+        c.validate().unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Design rules: clearances and via parameters.
+
+use crate::units::{via_inductance_h, via_resistance_ohm};
+use crate::BoardError;
+
+/// Board-wide design rules.
+///
+/// # Example
+///
+/// ```
+/// use sprout_board::DesignRules;
+/// let rules = DesignRules::default();
+/// assert!(rules.clearance_mm > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignRules {
+    /// Default buffer distance between different nets (mm) — the buffer
+    /// of §II-A / Fig. 4.
+    pub clearance_mm: f64,
+    /// Minimum metal feature width (mm); the tile pitch must not drop
+    /// below this.
+    pub min_width_mm: f64,
+    /// Via drill diameter (mm).
+    pub via_drill_mm: f64,
+    /// Via plating thickness (µm).
+    pub via_plating_um: f64,
+}
+
+impl DesignRules {
+    /// Rules with explicit values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::InvalidParameter`] for non-positive values.
+    pub fn new(
+        clearance_mm: f64,
+        min_width_mm: f64,
+        via_drill_mm: f64,
+        via_plating_um: f64,
+    ) -> Result<Self, BoardError> {
+        if clearance_mm <= 0.0 || min_width_mm <= 0.0 || via_drill_mm <= 0.0 || via_plating_um <= 0.0
+        {
+            return Err(BoardError::InvalidParameter(
+                "design rule values must be positive",
+            ));
+        }
+        Ok(DesignRules {
+            clearance_mm,
+            min_width_mm,
+            via_drill_mm,
+            via_plating_um,
+        })
+    }
+
+    /// Lumped resistance (Ω) of one via of barrel length `length_mm`.
+    pub fn via_resistance_ohm(&self, length_mm: f64) -> f64 {
+        via_resistance_ohm(self.via_drill_mm, self.via_plating_um, length_mm)
+    }
+
+    /// Lumped inductance (H) of one via of barrel length `length_mm`.
+    pub fn via_inductance_h(&self, length_mm: f64) -> f64 {
+        via_inductance_h(self.via_drill_mm, length_mm)
+    }
+}
+
+impl Default for DesignRules {
+    /// Typical smartphone-class PCB rules: 0.1 mm clearance, 0.1 mm
+    /// minimum width, 0.2 mm drills with 20 µm plating.
+    fn default() -> Self {
+        DesignRules {
+            clearance_mm: 0.1,
+            min_width_mm: 0.1,
+            via_drill_mm: 0.2,
+            via_plating_um: 20.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rules_sane() {
+        let r = DesignRules::default();
+        assert!(r.clearance_mm > 0.0 && r.clearance_mm < 1.0);
+        assert!(r.via_resistance_ohm(1.0) > 0.0);
+        assert!(r.via_inductance_h(1.0) > 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(DesignRules::new(0.1, 0.1, 0.2, 20.0).is_ok());
+        assert!(DesignRules::new(0.0, 0.1, 0.2, 20.0).is_err());
+        assert!(DesignRules::new(0.1, -1.0, 0.2, 20.0).is_err());
+    }
+}

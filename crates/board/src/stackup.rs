@@ -1,0 +1,287 @@
+//! Layer stackups: copper thicknesses and dielectric spacings.
+
+use crate::units::{plane_pair_inductance_h_sq, sheet_resistance_ohm_sq};
+use crate::BoardError;
+
+/// The role a layer plays in the power delivery network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Signal / component layer.
+    Signal,
+    /// Dedicated ground plane (return path for power shapes).
+    GroundPlane,
+    /// Power routing layer (where SPROUT synthesizes shapes).
+    PowerRouting,
+}
+
+/// One copper layer of the stackup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Human-readable name, e.g. `"L7"`.
+    pub name: String,
+    /// Role of the layer.
+    pub kind: LayerKind,
+    /// Copper thickness (µm).
+    pub copper_um: f64,
+    /// Dielectric thickness between this layer and the next one below
+    /// (µm). The last layer's value is unused.
+    pub dielectric_below_um: f64,
+}
+
+/// An ordered stackup, layer 0 on top (component side).
+///
+/// # Example
+///
+/// ```
+/// use sprout_board::Stackup;
+/// let s = Stackup::eight_layer();
+/// assert_eq!(s.layer_count(), 8);
+/// // Layer 7 (index 6) routes power in the two-rail case study.
+/// assert!(s.sheet_resistance(6).unwrap() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stackup {
+    layers: Vec<Layer>,
+}
+
+impl Stackup {
+    /// Builds a stackup from layers (top to bottom).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::InvalidParameter`] for fewer than two layers
+    /// or non-positive thicknesses.
+    pub fn new(layers: Vec<Layer>) -> Result<Self, BoardError> {
+        if layers.len() < 2 {
+            return Err(BoardError::InvalidParameter("stackup needs >= 2 layers"));
+        }
+        for l in &layers {
+            if l.copper_um <= 0.0 {
+                return Err(BoardError::InvalidParameter("copper thickness must be > 0"));
+            }
+            if l.dielectric_below_um <= 0.0 {
+                return Err(BoardError::InvalidParameter(
+                    "dielectric thickness must be > 0",
+                ));
+            }
+        }
+        Ok(Stackup { layers })
+    }
+
+    /// The 8-layer stackup of the two-rail case study (§III-A): ground
+    /// planes on layers 2, 6, and 8; power routing on layer 7; PMIC on
+    /// layer 8 (bottom).
+    pub fn eight_layer() -> Self {
+        let mk = |i: usize, kind: LayerKind| Layer {
+            name: format!("L{}", i + 1),
+            kind,
+            copper_um: if matches!(kind, LayerKind::GroundPlane | LayerKind::PowerRouting) {
+                35.0
+            } else {
+                18.0
+            },
+            dielectric_below_um: 100.0,
+        };
+        Stackup::new(vec![
+            mk(0, LayerKind::Signal),
+            mk(1, LayerKind::GroundPlane),
+            mk(2, LayerKind::Signal),
+            mk(3, LayerKind::Signal),
+            mk(4, LayerKind::Signal),
+            mk(5, LayerKind::GroundPlane),
+            mk(6, LayerKind::PowerRouting),
+            mk(7, LayerKind::GroundPlane),
+        ])
+        .expect("static stackup is valid")
+    }
+
+    /// The 10-layer stackup of the six-rail and three-rail case studies
+    /// (§III-B/C): ground on layers 4, 6, 8; power routing on layer 9.
+    pub fn ten_layer() -> Self {
+        let mk = |i: usize, kind: LayerKind| Layer {
+            name: format!("L{}", i + 1),
+            kind,
+            copper_um: if matches!(kind, LayerKind::GroundPlane | LayerKind::PowerRouting) {
+                35.0
+            } else {
+                18.0
+            },
+            dielectric_below_um: 90.0,
+        };
+        Stackup::new(vec![
+            mk(0, LayerKind::Signal),
+            mk(1, LayerKind::Signal),
+            mk(2, LayerKind::Signal),
+            mk(3, LayerKind::GroundPlane),
+            mk(4, LayerKind::Signal),
+            mk(5, LayerKind::GroundPlane),
+            mk(6, LayerKind::Signal),
+            mk(7, LayerKind::GroundPlane),
+            mk(8, LayerKind::PowerRouting),
+            mk(9, LayerKind::Signal),
+        ])
+        .expect("static stackup is valid")
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The layers, top to bottom.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Layer by index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::UnknownLayer`] when out of range.
+    pub fn layer(&self, index: usize) -> Result<&Layer, BoardError> {
+        self.layers.get(index).ok_or(BoardError::UnknownLayer {
+            index,
+            layers: self.layers.len(),
+        })
+    }
+
+    /// Sheet resistance of a layer (Ω/sq).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::UnknownLayer`] when out of range.
+    pub fn sheet_resistance(&self, index: usize) -> Result<f64, BoardError> {
+        Ok(sheet_resistance_ohm_sq(self.layer(index)?.copper_um))
+    }
+
+    /// Index of the nearest ground plane to `layer` (searching both
+    /// directions), used as the inductive return reference.
+    pub fn nearest_ground_plane(&self, layer: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (distance, index)
+        for (i, l) in self.layers.iter().enumerate() {
+            if l.kind == LayerKind::GroundPlane && i != layer {
+                let d = layer.abs_diff(i);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, i));
+                }
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Dielectric spacing (µm) between two layers (sum of dielectrics and
+    /// intervening copper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::UnknownLayer`] when out of range.
+    pub fn spacing_um(&self, a: usize, b: usize) -> Result<f64, BoardError> {
+        self.layer(a)?;
+        self.layer(b)?;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let mut total = 0.0;
+        for i in lo..hi {
+            total += self.layers[i].dielectric_below_um;
+            if i != lo {
+                total += self.layers[i].copper_um;
+            }
+        }
+        Ok(total.max(1.0))
+    }
+
+    /// Plane-pair inductance per square (H/sq) of a routing layer against
+    /// its nearest ground plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::UnknownLayer`] when out of range, and
+    /// [`BoardError::InvalidParameter`] when the stackup has no ground
+    /// plane at all.
+    pub fn inductance_per_square(&self, layer: usize) -> Result<f64, BoardError> {
+        self.layer(layer)?;
+        let reference = self
+            .nearest_ground_plane(layer)
+            .ok_or(BoardError::InvalidParameter("stackup has no ground plane"))?;
+        let h = self.spacing_um(layer, reference)?;
+        Ok(plane_pair_inductance_h_sq(h))
+    }
+
+    /// Barrel length (mm) of a via spanning layers `a` to `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoardError::UnknownLayer`] when out of range.
+    pub fn via_length_mm(&self, a: usize, b: usize) -> Result<f64, BoardError> {
+        Ok(self.spacing_um(a, b)? * 1e-3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_stackups_are_valid() {
+        let e = Stackup::eight_layer();
+        assert_eq!(e.layer_count(), 8);
+        assert_eq!(e.layers()[6].kind, LayerKind::PowerRouting);
+        assert_eq!(e.layers()[1].kind, LayerKind::GroundPlane);
+        let t = Stackup::ten_layer();
+        assert_eq!(t.layer_count(), 10);
+        assert_eq!(t.layers()[8].kind, LayerKind::PowerRouting);
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Stackup::new(vec![]).is_err());
+        let one = vec![Layer {
+            name: "L1".into(),
+            kind: LayerKind::Signal,
+            copper_um: 18.0,
+            dielectric_below_um: 100.0,
+        }];
+        assert!(Stackup::new(one).is_err());
+    }
+
+    #[test]
+    fn layer_access_and_errors() {
+        let s = Stackup::eight_layer();
+        assert!(s.layer(7).is_ok());
+        assert!(matches!(s.layer(8), Err(BoardError::UnknownLayer { .. })));
+        assert!(s.sheet_resistance(20).is_err());
+    }
+
+    #[test]
+    fn nearest_ground_plane_prefers_closest() {
+        let s = Stackup::eight_layer();
+        // Power routing layer 7 (index 6): ground planes at 1, 5, 7 —
+        // both 5 and 7 are adjacent; either is acceptable.
+        let g = s.nearest_ground_plane(6).unwrap();
+        assert!(g == 5 || g == 7);
+        // Top layer: nearest plane is index 1.
+        assert_eq!(s.nearest_ground_plane(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn spacing_accumulates() {
+        let s = Stackup::eight_layer();
+        let d1 = s.spacing_um(6, 7).unwrap();
+        let d2 = s.spacing_um(5, 7).unwrap();
+        assert!(d2 > d1);
+        assert_eq!(s.spacing_um(6, 7).unwrap(), s.spacing_um(7, 6).unwrap());
+    }
+
+    #[test]
+    fn inductance_per_square_positive_and_scales_with_height() {
+        let s = Stackup::eight_layer();
+        let l = s.inductance_per_square(6).unwrap();
+        assert!(l > 1e-11 && l < 1e-9, "{l}");
+    }
+
+    #[test]
+    fn via_length() {
+        let s = Stackup::ten_layer();
+        let len = s.via_length_mm(0, 9).unwrap();
+        assert!(len > 0.5 && len < 2.0, "{len}");
+    }
+}

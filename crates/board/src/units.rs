@@ -1,0 +1,121 @@
+//! Physical constants and unit conventions.
+//!
+//! Conventions across the SPROUT workspace:
+//!
+//! * lengths in **millimetres**,
+//! * resistances in **ohms**, inductances in **henrys**,
+//!   capacitances in **farads**,
+//! * currents in **amperes**, frequencies in **hertz**.
+//!
+//! Tables print milliohms and picohenrys like the paper.
+
+/// Resistivity of copper at 20 °C (Ω·m).
+pub const COPPER_RESISTIVITY_OHM_M: f64 = 1.724e-8;
+
+/// Vacuum permeability µ₀ (H/m).
+pub const MU_0: f64 = 4.0e-7 * std::f64::consts::PI;
+
+/// The AC analysis frequency used throughout the paper's Tables II/III.
+pub const EXTRACTION_FREQUENCY_HZ: f64 = 25.0e6;
+
+/// Sheet resistance (Ω per square) of a copper layer of the given
+/// thickness in micrometres.
+///
+/// # Panics
+///
+/// Panics if `thickness_um` is not positive (a stackup bug).
+///
+/// # Example
+///
+/// ```
+/// use sprout_board::units::sheet_resistance_ohm_sq;
+/// // 1 oz copper ≈ 35 µm ≈ 0.49 mΩ/sq.
+/// let rs = sheet_resistance_ohm_sq(35.0);
+/// assert!((rs - 4.93e-4).abs() < 1e-5);
+/// ```
+pub fn sheet_resistance_ohm_sq(thickness_um: f64) -> f64 {
+    assert!(thickness_um > 0.0, "copper thickness must be positive");
+    COPPER_RESISTIVITY_OHM_M / (thickness_um * 1e-6)
+}
+
+/// Plane-pair (microstrip-limit) inductance per square (H/sq) for a
+/// conductor at `height_um` micrometres above its return plane.
+///
+/// In the quasi-static plane-pair limit the loop inductance of a shape
+/// over a solid return is `µ₀ · h` per square — the model a quasi-static
+/// extractor applies at 25 MHz where the return current flows directly
+/// underneath the power shape.
+///
+/// # Panics
+///
+/// Panics if `height_um` is not positive.
+pub fn plane_pair_inductance_h_sq(height_um: f64) -> f64 {
+    assert!(height_um > 0.0, "dielectric height must be positive");
+    MU_0 * height_um * 1e-6
+}
+
+/// Lumped resistance of a plated through via (Ω).
+///
+/// Model: a copper annulus of the given drill diameter, plating
+/// thickness, and barrel length.
+pub fn via_resistance_ohm(drill_mm: f64, plating_um: f64, length_mm: f64) -> f64 {
+    assert!(drill_mm > 0.0 && plating_um > 0.0 && length_mm > 0.0);
+    let r_outer = drill_mm * 1e-3 / 2.0 + plating_um * 1e-6;
+    let r_inner = drill_mm * 1e-3 / 2.0;
+    let area = std::f64::consts::PI * (r_outer * r_outer - r_inner * r_inner);
+    COPPER_RESISTIVITY_OHM_M * (length_mm * 1e-3) / area
+}
+
+/// Lumped partial self-inductance of a via barrel (H), by the standard
+/// round-wire formula `L = µ₀/2π · l · (ln(4l/d) + 1)` (Grover).
+pub fn via_inductance_h(drill_mm: f64, length_mm: f64) -> f64 {
+    assert!(drill_mm > 0.0 && length_mm > 0.0);
+    let l = length_mm * 1e-3;
+    let d = drill_mm * 1e-3;
+    MU_0 / (2.0 * std::f64::consts::PI) * l * ((4.0 * l / d).ln() + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_ounce_copper_sheet_resistance() {
+        // 35 µm copper: ~0.49 mΩ/sq, a standard PCB rule of thumb.
+        let rs = sheet_resistance_ohm_sq(35.0);
+        assert!(rs > 4.0e-4 && rs < 6.0e-4, "{rs}");
+        // Half the thickness doubles the sheet resistance.
+        assert!((sheet_resistance_ohm_sq(17.5) / rs - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plane_pair_inductance_scale() {
+        // 100 µm dielectric: µ0·h ≈ 126 pH/sq — the right ballpark for
+        // the table's ~100 pH rails.
+        let l = plane_pair_inductance_h_sq(100.0);
+        assert!((l - 1.2566e-10).abs() < 1e-13, "{l}");
+    }
+
+    #[test]
+    fn via_resistance_sane() {
+        // 0.2 mm drill, 25 µm plating, 1 mm barrel: a fraction of a mΩ.
+        let r = via_resistance_ohm(0.2, 25.0, 1.0);
+        assert!(r > 5e-4 && r < 5e-3, "{r}");
+        // Longer vias have more resistance.
+        assert!(via_resistance_ohm(0.2, 25.0, 2.0) > r);
+    }
+
+    #[test]
+    fn via_inductance_sane() {
+        // ~1 nH/mm rule of thumb for slender vias.
+        let l = via_inductance_h(0.2, 1.0);
+        assert!(l > 2e-10 && l < 2e-9, "{l}");
+        assert!(via_inductance_h(0.2, 2.0) > l);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sheet_resistance_rejects_zero() {
+        let _ = sheet_resistance_ohm_sq(0.0);
+    }
+}

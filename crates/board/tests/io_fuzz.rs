@@ -1,0 +1,73 @@
+//! Robustness: the board parser must never panic, whatever the input.
+
+use proptest::prelude::*;
+use sprout_board::io::parse_board;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,400}") {
+        let _ = parse_board(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_directive_shaped_lines(
+        lines in proptest::collection::vec(
+            (
+                prop_oneof![
+                    Just("board"), Just("stackup"), Just("rules"), Just("net"),
+                    Just("source"), Just("sink"), Just("decappad"),
+                    Just("obstacle"), Just("blockage"), Just("decap"), Just("junk")
+                ],
+                proptest::collection::vec(
+                    prop_oneof![
+                        Just("VDD".to_owned()),
+                        Just("power".to_owned()),
+                        Just("-1".to_owned()),
+                        Just("0".to_owned()),
+                        Just("7".to_owned()),
+                        Just("1e308".to_owned()),
+                        Just("nan".to_owned()),
+                        Just("3.5".to_owned()),
+                    ],
+                    0..8,
+                ),
+            ),
+            0..12,
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(head, args)| format!("{head} {}\n", args.join(" ")))
+            .collect();
+        // Must return Ok or a line-tagged Err — never panic.
+        if let Err(e) = parse_board(&text) {
+            prop_assert!(e.line <= lines.len());
+        }
+    }
+
+    #[test]
+    fn valid_boards_with_random_geometry_round_trip(
+        w in 5.0f64..40.0,
+        h in 5.0f64..40.0,
+        sinks in proptest::collection::vec((0.1f64..0.9, 0.1f64..0.9), 1..6),
+    ) {
+        let mut text = format!(
+            "board fuzz {w:.3} {h:.3}\nstackup eight\nnet power V 1.0 1e7 1.0\nsource V 7 {x:.3} {y:.3} 0.4\n",
+            x = w * 0.1,
+            y = h * 0.5,
+        );
+        for (fx, fy) in &sinks {
+            text.push_str(&format!(
+                "sink V 7 {x:.3} {y:.3} 0.4\n",
+                x = (w - 1.0) * fx + 0.5,
+                y = (h - 1.0) * fy + 0.5,
+            ));
+        }
+        let board = parse_board(&text).expect("constructed to be valid");
+        board.validate().expect("has source and sinks");
+        let round = parse_board(&sprout_board::io::write_board(&board)).expect("round trips");
+        prop_assert_eq!(round.elements().len(), board.elements().len());
+    }
+}

@@ -1,0 +1,304 @@
+//! Simulated-annealing refinement — the paper's future-work direction.
+//!
+//! §IV closes with: "further development of the tool is possible using
+//! novel techniques, such as neural networks and evolutionary
+//! optimization." This module implements that extension as an
+//! alternative to SmartRefine: area-preserving random node swaps with a
+//! Metropolis acceptance rule over the same resistance objective
+//! (Eq. 5). It shares SmartRefine's safety guards — terminals are
+//! never removed and no move may disconnect the subgraph.
+
+use crate::current::{node_current, InjectionPair};
+use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::SproutError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Metropolis iterations (each one metric evaluation).
+    pub iterations: usize,
+    /// Node swaps proposed per iteration (batched to amortize the
+    /// solve cost, the §II-H bottleneck).
+    pub moves_per_iteration: usize,
+    /// Initial temperature in objective units (squares). A value near
+    /// a few percent of the seed resistance works well.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration, in `(0, 1]`.
+    pub cooling: f64,
+    /// RNG seed (runs are deterministic for a fixed seed).
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            iterations: 60,
+            moves_per_iteration: 6,
+            initial_temperature: 0.5,
+            cooling: 0.94,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of an annealing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealOutcome {
+    /// Accepted iterations.
+    pub accepted: usize,
+    /// Rejected (reverted) iterations.
+    pub rejected: usize,
+    /// Best objective seen (squares); the subgraph is left at this
+    /// state.
+    pub best_resistance_sq: f64,
+    /// Linear solves performed.
+    pub solves: usize,
+}
+
+/// Refines the subgraph by annealed random node swaps at constant area.
+///
+/// # Errors
+///
+/// * [`SproutError::InvalidConfig`] — bad parameters.
+/// * Propagates metric-evaluation errors.
+pub fn anneal_refine(
+    graph: &RoutingGraph,
+    sub: &mut Subgraph,
+    pairs: &[InjectionPair],
+    protected: &[NodeId],
+    terminal_nodes: &[NodeId],
+    config: AnnealConfig,
+) -> Result<AnnealOutcome, SproutError> {
+    if config.cooling <= 0.0 || config.cooling > 1.0 {
+        return Err(SproutError::InvalidConfig("cooling must be in (0, 1]"));
+    }
+    if config.initial_temperature < 0.0 {
+        return Err(SproutError::InvalidConfig("temperature must be >= 0"));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut protected_mask = vec![false; graph.node_count()];
+    for &p in protected {
+        protected_mask[p.index()] = true;
+    }
+
+    let metric = node_current(graph, sub, pairs)?;
+    let mut solves = metric.solves();
+    let mut current_r = metric.resistance_sq();
+    let mut best_r = current_r;
+    let mut best_sub = sub.clone();
+    let mut temperature = config.initial_temperature;
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+
+    for _ in 0..config.iterations {
+        // Propose a batch of area-preserving swaps.
+        let mut removed: Vec<NodeId> = Vec::new();
+        let mut added: Vec<NodeId> = Vec::new();
+        for _ in 0..config.moves_per_iteration {
+            // Add a random boundary node…
+            let boundary = sub.boundary(graph);
+            if boundary.is_empty() {
+                break;
+            }
+            let add = boundary[rng.gen_range(0..boundary.len())];
+            sub.insert(graph, add);
+            added.push(add);
+            // …then remove a random safe member to restore the order.
+            let mut candidates: Vec<NodeId> = sub
+                .members()
+                .iter()
+                .copied()
+                .filter(|m| !protected_mask[m.index()] && *m != add)
+                .collect();
+            let mut removed_one = false;
+            while !candidates.is_empty() {
+                let k = rng.gen_range(0..candidates.len());
+                let victim = candidates.swap_remove(k);
+                if sub.connected_without(graph, victim, terminal_nodes) {
+                    sub.remove(graph, victim);
+                    removed.push(victim);
+                    removed_one = true;
+                    break;
+                }
+            }
+            if !removed_one {
+                // Could not balance the addition: undo it.
+                sub.remove(graph, add);
+                added.pop();
+            }
+        }
+        if added.is_empty() && removed.is_empty() {
+            break; // frozen: no legal moves
+        }
+
+        let metric = node_current(graph, sub, pairs)?;
+        solves += metric.solves();
+        let new_r = metric.resistance_sq();
+        let delta = new_r - current_r;
+        let accept = delta <= 0.0
+            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+        if accept {
+            current_r = new_r;
+            accepted += 1;
+            if new_r < best_r {
+                best_r = new_r;
+                best_sub = sub.clone();
+            }
+        } else {
+            // Revert the batch.
+            for &a in &added {
+                sub.remove(graph, a);
+            }
+            for &r in &removed {
+                sub.insert(graph, r);
+            }
+            rejected += 1;
+        }
+        temperature *= config.cooling;
+    }
+
+    *sub = best_sub;
+    Ok(AnnealOutcome {
+        accepted,
+        rejected,
+        best_resistance_sq: best_r,
+        solves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current::{injection_pairs, PairPolicy};
+    use crate::grow::grow_to_area;
+    use crate::seed::{seed_subgraph, SeedOptions};
+    use crate::space::SpaceSpec;
+    use crate::tile::{identify_terminals, space_to_graph, TileOptions, Terminal};
+    use sprout_board::presets;
+
+    fn setup() -> (
+        RoutingGraph,
+        Subgraph,
+        Vec<InjectionPair>,
+        Vec<Terminal>,
+    ) {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.5)).unwrap();
+        let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
+        let mut sub =
+            seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let budget = sub.area_mm2() * 1.8;
+        grow_to_area(&graph, &mut sub, &pairs, 20, budget).unwrap();
+        (graph, sub, pairs, terminals)
+    }
+
+    fn guards(terminals: &[Terminal]) -> (Vec<NodeId>, Vec<NodeId>) {
+        (
+            terminals.iter().flat_map(|t| t.covered.clone()).collect(),
+            terminals.iter().map(|t| t.node).collect(),
+        )
+    }
+
+    #[test]
+    fn annealing_never_ships_a_worse_subgraph() {
+        let (graph, mut sub, pairs, terminals) = setup();
+        let (prot, tn) = guards(&terminals);
+        let before = node_current(&graph, &sub, &pairs).unwrap().resistance_sq();
+        let out = anneal_refine(
+            &graph,
+            &mut sub,
+            &pairs,
+            &prot,
+            &tn,
+            AnnealConfig {
+                iterations: 30,
+                ..AnnealConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(out.best_resistance_sq <= before + 1e-12);
+        // Shipped subgraph matches the reported best.
+        let after = node_current(&graph, &sub, &pairs).unwrap().resistance_sq();
+        assert!((after - out.best_resistance_sq).abs() < 1e-9);
+    }
+
+    #[test]
+    fn annealing_preserves_area_terminals_and_connectivity() {
+        let (graph, mut sub, pairs, terminals) = setup();
+        let (prot, tn) = guards(&terminals);
+        let order = sub.order();
+        anneal_refine(&graph, &mut sub, &pairs, &prot, &tn, AnnealConfig::default()).unwrap();
+        assert_eq!(sub.order(), order, "swaps preserve the node count");
+        for t in &terminals {
+            assert!(sub.contains(t.node));
+        }
+        assert!(sub.connects(&graph, &tn));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (graph, sub0, pairs, terminals) = setup();
+        let (prot, tn) = guards(&terminals);
+        let run = |seed: u64| {
+            let mut sub = sub0.clone();
+            anneal_refine(
+                &graph,
+                &mut sub,
+                &pairs,
+                &prot,
+                &tn,
+                AnnealConfig {
+                    iterations: 15,
+                    seed,
+                    ..AnnealConfig::default()
+                },
+            )
+            .unwrap()
+            .best_resistance_sq
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn config_validation() {
+        let (graph, mut sub, pairs, terminals) = setup();
+        let (prot, tn) = guards(&terminals);
+        let bad = AnnealConfig {
+            cooling: 0.0,
+            ..AnnealConfig::default()
+        };
+        assert!(anneal_refine(&graph, &mut sub, &pairs, &prot, &tn, bad).is_err());
+        let bad_t = AnnealConfig {
+            initial_temperature: -1.0,
+            ..AnnealConfig::default()
+        };
+        assert!(anneal_refine(&graph, &mut sub, &pairs, &prot, &tn, bad_t).is_err());
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy_descent() {
+        let (graph, mut sub, pairs, terminals) = setup();
+        let (prot, tn) = guards(&terminals);
+        let before = node_current(&graph, &sub, &pairs).unwrap().resistance_sq();
+        let out = anneal_refine(
+            &graph,
+            &mut sub,
+            &pairs,
+            &prot,
+            &tn,
+            AnnealConfig {
+                iterations: 25,
+                initial_temperature: 0.0,
+                ..AnnealConfig::default()
+            },
+        )
+        .unwrap();
+        // Greedy: every accepted batch improved the objective.
+        assert!(out.best_resistance_sq <= before);
+    }
+}

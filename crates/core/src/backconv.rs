@@ -1,0 +1,224 @@
+//! Back conversion (§II-G): subgraph → physical layout polygons.
+//!
+//! Interior tiles are exact lattice cells, so their union is computed
+//! exactly in integer lattice coordinates ([`sprout_geom::stitch`]);
+//! irregular boundary tiles are emitted as separate fragment polygons.
+
+use crate::graph::{RoutingGraph, Subgraph};
+use sprout_geom::stitch::{union_grid_cells, Contour};
+use sprout_geom::{Point, Polygon, Rect};
+use std::collections::HashMap;
+
+/// The physical shape produced for one routed net on one layer.
+#[derive(Debug, Clone)]
+pub struct RoutedShape {
+    /// Stitched boundary loops of the full-cell interior (outer loops
+    /// counter-clockwise, holes clockwise).
+    pub contours: Vec<Contour>,
+    /// Irregular boundary tiles (clipped by buffers or the outline).
+    pub fragments: Vec<Polygon>,
+    area_mm2: f64,
+    /// Full cells merged into maximal horizontal run rectangles (an
+    /// exact, hole-free cover used for blocking other nets).
+    run_rects: Vec<Polygon>,
+}
+
+impl RoutedShape {
+    /// Total metal area (mm²) — the `A(Γ_n^s)` the router enforces.
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+
+    /// Total vertex count across contours and fragments (the paper's
+    /// §II-H cost driver for polygon processing).
+    pub fn vertex_count(&self) -> usize {
+        self.contours.iter().map(|c| c.points.len()).sum::<usize>()
+            + self.fragments.iter().map(|f| f.len()).sum::<usize>()
+    }
+
+    /// `true` if the point is covered by metal.
+    pub fn contains_point(&self, p: Point) -> bool {
+        // Even-odd over contours (holes cancel), plus fragments.
+        let mut crossings = 0usize;
+        for c in &self.contours {
+            let n = c.points.len();
+            let mut j = n - 1;
+            for i in 0..n {
+                let vi = c.points[i];
+                let vj = c.points[j];
+                if (vi.y > p.y) != (vj.y > p.y) {
+                    let x_cross = vi.x + (p.y - vi.y) / (vj.y - vi.y) * (vj.x - vi.x);
+                    if p.x < x_cross {
+                        crossings += 1;
+                    }
+                }
+                j = i;
+            }
+        }
+        if crossings % 2 == 1 {
+            return true;
+        }
+        self.fragments.iter().any(|f| f.contains_point(p))
+    }
+
+    /// The shape as plain blocker polygons for subsequently routed nets
+    /// (§II-G): horizontal run-merged rectangles of the full cells plus
+    /// the fragments. Exact (no hole bookkeeping needed).
+    pub fn blocker_polygons(&self) -> Vec<Polygon> {
+        let mut out = self.run_rects.clone();
+        out.extend(self.fragments.iter().cloned());
+        out
+    }
+}
+
+/// Converts the final subgraph back into polygons (§II-G).
+pub fn back_convert(graph: &RoutingGraph, sub: &Subgraph) -> RoutedShape {
+    let frame = graph.frame();
+    let mut full_cells: Vec<(i64, i64)> = Vec::new();
+    let mut fragments: Vec<Polygon> = Vec::new();
+    for &m in sub.members() {
+        let node = graph.node(m);
+        let exact_w = (node.rect.width() - frame.dx).abs() < 1e-9;
+        let exact_h = (node.rect.height() - frame.dy).abs() < 1e-9;
+        if node.pieces.is_none() && exact_w && exact_h {
+            full_cells.push(node.cell);
+        } else {
+            match &node.pieces {
+                Some(set) => fragments.extend(set.pieces().iter().cloned()),
+                None => fragments.push(node.rect.to_polygon()),
+            }
+        }
+    }
+    let contours = union_grid_cells(&full_cells, frame);
+    let run_rects = merge_runs(&full_cells, frame);
+    RoutedShape {
+        contours,
+        fragments,
+        area_mm2: sub.area_mm2(),
+        run_rects,
+    }
+}
+
+/// Merges lattice cells into maximal horizontal run rectangles.
+fn merge_runs(cells: &[(i64, i64)], frame: sprout_geom::stitch::GridFrame) -> Vec<Polygon> {
+    let mut rows: HashMap<i64, Vec<i64>> = HashMap::new();
+    for &(i, j) in cells {
+        rows.entry(j).or_default().push(i);
+    }
+    let mut out = Vec::new();
+    for (j, mut is) in rows {
+        is.sort_unstable();
+        is.dedup();
+        let mut k = 0usize;
+        while k < is.len() {
+            let start = is[k];
+            let mut end = start;
+            while k + 1 < is.len() && is[k + 1] == end + 1 {
+                end += 1;
+                k += 1;
+            }
+            k += 1;
+            let r = Rect::new(frame.corner(start, j), frame.corner(end + 1, j + 1))
+                .expect("positive run extent");
+            out.push(r.to_polygon());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current::{injection_pairs, PairPolicy};
+    use crate::grow::grow_to_area;
+    use crate::seed::{seed_subgraph, SeedOptions};
+    use crate::space::SpaceSpec;
+    use crate::tile::{identify_terminals, space_to_graph, TileOptions};
+    use sprout_board::presets;
+    use sprout_geom::stitch::contours_area;
+
+    fn routed() -> (RoutingGraph, Subgraph) {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
+        let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
+        let mut sub =
+            seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        { let budget = sub.area_mm2() * 2.0; grow_to_area(&graph, &mut sub, &pairs, 24, budget) }.unwrap();
+        (graph, sub)
+    }
+
+    #[test]
+    fn area_is_conserved() {
+        let (graph, sub) = routed();
+        let shape = back_convert(&graph, &sub);
+        let contour_area = contours_area(&shape.contours);
+        let fragment_area: f64 = shape.fragments.iter().map(|f| f.area()).sum();
+        assert!(
+            (contour_area + fragment_area - sub.area_mm2()).abs() < 1e-6,
+            "contours {} + fragments {} vs subgraph {}",
+            contour_area,
+            fragment_area,
+            sub.area_mm2()
+        );
+        assert!((shape.area_mm2() - sub.area_mm2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_centers_are_covered() {
+        let (graph, sub) = routed();
+        let shape = back_convert(&graph, &sub);
+        let mut checked = 0;
+        for &m in sub.members().iter().step_by(7) {
+            let c = graph.node(m).center();
+            assert!(shape.contains_point(c), "member tile centre {c} uncovered");
+            checked += 1;
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn non_member_space_is_uncovered() {
+        let (graph, sub) = routed();
+        let shape = back_convert(&graph, &sub);
+        let mut checked = 0;
+        for id in 0..graph.node_count() as u32 {
+            let node = crate::graph::NodeId(id);
+            if !sub.contains(node) && graph.node(node).pieces.is_none() {
+                let c = graph.node(node).center();
+                assert!(!shape.contains_point(c), "non-member centre {c} covered");
+                checked += 1;
+                if checked > 50 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 10);
+    }
+
+    #[test]
+    fn blocker_polygons_cover_the_shape_area() {
+        let (graph, sub) = routed();
+        let shape = back_convert(&graph, &sub);
+        let blockers = shape.blocker_polygons();
+        let total: f64 = blockers.iter().map(|b| b.area()).sum();
+        assert!(
+            (total - sub.area_mm2()).abs() < 1e-6,
+            "blockers {} vs area {}",
+            total,
+            sub.area_mm2()
+        );
+        // Run merging must compress the representation well below
+        // one-polygon-per-cell.
+        assert!(blockers.len() * 2 < sub.order());
+    }
+
+    #[test]
+    fn vertex_count_reported() {
+        let (graph, sub) = routed();
+        let shape = back_convert(&graph, &sub);
+        assert!(shape.vertex_count() >= 4);
+    }
+}

@@ -1,0 +1,352 @@
+//! The node-current metric (Algorithm 3, §II-D).
+//!
+//! Current is injected into terminal pairs with magnitudes proportional
+//! to the expected rail currents; nodal analysis `V = L⁻¹E` on the
+//! grounded subgraph Laplacian yields edge currents, and each node's
+//! metric is the sum of the currents in its incident edges. Nodes with a
+//! high metric mark current crowding — where SmartGrow adds metal — and
+//! nodes with a low metric mark quiescent zones — where SmartRefine
+//! reclaims metal.
+
+use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::tile::Terminal;
+use crate::SproutError;
+use sprout_board::ElementRole;
+use sprout_linalg::laplacian::GraphLaplacian;
+
+/// How terminal pairs are enumerated for current injection.
+///
+/// The paper's Algorithm 3 uses all 2-subsets `[Θ]²`, while its §II-D
+/// text assigns large currents to PMIC↔BGA pairs and small ones to
+/// BGA↔BGA pairs. With pair-current weighting the BGA↔BGA terms
+/// contribute little, so the default enumerates only source→sink pairs —
+/// one solve per sink instead of `O(k²)` — and `AllPairs` remains
+/// available for fidelity experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PairPolicy {
+    /// Source terminals paired with every sink/decap terminal (default).
+    #[default]
+    SourceToSinks,
+    /// Every unordered terminal pair, as written in Algorithm 3.
+    AllPairs,
+}
+
+/// A current injection between two subgraph nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectionPair {
+    /// Node where `+current_a` enters.
+    pub source: NodeId,
+    /// Node where the current leaves.
+    pub sink: NodeId,
+    /// Injected current (A).
+    pub current_a: f64,
+}
+
+/// Fraction of a sink's current share assigned to a decap pad (decaps
+/// carry transient, not DC, current).
+const DECAP_WEIGHT: f64 = 0.25;
+/// Fraction of a sink's share assigned to sink↔sink pairs under
+/// [`PairPolicy::AllPairs`].
+const SINK_SINK_WEIGHT: f64 = 0.1;
+
+/// Enumerates injection pairs for a terminal set carrying `rail_current_a`.
+///
+/// Sinks share the rail current equally; decap pads get
+/// `DECAP_WEIGHT` (25 %) of a sink share.
+pub fn injection_pairs(
+    terminals: &[Terminal],
+    policy: PairPolicy,
+    rail_current_a: f64,
+) -> Vec<InjectionPair> {
+    let sources: Vec<&Terminal> = terminals
+        .iter()
+        .filter(|t| t.role == ElementRole::Source)
+        .collect();
+    let loads: Vec<&Terminal> = terminals
+        .iter()
+        .filter(|t| t.role != ElementRole::Source)
+        .collect();
+    let n_sinks = loads
+        .iter()
+        .filter(|t| t.role == ElementRole::Sink)
+        .count()
+        .max(1);
+    let share = rail_current_a / n_sinks as f64;
+    let mut pairs = Vec::new();
+    for s in &sources {
+        for l in &loads {
+            if s.node == l.node {
+                continue;
+            }
+            let i = if l.role == ElementRole::DecapPad {
+                share * DECAP_WEIGHT
+            } else {
+                share
+            };
+            pairs.push(InjectionPair {
+                source: s.node,
+                sink: l.node,
+                current_a: i / sources.len() as f64,
+            });
+        }
+    }
+    if policy == PairPolicy::AllPairs {
+        for (a_idx, a) in loads.iter().enumerate() {
+            for b in &loads[a_idx + 1..] {
+                if a.node == b.node {
+                    continue;
+                }
+                pairs.push(InjectionPair {
+                    source: a.node,
+                    sink: b.node,
+                    current_a: share * SINK_SINK_WEIGHT,
+                });
+            }
+        }
+    }
+    pairs
+}
+
+/// Result of one node-current evaluation.
+#[derive(Debug, Clone)]
+pub struct NodeCurrents {
+    /// Per-node current metric, indexed by `NodeId::index()` (zero for
+    /// nodes outside the subgraph).
+    current: Vec<f64>,
+    /// Current-weighted mean effective resistance between the injection
+    /// pairs, in *squares* (multiply by the layer sheet resistance for
+    /// ohms). This is the objective `R(Γ_n^s, Θ_n)` of Eq. 5.
+    resistance_sq: f64,
+    /// Number of linear solves performed (telemetry for §II-H).
+    solves: usize,
+}
+
+impl NodeCurrents {
+    /// The metric for a node (zero outside the subgraph).
+    pub fn of(&self, id: NodeId) -> f64 {
+        self.current[id.index()]
+    }
+
+    /// Current-weighted mean effective resistance in squares.
+    pub fn resistance_sq(&self) -> f64 {
+        self.resistance_sq
+    }
+
+    /// Linear solves performed.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+}
+
+/// Evaluates the node-current metric on a subgraph (Algorithm 3).
+///
+/// # Errors
+///
+/// * [`SproutError::InvalidConfig`] — empty pair list or a pair endpoint
+///   outside the subgraph.
+/// * [`SproutError::Linalg`] — the subgraph is electrically disconnected
+///   (singular grounded Laplacian).
+pub fn node_current(
+    graph: &RoutingGraph,
+    sub: &Subgraph,
+    pairs: &[InjectionPair],
+) -> Result<NodeCurrents, SproutError> {
+    if pairs.is_empty() {
+        return Err(SproutError::InvalidConfig("no injection pairs"));
+    }
+    for p in pairs {
+        if !sub.contains(p.source) || !sub.contains(p.sink) {
+            return Err(SproutError::InvalidConfig(
+                "injection pair endpoint outside the subgraph",
+            ));
+        }
+    }
+
+    // Compact index: sorted member list for determinism.
+    let mut members: Vec<NodeId> = sub.members().to_vec();
+    members.sort_unstable();
+    let mut compact = vec![usize::MAX; graph.node_count()];
+    for (k, &m) in members.iter().enumerate() {
+        compact[m.index()] = k;
+    }
+
+    let edges: Vec<(usize, usize, f64)> = sub
+        .induced_edges(graph)
+        .map(|e| (compact[e.a.index()], compact[e.b.index()], e.weight))
+        .collect();
+    let lap = GraphLaplacian::from_edges(members.len(), &edges)?;
+    let ground = compact[pairs[0].sink.index()];
+    let factor = lap.factor_grounded(ground)?;
+
+    let mut node_metric = vec![0.0f64; graph.node_count()];
+    let mut resistance_weighted = 0.0f64;
+    let mut weight_total = 0.0f64;
+    let mut solves = 0usize;
+    let mut currents = vec![0.0f64; members.len()];
+    for p in pairs {
+        currents.fill(0.0);
+        currents[compact[p.source.index()]] += p.current_a;
+        currents[compact[p.sink.index()]] -= p.current_a;
+        let v = factor.solve_currents(&currents)?;
+        solves += 1;
+        for (a, b, w) in &edges {
+            let i_edge = w * (v[*a] - v[*b]);
+            node_metric[members[*a].index()] += i_edge.abs();
+            node_metric[members[*b].index()] += i_edge.abs();
+        }
+        let drop = v[compact[p.source.index()]] - v[compact[p.sink.index()]];
+        resistance_weighted += drop; // = R_eff · i_pair
+        weight_total += p.current_a;
+    }
+    let resistance_sq = if weight_total > 0.0 {
+        resistance_weighted / weight_total
+    } else {
+        0.0
+    };
+
+    Ok(NodeCurrents {
+        current: node_metric,
+        resistance_sq,
+        solves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seed::{seed_subgraph, SeedOptions};
+    use crate::space::SpaceSpec;
+    use crate::tile::{identify_terminals, space_to_graph, TileOptions};
+    use sprout_board::presets;
+
+    fn setup() -> (RoutingGraph, Subgraph, Vec<Terminal>) {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
+        let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
+        let sub = seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        (graph, sub, terminals)
+    }
+
+    #[test]
+    fn pair_enumeration_source_to_sinks() {
+        let (_, _, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        // 1 source × 9 sinks.
+        assert_eq!(pairs.len(), 9);
+        let total: f64 = pairs.iter().map(|p| p.current_a).sum();
+        assert!((total - 3.0).abs() < 1e-9, "sinks share the rail current");
+    }
+
+    #[test]
+    fn pair_enumeration_all_pairs() {
+        let (_, _, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::AllPairs, 3.0);
+        // 9 source-sink + C(9,2) = 36 sink-sink.
+        assert_eq!(pairs.len(), 9 + 36);
+        // Sink-sink currents are small.
+        let max_ss = pairs[9..]
+            .iter()
+            .map(|p| p.current_a)
+            .fold(0.0f64, f64::max);
+        assert!(max_ss < pairs[0].current_a);
+    }
+
+    #[test]
+    fn metric_positive_inside_zero_outside() {
+        let (graph, sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let nc = node_current(&graph, &sub, &pairs).unwrap();
+        assert_eq!(nc.solves(), pairs.len());
+        // Terminal nodes carry current.
+        for t in &terminals {
+            assert!(nc.of(t.node) > 0.0, "terminal node must carry current");
+        }
+        // Nodes outside the subgraph have zero metric.
+        let outside = (0..graph.node_count() as u32)
+            .map(NodeId)
+            .find(|&id| !sub.contains(id))
+            .unwrap();
+        assert_eq!(nc.of(outside), 0.0);
+        assert!(nc.resistance_sq() > 0.0);
+    }
+
+    #[test]
+    fn resistance_drops_when_subgraph_grows() {
+        let (graph, sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let r_seed = node_current(&graph, &sub, &pairs).unwrap().resistance_sq();
+        // Add the full boundary (a crude one-step dilation).
+        let mut bigger = sub.clone();
+        for b in sub.boundary(&graph) {
+            bigger.insert(&graph, b);
+        }
+        let r_big = node_current(&graph, &bigger, &pairs)
+            .unwrap()
+            .resistance_sq();
+        assert!(
+            r_big < r_seed,
+            "Rayleigh: growing the subgraph lowers resistance ({r_big} vs {r_seed})"
+        );
+    }
+
+    #[test]
+    fn rejects_pairs_outside_subgraph() {
+        let (graph, sub, terminals) = setup();
+        let outside = (0..graph.node_count() as u32)
+            .map(NodeId)
+            .find(|&id| !sub.contains(id))
+            .unwrap();
+        let bad = vec![InjectionPair {
+            source: terminals[0].node,
+            sink: outside,
+            current_a: 1.0,
+        }];
+        assert!(matches!(
+            node_current(&graph, &sub, &bad),
+            Err(SproutError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            node_current(&graph, &sub, &[]),
+            Err(SproutError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_subgraph_is_reported() {
+        let (graph, _, terminals) = setup();
+        // A subgraph of just the two far-apart terminal nodes, no path.
+        let mut sub = Subgraph::new(&graph);
+        sub.insert(&graph, terminals[0].node);
+        sub.insert(&graph, terminals[5].node);
+        let pairs = vec![InjectionPair {
+            source: terminals[0].node,
+            sink: terminals[5].node,
+            current_a: 1.0,
+        }];
+        assert!(matches!(
+            node_current(&graph, &sub, &pairs),
+            Err(SproutError::Linalg(_))
+        ));
+    }
+
+    #[test]
+    fn hotspots_concentrate_near_terminals() {
+        // In a seed (thin path), the metric along the path is roughly the
+        // pair current; wide regions spread current thin. The maximum
+        // metric node must lie inside the subgraph.
+        let (graph, sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let nc = node_current(&graph, &sub, &pairs).unwrap();
+        let best = (0..graph.node_count() as u32)
+            .map(NodeId)
+            .max_by(|&a, &b| {
+                nc.of(a)
+                    .partial_cmp(&nc.of(b))
+                    .expect("finite metric")
+            })
+            .unwrap();
+        assert!(sub.contains(best));
+    }
+}

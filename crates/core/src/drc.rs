@@ -1,0 +1,150 @@
+//! Post-route design-rule check.
+//!
+//! Verifies that a synthesized shape honours every foreign element's
+//! buffer (§II-A): the distance from the routed metal to foreign-net
+//! geometry must be at least the element's clearance.
+
+use crate::backconv::RoutedShape;
+use crate::SproutError;
+use sprout_board::{Board, NetId};
+use sprout_geom::{Point, Polygon};
+
+/// A clearance violation found by [`check_route`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrcViolation {
+    /// Centroid of the offended foreign geometry.
+    pub location: Point,
+    /// Required clearance (mm).
+    pub required_mm: f64,
+    /// Measured distance (mm).
+    pub measured_mm: f64,
+}
+
+/// Numerical slack granted to the tiling discretization (mm).
+const DRC_SLACK_MM: f64 = 1e-6;
+
+/// Checks a routed shape against every foreign element on the layer and
+/// any `extra_blockers` (earlier-routed nets, which require the default
+/// clearance).
+///
+/// Returns the list of violations (empty means clean).
+///
+/// # Errors
+///
+/// Returns [`SproutError::Board`] for an unknown net or layer.
+pub fn check_route(
+    board: &Board,
+    net: NetId,
+    layer: usize,
+    shape: &RoutedShape,
+    extra_blockers: &[Polygon],
+) -> Result<Vec<DrcViolation>, SproutError> {
+    board.net(net)?;
+    board.stackup().layer(layer)?;
+    let metal = shape.blocker_polygons();
+    let mut violations = Vec::new();
+
+    let mut check_poly = |foreign: &Polygon, required: f64| {
+        let fb = foreign.bounds();
+        let mut min_dist = f64::INFINITY;
+        for piece in &metal {
+            let pb = piece.bounds();
+            // Bounds prefilter: skip pieces that cannot violate.
+            let gap_x = (fb.min().x - pb.max().x).max(pb.min().x - fb.max().x);
+            let gap_y = (fb.min().y - pb.max().y).max(pb.min().y - fb.max().y);
+            if gap_x.max(0.0).hypot(gap_y.max(0.0)) >= required {
+                continue;
+            }
+            min_dist = min_dist.min(piece.distance_to_polygon(foreign));
+            if min_dist == 0.0 {
+                break;
+            }
+        }
+        if min_dist < required - DRC_SLACK_MM {
+            violations.push(DrcViolation {
+                location: foreign.centroid(),
+                required_mm: required,
+                measured_mm: min_dist,
+            });
+        }
+    };
+
+    for element in board.elements_on_layer(layer) {
+        if element.net == Some(net) {
+            continue; // own net may touch its own geometry
+        }
+        check_poly(&element.shape, board.clearance_of(element));
+    }
+    for blocker in extra_blockers {
+        check_poly(blocker, board.rules().clearance_mm);
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current::{injection_pairs, PairPolicy};
+    use crate::grow::grow_to_area;
+    use crate::seed::{seed_subgraph, SeedOptions};
+    use crate::space::SpaceSpec;
+    use crate::tile::{identify_terminals, space_to_graph, TileOptions};
+    use sprout_board::presets;
+
+    #[test]
+    fn routed_two_rail_shape_is_drc_clean() {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let layer = presets::TWO_RAIL_ROUTE_LAYER;
+        let spec = SpaceSpec::build(&board, vdd1, layer, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
+        let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
+        let mut sub =
+            seed_subgraph(&graph, &terminals, vdd1, layer, SeedOptions::default()).unwrap();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        { let budget = sub.area_mm2() * 2.5; grow_to_area(&graph, &mut sub, &pairs, 24, budget) }.unwrap();
+        let shape = crate::backconv::back_convert(&graph, &sub);
+        let violations = check_route(&board, vdd1, layer, &shape, &[]).unwrap();
+        assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+
+    #[test]
+    fn artificial_encroachment_is_detected() {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let layer = presets::TWO_RAIL_ROUTE_LAYER;
+        // Build a fake shape overlapping a ground via at (7, 2).
+        let spec = SpaceSpec::build(&board, vdd1, layer, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
+        let mut sub = crate::graph::Subgraph::new(&graph);
+        // Insert tiles near the ground via — available tiles stop at the
+        // buffer, so instead fabricate encroachment via extra blockers:
+        // claim metal right at a spot and check against it.
+        let near = graph
+            .node_near(sprout_geom::Point::new(7.6, 2.0), 3)
+            .unwrap();
+        sub.insert(&graph, near);
+        let shape = crate::backconv::back_convert(&graph, &sub);
+        // An extra blocker drawn through the same spot must violate.
+        let intruder = Polygon::rectangle(
+            sprout_geom::Point::new(7.3, 1.8),
+            sprout_geom::Point::new(7.9, 2.2),
+        )
+        .unwrap();
+        let violations = check_route(&board, vdd1, layer, &shape, &[intruder]).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].measured_mm < violations[0].required_mm);
+    }
+
+    #[test]
+    fn unknown_net_errors() {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let layer = presets::TWO_RAIL_ROUTE_LAYER;
+        let spec = SpaceSpec::build(&board, vdd1, layer, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.8)).unwrap();
+        let sub = crate::graph::Subgraph::new(&graph);
+        let shape = crate::backconv::back_convert(&graph, &sub);
+        assert!(check_route(&board, sprout_board::NetId(99), layer, &shape, &[]).is_err());
+    }
+}

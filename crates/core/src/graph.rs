@@ -1,0 +1,569 @@
+//! The routing graph Γ_n and subgraph Γ_n^s (§II-B, §II-C).
+
+use sprout_geom::stitch::GridFrame;
+use sprout_geom::{IntervalSet, Point, PolygonSet, Rect};
+use std::collections::HashMap;
+
+/// Identifier of a node (tile) in a [`RoutingGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A tile node: one cell of the available space (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct TileNode {
+    /// Lattice cell `(i, j)` of the tile.
+    pub cell: (i64, i64),
+    /// The rectangular extent of the cell, clipped to the design space.
+    pub rect: Rect,
+    /// Tile area (mm²) — the rect area for full cells, the clipped area
+    /// for irregular boundary cells (Fig. 7).
+    pub area_mm2: f64,
+    /// Clipped geometry for irregular cells; `None` when the tile covers
+    /// its whole `rect`.
+    pub pieces: Option<PolygonSet>,
+}
+
+impl TileNode {
+    /// The tile centre (centroid of the clipped geometry for irregular
+    /// cells).
+    pub fn center(&self) -> Point {
+        match &self.pieces {
+            None => self.rect.center(),
+            Some(set) => {
+                // Area-weighted centroid of the pieces.
+                let mut acc = Point::ORIGIN;
+                let mut total = 0.0;
+                for p in set.iter() {
+                    let a = p.area();
+                    acc = acc + p.centroid() * a;
+                    total += a;
+                }
+                if total > 0.0 {
+                    acc / total
+                } else {
+                    self.rect.center()
+                }
+            }
+        }
+    }
+
+    /// Vertical cross-section of the tile at `x` (interval set of `y`).
+    pub fn cross_section_x(&self, x: f64) -> IntervalSet {
+        match &self.pieces {
+            None => {
+                if x >= self.rect.min().x && x <= self.rect.max().x {
+                    IntervalSet::from_interval(self.rect.min().y, self.rect.max().y)
+                } else {
+                    IntervalSet::new()
+                }
+            }
+            Some(set) => set.cross_section_x(x),
+        }
+    }
+
+    /// Horizontal cross-section of the tile at `y` (interval set of `x`).
+    pub fn cross_section_y(&self, y: f64) -> IntervalSet {
+        match &self.pieces {
+            None => {
+                if y >= self.rect.min().y && y <= self.rect.max().y {
+                    IntervalSet::from_interval(self.rect.min().x, self.rect.max().x)
+                } else {
+                    IntervalSet::new()
+                }
+            }
+            Some(set) => set.cross_section_y(y),
+        }
+    }
+
+    /// `true` if the tile contains the point.
+    pub fn contains_point(&self, p: Point) -> bool {
+        match &self.pieces {
+            None => self.rect.contains_point(p),
+            Some(set) => set.contains_point(p),
+        }
+    }
+}
+
+/// A weighted edge between adjacent tiles. The weight is the
+/// *dimensionless conductance* `contact_width / centre_distance` (Fig. 6:
+/// conductance proportional to the contact width); multiply by the layer
+/// sheet conductance to get siemens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphEdge {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Dimensionless conductance weight.
+    pub weight: f64,
+}
+
+/// The equivalent graph Γ_n of the available space (§II-B).
+#[derive(Debug, Clone)]
+pub struct RoutingGraph {
+    frame: GridFrame,
+    nodes: Vec<TileNode>,
+    edges: Vec<GraphEdge>,
+    adj: Vec<Vec<(NodeId, u32)>>,
+    cell_lookup: HashMap<(i64, i64), NodeId>,
+}
+
+impl RoutingGraph {
+    /// Assembles a graph from parts (used by the tiling stage).
+    pub(crate) fn assemble(
+        frame: GridFrame,
+        nodes: Vec<TileNode>,
+        edges: Vec<GraphEdge>,
+    ) -> Self {
+        let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); nodes.len()];
+        for (k, e) in edges.iter().enumerate() {
+            adj[e.a.index()].push((e.b, k as u32));
+            adj[e.b.index()].push((e.a, k as u32));
+        }
+        let cell_lookup = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.cell, NodeId(i as u32)))
+            .collect();
+        RoutingGraph {
+            frame,
+            nodes,
+            edges,
+            adj,
+            cell_lookup,
+        }
+    }
+
+    /// The lattice frame (origin and pitch).
+    pub fn frame(&self) -> GridFrame {
+        self.frame
+    }
+
+    /// Number of nodes `|V_n|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|E_n|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[TileNode] {
+        &self.nodes
+    }
+
+    /// A node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an id from a different graph.
+    pub fn node(&self, id: NodeId) -> &TileNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// An edge by index.
+    pub fn edge(&self, idx: u32) -> &GraphEdge {
+        &self.edges[idx as usize]
+    }
+
+    /// Neighbors of a node with the connecting edge index.
+    pub fn neighbors(&self, id: NodeId) -> &[(NodeId, u32)] {
+        &self.adj[id.index()]
+    }
+
+    /// The node occupying lattice cell `(i, j)`, if any.
+    pub fn node_at_cell(&self, cell: (i64, i64)) -> Option<NodeId> {
+        self.cell_lookup.get(&cell).copied()
+    }
+
+    /// The node whose tile contains `p`, or the nearest node within a
+    /// search radius of `max_rings` lattice rings.
+    pub fn node_near(&self, p: Point, max_rings: i64) -> Option<NodeId> {
+        let i = ((p.x - self.frame.origin.x) / self.frame.dx).floor() as i64;
+        let j = ((p.y - self.frame.origin.y) / self.frame.dy).floor() as i64;
+        if let Some(id) = self.node_at_cell((i, j)) {
+            return Some(id);
+        }
+        let mut best: Option<(f64, NodeId)> = None;
+        for ring in 1..=max_rings {
+            for di in -ring..=ring {
+                for dj in -ring..=ring {
+                    if di.abs() != ring && dj.abs() != ring {
+                        continue;
+                    }
+                    if let Some(id) = self.node_at_cell((i + di, j + dj)) {
+                        let d = self.node(id).center().distance(p);
+                        if best.is_none_or(|(bd, _)| d < bd) {
+                            best = Some((d, id));
+                        }
+                    }
+                }
+            }
+            if best.is_some() {
+                break; // nearest in lattice rings is good enough
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Total available area (mm²) — the area of `A_n`.
+    pub fn total_area_mm2(&self) -> f64 {
+        self.nodes.iter().map(|n| n.area_mm2).sum()
+    }
+
+    /// `true` if `targets` are all in one connected component of the
+    /// graph.
+    pub fn connects(&self, targets: &[NodeId]) -> bool {
+        let (first, rest) = match targets.split_first() {
+            Some(x) => x,
+            None => return true,
+        };
+        if rest.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[first.index()] = true;
+        queue.push_back(*first);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        targets.iter().all(|t| seen[t.index()])
+    }
+}
+
+/// A subgraph Γ_n^s ⊆ Γ_n under construction (§II-C through §II-F).
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    in_set: Vec<bool>,
+    members: Vec<NodeId>,
+    area_mm2: f64,
+}
+
+impl Subgraph {
+    /// An empty subgraph of `graph`.
+    pub fn new(graph: &RoutingGraph) -> Self {
+        Subgraph {
+            in_set: vec![false; graph.node_count()],
+            members: Vec::new(),
+            area_mm2: 0.0,
+        }
+    }
+
+    /// Number of member nodes (the order `|V_n^s|`).
+    pub fn order(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Member area (mm²) — the `A(Γ_n^s)` of Eq. 5.
+    pub fn area_mm2(&self) -> f64 {
+        self.area_mm2
+    }
+
+    /// Member nodes (unordered).
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// `true` if `id` is a member.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.in_set[id.index()]
+    }
+
+    /// Inserts a node (no-op if present).
+    pub fn insert(&mut self, graph: &RoutingGraph, id: NodeId) {
+        if !self.in_set[id.index()] {
+            self.in_set[id.index()] = true;
+            self.members.push(id);
+            self.area_mm2 += graph.node(id).area_mm2;
+        }
+    }
+
+    /// Removes a node (no-op if absent).
+    pub fn remove(&mut self, graph: &RoutingGraph, id: NodeId) {
+        if self.in_set[id.index()] {
+            self.in_set[id.index()] = false;
+            let pos = self
+                .members
+                .iter()
+                .position(|&m| m == id)
+                .expect("member list consistent with bitmap");
+            self.members.swap_remove(pos);
+            self.area_mm2 -= graph.node(id).area_mm2;
+        }
+    }
+
+    /// The boundary set `C`: nodes of Γ_n adjacent to, but not in, the
+    /// subgraph (§II-D).
+    pub fn boundary(&self, graph: &RoutingGraph) -> Vec<NodeId> {
+        let mut seen = vec![false; graph.node_count()];
+        let mut out = Vec::new();
+        for &m in &self.members {
+            for &(v, _) in graph.neighbors(m) {
+                if !self.in_set[v.index()] && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Edges of Γ_n with both endpoints in the subgraph (the induced
+    /// subgraph's edges).
+    pub fn induced_edges<'g>(
+        &'g self,
+        graph: &'g RoutingGraph,
+    ) -> impl Iterator<Item = &'g GraphEdge> + 'g {
+        graph
+            .edges()
+            .iter()
+            .filter(move |e| self.in_set[e.a.index()] && self.in_set[e.b.index()])
+    }
+
+    /// `true` if all `targets` are members connected to each other
+    /// through member nodes.
+    pub fn connects(&self, graph: &RoutingGraph, targets: &[NodeId]) -> bool {
+        let (first, rest) = match targets.split_first() {
+            Some(x) => x,
+            None => return true,
+        };
+        if !self.contains(*first) {
+            return false;
+        }
+        if rest.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; graph.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[first.index()] = true;
+        queue.push_back(*first);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in graph.neighbors(u) {
+                if self.in_set[v.index()] && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        targets.iter().all(|t| seen[t.index()])
+    }
+
+    /// `true` if removing `id` leaves the subgraph a *single* connected
+    /// component containing all `targets`.
+    ///
+    /// Checking full connectivity (not just target-to-target paths)
+    /// matters for the refinement and erosion stages: a removal that
+    /// orphans a non-terminal blob would leave the subgraph's grounded
+    /// Laplacian singular at the next metric evaluation.
+    pub fn connected_without(
+        &mut self,
+        graph: &RoutingGraph,
+        id: NodeId,
+        targets: &[NodeId],
+    ) -> bool {
+        if !self.contains(id) {
+            return self.connects(graph, targets);
+        }
+        self.remove(graph, id);
+        let ok = match targets.iter().find(|t| self.contains(**t)) {
+            None => self.order() == 0,
+            Some(&anchor) => {
+                let mut seen = vec![false; graph.node_count()];
+                let mut queue = std::collections::VecDeque::new();
+                let mut reached = 1usize;
+                seen[anchor.index()] = true;
+                queue.push_back(anchor);
+                while let Some(u) = queue.pop_front() {
+                    for &(v, _) in graph.neighbors(u) {
+                        if self.contains(v) && !seen[v.index()] {
+                            seen[v.index()] = true;
+                            reached += 1;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                reached == self.order() && targets.iter().all(|t| seen[t.index()])
+            }
+        };
+        self.insert(graph, id);
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 3×3 full grid graph with unit cells.
+    fn grid3() -> RoutingGraph {
+        let frame = GridFrame {
+            origin: Point::ORIGIN,
+            dx: 1.0,
+            dy: 1.0,
+        };
+        let mut nodes = Vec::new();
+        for j in 0..3i64 {
+            for i in 0..3i64 {
+                nodes.push(TileNode {
+                    cell: (i, j),
+                    rect: Rect::new(
+                        Point::new(i as f64, j as f64),
+                        Point::new(i as f64 + 1.0, j as f64 + 1.0),
+                    )
+                    .unwrap(),
+                    area_mm2: 1.0,
+                    pieces: None,
+                });
+            }
+        }
+        let id = |i: i64, j: i64| NodeId((j * 3 + i) as u32);
+        let mut edges = Vec::new();
+        for j in 0..3i64 {
+            for i in 0..3i64 {
+                if i + 1 < 3 {
+                    edges.push(GraphEdge {
+                        a: id(i, j),
+                        b: id(i + 1, j),
+                        weight: 1.0,
+                    });
+                }
+                if j + 1 < 3 {
+                    edges.push(GraphEdge {
+                        a: id(i, j),
+                        b: id(i, j + 1),
+                        weight: 1.0,
+                    });
+                }
+            }
+        }
+        RoutingGraph::assemble(frame, nodes, edges)
+    }
+
+    #[test]
+    fn graph_structure() {
+        let g = grid3();
+        assert_eq!(g.node_count(), 9);
+        assert_eq!(g.edge_count(), 12);
+        assert_eq!(g.neighbors(NodeId(4)).len(), 4); // centre
+        assert_eq!(g.neighbors(NodeId(0)).len(), 2); // corner
+        assert!((g.total_area_mm2() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_and_point_lookup() {
+        let g = grid3();
+        assert_eq!(g.node_at_cell((1, 1)), Some(NodeId(4)));
+        assert_eq!(g.node_at_cell((5, 5)), None);
+        assert_eq!(g.node_near(Point::new(1.5, 1.5), 2), Some(NodeId(4)));
+        // Outside the grid but within the ring search.
+        assert!(g.node_near(Point::new(3.5, 1.5), 2).is_some());
+        assert_eq!(g.node_near(Point::new(30.0, 30.0), 2), None);
+    }
+
+    #[test]
+    fn graph_connectivity() {
+        let g = grid3();
+        assert!(g.connects(&[NodeId(0), NodeId(8)]));
+        assert!(g.connects(&[NodeId(3)]));
+        assert!(g.connects(&[]));
+    }
+
+    #[test]
+    fn subgraph_insert_remove() {
+        let g = grid3();
+        let mut s = Subgraph::new(&g);
+        s.insert(&g, NodeId(0));
+        s.insert(&g, NodeId(1));
+        s.insert(&g, NodeId(1)); // idempotent
+        assert_eq!(s.order(), 2);
+        assert!((s.area_mm2() - 2.0).abs() < 1e-12);
+        s.remove(&g, NodeId(0));
+        assert_eq!(s.order(), 1);
+        assert!(!s.contains(NodeId(0)));
+        s.remove(&g, NodeId(0)); // idempotent
+        assert_eq!(s.order(), 1);
+    }
+
+    #[test]
+    fn subgraph_boundary() {
+        let g = grid3();
+        let mut s = Subgraph::new(&g);
+        s.insert(&g, NodeId(4)); // centre
+        let mut b = s.boundary(&g);
+        b.sort();
+        assert_eq!(b, vec![NodeId(1), NodeId(3), NodeId(5), NodeId(7)]);
+    }
+
+    #[test]
+    fn subgraph_induced_edges() {
+        let g = grid3();
+        let mut s = Subgraph::new(&g);
+        for id in [0u32, 1, 2] {
+            s.insert(&g, NodeId(id)); // bottom row
+        }
+        assert_eq!(s.induced_edges(&g).count(), 2);
+    }
+
+    #[test]
+    fn subgraph_connectivity_and_articulation() {
+        let g = grid3();
+        let mut s = Subgraph::new(&g);
+        // An L: 0-1-2 + 2-5.
+        for id in [0u32, 1, 2, 5] {
+            s.insert(&g, NodeId(id));
+        }
+        let targets = [NodeId(0), NodeId(5)];
+        assert!(s.connects(&g, &targets));
+        // Node 1 is an articulation point between 0 and 5.
+        assert!(!s.connected_without(&g, NodeId(1), &targets));
+        // Node 2 is too.
+        assert!(!s.connected_without(&g, NodeId(2), &targets));
+        // Add the alternative path 0-3-4-5: node 1 stops being critical.
+        s.insert(&g, NodeId(3));
+        s.insert(&g, NodeId(4));
+        assert!(s.connected_without(&g, NodeId(1), &targets));
+    }
+
+    #[test]
+    fn irregular_tile_cross_sections() {
+        use sprout_geom::Polygon;
+        let tri = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ])
+        .unwrap();
+        let node = TileNode {
+            cell: (0, 0),
+            rect: Rect::new(Point::ORIGIN, Point::new(1.0, 1.0)).unwrap(),
+            area_mm2: 0.5,
+            pieces: Some(PolygonSet::from_polygon(tri)),
+        };
+        let cs = node.cross_section_x(0.25);
+        assert!((cs.total_length() - 0.75).abs() < 1e-9);
+        assert!(node.contains_point(Point::new(0.2, 0.2)));
+        assert!(!node.contains_point(Point::new(0.9, 0.9)));
+        // The centroid of the triangle, not the rect centre.
+        assert!(node.center().approx_eq(Point::new(1.0 / 3.0, 1.0 / 3.0), 1e-9));
+    }
+}

@@ -1,0 +1,290 @@
+//! Shortest-path algorithms over the routing graph (§II-C).
+//!
+//! The paper's seed stage cites Dijkstra \[25\] and Bellman–Ford \[26\], and
+//! §II-H notes A* \[30\] as a drop-in acceleration. All three are
+//! implemented here; they agree on path lengths (a test invariant) and
+//! Dijkstra is the default.
+
+use crate::graph::{NodeId, RoutingGraph};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Edge traversal cost: centre-to-centre distance of the two tiles (mm),
+/// so "shortest" means geometrically shortest.
+fn edge_cost(graph: &RoutingGraph, a: NodeId, b: NodeId) -> f64 {
+    graph.node(a).center().distance(graph.node(b).center())
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A found path with its total cost (mm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Nodes from source to destination, inclusive.
+    pub nodes: Vec<NodeId>,
+    /// Total cost (mm).
+    pub cost: f64,
+}
+
+/// Dijkstra from `source` to the *nearest* node of `targets`.
+///
+/// Returns `None` if no target is reachable. Used by the seed stage
+/// (Algorithm 2) to connect each terminal to the rest.
+pub fn dijkstra_to_nearest(
+    graph: &RoutingGraph,
+    source: NodeId,
+    targets: &[NodeId],
+) -> Option<Path> {
+    if targets.contains(&source) {
+        return Some(Path {
+            nodes: vec![source],
+            cost: 0.0,
+        });
+    }
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut target_set = vec![false; n];
+    for &t in targets {
+        target_set[t.index()] = true;
+    }
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        if target_set[node.index()] {
+            return Some(reconstruct(&prev, source, node, cost));
+        }
+        for &(next, _) in graph.neighbors(node) {
+            let c = cost + edge_cost(graph, node, next);
+            if c < dist[next.index()] {
+                dist[next.index()] = c;
+                prev[next.index()] = Some(node);
+                heap.push(HeapEntry { cost: c, node: next });
+            }
+        }
+    }
+    None
+}
+
+/// A* from `source` to a single `target` with the Euclidean heuristic.
+pub fn astar(graph: &RoutingGraph, source: NodeId, target: NodeId) -> Option<Path> {
+    if source == target {
+        return Some(Path {
+            nodes: vec![source],
+            cost: 0.0,
+        });
+    }
+    let goal = graph.node(target).center();
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        cost: graph.node(source).center().distance(goal),
+        node: source,
+    });
+    while let Some(HeapEntry { cost: _, node }) = heap.pop() {
+        if node == target {
+            return Some(reconstruct(&prev, source, target, dist[target.index()]));
+        }
+        let here = dist[node.index()];
+        for &(next, _) in graph.neighbors(node) {
+            let c = here + edge_cost(graph, node, next);
+            if c < dist[next.index()] {
+                dist[next.index()] = c;
+                prev[next.index()] = Some(node);
+                heap.push(HeapEntry {
+                    cost: c + graph.node(next).center().distance(goal),
+                    node: next,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Bellman–Ford single-source distances (kept for parity with the
+/// paper's citation; `O(V·E)` so only sensible on small graphs).
+///
+/// Returns per-node distances from `source` (infinity when unreachable).
+pub fn bellman_ford(graph: &RoutingGraph, source: NodeId) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source.index()] = 0.0;
+    for _ in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for e in graph.edges() {
+            let c = edge_cost(graph, e.a, e.b);
+            if dist[e.a.index()] + c < dist[e.b.index()] {
+                dist[e.b.index()] = dist[e.a.index()] + c;
+                changed = true;
+            }
+            if dist[e.b.index()] + c < dist[e.a.index()] {
+                dist[e.a.index()] = dist[e.b.index()] + c;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+fn reconstruct(prev: &[Option<NodeId>], source: NodeId, target: NodeId, cost: f64) -> Path {
+    let mut nodes = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = prev[cur.index()].expect("path reconstruction follows predecessors");
+        nodes.push(cur);
+    }
+    nodes.reverse();
+    Path { nodes, cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceSpec;
+    use crate::tile::{space_to_graph, TileOptions};
+    use sprout_board::presets;
+
+    fn graph() -> RoutingGraph {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        space_to_graph(&spec, TileOptions::square(0.5)).unwrap()
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let g = graph();
+        let s = NodeId(0);
+        let p = dijkstra_to_nearest(&g, s, &[s]).unwrap();
+        assert_eq!(p.nodes, vec![s]);
+        assert_eq!(p.cost, 0.0);
+        let a = astar(&g, s, s).unwrap();
+        assert_eq!(a.cost, 0.0);
+    }
+
+    #[test]
+    fn dijkstra_path_is_contiguous() {
+        let g = graph();
+        let s = g.node_near(sprout_geom::Point::new(2.5, 4.5), 3).unwrap();
+        let t = g.node_near(sprout_geom::Point::new(20.0, 11.0), 3).unwrap();
+        let p = dijkstra_to_nearest(&g, s, &[t]).unwrap();
+        assert_eq!(*p.nodes.first().unwrap(), s);
+        assert_eq!(*p.nodes.last().unwrap(), t);
+        for w in p.nodes.windows(2) {
+            assert!(
+                g.neighbors(w[0]).iter().any(|&(n, _)| n == w[1]),
+                "consecutive path nodes must be adjacent"
+            );
+        }
+        // The cost is at least the straight-line distance.
+        let straight = g.node(s).center().distance(g.node(t).center());
+        assert!(p.cost >= straight - 1e-9);
+    }
+
+    #[test]
+    fn dijkstra_picks_nearest_target() {
+        let g = graph();
+        let s = g.node_near(sprout_geom::Point::new(2.5, 4.5), 3).unwrap();
+        let near = g.node_near(sprout_geom::Point::new(5.0, 4.5), 3).unwrap();
+        let far = g.node_near(sprout_geom::Point::new(21.0, 14.0), 3).unwrap();
+        let p = dijkstra_to_nearest(&g, s, &[far, near]).unwrap();
+        assert_eq!(*p.nodes.last().unwrap(), near);
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_cost() {
+        let g = graph();
+        let s = g.node_near(sprout_geom::Point::new(2.5, 4.5), 3).unwrap();
+        let t = g.node_near(sprout_geom::Point::new(19.0, 11.5), 3).unwrap();
+        let d = dijkstra_to_nearest(&g, s, &[t]).unwrap();
+        let a = astar(&g, s, t).unwrap();
+        assert!(
+            (d.cost - a.cost).abs() < 1e-9,
+            "dijkstra {} vs a* {}",
+            d.cost,
+            a.cost
+        );
+    }
+
+    #[test]
+    fn bellman_ford_matches_dijkstra() {
+        // Small coarse graph to keep O(V·E) affordable.
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        let g = space_to_graph(&spec, TileOptions::square(1.2)).unwrap();
+        let s = NodeId(0);
+        let bf = bellman_ford(&g, s);
+        for t in [NodeId(5), NodeId((g.node_count() - 1) as u32)] {
+            if let Some(p) = dijkstra_to_nearest(&g, s, &[t]) {
+                assert!(
+                    (bf[t.index()] - p.cost).abs() < 1e-9,
+                    "bf {} vs dijkstra {}",
+                    bf[t.index()],
+                    p.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let g = graph();
+        let s = NodeId(0);
+        assert!(dijkstra_to_nearest(&g, s, &[]).is_none());
+    }
+
+    #[test]
+    fn path_avoids_blockage() {
+        let g = graph();
+        // Source left of the blockage, target right of it, both at the
+        // blockage's mid-height: the path must detour around
+        // (9.5..13 × 6..10).
+        let s = g.node_near(sprout_geom::Point::new(8.0, 8.0), 3).unwrap();
+        let t = g.node_near(sprout_geom::Point::new(15.0, 8.0), 3).unwrap();
+        let p = dijkstra_to_nearest(&g, s, &[t]).unwrap();
+        let straight = g.node(s).center().distance(g.node(t).center());
+        assert!(p.cost > straight * 1.15, "path must detour, cost {}", p.cost);
+        for &n in &p.nodes {
+            let c = g.node(n).center();
+            let inside_blockage = c.x > 9.5 && c.x < 13.0 && c.y > 6.0 && c.y < 10.0;
+            assert!(!inside_blockage, "path crosses the blockage at {c}");
+        }
+    }
+}

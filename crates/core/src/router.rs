@@ -1,0 +1,753 @@
+//! End-to-end routing pipeline (Fig. 3 of the paper).
+//!
+//! `Router` wires the stages together — available space, tiling, seed,
+//! SmartGrow, SmartRefine, reheating, back conversion — with per-stage
+//! wall-clock telemetry reproducing the §II-H runtime breakdown, and
+//! tracks the best subgraph seen so a wandering refinement never ships a
+//! worse result than it already had.
+
+use crate::backconv::{back_convert, RoutedShape};
+use crate::current::{injection_pairs, node_current, InjectionPair, PairPolicy};
+use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::grow::grow_to_area;
+use crate::refine::smart_refine;
+use crate::reheat::{reheat, ReheatConfig};
+use crate::seed::{seed_subgraph, SeedOptions};
+use crate::space::{SpaceSpec, TerminalShape};
+use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
+use crate::SproutError;
+use sprout_board::{Board, ElementRole, NetId};
+use sprout_geom::{Point, Polygon};
+use std::time::Instant;
+
+/// Router configuration (the paper's design variables of §II-H).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterConfig {
+    /// Tile pitch Δx = Δy (mm). Finer tiles give smoother shapes and
+    /// lower resistance at more runtime (Eq. 14).
+    pub tile_pitch_mm: f64,
+    /// Sliver threshold for irregular cells.
+    pub min_cell_fraction: f64,
+    /// Target number of SmartGrow iterations (sets ΔV ≈ budget / this).
+    pub grow_iterations: usize,
+    /// SmartRefine iterations after growth.
+    pub refine_iterations: usize,
+    /// Nodes moved per refinement iteration (`None` → half the grow
+    /// step, decreasing over iterations per §II-E's guidance).
+    pub refine_step: Option<usize>,
+    /// Reheating parameters (`None` disables §II-F).
+    pub reheat: Option<ReheatConfig>,
+    /// Terminal-pair enumeration policy for Algorithm 3.
+    pub pair_policy: PairPolicy,
+    /// Seed options (void filling).
+    pub seed: SeedOptions,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            tile_pitch_mm: 0.4,
+            min_cell_fraction: 0.05,
+            grow_iterations: 20,
+            refine_iterations: 6,
+            refine_step: None,
+            reheat: Some(ReheatConfig::default()),
+            pair_policy: PairPolicy::SourceToSinks,
+            seed: SeedOptions { fill_voids: true },
+        }
+    }
+}
+
+/// Wall-clock telemetry per pipeline stage (ms), reproducing §II-H.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageTimings {
+    /// Available-space computation.
+    pub space_ms: f64,
+    /// Tiling / graph construction (Algorithm 1).
+    pub tile_ms: f64,
+    /// Seed construction (Algorithm 2).
+    pub seed_ms: f64,
+    /// SmartGrow (Algorithm 4).
+    pub grow_ms: f64,
+    /// SmartRefine (Algorithm 5).
+    pub refine_ms: f64,
+    /// Reheating (§II-F).
+    pub reheat_ms: f64,
+    /// Back conversion (§II-G).
+    pub backconv_ms: f64,
+    /// Linear solves performed (the §II-H bottleneck counter).
+    pub solves: usize,
+}
+
+impl StageTimings {
+    /// Total wall-clock time (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.space_ms
+            + self.tile_ms
+            + self.seed_ms
+            + self.grow_ms
+            + self.refine_ms
+            + self.reheat_ms
+            + self.backconv_ms
+    }
+
+    /// Fraction of the total spent in the metric/solve-heavy stages
+    /// (grow + refine + reheat) — the paper reports ≈90 %.
+    pub fn solve_stage_fraction(&self) -> f64 {
+        let t = self.total_ms();
+        if t <= 0.0 {
+            return 0.0;
+        }
+        (self.grow_ms + self.refine_ms + self.reheat_ms) / t
+    }
+}
+
+/// The output of routing one net on one layer.
+#[derive(Debug, Clone)]
+pub struct RouteResult {
+    /// The routed net.
+    pub net: NetId,
+    /// The routing layer.
+    pub layer: usize,
+    /// The synthesized shape.
+    pub shape: RoutedShape,
+    /// The routing graph (kept for extraction: its induced subgraph *is*
+    /// the electrical mesh).
+    pub graph: RoutingGraph,
+    /// The final subgraph.
+    pub subgraph: Subgraph,
+    /// Terminals mapped onto the graph.
+    pub terminals: Vec<Terminal>,
+    /// Injection pairs used for the node-current metric.
+    pub pairs: Vec<InjectionPair>,
+    /// Objective (squares) after each optimization step.
+    pub resistance_history_sq: Vec<f64>,
+    /// Final objective in squares (multiply by sheet resistance for Ω).
+    pub final_resistance_sq: f64,
+    /// Per-stage telemetry.
+    pub timings: StageTimings,
+}
+
+/// The SPROUT router bound to a board.
+#[derive(Debug, Clone)]
+pub struct Router<'b> {
+    board: &'b Board,
+    config: RouterConfig,
+}
+
+impl<'b> Router<'b> {
+    /// Creates a router over `board` with `config`.
+    pub fn new(board: &'b Board, config: RouterConfig) -> Self {
+        Router { board, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes one net on one layer under an area budget (mm²).
+    ///
+    /// # Errors
+    ///
+    /// See [`Router::route_net_with`].
+    pub fn route_net(
+        &self,
+        net: NetId,
+        layer: usize,
+        area_budget_mm2: f64,
+    ) -> Result<RouteResult, SproutError> {
+        self.route_net_with(net, layer, area_budget_mm2, &[], &[])
+    }
+
+    /// Routes one net with extra blockers (shapes of previously routed
+    /// nets, §II-G) and extra terminals (via landing points from the
+    /// multilayer planner, Algorithm 6).
+    ///
+    /// # Errors
+    ///
+    /// * [`SproutError::InvalidConfig`] — bad pitch/budget or fewer than
+    ///   two terminals.
+    /// * [`SproutError::NoTerminals`] / [`SproutError::TerminalBlocked`]
+    ///   — terminal mapping failed.
+    /// * [`SproutError::DisjointSpace`] — terminals are unreachable in
+    ///   this layer.
+    /// * [`SproutError::AreaBudgetTooSmall`] — the budget cannot hold a
+    ///   connected seed.
+    pub fn route_net_with(
+        &self,
+        net: NetId,
+        layer: usize,
+        area_budget_mm2: f64,
+        extra_blockers: &[Polygon],
+        extra_terminals: &[(Point, ElementRole)],
+    ) -> Result<RouteResult, SproutError> {
+        if self.config.tile_pitch_mm <= 0.0 {
+            return Err(SproutError::InvalidConfig("tile pitch must be positive"));
+        }
+        if area_budget_mm2 <= 0.0 {
+            return Err(SproutError::InvalidConfig("area budget must be positive"));
+        }
+        let mut timings = StageTimings::default();
+
+        // Stage 1: available space. Transit layers (multilayer routing)
+        // may have no board terminals of their own — the via landing
+        // points supplied in `extra_terminals` stand in.
+        let t = Instant::now();
+        let mut spec = if extra_terminals.is_empty() {
+            SpaceSpec::build(self.board, net, layer, extra_blockers)?
+        } else {
+            SpaceSpec::build_transit(self.board, net, layer, extra_blockers)?
+        };
+        let pad = self.config.tile_pitch_mm;
+        for &(p, role) in extra_terminals {
+            spec.terminals.push(TerminalShape {
+                shape: Polygon::rectangle(
+                    Point::new(p.x - pad / 2.0, p.y - pad / 2.0),
+                    Point::new(p.x + pad / 2.0, p.y + pad / 2.0),
+                )?,
+                role,
+            });
+        }
+        if spec.terminals.is_empty() {
+            return Err(SproutError::NoTerminals { net, layer });
+        }
+        timings.space_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Stage 2: tiling (Algorithm 1).
+        let t = Instant::now();
+        let graph = space_to_graph(
+            &spec,
+            TileOptions {
+                dx: self.config.tile_pitch_mm,
+                dy: self.config.tile_pitch_mm,
+                min_cell_fraction: self.config.min_cell_fraction,
+            },
+        )?;
+        timings.tile_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let terminals = identify_terminals(&graph, &spec, net)?;
+        if terminals.len() < 2 {
+            return Err(SproutError::InvalidConfig(
+                "routing needs at least two terminals",
+            ));
+        }
+        let terminal_nodes: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
+        if !graph.connects(&terminal_nodes) {
+            return Err(SproutError::DisjointSpace { net, layer });
+        }
+        self.optimize_group(graph, terminals, net, layer, area_budget_mm2, timings)
+    }
+
+    /// Routes one net on one layer where the available space (and hence
+    /// the terminal set) may be split into several connected regions —
+    /// the per-layer step of multilayer routing (Appendix: "from source
+    /// to via, between vias, and from via to target"). Each region with
+    /// at least two terminals is routed independently; the total budget
+    /// is split across regions proportionally to their terminal counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Router::route_net_with`], minus `DisjointSpace` (that
+    /// is the expected situation here).
+    pub fn route_net_components(
+        &self,
+        net: NetId,
+        layer: usize,
+        area_budget_mm2: f64,
+        extra_blockers: &[Polygon],
+        extra_terminals: &[(Point, ElementRole)],
+    ) -> Result<Vec<RouteResult>, SproutError> {
+        if self.config.tile_pitch_mm <= 0.0 {
+            return Err(SproutError::InvalidConfig("tile pitch must be positive"));
+        }
+        if area_budget_mm2 <= 0.0 {
+            return Err(SproutError::InvalidConfig("area budget must be positive"));
+        }
+        let mut spec = if extra_terminals.is_empty() {
+            SpaceSpec::build(self.board, net, layer, extra_blockers)?
+        } else {
+            SpaceSpec::build_transit(self.board, net, layer, extra_blockers)?
+        };
+        let pad = self.config.tile_pitch_mm;
+        for &(p, role) in extra_terminals {
+            spec.terminals.push(TerminalShape {
+                shape: Polygon::rectangle(
+                    Point::new(p.x - pad / 2.0, p.y - pad / 2.0),
+                    Point::new(p.x + pad / 2.0, p.y + pad / 2.0),
+                )?,
+                role,
+            });
+        }
+        if spec.terminals.is_empty() {
+            return Err(SproutError::NoTerminals { net, layer });
+        }
+        let graph = space_to_graph(
+            &spec,
+            TileOptions {
+                dx: self.config.tile_pitch_mm,
+                dy: self.config.tile_pitch_mm,
+                min_cell_fraction: self.config.min_cell_fraction,
+            },
+        )?;
+        let terminals = identify_terminals(&graph, &spec, net)?;
+
+        // Group terminals by connected component of the graph.
+        let component = component_labels(&graph);
+        let mut groups: std::collections::HashMap<u32, Vec<Terminal>> =
+            std::collections::HashMap::new();
+        for t in terminals {
+            groups
+                .entry(component[t.node.index()])
+                .or_default()
+                .push(t);
+        }
+        let total_terms: usize = groups.values().map(|g| g.len()).sum();
+        let mut group_list: Vec<Vec<Terminal>> =
+            groups.into_values().filter(|g| g.len() >= 2).collect();
+        // Deterministic order: by smallest terminal node id.
+        group_list.sort_by_key(|g| g.iter().map(|t| t.node).min());
+        let mut results = Vec::with_capacity(group_list.len());
+        for group in group_list {
+            let share = area_budget_mm2 * group.len() as f64 / total_terms as f64;
+            let result = self.optimize_group(
+                graph.clone(),
+                group,
+                net,
+                layer,
+                share,
+                StageTimings::default(),
+            )?;
+            results.push(result);
+        }
+        Ok(results)
+    }
+
+    /// The optimization pipeline for one connected terminal group:
+    /// seed → SmartGrow → SmartRefine → reheat → back conversion.
+    fn optimize_group(
+        &self,
+        graph: RoutingGraph,
+        terminals: Vec<Terminal>,
+        net: NetId,
+        layer: usize,
+        area_budget_mm2: f64,
+        mut timings: StageTimings,
+    ) -> Result<RouteResult, SproutError> {
+        let terminal_nodes: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
+        let pairs = self.build_pairs(&terminals, net)?;
+        let protected: Vec<NodeId> = terminals
+            .iter()
+            .flat_map(|t| t.covered.iter().copied())
+            .collect();
+
+        // Stage 3: seed (Algorithm 2).
+        let t = Instant::now();
+        let mut sub = seed_subgraph(&graph, &terminals, net, layer, self.config.seed)?;
+        timings.seed_ms = t.elapsed().as_secs_f64() * 1e3;
+        if sub.area_mm2() > area_budget_mm2 {
+            return Err(SproutError::AreaBudgetTooSmall {
+                budget_mm2: area_budget_mm2,
+                seed_mm2: sub.area_mm2(),
+            });
+        }
+
+        let cell_area = self.config.tile_pitch_mm * self.config.tile_pitch_mm;
+        let budget_cells = (area_budget_mm2 / cell_area) as usize;
+        let grow_step = ((budget_cells.saturating_sub(sub.order()))
+            / self.config.grow_iterations.max(1))
+        .max(4);
+
+        // Stage 4: SmartGrow to the area budget (Algorithm 4).
+        let t = Instant::now();
+        let mut history: Vec<f64> = Vec::new();
+        let grow_log = grow_to_area(&graph, &mut sub, &pairs, grow_step, area_budget_mm2)?;
+        for g in &grow_log {
+            history.push(g.resistance_sq);
+            timings.solves += g.solves;
+        }
+        timings.grow_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Objective after growth; initialize best-seen tracking.
+        let nc = node_current(&graph, &sub, &pairs)?;
+        timings.solves += nc.solves();
+        let mut best_resistance = nc.resistance_sq();
+        let mut best_sub = sub.clone();
+        history.push(best_resistance);
+
+        // Stage 5: SmartRefine (Algorithm 5) with a decreasing move
+        // count (§II-E: fewer moves later yield lower impedance).
+        let t = Instant::now();
+        let base_step = self.config.refine_step.unwrap_or((grow_step / 2).max(2));
+        for i in 0..self.config.refine_iterations {
+            let step = (base_step * (self.config.refine_iterations - i)
+                / self.config.refine_iterations)
+                .max(1);
+            let out = smart_refine(&graph, &mut sub, &pairs, &protected, &terminal_nodes, step)?;
+            timings.solves += out.solves;
+            history.push(out.resistance_after_sq);
+            if out.resistance_after_sq < best_resistance {
+                best_resistance = out.resistance_after_sq;
+                best_sub = sub.clone();
+            }
+            if out.moved == 0 {
+                break;
+            }
+        }
+        timings.refine_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Stage 6: reheating (§II-F), then a short post-refine.
+        if let Some(rh) = self.config.reheat {
+            let t = Instant::now();
+            let out = reheat(
+                &graph,
+                &mut sub,
+                &pairs,
+                &protected,
+                &terminal_nodes,
+                area_budget_mm2,
+                rh,
+            )?;
+            timings.solves += out.solves;
+            history.push(out.resistance_after_sq);
+            if out.resistance_after_sq < best_resistance {
+                best_resistance = out.resistance_after_sq;
+                best_sub = sub.clone();
+            }
+            for _ in 0..2 {
+                let out =
+                    smart_refine(&graph, &mut sub, &pairs, &protected, &terminal_nodes, 4)?;
+                timings.solves += out.solves;
+                history.push(out.resistance_after_sq);
+                if out.resistance_after_sq < best_resistance {
+                    best_resistance = out.resistance_after_sq;
+                    best_sub = sub.clone();
+                }
+            }
+            timings.reheat_ms = t.elapsed().as_secs_f64() * 1e3;
+        }
+
+        // Ship the best subgraph seen, not necessarily the last.
+        sub = best_sub;
+
+        // Stage 7: back conversion (§II-G).
+        let t = Instant::now();
+        let shape = back_convert(&graph, &sub);
+        timings.backconv_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        Ok(RouteResult {
+            net,
+            layer,
+            shape,
+            graph,
+            subgraph: sub,
+            terminals,
+            pairs,
+            resistance_history_sq: history,
+            final_resistance_sq: best_resistance,
+            timings,
+        })
+    }
+
+    /// Routes several nets sequentially on one layer; each routed shape
+    /// is removed from the available space of the nets after it (§II-G).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first net that cannot be routed.
+    pub fn route_all(
+        &self,
+        requests: &[(NetId, usize, f64)],
+    ) -> Result<Vec<RouteResult>, SproutError> {
+        let mut results: Vec<RouteResult> = Vec::with_capacity(requests.len());
+        let mut claimed: Vec<Polygon> = Vec::new();
+        for &(net, layer, budget) in requests {
+            let result = self.route_net_with(net, layer, budget, &claimed, &[])?;
+            claimed.extend(result.shape.blocker_polygons());
+            results.push(result);
+        }
+        Ok(results)
+    }
+
+    /// Builds injection pairs; when a terminal set has no source (a
+    /// transit layer in multilayer routing), the first terminal stands
+    /// in as the source.
+    #[doc(hidden)]
+    fn build_pairs(
+        &self,
+        terminals: &[Terminal],
+        net: NetId,
+    ) -> Result<Vec<InjectionPair>, SproutError> {
+        let rail_current = self.board.net(net)?.current_a.max(1e-3);
+        let has_source = terminals.iter().any(|t| t.role == ElementRole::Source);
+        let pairs = if has_source {
+            injection_pairs(terminals, self.config.pair_policy, rail_current)
+        } else {
+            let mut promoted = terminals.to_vec();
+            promoted[0].role = ElementRole::Source;
+            injection_pairs(&promoted, self.config.pair_policy, rail_current)
+        };
+        if pairs.is_empty() {
+            return Err(SproutError::InvalidConfig(
+                "terminal set yields no injection pairs",
+            ));
+        }
+        Ok(pairs)
+    }
+}
+
+
+/// Connected-component label per node (BFS).
+fn component_labels(graph: &RoutingGraph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if label[start] != u32::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(NodeId(start as u32));
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in graph.neighbors(u) {
+                if label[v.index()] == u32::MAX {
+                    label[v.index()] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::check_route;
+    use sprout_board::presets;
+
+    fn fast_config() -> RouterConfig {
+        RouterConfig {
+            tile_pitch_mm: 0.5,
+            grow_iterations: 10,
+            refine_iterations: 3,
+            reheat: Some(ReheatConfig {
+                dilate_iterations: 1,
+                erode_step: 24,
+            }),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn routes_two_rail_vdd1() {
+        let board = presets::two_rail();
+        let router = Router::new(&board, fast_config());
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let result = router
+            .route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 20.0)
+            .unwrap();
+        // Budget respected (one grow step of slack).
+        assert!(result.shape.area_mm2() <= 20.0 + 2.0);
+        assert!(result.shape.area_mm2() > 10.0);
+        // Objective decreased along the run.
+        let first = result.resistance_history_sq.first().unwrap();
+        assert!(result.final_resistance_sq < *first);
+        // The result is DRC-clean.
+        let v = check_route(
+            &board,
+            vdd1,
+            presets::TWO_RAIL_ROUTE_LAYER,
+            &result.shape,
+            &[],
+        )
+        .unwrap();
+        assert!(v.is_empty(), "{v:?}");
+        // Terminals stay connected in the shipped subgraph.
+        let nodes: Vec<NodeId> = result.terminals.iter().map(|t| t.node).collect();
+        assert!(result.subgraph.connects(&result.graph, &nodes));
+    }
+
+    #[test]
+    fn route_all_keeps_nets_separated() {
+        let board = presets::two_rail();
+        let router = Router::new(&board, fast_config());
+        let nets: Vec<NetId> = board.power_nets().map(|(id, _)| id).collect();
+        let layer = presets::TWO_RAIL_ROUTE_LAYER;
+        let results = router
+            .route_all(&[(nets[0], layer, 22.0), (nets[1], layer, 22.0)])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        // The second net must be DRC-clean against the first's shape.
+        let first_blockers = results[0].shape.blocker_polygons();
+        let v = check_route(&board, nets[1], layer, &results[1].shape, &first_blockers).unwrap();
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn budget_too_small_is_reported() {
+        let board = presets::two_rail();
+        let router = Router::new(&board, fast_config());
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        match router.route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 0.5) {
+            Err(SproutError::AreaBudgetTooSmall { seed_mm2, .. }) => {
+                assert!(seed_mm2 > 0.5);
+            }
+            other => panic!("expected AreaBudgetTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let router = Router::new(&board, fast_config());
+        assert!(matches!(
+            router.route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, -1.0),
+            Err(SproutError::InvalidConfig(_))
+        ));
+        let mut bad = fast_config();
+        bad.tile_pitch_mm = 0.0;
+        let router = Router::new(&board, bad);
+        assert!(matches!(
+            router.route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 10.0),
+            Err(SproutError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_is_populated() {
+        let board = presets::two_rail();
+        let router = Router::new(&board, fast_config());
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let result = router
+            .route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 22.0)
+            .unwrap();
+        let t = result.timings;
+        assert!(t.total_ms() > 0.0);
+        assert!(t.solves > 10, "solve counter must track the bottleneck");
+        // The solve-heavy stages dominate, as §II-H reports.
+        assert!(
+            t.solve_stage_fraction() > 0.5,
+            "grow/refine/reheat fraction {}",
+            t.solve_stage_fraction()
+        );
+    }
+
+    #[test]
+    fn larger_budget_gives_lower_resistance() {
+        let board = presets::two_rail();
+        let router = Router::new(&board, fast_config());
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let small = router
+            .route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 18.0)
+            .unwrap();
+        let large = router
+            .route_net(vdd1, presets::TWO_RAIL_ROUTE_LAYER, 36.0)
+            .unwrap();
+        assert!(
+            large.final_resistance_sq < small.final_resistance_sq,
+            "more metal must lower resistance: {} vs {}",
+            large.final_resistance_sq,
+            small.final_resistance_sq
+        );
+    }
+}
+
+#[cfg(test)]
+mod component_tests {
+    use super::*;
+    use sprout_board::{Board, DesignRules, Element, ElementRole, Net, Stackup};
+    use sprout_geom::Rect;
+
+    /// Two separate islands of the same net on one layer (a wall between
+    /// them): `route_net_components` must route each island.
+    fn island_board() -> (Board, NetId) {
+        let outline = Rect::new(Point::new(0.0, 0.0), Point::new(14.0, 8.0)).unwrap();
+        let mut board = Board::new(
+            "islands",
+            outline,
+            Stackup::eight_layer(),
+            DesignRules::default(),
+        );
+        let vdd = board.add_net(Net::power("VDD", 2.0, 1e7, 1.0).unwrap());
+        let pad = |x: f64, y: f64| {
+            Polygon::rectangle(Point::new(x - 0.25, y - 0.25), Point::new(x + 0.25, y + 0.25))
+                .unwrap()
+        };
+        // Left island: source + sink.
+        board
+            .add_element(Element::terminal(vdd, 6, pad(1.5, 4.0), ElementRole::Source))
+            .unwrap();
+        board
+            .add_element(Element::terminal(vdd, 6, pad(5.0, 4.0), ElementRole::Sink))
+            .unwrap();
+        // Right island: two sinks.
+        board
+            .add_element(Element::terminal(vdd, 6, pad(9.0, 4.0), ElementRole::Sink))
+            .unwrap();
+        board
+            .add_element(Element::terminal(vdd, 6, pad(12.5, 4.0), ElementRole::Sink))
+            .unwrap();
+        // Wall between the islands.
+        board
+            .add_element(Element::blockage(
+                6,
+                Polygon::rectangle(Point::new(6.8, 0.0), Point::new(7.6, 8.0)).unwrap(),
+            ))
+            .unwrap();
+        (board, vdd)
+    }
+
+    fn config() -> RouterConfig {
+        RouterConfig {
+            tile_pitch_mm: 0.5,
+            grow_iterations: 6,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn components_routed_separately() {
+        let (board, vdd) = island_board();
+        let router = Router::new(&board, config());
+        // The monolithic entry point refuses (disjoint space)…
+        assert!(matches!(
+            router.route_net(vdd, 6, 16.0),
+            Err(SproutError::DisjointSpace { .. })
+        ));
+        // …while the component-aware one routes both islands.
+        let results = router
+            .route_net_components(vdd, 6, 16.0, &[], &[])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        // Budget split 2:2 across the four terminals.
+        for r in &results {
+            assert!(r.shape.area_mm2() <= 8.0 + 1.0);
+            let nodes: Vec<NodeId> = r.terminals.iter().map(|t| t.node).collect();
+            assert!(r.subgraph.connects(&r.graph, &nodes));
+        }
+    }
+
+    #[test]
+    fn single_component_matches_route_net() {
+        let board = sprout_board::presets::two_rail();
+        let router = Router::new(&board, config());
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let layer = sprout_board::presets::TWO_RAIL_ROUTE_LAYER;
+        let single = router.route_net(vdd1, layer, 20.0).unwrap();
+        let comps = router
+            .route_net_components(vdd1, layer, 20.0, &[], &[])
+            .unwrap();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].subgraph.order(), single.subgraph.order());
+        assert!(
+            (comps[0].final_resistance_sq - single.final_resistance_sq).abs() < 1e-12,
+            "deterministic pipeline"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! The voidless seed subgraph (Algorithm 2, §II-C).
+//!
+//! Pairwise shortest paths connect the terminals; the nodes enclosed by
+//! the resulting boundary are then added ("voids" are filled), which the
+//! paper reports accelerates convergence (Fig. 8b).
+
+use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::path::dijkstra_to_nearest;
+use crate::tile::Terminal;
+use crate::SproutError;
+use sprout_board::NetId;
+use std::collections::{HashSet, VecDeque};
+
+/// Options for seed construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedOptions {
+    /// Fill enclosed voids after path construction (Algorithm 2 lines
+    /// 6-10). Disabling this is an ablation knob.
+    pub fill_voids: bool,
+}
+
+impl Default for SeedOptions {
+    fn default() -> Self {
+        SeedOptions { fill_voids: true }
+    }
+}
+
+/// Builds the seed subgraph connecting all terminals.
+///
+/// Following Algorithm 2, each terminal `θ_i` is connected by a shortest
+/// path to the nearest of `{θ_{i+1}, …, θ_k}`; every terminal therefore
+/// transitively connects to the last one. All tiles covered by terminal
+/// pads are force-included.
+///
+/// # Errors
+///
+/// Returns [`SproutError::DisjointSpace`] when some terminal cannot reach
+/// the others within the layer (Fig. 5b — multilayer routing needed).
+pub fn seed_subgraph(
+    graph: &RoutingGraph,
+    terminals: &[Terminal],
+    net: NetId,
+    layer: usize,
+    opts: SeedOptions,
+) -> Result<Subgraph, SproutError> {
+    let mut sub = Subgraph::new(graph);
+    for t in terminals {
+        sub.insert(graph, t.node);
+        for &c in &t.covered {
+            sub.insert(graph, c);
+        }
+    }
+
+    // Pairwise shortest paths (Algorithm 2 lines 3-5).
+    for i in 0..terminals.len().saturating_sub(1) {
+        let later: Vec<NodeId> = terminals[i + 1..].iter().map(|t| t.node).collect();
+        match dijkstra_to_nearest(graph, terminals[i].node, &later) {
+            Some(path) => {
+                for n in path.nodes {
+                    sub.insert(graph, n);
+                }
+            }
+            None => return Err(SproutError::DisjointSpace { net, layer }),
+        }
+    }
+
+    // A terminal pad can straddle a buffered keep-out, leaving covered
+    // tiles on the far side with no connection to the pad's
+    // representative node. Such strays would make the subgraph's
+    // grounded Laplacian singular; keep only the component holding the
+    // terminals.
+    retain_terminal_component(graph, &mut sub, terminals);
+
+    if opts.fill_voids {
+        fill_voids(graph, &mut sub);
+    }
+    Ok(sub)
+}
+
+/// Removes subgraph members not connected (within the subgraph) to the
+/// terminal representatives.
+fn retain_terminal_component(
+    graph: &RoutingGraph,
+    sub: &mut Subgraph,
+    terminals: &[Terminal],
+) {
+    let mut reached = vec![false; graph.node_count()];
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for t in terminals {
+        if sub.contains(t.node) && !reached[t.node.index()] {
+            reached[t.node.index()] = true;
+            queue.push_back(t.node);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        for &(v, _) in graph.neighbors(u) {
+            if sub.contains(v) && !reached[v.index()] {
+                reached[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    let strays: Vec<NodeId> = sub
+        .members()
+        .iter()
+        .copied()
+        .filter(|m| !reached[m.index()])
+        .collect();
+    for s in strays {
+        sub.remove(graph, s);
+    }
+}
+
+/// Adds every node enclosed by the subgraph boundary (Algorithm 2 lines
+/// 6-10), by flood-filling the *outside* over the lattice and taking the
+/// complement.
+pub fn fill_voids(graph: &RoutingGraph, sub: &mut Subgraph) {
+    if sub.order() == 0 {
+        return;
+    }
+    let cells: HashSet<(i64, i64)> = sub
+        .members()
+        .iter()
+        .map(|&m| graph.node(m).cell)
+        .collect();
+    let (mut min_i, mut max_i, mut min_j, mut max_j) = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
+    for &(i, j) in &cells {
+        min_i = min_i.min(i);
+        max_i = max_i.max(i);
+        min_j = min_j.min(j);
+        max_j = max_j.max(j);
+    }
+    // Expand by one ring so the outside is connected around the shape.
+    min_i -= 1;
+    max_i += 1;
+    min_j -= 1;
+    max_j += 1;
+
+    let w = (max_i - min_i + 1) as usize;
+    let h = (max_j - min_j + 1) as usize;
+    let idx = |i: i64, j: i64| ((j - min_j) as usize) * w + ((i - min_i) as usize);
+    let mut outside = vec![false; w * h];
+    let mut queue: VecDeque<(i64, i64)> = VecDeque::new();
+    // Start from the whole expanded perimeter: it is outside by
+    // construction. The flood passes through blocked (non-node) cells
+    // too — a region fenced off by blockages is still "outside" unless
+    // fully enclosed by subgraph metal.
+    for i in min_i..=max_i {
+        for j in [min_j, max_j] {
+            if !cells.contains(&(i, j)) && !outside[idx(i, j)] {
+                outside[idx(i, j)] = true;
+                queue.push_back((i, j));
+            }
+        }
+    }
+    for j in min_j..=max_j {
+        for i in [min_i, max_i] {
+            if !cells.contains(&(i, j)) && !outside[idx(i, j)] {
+                outside[idx(i, j)] = true;
+                queue.push_back((i, j));
+            }
+        }
+    }
+    while let Some((i, j)) = queue.pop_front() {
+        for (di, dj) in [(1, 0), (-1, 0), (0, 1), (0, -1)] {
+            let (ni, nj) = (i + di, j + dj);
+            if ni < min_i || ni > max_i || nj < min_j || nj > max_j {
+                continue;
+            }
+            if cells.contains(&(ni, nj)) || outside[idx(ni, nj)] {
+                continue;
+            }
+            outside[idx(ni, nj)] = true;
+            queue.push_back((ni, nj));
+        }
+    }
+
+    // Unreached cells are enclosed; add the ones that are real nodes.
+    for j in min_j..=max_j {
+        for i in min_i..=max_i {
+            if !outside[idx(i, j)] && !cells.contains(&(i, j)) {
+                if let Some(id) = graph.node_at_cell((i, j)) {
+                    sub.insert(graph, id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SpaceSpec;
+    use crate::tile::{identify_terminals, space_to_graph, TileOptions};
+    use sprout_board::presets;
+
+    fn setup() -> (RoutingGraph, Vec<Terminal>, NetId) {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
+        let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
+        (graph, terminals, vdd1)
+    }
+
+    #[test]
+    fn seed_connects_all_terminals() {
+        let (graph, terminals, net) = setup();
+        let sub = seed_subgraph(&graph, &terminals, net, 6, SeedOptions::default()).unwrap();
+        let nodes: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
+        assert!(sub.connects(&graph, &nodes));
+        assert!(sub.order() > nodes.len());
+    }
+
+    #[test]
+    fn seed_includes_covered_pad_tiles() {
+        let (graph, terminals, net) = setup();
+        let sub = seed_subgraph(&graph, &terminals, net, 6, SeedOptions::default()).unwrap();
+        for t in &terminals {
+            for &c in &t.covered {
+                assert!(sub.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn void_fill_adds_enclosed_nodes() {
+        let (graph, terminals, net) = setup();
+        let with = seed_subgraph(&graph, &terminals, net, 6, SeedOptions::default()).unwrap();
+        let without = seed_subgraph(
+            &graph,
+            &terminals,
+            net,
+            6,
+            SeedOptions { fill_voids: false },
+        )
+        .unwrap();
+        assert!(with.order() >= without.order());
+    }
+
+    #[test]
+    fn fill_voids_on_a_ring() {
+        // Build a ring of cells by hand and verify the hole is filled.
+        let (graph, _, _) = setup();
+        // Find a 5×5 block of full cells in open space (around (6, 3)).
+        let base = graph
+            .node_near(sprout_geom::Point::new(6.0, 3.0), 3)
+            .unwrap();
+        let (bi, bj) = graph.node(base).cell;
+        let mut sub = Subgraph::new(&graph);
+        let mut ok = true;
+        for di in 0..5i64 {
+            for dj in 0..5i64 {
+                let on_ring = di == 0 || di == 4 || dj == 0 || dj == 4;
+                if on_ring {
+                    match graph.node_at_cell((bi + di, bj + dj)) {
+                        Some(id) => sub.insert(&graph, id),
+                        None => ok = false,
+                    }
+                }
+            }
+        }
+        assert!(ok, "test site must be open space");
+        let before = sub.order();
+        assert_eq!(before, 16);
+        fill_voids(&graph, &mut sub);
+        // The 3×3 interior is filled.
+        assert_eq!(sub.order(), 25);
+    }
+
+    #[test]
+    fn seed_area_is_modest() {
+        let (graph, terminals, net) = setup();
+        let sub = seed_subgraph(&graph, &terminals, net, 6, SeedOptions::default()).unwrap();
+        // The seed must be far below the full graph area (it's a path
+        // structure plus pads).
+        assert!(sub.area_mm2() < graph.total_area_mm2() * 0.2);
+    }
+
+    #[test]
+    fn single_terminal_seed_is_just_the_pad() {
+        let (graph, terminals, net) = setup();
+        let one = &terminals[..1];
+        let sub = seed_subgraph(&graph, one, net, 6, SeedOptions::default()).unwrap();
+        assert_eq!(sub.order(), one[0].covered.len().max(1));
+    }
+}

@@ -1,0 +1,155 @@
+//! FinFET delay and power model (Fig. 12d).
+//!
+//! The paper estimates the performance impact of supply droop with
+//! "guidelines for a 32 nm FinFET technology \[35\]" and quotes the
+//! sensitivity: a 36 mV increase in minimum voltage near 1 V yields a
+//! 7 % propagation-delay reduction. The alpha-power law
+//! `t_d ∝ V / (V - V_th)^α` reproduces exactly that sensitivity once α
+//! is calibrated against the quoted numbers.
+
+use crate::ExtractError;
+
+/// Alpha-power-law FinFET timing/power model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FinFetModel {
+    /// Threshold voltage (V).
+    pub vth_v: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+    /// Delay prefactor (ps·V^(α-1)) setting the absolute scale.
+    pub t0_ps: f64,
+    /// Nominal supply (V) for relative figures.
+    pub vnom_v: f64,
+}
+
+impl FinFetModel {
+    /// The 32 nm FinFET model calibrated to the paper's §III-C
+    /// sensitivity (+36 mV ⇒ −7 % delay at V_nom = 1 V), with a typical
+    /// FinFET threshold of 0.40 V. The absolute prefactor anchors the
+    /// nominal gate delay at 10 ps.
+    pub fn paper_32nm() -> Self {
+        let vth = 0.40;
+        let vnom = 1.0;
+        // Solve delay(vnom + 36 mV) / delay(vnom) = 0.93 exactly:
+        // (v'/v) · ((vnom - vth)/(v' - vth))^α = 0.93.
+        let v_up = vnom + 0.036;
+        let alpha = (0.93f64 / (v_up / vnom)).ln()
+            / ((vnom - vth) / (v_up - vth)).ln();
+        // Anchor the nominal gate delay at 10 ps.
+        let t0_ps = 10.0 / (vnom / (vnom - vth).powf(alpha));
+        FinFetModel {
+            vth_v: vth,
+            alpha,
+            t0_ps,
+            vnom_v: vnom,
+        }
+    }
+
+    /// Propagation delay (ps) at supply `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v <= vth` (the device does not switch).
+    pub fn delay_ps(&self, v: f64) -> f64 {
+        assert!(
+            v > self.vth_v,
+            "supply {v} V must exceed the threshold {} V",
+            self.vth_v
+        );
+        self.t0_ps * v / (v - self.vth_v).powf(self.alpha)
+    }
+
+    /// Delay relative to the nominal supply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v <= vth`.
+    pub fn relative_delay(&self, v: f64) -> f64 {
+        self.delay_ps(v) / self.delay_ps(self.vnom_v)
+    }
+
+    /// Dynamic power relative to nominal (`∝ V²` at fixed frequency).
+    pub fn relative_dynamic_power(&self, v: f64) -> f64 {
+        (v / self.vnom_v).powi(2)
+    }
+
+    /// Validates and builds a custom model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::InvalidParameter`] for non-physical
+    /// values.
+    pub fn new(vth_v: f64, alpha: f64, t0_ps: f64, vnom_v: f64) -> Result<Self, ExtractError> {
+        if vth_v <= 0.0 || alpha <= 0.0 || t0_ps <= 0.0 || vnom_v <= vth_v {
+            return Err(ExtractError::InvalidParameter(
+                "FinFET model parameters must be positive with vnom > vth",
+            ));
+        }
+        Ok(FinFetModel {
+            vth_v,
+            alpha,
+            t0_ps,
+            vnom_v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_the_paper_sensitivity() {
+        let m = FinFetModel::paper_32nm();
+        // +36 mV must give ≈ 7 % lower delay.
+        let ratio = m.relative_delay(1.036);
+        assert!(
+            (ratio - 0.93).abs() < 0.002,
+            "36 mV should buy 7 %: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn nominal_delay_is_anchored() {
+        let m = FinFetModel::paper_32nm();
+        assert!((m.delay_ps(1.0) - 10.0).abs() < 1e-9);
+        assert!((m.relative_delay(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_decreases_with_voltage() {
+        let m = FinFetModel::paper_32nm();
+        let mut prev = m.delay_ps(0.85);
+        for k in 1..=10 {
+            let v = 0.85 + 0.03 * k as f64;
+            let d = m.delay_ps(v);
+            assert!(d < prev, "delay must fall with supply at {v} V");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn power_is_quadratic() {
+        let m = FinFetModel::paper_32nm();
+        assert!((m.relative_dynamic_power(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.relative_dynamic_power(0.964) - 0.964f64.powi(2)).abs() < 1e-12);
+        // §III-C: a 36 mV reduction buys ≈ 7 % dynamic power.
+        let saving = 1.0 - m.relative_dynamic_power(1.0 - 0.036);
+        assert!((saving - 0.0707).abs() < 0.002, "{saving}");
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(FinFetModel::new(0.4, 1.8, 10.0, 1.0).is_ok());
+        assert!(FinFetModel::new(-0.1, 1.8, 10.0, 1.0).is_err());
+        assert!(FinFetModel::new(0.4, 1.8, 10.0, 0.3).is_err());
+        assert!(FinFetModel::new(0.4, -1.0, 10.0, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the threshold")]
+    fn subthreshold_panics() {
+        let m = FinFetModel::paper_32nm();
+        let _ = m.delay_ps(0.3);
+    }
+}

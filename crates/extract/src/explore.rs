@@ -1,0 +1,428 @@
+//! Design-space exploration — the paper's Fig. 2 loop as an API.
+//!
+//! "This process is repeated for different sets of system-level
+//! parameters. The power, performance, and cost of each prototype is
+//! evaluated and compared to other prototypes to determine the most
+//! favorable system parameters." (Fig. 2 caption.) This module packages
+//! that loop: give it a board, a router configuration, and a list of
+//! per-rail area schedules; it synthesizes every prototype and returns
+//! the full metric set per rail — the data behind Fig. 12 and Table IV
+//! as a reusable library call.
+
+use crate::ac::ac_impedance_25mhz;
+use crate::delay::FinFetModel;
+use crate::network::RailNetwork;
+use crate::pdn::RailPdn;
+use crate::resistance::dc_resistance;
+use crate::ExtractError;
+use sprout_board::{Board, NetId};
+use sprout_core::router::{Router, RouterConfig};
+use sprout_core::SproutError;
+
+/// One prototype to synthesize: a label plus per-rail area budgets.
+#[derive(Debug, Clone)]
+pub struct PrototypeSpec {
+    /// Display label (e.g. `"layout 3"`).
+    pub label: String,
+    /// `(net, layer, area budget mm²)` per rail, routed in order with
+    /// earlier shapes blocking later nets (§II-G).
+    pub rails: Vec<(NetId, usize, f64)>,
+}
+
+/// Extracted metrics of one rail of one prototype.
+#[derive(Debug, Clone)]
+pub struct RailMetrics {
+    /// The rail.
+    pub net: NetId,
+    /// Realized metal area (mm²).
+    pub area_mm2: f64,
+    /// DC resistance (Ω).
+    pub resistance_ohm: f64,
+    /// Loop inductance at 25 MHz (H).
+    pub inductance_h: f64,
+    /// Minimum load voltage under the rail's load step (V).
+    pub v_min: f64,
+    /// Relative FinFET propagation delay at `v_min`.
+    pub relative_delay: f64,
+}
+
+/// Evaluation of one prototype.
+#[derive(Debug, Clone)]
+pub struct PrototypeEvaluation {
+    /// The prototype's label.
+    pub label: String,
+    /// Per-rail metrics, in routing order.
+    pub rails: Vec<RailMetrics>,
+}
+
+/// Errors from exploration.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// A prototype failed to route.
+    Routing {
+        /// Prototype label.
+        label: String,
+        /// The router's error.
+        source: SproutError,
+    },
+    /// Extraction failed on a routed prototype.
+    Extraction {
+        /// Prototype label.
+        label: String,
+        /// The extraction error.
+        source: ExtractError,
+    },
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Routing { label, source } => {
+                write!(f, "prototype `{label}` failed to route: {source}")
+            }
+            ExploreError::Extraction { label, source } => {
+                write!(f, "prototype `{label}` failed to extract: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExploreError::Routing { source, .. } => Some(source),
+            ExploreError::Extraction { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Synthesizes and evaluates every prototype (the Fig. 2 loop).
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] naming the first prototype that fails.
+///
+/// # Example
+///
+/// ```
+/// use sprout_board::presets;
+/// use sprout_core::router::RouterConfig;
+/// use sprout_extract::explore::{explore, PrototypeSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let board = presets::two_rail();
+/// let (net, _) = board.power_nets().next().expect("rails");
+/// let mut config = RouterConfig::default();
+/// config.tile_pitch_mm = 0.8; // coarse: doc example
+/// config.grow_iterations = 5;
+/// config.refine_iterations = 0;
+/// config.reheat = None;
+/// let layer = presets::TWO_RAIL_ROUTE_LAYER;
+/// let specs = vec![
+///     PrototypeSpec { label: "small".into(), rails: vec![(net, layer, 22.0)] },
+///     PrototypeSpec { label: "large".into(), rails: vec![(net, layer, 32.0)] },
+/// ];
+/// let evals = explore(&board, config, &specs)?;
+/// assert_eq!(evals.len(), 2);
+/// assert!(evals[1].rails[0].resistance_ohm <= evals[0].rails[0].resistance_ohm * 1.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn explore(
+    board: &Board,
+    config: RouterConfig,
+    specs: &[PrototypeSpec],
+) -> Result<Vec<PrototypeEvaluation>, ExploreError> {
+    let router = Router::new(board, config);
+    let finfet = FinFetModel::paper_32nm();
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let routes = router
+            .route_all(&spec.rails)
+            .map_err(|source| ExploreError::Routing {
+                label: spec.label.clone(),
+                source,
+            })?;
+        let mut rails = Vec::with_capacity(routes.len());
+        for route in &routes {
+            let metrics = (|| -> Result<RailMetrics, ExtractError> {
+                let network = RailNetwork::build(board, route)?;
+                let dc = dc_resistance(&network)?;
+                let ac = ac_impedance_25mhz(&network)?;
+                let net = board.net(route.net)?;
+                let pdn = RailPdn {
+                    supply_v: net.supply_v,
+                    resistance_ohm: dc.total_ohm,
+                    inductance_h: ac.inductance_h,
+                    decaps: board.decaps_for(route.net).cloned().collect(),
+                    load_a: net.current_a,
+                    slew_a_per_s: net.slew_a_per_s,
+                };
+                let droop = pdn.simulate_droop()?;
+                let v_for_delay = droop.v_min.max(finfet.vth_v + 0.05);
+                Ok(RailMetrics {
+                    net: route.net,
+                    area_mm2: route.shape.area_mm2(),
+                    resistance_ohm: dc.total_ohm,
+                    inductance_h: ac.inductance_h,
+                    v_min: droop.v_min,
+                    relative_delay: finfet.relative_delay(v_for_delay),
+                })
+            })()
+            .map_err(|source| ExploreError::Extraction {
+                label: spec.label.clone(),
+                source,
+            })?;
+            rails.push(metrics);
+        }
+        out.push(PrototypeEvaluation {
+            label: spec.label.clone(),
+            rails,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_board::presets;
+
+    fn config() -> RouterConfig {
+        RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 6,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_monotone_resistance() {
+        let board = presets::two_rail();
+        let (net, _) = board.power_nets().next().unwrap();
+        let layer = presets::TWO_RAIL_ROUTE_LAYER;
+        let specs: Vec<PrototypeSpec> = [20.0, 26.0, 32.0]
+            .iter()
+            .map(|&a| PrototypeSpec {
+                label: format!("a={a}"),
+                rails: vec![(net, layer, a)],
+            })
+            .collect();
+        let evals = explore(&board, config(), &specs).unwrap();
+        assert_eq!(evals.len(), 3);
+        for w in evals.windows(2) {
+            assert!(
+                w[1].rails[0].resistance_ohm <= w[0].rails[0].resistance_ohm * 1.02,
+                "Fig. 12a monotonicity"
+            );
+            assert!(w[1].rails[0].v_min >= w[0].rails[0].v_min - 1e-3);
+        }
+    }
+
+    #[test]
+    fn multi_rail_prototype_evaluates_all_rails() {
+        let board = presets::two_rail();
+        let nets: Vec<NetId> = board.power_nets().map(|(id, _)| id).collect();
+        let layer = presets::TWO_RAIL_ROUTE_LAYER;
+        let spec = PrototypeSpec {
+            label: "both".into(),
+            rails: vec![(nets[0], layer, 20.0), (nets[1], layer, 20.0)],
+        };
+        let evals = explore(&board, config(), &[spec]).unwrap();
+        assert_eq!(evals[0].rails.len(), 2);
+        for r in &evals[0].rails {
+            assert!(r.resistance_ohm > 0.0);
+            assert!(r.v_min > 0.5 && r.v_min < 1.0);
+            assert!(r.relative_delay >= 1.0);
+        }
+    }
+
+    #[test]
+    fn routing_failures_carry_the_label() {
+        let board = presets::two_rail();
+        let (net, _) = board.power_nets().next().unwrap();
+        let spec = PrototypeSpec {
+            label: "impossible".into(),
+            rails: vec![(net, presets::TWO_RAIL_ROUTE_LAYER, 0.1)],
+        };
+        match explore(&board, config(), &[spec]) {
+            Err(ExploreError::Routing { label, .. }) => assert_eq!(label, "impossible"),
+            other => panic!("expected routing error, got {other:?}"),
+        }
+    }
+}
+
+/// Result of a budget-balancing run.
+#[derive(Debug, Clone)]
+pub struct BalanceResult {
+    /// The final per-rail budgets (mm²), same order as the input rails.
+    pub budgets_mm2: Vec<f64>,
+    /// The evaluation at the final allocation.
+    pub evaluation: PrototypeEvaluation,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Splits a fixed total metal area across rails so that the minimum
+/// load voltages equalize — the "most favorable system parameters"
+/// question of Fig. 2 answered automatically.
+///
+/// Strategy: start from an equal (or caller-provided) split, evaluate,
+/// and iteratively move a fraction of the area from the rail with the
+/// most voltage margin to the rail with the least, re-synthesizing each
+/// time. Stops when the worst-to-best V_min spread falls below `tol_v`
+/// or after `max_iterations`.
+///
+/// # Errors
+///
+/// * [`ExploreError`] — the *initial* allocation failed to route or
+///   extract. A later reallocation that makes a rail unroutable (the
+///   donor falls below its seed area) is rolled back and the search
+///   stops at the last feasible allocation.
+pub fn balance_budgets(
+    board: &Board,
+    config: RouterConfig,
+    rails: &[(NetId, usize)],
+    total_area_mm2: f64,
+    tol_v: f64,
+    max_iterations: usize,
+) -> Result<BalanceResult, ExploreError> {
+    assert!(!rails.is_empty(), "need at least one rail");
+    let n = rails.len();
+    let mut budgets = vec![total_area_mm2 / n as f64; n];
+    let spec_of = |budgets: &[f64], label: String| PrototypeSpec {
+        label,
+        rails: rails
+            .iter()
+            .zip(budgets)
+            .map(|(&(net, layer), &b)| (net, layer, b))
+            .collect(),
+    };
+    let mut evaluation = explore(board, config, &[spec_of(&budgets, "balance 0".into())])?
+        .remove(0);
+    let mut iterations = 0usize;
+    while iterations < max_iterations {
+        let (worst, best) = {
+            let vmins: Vec<f64> = evaluation.rails.iter().map(|r| r.v_min).collect();
+            let worst = vmins
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("nonempty")
+                .0;
+            let best = vmins
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("nonempty")
+                .0;
+            (worst, best)
+        };
+        let spread = evaluation.rails[best].v_min - evaluation.rails[worst].v_min;
+        if spread <= tol_v || worst == best {
+            break;
+        }
+        // Move 10 % of the donor's budget to the neediest rail.
+        let delta = budgets[best] * 0.10;
+        let mut trial = budgets.clone();
+        trial[best] -= delta;
+        trial[worst] += delta;
+        iterations += 1;
+        match explore(
+            board,
+            config,
+            &[spec_of(&trial, format!("balance {iterations}"))],
+        ) {
+            Ok(mut evals) => {
+                budgets = trial;
+                evaluation = evals.remove(0);
+            }
+            Err(_) => {
+                // The reallocation broke routability (donor below its
+                // seed area); keep the previous allocation and stop.
+                break;
+            }
+        }
+    }
+    Ok(BalanceResult {
+        budgets_mm2: budgets,
+        evaluation,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod balance_tests {
+    use super::*;
+    use sprout_board::presets;
+
+    #[test]
+    fn balancing_narrows_the_vmin_spread() {
+        let board = presets::two_rail();
+        let rails: Vec<(NetId, usize)> = board
+            .power_nets()
+            .map(|(id, _)| (id, presets::TWO_RAIL_ROUTE_LAYER))
+            .collect();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 6,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        // Equal split baseline.
+        let start = explore(
+            &board,
+            config,
+            &[PrototypeSpec {
+                label: "equal".into(),
+                rails: rails.iter().map(|&(n, l)| (n, l, 22.0)).collect(),
+            }],
+        )
+        .unwrap()
+        .remove(0);
+        let spread0 = {
+            let v: Vec<f64> = start.rails.iter().map(|r| r.v_min).collect();
+            v.iter().cloned().fold(f64::MIN, f64::max)
+                - v.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        let balanced =
+            balance_budgets(&board, config, &rails, 44.0, 1e-4, 6).unwrap();
+        let spread1 = {
+            let v: Vec<f64> = balanced.evaluation.rails.iter().map(|r| r.v_min).collect();
+            v.iter().cloned().fold(f64::MIN, f64::max)
+                - v.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        // Total area conserved.
+        let total: f64 = balanced.budgets_mm2.iter().sum();
+        assert!((total - 44.0).abs() < 1e-9);
+        // The spread must not grow; usually it shrinks.
+        assert!(spread1 <= spread0 + 1e-4, "{spread1} vs {spread0}");
+    }
+
+    #[test]
+    fn single_rail_is_trivially_balanced() {
+        let board = presets::two_rail();
+        let (net, _) = board.power_nets().next().unwrap();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 5,
+            refine_iterations: 0,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let out = balance_budgets(
+            &board,
+            config,
+            &[(net, presets::TWO_RAIL_ROUTE_LAYER)],
+            25.0,
+            1e-3,
+            5,
+        )
+        .unwrap();
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.budgets_mm2, vec![25.0]);
+    }
+}

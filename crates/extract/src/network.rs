@@ -1,0 +1,255 @@
+//! Rail network construction: routed subgraph → electrical mesh.
+//!
+//! The tile graph's induced subgraph is already a discretization of the
+//! copper shape, so extraction does not re-mesh: each graph edge of
+//! dimensionless weight `w` (squares⁻¹) becomes a branch of resistance
+//! `R_sheet / w` and plane-pair inductance `µ₀·h / w`. Sinks tie to the
+//! return-plane reference through their via impedance; decaps shunt the
+//! nearest shape node to the reference through their C/ESR/ESL.
+
+use crate::ExtractError;
+use sprout_board::{Board, ElementRole};
+use sprout_core::router::RouteResult;
+use sprout_core::NodeId;
+
+/// One mesh branch between two compact node indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Branch {
+    /// First node.
+    pub a: usize,
+    /// Second node.
+    pub b: usize,
+    /// Series resistance (Ω).
+    pub resistance_ohm: f64,
+    /// Series inductance (H).
+    pub inductance_h: f64,
+}
+
+/// A decap shunt branch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecapTap {
+    /// Shape node the capacitor lands on.
+    pub node: usize,
+    /// Capacitance (F).
+    pub capacitance_f: f64,
+    /// Series resistance (Ω).
+    pub esr_ohm: f64,
+    /// Series inductance (H).
+    pub esl_h: f64,
+}
+
+/// The extracted electrical network of one routed rail.
+///
+/// Node indexing: `0 .. node_count-2` are shape tiles (compact order),
+/// and [`RailNetwork::reference`] is the return-plane reference node.
+#[derive(Debug, Clone)]
+pub struct RailNetwork {
+    /// Total node count including the reference.
+    pub node_count: usize,
+    /// Copper mesh branches (shape edges).
+    pub mesh: Vec<Branch>,
+    /// Sink via branches (shape node → reference).
+    pub sink_vias: Vec<Branch>,
+    /// Decap shunts.
+    pub decaps: Vec<DecapTap>,
+    /// Source (PMIC) node indices on the shape.
+    pub sources: Vec<usize>,
+    /// Sink (BGA) node indices on the shape.
+    pub sinks: Vec<usize>,
+    /// Series impedance of the source via (Ω, H) added to reported
+    /// impedances.
+    pub source_via: (f64, f64),
+    /// Sheet resistance used (Ω/sq).
+    pub sheet_resistance: f64,
+    /// Plane-pair inductance used (H/sq).
+    pub inductance_per_sq: f64,
+}
+
+impl RailNetwork {
+    /// The reference (return plane) node index.
+    pub fn reference(&self) -> usize {
+        self.node_count - 1
+    }
+
+    /// Builds the network from a routed result.
+    ///
+    /// # Errors
+    ///
+    /// * [`ExtractError::MissingTerminals`] — no source or sink.
+    /// * [`ExtractError::Board`] — stackup queries failed.
+    pub fn build(board: &Board, route: &RouteResult) -> Result<Self, ExtractError> {
+        let stackup = board.stackup();
+        let sheet_resistance = stackup.sheet_resistance(route.layer)?;
+        let inductance_per_sq = stackup.inductance_per_square(route.layer)?;
+        let rules = board.rules();
+
+        // Compact node indexing over the subgraph (sorted for
+        // determinism, matching sprout-core's metric evaluation).
+        let mut members: Vec<NodeId> = route.subgraph.members().to_vec();
+        members.sort_unstable();
+        let mut compact = vec![usize::MAX; route.graph.node_count()];
+        for (k, &m) in members.iter().enumerate() {
+            compact[m.index()] = k;
+        }
+        let n_shape = members.len();
+        let reference = n_shape;
+
+        let mesh: Vec<Branch> = route
+            .subgraph
+            .induced_edges(&route.graph)
+            .map(|e| Branch {
+                a: compact[e.a.index()],
+                b: compact[e.b.index()],
+                resistance_ohm: sheet_resistance / e.weight,
+                inductance_h: inductance_per_sq / e.weight,
+            })
+            .collect();
+
+        // Terminals.
+        let mut sources = Vec::new();
+        let mut sinks = Vec::new();
+        let mut decap_nodes = Vec::new();
+        for t in &route.terminals {
+            let idx = compact[t.node.index()];
+            debug_assert!(idx != usize::MAX, "terminals live in the subgraph");
+            match t.role {
+                ElementRole::Source => sources.push(idx),
+                ElementRole::Sink => sinks.push(idx),
+                ElementRole::DecapPad => decap_nodes.push((idx, t.node)),
+                ElementRole::Obstacle => {}
+            }
+        }
+        if sources.is_empty() {
+            return Err(ExtractError::MissingTerminals("no source terminal"));
+        }
+        if sinks.is_empty() {
+            return Err(ExtractError::MissingTerminals("no sink terminal"));
+        }
+
+        // Via branches. Sinks rise from the routing layer to the top
+        // (component) layer; the source descends to the bottom (PMIC)
+        // layer.
+        let top = 0usize;
+        let bottom = stackup.layer_count() - 1;
+        let sink_len = stackup.via_length_mm(route.layer, top)?;
+        let source_len = stackup.via_length_mm(route.layer, bottom).unwrap_or(sink_len);
+        let sink_via_r = rules.via_resistance_ohm(sink_len.max(0.05));
+        let sink_via_l = rules.via_inductance_h(sink_len.max(0.05));
+        let src_via_r = rules.via_resistance_ohm(source_len.max(0.05));
+        let src_via_l = rules.via_inductance_h(source_len.max(0.05));
+        let sink_vias: Vec<Branch> = sinks
+            .iter()
+            .map(|&s| Branch {
+                a: s,
+                b: reference,
+                resistance_ohm: sink_via_r,
+                inductance_h: sink_via_l,
+            })
+            .collect();
+        // Source vias act in parallel when the PMIC output lands on
+        // several pads.
+        let k = sources.len() as f64;
+        let source_via = (src_via_r / k, src_via_l / k);
+
+        // Decaps: match each board decap on this net to the nearest
+        // decap-pad terminal node.
+        let mut decaps = Vec::new();
+        for d in board.decaps_for(route.net) {
+            let best = decap_nodes
+                .iter()
+                .min_by(|(_, a), (_, b)| {
+                    let da = route.graph.node(*a).center().distance(d.location);
+                    let db = route.graph.node(*b).center().distance(d.location);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .map(|&(idx, _)| idx);
+            if let Some(node) = best {
+                decaps.push(DecapTap {
+                    node,
+                    capacitance_f: d.capacitance_f,
+                    esr_ohm: d.esr_ohm,
+                    esl_h: d.esl_h,
+                });
+            }
+        }
+
+        Ok(RailNetwork {
+            node_count: n_shape + 1,
+            mesh,
+            sink_vias,
+            decaps,
+            sources,
+            sinks,
+            source_via,
+            sheet_resistance,
+            inductance_per_sq,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_board::presets;
+    use sprout_core::router::{Router, RouterConfig};
+
+    fn fast_route() -> (sprout_board::Board, RouteResult) {
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.5,
+            grow_iterations: 8,
+            refine_iterations: 2,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        (board, route)
+    }
+
+    #[test]
+    fn network_structure() {
+        let (board, route) = fast_route();
+        let net = RailNetwork::build(&board, &route).unwrap();
+        assert_eq!(net.node_count, route.subgraph.order() + 1);
+        assert_eq!(net.mesh.len(), route.subgraph.induced_edges(&route.graph).count());
+        assert_eq!(net.sources.len(), 1);
+        assert_eq!(net.sinks.len(), 9);
+        assert_eq!(net.sink_vias.len(), 9);
+        // Two-rail preset has no decaps.
+        assert!(net.decaps.is_empty());
+    }
+
+    #[test]
+    fn branch_values_are_physical() {
+        let (board, route) = fast_route();
+        let net = RailNetwork::build(&board, &route).unwrap();
+        for b in &net.mesh {
+            assert!(b.resistance_ohm > 0.0 && b.resistance_ohm < 1.0);
+            assert!(b.inductance_h > 0.0 && b.inductance_h < 1e-6);
+            assert!(b.a < net.node_count && b.b < net.node_count);
+        }
+        // Full-contact square tiles: R = sheet resistance exactly.
+        let r_min = net
+            .mesh
+            .iter()
+            .map(|b| b.resistance_ohm)
+            .fold(f64::INFINITY, f64::min);
+        assert!((r_min - net.sheet_resistance).abs() / net.sheet_resistance < 0.05);
+    }
+
+    #[test]
+    fn source_via_scales_with_pad_count() {
+        let (board, route) = fast_route();
+        let net = RailNetwork::build(&board, &route).unwrap();
+        assert!(net.source_via.0 > 0.0);
+        assert!(net.source_via.1 > 0.0);
+        // A sink via reaches the top layer; the source via reaches the
+        // bottom — on the 8-layer stack the routing layer (7) is closer
+        // to the bottom.
+        assert!(net.sink_vias[0].resistance_ohm > net.source_via.0);
+    }
+}

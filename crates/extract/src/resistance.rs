@@ -1,0 +1,157 @@
+//! DC resistance extraction (Tables II/III, "Normalized DC resistance").
+//!
+//! The BGA balls are shorted into one port (as the package substrate
+//! does) through their via resistances; the reported value is the
+//! resistance between the PMIC output and that port.
+
+use crate::network::RailNetwork;
+use crate::ExtractError;
+use sprout_linalg::laplacian::GraphLaplacian;
+
+/// A DC extraction result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcExtraction {
+    /// Resistance of the copper shape plus the sink via tree (Ω).
+    pub shape_ohm: f64,
+    /// Series source-via resistance (Ω).
+    pub source_via_ohm: f64,
+    /// Total PMIC→BGA-port resistance (Ω).
+    pub total_ohm: f64,
+}
+
+/// Extracts the DC resistance of a rail network.
+///
+/// # Errors
+///
+/// * [`ExtractError::Linalg`] — the network is electrically
+///   disconnected.
+pub fn dc_resistance(network: &RailNetwork) -> Result<DcExtraction, ExtractError> {
+    let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(
+        network.mesh.len() + network.sink_vias.len(),
+    );
+    for b in network.mesh.iter().chain(&network.sink_vias) {
+        if b.a != b.b {
+            edges.push((b.a, b.b, 1.0 / b.resistance_ohm));
+        }
+    }
+    let lap = GraphLaplacian::from_edges(network.node_count, &edges)?;
+    let factor = lap.factor_grounded(network.reference())?;
+
+    // Split the unit current equally across the source pads; the port
+    // voltage is their average (the PMIC output copper ties them).
+    let mut currents = vec![0.0f64; network.node_count];
+    let share = 1.0 / network.sources.len() as f64;
+    for &s in &network.sources {
+        currents[s] += share;
+    }
+    currents[network.reference()] -= 1.0;
+    let v = factor.solve_currents(&currents)?;
+    let v_port: f64 =
+        network.sources.iter().map(|&s| v[s]).sum::<f64>() / network.sources.len() as f64;
+
+    let shape_ohm = v_port;
+    let source_via_ohm = network.source_via.0;
+    Ok(DcExtraction {
+        shape_ohm,
+        source_via_ohm,
+        total_ohm: shape_ohm + source_via_ohm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Branch, RailNetwork};
+
+    /// A hand-built ladder: source 0 — 1Ω — 1 — 1Ω — 2(sink) — via 0.5Ω
+    /// — ref(3).
+    fn ladder() -> RailNetwork {
+        RailNetwork {
+            node_count: 4,
+            mesh: vec![
+                Branch {
+                    a: 0,
+                    b: 1,
+                    resistance_ohm: 1.0,
+                    inductance_h: 1e-9,
+                },
+                Branch {
+                    a: 1,
+                    b: 2,
+                    resistance_ohm: 1.0,
+                    inductance_h: 1e-9,
+                },
+            ],
+            sink_vias: vec![Branch {
+                a: 2,
+                b: 3,
+                resistance_ohm: 0.5,
+                inductance_h: 1e-10,
+            }],
+            decaps: vec![],
+            sources: vec![0],
+            sinks: vec![2],
+            source_via: (0.25, 1e-10),
+            sheet_resistance: 5e-4,
+            inductance_per_sq: 1e-10,
+        }
+    }
+
+    #[test]
+    fn ladder_resistance_is_exact() {
+        let dc = dc_resistance(&ladder()).unwrap();
+        // 1 + 1 + 0.5 shape+via path, plus 0.25 source via.
+        assert!((dc.shape_ohm - 2.5).abs() < 1e-9);
+        assert!((dc.total_ohm - 2.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_sinks_halve_the_via_tree() {
+        let mut net = ladder();
+        // Second sink at node 1 with its own via.
+        net.sinks.push(1);
+        net.sink_vias.push(Branch {
+            a: 1,
+            b: 3,
+            resistance_ohm: 0.5,
+            inductance_h: 1e-10,
+        });
+        let dc = dc_resistance(&net).unwrap();
+        // Exact: R = 1 + (1 + 0.5) ∥ 0.5 = 1.375.
+        assert!((dc.shape_ohm - 1.375).abs() < 1e-9, "{}", dc.shape_ohm);
+    }
+
+    #[test]
+    fn real_route_resistance_in_range() {
+        use sprout_board::presets;
+        use sprout_core::router::{Router, RouterConfig};
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.5,
+            grow_iterations: 8,
+            refine_iterations: 2,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        let network = RailNetwork::build(&board, &route).unwrap();
+        let dc = dc_resistance(&network).unwrap();
+        // A ~17 mm rail a few mm wide in 35 µm copper: milliohms.
+        assert!(
+            dc.total_ohm > 5e-4 && dc.total_ohm < 5e-2,
+            "{} Ω",
+            dc.total_ohm
+        );
+    }
+
+    #[test]
+    fn disconnected_network_errors() {
+        let mut net = ladder();
+        net.mesh.clear(); // source never reaches the sink
+        assert!(dc_resistance(&net).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! First-order thermal estimate.
+//!
+//! Table I lists temperature among the constraints that set power
+//! routing apart from signal routing. A full thermal solve needs the
+//! finite-element machinery the paper cites \[24\]; an early-exploration
+//! estimate does not: copper at PCB scale is laterally so conductive
+//! that the hot spot is set by the *local* dissipation density against
+//! the board's through-stack thermal resistance. This module combines
+//! the per-branch Joule heating of [`crate::density`] with a
+//! plate-to-ambient thermal resistance model to bound the temperature
+//! rise per tile.
+
+use crate::density::DensityReport;
+use crate::network::RailNetwork;
+use crate::ExtractError;
+
+/// Board-level thermal parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Effective board-to-ambient heat transfer coefficient
+    /// (W/(m²·K)). FR-4 boards in still air run 10-20 W/m²K per face;
+    /// the default 25 accounts for both faces.
+    pub h_w_per_m2_k: f64,
+    /// Ambient temperature (°C).
+    pub ambient_c: f64,
+    /// Area multiplier for lateral spreading beyond the shape footprint
+    /// (ground planes and dielectric carry heat well past the copper
+    /// outline; 3 is conservative for boards with solid planes).
+    pub spreading_multiplier: f64,
+    /// Copper thickness (µm) for the hot-spot healing-length estimate.
+    pub copper_um: f64,
+}
+
+impl Default for ThermalModel {
+    fn default() -> Self {
+        ThermalModel {
+            h_w_per_m2_k: 25.0,
+            ambient_c: 25.0,
+            spreading_multiplier: 3.0,
+            copper_um: 35.0,
+        }
+    }
+}
+
+/// A thermal estimate for one routed rail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalReport {
+    /// Average temperature rise of the shape (K).
+    pub average_rise_k: f64,
+    /// Hot-spot temperature rise (K), from the densest branch's local
+    /// dissipation.
+    pub hotspot_rise_k: f64,
+    /// Hot-spot absolute temperature (°C).
+    pub hotspot_c: f64,
+}
+
+/// Thermal conductivity of copper (W/(m·K)).
+const K_COPPER: f64 = 400.0;
+
+/// Estimates the temperature rise of a routed shape from a density
+/// report.
+///
+/// The average rise spreads the total dissipation over the shape area
+/// times the model's spreading multiplier. The hot-spot excess smears
+/// the worst branch's dissipation over the copper *thermal healing
+/// length* `L = √(k_cu·t_cu / h)` — the lateral distance over which a
+/// thin conductive sheet equilibrates a point source against a surface
+/// transfer coefficient (~16 mm for 35 µm copper in still air, which
+/// is why single hot tiles barely register at board level).
+///
+/// # Errors
+///
+/// Returns [`ExtractError::InvalidParameter`] for non-positive inputs.
+pub fn thermal_estimate(
+    network: &RailNetwork,
+    density: &DensityReport,
+    shape_area_mm2: f64,
+    tile_pitch_mm: f64,
+    model: ThermalModel,
+) -> Result<ThermalReport, ExtractError> {
+    if shape_area_mm2 <= 0.0
+        || tile_pitch_mm <= 0.0
+        || model.h_w_per_m2_k <= 0.0
+        || model.spreading_multiplier < 1.0
+        || model.copper_um <= 0.0
+    {
+        return Err(ExtractError::InvalidParameter(
+            "thermal parameters must be positive (multiplier >= 1)",
+        ));
+    }
+    let area_m2 = shape_area_mm2 * 1e-6 * model.spreading_multiplier;
+    let average_rise_k = density.dissipation_w / (model.h_w_per_m2_k * area_m2);
+
+    // Worst branch dissipation smeared over the healing disc.
+    let mut worst_w = 0.0f64;
+    for (k, b) in network.mesh.iter().enumerate() {
+        let i = density.branch_current_a[k];
+        let w = i * i * b.resistance_ohm;
+        if w > worst_w {
+            worst_w = w;
+        }
+    }
+    let healing_m = (K_COPPER * model.copper_um * 1e-6 / model.h_w_per_m2_k).sqrt();
+    let healing_area = std::f64::consts::PI * healing_m * healing_m;
+    let hotspot_rise_k = average_rise_k + worst_w / (model.h_w_per_m2_k * healing_area);
+    Ok(ThermalReport {
+        average_rise_k,
+        hotspot_rise_k,
+        hotspot_c: model.ambient_c + hotspot_rise_k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::current_density;
+    use crate::network::{Branch, RailNetwork};
+
+    fn chain() -> RailNetwork {
+        RailNetwork {
+            node_count: 3,
+            mesh: vec![Branch {
+                a: 0,
+                b: 1,
+                resistance_ohm: 0.01,
+                inductance_h: 1e-9,
+            }],
+            sink_vias: vec![Branch {
+                a: 1,
+                b: 2,
+                resistance_ohm: 0.001,
+                inductance_h: 1e-10,
+            }],
+            decaps: vec![],
+            sources: vec![0],
+            sinks: vec![1],
+            source_via: (0.001, 1e-10),
+            sheet_resistance: 5e-4,
+            inductance_per_sq: 1e-10,
+        }
+    }
+
+    #[test]
+    fn dissipation_sets_average_rise() {
+        let net = chain();
+        let report = current_density(&net, 2.0, 0.5, 100.0).unwrap();
+        // 2 A through 10 mΩ: 40 mW.
+        assert!((report.dissipation_w - 0.04).abs() < 1e-9);
+        let t = thermal_estimate(&net, &report, 20.0, 0.5, ThermalModel::default()).unwrap();
+        // 0.04 W over 20 mm² × 3 spreading at 25 W/m²K: ΔT ≈ 26.7 K.
+        assert!((t.average_rise_k - 0.04 / (25.0 * 60e-6)).abs() < 1e-6);
+        assert!(t.hotspot_rise_k >= t.average_rise_k);
+        // The healing disc is large: the hot-spot excess is small.
+        assert!(t.hotspot_rise_k < t.average_rise_k + 5.0);
+        assert!((t.hotspot_c - (25.0 + t.hotspot_rise_k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_shapes_run_cooler() {
+        let net = chain();
+        let report = current_density(&net, 2.0, 0.5, 100.0).unwrap();
+        let small = thermal_estimate(&net, &report, 10.0, 0.5, ThermalModel::default()).unwrap();
+        let large = thermal_estimate(&net, &report, 40.0, 0.5, ThermalModel::default()).unwrap();
+        assert!(large.average_rise_k < small.average_rise_k);
+    }
+
+    #[test]
+    fn validation() {
+        let net = chain();
+        let report = current_density(&net, 1.0, 0.5, 100.0).unwrap();
+        assert!(thermal_estimate(&net, &report, 0.0, 0.5, ThermalModel::default()).is_err());
+        let bad = ThermalModel {
+            h_w_per_m2_k: 0.0,
+            ..ThermalModel::default()
+        };
+        assert!(thermal_estimate(&net, &report, 10.0, 0.5, bad).is_err());
+    }
+
+    #[test]
+    fn real_route_runs_cool() {
+        use sprout_board::presets;
+        use sprout_core::router::{Router, RouterConfig};
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.5,
+            grow_iterations: 8,
+            refine_iterations: 2,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net_id, net) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net_id, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        let network = RailNetwork::build(&board, &route).unwrap();
+        let density = current_density(&network, net.current_a, 0.5, 1e6).unwrap();
+        let t = thermal_estimate(
+            &network,
+            &density,
+            route.shape.area_mm2(),
+            0.5,
+            ThermalModel::default(),
+        )
+        .unwrap();
+        // A 3 A rail dissipating tens of mW over 25 mm²: tens of K at
+        // most; a sane design stays below solder-degradation levels.
+        assert!(t.hotspot_rise_k > 0.0 && t.hotspot_rise_k < 80.0, "{t:?}");
+    }
+}

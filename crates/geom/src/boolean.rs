@@ -1,0 +1,477 @@
+//! Boolean operations on polygons via convex decomposition.
+//!
+//! The SPROUT paper computes available routing space by removing buffered
+//! foreign-net geometry from the design space (Eq. 1) using "efficient
+//! polygon clipping algorithms" \[22\]\[23\]. This module provides that
+//! capability with a decomposition strategy chosen for numerical
+//! robustness:
+//!
+//! * every operand is decomposed into **convex parts** (triangulation for
+//!   concave rings),
+//! * intersections reduce to convex∩convex Sutherland–Hodgman clips,
+//! * differences use the classic *wedge decomposition* of a convex
+//!   subtrahend's exterior into disjoint convex regions,
+//! * unions accumulate `new \ existing` pieces.
+//!
+//! The result type, [`PolygonSet`], is a set of **interior-disjoint simple
+//! polygons with no holes** — holes appear naturally as gaps between
+//! pieces. This representation can fragment more than a minimal polygon
+//! representation would, but every piece is convex and numerically
+//! well-behaved, which is exactly what the downstream tiling (Algorithm 1)
+//! and extraction stages need.
+
+use crate::clip::{clip_convex, clip_halfplane, HalfPlane};
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::triangulate::convex_parts;
+use crate::{IntervalSet, AREA_EPS};
+
+/// A set of interior-disjoint simple polygons (no holes).
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, Polygon, boolean};
+/// # fn main() -> Result<(), sprout_geom::GeomError> {
+/// let outer = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(4.0, 4.0))?;
+/// let inner = Polygon::rectangle(Point::new(1.0, 1.0), Point::new(3.0, 3.0))?;
+/// let ring = boolean::difference(&outer, &inner);
+/// assert!((ring.area() - 12.0).abs() < 1e-9);
+/// assert!(!ring.contains_point(Point::new(2.0, 2.0))); // the "hole"
+/// assert!(ring.contains_point(Point::new(0.5, 2.0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolygonSet {
+    pieces: Vec<Polygon>,
+}
+
+impl PolygonSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        PolygonSet::default()
+    }
+
+    /// A set holding a single polygon.
+    pub fn from_polygon(poly: Polygon) -> Self {
+        PolygonSet { pieces: vec![poly] }
+    }
+
+    /// The disjoint pieces.
+    pub fn pieces(&self) -> &[Polygon] {
+        &self.pieces
+    }
+
+    /// `true` when the set covers no area.
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+
+    /// Number of pieces.
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Total covered area.
+    pub fn area(&self) -> f64 {
+        self.pieces.iter().map(|p| p.area()).sum()
+    }
+
+    /// Bounding box of the whole set (`None` when empty).
+    pub fn bounds(&self) -> Option<Rect> {
+        let mut iter = self.pieces.iter();
+        let first = iter.next()?.bounds();
+        Some(iter.fold(first, |acc, p| acc.union_bounds(&p.bounds())))
+    }
+
+    /// `true` if any piece contains the point.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.pieces.iter().any(|piece| piece.contains_point(p))
+    }
+
+    /// Iterator over the pieces.
+    pub fn iter(&self) -> std::slice::Iter<'_, Polygon> {
+        self.pieces.iter()
+    }
+
+    /// Restricts the set to `window ∩ self`.
+    pub fn intersect_polygon(&self, window: &Polygon) -> PolygonSet {
+        let window_parts = convex_parts(window);
+        let mut out = PolygonSet::new();
+        for piece in &self.pieces {
+            for wp in &window_parts {
+                if let Some(p) = clip_convex_pair(piece, wp) {
+                    out.push_checked(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes `other` from the set.
+    pub fn subtract_polygon(&self, other: &Polygon) -> PolygonSet {
+        let sub_parts = convex_parts(other);
+        let mut pieces: Vec<Polygon> = self
+            .pieces
+            .iter()
+            .flat_map(convex_parts)
+            .collect();
+        for t in &sub_parts {
+            let mut next: Vec<Polygon> = Vec::with_capacity(pieces.len());
+            for c in pieces {
+                next.extend(subtract_convex(&c, t));
+            }
+            pieces = next;
+        }
+        let mut out = PolygonSet::new();
+        for p in pieces {
+            out.push_checked(p);
+        }
+        out
+    }
+
+    /// Adds `other` to the set (keeping pieces disjoint by inserting only
+    /// `other \ self`).
+    pub fn add_polygon(&mut self, other: &Polygon) {
+        let mut new_parts: Vec<Polygon> = convex_parts(other);
+        for existing in &self.pieces {
+            let existing_parts = convex_parts(existing);
+            for t in &existing_parts {
+                let mut next: Vec<Polygon> = Vec::with_capacity(new_parts.len());
+                for c in new_parts {
+                    next.extend(subtract_convex(&c, t));
+                }
+                new_parts = next;
+            }
+            if new_parts.is_empty() {
+                return;
+            }
+        }
+        for p in new_parts {
+            self.push_checked(p);
+        }
+    }
+
+    /// Translates every piece by `delta`.
+    pub fn translated(&self, delta: Point) -> PolygonSet {
+        PolygonSet {
+            pieces: self.pieces.iter().map(|p| p.translated(delta)).collect(),
+        }
+    }
+
+    /// Interval set of `y` values covered by the set on the vertical line
+    /// `x = x0`.
+    pub fn cross_section_x(&self, x0: f64) -> IntervalSet {
+        self.pieces
+            .iter()
+            .fold(IntervalSet::new(), |acc, p| acc.union(&p.cross_section_x(x0)))
+    }
+
+    /// Interval set of `x` values covered by the set on the horizontal
+    /// line `y = y0`.
+    pub fn cross_section_y(&self, y0: f64) -> IntervalSet {
+        self.pieces
+            .iter()
+            .fold(IntervalSet::new(), |acc, p| acc.union(&p.cross_section_y(y0)))
+    }
+
+    fn push_checked(&mut self, p: Polygon) {
+        let b = p.bounds();
+        let scale = b.width().max(b.height()).max(1.0);
+        if p.area() > AREA_EPS * scale {
+            self.pieces.push(p);
+        }
+    }
+}
+
+impl FromIterator<Polygon> for PolygonSet {
+    fn from_iter<I: IntoIterator<Item = Polygon>>(iter: I) -> Self {
+        union_all(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a PolygonSet {
+    type Item = &'a Polygon;
+    type IntoIter = std::slice::Iter<'a, Polygon>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.pieces.iter()
+    }
+}
+
+/// `a ∩ b` for arbitrary simple polygons.
+pub fn intersection(a: &Polygon, b: &Polygon) -> PolygonSet {
+    if !a.bounds().intersects(&b.bounds()) {
+        return PolygonSet::new();
+    }
+    let a_parts = convex_parts(a);
+    let b_parts = convex_parts(b);
+    let mut out = PolygonSet::new();
+    for pa in &a_parts {
+        for pb in &b_parts {
+            if let Some(p) = clip_convex_pair(pa, pb) {
+                out.push_checked(p);
+            }
+        }
+    }
+    out
+}
+
+/// `a \ b` for arbitrary simple polygons.
+pub fn difference(a: &Polygon, b: &Polygon) -> PolygonSet {
+    if !a.bounds().intersects(&b.bounds()) {
+        return PolygonSet::from_polygon(a.clone());
+    }
+    PolygonSet::from_polygon(a.clone()).subtract_polygon(b)
+}
+
+/// `a ∪ b` for arbitrary simple polygons.
+pub fn union(a: &Polygon, b: &Polygon) -> PolygonSet {
+    let mut set = PolygonSet::from_polygon(a.clone());
+    set.add_polygon(b);
+    set
+}
+
+/// Union of any number of polygons.
+pub fn union_all<I: IntoIterator<Item = Polygon>>(polys: I) -> PolygonSet {
+    let mut set = PolygonSet::new();
+    for p in polys {
+        set.add_polygon(&p);
+    }
+    set
+}
+
+/// Intersection of two convex polygons with a bounds pre-check.
+fn clip_convex_pair(a: &Polygon, b: &Polygon) -> Option<Polygon> {
+    if !a.bounds().intersects(&b.bounds()) {
+        return None;
+    }
+    clip_convex(a, b)
+}
+
+/// Subtracts convex `t` from convex `c` using wedge decomposition of the
+/// exterior of `t`. Returns interior-disjoint convex pieces.
+fn subtract_convex(c: &Polygon, t: &Polygon) -> Vec<Polygon> {
+    if !c.bounds().intersects(&t.bounds()) {
+        return vec![c.clone()];
+    }
+    let tv = t.vertices();
+    let k = tv.len();
+    let mut out: Vec<Polygon> = Vec::new();
+    for i in 0..k {
+        // Wedge i: outside edge i, inside edges 0..i.
+        let mut piece = match clip_halfplane(
+            c,
+            &HalfPlane::right_of_edge(tv[i], tv[(i + 1) % k]),
+        ) {
+            Some(p) => p,
+            None => continue,
+        };
+        let mut alive = true;
+        for j in 0..i {
+            match clip_halfplane(&piece, &HalfPlane::left_of_edge(tv[j], tv[(j + 1) % k])) {
+                Some(p) => piece = p,
+                None => {
+                    alive = false;
+                    break;
+                }
+            }
+        }
+        if alive {
+            out.push(piece);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rectangle(p(x0, y0), p(x1, y1)).unwrap()
+    }
+
+    fn u_shape() -> Polygon {
+        Polygon::new(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn intersection_of_overlapping_squares() {
+        let a = square(0.0, 0.0, 2.0, 2.0);
+        let b = square(1.0, 1.0, 3.0, 3.0);
+        let i = intersection(&a, &b);
+        assert!((i.area() - 1.0).abs() < 1e-9);
+        assert!(i.contains_point(p(1.5, 1.5)));
+        assert!(!i.contains_point(p(0.5, 0.5)));
+    }
+
+    #[test]
+    fn intersection_disjoint_is_empty() {
+        let a = square(0.0, 0.0, 1.0, 1.0);
+        let b = square(5.0, 5.0, 6.0, 6.0);
+        assert!(intersection(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn intersection_concave_operand() {
+        let u = u_shape();
+        let band = square(0.0, 1.5, 3.0, 2.5);
+        let i = intersection(&u, &band);
+        // Only the two vertical arms intersect the band: 2 × (1 × 1).
+        assert!((i.area() - 2.0).abs() < 1e-9);
+        assert!(!i.contains_point(p(1.5, 2.0)));
+    }
+
+    #[test]
+    fn difference_simple() {
+        let a = square(0.0, 0.0, 2.0, 2.0);
+        let b = square(1.0, 0.0, 3.0, 2.0);
+        let d = difference(&a, &b);
+        assert!((d.area() - 2.0).abs() < 1e-9);
+        assert!(d.contains_point(p(0.5, 1.0)));
+        assert!(!d.contains_point(p(1.5, 1.0)));
+    }
+
+    #[test]
+    fn difference_hole_in_the_middle() {
+        let outer = square(0.0, 0.0, 4.0, 4.0);
+        let inner = square(1.0, 1.0, 3.0, 3.0);
+        let d = difference(&outer, &inner);
+        assert!((d.area() - 12.0).abs() < 1e-9);
+        assert!(!d.contains_point(p(2.0, 2.0)));
+        assert!(d.contains_point(p(0.5, 0.5)));
+        assert!(d.contains_point(p(3.5, 3.5)));
+    }
+
+    #[test]
+    fn difference_no_overlap_keeps_original() {
+        let a = square(0.0, 0.0, 1.0, 1.0);
+        let b = square(5.0, 5.0, 6.0, 6.0);
+        let d = difference(&a, &b);
+        assert_eq!(d.len(), 1);
+        assert!((d.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn difference_subtrahend_covers_all() {
+        let a = square(1.0, 1.0, 2.0, 2.0);
+        let b = square(0.0, 0.0, 3.0, 3.0);
+        assert!(difference(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn union_disjoint_and_overlapping() {
+        let a = square(0.0, 0.0, 2.0, 2.0);
+        let b = square(5.0, 0.0, 6.0, 1.0);
+        let u = union(&a, &b);
+        assert!((u.area() - 5.0).abs() < 1e-9);
+        let c = square(1.0, 0.0, 3.0, 2.0);
+        let u2 = union(&a, &c);
+        assert!((u2.area() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_contained_adds_nothing() {
+        let a = square(0.0, 0.0, 4.0, 4.0);
+        let b = square(1.0, 1.0, 2.0, 2.0);
+        let u = union(&a, &b);
+        assert!((u.area() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_all_grid_of_squares() {
+        let polys: Vec<Polygon> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| square(i as f64, j as f64, i as f64 + 1.0, j as f64 + 1.0))
+            .collect();
+        let u = union_all(polys);
+        assert!((u.area() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_identity_inclusion_exclusion() {
+        // area(A) + area(B) = area(A∪B) + area(A∩B)
+        let a = square(0.0, 0.0, 3.0, 2.0);
+        let b = Polygon::new(vec![p(1.0, 1.0), p(4.0, 1.0), p(4.0, 4.0), p(1.0, 4.0)]).unwrap();
+        let u = union(&a, &b).area();
+        let i = intersection(&a, &b).area();
+        assert!((a.area() + b.area() - u - i).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_identity_partition() {
+        // area(A \ B) + area(A ∩ B) = area(A)
+        let a = u_shape();
+        let b = square(0.5, 0.5, 2.5, 3.5);
+        let d = difference(&a, &b).area();
+        let i = intersection(&a, &b).area();
+        assert!((d + i - a.area()).abs() < 1e-9, "d={d} i={i} a={}", a.area());
+    }
+
+    #[test]
+    fn subtract_concave_from_convex() {
+        let a = square(-1.0, -1.0, 4.0, 4.0);
+        let u = u_shape();
+        let d = difference(&a, &u);
+        assert!((d.area() - (25.0 - u.area())).abs() < 1e-9);
+        // The notch of the U belongs to the difference.
+        assert!(d.contains_point(p(1.5, 2.0)));
+        assert!(!d.contains_point(p(0.5, 0.5)));
+    }
+
+    #[test]
+    fn polygon_set_operations() {
+        let mut set = PolygonSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.area(), 0.0);
+        assert!(set.bounds().is_none());
+        set.add_polygon(&square(0.0, 0.0, 2.0, 2.0));
+        set.add_polygon(&square(3.0, 0.0, 5.0, 2.0));
+        assert_eq!(set.len(), 2);
+        assert!((set.area() - 8.0).abs() < 1e-9);
+        let b = set.bounds().unwrap();
+        assert_eq!(b.min(), p(0.0, 0.0));
+        assert_eq!(b.max(), p(5.0, 2.0));
+        let clipped = set.intersect_polygon(&square(1.0, 0.0, 4.0, 2.0));
+        assert!((clipped.area() - 4.0).abs() < 1e-9);
+        let sub = set.subtract_polygon(&square(-1.0, -1.0, 10.0, 1.0));
+        assert!((sub.area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cross_sections_of_set() {
+        let mut set = PolygonSet::new();
+        set.add_polygon(&square(0.0, 0.0, 1.0, 3.0));
+        set.add_polygon(&square(2.0, 0.0, 3.0, 3.0));
+        let s = set.cross_section_y(1.5);
+        assert_eq!(s.intervals().len(), 2);
+        assert!((s.total_length() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_iterator_unions() {
+        let set: PolygonSet = vec![
+            square(0.0, 0.0, 2.0, 2.0),
+            square(1.0, 0.0, 3.0, 2.0),
+        ]
+        .into_iter()
+        .collect();
+        assert!((set.area() - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,258 @@
+//! Design-rule buffering (polygon offsetting).
+//!
+//! §II-A of the paper assigns every layout geometry a *buffer* that keeps
+//! polygons from different nets properly spaced (Fig. 4). A buffer of
+//! distance `d` is the Minkowski sum of the geometry with a disc of radius
+//! `d`; we approximate the disc with a regular polygon (configurable
+//! resolution).
+
+use crate::boolean::{union_all, PolygonSet};
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::triangulate::convex_parts;
+use crate::{GeomError, EPS};
+
+/// Buffering style: resolution of the rounded joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStyle {
+    /// Number of arc segments per quarter circle at convex corners
+    /// (minimum 1; higher is smoother and slower).
+    pub arc_steps_per_quadrant: usize,
+}
+
+impl BufferStyle {
+    /// Default resolution: 3 segments per quadrant (12-gon circle).
+    pub const fn new() -> Self {
+        BufferStyle {
+            arc_steps_per_quadrant: 3,
+        }
+    }
+
+    /// Coarse one-segment-per-quadrant joins (octagonal circles) — fastest.
+    pub const fn coarse() -> Self {
+        BufferStyle {
+            arc_steps_per_quadrant: 1,
+        }
+    }
+}
+
+impl Default for BufferStyle {
+    fn default() -> Self {
+        BufferStyle::new()
+    }
+}
+
+/// Buffers a polygon outward by `d`, producing the (approximate) Minkowski
+/// sum with a disc of radius `d`.
+///
+/// Convex polygons produce a single convex piece; concave polygons are
+/// decomposed, buffered per part, and unioned.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] for negative `d`. A zero `d`
+/// returns the polygon unchanged.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, Polygon, buffer::{buffer_polygon, BufferStyle}};
+/// # fn main() -> Result<(), sprout_geom::GeomError> {
+/// let pad = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(1.0, 1.0))?;
+/// let buffered = buffer_polygon(&pad, 0.5, BufferStyle::new())?;
+/// assert!(buffered.area() > pad.area());
+/// assert!(buffered.contains_point(Point::new(-0.4, 0.5)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn buffer_polygon(
+    poly: &Polygon,
+    d: f64,
+    style: BufferStyle,
+) -> Result<PolygonSet, GeomError> {
+    if d < 0.0 {
+        return Err(GeomError::InvalidParameter("buffer distance must be >= 0"));
+    }
+    if d <= EPS {
+        return Ok(PolygonSet::from_polygon(poly.clone()));
+    }
+    let steps = style.arc_steps_per_quadrant.max(1);
+    let parts = convex_parts(poly);
+    let buffered = parts.iter().map(|part| buffer_convex(part, d, steps));
+    Ok(union_all(buffered))
+}
+
+/// Buffers a *convex* counter-clockwise polygon by `d > 0` with rounded
+/// joins. The result is convex.
+fn buffer_convex(poly: &Polygon, d: f64, steps_per_quadrant: usize) -> Polygon {
+    let verts = poly.vertices();
+    let n = verts.len();
+    let mut out: Vec<Point> = Vec::with_capacity(n * (steps_per_quadrant + 2));
+    for i in 0..n {
+        let prev = verts[(i + n - 1) % n];
+        let cur = verts[i];
+        let next = verts[(i + 1) % n];
+        // Outward normals of the incoming and outgoing edges. For a CCW
+        // ring, `perp()` points inward, so negate.
+        let n_in = match (cur - prev).normalized() {
+            Some(u) => -u.perp(),
+            None => continue,
+        };
+        let n_out = match (next - cur).normalized() {
+            Some(u) => -u.perp(),
+            None => continue,
+        };
+        let a0 = n_in.y.atan2(n_in.x);
+        let mut a1 = n_out.y.atan2(n_out.x);
+        // Convex CCW corners sweep counter-clockwise from n_in to n_out.
+        while a1 < a0 - EPS {
+            a1 += std::f64::consts::TAU;
+        }
+        let sweep = a1 - a0;
+        let segs = ((sweep / (std::f64::consts::FRAC_PI_2)) * steps_per_quadrant as f64)
+            .ceil()
+            .max(1.0) as usize;
+        // Circumscribe the arc: chords placed at radius d/cos(half-step)
+        // keep the polygonal buffer a *superset* of the true Minkowski
+        // offset, so design-rule clearance is never under-approximated.
+        let half_step = sweep / (2.0 * segs as f64);
+        let r = d / half_step.cos().max(1e-12);
+        for s in 0..=segs {
+            let theta = a0 + sweep * s as f64 / segs as f64;
+            out.push(cur + Point::new(r * theta.cos(), r * theta.sin()));
+        }
+    }
+    Polygon::new(out).unwrap_or_else(|_| poly.clone())
+}
+
+/// Buffers a point into a disc-approximating polygon of radius `d`.
+///
+/// # Errors
+///
+/// Returns [`GeomError::InvalidParameter`] for non-positive `d`.
+pub fn buffer_point(center: Point, d: f64, style: BufferStyle) -> Result<Polygon, GeomError> {
+    let n = (4 * style.arc_steps_per_quadrant).max(4);
+    Polygon::regular(center, d, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn rejects_negative_distance() {
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        assert!(buffer_polygon(&sq, -0.5, BufferStyle::new()).is_err());
+    }
+
+    #[test]
+    fn zero_distance_is_identity() {
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        let b = buffer_polygon(&sq, 0.0, BufferStyle::new()).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.area(), 1.0);
+    }
+
+    #[test]
+    fn buffered_square_area_bounds() {
+        // Minkowski sum area: A + perimeter*d + pi*d^2 (exact for convex).
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        let d = 0.5;
+        let b = buffer_polygon(&sq, d, BufferStyle::new()).unwrap();
+        let exact = sq.area() + sq.perimeter() * d + std::f64::consts::PI * d * d;
+        // The circumscribed arcs over-approximate the disc slightly.
+        assert!(b.area() >= exact - 1e-9);
+        assert!(b.area() < exact * 1.03);
+    }
+
+    #[test]
+    fn buffer_is_conservative_everywhere() {
+        // Every boundary vertex of the buffer must be at distance >= d
+        // from the original polygon (the DRC guarantee).
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        let d = 0.3;
+        for style in [BufferStyle::coarse(), BufferStyle::new()] {
+            let b = buffer_polygon(&sq, d, style).unwrap();
+            for piece in b.iter() {
+                for e in piece.edges() {
+                    // Sample along each buffer edge.
+                    for k in 0..=4 {
+                        let q = e.at(k as f64 / 4.0);
+                        let dist = sq.distance_to_point(q);
+                        assert!(
+                            dist >= d - 1e-9,
+                            "buffer boundary point {q} at distance {dist} < {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_contains_original_and_ring() {
+        let tri = Polygon::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(2.0, 3.0)]).unwrap();
+        let b = buffer_polygon(&tri, 0.8, BufferStyle::new()).unwrap();
+        for &v in tri.vertices() {
+            assert!(b.contains_point(v));
+        }
+        assert!(b.contains_point(p(2.0, -0.7)));
+        assert!(!b.contains_point(p(2.0, -0.9)));
+    }
+
+    #[test]
+    fn buffer_monotone_in_distance() {
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        let b1 = buffer_polygon(&sq, 0.2, BufferStyle::new()).unwrap();
+        let b2 = buffer_polygon(&sq, 0.6, BufferStyle::new()).unwrap();
+        assert!(b2.area() > b1.area());
+    }
+
+    #[test]
+    fn buffer_concave_fills_narrow_notch() {
+        // A U with a notch of width 1; buffering by 0.6 overlaps the arms'
+        // buffers across the notch opening.
+        let u = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        let b = buffer_polygon(&u, 0.6, BufferStyle::new()).unwrap();
+        // Points deep inside the notch are within 0.6 of both arms.
+        assert!(b.contains_point(p(1.5, 2.9)));
+        // Area exceeds the original.
+        assert!(b.area() > u.area() + 1.0);
+        // Every original vertex is covered.
+        for &v in u.vertices() {
+            assert!(b.contains_point(v));
+        }
+    }
+
+    #[test]
+    fn buffer_point_gives_disc() {
+        let c = buffer_point(p(1.0, 1.0), 0.5, BufferStyle::new()).unwrap();
+        assert!(c.contains_point(p(1.0, 1.0)));
+        assert!(c.contains_point(p(1.45, 1.0)));
+        assert!(!c.contains_point(p(1.6, 1.0)));
+    }
+
+    #[test]
+    fn coarse_style_has_fewer_vertices() {
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(1.0, 1.0)).unwrap();
+        let fine = buffer_polygon(&sq, 0.5, BufferStyle::new()).unwrap();
+        let coarse = buffer_polygon(&sq, 0.5, BufferStyle::coarse()).unwrap();
+        let nf: usize = fine.iter().map(|q| q.len()).sum();
+        let nc: usize = coarse.iter().map(|q| q.len()).sum();
+        assert!(nc < nf);
+    }
+}

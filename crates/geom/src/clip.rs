@@ -1,0 +1,260 @@
+//! Sutherland–Hodgman clipping against half-planes and convex windows.
+//!
+//! This is the per-tile clipping step of Algorithm 1 in the paper
+//! (`cell_{i,j} = box_{i,j} ∩ A_n`) and the building block of the
+//! convex-decomposition boolean engine in [`crate::boolean`].
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// A closed half-plane `{ p : n · p <= c }` with inward-pointing constraint
+/// normal `n` pointing *out* of the kept region.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, clip::HalfPlane};
+/// // Keep everything left of the vertical line x = 2 (travelling upward).
+/// let hp = HalfPlane::left_of_edge(Point::new(2.0, 0.0), Point::new(2.0, 1.0));
+/// assert!(hp.contains(Point::new(1.0, 5.0)));
+/// assert!(!hp.contains(Point::new(3.0, 5.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalfPlane {
+    /// Outward normal of the kept region.
+    normal: Point,
+    /// Offset: points with `normal · p <= offset` are kept.
+    offset: f64,
+}
+
+impl HalfPlane {
+    /// Half-plane keeping everything to the *left* of the directed edge
+    /// `a → b` (the interior side for counter-clockwise polygons).
+    pub fn left_of_edge(a: Point, b: Point) -> Self {
+        // Left of a→b means cross(b-a, p-a) >= 0, i.e. -perp·(p-a) <= 0.
+        let n = -(b - a).perp();
+        HalfPlane {
+            normal: n,
+            offset: n.dot(a),
+        }
+    }
+
+    /// Half-plane keeping everything to the *right* of the directed edge
+    /// `a → b` (outside of a counter-clockwise polygon's edge).
+    pub fn right_of_edge(a: Point, b: Point) -> Self {
+        let n = (b - a).perp();
+        HalfPlane {
+            normal: n,
+            offset: n.dot(a),
+        }
+    }
+
+    /// Signed violation of the constraint at `p` (non-positive inside).
+    pub fn signed_distance(&self, p: Point) -> f64 {
+        let scale = self.normal.norm().max(EPS);
+        (self.normal.dot(p) - self.offset) / scale
+    }
+
+    /// `true` if `p` is kept (inside or on the boundary).
+    pub fn contains(&self, p: Point) -> bool {
+        self.signed_distance(p) <= EPS
+    }
+
+    /// The half-plane shifted outward (kept region grows) by `d`.
+    pub fn shifted_outward(&self, d: f64) -> HalfPlane {
+        HalfPlane {
+            normal: self.normal,
+            offset: self.offset + d * self.normal.norm(),
+        }
+    }
+}
+
+/// Clips a polygon against a single half-plane (one Sutherland–Hodgman
+/// pass). Returns `None` when nothing (of positive area) remains.
+pub fn clip_halfplane(poly: &Polygon, hp: &HalfPlane) -> Option<Polygon> {
+    clip_ring_halfplane(poly.vertices(), hp).and_then(|ring| Polygon::new(ring).ok())
+}
+
+fn clip_ring_halfplane(ring: &[Point], hp: &HalfPlane) -> Option<Vec<Point>> {
+    let n = ring.len();
+    let mut out: Vec<Point> = Vec::with_capacity(n + 4);
+    for i in 0..n {
+        let cur = ring[i];
+        let next = ring[(i + 1) % n];
+        let d_cur = hp.signed_distance(cur);
+        let d_next = hp.signed_distance(next);
+        let cur_in = d_cur <= EPS;
+        let next_in = d_next <= EPS;
+        if cur_in {
+            out.push(cur);
+        }
+        if cur_in != next_in {
+            let denom = d_cur - d_next;
+            if denom.abs() > EPS * EPS {
+                let t = d_cur / denom;
+                out.push(cur.lerp(next, t.clamp(0.0, 1.0)));
+            }
+        }
+    }
+    if out.len() < 3 {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Clips `poly` against a *convex* counter-clockwise window polygon.
+///
+/// Returns `None` when the intersection is empty or degenerate. The window
+/// must be convex; concave windows silently produce incorrect output (use
+/// [`crate::boolean::intersection`] for the general case).
+pub fn clip_convex(poly: &Polygon, window: &Polygon) -> Option<Polygon> {
+    debug_assert!(window.is_convex(), "clip window must be convex");
+    let wverts = window.vertices();
+    let mut ring: Vec<Point> = poly.vertices().to_vec();
+    let m = wverts.len();
+    for i in 0..m {
+        let hp = HalfPlane::left_of_edge(wverts[i], wverts[(i + 1) % m]);
+        match clip_ring_halfplane(&ring, &hp) {
+            Some(next) => ring = next,
+            None => return None,
+        }
+    }
+    Polygon::new(ring).ok()
+}
+
+/// Clips `poly` against an axis-aligned rectangle (fast path used by the
+/// tiling loop of Algorithm 1).
+pub fn clip_rect(poly: &Polygon, window: &Rect) -> Option<Polygon> {
+    // Quick reject on bounds.
+    if !poly.bounds().intersects(window) {
+        return None;
+    }
+    clip_convex(poly, &window.to_polygon())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::rectangle(p(x0, y0), p(x1, y1)).unwrap()
+    }
+
+    #[test]
+    fn halfplane_sides() {
+        let hp = HalfPlane::left_of_edge(p(0.0, 0.0), p(0.0, 1.0));
+        assert!(hp.contains(p(-1.0, 0.5)));
+        assert!(!hp.contains(p(1.0, 0.5)));
+        assert!(hp.contains(p(0.0, 0.5))); // boundary
+        let hp_r = HalfPlane::right_of_edge(p(0.0, 0.0), p(0.0, 1.0));
+        assert!(hp_r.contains(p(1.0, 0.5)));
+        assert!(!hp_r.contains(p(-1.0, 0.5)));
+    }
+
+    #[test]
+    fn halfplane_shift() {
+        let hp = HalfPlane::left_of_edge(p(0.0, 0.0), p(0.0, 1.0));
+        let grown = hp.shifted_outward(2.0);
+        assert!(grown.contains(p(1.5, 0.0)));
+        assert!(!grown.contains(p(2.5, 0.0)));
+    }
+
+    #[test]
+    fn clip_halfplane_splits_square() {
+        let sq = square(0.0, 0.0, 2.0, 2.0);
+        let hp = HalfPlane::left_of_edge(p(1.0, 0.0), p(1.0, 2.0));
+        let clipped = clip_halfplane(&sq, &hp).unwrap();
+        assert!((clipped.area() - 2.0).abs() < 1e-12);
+        assert!(clipped.contains_point(p(0.5, 1.0)));
+        assert!(!clipped.contains_point(p(1.5, 1.0)));
+    }
+
+    #[test]
+    fn clip_halfplane_all_inside() {
+        let sq = square(0.0, 0.0, 1.0, 1.0);
+        let hp = HalfPlane::left_of_edge(p(5.0, 0.0), p(5.0, 1.0));
+        let clipped = clip_halfplane(&sq, &hp).unwrap();
+        assert!((clipped.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_halfplane_all_outside() {
+        let sq = square(0.0, 0.0, 1.0, 1.0);
+        let hp = HalfPlane::left_of_edge(p(-1.0, 0.0), p(-1.0, 1.0));
+        assert!(clip_halfplane(&sq, &hp).is_none());
+    }
+
+    #[test]
+    fn clip_convex_overlapping_squares() {
+        let a = square(0.0, 0.0, 2.0, 2.0);
+        let b = square(1.0, 1.0, 3.0, 3.0);
+        let c = clip_convex(&a, &b).unwrap();
+        assert!((c.area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_convex_triangle_window() {
+        let sq = square(0.0, 0.0, 2.0, 2.0);
+        let tri = Polygon::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(0.0, 4.0)]).unwrap();
+        let c = clip_convex(&sq, &tri).unwrap();
+        // The square loses the corner above the line x + y = 4 — but that
+        // line is outside the square, so the whole square survives.
+        assert!((c.area() - 2.0 * 2.0).abs() < 1e-9);
+        let small_tri = Polygon::new(vec![p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0)]).unwrap();
+        let c2 = clip_convex(&sq, &small_tri).unwrap();
+        assert!((c2.area() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clip_convex_disjoint_returns_none() {
+        let a = square(0.0, 0.0, 1.0, 1.0);
+        let b = square(5.0, 5.0, 6.0, 6.0);
+        assert!(clip_convex(&a, &b).is_none());
+    }
+
+    #[test]
+    fn clip_convex_concave_subject() {
+        // A U-shaped subject against a rectangle window covering the notch.
+        let u = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        let window = square(0.0, 0.0, 3.0, 0.5);
+        let c = clip_rect(&u, &Rect::new(p(0.0, 0.0), p(3.0, 0.5)).unwrap()).unwrap();
+        assert!((c.area() - 1.5).abs() < 1e-9);
+        assert!(u.contains_point(c.centroid()));
+        assert!(window.contains_point(c.centroid()));
+    }
+
+    #[test]
+    fn clip_rect_quick_reject() {
+        let sq = square(0.0, 0.0, 1.0, 1.0);
+        let far = Rect::new(p(10.0, 10.0), p(11.0, 11.0)).unwrap();
+        assert!(clip_rect(&sq, &far).is_none());
+    }
+
+    #[test]
+    fn clip_preserves_area_partition() {
+        // Clipping by a half-plane and its complement partitions the area.
+        let tri = Polygon::new(vec![p(0.0, 0.0), p(4.0, 0.0), p(1.0, 3.0)]).unwrap();
+        let hp_left = HalfPlane::left_of_edge(p(1.5, -1.0), p(1.5, 5.0));
+        let hp_right = HalfPlane::right_of_edge(p(1.5, -1.0), p(1.5, 5.0));
+        let left = clip_halfplane(&tri, &hp_left).map_or(0.0, |q| q.area());
+        let right = clip_halfplane(&tri, &hp_right).map_or(0.0, |q| q.area());
+        assert!((left + right - tri.area()).abs() < 1e-9);
+    }
+}

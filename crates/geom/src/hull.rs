@@ -1,0 +1,131 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::{GeomError, EPS};
+
+/// Computes the convex hull of a point cloud as a counter-clockwise
+/// polygon.
+///
+/// # Errors
+///
+/// Returns [`GeomError::DegeneratePolygon`] when fewer than three
+/// non-collinear points are supplied.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, hull::convex_hull};
+/// # fn main() -> Result<(), sprout_geom::GeomError> {
+/// let pts = vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(2.0, 0.0),
+///     Point::new(1.0, 1.0), // interior
+///     Point::new(2.0, 2.0),
+///     Point::new(0.0, 2.0),
+/// ];
+/// let hull = convex_hull(&pts)?;
+/// assert_eq!(hull.len(), 4);
+/// assert_eq!(hull.area(), 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn convex_hull(points: &[Point]) -> Result<Polygon, GeomError> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| {
+        a.x.partial_cmp(&b.x)
+            .expect("finite coordinates")
+            .then(a.y.partial_cmp(&b.y).expect("finite coordinates"))
+    });
+    pts.dedup_by(|a, b| a.approx_eq(*b, EPS));
+    if pts.len() < 3 {
+        return Err(GeomError::DegeneratePolygon {
+            vertices: pts.len(),
+        });
+    }
+
+    let mut lower: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in &pts {
+        while lower.len() >= 2 {
+            let a = lower[lower.len() - 2];
+            let b = lower[lower.len() - 1];
+            if (b - a).cross(p - a) <= EPS {
+                lower.pop();
+            } else {
+                break;
+            }
+        }
+        lower.push(p);
+    }
+    let mut upper: Vec<Point> = Vec::with_capacity(pts.len());
+    for &p in pts.iter().rev() {
+        while upper.len() >= 2 {
+            let a = upper[upper.len() - 2];
+            let b = upper[upper.len() - 1];
+            if (b - a).cross(p - a) <= EPS {
+                upper.pop();
+            } else {
+                break;
+            }
+        }
+        upper.push(p);
+    }
+    lower.pop();
+    upper.pop();
+    lower.extend(upper);
+    Polygon::new(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.5),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.5, 1.5),
+            p(0.0, 2.0),
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        assert_eq!(hull.len(), 4);
+        assert_eq!(hull.area(), 4.0);
+        assert!(hull.is_convex());
+    }
+
+    #[test]
+    fn hull_rejects_collinear() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)];
+        assert!(convex_hull(&pts).is_err());
+    }
+
+    #[test]
+    fn hull_rejects_too_few() {
+        assert!(convex_hull(&[p(0.0, 0.0), p(1.0, 0.0)]).is_err());
+        // Duplicate points collapse.
+        assert!(convex_hull(&[p(0.0, 0.0), p(0.0, 0.0), p(1.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(3.0, 1.0),
+            p(1.0, 4.0),
+            p(-2.0, 2.0),
+            p(1.0, 1.0),
+            p(0.5, 2.0),
+        ];
+        let hull = convex_hull(&pts).unwrap();
+        for &q in &pts {
+            assert!(hull.contains_point(q), "{q} should be inside the hull");
+        }
+    }
+}

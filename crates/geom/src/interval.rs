@@ -1,0 +1,218 @@
+//! One-dimensional interval sets.
+//!
+//! Tile contact widths (the conductance weights of Fig. 6 in the paper)
+//! are measured by intersecting the cross-sections of adjacent cells along
+//! their shared grid line; those cross-sections are interval sets.
+
+use crate::EPS;
+
+/// A set of disjoint, sorted, closed intervals on the real line.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::IntervalSet;
+/// let mut s = IntervalSet::new();
+/// s.insert(0.0, 1.0);
+/// s.insert(2.0, 3.0);
+/// s.insert(0.5, 2.5); // bridges the gap
+/// assert_eq!(s.intervals().len(), 1);
+/// assert_eq!(s.total_length(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IntervalSet {
+    /// Disjoint intervals sorted by start.
+    intervals: Vec<(f64, f64)>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Creates a set holding a single interval (empty if `hi <= lo`).
+    pub fn from_interval(lo: f64, hi: f64) -> Self {
+        let mut s = IntervalSet::new();
+        s.insert(lo, hi);
+        s
+    }
+
+    /// The disjoint intervals, sorted by start.
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.intervals
+    }
+
+    /// `true` if the set holds no interval.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Inserts `[lo, hi]`, merging with existing intervals that touch or
+    /// overlap (within `EPS`). Empty/inverted inputs are ignored.
+    pub fn insert(&mut self, lo: f64, hi: f64) {
+        if hi - lo <= EPS {
+            return;
+        }
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.intervals.len() + 1);
+        let mut placed = false;
+        for &(a, b) in &self.intervals {
+            if b < new_lo - EPS {
+                out.push((a, b));
+            } else if a > new_hi + EPS {
+                if !placed {
+                    out.push((new_lo, new_hi));
+                    placed = true;
+                }
+                out.push((a, b));
+            } else {
+                new_lo = new_lo.min(a);
+                new_hi = new_hi.max(b);
+            }
+        }
+        if !placed {
+            out.push((new_lo, new_hi));
+        }
+        self.intervals = out;
+    }
+
+    /// Total measure of the set.
+    pub fn total_length(&self) -> f64 {
+        self.intervals.iter().map(|&(a, b)| b - a).sum()
+    }
+
+    /// Intersection with another interval set.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = IntervalSet::new();
+        let mut i = 0;
+        let mut j = 0;
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (a1, b1) = self.intervals[i];
+            let (a2, b2) = other.intervals[j];
+            let lo = a1.max(a2);
+            let hi = b1.min(b2);
+            if hi - lo > EPS {
+                out.insert(lo, hi);
+            }
+            if b1 < b2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Union with another interval set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for &(a, b) in &other.intervals {
+            out.insert(a, b);
+        }
+        out
+    }
+
+    /// `true` if `x` is covered by some interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        self.intervals
+            .iter()
+            .any(|&(a, b)| x >= a - EPS && x <= b + EPS)
+    }
+}
+
+impl FromIterator<(f64, f64)> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut s = IntervalSet::new();
+        for (a, b) in iter {
+            s.insert(a, b);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_disjoint_keeps_sorted() {
+        let mut s = IntervalSet::new();
+        s.insert(5.0, 6.0);
+        s.insert(0.0, 1.0);
+        s.insert(2.0, 3.0);
+        assert_eq!(s.intervals(), &[(0.0, 1.0), (2.0, 3.0), (5.0, 6.0)]);
+        assert_eq!(s.total_length(), 3.0);
+    }
+
+    #[test]
+    fn insert_merges_overlaps() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 2.0);
+        s.insert(1.0, 3.0);
+        assert_eq!(s.intervals(), &[(0.0, 3.0)]);
+        s.insert(2.9, 10.0);
+        assert_eq!(s.intervals(), &[(0.0, 10.0)]);
+    }
+
+    #[test]
+    fn insert_merges_touching() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 1.0);
+        s.insert(1.0, 2.0);
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.total_length(), 2.0);
+    }
+
+    #[test]
+    fn insert_ignores_empty() {
+        let mut s = IntervalSet::new();
+        s.insert(1.0, 1.0);
+        s.insert(2.0, 1.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_bridging_three() {
+        let mut s = IntervalSet::new();
+        s.insert(0.0, 1.0);
+        s.insert(2.0, 3.0);
+        s.insert(4.0, 5.0);
+        s.insert(0.5, 4.5);
+        assert_eq!(s.intervals(), &[(0.0, 5.0)]);
+    }
+
+    #[test]
+    fn intersection() {
+        let a: IntervalSet = [(0.0, 2.0), (4.0, 6.0)].into_iter().collect();
+        let b: IntervalSet = [(1.0, 5.0)].into_iter().collect();
+        let c = a.intersect(&b);
+        assert_eq!(c.intervals(), &[(1.0, 2.0), (4.0, 5.0)]);
+        assert_eq!(c.total_length(), 2.0);
+    }
+
+    #[test]
+    fn intersection_empty() {
+        let a: IntervalSet = [(0.0, 1.0)].into_iter().collect();
+        let b: IntervalSet = [(2.0, 3.0)].into_iter().collect();
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn union_merges() {
+        let a: IntervalSet = [(0.0, 1.0)].into_iter().collect();
+        let b: IntervalSet = [(0.5, 2.0), (3.0, 4.0)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.intervals(), &[(0.0, 2.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn contains() {
+        let s: IntervalSet = [(0.0, 1.0), (2.0, 3.0)].into_iter().collect();
+        assert!(s.contains(0.5));
+        assert!(s.contains(1.0));
+        assert!(!s.contains(1.5));
+        assert!(s.contains(2.5));
+    }
+}

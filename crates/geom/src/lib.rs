@@ -1,0 +1,105 @@
+//! # sprout-geom
+//!
+//! Two-dimensional computational geometry substrate for the SPROUT
+//! board-level power-network synthesis tool.
+//!
+//! The SPROUT paper (Bairamkulov et al., DAC 2021) relies on "efficient
+//! polygon clipping algorithms" (§II-A, refs \[22\]\[23\]\[28\]) to compute the
+//! available routing space, on rectangle/polygon intersections for the
+//! tiling of Algorithm 1, and on polygon unions for back conversion
+//! (§II-G). This crate provides those primitives from scratch:
+//!
+//! * [`Point`], [`Segment`], [`Rect`], [`Polygon`] — core primitives.
+//! * [`clip`] — Sutherland–Hodgman clipping against convex windows and
+//!   half-plane sequences.
+//! * [`boolean`] — intersection / difference / union of polygon sets via
+//!   convex decomposition (a generic clipping solution in the spirit of
+//!   Vatti \[23\]); results are *hole-free disjoint piece sets*, which keeps
+//!   every downstream consumer (tiling, extraction, rendering) simple and
+//!   numerically robust.
+//! * [`buffer`] — design-rule buffering (polygon offsetting) used to keep
+//!   nets properly spaced (§II-A, Fig. 4).
+//! * [`triangulate`], [`hull`] — ear-clipping triangulation and convex
+//!   hulls supporting concave buffering and decomposition.
+//! * [`stitch`] — exact rectilinear union of grid-aligned cells used by the
+//!   back-conversion stage (§II-G).
+//! * [`interval`] — 1-D interval sets for tile contact-width computation
+//!   (edge conductance weights of Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use sprout_geom::{Point, Polygon, boolean};
+//!
+//! # fn main() -> Result<(), sprout_geom::GeomError> {
+//! let a = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(2.0, 2.0))?;
+//! let b = Polygon::rectangle(Point::new(1.0, 1.0), Point::new(3.0, 3.0))?;
+//! let inter = boolean::intersection(&a, &b);
+//! assert!((inter.area() - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod boolean;
+pub mod buffer;
+pub mod clip;
+pub mod hull;
+pub mod interval;
+pub mod point;
+pub mod polygon;
+pub mod rect;
+pub mod segment;
+pub mod stitch;
+pub mod triangulate;
+
+pub use boolean::PolygonSet;
+pub use interval::IntervalSet;
+pub use point::Point;
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use segment::Segment;
+
+use std::fmt;
+
+/// Absolute tolerance used by geometric predicates on coordinates that are
+/// expected to be O(1)–O(1000) (board dimensions in millimetres).
+pub const EPS: f64 = 1e-9;
+
+/// Tolerance for area comparisons (EPS²-scale quantities accumulate more
+/// rounding, so a looser bound is appropriate).
+pub const AREA_EPS: f64 = 1e-9;
+
+/// Error type for geometry construction and operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A polygon needs at least three non-collinear vertices.
+    DegeneratePolygon {
+        /// Number of distinct vertices supplied.
+        vertices: usize,
+    },
+    /// The polygon has (numerically) zero area.
+    ZeroArea,
+    /// A self-intersecting ring was supplied where a simple polygon is
+    /// required.
+    SelfIntersecting,
+    /// An invalid rectangle (min not component-wise below max).
+    InvalidRect,
+    /// A negative buffer distance or other invalid parameter.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DegeneratePolygon { vertices } => {
+                write!(f, "polygon needs >= 3 distinct vertices, got {vertices}")
+            }
+            GeomError::ZeroArea => write!(f, "polygon has zero area"),
+            GeomError::SelfIntersecting => write!(f, "ring is self-intersecting"),
+            GeomError::InvalidRect => write!(f, "rectangle min must be below max"),
+            GeomError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}

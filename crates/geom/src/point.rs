@@ -1,0 +1,273 @@
+//! 2-D points/vectors and orientation predicates.
+
+use crate::EPS;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A point (or vector) in the board plane. Coordinates are in millimetres
+/// throughout the SPROUT workspace.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::Point;
+/// let p = Point::new(1.0, 2.0);
+/// let q = Point::new(4.0, 6.0);
+/// assert_eq!(p.distance(q), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (mm).
+    pub x: f64,
+    /// Vertical coordinate (mm).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Dot product, treating both points as vectors.
+    pub fn dot(self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    pub fn cross(self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm of the vector from the origin.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared norm (avoids the square root).
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Point) -> f64 {
+        (other - self).norm()
+    }
+
+    /// Squared distance to another point.
+    pub fn distance_sq(self, other: Point) -> f64 {
+        (other - self).norm_sq()
+    }
+
+    /// Unit vector in the same direction.
+    ///
+    /// Returns `None` for (numerically) zero-length vectors.
+    pub fn normalized(self) -> Option<Point> {
+        let n = self.norm();
+        if n < EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    pub fn perp(self) -> Point {
+        Point::new(-self.y, self.x)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// `true` if both coordinates are within `tol` of `other`'s.
+    pub fn approx_eq(self, other: Point, tol: f64) -> bool {
+        (self.x - other.x).abs() <= tol && (self.y - other.y).abs() <= tol
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    fn div(self, rhs: f64) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Point {
+    type Output = Point;
+    fn neg(self) -> Point {
+        Point::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// Twice the signed area of triangle `(a, b, c)`.
+///
+/// Positive when `c` lies to the left of the directed line `a → b`
+/// (counter-clockwise turn), negative to the right, (near) zero when
+/// collinear.
+pub fn orient2d(a: Point, b: Point, c: Point) -> f64 {
+    (b - a).cross(c - a)
+}
+
+/// Classification of `c` relative to the directed line `a → b`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn (left of the line).
+    Ccw,
+    /// Clockwise turn (right of the line).
+    Cw,
+    /// Collinear within tolerance.
+    Collinear,
+}
+
+/// Classifies the turn `a → b → c` with a tolerance scaled by the segment
+/// lengths involved (so the predicate is meaningful for both micrometre and
+/// metre scale inputs).
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let v = orient2d(a, b, c);
+    let scale = (b - a).norm() * ((c - a).norm() + (c - b).norm()).max(1.0);
+    let tol = EPS * scale.max(1.0);
+    if v > tol {
+        Orientation::Ccw
+    } else if v < -tol {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_ops() {
+        let p = Point::new(1.0, 2.0);
+        let q = Point::new(3.0, -1.0);
+        assert_eq!(p + q, Point::new(4.0, 1.0));
+        assert_eq!(p - q, Point::new(-2.0, 3.0));
+        assert_eq!(p * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(q / 2.0, Point::new(1.5, -0.5));
+        assert_eq!(-p, Point::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let p = Point::new(1.0, 0.0);
+        let q = Point::new(0.0, 1.0);
+        assert_eq!(p.dot(q), 0.0);
+        assert_eq!(p.cross(q), 1.0);
+        assert_eq!(q.cross(p), -1.0);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let p = Point::new(3.0, 4.0);
+        assert_eq!(p.norm(), 5.0);
+        assert_eq!(p.norm_sq(), 25.0);
+        assert_eq!(Point::ORIGIN.distance(p), 5.0);
+        assert_eq!(Point::ORIGIN.distance_sq(p), 25.0);
+    }
+
+    #[test]
+    fn normalized_unit_and_zero() {
+        let p = Point::new(0.0, 2.0);
+        assert_eq!(p.normalized(), Some(Point::new(0.0, 1.0)));
+        assert_eq!(Point::ORIGIN.normalized(), None);
+    }
+
+    #[test]
+    fn perp_rotates_ccw() {
+        assert_eq!(Point::new(1.0, 0.0).perp(), Point::new(0.0, 1.0));
+        assert_eq!(Point::new(0.0, 1.0).perp(), Point::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn orientation_classifies_turns() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(orientation(a, b, Point::new(0.5, 1.0)), Orientation::Ccw);
+        assert_eq!(orientation(a, b, Point::new(0.5, -1.0)), Orientation::Cw);
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_scale_invariance() {
+        // The same right turn at millimetre and metre scales.
+        for scale in [1e-3, 1.0, 1e3] {
+            let a = Point::new(0.0, 0.0);
+            let b = Point::new(scale, 0.0);
+            let c = Point::new(scale, -scale);
+            assert_eq!(orientation(a, b, c), Orientation::Cw, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let p = Point::new(1.0, 5.0);
+        let q = Point::new(3.0, 2.0);
+        assert_eq!(p.min(q), Point::new(1.0, 2.0));
+        assert_eq!(p.max(q), Point::new(3.0, 5.0));
+    }
+}

@@ -1,0 +1,706 @@
+//! Simple polygons: construction, measures, containment, cross-sections.
+
+use crate::interval::IntervalSet;
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::segment::Segment;
+use crate::{GeomError, EPS};
+
+/// A simple polygon stored as a counter-clockwise ring of vertices
+/// (implicitly closed; the last vertex connects back to the first).
+///
+/// Construction normalizes orientation to counter-clockwise, removes
+/// duplicate and collinear-redundant vertices, and rejects degenerate
+/// rings. Self-intersection is *not* checked during construction (it is
+/// `O(n²)`); use [`Polygon::is_simple`] when the input is untrusted.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, Polygon};
+/// # fn main() -> Result<(), sprout_geom::GeomError> {
+/// let tri = Polygon::new(vec![
+///     Point::new(0.0, 0.0),
+///     Point::new(4.0, 0.0),
+///     Point::new(0.0, 3.0),
+/// ])?;
+/// assert_eq!(tri.area(), 6.0);
+/// assert!(tri.contains_point(Point::new(1.0, 1.0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Builds a polygon from a vertex ring (either orientation accepted).
+    ///
+    /// # Errors
+    ///
+    /// * [`GeomError::DegeneratePolygon`] — fewer than three distinct
+    ///   vertices after cleanup.
+    /// * [`GeomError::ZeroArea`] — the ring encloses (numerically) no area.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, GeomError> {
+        let cleaned = clean_ring(vertices);
+        if cleaned.len() < 3 {
+            return Err(GeomError::DegeneratePolygon {
+                vertices: cleaned.len(),
+            });
+        }
+        let signed = signed_area(&cleaned);
+        // Scale-aware zero-area test: compare to the square of the extent.
+        let bounds_scale = ring_extent(&cleaned);
+        if signed.abs() <= EPS * bounds_scale * bounds_scale.max(1.0) {
+            return Err(GeomError::ZeroArea);
+        }
+        let mut vertices = cleaned;
+        if signed < 0.0 {
+            vertices.reverse();
+        }
+        Ok(Polygon { vertices })
+    }
+
+    /// Axis-aligned rectangle polygon from two opposite corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidRect`] for zero width or height.
+    pub fn rectangle(a: Point, b: Point) -> Result<Self, GeomError> {
+        Ok(Rect::from_corners(a, b)?.to_polygon())
+    }
+
+    /// Regular `n`-gon approximating a circle (used for via and capacitor
+    /// pads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidParameter`] if `n < 3` or
+    /// `radius <= 0`.
+    pub fn regular(center: Point, radius: f64, n: usize) -> Result<Self, GeomError> {
+        if n < 3 {
+            return Err(GeomError::InvalidParameter("regular polygon needs n >= 3"));
+        }
+        if radius <= 0.0 {
+            return Err(GeomError::InvalidParameter("radius must be positive"));
+        }
+        let vertices = (0..n)
+            .map(|i| {
+                let theta = std::f64::consts::TAU * i as f64 / n as f64;
+                center + Point::new(radius * theta.cos(), radius * theta.sin())
+            })
+            .collect();
+        Polygon::new(vertices)
+    }
+
+    /// Vertices in counter-clockwise order.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a valid polygon has at least three vertices.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterator over the edges (closing edge included).
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.vertices.len();
+        (0..n).map(move |i| Segment::new(self.vertices[i], self.vertices[(i + 1) % n]))
+    }
+
+    /// Enclosed area (always positive).
+    pub fn area(&self) -> f64 {
+        signed_area(&self.vertices)
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid.
+    pub fn centroid(&self) -> Point {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        let mut a = 0.0;
+        let n = self.vertices.len();
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+            a += w;
+        }
+        if a.abs() < EPS {
+            // Fall back to the vertex average for (near) degenerate rings.
+            let sum = self
+                .vertices
+                .iter()
+                .fold(Point::ORIGIN, |acc, &v| acc + v);
+            return sum / n as f64;
+        }
+        Point::new(cx / (3.0 * a), cy / (3.0 * a))
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bounds(&self) -> Rect {
+        let mut min = self.vertices[0];
+        let mut max = self.vertices[0];
+        for &v in &self.vertices[1..] {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        // A valid polygon has positive extent in both axes... except
+        // axis-parallel slivers that passed the area test; pad those.
+        Rect::new(min, max).unwrap_or_else(|_| {
+            Rect::new(
+                min - Point::new(EPS, EPS),
+                max + Point::new(EPS, EPS),
+            )
+            .expect("padded bounds are valid")
+        })
+    }
+
+    /// Even-odd (ray casting) point containment; boundary points count as
+    /// inside.
+    pub fn contains_point(&self, p: Point) -> bool {
+        // Boundary check first: ray casting is unreliable exactly on edges.
+        let scale = ring_extent(&self.vertices).max(1.0);
+        for e in self.edges() {
+            if e.distance_to_point(p) <= EPS * scale {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = vi.x + (p.y - vi.y) / (vj.y - vi.y) * (vj.x - vi.x);
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// `true` if every turn is counter-clockwise or collinear.
+    pub fn is_convex(&self) -> bool {
+        let n = self.vertices.len();
+        let scale = ring_extent(&self.vertices).max(1.0);
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let c = self.vertices[(i + 2) % n];
+            if (b - a).cross(c - b) < -EPS * scale * scale {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `O(n²)` self-intersection test (adjacent edges excluded).
+    pub fn is_simple(&self) -> bool {
+        let edges: Vec<Segment> = self.edges().collect();
+        let n = edges.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let adjacent = j == i + 1 || (i == 0 && j == n - 1);
+                if adjacent {
+                    continue;
+                }
+                if !matches!(
+                    edges[i].intersect(&edges[j]),
+                    crate::segment::SegmentIntersection::None
+                ) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Polygon shifted by `delta`.
+    pub fn translated(&self, delta: Point) -> Polygon {
+        Polygon {
+            vertices: self.vertices.iter().map(|&v| v + delta).collect(),
+        }
+    }
+
+    /// Polygon scaled about the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero (the result would be degenerate).
+    pub fn scaled(&self, factor: f64) -> Polygon {
+        assert!(factor != 0.0, "scale factor must be nonzero");
+        // Scaling both axes by the same factor — even a negative one, which
+        // is a 180° rotation — preserves ring orientation.
+        let vertices: Vec<Point> = self.vertices.iter().map(|&v| v * factor).collect();
+        Polygon { vertices }
+    }
+
+    /// Minimum distance from the polygon boundary-or-interior to a point
+    /// (zero for contained points).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        if self.contains_point(p) {
+            return 0.0;
+        }
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Minimum distance between this polygon and another (zero when they
+    /// touch or overlap).
+    pub fn distance_to_polygon(&self, other: &Polygon) -> f64 {
+        if self.contains_point(other.vertices[0]) || other.contains_point(self.vertices[0]) {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for e in self.edges() {
+            for f in other.edges() {
+                best = best.min(e.distance_to_segment(&f));
+                if best == 0.0 {
+                    return 0.0;
+                }
+            }
+        }
+        best
+    }
+
+    /// Interval set of `y` values where the vertical line `x = x0` passes
+    /// through the polygon interior.
+    ///
+    /// Used to measure the contact width between adjacent tiles (Fig. 6 of
+    /// the paper): evaluate slightly inside each tile and intersect.
+    pub fn cross_section_x(&self, x0: f64) -> IntervalSet {
+        let mut crossings: Vec<f64> = Vec::new();
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if (a.x > x0) != (b.x > x0) {
+                let t = (x0 - a.x) / (b.x - a.x);
+                crossings.push(a.y + t * (b.y - a.y));
+            }
+        }
+        crossings.sort_by(|p, q| p.partial_cmp(q).expect("finite coordinates"));
+        let mut set = IntervalSet::new();
+        for pair in crossings.chunks_exact(2) {
+            set.insert(pair[0], pair[1]);
+        }
+        set
+    }
+
+    /// Interval set of `x` values where the horizontal line `y = y0` passes
+    /// through the polygon interior.
+    pub fn cross_section_y(&self, y0: f64) -> IntervalSet {
+        let mut crossings: Vec<f64> = Vec::new();
+        let n = self.vertices.len();
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if (a.y > y0) != (b.y > y0) {
+                let t = (y0 - a.y) / (b.y - a.y);
+                crossings.push(a.x + t * (b.x - a.x));
+            }
+        }
+        crossings.sort_by(|p, q| p.partial_cmp(q).expect("finite coordinates"));
+        let mut set = IntervalSet::new();
+        for pair in crossings.chunks_exact(2) {
+            set.insert(pair[0], pair[1]);
+        }
+        set
+    }
+}
+
+/// Twice the signed area, divided by two: positive for counter-clockwise
+/// rings.
+fn signed_area(ring: &[Point]) -> f64 {
+    let n = ring.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += ring[i].cross(ring[(i + 1) % n]);
+    }
+    acc / 2.0
+}
+
+/// Largest coordinate extent of the ring (for scale-aware tolerances).
+fn ring_extent(ring: &[Point]) -> f64 {
+    if ring.is_empty() {
+        return 0.0;
+    }
+    let mut min = ring[0];
+    let mut max = ring[0];
+    for &v in ring {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    (max.x - min.x).max(max.y - min.y)
+}
+
+/// Removes consecutive duplicates and collinear middle vertices.
+fn clean_ring(vertices: Vec<Point>) -> Vec<Point> {
+    if vertices.len() < 3 {
+        return vertices;
+    }
+    let scale = ring_extent(&vertices).max(1.0);
+    let tol = EPS * scale;
+    // Pass 1: drop consecutive (near-)duplicates, including wrap-around.
+    let mut dedup: Vec<Point> = Vec::with_capacity(vertices.len());
+    for v in vertices {
+        if dedup.last().is_none_or(|&last| !last.approx_eq(v, tol)) {
+            dedup.push(v);
+        }
+    }
+    while dedup.len() > 1 && dedup[0].approx_eq(*dedup.last().expect("nonempty"), tol) {
+        dedup.pop();
+    }
+    if dedup.len() < 3 {
+        return dedup;
+    }
+    // Pass 2: drop collinear middle vertices.
+    let mut out: Vec<Point> = Vec::with_capacity(dedup.len());
+    let n = dedup.len();
+    for i in 0..n {
+        let prev = dedup[(i + n - 1) % n];
+        let cur = dedup[i];
+        let next = dedup[(i + 1) % n];
+        if (cur - prev).cross(next - cur).abs() > EPS * scale * scale {
+            out.push(cur);
+        }
+    }
+    out
+}
+
+impl std::fmt::Display for Polygon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Polygon[{} vertices, area {:.4}]", self.len(), self.area())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn unit_square() -> Polygon {
+        Polygon::rectangle(p(0.0, 0.0), p(1.0, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_degenerate() {
+        assert!(matches!(
+            Polygon::new(vec![p(0.0, 0.0), p(1.0, 0.0)]),
+            Err(GeomError::DegeneratePolygon { .. })
+        ));
+        assert!(matches!(
+            Polygon::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0)]),
+            Err(GeomError::DegeneratePolygon { .. }) | Err(GeomError::ZeroArea)
+        ));
+    }
+
+    #[test]
+    fn construction_normalizes_to_ccw() {
+        let cw = Polygon::new(vec![p(0.0, 0.0), p(0.0, 1.0), p(1.0, 1.0), p(1.0, 0.0)]).unwrap();
+        assert!(signed_area(cw.vertices()) > 0.0);
+        assert_eq!(cw.area(), 1.0);
+    }
+
+    #[test]
+    fn construction_removes_duplicates_and_collinear() {
+        let poly = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(0.5, 0.0), // collinear
+            p(1.0, 0.0),
+            p(1.0, 0.0), // duplicate
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.0, 0.0), // wrap-around duplicate of the first
+        ])
+        .unwrap();
+        assert_eq!(poly.len(), 4);
+        assert_eq!(poly.area(), 1.0);
+    }
+
+    #[test]
+    fn area_perimeter_centroid() {
+        let sq = unit_square();
+        assert_eq!(sq.area(), 1.0);
+        assert_eq!(sq.perimeter(), 4.0);
+        assert!(sq.centroid().approx_eq(p(0.5, 0.5), 1e-12));
+        let tri = Polygon::new(vec![p(0.0, 0.0), p(3.0, 0.0), p(0.0, 3.0)]).unwrap();
+        assert_eq!(tri.area(), 4.5);
+        assert!(tri.centroid().approx_eq(p(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn bounds_covers_all_vertices() {
+        let tri = Polygon::new(vec![p(-1.0, 2.0), p(3.0, -4.0), p(5.0, 6.0)]).unwrap();
+        let b = tri.bounds();
+        assert_eq!(b.min(), p(-1.0, -4.0));
+        assert_eq!(b.max(), p(5.0, 6.0));
+    }
+
+    #[test]
+    fn containment_interior_boundary_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains_point(p(0.5, 0.5)));
+        assert!(sq.contains_point(p(0.0, 0.5))); // edge
+        assert!(sq.contains_point(p(1.0, 1.0))); // corner
+        assert!(!sq.contains_point(p(1.5, 0.5)));
+        assert!(!sq.contains_point(p(-0.001, 0.5)));
+    }
+
+    #[test]
+    fn containment_concave() {
+        // A "U" shape: the notch is outside.
+        let u = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        assert!(u.contains_point(p(0.5, 2.0)));
+        assert!(u.contains_point(p(2.5, 2.0)));
+        assert!(!u.contains_point(p(1.5, 2.0))); // inside the notch
+        assert!(u.contains_point(p(1.5, 0.5)));
+    }
+
+    #[test]
+    fn convexity() {
+        assert!(unit_square().is_convex());
+        let concave = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(1.0, 0.5),
+            p(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(!concave.is_convex());
+    }
+
+    #[test]
+    fn simplicity() {
+        assert!(unit_square().is_simple());
+        // A bowtie built directly (bypassing cleanup effects).
+        let bowtie = Polygon::new(vec![p(0.0, 0.0), p(2.0, 2.0), p(2.0, 0.0), p(0.0, 2.0)]);
+        if let Ok(bt) = bowtie {
+            assert!(!bt.is_simple());
+        }
+    }
+
+    #[test]
+    fn regular_polygon_area_approaches_circle() {
+        let hexagon = Polygon::regular(p(0.0, 0.0), 1.0, 6).unwrap();
+        let expected = 3.0 * 3.0_f64.sqrt() / 2.0;
+        assert!((hexagon.area() - expected).abs() < 1e-12);
+        let many = Polygon::regular(p(0.0, 0.0), 1.0, 256).unwrap();
+        assert!((many.area() - std::f64::consts::PI).abs() < 1e-3);
+        assert!(Polygon::regular(p(0.0, 0.0), 1.0, 2).is_err());
+        assert!(Polygon::regular(p(0.0, 0.0), -1.0, 8).is_err());
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let sq = unit_square();
+        let moved = sq.translated(p(10.0, -5.0));
+        assert!(moved.contains_point(p(10.5, -4.5)));
+        assert_eq!(moved.area(), 1.0);
+        let scaled = sq.scaled(3.0);
+        assert!((scaled.area() - 9.0).abs() < 1e-12);
+        let mirrored = sq.scaled(-1.0);
+        assert!((mirrored.area() - 1.0).abs() < 1e-12); // still positive
+    }
+
+    #[test]
+    fn distances() {
+        let sq = unit_square();
+        assert_eq!(sq.distance_to_point(p(0.5, 0.5)), 0.0);
+        assert_eq!(sq.distance_to_point(p(3.0, 0.5)), 2.0);
+        let other = Polygon::rectangle(p(4.0, 0.0), p(5.0, 1.0)).unwrap();
+        assert_eq!(sq.distance_to_polygon(&other), 3.0);
+        let overlapping = Polygon::rectangle(p(0.5, 0.5), p(2.0, 2.0)).unwrap();
+        assert_eq!(sq.distance_to_polygon(&overlapping), 0.0);
+    }
+
+    #[test]
+    fn cross_sections() {
+        let sq = unit_square();
+        let xs = sq.cross_section_x(0.5);
+        assert!((xs.total_length() - 1.0).abs() < 1e-12);
+        let ys = sq.cross_section_y(0.25);
+        assert!((ys.total_length() - 1.0).abs() < 1e-12);
+        // Outside the polygon: empty.
+        assert!(sq.cross_section_x(2.0).is_empty());
+        // A concave U has two intervals across the notch.
+        let u = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        let sect = u.cross_section_y(2.0);
+        assert_eq!(sect.intervals().len(), 2);
+        assert!((sect.total_length() - 2.0).abs() < 1e-12);
+    }
+}
+
+/// Ring simplification (vertex reduction).
+impl Polygon {
+    /// Returns a simplified polygon with vertices closer than
+    /// `tolerance` to the chord of their neighbours removed
+    /// (Douglas-Peucker applied cyclically). Back-converted SPROUT
+    /// shapes carry one vertex per tile corner; §II-H's polygon-cost
+    /// analysis motivates trimming them before handoff.
+    ///
+    /// Simplification never removes so many vertices that the ring
+    /// degenerates; if it would, the original polygon is returned.
+    pub fn simplified(&self, tolerance: f64) -> Polygon {
+        if tolerance <= 0.0 || self.vertices.len() <= 4 {
+            return self.clone();
+        }
+        // Cyclic Douglas-Peucker: anchor at the two most distant
+        // vertices, simplify both arcs.
+        let n = self.vertices.len();
+        let (mut a, mut b, mut best) = (0usize, n / 2, 0.0f64);
+        for i in 0..n {
+            let d = self.vertices[i].distance_sq(self.vertices[(i + n / 2) % n]);
+            if d > best {
+                best = d;
+                a = i;
+                b = (i + n / 2) % n;
+            }
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let mut kept: Vec<Point> = Vec::with_capacity(n);
+        douglas_peucker(&self.vertices[a..=b], tolerance, &mut kept);
+        kept.pop(); // the joint vertex is re-added by the second arc
+        let mut wrap: Vec<Point> = self.vertices[b..].to_vec();
+        wrap.extend_from_slice(&self.vertices[..=a]);
+        douglas_peucker(&wrap, tolerance, &mut kept);
+        kept.pop(); // closing duplicate
+        Polygon::new(kept).unwrap_or_else(|_| self.clone())
+    }
+}
+
+/// Classic recursive Douglas-Peucker over an open polyline; appends the
+/// kept vertices (including the first, excluding none).
+fn douglas_peucker(points: &[Point], tolerance: f64, out: &mut Vec<Point>) {
+    if points.len() <= 2 {
+        out.extend_from_slice(points);
+        return;
+    }
+    let first = points[0];
+    let last = *points.last().expect("nonempty");
+    let chord = Segment::new(first, last);
+    let (mut worst, mut worst_d) = (0usize, -1.0f64);
+    for (i, &p) in points.iter().enumerate().skip(1).take(points.len() - 2) {
+        let d = chord.distance_to_point(p);
+        if d > worst_d {
+            worst_d = d;
+            worst = i;
+        }
+    }
+    if worst_d <= tolerance {
+        out.push(first);
+        out.push(last);
+        return;
+    }
+    douglas_peucker(&points[..=worst], tolerance, out);
+    out.pop(); // avoid duplicating the split vertex
+    douglas_peucker(&points[worst..], tolerance, out);
+}
+
+#[cfg(test)]
+mod simplify_tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn staircase_collapses_to_rectangle_scale() {
+        // A genuine axis-aligned staircase with 0.05-high steps — the
+        // shape a back-converted tile boundary produces.
+        let mut pts = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 5.0)];
+        for k in 0..10 {
+            let x = 9.0 - k as f64;
+            let y = 5.0 - k as f64 * 0.05;
+            pts.push(p(x, y));
+            pts.push(p(x, y - 0.05));
+        }
+        let poly = Polygon::new(pts).unwrap();
+        assert!(poly.len() > 20, "staircase must survive construction");
+        let simplified = poly.simplified(0.3);
+        assert!(
+            simplified.len() < poly.len() / 2,
+            "{} → {}",
+            poly.len(),
+            simplified.len()
+        );
+        // Area within tolerance × perimeter of the original.
+        assert!((simplified.area() - poly.area()).abs() < 0.3 * poly.perimeter());
+    }
+
+    #[test]
+    fn zero_tolerance_is_identity() {
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        assert_eq!(sq.simplified(0.0), sq);
+        assert_eq!(sq.simplified(1.0), sq); // already minimal
+    }
+
+    #[test]
+    fn never_degenerates() {
+        let tri = Polygon::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.5, 0.01)]).unwrap();
+        // A tolerance larger than the triangle: must return something
+        // valid (the original).
+        let s = tri.simplified(10.0);
+        assert!(s.area() > 0.0);
+    }
+
+    #[test]
+    fn keeps_sharp_corners() {
+        // An L-shape: the inner corner must survive a small tolerance.
+        let l = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 4.0),
+            p(0.0, 4.0),
+        ])
+        .unwrap();
+        let s = l.simplified(0.05);
+        assert_eq!(s.len(), l.len());
+        assert!((s.area() - l.area()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,247 @@
+//! Axis-aligned rectangles — the tiling primitive of Algorithm 1.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::GeomError;
+
+/// An axis-aligned rectangle described by its minimum and maximum corners.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, Rect};
+/// # fn main() -> Result<(), sprout_geom::GeomError> {
+/// let r = Rect::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0))?;
+/// assert_eq!(r.area(), 8.0);
+/// assert!(r.contains_point(Point::new(1.0, 1.0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    min: Point,
+    max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from corner points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidRect`] if `min` is not strictly below
+    /// `max` in both coordinates.
+    pub fn new(min: Point, max: Point) -> Result<Self, GeomError> {
+        if min.x < max.x && min.y < max.y {
+            Ok(Rect { min, max })
+        } else {
+            Err(GeomError::InvalidRect)
+        }
+    }
+
+    /// Rectangle from any two opposite corners (orders the coordinates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidRect`] for zero width or height.
+    pub fn from_corners(a: Point, b: Point) -> Result<Self, GeomError> {
+        Rect::new(a.min(b), a.max(b))
+    }
+
+    /// Rectangle centred at `center` with the given width and height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidRect`] for non-positive dimensions.
+    pub fn from_center_size(center: Point, width: f64, height: f64) -> Result<Self, GeomError> {
+        let half = Point::new(width / 2.0, height / 2.0);
+        Rect::new(center - half, center + half)
+    }
+
+    /// Minimum corner.
+    pub fn min(&self) -> Point {
+        self.min
+    }
+
+    /// Maximum corner.
+    pub fn max(&self) -> Point {
+        self.max
+    }
+
+    /// Width (x extent).
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent).
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centre point.
+    pub fn center(&self) -> Point {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// `true` if `other` lies entirely within `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.contains_point(other.min) && self.contains_point(other.max)
+    }
+
+    /// `true` if the rectangles share any area (touching edges count).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && other.min.x <= self.max.x
+            && self.min.y <= other.max.y
+            && other.min.y <= self.max.y
+    }
+
+    /// Overlap rectangle, if the intersection has positive area.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        Rect::new(self.min.max(other.min), self.max.min(other.max)).ok()
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union_bounds(&self, other: &Rect) -> Rect {
+        Rect {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Rectangle grown outward by `d` on every side (shrunk for negative
+    /// `d`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidRect`] if a negative `d` collapses the
+    /// rectangle.
+    pub fn inflate(&self, d: f64) -> Result<Rect, GeomError> {
+        let delta = Point::new(d, d);
+        Rect::new(self.min - delta, self.max + delta)
+    }
+
+    /// Counter-clockwise polygon with the rectangle's four corners.
+    pub fn to_polygon(&self) -> Polygon {
+        Polygon::new(vec![
+            self.min,
+            Point::new(self.max.x, self.min.y),
+            self.max,
+            Point::new(self.min.x, self.max.y),
+        ])
+        .expect("rectangle corners always form a valid polygon")
+    }
+
+    /// Minimum distance from the rectangle (as a solid) to a point.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        dx.hypot(dy)
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Rect::new(p(0.0, 0.0), p(1.0, 1.0)).is_ok());
+        assert_eq!(
+            Rect::new(p(1.0, 0.0), p(0.0, 1.0)),
+            Err(GeomError::InvalidRect)
+        );
+        assert_eq!(
+            Rect::new(p(0.0, 0.0), p(0.0, 1.0)),
+            Err(GeomError::InvalidRect)
+        );
+    }
+
+    #[test]
+    fn from_corners_orders() {
+        let r = Rect::from_corners(p(2.0, 3.0), p(0.0, 1.0)).unwrap();
+        assert_eq!(r.min(), p(0.0, 1.0));
+        assert_eq!(r.max(), p(2.0, 3.0));
+    }
+
+    #[test]
+    fn dimensions_and_center() {
+        let r = Rect::from_center_size(p(1.0, 1.0), 4.0, 2.0).unwrap();
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.area(), 8.0);
+        assert_eq!(r.center(), p(1.0, 1.0));
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        assert!(r.contains_point(p(1.0, 1.0)));
+        assert!(r.contains_point(p(0.0, 2.0))); // boundary
+        assert!(!r.contains_point(p(2.1, 1.0)));
+        let inner = Rect::new(p(0.5, 0.5), p(1.5, 1.5)).unwrap();
+        assert!(r.contains_rect(&inner));
+        assert!(!inner.contains_rect(&r));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        let b = Rect::new(p(1.0, 1.0), p(3.0, 3.0)).unwrap();
+        let c = Rect::new(p(5.0, 5.0), p(6.0, 6.0)).unwrap();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.min(), p(1.0, 1.0));
+        assert_eq!(i.max(), p(2.0, 2.0));
+        assert!(a.intersection(&c).is_none());
+        // Touching rectangles intersect but have no area overlap.
+        let d = Rect::new(p(2.0, 0.0), p(3.0, 2.0)).unwrap();
+        assert!(a.intersects(&d));
+        assert!(a.intersection(&d).is_none());
+    }
+
+    #[test]
+    fn inflate_grows_and_shrinks() {
+        let r = Rect::new(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        let g = r.inflate(1.0).unwrap();
+        assert_eq!(g.min(), p(-1.0, -1.0));
+        assert_eq!(g.max(), p(3.0, 3.0));
+        assert!(r.inflate(-0.5).is_ok());
+        assert!(r.inflate(-1.0).is_err());
+    }
+
+    #[test]
+    fn polygon_roundtrip_area() {
+        let r = Rect::new(p(-1.0, 0.0), p(3.0, 5.0)).unwrap();
+        let poly = r.to_polygon();
+        assert!((poly.area() - r.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let r = Rect::new(p(0.0, 0.0), p(2.0, 2.0)).unwrap();
+        assert_eq!(r.distance_to_point(p(1.0, 1.0)), 0.0);
+        assert_eq!(r.distance_to_point(p(4.0, 1.0)), 2.0);
+        assert_eq!(r.distance_to_point(p(5.0, 6.0)), 5.0);
+    }
+}

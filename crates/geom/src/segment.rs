@@ -1,0 +1,249 @@
+//! Line segments: intersection, distance, projection.
+
+use crate::point::{orient2d, Point};
+use crate::EPS;
+
+/// A directed line segment from `a` to `b`.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, Segment};
+/// let s = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+/// assert_eq!(s.length(), 4.0);
+/// assert_eq!(s.distance_to_point(Point::new(2.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+/// Result of intersecting two segments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SegmentIntersection {
+    /// The segments do not touch.
+    None,
+    /// The segments meet at a single point.
+    Point(Point),
+    /// The segments are collinear and share a sub-segment.
+    Overlap(Segment),
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Direction vector `b - a` (not normalized).
+    pub fn direction(&self) -> Point {
+        self.b - self.a
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.lerp(self.b, 0.5)
+    }
+
+    /// The point at parameter `t` (`a` at 0, `b` at 1).
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the supporting
+    /// line, clamped to `[0, 1]`.
+    pub fn project_clamped(&self, p: Point) -> f64 {
+        let d = self.direction();
+        let len_sq = d.norm_sq();
+        if len_sq < EPS * EPS {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// Closest point on the segment to `p`.
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.at(self.project_clamped(p))
+    }
+
+    /// Euclidean distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        p.distance(self.closest_point(p))
+    }
+
+    /// Minimum distance between two segments (zero when they intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if !matches!(self.intersect(other), SegmentIntersection::None) {
+            return 0.0;
+        }
+        self.distance_to_point(other.a)
+            .min(self.distance_to_point(other.b))
+            .min(other.distance_to_point(self.a))
+            .min(other.distance_to_point(self.b))
+    }
+
+    /// Intersects two segments, reporting point contact or collinear
+    /// overlap.
+    ///
+    /// Endpoint touches count as intersections. Tolerances scale with the
+    /// segment lengths.
+    pub fn intersect(&self, other: &Segment) -> SegmentIntersection {
+        let r = self.direction();
+        let s = other.direction();
+        let denom = r.cross(s);
+        let qp = other.a - self.a;
+        let scale = r.norm().max(s.norm()).max(1.0);
+        let tol = EPS * scale * scale;
+
+        if denom.abs() > tol {
+            // Lines cross at a single point; check segment parameters.
+            let t = qp.cross(s) / denom;
+            let u = qp.cross(r) / denom;
+            let pt = EPS * scale / r.norm().max(EPS);
+            let pu = EPS * scale / s.norm().max(EPS);
+            if (-pt..=1.0 + pt).contains(&t) && (-pu..=1.0 + pu).contains(&u) {
+                return SegmentIntersection::Point(self.at(t.clamp(0.0, 1.0)));
+            }
+            return SegmentIntersection::None;
+        }
+
+        // Parallel. Collinear iff qp is also parallel to r.
+        if qp.cross(r).abs() > tol {
+            return SegmentIntersection::None;
+        }
+
+        // Collinear: project other's endpoints on self's parameterization.
+        let len_sq = r.norm_sq();
+        if len_sq < EPS * EPS {
+            // Degenerate self (a point).
+            if other.distance_to_point(self.a) <= EPS * scale {
+                return SegmentIntersection::Point(self.a);
+            }
+            return SegmentIntersection::None;
+        }
+        let t0 = (other.a - self.a).dot(r) / len_sq;
+        let t1 = (other.b - self.a).dot(r) / len_sq;
+        let (lo, hi) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+        let lo = lo.max(0.0);
+        let hi = hi.min(1.0);
+        let pt = EPS / r.norm().max(EPS);
+        if hi < lo - pt {
+            SegmentIntersection::None
+        } else if (hi - lo).abs() <= pt {
+            SegmentIntersection::Point(self.at(lo.clamp(0.0, 1.0)))
+        } else {
+            SegmentIntersection::Overlap(Segment::new(self.at(lo), self.at(hi)))
+        }
+    }
+
+    /// `true` if point `p` lies on the segment within tolerance.
+    pub fn contains_point(&self, p: Point) -> bool {
+        let scale = self.length().max(1.0);
+        orient2d(self.a, self.b, p).abs() <= EPS * scale * scale
+            && self.distance_to_point(p) <= EPS * scale
+    }
+
+    /// The segment with endpoints swapped.
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn length_direction_midpoint() {
+        let s = Segment::new(p(1.0, 1.0), p(4.0, 5.0));
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.direction(), p(3.0, 4.0));
+        assert_eq!(s.midpoint(), p(2.5, 3.0));
+    }
+
+    #[test]
+    fn projection_and_closest_point() {
+        let s = Segment::new(p(0.0, 0.0), p(10.0, 0.0));
+        assert_eq!(s.closest_point(p(3.0, 5.0)), p(3.0, 0.0));
+        // Clamped beyond the ends.
+        assert_eq!(s.closest_point(p(-5.0, 1.0)), p(0.0, 0.0));
+        assert_eq!(s.closest_point(p(15.0, 1.0)), p(10.0, 0.0));
+    }
+
+    #[test]
+    fn crossing_segments_intersect_at_point() {
+        let s = Segment::new(p(0.0, 0.0), p(2.0, 2.0));
+        let t = Segment::new(p(0.0, 2.0), p(2.0, 0.0));
+        match s.intersect(&t) {
+            SegmentIntersection::Point(q) => assert!(q.approx_eq(p(1.0, 1.0), 1e-12)),
+            other => panic!("expected point intersection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn touching_endpoints_intersect() {
+        let s = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let t = Segment::new(p(1.0, 0.0), p(1.0, 1.0));
+        match s.intersect(&t) {
+            SegmentIntersection::Point(q) => assert!(q.approx_eq(p(1.0, 0.0), 1e-9)),
+            other => panic!("expected endpoint touch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_non_collinear_do_not_intersect() {
+        let s = Segment::new(p(0.0, 0.0), p(2.0, 0.0));
+        let t = Segment::new(p(0.0, 1.0), p(2.0, 1.0));
+        assert_eq!(s.intersect(&t), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn collinear_overlap_reported() {
+        let s = Segment::new(p(0.0, 0.0), p(4.0, 0.0));
+        let t = Segment::new(p(2.0, 0.0), p(6.0, 0.0));
+        match s.intersect(&t) {
+            SegmentIntersection::Overlap(o) => {
+                assert!(o.a.approx_eq(p(2.0, 0.0), 1e-9));
+                assert!(o.b.approx_eq(p(4.0, 0.0), 1e-9));
+            }
+            other => panic!("expected overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collinear_disjoint_do_not_intersect() {
+        let s = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let t = Segment::new(p(2.0, 0.0), p(3.0, 0.0));
+        assert_eq!(s.intersect(&t), SegmentIntersection::None);
+    }
+
+    #[test]
+    fn segment_distance() {
+        let s = Segment::new(p(0.0, 0.0), p(1.0, 0.0));
+        let t = Segment::new(p(0.0, 2.0), p(1.0, 2.0));
+        assert_eq!(s.distance_to_segment(&t), 2.0);
+        let u = Segment::new(p(0.5, -1.0), p(0.5, 1.0));
+        assert_eq!(s.distance_to_segment(&u), 0.0);
+    }
+
+    #[test]
+    fn contains_point_on_and_off() {
+        let s = Segment::new(p(0.0, 0.0), p(2.0, 2.0));
+        assert!(s.contains_point(p(1.0, 1.0)));
+        assert!(s.contains_point(p(0.0, 0.0)));
+        assert!(!s.contains_point(p(1.0, 1.2)));
+        assert!(!s.contains_point(p(3.0, 3.0)));
+    }
+}

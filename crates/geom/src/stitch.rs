@@ -1,0 +1,300 @@
+//! Exact rectilinear union of grid-aligned cells.
+//!
+//! The back-conversion stage of SPROUT (§II-G) merges the tiles of the
+//! final subgraph into output polygons. Interior tiles are exact lattice
+//! cells, so their union can be computed *exactly* in integer grid
+//! coordinates by cancelling shared edges and tracing the remaining
+//! boundary loops — no floating-point boolean ops required.
+
+use crate::point::Point;
+use std::collections::{HashMap, HashSet};
+
+/// A closed boundary loop produced by [`union_grid_cells`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Contour {
+    /// Loop vertices. Counter-clockwise for outer boundaries, clockwise
+    /// for holes.
+    pub points: Vec<Point>,
+    /// `true` when this loop bounds a hole in the union.
+    pub is_hole: bool,
+}
+
+impl Contour {
+    /// Signed area of the loop (positive for outer boundaries).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.points.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += self.points[i].cross(self.points[(i + 1) % n]);
+        }
+        acc / 2.0
+    }
+}
+
+/// Mapping from integer lattice coordinates to board coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridFrame {
+    /// Board coordinate of lattice point `(0, 0)`.
+    pub origin: Point,
+    /// Cell width (mm).
+    pub dx: f64,
+    /// Cell height (mm).
+    pub dy: f64,
+}
+
+impl GridFrame {
+    /// Board coordinate of lattice corner `(i, j)`.
+    pub fn corner(&self, i: i64, j: i64) -> Point {
+        Point::new(
+            self.origin.x + i as f64 * self.dx,
+            self.origin.y + j as f64 * self.dy,
+        )
+    }
+}
+
+/// Computes the union of a set of unit lattice cells `(i, j)` (covering
+/// `[i, i+1] × [j, j+1]` in lattice space) as boundary contours in board
+/// coordinates.
+///
+/// Holes are reported as separate clockwise contours with
+/// [`Contour::is_hole`] set. Cells may repeat; duplicates are ignored.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, stitch::{union_grid_cells, GridFrame}};
+/// let frame = GridFrame { origin: Point::ORIGIN, dx: 1.0, dy: 1.0 };
+/// // A 2×1 strip of cells unions into a single rectangle contour.
+/// let contours = union_grid_cells(&[(0, 0), (1, 0)], frame);
+/// assert_eq!(contours.len(), 1);
+/// assert_eq!(contours[0].points.len(), 4);
+/// assert!((contours[0].signed_area() - 2.0).abs() < 1e-12);
+/// ```
+pub fn union_grid_cells(cells: &[(i64, i64)], frame: GridFrame) -> Vec<Contour> {
+    let cell_set: HashSet<(i64, i64)> = cells.iter().copied().collect();
+
+    // Directed boundary edges: an edge of a cell survives iff the
+    // neighbouring cell across it is absent. CCW orientation per cell
+    // makes outer loops CCW and hole loops CW automatically.
+    type V = (i64, i64);
+    let mut outgoing: HashMap<V, Vec<V>> = HashMap::new();
+    let mut edge_count = 0usize;
+    for &(i, j) in &cell_set {
+        let candidates: [(V, V, (i64, i64)); 4] = [
+            ((i, j), (i + 1, j), (i, j - 1)),         // bottom
+            ((i + 1, j), (i + 1, j + 1), (i + 1, j)), // right
+            ((i + 1, j + 1), (i, j + 1), (i, j + 1)), // top
+            ((i, j + 1), (i, j), (i - 1, j)),         // left
+        ];
+        for (from, to, neighbor) in candidates {
+            if !cell_set.contains(&neighbor) {
+                outgoing.entry(from).or_default().push(to);
+                edge_count += 1;
+            }
+        }
+    }
+
+    // Trace loops. At vertices with multiple outgoing edges (checkerboard
+    // corners), pick the edge that turns most sharply left relative to the
+    // incoming direction; this keeps touching loops separate.
+    let mut contours: Vec<Contour> = Vec::new();
+    let mut used = 0usize;
+    while used < edge_count {
+        // Find any vertex that still has an outgoing edge.
+        let (&start, _) = match outgoing.iter().find(|(_, v)| !v.is_empty()) {
+            Some(kv) => kv,
+            None => break,
+        };
+        let mut loop_pts: Vec<(i64, i64)> = vec![start];
+        let mut prev_dir: (i64, i64) = (0, 0);
+        let mut cur = start;
+        loop {
+            let nexts = outgoing.get_mut(&cur).expect("edge bookkeeping");
+            debug_assert!(!nexts.is_empty(), "dangling boundary vertex");
+            let pick = if nexts.len() == 1 {
+                0
+            } else {
+                // Choose the most counter-clockwise turn from prev_dir.
+                let mut best = 0usize;
+                let mut best_key = i64::MIN;
+                for (idx, &(nx, ny)) in nexts.iter().enumerate() {
+                    let dir = (nx - cur.0, ny - cur.1);
+                    let cross = prev_dir.0 * dir.1 - prev_dir.1 * dir.0;
+                    let dot = prev_dir.0 * dir.0 + prev_dir.1 * dir.1;
+                    // Rank: left turn (cross>0) > straight (dot>0) > right.
+                    let key = cross * 2 + dot.signum();
+                    if key > best_key {
+                        best_key = key;
+                        best = idx;
+                    }
+                }
+                best
+            };
+            let next = nexts.swap_remove(pick);
+            used += 1;
+            prev_dir = (next.0 - cur.0, next.1 - cur.1);
+            cur = next;
+            if cur == start {
+                break;
+            }
+            loop_pts.push(cur);
+        }
+        contours.push(finish_contour(loop_pts, frame));
+    }
+    contours
+}
+
+/// Collapses collinear runs and converts to board coordinates.
+fn finish_contour(lattice_pts: Vec<(i64, i64)>, frame: GridFrame) -> Contour {
+    let n = lattice_pts.len();
+    let mut kept: Vec<(i64, i64)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let prev = lattice_pts[(i + n - 1) % n];
+        let cur = lattice_pts[i];
+        let next = lattice_pts[(i + 1) % n];
+        let d1 = (cur.0 - prev.0, cur.1 - prev.1);
+        let d2 = (next.0 - cur.0, next.1 - cur.1);
+        if d1.0 * d2.1 - d1.1 * d2.0 != 0 {
+            kept.push(cur);
+        }
+    }
+    let points: Vec<Point> = kept.iter().map(|&(i, j)| frame.corner(i, j)).collect();
+    let mut contour = Contour {
+        points,
+        is_hole: false,
+    };
+    contour.is_hole = contour.signed_area() < 0.0;
+    contour
+}
+
+/// Total area of the union described by a contour list (outer areas minus
+/// hole areas).
+pub fn contours_area(contours: &[Contour]) -> f64 {
+    contours.iter().map(|c| c.signed_area()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT: GridFrame = GridFrame {
+        origin: Point::ORIGIN,
+        dx: 1.0,
+        dy: 1.0,
+    };
+
+    #[test]
+    fn single_cell() {
+        let c = union_grid_cells(&[(0, 0)], UNIT);
+        assert_eq!(c.len(), 1);
+        assert!(!c[0].is_hole);
+        assert_eq!(c[0].points.len(), 4);
+        assert!((c[0].signed_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strip_merges_collinear() {
+        let c = union_grid_cells(&[(0, 0), (1, 0), (2, 0)], UNIT);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].points.len(), 4);
+        assert!((contours_area(&c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l_shape() {
+        let c = union_grid_cells(&[(0, 0), (1, 0), (0, 1)], UNIT);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].points.len(), 6);
+        assert!((contours_area(&c) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_cells_give_two_contours() {
+        let c = union_grid_cells(&[(0, 0), (5, 5)], UNIT);
+        assert_eq!(c.len(), 2);
+        assert!(c.iter().all(|k| !k.is_hole));
+        assert!((contours_area(&c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_produces_hole() {
+        // A 3×3 block with the centre missing.
+        let cells: Vec<(i64, i64)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .filter(|&(i, j)| !(i == 1 && j == 1))
+            .collect();
+        let c = union_grid_cells(&cells, UNIT);
+        assert_eq!(c.len(), 2);
+        let outer = c.iter().find(|k| !k.is_hole).unwrap();
+        let hole = c.iter().find(|k| k.is_hole).unwrap();
+        assert!((outer.signed_area() - 9.0).abs() < 1e-12);
+        assert!((hole.signed_area() + 1.0).abs() < 1e-12);
+        assert!((contours_area(&c) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkerboard_corner_separates_loops() {
+        // Two cells touching only at a corner must remain two loops.
+        let c = union_grid_cells(&[(0, 0), (1, 1)], UNIT);
+        assert_eq!(c.len(), 2);
+        assert!((contours_area(&c) - 2.0).abs() < 1e-12);
+        for k in &c {
+            assert_eq!(k.points.len(), 4, "loops must stay rectangles");
+        }
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let c = union_grid_cells(&[(0, 0), (0, 0), (1, 0)], UNIT);
+        assert!((contours_area(&c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frame_scaling() {
+        let frame = GridFrame {
+            origin: Point::new(10.0, 20.0),
+            dx: 0.5,
+            dy: 0.25,
+        };
+        let c = union_grid_cells(&[(0, 0), (1, 0)], frame);
+        assert_eq!(c.len(), 1);
+        assert!((contours_area(&c) - 2.0 * 0.5 * 0.25).abs() < 1e-12);
+        assert!(c[0]
+            .points
+            .iter()
+            .any(|p| p.approx_eq(Point::new(10.0, 20.0), 1e-12)));
+    }
+
+    #[test]
+    fn large_blob_area_matches_cell_count() {
+        let cells: Vec<(i64, i64)> = (0..20)
+            .flat_map(|i| (0..20).map(move |j| (i, j)))
+            .filter(|&(i, j)| (i - 10) * (i - 10) + (j - 10) * (j - 10) <= 64)
+            .collect();
+        let n = cells.len();
+        let c = union_grid_cells(&cells, UNIT);
+        assert!((contours_area(&c) - n as f64).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod negative_index_tests {
+    use super::*;
+
+    #[test]
+    fn negative_lattice_cells_stitch_correctly() {
+        let frame = GridFrame {
+            origin: Point::new(-3.0, -2.0),
+            dx: 1.0,
+            dy: 1.0,
+        };
+        let c = union_grid_cells(&[(-2, -1), (-1, -1), (-2, 0)], frame);
+        assert_eq!(c.len(), 1);
+        assert!((contours_area(&c) - 3.0).abs() < 1e-12);
+        // Corner of cell (-2, -1) lands at origin + (-2, -1).
+        assert!(c[0]
+            .points
+            .iter()
+            .any(|p| p.approx_eq(Point::new(-5.0, -3.0), 1e-12)));
+    }
+}

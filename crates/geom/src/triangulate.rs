@@ -1,0 +1,231 @@
+//! Ear-clipping triangulation of simple polygons.
+//!
+//! Triangulation powers the convex-decomposition boolean engine
+//! ([`crate::boolean`]) and concave buffering ([`crate::buffer`]).
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::EPS;
+
+/// Triangulates a simple polygon into counter-clockwise triangles by ear
+/// clipping (`O(n²)`).
+///
+/// The output triangles partition the polygon: they are interior-disjoint
+/// and their areas sum to the polygon area.
+///
+/// # Example
+///
+/// ```
+/// use sprout_geom::{Point, Polygon, triangulate::triangulate};
+/// # fn main() -> Result<(), sprout_geom::GeomError> {
+/// let square = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(2.0, 2.0))?;
+/// let tris = triangulate(&square);
+/// assert_eq!(tris.len(), 2);
+/// let total: f64 = tris.iter().map(|t| t.area()).sum();
+/// assert!((total - 4.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn triangulate(poly: &Polygon) -> Vec<Polygon> {
+    let verts = poly.vertices();
+    let n = verts.len();
+    if n == 3 {
+        return vec![poly.clone()];
+    }
+
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut triangles: Vec<Polygon> = Vec::with_capacity(n - 2);
+    let scale = {
+        let b = poly.bounds();
+        b.width().max(b.height()).max(1.0)
+    };
+    let area_tol = EPS * scale * scale;
+
+    let mut guard = 0usize;
+    while indices.len() > 3 {
+        let m = indices.len();
+        let mut clipped = false;
+        for k in 0..m {
+            let i_prev = indices[(k + m - 1) % m];
+            let i_cur = indices[k];
+            let i_next = indices[(k + 1) % m];
+            let a = verts[i_prev];
+            let b = verts[i_cur];
+            let c = verts[i_next];
+            let cross = (b - a).cross(c - b);
+            if cross <= area_tol {
+                continue; // reflex or degenerate corner: not an ear
+            }
+            // No other remaining vertex may lie inside the candidate ear.
+            let mut blocked = false;
+            for &other in &indices {
+                if other == i_prev || other == i_cur || other == i_next {
+                    continue;
+                }
+                if point_in_triangle(verts[other], a, b, c, area_tol) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                continue;
+            }
+            if let Ok(tri) = Polygon::new(vec![a, b, c]) {
+                triangles.push(tri);
+            }
+            indices.remove(k);
+            clipped = true;
+            break;
+        }
+        if !clipped {
+            // Numerically stuck (can happen on near-degenerate rings):
+            // clip the largest-area convex corner regardless of containment
+            // to guarantee progress, as fragments this small don't affect
+            // downstream area computations.
+            let m = indices.len();
+            let mut best = 0usize;
+            let mut best_cross = f64::NEG_INFINITY;
+            for k in 0..m {
+                let a = verts[indices[(k + m - 1) % m]];
+                let b = verts[indices[k]];
+                let c = verts[indices[(k + 1) % m]];
+                let cross = (b - a).cross(c - b);
+                if cross > best_cross {
+                    best_cross = cross;
+                    best = k;
+                }
+            }
+            let a = verts[indices[(best + m - 1) % m]];
+            let b = verts[indices[best]];
+            let c = verts[indices[(best + 1) % m]];
+            if let Ok(tri) = Polygon::new(vec![a, b, c]) {
+                triangles.push(tri);
+            }
+            indices.remove(best);
+        }
+        guard += 1;
+        if guard > 4 * n {
+            break; // defensive: never loop forever on hostile input
+        }
+    }
+    if indices.len() == 3 {
+        if let Ok(tri) = Polygon::new(vec![
+            verts[indices[0]],
+            verts[indices[1]],
+            verts[indices[2]],
+        ]) {
+            triangles.push(tri);
+        }
+    }
+    triangles
+}
+
+/// Decomposes a simple polygon into convex pieces.
+///
+/// Convex polygons pass through unchanged; concave polygons are
+/// triangulated. (Triangulation is a valid — if not minimal — convex
+/// decomposition; minimality is irrelevant for the boolean engine.)
+pub fn convex_parts(poly: &Polygon) -> Vec<Polygon> {
+    if poly.is_convex() {
+        vec![poly.clone()]
+    } else {
+        triangulate(poly)
+    }
+}
+
+fn point_in_triangle(p: Point, a: Point, b: Point, c: Point, tol: f64) -> bool {
+    let d1 = (b - a).cross(p - a);
+    let d2 = (c - b).cross(p - b);
+    let d3 = (a - c).cross(p - c);
+    d1 >= -tol && d2 >= -tol && d3 >= -tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    fn total_area(tris: &[Polygon]) -> f64 {
+        tris.iter().map(|t| t.area()).sum()
+    }
+
+    #[test]
+    fn triangle_passes_through() {
+        let t = Polygon::new(vec![p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)]).unwrap();
+        let tris = triangulate(&t);
+        assert_eq!(tris.len(), 1);
+        assert_eq!(tris[0], t);
+    }
+
+    #[test]
+    fn square_gives_two_triangles() {
+        let sq = Polygon::rectangle(p(0.0, 0.0), p(3.0, 2.0)).unwrap();
+        let tris = triangulate(&sq);
+        assert_eq!(tris.len(), 2);
+        assert!((total_area(&tris) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concave_u_shape() {
+        let u = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(3.0, 0.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 1.0),
+            p(1.0, 1.0),
+            p(1.0, 3.0),
+            p(0.0, 3.0),
+        ])
+        .unwrap();
+        let tris = triangulate(&u);
+        assert_eq!(tris.len(), u.len() - 2);
+        assert!((total_area(&tris) - u.area()).abs() < 1e-9);
+        // Every triangle must lie inside the polygon.
+        for t in &tris {
+            assert!(u.contains_point(t.centroid()));
+        }
+    }
+
+    #[test]
+    fn spiral_polygon() {
+        let spiral = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(5.0, 0.0),
+            p(5.0, 5.0),
+            p(1.0, 5.0),
+            p(1.0, 2.0),
+            p(3.0, 2.0),
+            p(3.0, 3.0),
+            p(2.0, 3.0),
+            p(2.0, 4.0),
+            p(4.0, 4.0),
+            p(4.0, 1.0),
+            p(0.0, 1.0),
+        ])
+        .unwrap();
+        let tris = triangulate(&spiral);
+        assert!((total_area(&tris) - spiral.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convex_parts_shortcuts_convex() {
+        let hexagon = Polygon::regular(p(0.0, 0.0), 2.0, 6).unwrap();
+        let parts = convex_parts(&hexagon);
+        assert_eq!(parts.len(), 1);
+        let concave = Polygon::new(vec![
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(2.0, 1.0),
+            p(0.0, 4.0),
+        ])
+        .unwrap();
+        let parts = convex_parts(&concave);
+        assert!(parts.len() >= 2);
+        assert!((total_area(&parts) - concave.area()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use sprout_geom::buffer::{buffer_polygon, BufferStyle};
+use sprout_geom::clip::clip_rect;
+use sprout_geom::hull::convex_hull;
+use sprout_geom::stitch::{contours_area, union_grid_cells, GridFrame};
+use sprout_geom::triangulate::triangulate;
+use sprout_geom::{boolean, IntervalSet, Point, Polygon, Rect};
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+        0.5f64..30.0,
+        0.5f64..30.0,
+    )
+        .prop_map(|(x, y, w, h)| {
+            Rect::new(Point::new(x, y), Point::new(x + w, y + h)).expect("positive size")
+        })
+}
+
+/// Random convex polygon: convex hull of a handful of random points.
+fn convex_poly_strategy() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 5..12).prop_filter_map(
+        "needs a non-degenerate hull",
+        |pts| {
+            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            convex_hull(&points).ok().filter(|h| h.area() > 1.0)
+        },
+    )
+}
+
+/// Random star-shaped (possibly concave) simple polygon around the origin.
+fn star_poly_strategy() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec(2.0f64..20.0, 5..14).prop_filter_map("valid ring", |radii| {
+        let n = radii.len();
+        let pts: Vec<Point> = radii
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let theta = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(r * theta.cos(), r * theta.sin())
+            })
+            .collect();
+        Polygon::new(pts).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rect_intersection_area_identity(a in rect_strategy(), b in rect_strategy()) {
+        let pa = a.to_polygon();
+        let pb = b.to_polygon();
+        let inter = boolean::intersection(&pa, &pb).area();
+        let expected = a.intersection(&b).map_or(0.0, |r| r.area());
+        prop_assert!((inter - expected).abs() < 1e-6,
+            "boolean {} vs rect {}", inter, expected);
+    }
+
+    #[test]
+    fn difference_partitions_area(a in convex_poly_strategy(), b in convex_poly_strategy()) {
+        let d = boolean::difference(&a, &b).area();
+        let i = boolean::intersection(&a, &b).area();
+        prop_assert!((d + i - a.area()).abs() < 1e-6,
+            "d={} i={} area={}", d, i, a.area());
+    }
+
+    #[test]
+    fn union_inclusion_exclusion(a in convex_poly_strategy(), b in convex_poly_strategy()) {
+        let u = boolean::union(&a, &b).area();
+        let i = boolean::intersection(&a, &b).area();
+        prop_assert!((u + i - a.area() - b.area()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn star_difference_partition(a in star_poly_strategy(), b in convex_poly_strategy()) {
+        let d = boolean::difference(&a, &b).area();
+        let i = boolean::intersection(&a, &b).area();
+        prop_assert!((d + i - a.area()).abs() < 1e-5,
+            "d={} i={} area={}", d, i, a.area());
+    }
+
+    #[test]
+    fn clip_stays_within_window(poly in star_poly_strategy(), window in rect_strategy()) {
+        if let Some(clipped) = clip_rect(&poly, &window) {
+            let b = clipped.bounds();
+            prop_assert!(b.min().x >= window.min().x - 1e-6);
+            prop_assert!(b.min().y >= window.min().y - 1e-6);
+            prop_assert!(b.max().x <= window.max().x + 1e-6);
+            prop_assert!(b.max().y <= window.max().y + 1e-6);
+            prop_assert!(clipped.area() <= poly.area() + 1e-6);
+            prop_assert!(clipped.area() <= window.area() + 1e-6);
+        }
+    }
+
+    #[test]
+    fn triangulation_preserves_area(poly in star_poly_strategy()) {
+        let tris = triangulate(&poly);
+        let total: f64 = tris.iter().map(|t| t.area()).sum();
+        prop_assert!((total - poly.area()).abs() < 1e-6 * poly.area().max(1.0));
+        prop_assert_eq!(tris.len(), poly.len() - 2);
+    }
+
+    #[test]
+    fn buffer_grows_area(poly in convex_poly_strategy(), d in 0.1f64..3.0) {
+        let buffered = buffer_polygon(&poly, d, BufferStyle::coarse()).expect("valid distance");
+        prop_assert!(buffered.area() >= poly.area());
+        // Lower bound: Minkowski area grows at least by perimeter·d·(coarse factor).
+        prop_assert!(buffered.area() >= poly.area() + 0.5 * poly.perimeter() * d);
+    }
+
+    #[test]
+    fn buffer_contains_vertices(poly in star_poly_strategy(), d in 0.1f64..2.0) {
+        let buffered = buffer_polygon(&poly, d, BufferStyle::coarse()).expect("valid distance");
+        for &v in poly.vertices() {
+            prop_assert!(buffered.contains_point(v));
+        }
+    }
+
+    #[test]
+    fn hull_contains_inputs(pts in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 4..30)) {
+        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        if let Ok(hull) = convex_hull(&points) {
+            prop_assert!(hull.is_convex());
+            for &q in &points {
+                prop_assert!(hull.contains_point(q), "{} escaped the hull", q);
+            }
+        }
+    }
+
+    #[test]
+    fn interval_set_measure_monotone(intervals in proptest::collection::vec((-100.0f64..100.0, 0.01f64..20.0), 1..20)) {
+        let mut set = IntervalSet::new();
+        let mut prev_len = 0.0;
+        let mut naive_sum = 0.0;
+        for &(lo, w) in &intervals {
+            set.insert(lo, lo + w);
+            naive_sum += w;
+            let len = set.total_length();
+            prop_assert!(len >= prev_len - 1e-9, "measure shrank");
+            prop_assert!(len <= naive_sum + 1e-9, "measure exceeds the naive sum");
+            prev_len = len;
+        }
+        // Disjointness invariant.
+        let iv = set.intervals();
+        for pair in iv.windows(2) {
+            prop_assert!(pair[0].1 < pair[1].0 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn grid_union_area_equals_cell_count(cells in proptest::collection::hash_set((0i64..12, 0i64..12), 1..60)) {
+        let cells: Vec<(i64, i64)> = cells.into_iter().collect();
+        let frame = GridFrame { origin: Point::ORIGIN, dx: 1.0, dy: 1.0 };
+        let contours = union_grid_cells(&cells, frame);
+        prop_assert!((contours_area(&contours) - cells.len() as f64).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simplification_preserves_area_within_tolerance(
+        poly in star_poly_strategy(),
+        tol in 0.01f64..1.0,
+    ) {
+        let simplified = poly.simplified(tol);
+        prop_assert!(simplified.len() <= poly.len());
+        // Each removed vertex was within `tol` of a chord, so the area
+        // change is bounded by tol × perimeter.
+        prop_assert!(
+            (simplified.area() - poly.area()).abs() <= tol * poly.perimeter() + 1e-9,
+            "area {} → {} at tol {}",
+            poly.area(),
+            simplified.area(),
+            tol
+        );
+    }
+
+    #[test]
+    fn simplification_is_idempotent(poly in star_poly_strategy(), tol in 0.01f64..0.5) {
+        let once = poly.simplified(tol);
+        let twice = once.simplified(tol);
+        prop_assert_eq!(once.len(), twice.len());
+    }
+}

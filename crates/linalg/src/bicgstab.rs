@@ -1,0 +1,287 @@
+//! BiCGSTAB for general (including complex symmetric) sparse systems.
+//!
+//! The AC extraction networks at 25 MHz (Tables II/III of the paper) have
+//! complex symmetric — not Hermitian — admittance matrices, so CG does
+//! not apply; BiCGSTAB with Jacobi preconditioning handles them.
+
+use crate::scalar::{dot_unconjugated, norm2, Scalar};
+use crate::sparse::Csr;
+use crate::LinalgError;
+
+/// Options controlling the BiCGSTAB iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiCgStabOptions {
+    /// Relative residual target `‖r‖/‖b‖`.
+    pub tolerance: f64,
+    /// Iteration cap (0 means `4·n + 100`).
+    pub max_iterations: usize,
+}
+
+impl Default for BiCgStabOptions {
+    fn default() -> Self {
+        BiCgStabOptions {
+            tolerance: 1e-10,
+            max_iterations: 0,
+        }
+    }
+}
+
+/// Outcome of a converged BiCGSTAB solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiCgStabSolution<T> {
+    /// The solution vector.
+    pub x: Vec<T>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+/// Solves `A·x = b` with Jacobi-preconditioned BiCGSTAB.
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] — non-square `A` or wrong `b`.
+/// * [`LinalgError::NotConverged`] — stagnation or iteration cap.
+///
+/// # Example
+///
+/// ```
+/// use sprout_linalg::{Complex, Triplets};
+/// use sprout_linalg::bicgstab::{solve_bicgstab, BiCgStabOptions};
+/// let mut t = Triplets::<Complex>::new(1, 1);
+/// t.push(0, 0, Complex::new(0.0, 2.0)).unwrap();
+/// let sol = solve_bicgstab(&t.to_csr(), &[Complex::ONE], BiCgStabOptions::default()).unwrap();
+/// assert!((sol.x[0] - Complex::new(0.0, -0.5)).abs() < 1e-9);
+/// ```
+pub fn solve_bicgstab<T: Scalar>(
+    a: &Csr<T>,
+    b: &[T],
+    opts: BiCgStabOptions,
+) -> Result<BiCgStabSolution<T>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            got: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: n,
+            got: b.len(),
+        });
+    }
+    let b_norm = norm2(b);
+    if b_norm == 0.0 {
+        return Ok(BiCgStabSolution {
+            x: vec![T::ZERO; n],
+            iterations: 0,
+            residual: 0.0,
+        });
+    }
+    let max_iter = if opts.max_iterations == 0 {
+        4 * n + 100
+    } else {
+        opts.max_iterations
+    };
+
+    let inv_diag: Vec<T> = a
+        .diagonal()
+        .iter()
+        .map(|&d| {
+            if d.modulus() > 1e-300 {
+                T::ONE / d
+            } else {
+                T::ONE
+            }
+        })
+        .collect();
+    let precondition = |v: &[T]| -> Vec<T> {
+        v.iter()
+            .zip(&inv_diag)
+            .map(|(&vi, &di)| vi * di)
+            .collect()
+    };
+
+    let mut x = vec![T::ZERO; n];
+    let mut r = b.to_vec();
+    let r_hat = r.clone();
+    let mut rho = T::ONE;
+    let mut alpha = T::ONE;
+    let mut omega = T::ONE;
+    let mut v = vec![T::ZERO; n];
+    let mut p = vec![T::ZERO; n];
+    let mut residual = 1.0;
+
+    for iter in 0..max_iter {
+        let rho_next = dot_unconjugated(&r_hat, &r);
+        if rho_next.modulus() < 1e-300 {
+            return Err(LinalgError::NotConverged {
+                iterations: iter,
+                residual,
+            });
+        }
+        let beta = (rho_next / rho) * (alpha / omega);
+        rho = rho_next;
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        let p_hat = precondition(&p);
+        a.mul_vec_into(&p_hat, &mut v);
+        let denom = dot_unconjugated(&r_hat, &v);
+        if denom.modulus() < 1e-300 {
+            return Err(LinalgError::NotConverged {
+                iterations: iter,
+                residual,
+            });
+        }
+        alpha = rho / denom;
+        let s: Vec<T> = (0..n).map(|i| r[i] - alpha * v[i]).collect();
+        let s_norm = norm2(&s) / b_norm;
+        if s_norm <= opts.tolerance {
+            for i in 0..n {
+                x[i] += alpha * p_hat[i];
+            }
+            return Ok(BiCgStabSolution {
+                x,
+                iterations: iter + 1,
+                residual: s_norm,
+            });
+        }
+        let s_hat = precondition(&s);
+        let mut t_vec = vec![T::ZERO; n];
+        a.mul_vec_into(&s_hat, &mut t_vec);
+        let tt = dot_unconjugated(&t_vec, &t_vec);
+        if tt.modulus() < 1e-300 {
+            return Err(LinalgError::NotConverged {
+                iterations: iter,
+                residual: s_norm,
+            });
+        }
+        omega = dot_unconjugated(&t_vec, &s) / tt;
+        for i in 0..n {
+            x[i] += alpha * p_hat[i] + omega * s_hat[i];
+            r[i] = s[i] - omega * t_vec[i];
+        }
+        residual = norm2(&r) / b_norm;
+        if residual <= opts.tolerance {
+            return Ok(BiCgStabSolution {
+                x,
+                iterations: iter + 1,
+                residual,
+            });
+        }
+        if omega.modulus() < 1e-300 {
+            return Err(LinalgError::NotConverged {
+                iterations: iter + 1,
+                residual,
+            });
+        }
+    }
+    Err(LinalgError::NotConverged {
+        iterations: max_iter,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+    use crate::sparse::Triplets;
+
+    #[test]
+    fn solves_real_nonsymmetric() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 4.0).unwrap();
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 0, 2.0).unwrap();
+        t.push(1, 1, 5.0).unwrap();
+        t.push(1, 2, -1.0).unwrap();
+        t.push(2, 1, 1.0).unwrap();
+        t.push(2, 2, 3.0).unwrap();
+        let a = t.to_csr();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.mul_vec(&x_true).unwrap();
+        let sol = solve_bicgstab(&a, &b, BiCgStabOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn solves_complex_symmetric_ladder() {
+        // RL ladder admittance-like complex symmetric system.
+        let n = 20;
+        let mut t = Triplets::<Complex>::new(n, n);
+        let y = Complex::new(1.0, 0.5);
+        for i in 0..n {
+            t.push(i, i, y * 2.0 + Complex::new(0.1, 0.0)).unwrap();
+            if i + 1 < n {
+                t.push(i, i + 1, -y).unwrap();
+                t.push(i + 1, i, -y).unwrap();
+            }
+        }
+        let a = t.to_csr();
+        let x_true: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).cos(), (i as f64 / 3.0).sin()))
+            .collect();
+        let b = a.mul_vec(&x_true).unwrap();
+        let sol = solve_bicgstab(&a, &b, BiCgStabOptions::default()).unwrap();
+        for (xi, ti) in sol.x.iter().zip(&x_true) {
+            assert!((*xi - *ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_short_circuits() {
+        let mut t = Triplets::<f64>::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        let sol = solve_bicgstab(&t.to_csr(), &[0.0, 0.0], BiCgStabOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let mut t = Triplets::<f64>::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        assert!(solve_bicgstab(&t.to_csr(), &[1.0], BiCgStabOptions::default()).is_err());
+    }
+
+    #[test]
+    fn matches_dense_lu_complex() {
+        use crate::dense::DenseMatrix;
+        let mut t = Triplets::<Complex>::new(4, 4);
+        let entries = [
+            (0, 0, Complex::new(3.0, 1.0)),
+            (0, 2, Complex::new(-1.0, 0.0)),
+            (1, 1, Complex::new(2.0, -0.5)),
+            (1, 3, Complex::new(0.0, 1.0)),
+            (2, 0, Complex::new(-1.0, 0.0)),
+            (2, 2, Complex::new(4.0, 2.0)),
+            (3, 1, Complex::new(0.0, 1.0)),
+            (3, 3, Complex::new(5.0, 0.0)),
+        ];
+        let mut d = DenseMatrix::<Complex>::zeros(4, 4);
+        for &(r, c, v) in &entries {
+            t.push(r, c, v).unwrap();
+            d.set(r, c, v);
+        }
+        let b = vec![
+            Complex::ONE,
+            Complex::J,
+            Complex::new(2.0, -1.0),
+            Complex::new(0.5, 0.5),
+        ];
+        let x1 = solve_bicgstab(&t.to_csr(), &b, BiCgStabOptions::default())
+            .unwrap()
+            .x;
+        let x2 = d.solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((*p - *q).abs() < 1e-7);
+        }
+    }
+}

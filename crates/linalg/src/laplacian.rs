@@ -1,0 +1,372 @@
+//! Weighted-graph Laplacians, grounding, and effective resistance.
+//!
+//! This is the electrical heart of Algorithm 3: nodal analysis of the
+//! subgraph conductance network, `V = L⁻¹E`, where `L` is a grounded
+//! Laplacian and `E` holds ±1 injections per terminal pair.
+
+use crate::cholesky::SparseCholesky;
+use crate::sparse::{Csr, Triplets};
+use crate::LinalgError;
+
+/// The Laplacian of a weighted undirected graph, with helpers for
+/// grounding and effective-resistance queries.
+///
+/// # Example
+///
+/// ```
+/// use sprout_linalg::laplacian::GraphLaplacian;
+/// // Two parallel unit resistors between nodes 0 and 1: R = 0.5.
+/// let lap = GraphLaplacian::from_edges(2, &[(0, 1, 1.0), (0, 1, 1.0)]).unwrap();
+/// assert!((lap.effective_resistance(0, 1).unwrap() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphLaplacian {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl GraphLaplacian {
+    /// Builds the Laplacian of a graph with `n` nodes from weighted edges
+    /// `(u, v, conductance)`.
+    ///
+    /// Parallel edges accumulate. Self-loops are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] — `n == 0`.
+    /// * [`LinalgError::IndexOutOfBounds`] — an endpoint `>= n` or a
+    ///   self-loop (reported with the node index).
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, LinalgError> {
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        for &(u, v, _) in edges {
+            if u >= n {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: u,
+                    dimension: n,
+                });
+            }
+            if v >= n {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: v,
+                    dimension: n,
+                });
+            }
+            if u == v {
+                return Err(LinalgError::IndexOutOfBounds {
+                    index: u,
+                    dimension: n,
+                });
+            }
+        }
+        Ok(GraphLaplacian {
+            n,
+            edges: edges.to_vec(),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The weighted edges.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Assembles the full (singular) Laplacian in CSR form.
+    pub fn to_csr(&self) -> Csr<f64> {
+        let mut t = Triplets::new(self.n, self.n);
+        for &(u, v, g) in &self.edges {
+            t.push(u, u, g).expect("validated");
+            t.push(v, v, g).expect("validated");
+            t.push(u, v, -g).expect("validated");
+            t.push(v, u, -g).expect("validated");
+        }
+        t.to_csr()
+    }
+
+    /// Assembles the grounded Laplacian with node `ground` removed.
+    ///
+    /// Index mapping: nodes `< ground` keep their index; nodes `> ground`
+    /// shift down by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] for an invalid ground.
+    pub fn grounded(&self, ground: usize) -> Result<Csr<f64>, LinalgError> {
+        if ground >= self.n {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: ground,
+                dimension: self.n,
+            });
+        }
+        let map = |i: usize| -> Option<usize> {
+            use std::cmp::Ordering;
+            match i.cmp(&ground) {
+                Ordering::Less => Some(i),
+                Ordering::Equal => None,
+                Ordering::Greater => Some(i - 1),
+            }
+        };
+        let mut t = Triplets::new(self.n - 1, self.n - 1);
+        for &(u, v, g) in &self.edges {
+            let (mu, mv) = (map(u), map(v));
+            if let Some(iu) = mu {
+                t.push(iu, iu, g).expect("validated");
+            }
+            if let Some(iv) = mv {
+                t.push(iv, iv, g).expect("validated");
+            }
+            if let (Some(iu), Some(iv)) = (mu, mv) {
+                t.push(iu, iv, -g).expect("validated");
+                t.push(iv, iu, -g).expect("validated");
+            }
+        }
+        Ok(t.to_csr())
+    }
+
+    /// Factors the Laplacian grounded at `ground` for repeated solves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grounding and factorization errors; a singular grounded
+    /// Laplacian means the graph is disconnected from the ground node.
+    pub fn factor_grounded(&self, ground: usize) -> Result<GroundedFactor, LinalgError> {
+        let csr = self.grounded(ground)?;
+        if self.n == 1 {
+            return Err(LinalgError::Empty);
+        }
+        let chol = SparseCholesky::factor(&csr)?;
+        Ok(GroundedFactor {
+            n: self.n,
+            ground,
+            chol,
+        })
+    }
+
+    /// Effective resistance between nodes `s` and `t`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::IndexOutOfBounds`] — invalid nodes or `s == t`.
+    /// * [`LinalgError::SingularMatrix`] — `s` and `t` are in different
+    ///   connected components (infinite resistance).
+    pub fn effective_resistance(&self, s: usize, t: usize) -> Result<f64, LinalgError> {
+        if s >= self.n || t >= self.n || s == t {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: s.max(t),
+                dimension: self.n,
+            });
+        }
+        let factor = self.factor_grounded(t)?;
+        let v = factor.solve_injection(s, t)?;
+        Ok(v[s])
+    }
+}
+
+/// A reusable factorization of a grounded Laplacian.
+#[derive(Debug, Clone)]
+pub struct GroundedFactor {
+    n: usize,
+    ground: usize,
+    chol: SparseCholesky,
+}
+
+impl GroundedFactor {
+    /// Number of nodes in the *original* (ungrounded) graph.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// The grounded node.
+    pub fn ground(&self) -> usize {
+        self.ground
+    }
+
+    /// Solves for node voltages given a unit current injected at `source`
+    /// and extracted at `sink`. Returns a full-length voltage vector (the
+    /// ground entry is zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] for invalid nodes.
+    pub fn solve_injection(&self, source: usize, sink: usize) -> Result<Vec<f64>, LinalgError> {
+        let mut b = vec![0.0f64; self.n - 1];
+        self.stamp(&mut b, source, 1.0)?;
+        self.stamp(&mut b, sink, -1.0)?;
+        let reduced = self.chol.solve(&b)?;
+        Ok(self.expand(&reduced))
+    }
+
+    /// Solves for node voltages given an arbitrary current injection
+    /// vector over *all* nodes (the ground entry is ignored; currents
+    /// should sum to zero for a physical network).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] for a wrong-length
+    /// vector.
+    pub fn solve_currents(&self, currents: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if currents.len() != self.n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.n,
+                got: currents.len(),
+            });
+        }
+        let mut b = vec![0.0f64; self.n - 1];
+        for (node, &i) in currents.iter().enumerate() {
+            if node != self.ground && i != 0.0 {
+                self.stamp(&mut b, node, i)?;
+            }
+        }
+        let reduced = self.chol.solve(&b)?;
+        Ok(self.expand(&reduced))
+    }
+
+    fn stamp(&self, b: &mut [f64], node: usize, value: f64) -> Result<(), LinalgError> {
+        if node >= self.n {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: node,
+                dimension: self.n,
+            });
+        }
+        if node == self.ground {
+            return Ok(()); // injections at the ground are absorbed
+        }
+        let idx = if node < self.ground { node } else { node - 1 };
+        b[idx] += value;
+        Ok(())
+    }
+
+    fn expand(&self, reduced: &[f64]) -> Vec<f64> {
+        let mut full = vec![0.0f64; self.n];
+        for (idx, &v) in reduced.iter().enumerate() {
+            let node = if idx < self.ground { idx } else { idx + 1 };
+            full[node] = v;
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_resistance() {
+        // 0 -1Ω- 1 -1Ω- 2 : R(0,2) = 2.
+        let lap = GraphLaplacian::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        assert!((lap.effective_resistance(0, 2).unwrap() - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn parallel_resistance() {
+        let lap = GraphLaplacian::from_edges(2, &[(0, 1, 1.0), (0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        assert!((lap.effective_resistance(0, 1).unwrap() - 0.25).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wheatstone_bridge() {
+        // Balanced bridge: R = 1 regardless of the bridge resistor.
+        let edges = [
+            (0, 1, 1.0),
+            (0, 2, 1.0),
+            (1, 3, 1.0),
+            (2, 3, 1.0),
+            (1, 2, 5.0), // bridge
+        ];
+        let lap = GraphLaplacian::from_edges(4, &edges).unwrap();
+        assert!((lap.effective_resistance(0, 3).unwrap() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn grid_resistance_between_adjacent_nodes() {
+        // Known result: adjacent nodes of an infinite 2-D unit grid have
+        // R = 1/2; a large finite grid approaches it from above.
+        let w = 21;
+        let h = 21;
+        let idx = |x: usize, y: usize| y * w + x;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y), 1.0));
+                }
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1), 1.0));
+                }
+            }
+        }
+        let lap = GraphLaplacian::from_edges(w * h, &edges).unwrap();
+        let r = lap
+            .effective_resistance(idx(10, 10), idx(11, 10))
+            .unwrap();
+        assert!((r - 0.5).abs() < 0.02, "grid resistance {r}");
+    }
+
+    #[test]
+    fn rayleigh_monotonicity() {
+        // Adding an edge can only lower the effective resistance.
+        let base = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)];
+        let lap1 = GraphLaplacian::from_edges(4, &base).unwrap();
+        let r1 = lap1.effective_resistance(0, 3).unwrap();
+        let mut more = base.to_vec();
+        more.push((0, 2, 0.5));
+        let lap2 = GraphLaplacian::from_edges(4, &more).unwrap();
+        let r2 = lap2.effective_resistance(0, 3).unwrap();
+        assert!(r2 < r1);
+    }
+
+    #[test]
+    fn disconnected_graph_errors() {
+        let lap = GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        assert!(lap.effective_resistance(0, 3).is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GraphLaplacian::from_edges(0, &[]).is_err());
+        assert!(GraphLaplacian::from_edges(2, &[(0, 2, 1.0)]).is_err());
+        assert!(GraphLaplacian::from_edges(2, &[(1, 1, 1.0)]).is_err());
+        let lap = GraphLaplacian::from_edges(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(lap.effective_resistance(0, 0).is_err());
+        assert!(lap.effective_resistance(0, 5).is_err());
+    }
+
+    #[test]
+    fn grounded_matrix_shape() {
+        let lap = GraphLaplacian::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]).unwrap();
+        let g = lap.grounded(1).unwrap();
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.get(0, 0), 2.0);
+        assert_eq!(g.get(1, 1), 3.0);
+        assert_eq!(g.get(0, 1), 0.0); // 0 and 2 are not adjacent
+    }
+
+    #[test]
+    fn solve_currents_superposition() {
+        let lap =
+            GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let f = lap.factor_grounded(3).unwrap();
+        let v1 = f.solve_injection(0, 3).unwrap();
+        let v2 = f.solve_injection(1, 3).unwrap();
+        let combined = f.solve_currents(&[1.0, 1.0, 0.0, -2.0]).unwrap();
+        for i in 0..4 {
+            assert!((combined[i] - v1[i] - v2[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn voltages_decrease_along_path() {
+        let lap =
+            GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let f = lap.factor_grounded(3).unwrap();
+        let v = f.solve_injection(0, 3).unwrap();
+        assert!(v[0] > v[1] && v[1] > v[2] && v[2] > v[3]);
+        assert_eq!(v[3], 0.0);
+        assert!((v[0] - 3.0).abs() < 1e-10); // series of three unit resistors
+    }
+}

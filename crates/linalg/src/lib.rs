@@ -1,0 +1,110 @@
+//! # sprout-linalg
+//!
+//! Sparse and dense linear algebra for SPROUT's nodal analysis.
+//!
+//! §II-H of the paper identifies the repeated solution of the grounded
+//! Laplacian system `V = L⁻¹E` (Algorithm 3) as the runtime bottleneck —
+//! "up to 90 % of the total runtime" — solved with sparse solvers of
+//! complexity `O(|V|^q)`, `q ∈ [1.5, 3]`. This crate supplies those
+//! solvers from scratch:
+//!
+//! * [`sparse`] — triplet assembly and CSR storage with generic
+//!   matrix–vector products.
+//! * [`cg`] — Jacobi-preconditioned conjugate gradients for symmetric
+//!   positive-definite systems (grounded Laplacians).
+//! * [`bicgstab`] — BiCGSTAB for the complex-valued AC extraction systems.
+//! * [`cholesky`] — envelope (skyline) Cholesky factorization with
+//!   reverse Cuthill–McKee ordering ([`rcm`]); the right tool when one
+//!   Laplacian must be solved against many injection columns.
+//! * [`dense`] — small dense LU / Cholesky for tests and tiny systems.
+//! * [`complex`] — a minimal `Complex` scalar (the offline crate set has
+//!   no `num-complex`).
+//! * [`laplacian`] — weighted-graph Laplacian assembly, grounding, and
+//!   effective-resistance computation.
+//!
+//! # Example
+//!
+//! ```
+//! use sprout_linalg::laplacian::GraphLaplacian;
+//!
+//! // A path graph 0 - 1 - 2 with unit conductances: R(0,2) = 2.
+//! let lap = GraphLaplacian::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+//! let r = lap.effective_resistance(0, 2).unwrap();
+//! assert!((r - 2.0).abs() < 1e-9);
+//! ```
+
+pub mod bicgstab;
+pub mod cg;
+pub mod cholesky;
+pub mod complex;
+pub mod dense;
+pub mod laplacian;
+pub mod rcm;
+pub mod scalar;
+pub mod sparse;
+
+pub use complex::Complex;
+pub use scalar::Scalar;
+pub use sparse::{Csr, Triplets};
+
+use std::fmt;
+
+/// Errors produced by solvers and matrix construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Matrix dimensions are inconsistent with the operation.
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was supplied.
+        got: usize,
+    },
+    /// An index exceeded the matrix dimension.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The dimension it must stay below.
+        dimension: usize,
+    },
+    /// An iterative solver failed to converge.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// Factorization hit a non-positive pivot (matrix not SPD) or a zero
+    /// pivot (singular).
+    SingularMatrix {
+        /// Pivot position where the breakdown occurred.
+        at: usize,
+    },
+    /// The operation needs a non-empty matrix/graph.
+    Empty,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::IndexOutOfBounds { index, dimension } => {
+                write!(f, "index {index} out of bounds for dimension {dimension}")
+            }
+            LinalgError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::SingularMatrix { at } => {
+                write!(f, "matrix is singular or not positive definite at pivot {at}")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

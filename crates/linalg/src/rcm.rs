@@ -1,0 +1,155 @@
+//! Reverse Cuthill–McKee bandwidth-reducing ordering.
+//!
+//! The envelope Cholesky factorization ([`crate::cholesky`]) fills the
+//! whole profile between the first nonzero of each row and the diagonal;
+//! RCM shrinks that profile dramatically for grid-like Laplacians (the
+//! tile graphs of Algorithm 1 are 4-connected grids).
+
+use crate::sparse::Csr;
+use crate::Scalar;
+
+/// Computes a reverse Cuthill–McKee permutation of a symmetric sparsity
+/// pattern.
+///
+/// Returns `perm` with `perm[new_index] = old_index`. Disconnected
+/// components are each ordered from a minimum-degree start node.
+///
+/// # Example
+///
+/// ```
+/// use sprout_linalg::{Triplets, rcm::reverse_cuthill_mckee};
+/// let mut t = Triplets::new(3, 3);
+/// for i in 0..3 { t.push(i, i, 1.0).unwrap(); }
+/// t.push(0, 2, 1.0).unwrap();
+/// t.push(2, 0, 1.0).unwrap();
+/// let perm = reverse_cuthill_mckee(&t.to_csr());
+/// assert_eq!(perm.len(), 3);
+/// ```
+pub fn reverse_cuthill_mckee<T: Scalar>(a: &Csr<T>) -> Vec<usize> {
+    let n = a.rows();
+    let degree: Vec<usize> = (0..n)
+        .map(|r| a.row(r).filter(|&(c, _)| c != r).count())
+        .collect();
+
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+
+    while let Some(start) = (0..n)
+        .filter(|&i| !visited[i])
+        .min_by_key(|&i| degree[i])
+    {
+        // `start` is an unvisited node of minimum degree.
+        visited[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            let mut neighbors: Vec<usize> = a
+                .row(u)
+                .map(|(c, _)| c)
+                .filter(|&c| c != u && !visited[c])
+                .collect();
+            neighbors.sort_by_key(|&c| degree[c]);
+            for c in neighbors {
+                visited[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// Profile (envelope size) of a symmetric matrix under a permutation —
+/// the work metric that RCM minimizes. `perm[new] = old`.
+pub fn profile<T: Scalar>(a: &Csr<T>, perm: &[usize]) -> usize {
+    let n = a.rows();
+    let mut inv = vec![0usize; n];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old] = new;
+    }
+    let mut total = 0usize;
+    for (new_row, &old_row) in perm.iter().enumerate() {
+        let first = a
+            .row(old_row)
+            .map(|(c, _)| inv[c])
+            .filter(|&c| c <= new_row)
+            .min()
+            .unwrap_or(new_row);
+        total += new_row - first + 1;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Triplets;
+
+    /// Laplacian sparsity of a w×h grid graph.
+    fn grid(w: usize, h: usize) -> Csr<f64> {
+        let n = w * h;
+        let mut t = Triplets::new(n, n);
+        let idx = |x: usize, y: usize| y * w + x;
+        for y in 0..h {
+            for x in 0..w {
+                t.push(idx(x, y), idx(x, y), 4.0).unwrap();
+                if x + 1 < w {
+                    t.push(idx(x, y), idx(x + 1, y), -1.0).unwrap();
+                    t.push(idx(x + 1, y), idx(x, y), -1.0).unwrap();
+                }
+                if y + 1 < h {
+                    t.push(idx(x, y), idx(x, y + 1), -1.0).unwrap();
+                    t.push(idx(x, y + 1), idx(x, y), -1.0).unwrap();
+                }
+            }
+        }
+        t.to_csr()
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        let a = grid(5, 4);
+        let perm = reverse_cuthill_mckee(&a);
+        assert_eq!(perm.len(), 20);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcm_shrinks_grid_profile() {
+        // A grid numbered row-major but shuffled has a large profile;
+        // RCM should beat a randomized ordering substantially.
+        let a = grid(12, 12);
+        let n = a.rows();
+        let identity: Vec<usize> = (0..n).collect();
+        // Deterministic "bad" permutation: bit-reversal-ish stride shuffle.
+        let bad: Vec<usize> = (0..n).map(|i| (i * 59) % n).collect();
+        let perm = reverse_cuthill_mckee(&a);
+        let p_rcm = profile(&a, &perm);
+        let p_id = profile(&a, &identity);
+        let p_bad = profile(&a, &bad);
+        assert!(p_rcm <= p_id, "rcm {p_rcm} vs identity {p_id}");
+        assert!(p_rcm * 2 < p_bad, "rcm {p_rcm} vs shuffled {p_bad}");
+    }
+
+    #[test]
+    fn handles_disconnected_components() {
+        let mut t = Triplets::new(4, 4);
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 0, 1.0).unwrap();
+        t.push(2, 3, 1.0).unwrap();
+        t.push(3, 2, 1.0).unwrap();
+        let perm = reverse_cuthill_mckee(&t.to_csr());
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let t = Triplets::<f64>::new(0, 0);
+        assert!(reverse_cuthill_mckee(&t.to_csr()).is_empty());
+    }
+}

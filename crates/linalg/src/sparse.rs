@@ -1,0 +1,372 @@
+//! Sparse matrix storage: triplet assembly and CSR kernels.
+
+use crate::scalar::Scalar;
+use crate::LinalgError;
+
+/// Coordinate-format (COO) assembly buffer.
+///
+/// Duplicated entries are summed when converting to CSR, which is exactly
+/// the stamping discipline of circuit/Laplacian assembly.
+///
+/// # Example
+///
+/// ```
+/// use sprout_linalg::Triplets;
+/// let mut t = Triplets::new(2, 2);
+/// t.push(0, 0, 1.0).unwrap();
+/// t.push(0, 0, 2.0).unwrap(); // accumulates
+/// t.push(1, 1, 4.0).unwrap();
+/// let csr = t.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// assert_eq!(csr.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Triplets<T = f64> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Triplets<T> {
+    /// Creates an empty assembly buffer for an `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Stamps `value` at `(row, col)` (accumulating with later duplicates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] for out-of-range indices.
+    pub fn push(&mut self, row: usize, col: usize, value: T) -> Result<(), LinalgError> {
+        if row >= self.rows {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: row,
+                dimension: self.rows,
+            });
+        }
+        if col >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: col,
+                dimension: self.cols,
+            });
+        }
+        self.entries.push((row, col, value));
+        Ok(())
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros.
+    pub fn to_csr(&self) -> Csr<T> {
+        // Counting sort by row, then sort each row's slice by column and
+        // merge duplicates.
+        let mut row_counts = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &self.entries {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut cols = vec![0usize; self.entries.len()];
+        let mut vals = vec![T::ZERO; self.entries.len()];
+        let mut cursor = row_counts.clone();
+        for &(r, c, v) in &self.entries {
+            let k = cursor[r];
+            cols[k] = c;
+            vals[k] = v;
+            cursor[r] += 1;
+        }
+
+        let mut out_ptr = Vec::with_capacity(self.rows + 1);
+        let mut out_cols: Vec<usize> = Vec::with_capacity(self.entries.len());
+        let mut out_vals: Vec<T> = Vec::with_capacity(self.entries.len());
+        out_ptr.push(0);
+        let mut scratch: Vec<(usize, T)> = Vec::new();
+        for r in 0..self.rows {
+            scratch.clear();
+            scratch.extend(
+                cols[row_counts[r]..row_counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(vals[row_counts[r]..row_counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v.modulus() > 0.0 {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                }
+                i = j;
+            }
+            out_ptr.push(out_cols.len());
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: out_ptr,
+            col_idx: out_cols,
+            values: out_vals,
+        }
+    }
+}
+
+/// Compressed sparse row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<T = f64> {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(col, value)` pairs of row `r`, sorted by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
+    }
+
+    /// Entry at `(r, c)` (zero when absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&c) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[T]) -> Result<Vec<T>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                got: x.len(),
+            });
+        }
+        let mut y = vec![T::ZERO; self.rows];
+        self.mul_vec_into(x, &mut y);
+        Ok(y)
+    }
+
+    /// In-place product into a caller-provided buffer (hot path for
+    /// iterative solvers; avoids per-iteration allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch (use [`Csr::mul_vec`] for checked use).
+    pub fn mul_vec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols);
+        assert_eq!(y.len(), self.rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            let mut acc = T::ZERO;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            *yr = acc;
+        }
+    }
+
+    /// The diagonal entries (zero where absent).
+    pub fn diagonal(&self) -> Vec<T> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// `true` if the matrix is structurally and numerically symmetric
+    /// within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                if (v - self.get(c, r)).modulus() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr<T> {
+        let mut t = Triplets::new(self.cols, self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                t.push(c, r, v).expect("indices already validated");
+            }
+        }
+        t.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    fn sample() -> Csr<f64> {
+        // [2 1 0]
+        // [0 3 0]
+        // [4 0 5]
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 2.0).unwrap();
+        t.push(0, 1, 1.0).unwrap();
+        t.push(1, 1, 3.0).unwrap();
+        t.push(2, 0, 4.0).unwrap();
+        t.push(2, 2, 5.0).unwrap();
+        t.to_csr()
+    }
+
+    #[test]
+    fn push_validates_bounds() {
+        let mut t = Triplets::<f64>::new(2, 3);
+        assert!(t.push(1, 2, 1.0).is_ok());
+        assert!(t.push(2, 0, 1.0).is_err());
+        assert!(t.push(0, 3, 1.0).is_err());
+    }
+
+    #[test]
+    fn duplicates_accumulate_and_zeros_drop() {
+        let mut t = Triplets::new(1, 2);
+        t.push(0, 0, 2.0).unwrap();
+        t.push(0, 0, -2.0).unwrap();
+        t.push(0, 1, 7.0).unwrap();
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(0, 1), 7.0);
+    }
+
+    #[test]
+    fn get_and_row_access() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+        let row0: Vec<(usize, f64)> = m.row(0).collect();
+        assert_eq!(row0, vec![(0, 2.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn spmv() {
+        let m = sample();
+        let y = m.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![4.0, 6.0, 19.0]);
+        assert!(m.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_into_matches() {
+        let m = sample();
+        let mut y = vec![0.0; 3];
+        m.mul_vec_into(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![4.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn diagonal_and_symmetry() {
+        let m = sample();
+        assert_eq!(m.diagonal(), vec![2.0, 3.0, 5.0]);
+        assert!(!m.is_symmetric(1e-12));
+
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 0, 1.0).unwrap();
+        t.push(0, 1, -0.5).unwrap();
+        t.push(1, 0, -0.5).unwrap();
+        t.push(1, 1, 1.0).unwrap();
+        assert!(t.to_csr().is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let mt = m.transpose();
+        assert_eq!(mt.get(0, 2), 4.0);
+        assert_eq!(mt.get(1, 0), 1.0);
+        assert_eq!(mt.transpose(), m);
+    }
+
+    #[test]
+    fn complex_matrix_spmv() {
+        let mut t = Triplets::<Complex>::new(2, 2);
+        t.push(0, 0, Complex::new(1.0, 1.0)).unwrap();
+        t.push(1, 1, Complex::J).unwrap();
+        let m = t.to_csr();
+        let y = m
+            .mul_vec(&[Complex::ONE, Complex::new(2.0, 0.0)])
+            .unwrap();
+        assert_eq!(y[0], Complex::new(1.0, 1.0));
+        assert_eq!(y[1], Complex::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let t = Triplets::<f64>::new(3, 3);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 0);
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+    }
+}

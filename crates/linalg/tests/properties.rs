@@ -1,0 +1,141 @@
+//! Property-based tests for the linear algebra substrate.
+
+use proptest::prelude::*;
+use sprout_linalg::bicgstab::{solve_bicgstab, BiCgStabOptions};
+use sprout_linalg::cg::{solve_cg, CgOptions};
+use sprout_linalg::cholesky::SparseCholesky;
+use sprout_linalg::dense::DenseMatrix;
+use sprout_linalg::laplacian::GraphLaplacian;
+use sprout_linalg::{Csr, Triplets};
+
+/// Random connected graph: a random spanning tree plus extra edges.
+fn connected_graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
+    (3usize..40).prop_flat_map(|n| {
+        let tree = proptest::collection::vec(0.1f64..10.0, n - 1);
+        let extras = proptest::collection::vec(
+            ((0..n), (0..n), 0.1f64..10.0),
+            0..(n),
+        );
+        (tree, extras).prop_map(move |(tree_w, extras)| {
+            let mut edges: Vec<(usize, usize, f64)> = tree_w
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (i, i + 1, w))
+                .collect();
+            for (u, v, w) in extras {
+                if u != v {
+                    edges.push((u.min(v), u.max(v), w));
+                }
+            }
+            (n, edges)
+        })
+    })
+}
+
+/// Converts a grounded Laplacian to dense for reference solves.
+fn to_dense(a: &Csr<f64>) -> DenseMatrix<f64> {
+    let mut d = DenseMatrix::zeros(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        for (c, v) in a.row(r) {
+            d.set(r, c, v);
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_matches_dense_lu((n, edges) in connected_graph_strategy()) {
+        let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
+        let grounded = lap.grounded(n - 1).expect("valid ground");
+        let chol = SparseCholesky::factor(&grounded).expect("SPD grounded Laplacian");
+        let dense = to_dense(&grounded);
+        let b: Vec<f64> = (0..n - 1).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let x1 = chol.solve(&b).expect("solve");
+        let x2 = dense.solve(&b).expect("dense solve");
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-6, "{} vs {}", p, q);
+        }
+    }
+
+    #[test]
+    fn cg_matches_cholesky((n, edges) in connected_graph_strategy()) {
+        let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
+        let grounded = lap.grounded(0).expect("valid ground");
+        let chol = SparseCholesky::factor(&grounded).expect("SPD");
+        let b: Vec<f64> = (0..n - 1).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        let x1 = chol.solve(&b).expect("solve");
+        let x2 = solve_cg(&grounded, &b, CgOptions::default()).expect("cg").x;
+        for (p, q) in x1.iter().zip(&x2) {
+            prop_assert!((p - q).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_spd_too((n, edges) in connected_graph_strategy()) {
+        let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
+        let grounded = lap.grounded(n / 2).expect("valid ground");
+        let b: Vec<f64> = (0..n - 1).map(|i| ((i % 3) as f64) - 1.0).collect();
+        let opts = BiCgStabOptions { tolerance: 1e-9, max_iterations: 20 * n + 200 };
+        if let Ok(sol) = solve_bicgstab(&grounded, &b, opts) {
+            let back = grounded.mul_vec(&sol.x).expect("spmv");
+            let err = back.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+            prop_assert!(err < 1e-5, "residual {}", err);
+        }
+    }
+
+    #[test]
+    fn effective_resistance_symmetric((n, edges) in connected_graph_strategy()) {
+        let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
+        let r_st = lap.effective_resistance(0, n - 1).expect("connected");
+        let r_ts = lap.effective_resistance(n - 1, 0).expect("connected");
+        prop_assert!((r_st - r_ts).abs() < 1e-6 * r_st.max(1e-12));
+        prop_assert!(r_st > 0.0);
+    }
+
+    #[test]
+    fn effective_resistance_triangle_inequality((n, edges) in connected_graph_strategy()) {
+        // Effective resistance is a metric: R(a,c) <= R(a,b) + R(b,c).
+        let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
+        let a = 0;
+        let b = n / 2;
+        let c = n - 1;
+        prop_assume!(a != b && b != c);
+        let r_ab = lap.effective_resistance(a, b).expect("connected");
+        let r_bc = lap.effective_resistance(b, c).expect("connected");
+        let r_ac = lap.effective_resistance(a, c).expect("connected");
+        prop_assert!(r_ac <= r_ab + r_bc + 1e-7);
+    }
+
+    #[test]
+    fn rayleigh_monotonicity_extra_edge((n, edges) in connected_graph_strategy(), w in 0.1f64..5.0) {
+        let lap1 = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
+        let r1 = lap1.effective_resistance(0, n - 1).expect("connected");
+        let mut more = edges.clone();
+        more.push((0, n - 1, w));
+        let lap2 = GraphLaplacian::from_edges(n, &more).expect("valid edges");
+        let r2 = lap2.effective_resistance(0, n - 1).expect("connected");
+        prop_assert!(r2 <= r1 + 1e-9);
+    }
+
+    #[test]
+    fn csr_roundtrip_spmv(entries in proptest::collection::vec(((0usize..8), (0usize..8), -5.0f64..5.0), 1..40)) {
+        let mut t = Triplets::new(8, 8);
+        let mut dense = DenseMatrix::zeros(8, 8);
+        for &(r, c, v) in &entries {
+            t.push(r, c, v).expect("in bounds");
+            dense.add(r, c, v);
+        }
+        let csr = t.to_csr();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64) - 3.5).collect();
+        let y1 = csr.mul_vec(&x).expect("spmv");
+        let y2 = dense.mul_vec(&x).expect("dense mv");
+        for (p, q) in y1.iter().zip(&y2) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+        // Transpose twice is identity.
+        prop_assert_eq!(csr.transpose().transpose(), csr);
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal DXF (R12 ASCII) export of routed layouts.
+//!
+//! The paper's Fig. 2 flow hands the prototype to an impedance
+//! extractor and ultimately "may guide the final layout". A DXF of the
+//! synthesized copper lets any PCB tool (KiCad, Altium, Allegro) import
+//! the prototype as a drawing layer. R12 POLYLINE entities are the
+//! lowest common denominator every importer understands.
+
+use sprout_core::backconv::RoutedShape;
+use std::fmt::Write as _;
+
+/// A DXF document under construction.
+#[derive(Debug, Clone, Default)]
+pub struct DxfDocument {
+    entities: String,
+    layers: Vec<String>,
+}
+
+impl DxfDocument {
+    /// An empty document.
+    pub fn new() -> Self {
+        DxfDocument::default()
+    }
+
+    /// Adds a routed shape on a named DXF layer (contours, including
+    /// hole loops, plus fragment polygons — importers apply even-odd
+    /// semantics per closed polyline).
+    pub fn add_shape(&mut self, layer: &str, shape: &RoutedShape) -> &mut Self {
+        if !self.layers.iter().any(|l| l == layer) {
+            self.layers.push(layer.to_owned());
+        }
+        for contour in &shape.contours {
+            let pts: Vec<(f64, f64)> =
+                contour.points.iter().map(|p| (p.x, p.y)).collect();
+            self.push_polyline(layer, &pts);
+        }
+        for fragment in &shape.fragments {
+            let pts: Vec<(f64, f64)> =
+                fragment.vertices().iter().map(|p| (p.x, p.y)).collect();
+            self.push_polyline(layer, &pts);
+        }
+        self
+    }
+
+    fn push_polyline(&mut self, layer: &str, points: &[(f64, f64)]) {
+        if points.len() < 2 {
+            return;
+        }
+        let e = &mut self.entities;
+        let _ = writeln!(e, "0\nPOLYLINE\n8\n{layer}\n66\n1\n70\n1");
+        for &(x, y) in points {
+            let _ = writeln!(e, "0\nVERTEX\n8\n{layer}\n10\n{x:.6}\n20\n{y:.6}");
+        }
+        let _ = writeln!(e, "0\nSEQEND");
+    }
+
+    /// Serializes the document (R12 ASCII: TABLES with the layer list,
+    /// then ENTITIES).
+    pub fn to_dxf(&self) -> String {
+        let mut out = String::new();
+        // Layer table.
+        out.push_str("0\nSECTION\n2\nTABLES\n0\nTABLE\n2\nLAYER\n70\n");
+        let _ = writeln!(out, "{}", self.layers.len());
+        for layer in &self.layers {
+            let _ = writeln!(out, "0\nLAYER\n2\n{layer}\n70\n0\n62\n7\n6\nCONTINUOUS");
+        }
+        out.push_str("0\nENDTAB\n0\nENDSEC\n");
+        // Entities.
+        out.push_str("0\nSECTION\n2\nENTITIES\n");
+        out.push_str(&self.entities);
+        out.push_str("0\nENDSEC\n0\nEOF\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_board::presets;
+    use sprout_core::router::{Router, RouterConfig};
+
+    fn routed() -> RoutedShape {
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 5,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap()
+            .shape
+    }
+
+    #[test]
+    fn dxf_structure_is_well_formed() {
+        let shape = routed();
+        let mut doc = DxfDocument::new();
+        doc.add_shape("VDD1_L7", &shape);
+        let dxf = doc.to_dxf();
+        assert!(dxf.starts_with("0\nSECTION\n2\nTABLES"));
+        assert!(dxf.ends_with("0\nEOF\n"));
+        assert!(dxf.contains("2\nVDD1_L7"));
+        // Every POLYLINE is closed (70/1) and terminated.
+        let polylines = dxf.matches("0\nPOLYLINE").count();
+        let seqends = dxf.matches("0\nSEQEND").count();
+        assert!(polylines > 0);
+        assert_eq!(polylines, seqends);
+        // Vertex count matches the shape's vertex count.
+        let vertices = dxf.matches("0\nVERTEX").count();
+        assert_eq!(vertices, shape.vertex_count());
+    }
+
+    #[test]
+    fn multiple_layers_registered_once() {
+        let shape = routed();
+        let mut doc = DxfDocument::new();
+        doc.add_shape("A", &shape).add_shape("A", &shape).add_shape("B", &shape);
+        let dxf = doc.to_dxf();
+        assert_eq!(dxf.matches("0\nLAYER\n2\nA").count(), 1);
+        assert_eq!(dxf.matches("0\nLAYER\n2\nB").count(), 1);
+    }
+
+    #[test]
+    fn empty_document_is_valid() {
+        let dxf = DxfDocument::new().to_dxf();
+        assert!(dxf.contains("ENTITIES"));
+        assert!(dxf.ends_with("0\nEOF\n"));
+    }
+}

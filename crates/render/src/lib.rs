@@ -1,0 +1,318 @@
+//! # sprout-render
+//!
+//! SVG rendering of boards and synthesized power-network layouts —
+//! the visual outputs of Figs. 8-11 of the paper.
+//!
+//! No external dependencies: SVG is plain text. The [`dxf`] module
+//! additionally exports routed copper as R12 DXF polylines so any PCB
+//! tool can import the prototype as a guide layer.
+//!
+//! # Example
+//!
+//! ```
+//! use sprout_board::presets;
+//! use sprout_render::SvgScene;
+//!
+//! let board = presets::two_rail();
+//! let svg = SvgScene::new(&board, presets::TWO_RAIL_ROUTE_LAYER).to_svg();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("</svg>"));
+//! ```
+
+pub mod dxf;
+
+use sprout_board::{Board, ElementRole};
+use sprout_core::backconv::RoutedShape;
+use sprout_core::{RoutingGraph, Subgraph};
+use sprout_geom::{Point, Polygon};
+use std::fmt::Write as _;
+
+/// Net colour palette (cycled).
+const NET_COLORS: [&str; 8] = [
+    "#d95f02", "#1b9e77", "#7570b3", "#e7298a", "#66a61e", "#e6ab02", "#a6761d", "#666666",
+];
+
+/// A renderable scene: one board layer plus any number of overlays.
+#[derive(Debug, Clone)]
+pub struct SvgScene<'b> {
+    board: &'b Board,
+    layer: usize,
+    overlays: Vec<Overlay>,
+    scale: f64,
+}
+
+#[derive(Debug, Clone)]
+enum Overlay {
+    Shape {
+        label: String,
+        color: String,
+        contours: Vec<Vec<Point>>,
+        fragments: Vec<Polygon>,
+    },
+    Tiles {
+        color: String,
+        cells: Vec<(Point, Point)>,
+    },
+}
+
+impl<'b> SvgScene<'b> {
+    /// A scene showing `layer` of `board`.
+    pub fn new(board: &'b Board, layer: usize) -> Self {
+        SvgScene {
+            board,
+            layer,
+            overlays: Vec::new(),
+            scale: 30.0,
+        }
+    }
+
+    /// Pixels per millimetre (default 30).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Adds a routed shape overlay with an automatic palette colour.
+    pub fn add_route(&mut self, label: impl Into<String>, shape: &RoutedShape) -> &mut Self {
+        let color = NET_COLORS[self.overlays.len() % NET_COLORS.len()].to_owned();
+        self.add_route_colored(label, shape, color)
+    }
+
+    /// Adds a routed shape overlay with an explicit colour.
+    pub fn add_route_colored(
+        &mut self,
+        label: impl Into<String>,
+        shape: &RoutedShape,
+        color: impl Into<String>,
+    ) -> &mut Self {
+        self.overlays.push(Overlay::Shape {
+            label: label.into(),
+            color: color.into(),
+            contours: shape.contours.iter().map(|c| c.points.clone()).collect(),
+            fragments: shape.fragments.clone(),
+        });
+        self
+    }
+
+    /// Adds a subgraph snapshot (intermediate optimizer state, Fig. 8).
+    pub fn add_subgraph(
+        &mut self,
+        graph: &RoutingGraph,
+        sub: &Subgraph,
+        color: impl Into<String>,
+    ) -> &mut Self {
+        let cells = sub
+            .members()
+            .iter()
+            .map(|&m| {
+                let r = graph.node(m).rect;
+                (r.min(), r.max())
+            })
+            .collect();
+        self.overlays.push(Overlay::Tiles {
+            color: color.into(),
+            cells,
+        });
+        self
+    }
+
+    /// Renders the scene to an SVG string.
+    pub fn to_svg(&self) -> String {
+        let outline = self.board.outline();
+        let s = self.scale;
+        let width = outline.width() * s;
+        let height = outline.height() * s;
+        // SVG y grows downward; flip so board +y is up.
+        let tx = |p: Point| -> (f64, f64) {
+            ((p.x - outline.min().x) * s, (outline.max().y - p.y) * s)
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+             viewBox=\"0 0 {width:.0} {height:.0}\">"
+        );
+        let _ = writeln!(
+            out,
+            "<rect x=\"0\" y=\"0\" width=\"{width:.0}\" height=\"{height:.0}\" fill=\"#f8f6f0\" stroke=\"#333\"/>"
+        );
+
+        // Board elements on the layer.
+        for e in self.board.elements_on_layer(self.layer) {
+            let (fill, stroke) = match (e.role, e.net) {
+                (ElementRole::Obstacle, None) => ("#bbbbbb", "#555555"),
+                (ElementRole::Obstacle, Some(_)) => ("#444444", "#000000"),
+                (ElementRole::Source, _) => ("#c62828", "#7f0000"),
+                (ElementRole::Sink, _) => ("#1565c0", "#0d2f61"),
+                (ElementRole::DecapPad, _) => ("#6a1b9a", "#38006b"),
+            };
+            let _ = writeln!(
+                out,
+                "<polygon points=\"{}\" fill=\"{}\" stroke=\"{}\" stroke-width=\"0.5\"/>",
+                points_attr(e.shape.vertices(), &tx),
+                fill,
+                stroke
+            );
+        }
+
+        // Overlays.
+        for ov in &self.overlays {
+            match ov {
+                Overlay::Shape {
+                    label,
+                    color,
+                    contours,
+                    fragments,
+                } => {
+                    let _ = writeln!(out, "<g id=\"{}\">", xml_escape(label));
+                    // Even-odd path over all contour loops (holes work).
+                    if !contours.is_empty() {
+                        let mut d = String::new();
+                        for ring in contours {
+                            if ring.is_empty() {
+                                continue;
+                            }
+                            let (x0, y0) = tx(ring[0]);
+                            let _ = write!(d, "M{x0:.2},{y0:.2} ");
+                            for &p in &ring[1..] {
+                                let (x, y) = tx(p);
+                                let _ = write!(d, "L{x:.2},{y:.2} ");
+                            }
+                            let _ = write!(d, "Z ");
+                        }
+                        let _ = writeln!(
+                            out,
+                            "<path d=\"{}\" fill=\"{}\" fill-opacity=\"0.55\" fill-rule=\"evenodd\" stroke=\"{}\" stroke-width=\"0.8\"/>",
+                            d.trim_end(),
+                            color,
+                            color
+                        );
+                    }
+                    for f in fragments {
+                        let _ = writeln!(
+                            out,
+                            "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"0.55\" stroke=\"none\"/>",
+                            points_attr(f.vertices(), &tx),
+                            color
+                        );
+                    }
+                    let _ = writeln!(out, "</g>");
+                }
+                Overlay::Tiles { color, cells } => {
+                    let _ = writeln!(out, "<g>");
+                    for &(min, max) in cells {
+                        let (x0, y1) = tx(min);
+                        let (x1, y0) = tx(max);
+                        let _ = writeln!(
+                            out,
+                            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\" fill-opacity=\"0.4\"/>",
+                            x0,
+                            y0,
+                            x1 - x0,
+                            y1 - y0,
+                            color
+                        );
+                    }
+                    let _ = writeln!(out, "</g>");
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+fn points_attr(vertices: &[Point], tx: &impl Fn(Point) -> (f64, f64)) -> String {
+    let mut s = String::new();
+    for &v in vertices {
+        let (x, y) = tx(v);
+        let _ = write!(s, "{x:.2},{y:.2} ");
+    }
+    s.trim_end().to_owned()
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_board::presets;
+    use sprout_core::router::{Router, RouterConfig};
+
+    #[test]
+    fn board_scene_renders() {
+        let board = presets::two_rail();
+        let svg = SvgScene::new(&board, presets::TWO_RAIL_ROUTE_LAYER).to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // All 27 layer elements drawn: 2 × 10 rail terminals, 6
+        // ground vias, 1 blockage.
+        assert_eq!(svg.matches("<polygon").count(), 27);
+    }
+
+    #[test]
+    fn route_overlay_renders() {
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 5,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        let mut scene = SvgScene::new(&board, presets::TWO_RAIL_ROUTE_LAYER);
+        scene.add_route("VDD1", &route.shape);
+        let svg = scene.to_svg();
+        assert!(svg.contains("id=\"VDD1\""));
+        assert!(svg.contains("fill-rule=\"evenodd\""));
+    }
+
+    #[test]
+    fn subgraph_overlay_renders_tiles() {
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 5,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        let mut scene = SvgScene::new(&board, presets::TWO_RAIL_ROUTE_LAYER);
+        scene.add_subgraph(&route.graph, &route.subgraph, "#ff0000");
+        let svg = scene.to_svg();
+        assert!(svg.matches("<rect").count() > route.subgraph.order() / 2);
+    }
+
+    #[test]
+    fn label_is_escaped() {
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.8,
+            grow_iterations: 3,
+            refine_iterations: 0,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        let route = router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        let mut scene = SvgScene::new(&board, presets::TWO_RAIL_ROUTE_LAYER);
+        scene.add_route("a<b&\"c\"", &route.shape);
+        let svg = scene.to_svg();
+        assert!(svg.contains("a&lt;b&amp;&quot;c&quot;"));
+    }
+}

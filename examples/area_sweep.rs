@@ -1,0 +1,56 @@
+//! Area/impedance trade-off exploration (a fast cut of §III-C/Fig. 12).
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin area_sweep
+//! ```
+//!
+//! Sweeps the metal-area budget of one rail and prints resistance,
+//! inductance, minimum load voltage, and FinFET delay at each point —
+//! the four panels of Fig. 12. (The full three-rail reproduction lives
+//! in `cargo run -p sprout-bench --release --bin fig12`.)
+
+use sprout_board::presets;
+use sprout_core::router::Router;
+use sprout_examples::example_config;
+use sprout_extract::ac::ac_impedance_25mhz;
+use sprout_extract::delay::FinFetModel;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::pdn::RailPdn;
+use sprout_extract::resistance::dc_resistance;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let (vdd1, net) = board.power_nets().next().expect("preset has rails");
+    let router = Router::new(&board, example_config());
+    let finfet = FinFetModel::paper_32nm();
+
+    println!("area(mm²)  R_dc(mΩ)  L(pH)   Vmin(V)  delay(rel)");
+    for budget in [18.0, 22.0, 26.0, 30.0, 34.0] {
+        let route = router.route_net(vdd1, layer, budget)?;
+        let network = RailNetwork::build(&board, &route)?;
+        let dc = dc_resistance(&network)?;
+        let ac = ac_impedance_25mhz(&network)?;
+        let pdn = RailPdn {
+            supply_v: net.supply_v,
+            resistance_ohm: dc.total_ohm,
+            inductance_h: ac.inductance_h,
+            decaps: board.decaps_for(vdd1).cloned().collect(),
+            load_a: net.current_a,
+            slew_a_per_s: net.slew_a_per_s,
+        };
+        let droop = pdn.simulate_droop()?;
+        let delay = finfet.relative_delay(droop.v_min.max(finfet.vth_v + 0.05));
+        println!(
+            "{:>8.1}  {:>8.2}  {:>6.1}  {:>7.4}  {:>9.4}",
+            route.shape.area_mm2(),
+            dc.total_ohm * 1e3,
+            ac.inductance_h * 1e12,
+            droop.v_min,
+            delay
+        );
+    }
+    println!("\nexpected shape (Fig. 12): R and L fall with area at a diminishing rate;");
+    println!("V_min rises; relative delay falls.");
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Shared helpers for the SPROUT examples.
+
+use sprout_core::router::RouterConfig;
+use std::path::PathBuf;
+
+/// A router configuration tuned for interactive examples: coarse enough
+/// to finish in seconds even in debug builds, fine enough to produce a
+/// recognizable SPROUT shape.
+pub fn example_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 12,
+        refine_iterations: 4,
+        ..RouterConfig::default()
+    }
+}
+
+/// Output directory for example artifacts (`target/examples`).
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/examples");
+    std::fs::create_dir_all(&dir).expect("create target/examples");
+    dir
+}
+
+/// Formats ohms as milliohms with two decimals.
+pub fn fmt_mohm(ohm: f64) -> String {
+    format!("{:.2} mΩ", ohm * 1e3)
+}
+
+/// Formats henrys as picohenrys with one decimal.
+pub fn fmt_ph(h: f64) -> String {
+    format!("{:.1} pH", h * 1e12)
+}

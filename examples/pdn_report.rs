@@ -1,0 +1,137 @@
+//! Full PDN sign-off report for a board file.
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin pdn_report [-- path/to/board.txt]
+//! ```
+//!
+//! The downstream-user workflow: import a board from the plain-text
+//! format, synthesize every rail, and produce the complete report the
+//! paper's Fig. 2 loop evaluates — DC resistance, impedance profile
+//! against a target mask, current density, droop, delay — plus DXF and
+//! SVG handoff files.
+
+use sprout_board::io::parse_board;
+use sprout_core::drc::check_route;
+use sprout_core::router::Router;
+use sprout_examples::{example_config, out_dir};
+use sprout_extract::ac::{ac_impedance_25mhz, impedance_profile};
+use sprout_extract::delay::FinFetModel;
+use sprout_extract::density::current_density;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::pdn::RailPdn;
+use sprout_extract::resistance::dc_resistance;
+use sprout_render::dxf::DxfDocument;
+use sprout_render::SvgScene;
+
+/// A self-contained demo board in the text interchange format.
+const DEMO_BOARD: &str = "\
+# pdn_report demo: one 3 A rail with a blockage and a decap
+board report-demo 18 10
+stackup eight
+rules 0.1 0.1 0.2 20
+net power VDD 3.0 6e7 1.0
+net ground GND
+source VDD 7 1.5 5.0 0.45
+sink VDD 7 15.0 4.0 0.4
+sink VDD 7 15.8 4.0 0.4
+sink VDD 7 15.0 4.8 0.4
+sink VDD 7 15.8 4.8 0.4
+decappad VDD 7 11.0 7.0 0.4
+obstacle GND 7 8.0 2.5 0.45
+blockage 7 7.0 4.5 9.0 6.5
+decap VDD 8 11.0 7.0 1e-5 5e-3 4e-10
+";
+
+/// The routing layer of the demo board (0-based).
+const LAYER: usize = 6;
+/// Flat target-impedance mask for the demo rail (Ω).
+const TARGET_OHM: f64 = 0.35;
+/// Copper line-density limit (A/mm) for the demo rules.
+const DENSITY_LIMIT: f64 = 8.0;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => DEMO_BOARD.to_owned(),
+    };
+    let board = parse_board(&text)?;
+    board.validate()?;
+    println!("board `{}`: {} power rails", board.name(), board.power_nets().count());
+
+    let config = example_config();
+    let router = Router::new(&board, config);
+    let finfet = FinFetModel::paper_32nm();
+    let mut dxf = DxfDocument::new();
+    let mut scene = SvgScene::new(&board, LAYER);
+    let mut claimed = Vec::new();
+
+    for (net_id, net) in board.power_nets() {
+        println!("\n=== rail {} ({} A @ {:.0} A/µs) ===", net.name, net.current_a, net.slew_a_per_s / 1e6);
+        let route = router.route_net_with(net_id, LAYER, 20.0, &claimed, &[])?;
+        println!("  synthesized {:.1} mm² over {} tiles", route.shape.area_mm2(), route.subgraph.order());
+
+        let drc = check_route(&board, net_id, LAYER, &route.shape, &claimed)?;
+        println!("  DRC: {} violations", drc.len());
+
+        let network = RailNetwork::build(&board, &route)?;
+        let dc = dc_resistance(&network)?;
+        let ac = ac_impedance_25mhz(&network)?;
+        println!("  R_dc = {:.2} mΩ, L@25MHz = {:.0} pH", dc.total_ohm * 1e3, ac.inductance_h * 1e12);
+
+        // Impedance profile vs target mask (Fig. 1's pass/fail check).
+        let profile = impedance_profile(&network, 1e5, 1e9, 41)?;
+        let (f_peak, z_peak) = profile.peak();
+        let violations = profile.mask_violations(TARGET_OHM);
+        println!(
+            "  Z(f): peak {:.3} Ω at {:.1} MHz; mask {:.2} Ω {}",
+            z_peak,
+            f_peak / 1e6,
+            TARGET_OHM,
+            if violations.is_empty() {
+                "met everywhere".to_owned()
+            } else {
+                format!("violated above {:.1} MHz", violations[0] / 1e6)
+            }
+        );
+
+        // Current density (Table I's power-routing constraint).
+        let density = current_density(
+            &network,
+            net.current_a,
+            router.config().tile_pitch_mm,
+            DENSITY_LIMIT,
+        )?;
+        println!(
+            "  current density: peak {:.2} A/mm (limit {DENSITY_LIMIT} A/mm, {} hot branches), dissipation {:.1} mW",
+            density.max_density_a_per_mm,
+            density.violations.len(),
+            density.dissipation_w * 1e3
+        );
+
+        // Droop + delay.
+        let pdn = RailPdn {
+            supply_v: net.supply_v,
+            resistance_ohm: dc.total_ohm,
+            inductance_h: ac.inductance_h,
+            decaps: board.decaps_for(net_id).cloned().collect(),
+            load_a: net.current_a,
+            slew_a_per_s: net.slew_a_per_s,
+        };
+        let droop = pdn.simulate_droop()?;
+        println!(
+            "  V_min = {:.4} V → relative delay {:.4}",
+            droop.v_min,
+            finfet.relative_delay(droop.v_min.max(finfet.vth_v + 0.05))
+        );
+
+        dxf.add_shape(&format!("{}_L{}", net.name, LAYER + 1), &route.shape);
+        scene.add_route(net.name.clone(), &route.shape);
+        claimed.extend(route.shape.blocker_polygons());
+    }
+
+    let dir = out_dir();
+    std::fs::write(dir.join("pdn_report.dxf"), dxf.to_dxf())?;
+    std::fs::write(dir.join("pdn_report.svg"), scene.to_svg())?;
+    println!("\nhandoff files: {}/pdn_report.{{dxf,svg}}", dir.display());
+    Ok(())
+}

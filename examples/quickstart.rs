@@ -1,0 +1,62 @@
+//! Quickstart: synthesize one power rail and extract its impedance.
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin quickstart
+//! ```
+//!
+//! Walks the full SPROUT flow of Fig. 2: board in, prototype layout out,
+//! parasitics extracted, SVG written to `target/examples/quickstart.svg`.
+
+use sprout_board::presets;
+use sprout_core::drc::check_route;
+use sprout_core::router::Router;
+use sprout_examples::{example_config, fmt_mohm, fmt_ph, out_dir};
+use sprout_extract::ac::ac_impedance_25mhz;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::resistance::dc_resistance;
+use sprout_render::SvgScene;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The board: the paper's two-rail wireless application (§III-A).
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let (vdd1, net) = board.power_nets().next().expect("preset has rails");
+    println!("board: {} ({} layers)", board.name(), board.stackup().layer_count());
+    println!("routing {} on layer {} (rail current {} A)", net.name, layer + 1, net.current_a);
+
+    // 2. Synthesize the power shape under a 25 mm² metal budget.
+    let router = Router::new(&board, example_config());
+    let result = router.route_net(vdd1, layer, 25.0)?;
+    println!(
+        "synthesized {:.1} mm² of copper over {} tiles in {:.0} ms ({} linear solves)",
+        result.shape.area_mm2(),
+        result.subgraph.order(),
+        result.timings.total_ms(),
+        result.timings.solves,
+    );
+    println!(
+        "objective fell {:.3} → {:.3} squares over {} optimizer steps",
+        result.resistance_history_sq.first().copied().unwrap_or(f64::NAN),
+        result.final_resistance_sq,
+        result.resistance_history_sq.len(),
+    );
+
+    // 3. Design-rule check.
+    let violations = check_route(&board, vdd1, layer, &result.shape, &[])?;
+    println!("DRC: {} violations", violations.len());
+
+    // 4. Extract parasitics the way the paper's Tables II/III do.
+    let network = RailNetwork::build(&board, &result)?;
+    let dc = dc_resistance(&network)?;
+    let ac = ac_impedance_25mhz(&network)?;
+    println!("DC resistance: {}", fmt_mohm(dc.total_ohm));
+    println!("loop inductance @ 25 MHz: {}", fmt_ph(ac.inductance_h));
+
+    // 5. Render.
+    let mut scene = SvgScene::new(&board, layer);
+    scene.add_route(net.name.clone(), &result.shape);
+    let path = out_dir().join("quickstart.svg");
+    std::fs::write(&path, scene.to_svg())?;
+    println!("layout written to {}", path.display());
+    Ok(())
+}

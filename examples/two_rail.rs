@@ -1,0 +1,62 @@
+//! Two-rail case study: SPROUT vs the manual-style baseline (Table II).
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin two_rail
+//! ```
+//!
+//! Routes both rails of the §III-A board with SPROUT and with the
+//! regular-geometry baseline, extracts both layouts with the same
+//! engine, and prints a Table II-shaped comparison.
+
+use sprout_baseline::{ManualConfig, ManualRouter};
+use sprout_board::presets;
+use sprout_core::router::Router;
+use sprout_examples::{example_config, out_dir};
+use sprout_extract::ac::ac_impedance_25mhz;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::resistance::dc_resistance;
+use sprout_render::SvgScene;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let budgets = [22.0, 20.0];
+    let router = Router::new(&board, example_config());
+    let manual = ManualRouter::new(
+        &board,
+        ManualConfig {
+            tile_pitch_mm: example_config().tile_pitch_mm,
+            ..ManualConfig::default()
+        },
+    );
+
+    println!("net      engine   area(mm²)   R_dc        L@25MHz");
+    let mut scene = SvgScene::new(&board, layer);
+    let mut claimed_sprout = Vec::new();
+    let mut claimed_manual = Vec::new();
+    for (k, (net_id, net)) in board.power_nets().enumerate() {
+        let budget = budgets[k.min(budgets.len() - 1)];
+        let sprout_route = router.route_net_with(net_id, layer, budget, &claimed_sprout, &[])?;
+        let manual_route = manual.route_net_with(net_id, layer, budget, &claimed_manual)?;
+        for (engine, route) in [("SPROUT", &sprout_route), ("manual", &manual_route)] {
+            let network = RailNetwork::build(&board, route)?;
+            let dc = dc_resistance(&network)?;
+            let ac = ac_impedance_25mhz(&network)?;
+            println!(
+                "{:<8} {:<8} {:>8.1}   {:>7.2} mΩ  {:>7.1} pH",
+                net.name,
+                engine,
+                route.shape.area_mm2(),
+                dc.total_ohm * 1e3,
+                ac.inductance_h * 1e12
+            );
+        }
+        claimed_sprout.extend(sprout_route.shape.blocker_polygons());
+        claimed_manual.extend(manual_route.shape.blocker_polygons());
+        scene.add_route(format!("{} (SPROUT)", net.name), &sprout_route.shape);
+    }
+    let path = out_dir().join("two_rail.svg");
+    std::fs::write(&path, scene.to_svg())?;
+    println!("\nlayout (Fig. 9 style) written to {}", path.display());
+    Ok(())
+}

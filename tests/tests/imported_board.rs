@@ -1,0 +1,78 @@
+//! Integration: a text-imported board runs the whole pipeline.
+
+use sprout_board::io::{parse_board, write_board};
+use sprout_core::drc::check_route;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_extract::ac::impedance_profile;
+use sprout_extract::density::current_density;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::resistance::dc_resistance;
+
+const BOARD: &str = "\
+board imported-demo 16 10
+stackup eight
+rules 0.1 0.1 0.2 20
+net power VDD 2.0 5e7 1.0
+net ground GND
+source VDD 7 1.5 5.0 0.45
+sink VDD 7 13.0 4.0 0.4
+sink VDD 7 13.8 4.0 0.4
+sink VDD 7 13.0 4.8 0.4
+obstacle GND 7 7.0 3.0 0.45
+blockage 7 6.0 6.0 8.0 8.0
+";
+
+fn route_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 8,
+        refine_iterations: 2,
+        reheat: None,
+        ..RouterConfig::default()
+    }
+}
+
+#[test]
+fn imported_board_routes_and_extracts() {
+    let board = parse_board(BOARD).expect("parses");
+    board.validate().expect("valid");
+    let router = Router::new(&board, route_config());
+    let (net_id, net) = board.power_nets().next().expect("one rail");
+    let route = router.route_net(net_id, 6, 16.0).expect("routes");
+    assert!(route.shape.area_mm2() > 5.0);
+
+    let drc = check_route(&board, net_id, 6, &route.shape, &[]).expect("drc runs");
+    assert!(drc.is_empty(), "{drc:?}");
+
+    let network = RailNetwork::build(&board, &route).expect("network");
+    let dc = dc_resistance(&network).expect("dc");
+    assert!(dc.total_ohm > 1e-3 && dc.total_ohm < 0.1);
+
+    // Impedance profile rises inductively and the low-frequency end
+    // approaches the DC resistance.
+    let profile = impedance_profile(&network, 1e4, 1e8, 17).expect("profile");
+    assert!((profile.magnitude_ohm[0] - dc.total_ohm).abs() / dc.total_ohm < 0.2);
+    assert!(profile.magnitude_ohm.last().unwrap() > &profile.magnitude_ohm[0]);
+
+    // Current density under the rail's load stays physical and the
+    // dissipation is consistent with I²R.
+    let density = current_density(&network, net.current_a, 0.5, 1e6).expect("density");
+    assert!(density.violations.is_empty());
+    let expected = net.current_a * net.current_a * dc.shape_ohm;
+    assert!(density.dissipation_w <= expected * 1.01);
+}
+
+#[test]
+fn round_tripped_board_routes_identically() {
+    let board = parse_board(BOARD).expect("parses");
+    let again = parse_board(&write_board(&board)).expect("round trip parses");
+    let router_a = Router::new(&board, route_config());
+    let router_b = Router::new(&again, route_config());
+    let (net_a, _) = board.power_nets().next().expect("rail");
+    let (net_b, _) = again.power_nets().next().expect("rail");
+    let ra = router_a.route_net(net_a, 6, 16.0).expect("routes");
+    let rb = router_b.route_net(net_b, 6, 16.0).expect("routes");
+    // Deterministic pipeline + identical inputs ⇒ identical outputs.
+    assert_eq!(ra.subgraph.order(), rb.subgraph.order());
+    assert!((ra.final_resistance_sq - rb.final_resistance_sq).abs() < 1e-12);
+}

@@ -1,0 +1,229 @@
+//! End-to-end integration tests: board → SPROUT → DRC → extraction.
+
+use sprout_baseline::{ManualConfig, ManualRouter};
+use sprout_board::presets;
+use sprout_core::drc::check_route;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_core::NodeId;
+use sprout_extract::ac::ac_impedance_25mhz;
+use sprout_extract::network::RailNetwork;
+use sprout_extract::resistance::dc_resistance;
+
+fn fast_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 10,
+        refine_iterations: 3,
+        ..RouterConfig::default()
+    }
+}
+
+#[test]
+fn two_rail_end_to_end() {
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let router = Router::new(&board, fast_config());
+    let requests: Vec<(sprout_board::NetId, usize, f64)> = board
+        .power_nets()
+        .map(|(id, _)| (id, layer, 20.0))
+        .collect();
+    let results = router.route_all(&requests).expect("both rails route");
+    assert_eq!(results.len(), 2);
+
+    let mut claimed = Vec::new();
+    for result in &results {
+        // Terminals connected.
+        let nodes: Vec<NodeId> = result.terminals.iter().map(|t| t.node).collect();
+        assert!(result.subgraph.connects(&result.graph, &nodes));
+        // Budget respected with one grow step of slack.
+        assert!(result.shape.area_mm2() <= 20.0 + 2.5);
+        // DRC-clean including against the previously routed net.
+        let v = check_route(&board, result.net, layer, &result.shape, &claimed)
+            .expect("drc runs");
+        assert!(v.is_empty(), "{v:?}");
+        claimed.extend(result.shape.blocker_polygons());
+        // Extraction yields physical values.
+        let network = RailNetwork::build(&board, result).expect("network");
+        let dc = dc_resistance(&network).expect("dc");
+        let ac = ac_impedance_25mhz(&network).expect("ac");
+        assert!(dc.total_ohm > 1e-3 && dc.total_ohm < 0.1, "{}", dc.total_ohm);
+        assert!(
+            ac.inductance_h > 1e-10 && ac.inductance_h < 1e-8,
+            "{}",
+            ac.inductance_h
+        );
+        assert!(ac.resistance_ohm >= dc.total_ohm * 0.5);
+    }
+}
+
+#[test]
+fn sprout_beats_or_matches_manual_at_equal_area() {
+    // The headline claim of Tables II/III: automated prototypes land in
+    // the same impedance band as manual layouts (here SPROUT must be no
+    // worse than the regular-geometry baseline by more than 10 %).
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let router = Router::new(&board, fast_config());
+    let manual = ManualRouter::new(
+        &board,
+        ManualConfig {
+            tile_pitch_mm: 0.5,
+            ..ManualConfig::default()
+        },
+    );
+    let (vdd1, _) = board.power_nets().next().expect("rails");
+    let s = router.route_net(vdd1, layer, 22.0).expect("sprout");
+    let m = manual.route_net(vdd1, layer, 22.0).expect("manual");
+    let s_net = RailNetwork::build(&board, &s).expect("network");
+    let m_net = RailNetwork::build(&board, &m).expect("network");
+    let s_dc = dc_resistance(&s_net).expect("dc").total_ohm;
+    let m_dc = dc_resistance(&m_net).expect("dc").total_ohm;
+    let s_l = ac_impedance_25mhz(&s_net).expect("ac").inductance_h;
+    let m_l = ac_impedance_25mhz(&m_net).expect("ac").inductance_h;
+    assert!(
+        s_dc <= m_dc * 1.1,
+        "SPROUT R {} must be within 10 % of manual {}",
+        s_dc,
+        m_dc
+    );
+    assert!(
+        s_l <= m_l * 1.1,
+        "SPROUT L {} must be within 10 % of manual {}",
+        s_l,
+        m_l
+    );
+}
+
+#[test]
+fn three_rail_sequential_routing() {
+    let board = presets::three_rail();
+    let layer = presets::TEN_LAYER_ROUTE_LAYER;
+    let router = Router::new(
+        &board,
+        RouterConfig {
+            tile_pitch_mm: 0.45,
+            grow_iterations: 8,
+            refine_iterations: 2,
+            reheat: None,
+            ..RouterConfig::default()
+        },
+    );
+    let (modem, cpu, dsp) = {
+        let mut it = board.power_nets();
+        (
+            it.next().unwrap().0,
+            it.next().unwrap().0,
+            it.next().unwrap().0,
+        )
+    };
+    let results = router
+        .route_all(&[(modem, layer, 32.0), (cpu, layer, 32.0), (dsp, layer, 7.0)])
+        .expect("all three rails route");
+    assert_eq!(results.len(), 3);
+    // Later nets must be clean against earlier shapes.
+    let blockers: Vec<_> = results[0]
+        .shape
+        .blocker_polygons()
+        .into_iter()
+        .chain(results[1].shape.blocker_polygons())
+        .collect();
+    let v = check_route(&board, dsp, layer, &results[2].shape, &blockers).expect("drc");
+    assert!(v.is_empty(), "{v:?}");
+    // The modem rail network carries the decap taps.
+    let modem_net = RailNetwork::build(&board, &results[0]).expect("network");
+    assert_eq!(modem_net.decaps.len(), 2);
+    let cpu_net = RailNetwork::build(&board, &results[1]).expect("network");
+    assert_eq!(cpu_net.decaps.len(), 5);
+}
+
+#[test]
+fn more_area_never_hurts_impedance() {
+    // Fig. 12a/b monotonicity across three budgets.
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let router = Router::new(&board, fast_config());
+    let (vdd1, _) = board.power_nets().next().expect("rails");
+    let mut last_r = f64::INFINITY;
+    for budget in [18.0, 25.0, 32.0] {
+        let route = router.route_net(vdd1, layer, budget).expect("routes");
+        let network = RailNetwork::build(&board, &route).expect("network");
+        let dc = dc_resistance(&network).expect("dc").total_ohm;
+        assert!(
+            dc < last_r * 1.02,
+            "resistance should not grow with area: {dc} after {last_r}"
+        );
+        last_r = dc;
+    }
+}
+
+#[test]
+fn unroutable_boards_fail_cleanly() {
+    use sprout_board::{Board, DesignRules, Element, ElementRole, Net, Stackup};
+    use sprout_geom::{Point, Polygon, Rect};
+    // Terminals separated by a full-height wall: typed error, no panic.
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 6.0)).unwrap();
+    let mut board = Board::new("blocked", outline, Stackup::eight_layer(), DesignRules::default());
+    let vdd = board.add_net(Net::power("VDD", 1.0, 1e7, 1.0).unwrap());
+    let pad = |x: f64, y: f64| {
+        Polygon::rectangle(Point::new(x - 0.2, y - 0.2), Point::new(x + 0.2, y + 0.2)).unwrap()
+    };
+    board
+        .add_element(Element::terminal(vdd, 6, pad(1.0, 3.0), ElementRole::Source))
+        .unwrap();
+    board
+        .add_element(Element::terminal(vdd, 6, pad(9.0, 3.0), ElementRole::Sink))
+        .unwrap();
+    board
+        .add_element(Element::blockage(
+            6,
+            Polygon::rectangle(Point::new(4.5, 0.0), Point::new(5.5, 6.0)).unwrap(),
+        ))
+        .unwrap();
+    let router = Router::new(&board, fast_config());
+    assert!(matches!(
+        router.route_net(vdd, 6, 10.0),
+        Err(sprout_core::SproutError::DisjointSpace { .. })
+    ));
+}
+
+#[test]
+fn random_boards_route_or_fail_cleanly() {
+    use sprout_board::presets::{random_board, RandomBoardConfig};
+    for seed in 0..8u64 {
+        let board = random_board(seed, RandomBoardConfig::default());
+        let router = Router::new(&board, fast_config());
+        for (net, _) in board.power_nets() {
+            match router.route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 15.0) {
+                Ok(result) => {
+                    let nodes: Vec<NodeId> =
+                        result.terminals.iter().map(|t| t.node).collect();
+                    assert!(result.subgraph.connects(&result.graph, &nodes));
+                    let v = check_route(
+                        &board,
+                        net,
+                        presets::TWO_RAIL_ROUTE_LAYER,
+                        &result.shape,
+                        &[],
+                    )
+                    .expect("drc runs");
+                    assert!(v.is_empty(), "seed {seed}: {v:?}");
+                }
+                // Random blockages may legitimately wall off terminals
+                // or leave too little room; typed errors are the
+                // contract.
+                Err(e) => {
+                    use sprout_core::SproutError as E;
+                    assert!(
+                        matches!(
+                            e,
+                            E::DisjointSpace { .. }
+                                | E::AreaBudgetTooSmall { .. }
+                                | E::TerminalBlocked { .. }
+                        ),
+                        "seed {seed}: unexpected error {e:?}"
+                    );
+                }
+            }
+        }
+    }
+}
