@@ -206,6 +206,7 @@ impl<'b> ManualRouter<'b> {
             resistance_history_sq: vec![final_resistance_sq],
             final_resistance_sq,
             timings: StageTimings::default(),
+            diagnostics: sprout_core::recovery::RouteDiagnostics::default(),
         })
     }
 

@@ -1,8 +1,9 @@
-//! Criterion benches for the polygon-clipping substrate (§II-A/§II-G:
-//! "polygon removal is achieved by utilizing efficient polygon clipping
-//! algorithms ... that require negligible time").
+//! Benches for the polygon-clipping substrate (§II-A/§II-G: "polygon
+//! removal is achieved by utilizing efficient polygon clipping
+//! algorithms ... that require negligible time"). Plain harness (no
+//! `criterion` offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sprout_bench::timing::bench;
 use sprout_geom::buffer::{buffer_polygon, BufferStyle};
 use sprout_geom::stitch::{union_grid_cells, GridFrame};
 use sprout_geom::{boolean, Point, Polygon};
@@ -11,29 +12,24 @@ fn regular(n: usize, r: f64, cx: f64, cy: f64) -> Polygon {
     Polygon::regular(Point::new(cx, cy), r, n).expect("valid n-gon")
 }
 
-fn bench_boolean(c: &mut Criterion) {
-    let mut group = c.benchmark_group("boolean_ops");
+fn bench_boolean() {
     for n in [8usize, 32, 128] {
         let a = regular(n, 10.0, 0.0, 0.0);
         let b = regular(n, 10.0, 6.0, 3.0);
-        group.bench_with_input(BenchmarkId::new("intersection", n), &n, |bench, _| {
-            bench.iter(|| boolean::intersection(&a, &b));
+        bench(&format!("boolean_intersection/{n}"), || {
+            boolean::intersection(&a, &b)
         });
-        group.bench_with_input(BenchmarkId::new("difference", n), &n, |bench, _| {
-            bench.iter(|| boolean::difference(&a, &b));
+        bench(&format!("boolean_difference/{n}"), || {
+            boolean::difference(&a, &b)
         });
-        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
-            bench.iter(|| boolean::union(&a, &b));
-        });
+        bench(&format!("boolean_union/{n}"), || boolean::union(&a, &b));
     }
-    group.finish();
 }
 
-fn bench_buffer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("buffering");
+fn bench_buffer() {
     let pad = Polygon::rectangle(Point::new(0.0, 0.0), Point::new(0.4, 0.4)).expect("static");
-    group.bench_function("pad_fine", |bench| {
-        bench.iter(|| buffer_polygon(&pad, 0.1, BufferStyle::new()).expect("valid"));
+    bench("buffer_pad_fine", || {
+        buffer_polygon(&pad, 0.1, BufferStyle::new()).expect("valid")
     });
     let concave = Polygon::new(vec![
         Point::new(0.0, 0.0),
@@ -43,14 +39,12 @@ fn bench_buffer(c: &mut Criterion) {
         Point::new(0.0, 4.0),
     ])
     .expect("valid ring");
-    group.bench_function("concave", |bench| {
-        bench.iter(|| buffer_polygon(&concave, 0.3, BufferStyle::new()).expect("valid"));
+    bench("buffer_concave", || {
+        buffer_polygon(&concave, 0.3, BufferStyle::new()).expect("valid")
     });
-    group.finish();
 }
 
-fn bench_stitch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("grid_union");
+fn bench_stitch() {
     for side in [20i64, 60] {
         let cells: Vec<(i64, i64)> = (0..side)
             .flat_map(|i| (0..side).map(move |j| (i, j)))
@@ -61,16 +55,14 @@ fn bench_stitch(c: &mut Criterion) {
             dx: 0.4,
             dy: 0.4,
         };
-        group.bench_with_input(
-            BenchmarkId::from_parameter(cells.len()),
-            &cells,
-            |bench, cells| {
-                bench.iter(|| union_grid_cells(cells, frame));
-            },
-        );
+        bench(&format!("grid_union/{}", cells.len()), || {
+            union_grid_cells(&cells, frame)
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_boolean, bench_buffer, bench_stitch);
-criterion_main!(benches);
+fn main() {
+    bench_boolean();
+    bench_buffer();
+    bench_stitch();
+}

@@ -1,31 +1,31 @@
-//! Criterion benches for the SPROUT pipeline stages (§II-H breakdown).
+//! Benches for the SPROUT pipeline stages (§II-H breakdown). Plain
+//! harness (no `criterion` offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sprout_bench::timing::{bench, bench_with_budget};
 use sprout_board::presets;
 use sprout_core::current::{injection_pairs, node_current, PairPolicy};
 use sprout_core::router::{Router, RouterConfig};
 use sprout_core::seed::{seed_subgraph, SeedOptions};
 use sprout_core::space::SpaceSpec;
 use sprout_core::tile::{identify_terminals, space_to_graph, TileOptions};
+use std::time::Duration;
 
-fn bench_space_and_tiling(c: &mut Criterion) {
+fn bench_space_and_tiling() {
     let board = presets::two_rail();
     let (vdd1, _) = board.power_nets().next().expect("rails");
     let layer = presets::TWO_RAIL_ROUTE_LAYER;
-    let mut group = c.benchmark_group("space_to_graph");
-    group.bench_function("space_spec", |bench| {
-        bench.iter(|| SpaceSpec::build(&board, vdd1, layer, &[]).expect("valid"));
+    bench("space_spec", || {
+        SpaceSpec::build(&board, vdd1, layer, &[]).expect("valid")
     });
     let spec = SpaceSpec::build(&board, vdd1, layer, &[]).expect("valid");
     for pitch in [0.6, 0.4, 0.3] {
-        group.bench_with_input(BenchmarkId::new("tiling", pitch.to_string()), &pitch, |bench, &p| {
-            bench.iter(|| space_to_graph(&spec, TileOptions::square(p)).expect("valid"));
+        bench(&format!("tiling/{pitch}"), || {
+            space_to_graph(&spec, TileOptions::square(pitch)).expect("valid")
         });
     }
-    group.finish();
 }
 
-fn bench_metric(c: &mut Criterion) {
+fn bench_metric() {
     let board = presets::two_rail();
     let (vdd1, net) = board.power_nets().next().expect("rails");
     let layer = presets::TWO_RAIL_ROUTE_LAYER;
@@ -38,17 +38,15 @@ fn bench_metric(c: &mut Criterion) {
     // Grow to a realistic working size first.
     let budget = sub.area_mm2() * 1.6;
     sprout_core::grow::grow_to_area(&graph, &mut sub, &pairs, 24, budget).expect("grow");
-    c.bench_function("node_current_metric", |bench| {
-        bench.iter(|| node_current(&graph, &sub, &pairs).expect("metric"));
+    bench("node_current_metric", || {
+        node_current(&graph, &sub, &pairs).expect("metric")
     });
 }
 
-fn bench_full_route(c: &mut Criterion) {
+fn bench_full_route() {
     let board = presets::two_rail();
     let (vdd1, _) = board.power_nets().next().expect("rails");
     let layer = presets::TWO_RAIL_ROUTE_LAYER;
-    let mut group = c.benchmark_group("route_net");
-    group.sample_size(10);
     for pitch in [0.6, 0.4] {
         let config = RouterConfig {
             tile_pitch_mm: pitch,
@@ -57,16 +55,16 @@ fn bench_full_route(c: &mut Criterion) {
             ..RouterConfig::default()
         };
         let router = Router::new(&board, config);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(pitch.to_string()),
-            &router,
-            |bench, router| {
-                bench.iter(|| router.route_net(vdd1, layer, 22.0).expect("routes"));
-            },
+        bench_with_budget(
+            &format!("route_net/{pitch}"),
+            Duration::from_secs(2),
+            &mut || router.route_net(vdd1, layer, 22.0).expect("routes"),
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_space_and_tiling, bench_metric, bench_full_route);
-criterion_main!(benches);
+fn main() {
+    bench_space_and_tiling();
+    bench_metric();
+    bench_full_route();
+}

@@ -1,10 +1,11 @@
-//! Criterion benches for the linear-solver kernels — the §II-H
-//! bottleneck ("up to 90 % of the total runtime").
+//! Benches for the linear-solver kernels — the §II-H bottleneck ("up to
+//! 90 % of the total runtime"). Plain harness (no `criterion` offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sprout_bench::timing::bench;
 use sprout_linalg::bicgstab::{solve_bicgstab, BiCgStabOptions};
 use sprout_linalg::cg::{solve_cg, CgOptions};
 use sprout_linalg::cholesky::SparseCholesky;
+use sprout_linalg::fallback::{build_grounded_solver, FallbackOptions};
 use sprout_linalg::laplacian::GraphLaplacian;
 use sprout_linalg::{Complex, Csr, Triplets};
 
@@ -29,41 +30,50 @@ fn grid_laplacian(w: usize) -> Csr<f64> {
         .expect("valid ground")
 }
 
-fn bench_cholesky(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cholesky_factor_solve");
+fn bench_cholesky() {
     for w in [16usize, 32, 48] {
         let a = grid_laplacian(w);
         let b: Vec<f64> = (0..a.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
-        group.bench_with_input(BenchmarkId::new("factor", w * w), &a, |bench, a| {
-            bench.iter(|| SparseCholesky::factor(a).expect("SPD"));
+        bench(&format!("cholesky_factor/{}", w * w), || {
+            SparseCholesky::factor(&a).expect("SPD")
         });
         let chol = SparseCholesky::factor(&a).expect("SPD");
-        group.bench_with_input(BenchmarkId::new("solve", w * w), &chol, |bench, chol| {
-            bench.iter(|| chol.solve(&b).expect("solve"));
+        bench(&format!("cholesky_solve/{}", w * w), || {
+            chol.solve(&b).expect("solve")
         });
     }
-    group.finish();
 }
 
-fn bench_cg(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cg_solve");
+fn bench_fallback_ladder() {
+    // The resilient entry point must cost ≈ the plain factorization on
+    // healthy inputs (first rung succeeds immediately).
+    for w in [16usize, 32] {
+        let a = grid_laplacian(w);
+        bench(&format!("fallback_build/{}", w * w), || {
+            build_grounded_solver(&a, FallbackOptions::default()).expect("healthy input")
+        });
+    }
+}
+
+fn bench_cg() {
     for w in [16usize, 32, 48] {
         let a = grid_laplacian(w);
-        let b: Vec<f64> = (0..a.rows()).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(w * w), &a, |bench, a| {
-            bench.iter(|| solve_cg(a, &b, CgOptions::default()).expect("converges"));
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| if i == 0 { 1.0 } else { 0.0 })
+            .collect();
+        bench(&format!("cg_solve/{}", w * w), || {
+            solve_cg(&a, &b, CgOptions::default()).expect("converges")
         });
     }
-    group.finish();
 }
 
-fn bench_bicgstab_complex(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bicgstab_complex");
+fn bench_bicgstab_complex() {
     for n in [256usize, 1024] {
         let mut t = Triplets::<Complex>::new(n, n);
         let y = Complex::new(1.0, 0.4);
         for i in 0..n {
-            t.push(i, i, y * 2.0 + Complex::new(0.05, 0.0)).expect("in bounds");
+            t.push(i, i, y * 2.0 + Complex::new(0.05, 0.0))
+                .expect("in bounds");
             if i + 1 < n {
                 t.push(i, i + 1, -y).expect("in bounds");
                 t.push(i + 1, i, -y).expect("in bounds");
@@ -73,14 +83,15 @@ fn bench_bicgstab_complex(c: &mut Criterion) {
         let b: Vec<Complex> = (0..n)
             .map(|i| Complex::new((i as f64).cos(), 0.2))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bench, a| {
-            bench.iter(|| {
-                solve_bicgstab(a, &b, BiCgStabOptions::default()).expect("converges")
-            });
+        bench(&format!("bicgstab_complex/{n}"), || {
+            solve_bicgstab(&a, &b, BiCgStabOptions::default()).expect("converges")
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cholesky, bench_cg, bench_bicgstab_complex);
-criterion_main!(benches);
+fn main() {
+    bench_cholesky();
+    bench_fallback_ladder();
+    bench_cg();
+    bench_bicgstab_complex();
+}

@@ -19,6 +19,8 @@
 //! Pass `--svg` to `table2`, `table3`, or `fig12` to also write Fig. 9 /
 //! Fig. 10 / Fig. 11-style SVGs under `target/experiments/`.
 
+pub mod timing;
+
 use sprout_board::Board;
 use sprout_core::router::RouteResult;
 use sprout_extract::ac::ac_impedance_25mhz;

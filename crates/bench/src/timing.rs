@@ -1,0 +1,76 @@
+//! A minimal bench harness (the offline crate set has no `criterion`).
+//!
+//! Each `bench` call warms up, then runs timed batches until a wall
+//! budget is spent and reports the median per-iteration time. Output is
+//! one aligned line per case, so `cargo bench` remains scannable and
+//! diffable across runs.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export for bench closures that must defeat constant folding.
+pub use std::hint::black_box as bb;
+
+/// Runs `f` repeatedly and reports the median per-iteration time.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    bench_with_budget(name, Duration::from_millis(300), &mut f);
+}
+
+/// [`bench`] with an explicit wall-clock budget (for slow cases).
+pub fn bench_with_budget<T>(name: &str, budget: Duration, f: &mut impl FnMut() -> T) {
+    // Warm-up and batch sizing: aim for batches of >= 1 ms.
+    let t0 = Instant::now();
+    black_box(f());
+    let first = t0.elapsed();
+    let batch = if first.as_nanos() == 0 {
+        1024
+    } else {
+        (Duration::from_millis(1).as_nanos() / first.as_nanos()).clamp(1, 16_384) as usize
+    };
+
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || samples.len() < 5 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        if samples.len() >= 10_000 {
+            break;
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    println!("{name:<48} {:>14}/iter  ({} samples)", fmt_time(median), samples.len());
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scales() {
+        assert!(fmt_time(2e-9).ends_with("ns"));
+        assert!(fmt_time(2e-6).ends_with("µs"));
+        assert!(fmt_time(2e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+
+    #[test]
+    fn bench_runs() {
+        bench_with_budget("noop", Duration::from_millis(5), &mut || 1 + 1);
+    }
+}

@@ -11,8 +11,7 @@ use crate::element::{Element, ElementRole};
 use crate::net::{Net, NetId};
 use crate::rules::DesignRules;
 use crate::stackup::Stackup;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sprout_rng::SproutRng;
 use sprout_geom::{Point, Polygon, Rect};
 
 /// Routing layer index of the eight-layer two-rail board (layer 7).
@@ -359,7 +358,7 @@ impl Default for RandomBoardConfig {
 /// groups, one source per net, random blockages. Deterministic for a
 /// given seed.
 pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SproutRng::seed_from_u64(seed);
     let s = cfg.size_mm;
     let outline = Rect::new(Point::new(0.0, 0.0), Point::new(s, s)).expect("positive size");
     let mut board = Board::new(
@@ -372,7 +371,7 @@ pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
     let pad = 0.4;
     let nets: Vec<NetId> = (0..cfg.nets)
         .map(|k| {
-            let current = rng.gen_range(0.5..5.0);
+            let current = rng.f64_range(0.5, 5.0);
             board
                 .add_net(Net::power(format!("P{k}"), current, 1e9, 1.0).expect("valid range"))
         })
@@ -389,8 +388,8 @@ pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
                 ElementRole::Source,
             ))
             .expect("inside outline");
-        let cx = rng.gen_range(s * 0.5..s - 2.0);
-        let cy = rng.gen_range(2.0..s - 2.0);
+        let cx = rng.f64_range(s * 0.5, s - 2.0);
+        let cy = rng.f64_range(2.0, s - 2.0);
         for i in 0..cfg.sinks_per_net {
             let angle = std::f64::consts::TAU * i as f64 / cfg.sinks_per_net as f64;
             let r = 0.9 + 0.2 * (i % 3) as f64;
@@ -405,10 +404,10 @@ pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
     }
 
     for _ in 0..cfg.blockages {
-        let w = rng.gen_range(1.0..s / 4.0);
-        let h = rng.gen_range(1.0..s / 4.0);
-        let x = rng.gen_range(3.0..(s - w - 3.0).max(3.1));
-        let y = rng.gen_range(1.0..(s - h - 1.0).max(1.1));
+        let w = rng.f64_range(1.0, s / 4.0);
+        let h = rng.f64_range(1.0, s / 4.0);
+        let x = rng.f64_range(3.0, (s - w - 3.0).max(3.1));
+        let y = rng.f64_range(1.0, (s - h - 1.0).max(1.1));
         let shape =
             Polygon::rectangle(Point::new(x, y), Point::new(x + w, y + h)).expect("positive");
         board

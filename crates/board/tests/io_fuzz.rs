@@ -1,64 +1,75 @@
 //! Robustness: the board parser must never panic, whatever the input.
+//!
+//! Seeded deterministic fuzzing (the offline crate set has no
+//! `proptest`); each case prints its seed on failure.
 
-use proptest::prelude::*;
 use sprout_board::io::parse_board;
+use sprout_rng::SproutRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,400}") {
+#[test]
+fn parser_never_panics_on_arbitrary_text() {
+    for case in 0..256u64 {
+        let mut rng = SproutRng::seed_from_u64(case);
+        let len = rng.usize_below(401);
+        let text: String = (0..len)
+            .map(|_| {
+                // Printable-and-beyond soup: ASCII, whitespace, and a few
+                // multi-byte chars.
+                match rng.usize_below(20) {
+                    0 => '\n',
+                    1 => '\t',
+                    2 => 'µ',
+                    3 => '𝛀',
+                    _ => char::from_u32(rng.usize_range(0x20, 0x7F) as u32).unwrap_or(' '),
+                }
+            })
+            .collect();
         let _ = parse_board(&text);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_directive_shaped_lines(
-        lines in proptest::collection::vec(
-            (
-                prop_oneof![
-                    Just("board"), Just("stackup"), Just("rules"), Just("net"),
-                    Just("source"), Just("sink"), Just("decappad"),
-                    Just("obstacle"), Just("blockage"), Just("decap"), Just("junk")
-                ],
-                proptest::collection::vec(
-                    prop_oneof![
-                        Just("VDD".to_owned()),
-                        Just("power".to_owned()),
-                        Just("-1".to_owned()),
-                        Just("0".to_owned()),
-                        Just("7".to_owned()),
-                        Just("1e308".to_owned()),
-                        Just("nan".to_owned()),
-                        Just("3.5".to_owned()),
-                    ],
-                    0..8,
-                ),
-            ),
-            0..12,
-        )
-    ) {
-        let text: String = lines
-            .iter()
-            .map(|(head, args)| format!("{head} {}\n", args.join(" ")))
+#[test]
+fn parser_never_panics_on_directive_shaped_lines() {
+    const HEADS: [&str; 11] = [
+        "board", "stackup", "rules", "net", "source", "sink", "decappad", "obstacle", "blockage",
+        "decap", "junk",
+    ];
+    const ARGS: [&str; 8] = ["VDD", "power", "-1", "0", "7", "1e308", "nan", "3.5"];
+    for case in 0..256u64 {
+        let mut rng = SproutRng::seed_from_u64(1000 + case);
+        let n_lines = rng.usize_below(12);
+        let text: String = (0..n_lines)
+            .map(|_| {
+                let head = HEADS[rng.usize_below(HEADS.len())];
+                let n_args = rng.usize_below(8);
+                let args: Vec<&str> = (0..n_args)
+                    .map(|_| ARGS[rng.usize_below(ARGS.len())])
+                    .collect();
+                format!("{head} {}\n", args.join(" "))
+            })
             .collect();
         // Must return Ok or a line-tagged Err — never panic.
         if let Err(e) = parse_board(&text) {
-            prop_assert!(e.line <= lines.len());
+            assert!(e.line <= n_lines, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn valid_boards_with_random_geometry_round_trip(
-        w in 5.0f64..40.0,
-        h in 5.0f64..40.0,
-        sinks in proptest::collection::vec((0.1f64..0.9, 0.1f64..0.9), 1..6),
-    ) {
+#[test]
+fn valid_boards_with_random_geometry_round_trip() {
+    for case in 0..256u64 {
+        let mut rng = SproutRng::seed_from_u64(2000 + case);
+        let w = rng.f64_range(5.0, 40.0);
+        let h = rng.f64_range(5.0, 40.0);
+        let n_sinks = rng.usize_range(1, 6);
         let mut text = format!(
             "board fuzz {w:.3} {h:.3}\nstackup eight\nnet power V 1.0 1e7 1.0\nsource V 7 {x:.3} {y:.3} 0.4\n",
             x = w * 0.1,
             y = h * 0.5,
         );
-        for (fx, fy) in &sinks {
+        for _ in 0..n_sinks {
+            let fx = rng.f64_range(0.1, 0.9);
+            let fy = rng.f64_range(0.1, 0.9);
             text.push_str(&format!(
                 "sink V 7 {x:.3} {y:.3} 0.4\n",
                 x = (w - 1.0) * fx + 0.5,
@@ -68,6 +79,10 @@ proptest! {
         let board = parse_board(&text).expect("constructed to be valid");
         board.validate().expect("has source and sinks");
         let round = parse_board(&sprout_board::io::write_board(&board)).expect("round trips");
-        prop_assert_eq!(round.elements().len(), board.elements().len());
+        assert_eq!(
+            round.elements().len(),
+            board.elements().len(),
+            "case {case}"
+        );
     }
 }

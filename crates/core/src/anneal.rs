@@ -11,8 +11,7 @@
 use crate::current::{node_current, InjectionPair};
 use crate::graph::{NodeId, RoutingGraph, Subgraph};
 use crate::SproutError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sprout_rng::SproutRng;
 
 /// Annealing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,7 +76,7 @@ pub fn anneal_refine(
     if config.initial_temperature < 0.0 {
         return Err(SproutError::InvalidConfig("temperature must be >= 0"));
     }
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = SproutRng::seed_from_u64(config.seed);
     let mut protected_mask = vec![false; graph.node_count()];
     for &p in protected {
         protected_mask[p.index()] = true;
@@ -102,7 +101,7 @@ pub fn anneal_refine(
             if boundary.is_empty() {
                 break;
             }
-            let add = boundary[rng.gen_range(0..boundary.len())];
+            let add = boundary[rng.usize_below(boundary.len())];
             sub.insert(graph, add);
             added.push(add);
             // …then remove a random safe member to restore the order.
@@ -114,7 +113,7 @@ pub fn anneal_refine(
                 .collect();
             let mut removed_one = false;
             while !candidates.is_empty() {
-                let k = rng.gen_range(0..candidates.len());
+                let k = rng.usize_below(candidates.len());
                 let victim = candidates.swap_remove(k);
                 if sub.connected_without(graph, victim, terminal_nodes) {
                     sub.remove(graph, victim);
@@ -138,7 +137,7 @@ pub fn anneal_refine(
         let new_r = metric.resistance_sq();
         let delta = new_r - current_r;
         let accept = delta <= 0.0
-            || (temperature > 0.0 && rng.gen::<f64>() < (-delta / temperature).exp());
+            || (temperature > 0.0 && rng.f64() < (-delta / temperature).exp());
         if accept {
             current_r = new_r;
             accepted += 1;

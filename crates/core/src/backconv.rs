@@ -69,6 +69,43 @@ impl RoutedShape {
         out.extend(self.fragments.iter().cloned());
         out
     }
+
+    /// Drops fragments whose area is below `min_area_mm2` or not finite
+    /// — unmanufacturable slivers that would trip DRC and inflate
+    /// downstream polygon processing — returning how many were removed.
+    /// The reported total area shrinks by the dropped metal.
+    pub fn sanitize(&mut self, min_area_mm2: f64) -> usize {
+        let before = self.fragments.len();
+        let mut removed_area = 0.0f64;
+        self.fragments.retain(|f| {
+            let a = f.area();
+            if a.is_finite() && a >= min_area_mm2 {
+                true
+            } else {
+                if a.is_finite() {
+                    removed_area += a;
+                }
+                false
+            }
+        });
+        let dropped = before - self.fragments.len();
+        if dropped > 0 {
+            self.area_mm2 = (self.area_mm2 - removed_area).max(0.0);
+        }
+        dropped
+    }
+
+    /// Test-only hook for the fault-injection harness: appends a sliver
+    /// fragment near `at` — large enough to survive polygon validation,
+    /// orders of magnitude below any legitimate clipped cell —
+    /// simulating a degenerate polygon escaping clipping.
+    /// [`RoutedShape::sanitize`] must remove it before the shape reaches
+    /// DRC.
+    pub(crate) fn inject_degenerate_fragment(&mut self, at: Point) {
+        if let Ok(p) = Polygon::rectangle(at, Point::new(at.x + 1e-3, at.y + 1e-3)) {
+            self.fragments.push(p);
+        }
+    }
 }
 
 /// Converts the final subgraph back into polygons (§II-G).

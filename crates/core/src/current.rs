@@ -9,10 +9,13 @@
 //! reclaims metal.
 
 use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::recovery::{self, SolverEvent};
 use crate::tile::Terminal;
 use crate::SproutError;
 use sprout_board::ElementRole;
+use sprout_linalg::fallback::FallbackOptions;
 use sprout_linalg::laplacian::GraphLaplacian;
+use sprout_linalg::LinalgError;
 
 /// How terminal pairs are enumerated for current injection.
 ///
@@ -170,13 +173,31 @@ pub fn node_current(
         compact[m.index()] = k;
     }
 
-    let edges: Vec<(usize, usize, f64)> = sub
+    let mut edges: Vec<(usize, usize, f64)> = sub
         .induced_edges(graph)
         .map(|e| (compact[e.a.index()], compact[e.b.index()], e.weight))
         .collect();
-    let lap = GraphLaplacian::from_edges(members.len(), &edges)?;
+    // Fault-injection hooks: no-ops unless a FaultScope is active.
+    recovery::fault_corrupt_conductances(&mut edges);
+    if recovery::fault_solver_failure() {
+        return Err(SproutError::Linalg(LinalgError::NotConverged {
+            iterations: 0,
+            residual: f64::INFINITY,
+        }));
+    }
+    let mut lap = GraphLaplacian::from_edges(members.len(), &edges)?;
+    let dropped = lap.sanitize_conductances();
+    if dropped > 0 {
+        recovery::note_event(SolverEvent::Sanitized(dropped));
+        edges.retain(|&(_, _, g)| g.is_finite() && g > 0.0);
+    }
     let ground = compact[pairs[0].sink.index()];
-    let factor = lap.factor_grounded(ground)?;
+    let factor = lap.factor_grounded_resilient(ground, FallbackOptions::default())?;
+    if let Some(report) = factor.fallback_report() {
+        if report.degraded() {
+            recovery::note_event(SolverEvent::Fallback(report.rung));
+        }
+    }
 
     let mut node_metric = vec![0.0f64; graph.node_count()];
     let mut resistance_weighted = 0.0f64;
@@ -341,11 +362,7 @@ mod tests {
         let nc = node_current(&graph, &sub, &pairs).unwrap();
         let best = (0..graph.node_count() as u32)
             .map(NodeId)
-            .max_by(|&a, &b| {
-                nc.of(a)
-                    .partial_cmp(&nc.of(b))
-                    .expect("finite metric")
-            })
+            .max_by(|&a, &b| nc.of(a).total_cmp(&nc.of(b)))
             .unwrap();
         assert!(sub.contains(best));
     }

@@ -64,8 +64,7 @@ pub fn grow_with_metric(
         })
         .collect();
     scored.sort_by(|a, b| {
-        b.0.partial_cmp(&a.0)
-            .expect("finite scores")
+        b.0.total_cmp(&a.0)
             .then_with(|| a.1.cmp(&b.1))
     });
     let take = k.min(scored.len());

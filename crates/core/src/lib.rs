@@ -56,6 +56,7 @@ pub mod graph;
 pub mod grow;
 pub mod multilayer;
 pub mod path;
+pub mod recovery;
 pub mod refine;
 pub mod reheat;
 pub mod router;
@@ -64,12 +65,17 @@ pub mod space;
 pub mod tile;
 
 pub use graph::{NodeId, RoutingGraph, Subgraph};
+pub use recovery::{
+    Degradation, FaultPlan, RecoveryConfig, RecoveryPolicy, RouteDiagnostics, StageBudget,
+};
 pub use router::{RouteResult, Router, RouterConfig};
 
 use std::fmt;
 
 /// Errors from the SPROUT pipeline.
 #[derive(Debug)]
+#[must_use]
+#[non_exhaustive]
 pub enum SproutError {
     /// The board description itself is inconsistent.
     Board(sprout_board::BoardError),
@@ -111,6 +117,14 @@ pub enum SproutError {
     InvalidConfig(&'static str),
     /// Multilayer routing could not find any layer stack path.
     NoMultilayerPath,
+    /// Part of a multilayer route succeeded before another part failed;
+    /// the diagnostics describe what was lost.
+    Degraded {
+        /// Degradations and warnings accumulated before the failure.
+        diagnostics: Box<recovery::RouteDiagnostics>,
+        /// The error that stopped the remainder of the route.
+        source: Box<SproutError>,
+    },
 }
 
 impl fmt::Display for SproutError {
@@ -137,6 +151,12 @@ impl fmt::Display for SproutError {
             SproutError::NoMultilayerPath => {
                 write!(f, "no multilayer path connects the terminals")
             }
+            SproutError::Degraded { diagnostics, source } => write!(
+                f,
+                "route partially failed ({} warning(s), {} degradation(s)): {source}",
+                diagnostics.warnings.len(),
+                diagnostics.degradations.len()
+            ),
         }
     }
 }
@@ -147,6 +167,7 @@ impl std::error::Error for SproutError {
             SproutError::Board(e) => Some(e),
             SproutError::Geometry(e) => Some(e),
             SproutError::Linalg(e) => Some(e),
+            SproutError::Degraded { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }

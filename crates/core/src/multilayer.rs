@@ -69,8 +69,7 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("finite costs")
+            .total_cmp(&self.cost)
             .then_with(|| self.node.cmp(&other.node))
     }
 }
@@ -320,7 +319,14 @@ fn dijkstra_3d(
 ///
 /// # Errors
 ///
-/// Propagates planning and per-layer routing errors.
+/// Propagates planning errors. Per-layer routing errors propagate
+/// directly under [`RecoveryPolicy::FailFast`]; under the lenient
+/// policies a failing layer aborts the route with
+/// [`SproutError::Degraded`], whose diagnostics name the lost layers and
+/// whose source is the first layer error — so a partial multilayer
+/// failure is distinguishable from a total one.
+///
+/// [`RecoveryPolicy::FailFast`]: crate::recovery::RecoveryPolicy::FailFast
 pub fn route_multilayer(
     router: &Router<'_>,
     board: &Board,
@@ -329,8 +335,12 @@ pub fn route_multilayer(
     budget_per_layer_mm2: f64,
     config: MultilayerConfig,
 ) -> Result<(MultilayerPlan, Vec<RouteResult>), SproutError> {
+    use crate::recovery::{Degradation, RecoveryPolicy, RouteDiagnostics};
+
     let plan = plan_multilayer(board, net, layers, config)?;
     let mut results = Vec::new();
+    let mut diagnostics = RouteDiagnostics::default();
+    let mut first_err: Option<SproutError> = None;
     for &layer in &plan.layers_used {
         let extra: Vec<(Point, ElementRole)> = plan
             .layer_terminals
@@ -345,9 +355,32 @@ pub fn route_multilayer(
         }
         // Within a layer the terminals may sit in disjoint space regions
         // (that is exactly why vias were needed); route each region.
-        let layer_results =
-            router.route_net_components(net, layer, budget_per_layer_mm2, &[], &extra)?;
-        results.extend(layer_results);
+        match router.route_net_components(net, layer, budget_per_layer_mm2, &[], &extra) {
+            Ok(layer_results) => results.extend(layer_results),
+            Err(e) => {
+                if router.config().recovery.policy == RecoveryPolicy::FailFast {
+                    return Err(e);
+                }
+                diagnostics.record(Degradation::LayerFailed { layer });
+                diagnostics.warn(format!("layer {layer} failed: {e}"));
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        // Fold the diagnostics of what *was* routed into the report.
+        for r in &results {
+            diagnostics.warn(format!(
+                "completed before failure: {} on layer {}",
+                r.net, r.layer
+            ));
+        }
+        return Err(SproutError::Degraded {
+            diagnostics: Box::new(diagnostics),
+            source: Box::new(e),
+        });
     }
     Ok((plan, results))
 }

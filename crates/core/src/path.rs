@@ -28,8 +28,7 @@ impl Ord for HeapEntry {
         // Min-heap on cost.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("finite costs")
+            .total_cmp(&self.cost)
             .then_with(|| self.node.cmp(&other.node))
     }
 }

@@ -55,8 +55,7 @@ pub fn smart_refine(
     candidates.sort_by(|&a, &b| {
         metric
             .of(a)
-            .partial_cmp(&metric.of(b))
-            .expect("finite metric")
+            .total_cmp(&metric.of(b))
             .then_with(|| a.cmp(&b))
     });
 

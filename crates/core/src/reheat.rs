@@ -92,8 +92,7 @@ pub fn reheat(
         candidates.sort_by(|&a, &b| {
             metric
                 .of(a)
-                .partial_cmp(&metric.of(b))
-                .expect("finite metric")
+                .total_cmp(&metric.of(b))
                 .then_with(|| a.cmp(&b))
         });
         let mut removed_this_round = 0usize;

@@ -234,7 +234,7 @@ pub fn identify_terminals(
             .min_by(|&a, &b| {
                 let da = graph.node(a).center().distance(t.shape.centroid());
                 let db = graph.node(b).center().distance(t.shape.centroid());
-                da.partial_cmp(&db).expect("finite distances")
+                da.total_cmp(&db)
             })
             .or_else(|| graph.node_near(t.shape.centroid(), 2));
         match representative {

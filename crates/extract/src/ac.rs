@@ -183,7 +183,7 @@ impl ImpedanceProfile {
             .magnitude_ohm
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite magnitudes"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .expect("profile has points");
         (self.frequencies_hz[idx], mag)
     }

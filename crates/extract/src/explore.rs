@@ -309,13 +309,13 @@ pub fn balance_budgets(
             let worst = vmins
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .min_by(|a, b| a.1.total_cmp(b.1))
                 .expect("nonempty")
                 .0;
             let best = vmins
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .expect("nonempty")
                 .0;
             (worst, best)

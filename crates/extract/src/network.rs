@@ -160,7 +160,7 @@ impl RailNetwork {
                 .min_by(|(_, a), (_, b)| {
                     let da = route.graph.node(*a).center().distance(d.location);
                     let db = route.graph.node(*b).center().distance(d.location);
-                    da.partial_cmp(&db).expect("finite distances")
+                    da.total_cmp(&db)
                 })
                 .map(|&(idx, _)| idx);
             if let Some(node) = best {

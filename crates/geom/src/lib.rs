@@ -71,6 +71,7 @@ pub const AREA_EPS: f64 = 1e-9;
 
 /// Error type for geometry construction and operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum GeomError {
     /// A polygon needs at least three non-collinear vertices.
     DegeneratePolygon {
@@ -86,6 +87,8 @@ pub enum GeomError {
     InvalidRect,
     /// A negative buffer distance or other invalid parameter.
     InvalidParameter(&'static str),
+    /// A coordinate was NaN or infinite.
+    NotFinite,
 }
 
 impl fmt::Display for GeomError {
@@ -98,6 +101,7 @@ impl fmt::Display for GeomError {
             GeomError::SelfIntersecting => write!(f, "ring is self-intersecting"),
             GeomError::InvalidRect => write!(f, "rectangle min must be below max"),
             GeomError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            GeomError::NotFinite => write!(f, "coordinate is NaN or infinite"),
         }
     }
 }

@@ -39,10 +39,17 @@ impl Polygon {
     ///
     /// # Errors
     ///
+    /// * [`GeomError::NotFinite`] — a coordinate is NaN or infinite.
     /// * [`GeomError::DegeneratePolygon`] — fewer than three distinct
     ///   vertices after cleanup.
     /// * [`GeomError::ZeroArea`] — the ring encloses (numerically) no area.
     pub fn new(vertices: Vec<Point>) -> Result<Self, GeomError> {
+        if vertices
+            .iter()
+            .any(|v| !v.x.is_finite() || !v.y.is_finite())
+        {
+            return Err(GeomError::NotFinite);
+        }
         let cleaned = clean_ring(vertices);
         if cleaned.len() < 3 {
             return Err(GeomError::DegeneratePolygon {
@@ -66,9 +73,19 @@ impl Polygon {
     ///
     /// # Errors
     ///
-    /// Returns [`GeomError::InvalidRect`] for zero width or height.
+    /// Returns [`GeomError::InvalidRect`] for zero width or height, and
+    /// [`GeomError::ZeroArea`] when the extent is too small for the
+    /// scale-aware area test (a sliver that would be numerically
+    /// invisible downstream).
     pub fn rectangle(a: Point, b: Point) -> Result<Self, GeomError> {
-        Ok(Rect::from_corners(a, b)?.to_polygon())
+        let r = Rect::from_corners(a, b)?;
+        let (lo, hi) = (r.min(), r.max());
+        Polygon::new(vec![
+            lo,
+            Point::new(hi.x, lo.y),
+            hi,
+            Point::new(lo.x, hi.y),
+        ])
     }
 
     /// Regular `n`-gon approximating a circle (used for via and capacitor
@@ -92,6 +109,15 @@ impl Polygon {
             })
             .collect();
         Polygon::new(vertices)
+    }
+
+    /// Builds a polygon from a ring known to be simple and
+    /// counter-clockwise, bypassing cleanup and validation. For
+    /// crate-internal constructions (e.g. rectangle corners) whose shape
+    /// is correct by construction but too small for the scale-aware
+    /// validation thresholds.
+    pub(crate) fn from_ring_unchecked(vertices: Vec<Point>) -> Polygon {
+        Polygon { vertices }
     }
 
     /// Vertices in counter-clockwise order.
@@ -159,14 +185,9 @@ impl Polygon {
             max = max.max(v);
         }
         // A valid polygon has positive extent in both axes... except
-        // axis-parallel slivers that passed the area test; pad those.
-        Rect::new(min, max).unwrap_or_else(|_| {
-            Rect::new(
-                min - Point::new(EPS, EPS),
-                max + Point::new(EPS, EPS),
-            )
-            .expect("padded bounds are valid")
-        })
+        // axis-parallel slivers that passed the area test; `covering`
+        // pads those instead of failing.
+        Rect::covering(min, max)
     }
 
     /// Even-odd (ray casting) point containment; boundary points count as
@@ -297,7 +318,7 @@ impl Polygon {
                 crossings.push(a.y + t * (b.y - a.y));
             }
         }
-        crossings.sort_by(|p, q| p.partial_cmp(q).expect("finite coordinates"));
+        crossings.sort_by(|p, q| p.total_cmp(q));
         let mut set = IntervalSet::new();
         for pair in crossings.chunks_exact(2) {
             set.insert(pair[0], pair[1]);
@@ -318,7 +339,7 @@ impl Polygon {
                 crossings.push(a.x + t * (b.x - a.x));
             }
         }
-        crossings.sort_by(|p, q| p.partial_cmp(q).expect("finite coordinates"));
+        crossings.sort_by(|p, q| p.total_cmp(q));
         let mut set = IntervalSet::new();
         for pair in crossings.chunks_exact(2) {
             set.insert(pair[0], pair[1]);
@@ -366,7 +387,7 @@ fn clean_ring(vertices: Vec<Point>) -> Vec<Point> {
             dedup.push(v);
         }
     }
-    while dedup.len() > 1 && dedup[0].approx_eq(*dedup.last().expect("nonempty"), tol) {
+    while dedup.len() > 1 && dedup[0].approx_eq(dedup[dedup.len() - 1], tol) {
         dedup.pop();
     }
     if dedup.len() < 3 {
@@ -619,7 +640,7 @@ fn douglas_peucker(points: &[Point], tolerance: f64, out: &mut Vec<Point>) {
         return;
     }
     let first = points[0];
-    let last = *points.last().expect("nonempty");
+    let last = points[points.len() - 1];
     let chord = Segment::new(first, last);
     let (mut worst, mut worst_d) = (0usize, -1.0f64);
     for (i, &p) in points.iter().enumerate().skip(1).take(points.len() - 2) {

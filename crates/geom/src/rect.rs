@@ -57,6 +57,36 @@ impl Rect {
         Rect::new(center - half, center + half)
     }
 
+    /// The smallest rectangle with positive extent covering both points
+    /// — infallible: corners are ordered, zero extents padded by
+    /// [`crate::EPS`], and non-finite coordinates replaced by the other
+    /// corner's (or zero). Meant for bounding-box computations that must
+    /// not fail on degenerate input.
+    pub fn covering(a: Point, b: Point) -> Rect {
+        let pick = |v: f64, alt: f64| {
+            if v.is_finite() {
+                v
+            } else if alt.is_finite() {
+                alt
+            } else {
+                0.0
+            }
+        };
+        let (ax, bx) = (pick(a.x, b.x), pick(b.x, a.x));
+        let (ay, by) = (pick(a.y, b.y), pick(b.y, a.y));
+        let mut min = Point::new(ax.min(bx), ay.min(by));
+        let mut max = Point::new(ax.max(bx), ay.max(by));
+        if max.x - min.x < crate::EPS {
+            min.x -= crate::EPS;
+            max.x += crate::EPS;
+        }
+        if max.y - min.y < crate::EPS {
+            min.y -= crate::EPS;
+            max.y += crate::EPS;
+        }
+        Rect { min, max }
+    }
+
     /// Minimum corner.
     pub fn min(&self) -> Point {
         self.min
@@ -131,14 +161,18 @@ impl Rect {
     }
 
     /// Counter-clockwise polygon with the rectangle's four corners.
+    ///
+    /// Never panics: a rectangle so small that ring cleanup would
+    /// collapse it bypasses validation — its four ordered corners are a
+    /// well-formed counter-clockwise ring by construction.
     pub fn to_polygon(&self) -> Polygon {
-        Polygon::new(vec![
+        let corners = vec![
             self.min,
             Point::new(self.max.x, self.min.y),
             self.max,
             Point::new(self.min.x, self.max.y),
-        ])
-        .expect("rectangle corners always form a valid polygon")
+        ];
+        Polygon::new(corners.clone()).unwrap_or_else(|_| Polygon::from_ring_unchecked(corners))
     }
 
     /// Minimum distance from the rectangle (as a solid) to a point.

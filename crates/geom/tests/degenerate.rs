@@ -1,0 +1,334 @@
+//! Degenerate-input property tests for the boolean pipeline.
+//!
+//! The router's back-conversion and blocker bookkeeping feed clipped
+//! tile fragments straight into [`sprout_geom::boolean`]; a clipped
+//! fragment can carry duplicate vertices, collinear edge chains,
+//! near-zero-area slivers, or rings that touch themselves at a single
+//! vertex. The contract exercised here: such inputs either fail
+//! `Polygon::new` with a typed [`GeomError`], or — once validated —
+//! every boolean operation returns finite, bounded, panic-free results.
+//!
+//! No `proptest` in the offline crate set: these are seeded
+//! deterministic sweeps over `sprout_rng` streams, reproducible from
+//! the printed case seed.
+
+use sprout_geom::boolean::{difference, intersection, union, union_all, PolygonSet};
+use sprout_geom::{GeomError, Point, Polygon};
+use sprout_rng::SproutRng;
+
+const CASES: u64 = 48;
+/// Slack for EPS²-scale area bookkeeping across clip/union chains.
+const AREA_TOL: f64 = 1e-6;
+
+fn p(x: f64, y: f64) -> Point {
+    Point::new(x, y)
+}
+
+/// A random axis-aligned rectangle ring (counter-clockwise).
+fn rect_ring(rng: &mut SproutRng) -> Vec<Point> {
+    let x = rng.f64_range(-20.0, 20.0);
+    let y = rng.f64_range(-20.0, 20.0);
+    let w = rng.f64_range(1.0, 15.0);
+    let h = rng.f64_range(1.0, 15.0);
+    vec![p(x, y), p(x + w, y), p(x + w, y + h), p(x, y + h)]
+}
+
+/// Duplicates a random selection of vertices in place (`a b b c` runs).
+fn with_duplicates(ring: &[Point], rng: &mut SproutRng) -> Vec<Point> {
+    let mut out = Vec::with_capacity(ring.len() * 2);
+    for &v in ring {
+        out.push(v);
+        for _ in 0..rng.usize_range(0, 3) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Splits every edge into collinear sub-segments at random interior
+/// points — the shape is unchanged, the vertex list is inflated with
+/// redundant collinear vertices.
+fn with_collinear_splits(ring: &[Point], rng: &mut SproutRng) -> Vec<Point> {
+    let n = ring.len();
+    let mut out = Vec::with_capacity(n * 3);
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        out.push(a);
+        let mut ts: Vec<f64> = (0..rng.usize_range(1, 4)).map(|_| rng.f64()).collect();
+        ts.sort_by(f64::total_cmp);
+        for t in ts {
+            out.push(a.lerp(b, t));
+        }
+    }
+    out
+}
+
+/// Checks the boolean-algebra area bounds for one polygon pair.
+fn assert_boolean_bounds(a: &Polygon, b: &Polygon, label: &str) {
+    let inter = intersection(a, b);
+    let uni = union(a, b);
+    let diff_ab = difference(a, b);
+    let diff_ba = difference(b, a);
+
+    for (set, name) in [
+        (&inter, "intersection"),
+        (&uni, "union"),
+        (&diff_ab, "a - b"),
+        (&diff_ba, "b - a"),
+    ] {
+        assert!(
+            set.area().is_finite() && set.area() >= -AREA_TOL,
+            "{label}: {name} area {} not finite/non-negative",
+            set.area()
+        );
+        for piece in set.iter() {
+            assert!(piece.area().is_finite(), "{label}: {name} piece NaN area");
+        }
+    }
+
+    let (aa, ab) = (a.area(), b.area());
+    assert!(
+        inter.area() <= aa.min(ab) + AREA_TOL,
+        "{label}: intersection {} exceeds min input {}",
+        inter.area(),
+        aa.min(ab)
+    );
+    assert!(
+        uni.area() <= aa + ab + AREA_TOL && uni.area() >= aa.max(ab) - AREA_TOL,
+        "{label}: union {} outside [{}, {}]",
+        uni.area(),
+        aa.max(ab),
+        aa + ab
+    );
+    // Inclusion–exclusion: |A∪B| = |A| + |B| − |A∩B|.
+    assert!(
+        (uni.area() - (aa + ab - inter.area())).abs() < AREA_TOL,
+        "{label}: inclusion-exclusion off: union {} vs {}",
+        uni.area(),
+        aa + ab - inter.area()
+    );
+    // Partition: |A−B| + |A∩B| = |A|.
+    assert!(
+        (diff_ab.area() + inter.area() - aa).abs() < AREA_TOL,
+        "{label}: difference partition off: {} + {} vs {}",
+        diff_ab.area(),
+        inter.area(),
+        aa
+    );
+    assert!(
+        (diff_ba.area() + inter.area() - ab).abs() < AREA_TOL,
+        "{label}: reverse partition off"
+    );
+}
+
+#[test]
+fn duplicate_vertices_are_cleaned_and_boolean_safe() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(0xD0_0000 + case);
+        let ring_a = rect_ring(&mut rng);
+        let ring_b = rect_ring(&mut rng);
+        let clean_a = Polygon::new(ring_a.clone()).unwrap();
+        let dup_a = Polygon::new(with_duplicates(&ring_a, &mut rng)).unwrap();
+        let dup_b = Polygon::new(with_duplicates(&ring_b, &mut rng)).unwrap();
+
+        // Cleanup removes every duplicate: same vertex count, same area.
+        assert_eq!(dup_a.len(), clean_a.len(), "case {case}: duplicates kept");
+        assert!((dup_a.area() - clean_a.area()).abs() < AREA_TOL);
+
+        assert_boolean_bounds(&dup_a, &dup_b, &format!("dup case {case}"));
+    }
+}
+
+#[test]
+fn collinear_edges_are_simplified_and_boolean_safe() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(0xC0_0000 + case);
+        let ring_a = rect_ring(&mut rng);
+        let ring_b = rect_ring(&mut rng);
+        let clean_a = Polygon::new(ring_a.clone()).unwrap();
+        let col_a = Polygon::new(with_collinear_splits(&ring_a, &mut rng)).unwrap();
+        let col_b = Polygon::new(with_collinear_splits(&ring_b, &mut rng)).unwrap();
+
+        // Collinear interior vertices are redundant; cleanup drops them.
+        assert_eq!(col_a.len(), clean_a.len(), "case {case}: collinear kept");
+        assert!((col_a.area() - clean_a.area()).abs() < AREA_TOL);
+
+        assert_boolean_bounds(&col_a, &col_b, &format!("collinear case {case}"));
+    }
+}
+
+#[test]
+fn zero_area_slivers_are_rejected_with_typed_errors() {
+    // A ring whose enclosed area is numerically zero must fail
+    // validation — never construct, never panic downstream.
+    let spine = vec![p(0.0, 0.0), p(10.0, 0.0), p(10.0, 1e-13), p(0.0, 1e-13)];
+    assert!(matches!(
+        Polygon::new(spine),
+        Err(GeomError::ZeroArea) | Err(GeomError::DegeneratePolygon { .. })
+    ));
+    // Fully collinear ring: every vertex on one line.
+    let line = vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)];
+    assert!(matches!(
+        Polygon::new(line),
+        Err(GeomError::ZeroArea) | Err(GeomError::DegeneratePolygon { .. })
+    ));
+    // Non-finite coordinates are their own typed rejection.
+    let nan = vec![p(0.0, 0.0), p(1.0, f64::NAN), p(1.0, 1.0)];
+    assert!(matches!(Polygon::new(nan), Err(GeomError::NotFinite)));
+    let inf = vec![p(0.0, 0.0), p(f64::INFINITY, 0.0), p(1.0, 1.0)];
+    assert!(matches!(Polygon::new(inf), Err(GeomError::NotFinite)));
+}
+
+#[test]
+fn thin_slivers_survive_boolean_ops() {
+    // Slivers just above the validation floor — the worst shapes the
+    // clipper emits — must flow through every boolean op without
+    // panicking and with bounded areas.
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(0x51_0000 + case);
+        let x = rng.f64_range(-5.0, 5.0);
+        let y = rng.f64_range(-5.0, 5.0);
+        let len = rng.f64_range(1.0, 10.0);
+        let thick = rng.f64_range(1e-4, 1e-3);
+        let sliver = Polygon::rectangle(p(x, y), p(x + len, y + thick)).unwrap();
+        let body = Polygon::rectangle(p(x - 1.0, y - 1.0), p(x + len / 2.0, y + 1.0)).unwrap();
+        assert_boolean_bounds(&sliver, &body, &format!("sliver case {case}"));
+        // Subtracting the long sliver splits nothing catastrophically:
+        // the remainder still fits inside the body.
+        let remainder = difference(&body, &sliver);
+        assert!(remainder.area() <= body.area() + AREA_TOL);
+        if let Some(b) = remainder.bounds() {
+            let outer = body.bounds();
+            assert!(
+                b.min().x >= outer.min().x - 1e-6 && b.max().x <= outer.max().x + 1e-6,
+                "sliver case {case}: remainder escapes body bounds"
+            );
+        }
+    }
+}
+
+#[test]
+fn self_touching_rings_are_handled() {
+    // An hourglass pinched at one point: two triangles meeting at the
+    // origin. Whether validation accepts (as a non-simple ring) or
+    // rejects it, nothing may panic; if it constructs, boolean ops
+    // must keep their bounds.
+    let pinch = vec![
+        p(-2.0, -2.0),
+        p(0.0, 0.0),
+        p(2.0, -2.0),
+        p(2.0, 2.0),
+        p(0.0, 0.0),
+        p(-2.0, 2.0),
+    ];
+    match Polygon::new(pinch) {
+        Ok(poly) => {
+            assert!(poly.area().is_finite());
+            let window = Polygon::rectangle(p(-1.0, -1.0), p(1.0, 1.0)).unwrap();
+            let inter = intersection(&poly, &window);
+            assert!(inter.area().is_finite() && inter.area() <= window.area() + AREA_TOL);
+            let uni = union(&poly, &window);
+            assert!(uni.area().is_finite());
+        }
+        Err(e) => {
+            // A typed rejection is equally acceptable.
+            let _ = format!("{e}");
+        }
+    }
+
+    // A ring revisiting a boundary vertex (spike out and back).
+    let spike = vec![
+        p(0.0, 0.0),
+        p(4.0, 0.0),
+        p(4.0, 2.0),
+        p(2.0, 2.0),
+        p(2.0, 4.0),
+        p(2.0, 2.0),
+        p(0.0, 2.0),
+    ];
+    match Polygon::new(spike) {
+        Ok(poly) => {
+            assert!(poly.area().is_finite());
+            let window = Polygon::rectangle(p(1.0, 1.0), p(3.0, 3.0)).unwrap();
+            let inter = intersection(&poly, &window);
+            assert!(inter.area() <= window.area() + AREA_TOL);
+        }
+        Err(e) => {
+            let _ = format!("{e}");
+        }
+    }
+}
+
+#[test]
+fn union_all_of_degenerate_mix_is_finite_and_bounded() {
+    for case in 0..8 {
+        let mut rng = SproutRng::seed_from_u64(0xA1_0000 + case);
+        let mut polys = Vec::new();
+        let mut total = 0.0;
+        for _ in 0..rng.usize_range(4, 10) {
+            let ring = rect_ring(&mut rng);
+            let mangled = match rng.usize_below(3) {
+                0 => with_duplicates(&ring, &mut rng),
+                1 => with_collinear_splits(&ring, &mut rng),
+                _ => ring,
+            };
+            let poly = Polygon::new(mangled).unwrap();
+            total += poly.area();
+            polys.push(poly);
+        }
+        let max_single = polys
+            .iter()
+            .map(|q| q.area())
+            .fold(0.0f64, f64::max);
+        let merged = union_all(polys);
+        assert!(
+            merged.area().is_finite()
+                && merged.area() <= total + AREA_TOL
+                && merged.area() >= max_single - AREA_TOL,
+            "case {case}: union_all area {} outside [{max_single}, {total}]",
+            merged.area()
+        );
+        for piece in merged.iter() {
+            assert!(piece.area().is_finite() && piece.is_simple());
+        }
+    }
+}
+
+#[test]
+fn polygon_set_ops_tolerate_degenerate_windows() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(0x5E_0000 + case);
+        let base_ring = rect_ring(&mut rng);
+        let base = Polygon::new(base_ring.clone()).unwrap();
+        let mut set = PolygonSet::from_polygon(base.clone());
+
+        // A duplicated-vertex window behaves like its clean twin.
+        let window_ring = rect_ring(&mut rng);
+        let dirty = Polygon::new(with_duplicates(&window_ring, &mut rng)).unwrap();
+        let clean = Polygon::new(window_ring).unwrap();
+        let via_dirty = set.intersect_polygon(&dirty);
+        let via_clean = set.intersect_polygon(&clean);
+        assert!(
+            (via_dirty.area() - via_clean.area()).abs() < AREA_TOL,
+            "case {case}: dirty window diverges"
+        );
+
+        // Subtracting a sliver never increases area; adding one merges
+        // without inflating beyond the sum.
+        let sx = rng.f64_range(-20.0, 20.0);
+        let sy = rng.f64_range(-20.0, 20.0);
+        let sliver = Polygon::rectangle(p(sx, sy), p(sx + 8.0, sy + 5e-4)).unwrap();
+        let cut = set.subtract_polygon(&sliver);
+        assert!(cut.area() <= set.area() + AREA_TOL);
+        let before = set.area();
+        set.add_polygon(&sliver);
+        assert!(
+            set.area() <= before + sliver.area() + AREA_TOL
+                && set.area() >= before - AREA_TOL,
+            "case {case}: add_polygon area {} from {}",
+            set.area(),
+            before
+        );
+    }
+}

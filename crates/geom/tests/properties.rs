@@ -1,190 +1,279 @@
 //! Property-based tests for the geometry substrate.
+//!
+//! The offline crate set has no `proptest`; these run the same
+//! invariants as seeded deterministic sweeps over `sprout_rng` streams,
+//! so every failure is reproducible from the printed case seed.
 
-use proptest::prelude::*;
 use sprout_geom::buffer::{buffer_polygon, BufferStyle};
 use sprout_geom::clip::clip_rect;
 use sprout_geom::hull::convex_hull;
 use sprout_geom::stitch::{contours_area, union_grid_cells, GridFrame};
 use sprout_geom::triangulate::triangulate;
 use sprout_geom::{boolean, IntervalSet, Point, Polygon, Rect};
+use sprout_rng::SproutRng;
 
-fn rect_strategy() -> impl Strategy<Value = Rect> {
-    (
-        -50.0f64..50.0,
-        -50.0f64..50.0,
-        0.5f64..30.0,
-        0.5f64..30.0,
-    )
-        .prop_map(|(x, y, w, h)| {
-            Rect::new(Point::new(x, y), Point::new(x + w, y + h)).expect("positive size")
-        })
+const CASES: u64 = 64;
+
+fn random_rect(rng: &mut SproutRng) -> Rect {
+    let x = rng.f64_range(-50.0, 50.0);
+    let y = rng.f64_range(-50.0, 50.0);
+    let w = rng.f64_range(0.5, 30.0);
+    let h = rng.f64_range(0.5, 30.0);
+    Rect::new(Point::new(x, y), Point::new(x + w, y + h)).expect("positive size")
 }
 
 /// Random convex polygon: convex hull of a handful of random points.
-fn convex_poly_strategy() -> impl Strategy<Value = Polygon> {
-    proptest::collection::vec((-40.0f64..40.0, -40.0f64..40.0), 5..12).prop_filter_map(
-        "needs a non-degenerate hull",
-        |pts| {
-            let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
-            convex_hull(&points).ok().filter(|h| h.area() > 1.0)
-        },
-    )
+fn random_convex(rng: &mut SproutRng) -> Polygon {
+    loop {
+        let n = rng.usize_range(5, 12);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.f64_range(-40.0, 40.0), rng.f64_range(-40.0, 40.0)))
+            .collect();
+        if let Ok(h) = convex_hull(&points) {
+            if h.area() > 1.0 {
+                return h;
+            }
+        }
+    }
 }
 
 /// Random star-shaped (possibly concave) simple polygon around the origin.
-fn star_poly_strategy() -> impl Strategy<Value = Polygon> {
-    proptest::collection::vec(2.0f64..20.0, 5..14).prop_filter_map("valid ring", |radii| {
-        let n = radii.len();
-        let pts: Vec<Point> = radii
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| {
+fn random_star(rng: &mut SproutRng) -> Polygon {
+    loop {
+        let n = rng.usize_range(5, 14);
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let r = rng.f64_range(2.0, 20.0);
                 let theta = std::f64::consts::TAU * i as f64 / n as f64;
                 Point::new(r * theta.cos(), r * theta.sin())
             })
             .collect();
-        Polygon::new(pts).ok()
-    })
+        if let Ok(p) = Polygon::new(pts) {
+            return p;
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rect_intersection_area_identity(a in rect_strategy(), b in rect_strategy()) {
-        let pa = a.to_polygon();
-        let pb = b.to_polygon();
-        let inter = boolean::intersection(&pa, &pb).area();
+#[test]
+fn rect_intersection_area_identity() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(case);
+        let a = random_rect(&mut rng);
+        let b = random_rect(&mut rng);
+        let inter = boolean::intersection(&a.to_polygon(), &b.to_polygon()).area();
         let expected = a.intersection(&b).map_or(0.0, |r| r.area());
-        prop_assert!((inter - expected).abs() < 1e-6,
-            "boolean {} vs rect {}", inter, expected);
+        assert!(
+            (inter - expected).abs() < 1e-6,
+            "case {case}: boolean {inter} vs rect {expected}"
+        );
     }
+}
 
-    #[test]
-    fn difference_partitions_area(a in convex_poly_strategy(), b in convex_poly_strategy()) {
+#[test]
+fn difference_partitions_area() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(1000 + case);
+        let a = random_convex(&mut rng);
+        let b = random_convex(&mut rng);
         let d = boolean::difference(&a, &b).area();
         let i = boolean::intersection(&a, &b).area();
-        prop_assert!((d + i - a.area()).abs() < 1e-6,
-            "d={} i={} area={}", d, i, a.area());
+        assert!(
+            (d + i - a.area()).abs() < 1e-6,
+            "case {case}: d={d} i={i} area={}",
+            a.area()
+        );
     }
+}
 
-    #[test]
-    fn union_inclusion_exclusion(a in convex_poly_strategy(), b in convex_poly_strategy()) {
+#[test]
+fn union_inclusion_exclusion() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(2000 + case);
+        let a = random_convex(&mut rng);
+        let b = random_convex(&mut rng);
         let u = boolean::union(&a, &b).area();
         let i = boolean::intersection(&a, &b).area();
-        prop_assert!((u + i - a.area() - b.area()).abs() < 1e-6);
+        assert!(
+            (u + i - a.area() - b.area()).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn star_difference_partition(a in star_poly_strategy(), b in convex_poly_strategy()) {
+#[test]
+fn star_difference_partition() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(3000 + case);
+        let a = random_star(&mut rng);
+        let b = random_convex(&mut rng);
         let d = boolean::difference(&a, &b).area();
         let i = boolean::intersection(&a, &b).area();
-        prop_assert!((d + i - a.area()).abs() < 1e-5,
-            "d={} i={} area={}", d, i, a.area());
+        assert!(
+            (d + i - a.area()).abs() < 1e-5,
+            "case {case}: d={d} i={i} area={}",
+            a.area()
+        );
     }
+}
 
-    #[test]
-    fn clip_stays_within_window(poly in star_poly_strategy(), window in rect_strategy()) {
+#[test]
+fn clip_stays_within_window() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(4000 + case);
+        let poly = random_star(&mut rng);
+        let window = random_rect(&mut rng);
         if let Some(clipped) = clip_rect(&poly, &window) {
             let b = clipped.bounds();
-            prop_assert!(b.min().x >= window.min().x - 1e-6);
-            prop_assert!(b.min().y >= window.min().y - 1e-6);
-            prop_assert!(b.max().x <= window.max().x + 1e-6);
-            prop_assert!(b.max().y <= window.max().y + 1e-6);
-            prop_assert!(clipped.area() <= poly.area() + 1e-6);
-            prop_assert!(clipped.area() <= window.area() + 1e-6);
+            assert!(b.min().x >= window.min().x - 1e-6, "case {case}");
+            assert!(b.min().y >= window.min().y - 1e-6, "case {case}");
+            assert!(b.max().x <= window.max().x + 1e-6, "case {case}");
+            assert!(b.max().y <= window.max().y + 1e-6, "case {case}");
+            assert!(clipped.area() <= poly.area() + 1e-6, "case {case}");
+            assert!(clipped.area() <= window.area() + 1e-6, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn triangulation_preserves_area(poly in star_poly_strategy()) {
+#[test]
+fn triangulation_preserves_area() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(5000 + case);
+        let poly = random_star(&mut rng);
         let tris = triangulate(&poly);
         let total: f64 = tris.iter().map(|t| t.area()).sum();
-        prop_assert!((total - poly.area()).abs() < 1e-6 * poly.area().max(1.0));
-        prop_assert_eq!(tris.len(), poly.len() - 2);
+        assert!(
+            (total - poly.area()).abs() < 1e-6 * poly.area().max(1.0),
+            "case {case}"
+        );
+        assert_eq!(tris.len(), poly.len() - 2, "case {case}");
     }
+}
 
-    #[test]
-    fn buffer_grows_area(poly in convex_poly_strategy(), d in 0.1f64..3.0) {
+#[test]
+fn buffer_grows_area() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(6000 + case);
+        let poly = random_convex(&mut rng);
+        let d = rng.f64_range(0.1, 3.0);
         let buffered = buffer_polygon(&poly, d, BufferStyle::coarse()).expect("valid distance");
-        prop_assert!(buffered.area() >= poly.area());
+        assert!(buffered.area() >= poly.area(), "case {case}");
         // Lower bound: Minkowski area grows at least by perimeter·d·(coarse factor).
-        prop_assert!(buffered.area() >= poly.area() + 0.5 * poly.perimeter() * d);
+        assert!(
+            buffered.area() >= poly.area() + 0.5 * poly.perimeter() * d,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn buffer_contains_vertices(poly in star_poly_strategy(), d in 0.1f64..2.0) {
+#[test]
+fn buffer_contains_vertices() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(7000 + case);
+        let poly = random_star(&mut rng);
+        let d = rng.f64_range(0.1, 2.0);
         let buffered = buffer_polygon(&poly, d, BufferStyle::coarse()).expect("valid distance");
         for &v in poly.vertices() {
-            prop_assert!(buffered.contains_point(v));
+            assert!(buffered.contains_point(v), "case {case}: {v} escaped");
         }
     }
+}
 
-    #[test]
-    fn hull_contains_inputs(pts in proptest::collection::vec((-30.0f64..30.0, -30.0f64..30.0), 4..30)) {
-        let points: Vec<Point> = pts.iter().map(|&(x, y)| Point::new(x, y)).collect();
+#[test]
+fn hull_contains_inputs() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(8000 + case);
+        let n = rng.usize_range(4, 30);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.f64_range(-30.0, 30.0), rng.f64_range(-30.0, 30.0)))
+            .collect();
         if let Ok(hull) = convex_hull(&points) {
-            prop_assert!(hull.is_convex());
+            assert!(hull.is_convex(), "case {case}");
             for &q in &points {
-                prop_assert!(hull.contains_point(q), "{} escaped the hull", q);
+                assert!(hull.contains_point(q), "case {case}: {q} escaped the hull");
             }
         }
     }
+}
 
-    #[test]
-    fn interval_set_measure_monotone(intervals in proptest::collection::vec((-100.0f64..100.0, 0.01f64..20.0), 1..20)) {
+#[test]
+fn interval_set_measure_monotone() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(9000 + case);
+        let n = rng.usize_range(1, 20);
         let mut set = IntervalSet::new();
         let mut prev_len = 0.0;
         let mut naive_sum = 0.0;
-        for &(lo, w) in &intervals {
+        for _ in 0..n {
+            let lo = rng.f64_range(-100.0, 100.0);
+            let w = rng.f64_range(0.01, 20.0);
             set.insert(lo, lo + w);
             naive_sum += w;
             let len = set.total_length();
-            prop_assert!(len >= prev_len - 1e-9, "measure shrank");
-            prop_assert!(len <= naive_sum + 1e-9, "measure exceeds the naive sum");
+            assert!(len >= prev_len - 1e-9, "case {case}: measure shrank");
+            assert!(
+                len <= naive_sum + 1e-9,
+                "case {case}: measure exceeds the naive sum"
+            );
             prev_len = len;
         }
         // Disjointness invariant.
         let iv = set.intervals();
         for pair in iv.windows(2) {
-            prop_assert!(pair[0].1 < pair[1].0 + 1e-7);
+            assert!(pair[0].1 < pair[1].0 + 1e-7, "case {case}");
         }
-    }
-
-    #[test]
-    fn grid_union_area_equals_cell_count(cells in proptest::collection::hash_set((0i64..12, 0i64..12), 1..60)) {
-        let cells: Vec<(i64, i64)> = cells.into_iter().collect();
-        let frame = GridFrame { origin: Point::ORIGIN, dx: 1.0, dy: 1.0 };
-        let contours = union_grid_cells(&cells, frame);
-        prop_assert!((contours_area(&contours) - cells.len() as f64).abs() < 1e-9);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn simplification_preserves_area_within_tolerance(
-        poly in star_poly_strategy(),
-        tol in 0.01f64..1.0,
-    ) {
-        let simplified = poly.simplified(tol);
-        prop_assert!(simplified.len() <= poly.len());
-        // Each removed vertex was within `tol` of a chord, so the area
-        // change is bounded by tol × perimeter.
-        prop_assert!(
-            (simplified.area() - poly.area()).abs() <= tol * poly.perimeter() + 1e-9,
-            "area {} → {} at tol {}",
-            poly.area(),
-            simplified.area(),
-            tol
+#[test]
+fn grid_union_area_equals_cell_count() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(10_000 + case);
+        let n = rng.usize_range(1, 60);
+        let mut cells: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.i64_range(0, 12), rng.i64_range(0, 12)))
+            .collect();
+        cells.sort_unstable();
+        cells.dedup();
+        let frame = GridFrame {
+            origin: Point::ORIGIN,
+            dx: 1.0,
+            dy: 1.0,
+        };
+        let contours = union_grid_cells(&cells, frame);
+        assert!(
+            (contours_area(&contours) - cells.len() as f64).abs() < 1e-9,
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn simplification_is_idempotent(poly in star_poly_strategy(), tol in 0.01f64..0.5) {
+#[test]
+fn simplification_preserves_area_within_tolerance() {
+    for case in 0..48 {
+        let mut rng = SproutRng::seed_from_u64(11_000 + case);
+        let poly = random_star(&mut rng);
+        let tol = rng.f64_range(0.01, 1.0);
+        let simplified = poly.simplified(tol);
+        assert!(simplified.len() <= poly.len(), "case {case}");
+        // Each removed vertex was within `tol` of a chord, so the area
+        // change is bounded by tol × perimeter.
+        assert!(
+            (simplified.area() - poly.area()).abs() <= tol * poly.perimeter() + 1e-9,
+            "case {case}: area {} → {} at tol {tol}",
+            poly.area(),
+            simplified.area(),
+        );
+    }
+}
+
+#[test]
+fn simplification_is_idempotent() {
+    for case in 0..48 {
+        let mut rng = SproutRng::seed_from_u64(12_000 + case);
+        let poly = random_star(&mut rng);
+        let tol = rng.f64_range(0.01, 0.5);
         let once = poly.simplified(tol);
         let twice = once.simplified(tol);
-        prop_assert_eq!(once.len(), twice.len());
+        assert_eq!(once.len(), twice.len(), "case {case}");
     }
 }

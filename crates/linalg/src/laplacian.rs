@@ -5,6 +5,7 @@
 //! Laplacian and `E` holds ±1 injections per terminal pair.
 
 use crate::cholesky::SparseCholesky;
+use crate::fallback::{build_grounded_solver, FallbackOptions, FallbackReport, LadderSolver, UnionFind};
 use crate::sparse::{Csr, Triplets};
 use crate::LinalgError;
 
@@ -77,15 +78,41 @@ impl GraphLaplacian {
     }
 
     /// Assembles the full (singular) Laplacian in CSR form.
-    pub fn to_csr(&self) -> Csr<f64> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LinalgError::IndexOutOfBounds`] should the edge list
+    /// have been corrupted since construction.
+    pub fn to_csr(&self) -> Result<Csr<f64>, LinalgError> {
         let mut t = Triplets::new(self.n, self.n);
         for &(u, v, g) in &self.edges {
-            t.push(u, u, g).expect("validated");
-            t.push(v, v, g).expect("validated");
-            t.push(u, v, -g).expect("validated");
-            t.push(v, u, -g).expect("validated");
+            t.push(u, u, g)?;
+            t.push(v, v, g)?;
+            t.push(u, v, -g)?;
+            t.push(v, u, -g)?;
         }
-        t.to_csr()
+        Ok(t.to_csr())
+    }
+
+    /// Number of connected components, counting only edges with a
+    /// finite, strictly positive conductance.
+    pub fn component_count(&self) -> usize {
+        let mut uf = UnionFind::new(self.n);
+        for &(u, v, g) in &self.edges {
+            if g.is_finite() && g > 0.0 {
+                uf.union(u, v);
+            }
+        }
+        uf.components()
+    }
+
+    /// Drops edges whose conductance is NaN, infinite, or non-positive
+    /// — all physically meaningless and fatal to the SPD solvers.
+    /// Returns how many edges were removed.
+    pub fn sanitize_conductances(&mut self) -> usize {
+        let before = self.edges.len();
+        self.edges.retain(|&(_, _, g)| g.is_finite() && g > 0.0);
+        before - self.edges.len()
     }
 
     /// Assembles the grounded Laplacian with node `ground` removed.
@@ -115,14 +142,14 @@ impl GraphLaplacian {
         for &(u, v, g) in &self.edges {
             let (mu, mv) = (map(u), map(v));
             if let Some(iu) = mu {
-                t.push(iu, iu, g).expect("validated");
+                t.push(iu, iu, g)?;
             }
             if let Some(iv) = mv {
-                t.push(iv, iv, g).expect("validated");
+                t.push(iv, iv, g)?;
             }
             if let (Some(iu), Some(iv)) = (mu, mv) {
-                t.push(iu, iv, -g).expect("validated");
-                t.push(iv, iu, -g).expect("validated");
+                t.push(iu, iv, -g)?;
+                t.push(iv, iu, -g)?;
             }
         }
         Ok(t.to_csr())
@@ -143,7 +170,51 @@ impl GraphLaplacian {
         Ok(GroundedFactor {
             n: self.n,
             ground,
-            chol,
+            backend: FactorBackend::Direct(chol),
+        })
+    }
+
+    /// Like [`factor_grounded`], but climbs the solver fallback ladder
+    /// of [`crate::fallback`] instead of failing on the first
+    /// factorization breakdown: Cholesky → diagonal-regularized
+    /// Cholesky → conjugate gradient.
+    ///
+    /// Before solving anything the graph is screened for disconnection
+    /// — a graph whose positive-conductance edges leave more than one
+    /// component yields a singular grounded system, reported as
+    /// [`LinalgError::Disconnected`] with the component count.
+    ///
+    /// [`factor_grounded`]: GraphLaplacian::factor_grounded
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Disconnected`] — more than one component.
+    /// * [`LinalgError::NotFinite`] — a NaN/infinite conductance
+    ///   survived into the assembled matrix.
+    /// * Whatever the last ladder rung reported when all rungs fail.
+    pub fn factor_grounded_resilient(
+        &self,
+        ground: usize,
+        opts: FallbackOptions,
+    ) -> Result<GroundedFactor, LinalgError> {
+        for &(u, v, g) in &self.edges {
+            if !g.is_finite() {
+                return Err(LinalgError::NotFinite { row: u, col: v });
+            }
+        }
+        let components = self.component_count();
+        if components > 1 {
+            return Err(LinalgError::Disconnected { components });
+        }
+        let csr = self.grounded(ground)?;
+        if self.n == 1 {
+            return Err(LinalgError::Empty);
+        }
+        let solver = build_grounded_solver(&csr, opts)?;
+        Ok(GroundedFactor {
+            n: self.n,
+            ground,
+            backend: FactorBackend::Ladder(solver),
         })
     }
 
@@ -172,7 +243,22 @@ impl GraphLaplacian {
 pub struct GroundedFactor {
     n: usize,
     ground: usize,
-    chol: SparseCholesky,
+    backend: FactorBackend,
+}
+
+#[derive(Debug, Clone)]
+enum FactorBackend {
+    Direct(SparseCholesky),
+    Ladder(LadderSolver),
+}
+
+impl FactorBackend {
+    fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        match self {
+            FactorBackend::Direct(chol) => chol.solve(b),
+            FactorBackend::Ladder(solver) => solver.solve(b),
+        }
+    }
 }
 
 impl GroundedFactor {
@@ -186,6 +272,16 @@ impl GroundedFactor {
         self.ground
     }
 
+    /// How the fallback ladder was climbed, when this factor came from
+    /// [`GraphLaplacian::factor_grounded_resilient`]; `None` for the
+    /// plain direct factorization.
+    pub fn fallback_report(&self) -> Option<FallbackReport> {
+        match &self.backend {
+            FactorBackend::Direct(_) => None,
+            FactorBackend::Ladder(solver) => Some(solver.report()),
+        }
+    }
+
     /// Solves for node voltages given a unit current injected at `source`
     /// and extracted at `sink`. Returns a full-length voltage vector (the
     /// ground entry is zero).
@@ -197,7 +293,7 @@ impl GroundedFactor {
         let mut b = vec![0.0f64; self.n - 1];
         self.stamp(&mut b, source, 1.0)?;
         self.stamp(&mut b, sink, -1.0)?;
-        let reduced = self.chol.solve(&b)?;
+        let reduced = self.backend.solve(&b)?;
         Ok(self.expand(&reduced))
     }
 
@@ -222,7 +318,7 @@ impl GroundedFactor {
                 self.stamp(&mut b, node, i)?;
             }
         }
-        let reduced = self.chol.solve(&b)?;
+        let reduced = self.backend.solve(&b)?;
         Ok(self.expand(&reduced))
     }
 

@@ -38,6 +38,7 @@ pub mod cg;
 pub mod cholesky;
 pub mod complex;
 pub mod dense;
+pub mod fallback;
 pub mod laplacian;
 pub mod rcm;
 pub mod scalar;
@@ -51,6 +52,7 @@ use std::fmt;
 
 /// Errors produced by solvers and matrix construction.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum LinalgError {
     /// Matrix dimensions are inconsistent with the operation.
     DimensionMismatch {
@@ -81,6 +83,19 @@ pub enum LinalgError {
     },
     /// The operation needs a non-empty matrix/graph.
     Empty,
+    /// A matrix entry was NaN or infinite.
+    NotFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// The system contains components with no conductance path to
+    /// ground — singular before any factorization is attempted.
+    Disconnected {
+        /// Number of floating components detected.
+        components: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -103,6 +118,13 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular or not positive definite at pivot {at}")
             }
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::NotFinite { row, col } => {
+                write!(f, "matrix entry ({row}, {col}) is NaN or infinite")
+            }
+            LinalgError::Disconnected { components } => write!(
+                f,
+                "{components} component(s) have no conductance path to ground"
+            ),
         }
     }
 }

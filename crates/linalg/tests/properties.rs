@@ -1,35 +1,33 @@
 //! Property-based tests for the linear algebra substrate.
+//!
+//! Seeded deterministic sweeps (the offline crate set has no
+//! `proptest`); each case prints its seed on failure.
 
-use proptest::prelude::*;
 use sprout_linalg::bicgstab::{solve_bicgstab, BiCgStabOptions};
 use sprout_linalg::cg::{solve_cg, CgOptions};
 use sprout_linalg::cholesky::SparseCholesky;
 use sprout_linalg::dense::DenseMatrix;
 use sprout_linalg::laplacian::GraphLaplacian;
 use sprout_linalg::{Csr, Triplets};
+use sprout_rng::SproutRng;
 
-/// Random connected graph: a random spanning tree plus extra edges.
-fn connected_graph_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, f64)>)> {
-    (3usize..40).prop_flat_map(|n| {
-        let tree = proptest::collection::vec(0.1f64..10.0, n - 1);
-        let extras = proptest::collection::vec(
-            ((0..n), (0..n), 0.1f64..10.0),
-            0..(n),
-        );
-        (tree, extras).prop_map(move |(tree_w, extras)| {
-            let mut edges: Vec<(usize, usize, f64)> = tree_w
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| (i, i + 1, w))
-                .collect();
-            for (u, v, w) in extras {
-                if u != v {
-                    edges.push((u.min(v), u.max(v), w));
-                }
-            }
-            (n, edges)
-        })
-    })
+const CASES: u64 = 48;
+
+/// Random connected graph: a random path-spanning-tree plus extra edges.
+fn random_connected_graph(rng: &mut SproutRng) -> (usize, Vec<(usize, usize, f64)>) {
+    let n = rng.usize_range(3, 40);
+    let mut edges: Vec<(usize, usize, f64)> = (0..n - 1)
+        .map(|i| (i, i + 1, rng.f64_range(0.1, 10.0)))
+        .collect();
+    let extras = rng.usize_below(n);
+    for _ in 0..extras {
+        let u = rng.usize_below(n);
+        let v = rng.usize_below(n);
+        if u != v {
+            edges.push((u.min(v), u.max(v), rng.f64_range(0.1, 10.0)));
+        }
+    }
+    (n, edges)
 }
 
 /// Converts a grounded Laplacian to dense for reference solves.
@@ -43,11 +41,11 @@ fn to_dense(a: &Csr<f64>) -> DenseMatrix<f64> {
     d
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cholesky_matches_dense_lu((n, edges) in connected_graph_strategy()) {
+#[test]
+fn cholesky_matches_dense_lu() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(case);
+        let (n, edges) = random_connected_graph(&mut rng);
         let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
         let grounded = lap.grounded(n - 1).expect("valid ground");
         let chol = SparseCholesky::factor(&grounded).expect("SPD grounded Laplacian");
@@ -56,12 +54,16 @@ proptest! {
         let x1 = chol.solve(&b).expect("solve");
         let x2 = dense.solve(&b).expect("dense solve");
         for (p, q) in x1.iter().zip(&x2) {
-            prop_assert!((p - q).abs() < 1e-6, "{} vs {}", p, q);
+            assert!((p - q).abs() < 1e-6, "case {case}: {p} vs {q}");
         }
     }
+}
 
-    #[test]
-    fn cg_matches_cholesky((n, edges) in connected_graph_strategy()) {
+#[test]
+fn cg_matches_cholesky() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(100 + case);
+        let (n, edges) = random_connected_graph(&mut rng);
         let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
         let grounded = lap.grounded(0).expect("valid ground");
         let chol = SparseCholesky::factor(&grounded).expect("SPD");
@@ -69,62 +71,96 @@ proptest! {
         let x1 = chol.solve(&b).expect("solve");
         let x2 = solve_cg(&grounded, &b, CgOptions::default()).expect("cg").x;
         for (p, q) in x1.iter().zip(&x2) {
-            prop_assert!((p - q).abs() < 1e-6);
+            assert!((p - q).abs() < 1e-6, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn bicgstab_solves_spd_too((n, edges) in connected_graph_strategy()) {
+#[test]
+fn bicgstab_solves_spd_too() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(200 + case);
+        let (n, edges) = random_connected_graph(&mut rng);
         let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
         let grounded = lap.grounded(n / 2).expect("valid ground");
         let b: Vec<f64> = (0..n - 1).map(|i| ((i % 3) as f64) - 1.0).collect();
-        let opts = BiCgStabOptions { tolerance: 1e-9, max_iterations: 20 * n + 200 };
+        let opts = BiCgStabOptions {
+            tolerance: 1e-9,
+            max_iterations: 20 * n + 200,
+        };
         if let Ok(sol) = solve_bicgstab(&grounded, &b, opts) {
             let back = grounded.mul_vec(&sol.x).expect("spmv");
-            let err = back.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
-            prop_assert!(err < 1e-5, "residual {}", err);
+            let err = back
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-5, "case {case}: residual {err}");
         }
     }
+}
 
-    #[test]
-    fn effective_resistance_symmetric((n, edges) in connected_graph_strategy()) {
+#[test]
+fn effective_resistance_symmetric() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(300 + case);
+        let (n, edges) = random_connected_graph(&mut rng);
         let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
         let r_st = lap.effective_resistance(0, n - 1).expect("connected");
         let r_ts = lap.effective_resistance(n - 1, 0).expect("connected");
-        prop_assert!((r_st - r_ts).abs() < 1e-6 * r_st.max(1e-12));
-        prop_assert!(r_st > 0.0);
+        assert!(
+            (r_st - r_ts).abs() < 1e-6 * r_st.max(1e-12),
+            "case {case}"
+        );
+        assert!(r_st > 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn effective_resistance_triangle_inequality((n, edges) in connected_graph_strategy()) {
-        // Effective resistance is a metric: R(a,c) <= R(a,b) + R(b,c).
+#[test]
+fn effective_resistance_triangle_inequality() {
+    // Effective resistance is a metric: R(a,c) <= R(a,b) + R(b,c).
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(400 + case);
+        let (n, edges) = random_connected_graph(&mut rng);
         let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
-        let a = 0;
-        let b = n / 2;
-        let c = n - 1;
-        prop_assume!(a != b && b != c);
+        let (a, b, c) = (0, n / 2, n - 1);
+        if a == b || b == c {
+            continue;
+        }
         let r_ab = lap.effective_resistance(a, b).expect("connected");
         let r_bc = lap.effective_resistance(b, c).expect("connected");
         let r_ac = lap.effective_resistance(a, c).expect("connected");
-        prop_assert!(r_ac <= r_ab + r_bc + 1e-7);
+        assert!(r_ac <= r_ab + r_bc + 1e-7, "case {case}");
     }
+}
 
-    #[test]
-    fn rayleigh_monotonicity_extra_edge((n, edges) in connected_graph_strategy(), w in 0.1f64..5.0) {
+#[test]
+fn rayleigh_monotonicity_extra_edge() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(500 + case);
+        let (n, edges) = random_connected_graph(&mut rng);
+        let w = rng.f64_range(0.1, 5.0);
         let lap1 = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
         let r1 = lap1.effective_resistance(0, n - 1).expect("connected");
         let mut more = edges.clone();
         more.push((0, n - 1, w));
         let lap2 = GraphLaplacian::from_edges(n, &more).expect("valid edges");
         let r2 = lap2.effective_resistance(0, n - 1).expect("connected");
-        prop_assert!(r2 <= r1 + 1e-9);
+        assert!(r2 <= r1 + 1e-9, "case {case}");
     }
+}
 
-    #[test]
-    fn csr_roundtrip_spmv(entries in proptest::collection::vec(((0usize..8), (0usize..8), -5.0f64..5.0), 1..40)) {
+#[test]
+fn csr_roundtrip_spmv() {
+    for case in 0..CASES {
+        let mut rng = SproutRng::seed_from_u64(600 + case);
+        let entries = rng.usize_range(1, 40);
         let mut t = Triplets::new(8, 8);
         let mut dense = DenseMatrix::zeros(8, 8);
-        for &(r, c, v) in &entries {
+        for _ in 0..entries {
+            let r = rng.usize_below(8);
+            let c = rng.usize_below(8);
+            let v = rng.f64_range(-5.0, 5.0);
             t.push(r, c, v).expect("in bounds");
             dense.add(r, c, v);
         }
@@ -133,9 +169,9 @@ proptest! {
         let y1 = csr.mul_vec(&x).expect("spmv");
         let y2 = dense.mul_vec(&x).expect("dense mv");
         for (p, q) in y1.iter().zip(&y2) {
-            prop_assert!((p - q).abs() < 1e-9);
+            assert!((p - q).abs() < 1e-9, "case {case}");
         }
         // Transpose twice is identity.
-        prop_assert_eq!(csr.transpose().transpose(), csr);
+        assert_eq!(csr.transpose().transpose(), csr, "case {case}");
     }
 }

@@ -1,0 +1,85 @@
+//! Fault-injection walkthrough: the recovery subsystem in action.
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin faults
+//! ```
+//!
+//! Routes the two-rail board under increasingly hostile deterministic
+//! [`FaultPlan`]s — solver failures, NaN conductances, a degenerate
+//! polygon, a stage timeout — and prints what each [`RecoveryPolicy`]
+//! does about it: the shipped objective, the diagnostics trail, or the
+//! typed error.
+
+use sprout_board::presets;
+use sprout_core::recovery::{FaultPlan, RecoveryConfig, RecoveryPolicy};
+use sprout_core::router::Router;
+use sprout_examples::example_config;
+
+fn main() {
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let (net, _) = board.power_nets().next().expect("two_rail has power nets");
+
+    let scenarios: [(&str, FaultPlan); 4] = [
+        ("quiet (no faults)", FaultPlan::quiet(0)),
+        (
+            "flaky solver (30% failures)",
+            FaultPlan {
+                solver_failure_rate: 0.3,
+                ..FaultPlan::quiet(7)
+            },
+        ),
+        (
+            "NaN conductances + degenerate polygon",
+            FaultPlan {
+                nan_conductance_rate: 0.005,
+                degenerate_polygon: true,
+                ..FaultPlan::quiet(3)
+            },
+        ),
+        (
+            "certain solver failure",
+            FaultPlan {
+                solver_failure_rate: 1.0,
+                ..FaultPlan::quiet(11)
+            },
+        ),
+    ];
+
+    for (label, plan) in scenarios {
+        println!("=== {label} ===");
+        for policy in [
+            RecoveryPolicy::BestSoFar,
+            RecoveryPolicy::SkipStage,
+            RecoveryPolicy::FailFast,
+        ] {
+            let mut config = example_config();
+            config.recovery = RecoveryConfig {
+                policy,
+                fault: Some(plan),
+                ..RecoveryConfig::default()
+            };
+            let router = Router::new(&board, config);
+            match router.route_net(net, layer, 22.0) {
+                Ok(r) => {
+                    let d = &r.diagnostics;
+                    println!(
+                        "  {policy:<9?} ok: R = {:>9.4} sq, area {:>5.1} mm², \
+                         {} fallback(s), {} sanitized edge-batch(es), \
+                         {} skip/revert(s), {} overrun(s)",
+                        r.final_resistance_sq,
+                        r.shape.area_mm2(),
+                        d.solver_fallbacks,
+                        d.edges_sanitized,
+                        d.stages_skipped,
+                        d.budget_overruns,
+                    );
+                    for w in &d.warnings {
+                        println!("            warn: {w}");
+                    }
+                }
+                Err(e) => println!("  {policy:<9?} error: {e}"),
+            }
+        }
+    }
+}

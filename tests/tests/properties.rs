@@ -1,13 +1,16 @@
 //! Cross-crate property tests: pipeline invariants on random boards.
+//!
+//! Seeded deterministic sweeps (the offline crate set has no
+//! `proptest`); each case prints its board seed on failure.
 
-use proptest::prelude::*;
-use sprout_board::presets::{random_board, RandomBoardConfig};
 use sprout_board::presets::TWO_RAIL_ROUTE_LAYER;
+use sprout_board::presets::{random_board, RandomBoardConfig};
 use sprout_core::drc::check_route;
 use sprout_core::router::{Router, RouterConfig};
 use sprout_core::NodeId;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::resistance::dc_resistance;
+use sprout_rng::SproutRng;
 
 fn config() -> RouterConfig {
     RouterConfig {
@@ -19,73 +22,81 @@ fn config() -> RouterConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn routed_random_boards_hold_invariants(seed in 0u64..500) {
-        let board = random_board(seed, RandomBoardConfig {
-            size_mm: 14.0,
-            nets: 1,
-            sinks_per_net: 4,
-            blockages: 2,
-        });
+#[test]
+fn routed_random_boards_hold_invariants() {
+    let mut pick = SproutRng::seed_from_u64(0xB0A2D);
+    for case in 0..12u64 {
+        let seed = pick.usize_below(500) as u64;
+        let board = random_board(
+            seed,
+            RandomBoardConfig {
+                size_mm: 14.0,
+                nets: 1,
+                sinks_per_net: 4,
+                blockages: 2,
+            },
+        );
         let router = Router::new(&board, config());
         let (net, _) = board.power_nets().next().expect("one net");
         let budget = 14.0;
         match router.route_net(net, TWO_RAIL_ROUTE_LAYER, budget) {
             Ok(result) => {
                 // Invariant 1: area within one grow step of the budget.
-                prop_assert!(result.shape.area_mm2() <= budget * 1.2);
+                assert!(result.shape.area_mm2() <= budget * 1.2, "case {case}");
                 // Invariant 2: terminals connected.
-                let nodes: Vec<NodeId> =
-                    result.terminals.iter().map(|t| t.node).collect();
-                prop_assert!(result.subgraph.connects(&result.graph, &nodes));
+                let nodes: Vec<NodeId> = result.terminals.iter().map(|t| t.node).collect();
+                assert!(
+                    result.subgraph.connects(&result.graph, &nodes),
+                    "case {case}"
+                );
                 // Invariant 3: DRC clean.
                 let v = check_route(&board, net, TWO_RAIL_ROUTE_LAYER, &result.shape, &[])
                     .expect("drc runs");
-                prop_assert!(v.is_empty(), "{:?}", v);
+                assert!(v.is_empty(), "case {case}: {v:?}");
                 // Invariant 4: objective never below the saturated lower
                 // bound of zero, and the history is finite.
-                prop_assert!(result.final_resistance_sq > 0.0);
-                prop_assert!(result
-                    .resistance_history_sq
-                    .iter()
-                    .all(|r| r.is_finite()));
+                assert!(result.final_resistance_sq > 0.0, "case {case}");
+                assert!(
+                    result.resistance_history_sq.iter().all(|r| r.is_finite()),
+                    "case {case}"
+                );
                 // Invariant 5: extraction succeeds and is physical.
                 let network = RailNetwork::build(&board, &result).expect("network");
                 let dc = dc_resistance(&network).expect("dc");
-                prop_assert!(dc.total_ohm > 0.0 && dc.total_ohm < 1.0);
+                assert!(dc.total_ohm > 0.0 && dc.total_ohm < 1.0, "case {case}");
             }
             Err(e) => {
                 use sprout_core::SproutError as E;
-                prop_assert!(
+                assert!(
                     matches!(
                         e,
                         E::DisjointSpace { .. }
                             | E::AreaBudgetTooSmall { .. }
                             | E::TerminalBlocked { .. }
                     ),
-                    "unexpected error class: {:?}",
-                    e
+                    "case {case} (board seed {seed}): unexpected error class: {e:?}",
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn growth_monotone_under_budget(extra in 1.2f64..2.0) {
-        // Larger budgets never yield a *worse* objective on the same
-        // board (Rayleigh monotonicity carried through the pipeline).
+#[test]
+fn growth_monotone_under_budget() {
+    // Larger budgets never yield a *worse* objective on the same
+    // board (Rayleigh monotonicity carried through the pipeline).
+    let mut pick = SproutRng::seed_from_u64(0x6120);
+    for case in 0..6u64 {
+        let extra = pick.f64_range(1.2, 2.0);
         let board = random_board(7, RandomBoardConfig::default());
         let router = Router::new(&board, config());
         let (net, _) = board.power_nets().next().expect("net");
         let small = router.route_net(net, TWO_RAIL_ROUTE_LAYER, 10.0);
         let large = router.route_net(net, TWO_RAIL_ROUTE_LAYER, 10.0 * extra);
         if let (Ok(s), Ok(l)) = (small, large) {
-            prop_assert!(
+            assert!(
                 l.final_resistance_sq <= s.final_resistance_sq * 1.05,
-                "more metal should not hurt: {} vs {}",
+                "case {case}: more metal should not hurt: {} vs {}",
                 l.final_resistance_sq,
                 s.final_resistance_sq
             );
