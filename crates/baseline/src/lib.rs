@@ -121,8 +121,8 @@ impl<'b> ManualRouter<'b> {
         // corridors disconnect (via keep-outs sever them) while wide
         // ones blow the budget — feasibility is not monotone in width.
         let outline = self.board.outline();
-        let w_max = (outline.width().min(outline.height()) / 2.0)
-            .max(self.config.tile_pitch_mm * 2.0);
+        let w_max =
+            (outline.width().min(outline.height()) / 2.0).max(self.config.tile_pitch_mm * 2.0);
         let steps = 24usize;
         let mut best: Option<Subgraph> = None;
         for k in 0..steps {
@@ -131,10 +131,7 @@ impl<'b> ManualRouter<'b> {
             if let Some(sub) =
                 self.try_width(&graph, &terminals, source, sink_box, w, area_budget_mm2)
             {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| sub.area_mm2() > b.area_mm2())
-                {
+                if best.as_ref().is_none_or(|b| sub.area_mm2() > b.area_mm2()) {
                     best = Some(sub);
                 }
             }
@@ -254,11 +251,8 @@ fn bounding_box(points: &[Point], pad: f64) -> Rect {
         min = min.min(p);
         max = max.max(p);
     }
-    Rect::new(
-        min - Point::new(pad, pad),
-        max + Point::new(pad, pad),
-    )
-    .expect("padded box is non-degenerate")
+    Rect::new(min - Point::new(pad, pad), max + Point::new(pad, pad))
+        .expect("padded box is non-degenerate")
 }
 
 /// The candidate regular shapes: sink pour + straight trunk, then the

@@ -44,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let all_taps = network.decaps.clone();
     let dc = dc_resistance(&network)?;
 
-    println!("=== decap sweep: CPU rail, {:.1} mm² of copper ===", route.shape.area_mm2());
-    println!("{:>7} {:>12} {:>10} {:>9}", "decaps", "L@25MHz pH", "Vmin V", "ΔV gain");
+    println!(
+        "=== decap sweep: CPU rail, {:.1} mm² of copper ===",
+        route.shape.area_mm2()
+    );
+    println!(
+        "{:>7} {:>12} {:>10} {:>9}",
+        "decaps", "L@25MHz pH", "Vmin V", "ΔV gain"
+    );
     let mut v_bare = None;
     for count in 0..=all_decaps.len() {
         network.decaps = all_taps[..count].to_vec();

@@ -38,11 +38,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // synthetic board: the smallest schedule entry (CPU 15 units) must still hold a
     // connected seed for the 33-terminal CPU rail (see EXPERIMENTS.md).
     const AREA_UNIT_MM2: f64 = 1.7;
-    let picks: Vec<usize> = if quick { vec![0, 4, 8] } else { (0..9).collect() };
+    let picks: Vec<usize> = if quick {
+        vec![0, 4, 8]
+    } else {
+        (0..9).collect()
+    };
 
     println!("=== Table IV schedule (normalized units = mm²) ===");
     for (k, (m, c, d)) in schedule.iter().enumerate() {
-        println!("layout {}: modem {:>5.1}, CPU {:>5.1}, DSP {:>5.2}", k + 1, m, c, d);
+        println!(
+            "layout {}: modem {:>5.1}, CPU {:>5.1}, DSP {:>5.2}",
+            k + 1,
+            m,
+            c,
+            d
+        );
     }
     println!();
     println!("=== Fig. 12 series ===");
@@ -51,10 +61,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "layout", "rail", "area mm²", "R_eff mΩ", "L_eff pH", "Vmin V", "delay rel"
     );
 
-    let nets: Vec<(sprout_board::NetId, sprout_board::Net)> = board
-        .power_nets()
-        .map(|(id, n)| (id, n.clone()))
-        .collect();
+    let nets: Vec<(sprout_board::NetId, sprout_board::Net)> =
+        board.power_nets().map(|(id, n)| (id, n.clone())).collect();
     for &k in &picks {
         let (a_modem, a_cpu, a_dsp) = schedule[k];
         let budgets = [

@@ -49,12 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let reps = 5;
         let t0 = std::time::Instant::now();
         for _ in 0..reps {
-            let _ = sprout_core::current::node_current(
-                &result.graph,
-                &result.subgraph,
-                &result.pairs,
-            )
-            .expect("metric evaluates");
+            let _ =
+                sprout_core::current::node_current(&result.graph, &result.subgraph, &result.pairs)
+                    .expect("metric evaluates");
         }
         let metric_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
         points.push((result.subgraph.order() as f64, metric_ms.max(1e-6)));

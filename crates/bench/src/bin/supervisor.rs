@@ -1,0 +1,202 @@
+//! Supervisor throughput: sequential vs concurrent multi-rail jobs.
+//!
+//! ```text
+//! cargo run -p sprout-bench --release --bin supervisor
+//! ```
+//!
+//! Times `route_all`-equivalent jobs on the `two_rail` preset under the
+//! job supervisor at several thread counts, verifies that every run
+//! reproduces the sequential shapes bit-for-bit, and writes a
+//! `BENCH_supervisor.json` timing summary to `target/experiments/` so
+//! the performance trajectory of the scheduler is recorded run over
+//! run.
+//!
+//! Two jobs are measured:
+//! - `two_rail`: both rails on layer 7 — same-layer rails serialize by
+//!   design, so concurrency cannot help; this is the scheduling-
+//!   overhead floor.
+//! - `stacked`: the same rails with their terminals mirrored onto a
+//!   second copper layer (four rails, two waves of two) — cross-layer
+//!   rails route concurrently, so threads buy real wall-clock.
+
+use sprout_bench::experiments_dir;
+use sprout_board::{presets, Board, Element};
+use sprout_core::router::RouterConfig;
+use sprout_core::supervisor::{JobReport, Supervisor, SupervisorConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const BUDGET_MM2: f64 = 22.0;
+const REPS: usize = 3;
+
+fn bench_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.4,
+        grow_iterations: 10,
+        refine_iterations: 3,
+        ..RouterConfig::default()
+    }
+}
+
+/// The two_rail preset with every rail's terminals mirrored onto a
+/// second routing layer, giving the supervisor genuinely independent
+/// cross-layer work.
+fn stacked_two_rail() -> Board {
+    let mut board = presets::two_rail();
+    let mirrored: Vec<Element> = board
+        .elements()
+        .iter()
+        .filter(|e| e.layer == presets::TWO_RAIL_ROUTE_LAYER && e.is_terminal())
+        .cloned()
+        .map(|mut e| {
+            e.layer = 4;
+            e
+        })
+        .collect();
+    for e in mirrored {
+        board.add_element(e).expect("mirrored terminal fits");
+    }
+    board
+}
+
+struct Measurement {
+    job: &'static str,
+    threads: usize,
+    rails: usize,
+    waves: usize,
+    median_ms: f64,
+    complete: bool,
+    matches_sequential: bool,
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn shapes_equal(a: &JobReport, b: &JobReport) -> bool {
+    let (sa, sb) = (a.shapes(), b.shapes());
+    sa.len() == sb.len()
+        && sa.iter().zip(sb.iter()).all(|((_, _, x), (_, _, y))| {
+            x.area_mm2().to_bits() == y.area_mm2().to_bits()
+                && x.contours.len() == y.contours.len()
+                && x.contours
+                    .iter()
+                    .zip(&y.contours)
+                    .all(|(p, q)| p.points == q.points && p.is_hole == q.is_hole)
+        })
+}
+
+fn run_job(
+    job: &'static str,
+    board: &Board,
+    requests: &[(sprout_board::NetId, usize, f64)],
+    threads: usize,
+    reference: Option<&JobReport>,
+) -> (Measurement, JobReport) {
+    let mut times = Vec::with_capacity(REPS);
+    let mut last: Option<JobReport> = None;
+    for _ in 0..REPS {
+        let supervisor = Supervisor::new(
+            board,
+            bench_config(),
+            SupervisorConfig {
+                threads,
+                ..SupervisorConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let report = supervisor.run(requests);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(report);
+    }
+    let report = last.expect("at least one rep");
+    let m = Measurement {
+        job,
+        threads,
+        rails: report.rails.len(),
+        waves: report.waves,
+        median_ms: median(times),
+        complete: report.is_complete(),
+        matches_sequential: reference.map(|r| shapes_equal(r, &report)).unwrap_or(true),
+    };
+    (m, report)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flat = presets::two_rail();
+    let flat_requests: Vec<_> = flat
+        .power_nets()
+        .map(|(id, _)| (id, presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2))
+        .collect();
+    let stacked = stacked_two_rail();
+    let stacked_nets: Vec<_> = stacked.power_nets().map(|(id, _)| id).collect();
+    let stacked_requests = vec![
+        (stacked_nets[0], presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2),
+        (stacked_nets[1], presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2),
+        (stacked_nets[0], 4, BUDGET_MM2),
+        (stacked_nets[1], 4, BUDGET_MM2),
+    ];
+
+    println!("=== supervisor throughput (median of {REPS}) ===");
+    println!(
+        "{:>10} {:>8} {:>6} {:>6} {:>10} {:>9} {:>8}",
+        "job", "threads", "rails", "waves", "median ms", "complete", "matches"
+    );
+    let mut rows: Vec<Measurement> = Vec::new();
+    for (job, board, requests) in [
+        ("two_rail", &flat, &flat_requests),
+        ("stacked", &stacked, &stacked_requests),
+    ] {
+        let (seq, seq_report) = run_job(job, board, requests, 1, None);
+        let mut per_job = vec![seq];
+        for threads in [2, 4] {
+            let (m, _) = run_job(job, board, requests, threads, Some(&seq_report));
+            per_job.push(m);
+        }
+        for m in per_job {
+            println!(
+                "{:>10} {:>8} {:>6} {:>6} {:>10.1} {:>9} {:>8}",
+                m.job, m.threads, m.rails, m.waves, m.median_ms, m.complete, m.matches_sequential
+            );
+            rows.push(m);
+        }
+    }
+
+    // Hand-rolled JSON: the workspace is dependency-free by design.
+    let mut json = String::from("{\n  \"bench\": \"supervisor\",\n  \"budget_mm2\": ");
+    let _ = write!(json, "{BUDGET_MM2}");
+    let _ = write!(json, ",\n  \"reps\": {REPS},\n  \"jobs\": [\n");
+    for (i, m) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"job\": \"{}\", \"threads\": {}, \"rails\": {}, \"waves\": {}, \
+             \"median_ms\": {:.3}, \"complete\": {}, \"matches_sequential\": {}}}{}",
+            m.job,
+            m.threads,
+            m.rails,
+            m.waves,
+            m.median_ms,
+            m.complete,
+            m.matches_sequential,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = experiments_dir().join("BENCH_supervisor.json");
+    std::fs::write(&path, &json)?;
+    println!("wrote {}", path.display());
+
+    let broken: Vec<_> = rows
+        .iter()
+        .filter(|m| !m.complete || !m.matches_sequential)
+        .collect();
+    if !broken.is_empty() {
+        return Err(format!(
+            "{} run(s) incomplete or diverged from the sequential shapes",
+            broken.len()
+        )
+        .into());
+    }
+    Ok(())
+}

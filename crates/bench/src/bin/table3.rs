@@ -86,7 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print_comparison(&rows, 15.0, 133.0);
     println!();
     println!("paper reference (normalized L / R): VDD1 133/15.0→131/16.8, V2 103/8.4→99/9.1,");
-    println!("  V3 131/13.0→127/14.2, V4 161/18.4→155/18.2, V5 152/18.5→150/18.9, V6 116/9.2→114/9.2");
+    println!(
+        "  V3 131/13.0→127/14.2, V4 161/18.4→155/18.2, V5 152/18.5→150/18.9, V6 116/9.2→114/9.2"
+    );
     println!("expected: SPROUT inductance 1-4 % below manual; resistance within ~11 %.");
     println!();
     println!("=== §III-B runtime (ours; the paper reports ~11 min on an i7-6700) ===");

@@ -139,11 +139,12 @@ mod tests {
 
     #[test]
     fn slope_of_power_law() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|k| {
-            let x = k as f64 * 100.0;
-            (x, 3.0 * x.powf(1.7))
-        })
-        .collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| {
+                let x = k as f64 * 100.0;
+                (x, 3.0 * x.powf(1.7))
+            })
+            .collect();
         let q = log_log_slope(&pts);
         assert!((q - 1.7).abs() < 1e-9);
     }

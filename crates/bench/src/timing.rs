@@ -42,7 +42,11 @@ pub fn bench_with_budget<T>(name: &str, budget: Duration, f: &mut impl FnMut() -
     }
     samples.sort_by(f64::total_cmp);
     let median = samples[samples.len() / 2];
-    println!("{name:<48} {:>14}/iter  ({} samples)", fmt_time(median), samples.len());
+    println!(
+        "{name:<48} {:>14}/iter  ({} samples)",
+        fmt_time(median),
+        samples.len()
+    );
 }
 
 fn fmt_time(seconds: f64) -> String {

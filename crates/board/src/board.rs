@@ -109,7 +109,9 @@ impl Board {
     ///
     /// Returns [`BoardError::UnknownNet`] for an invalid id.
     pub fn net(&self, id: NetId) -> Result<&Net, BoardError> {
-        self.nets.get(id.0).ok_or(BoardError::UnknownNet { id: id.0 })
+        self.nets
+            .get(id.0)
+            .ok_or(BoardError::UnknownNet { id: id.0 })
     }
 
     /// Iterator over `(id, net)` of the power rails.
@@ -255,12 +257,7 @@ mod tests {
 
     fn test_board() -> Board {
         let outline = Rect::new(Point::new(0.0, 0.0), Point::new(30.0, 20.0)).unwrap();
-        Board::new(
-            "t",
-            outline,
-            Stackup::eight_layer(),
-            DesignRules::default(),
-        )
+        Board::new("t", outline, Stackup::eight_layer(), DesignRules::default())
     }
 
     fn pad_at(x: f64, y: f64) -> Polygon {
@@ -283,11 +280,21 @@ mod tests {
         let mut b = test_board();
         let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
         assert!(b
-            .add_element(Element::terminal(vdd, 6, pad_at(1.0, 1.0), ElementRole::Source))
+            .add_element(Element::terminal(
+                vdd,
+                6,
+                pad_at(1.0, 1.0),
+                ElementRole::Source
+            ))
             .is_ok());
         // Unknown net.
         assert!(matches!(
-            b.add_element(Element::terminal(NetId(9), 6, pad_at(1.0, 1.0), ElementRole::Sink)),
+            b.add_element(Element::terminal(
+                NetId(9),
+                6,
+                pad_at(1.0, 1.0),
+                ElementRole::Sink
+            )),
             Err(BoardError::UnknownNet { .. })
         ));
         // Bad layer.
@@ -307,14 +314,29 @@ mod tests {
         let mut b = test_board();
         let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
         let gnd = b.add_net(Net::ground("GND"));
-        b.add_element(Element::terminal(vdd, 6, pad_at(1.0, 1.0), ElementRole::Source))
-            .unwrap();
-        b.add_element(Element::terminal(vdd, 6, pad_at(5.0, 5.0), ElementRole::Sink))
-            .unwrap();
+        b.add_element(Element::terminal(
+            vdd,
+            6,
+            pad_at(1.0, 1.0),
+            ElementRole::Source,
+        ))
+        .unwrap();
+        b.add_element(Element::terminal(
+            vdd,
+            6,
+            pad_at(5.0, 5.0),
+            ElementRole::Sink,
+        ))
+        .unwrap();
         b.add_element(Element::net_obstacle(gnd, 6, pad_at(3.0, 3.0)))
             .unwrap();
-        b.add_element(Element::terminal(vdd, 0, pad_at(1.0, 1.0), ElementRole::Sink))
-            .unwrap();
+        b.add_element(Element::terminal(
+            vdd,
+            0,
+            pad_at(1.0, 1.0),
+            ElementRole::Sink,
+        ))
+        .unwrap();
         assert_eq!(b.terminals(vdd, 6).len(), 2);
         assert_eq!(b.terminals_all_layers(vdd).len(), 3);
         assert_eq!(b.terminals(gnd, 6).len(), 0);
@@ -348,11 +370,21 @@ mod tests {
         let mut b = test_board();
         let vdd = b.add_net(Net::power("VDD", 1.0, 1e9, 1.0).unwrap());
         assert!(b.validate().is_err());
-        b.add_element(Element::terminal(vdd, 6, pad_at(1.0, 1.0), ElementRole::Source))
-            .unwrap();
+        b.add_element(Element::terminal(
+            vdd,
+            6,
+            pad_at(1.0, 1.0),
+            ElementRole::Source,
+        ))
+        .unwrap();
         assert!(b.validate().is_err());
-        b.add_element(Element::terminal(vdd, 6, pad_at(5.0, 5.0), ElementRole::Sink))
-            .unwrap();
+        b.add_element(Element::terminal(
+            vdd,
+            6,
+            pad_at(5.0, 5.0),
+            ElementRole::Sink,
+        ))
+        .unwrap();
         assert!(b.validate().is_ok());
     }
 

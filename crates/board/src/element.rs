@@ -40,7 +40,10 @@ pub struct Element {
 impl Element {
     /// A terminal element (source/sink/decap) of `net`.
     pub fn terminal(net: NetId, layer: usize, shape: Polygon, role: ElementRole) -> Self {
-        debug_assert!(role != ElementRole::Obstacle, "terminals need a terminal role");
+        debug_assert!(
+            role != ElementRole::Obstacle,
+            "terminals need a terminal role"
+        );
         Element {
             net: Some(net),
             layer,

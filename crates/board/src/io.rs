@@ -56,7 +56,26 @@ fn err(line: usize, message: impl Into<String>) -> ParseBoardError {
     }
 }
 
+/// Input-size cap: a board file is a few KB of text; anything beyond
+/// this is hostile or corrupt, and rejecting it up front bounds parser
+/// memory.
+const MAX_INPUT_BYTES: usize = 4 << 20;
+/// Line-count cap (same rationale).
+const MAX_INPUT_LINES: usize = 100_000;
+/// Magnitude cap for geometric values (mm). The largest manufacturable
+/// board is well under a metre; ten kilometres is unambiguously absurd
+/// and large enough that no legitimate file is rejected.
+const MAX_ABS_MM: f64 = 1.0e7;
+/// Magnitude cap for electrical values (currents, slew rates, R/L/C).
+/// Slew rates legitimately reach 1e9 A/s; 1e15 rejects only garbage.
+const MAX_ABS_ELECTRICAL: f64 = 1.0e15;
+
 /// Parses a board from the text format.
+///
+/// Hostile input is rejected with line-numbered errors: non-finite or
+/// absurdly large numbers, non-positive dimensions and pad widths, and
+/// inputs beyond a hard size cap (4 MiB / 100 000 lines) all fail
+/// before any board construction happens.
 ///
 /// # Errors
 ///
@@ -64,6 +83,18 @@ fn err(line: usize, message: impl Into<String>) -> ParseBoardError {
 /// consistency problem (unknown net, bad layer, element outside the
 /// outline, …).
 pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
+    if text.len() > MAX_INPUT_BYTES {
+        return Err(err(
+            0,
+            format!(
+                "input is {} bytes; the format caps board files at {MAX_INPUT_BYTES}",
+                text.len()
+            ),
+        ));
+    }
+    if text.lines().count() > MAX_INPUT_LINES {
+        return Err(err(0, format!("input exceeds {MAX_INPUT_LINES} lines")));
+    }
     let mut pending: Vec<(usize, Vec<String>)> = Vec::new();
     let mut name = String::from("imported");
     let mut size: Option<(f64, f64)> = None;
@@ -86,8 +117,8 @@ pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
                     return Err(err(line_no, "board needs: board <name> <w> <h>"));
                 }
                 name = tokens[1].clone();
-                let w = parse_f64(&tokens[2], line_no)?;
-                let h = parse_f64(&tokens[3], line_no)?;
+                let w = parse_mm(&tokens[2], line_no)?;
+                let h = parse_mm(&tokens[3], line_no)?;
                 if w <= 0.0 || h <= 0.0 {
                     return Err(err(line_no, "board dimensions must be positive"));
                 }
@@ -110,10 +141,10 @@ pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
                     return Err(err(line_no, "rules needs four values"));
                 }
                 rules = DesignRules::new(
-                    parse_f64(&tokens[1], line_no)?,
-                    parse_f64(&tokens[2], line_no)?,
-                    parse_f64(&tokens[3], line_no)?,
-                    parse_f64(&tokens[4], line_no)?,
+                    parse_mm(&tokens[1], line_no)?,
+                    parse_mm(&tokens[2], line_no)?,
+                    parse_mm(&tokens[3], line_no)?,
+                    parse_mm(&tokens[4], line_no)?,
                 )
                 .map_err(|e| err(line_no, e.to_string()))?;
             }
@@ -121,8 +152,8 @@ pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
         }
     }
     let (w, h) = size.ok_or_else(|| err(0, "missing `board` line"))?;
-    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(w, h))
-        .map_err(|e| err(0, e.to_string()))?;
+    let outline =
+        Rect::new(Point::new(0.0, 0.0), Point::new(w, h)).map_err(|e| err(0, e.to_string()))?;
     let mut b = Board::new(name, outline, stackup, rules);
 
     // Pass 2: nets first, then elements.
@@ -173,9 +204,12 @@ pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
                 }
                 let net = lookup(&tokens[1])?;
                 let layer = parse_layer(&tokens[2], line_no)?;
-                let x = parse_f64(&tokens[3], line_no)?;
-                let y = parse_f64(&tokens[4], line_no)?;
-                let pad = parse_f64(&tokens[5], line_no)?;
+                let x = parse_mm(&tokens[3], line_no)?;
+                let y = parse_mm(&tokens[4], line_no)?;
+                let pad = parse_mm(&tokens[5], line_no)?;
+                if pad <= 0.0 {
+                    return Err(err(line_no, "pad width must be positive"));
+                }
                 let shape = Polygon::rectangle(
                     Point::new(x - pad / 2.0, y - pad / 2.0),
                     Point::new(x + pad / 2.0, y + pad / 2.0),
@@ -200,12 +234,12 @@ pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
                 let layer = parse_layer(&tokens[1], line_no)?;
                 let shape = Polygon::rectangle(
                     Point::new(
-                        parse_f64(&tokens[2], line_no)?,
-                        parse_f64(&tokens[3], line_no)?,
+                        parse_mm(&tokens[2], line_no)?,
+                        parse_mm(&tokens[3], line_no)?,
                     ),
                     Point::new(
-                        parse_f64(&tokens[4], line_no)?,
-                        parse_f64(&tokens[5], line_no)?,
+                        parse_mm(&tokens[4], line_no)?,
+                        parse_mm(&tokens[5], line_no)?,
                     ),
                 )
                 .map_err(|e| err(line_no, e.to_string()))?;
@@ -224,14 +258,15 @@ pub fn parse_board(text: &str) -> Result<Board, ParseBoardError> {
                     net,
                     layer: parse_layer(&tokens[2], line_no)?,
                     location: Point::new(
-                        parse_f64(&tokens[3], line_no)?,
-                        parse_f64(&tokens[4], line_no)?,
+                        parse_mm(&tokens[3], line_no)?,
+                        parse_mm(&tokens[4], line_no)?,
                     ),
                     capacitance_f: parse_f64(&tokens[5], line_no)?,
                     esr_ohm: parse_f64(&tokens[6], line_no)?,
                     esl_h: parse_f64(&tokens[7], line_no)?,
                 };
-                b.add_decap(decap).map_err(|e| err(line_no, e.to_string()))?;
+                b.add_decap(decap)
+                    .map_err(|e| err(line_no, e.to_string()))?;
             }
             other => return Err(err(line_no, format!("unknown directive `{other}`"))),
         }
@@ -377,9 +412,52 @@ fn fmt6(x: f64) -> String {
 }
 
 fn parse_f64(token: &str, line: usize) -> Result<f64, ParseBoardError> {
-    token
+    let v = token
         .parse::<f64>()
-        .map_err(|_| err(line, format!("`{token}` is not a number")))
+        .map_err(|_| err(line, format!("`{token}` is not a number")))?;
+    if !v.is_finite() {
+        return Err(err(line, format!("`{token}` is not finite")));
+    }
+    if v.abs() > MAX_ABS_ELECTRICAL {
+        return Err(err(
+            line,
+            format!("`{token}` is absurdly large (max {MAX_ABS_ELECTRICAL:e})"),
+        ));
+    }
+    Ok(v)
+}
+
+/// Parses a geometric value (mm): finite and within [`MAX_ABS_MM`].
+fn parse_mm(token: &str, line: usize) -> Result<f64, ParseBoardError> {
+    let v = parse_f64(token, line)?;
+    if v.abs() > MAX_ABS_MM {
+        return Err(err(
+            line,
+            format!("`{token}` mm is beyond any board ({MAX_ABS_MM:e} mm cap)"),
+        ));
+    }
+    Ok(v)
+}
+
+/// FNV-1a over a byte slice — the workspace's dependency-free stable
+/// hash for file-format fingerprints. Not a cryptographic hash; it only
+/// needs to detect accidental mismatches (a different board or request
+/// list behind a stale checkpoint), not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A stable fingerprint of a board's full serialized content, used by
+/// checkpoint files to refuse resuming against a different board. Two
+/// boards that serialize identically (same nets, elements, rules,
+/// stackup, outline — at micrometre precision) share a fingerprint.
+pub fn board_fingerprint(board: &Board) -> u64 {
+    fnv1a64(write_board(board).as_bytes())
 }
 
 fn parse_layer(token: &str, line: usize) -> Result<usize, ParseBoardError> {

@@ -11,8 +11,8 @@ use crate::element::{Element, ElementRole};
 use crate::net::{Net, NetId};
 use crate::rules::DesignRules;
 use crate::stackup::Stackup;
-use sprout_rng::SproutRng;
 use sprout_geom::{Point, Polygon, Rect};
+use sprout_rng::SproutRng;
 
 /// Routing layer index of the eight-layer two-rail board (layer 7).
 pub const TWO_RAIL_ROUTE_LAYER: usize = 6;
@@ -82,7 +82,12 @@ pub fn two_rail() -> Board {
             for j in 0..3 {
                 let c = Point::new(19.0 + i as f64 * 0.8, cy - 0.8 + j as f64 * 0.8);
                 board
-                    .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                    .add_element(Element::terminal(
+                        net,
+                        l,
+                        via_pad(c, pad),
+                        ElementRole::Sink,
+                    ))
                     .expect("static");
             }
         }
@@ -98,7 +103,11 @@ pub fn two_rail() -> Board {
         (6.5, 8.0),
     ] {
         board
-            .add_element(Element::net_obstacle(gnd, l, via_pad(Point::new(x, y), pad)))
+            .add_element(Element::net_obstacle(
+                gnd,
+                l,
+                via_pad(Point::new(x, y), pad),
+            ))
             .expect("static");
     }
 
@@ -139,9 +148,7 @@ pub fn six_rail() -> Board {
     let nets: Vec<NetId> = names
         .iter()
         .zip(currents)
-        .map(|(name, i)| {
-            board.add_net(Net::power(*name, i, 5.0e7, 1.0).expect("static"))
-        })
+        .map(|(name, i)| board.add_net(Net::power(*name, i, 5.0e7, 1.0).expect("static")))
         .collect();
     let gnd = board.add_net(Net::ground("GND"));
     let l = TEN_LAYER_ROUTE_LAYER;
@@ -158,7 +165,12 @@ pub fn six_rail() -> Board {
             let net = nets[band];
             if (col + row) % 2 == 0 {
                 board
-                    .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                    .add_element(Element::terminal(
+                        net,
+                        l,
+                        via_pad(c, pad),
+                        ElementRole::Sink,
+                    ))
                     .expect("static");
             } else {
                 board
@@ -246,7 +258,12 @@ pub fn three_rail() -> Board {
                     ground_count += 1;
                 } else if placed < power_count {
                     board
-                        .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                        .add_element(Element::terminal(
+                            net,
+                            l,
+                            via_pad(c, pad),
+                            ElementRole::Sink,
+                        ))
                         .expect("static");
                     placed += 1;
                 } else {
@@ -310,11 +327,8 @@ pub fn three_rail() -> Board {
     // Decap pads are also sink-class terminals on the routing layer
     // (§II: "connecting the power management IC with the target ball
     // grid array (BGA) balls and decoupling capacitors").
-    let decap_pads: Vec<(NetId, Point)> = board
-        .decaps()
-        .iter()
-        .map(|d| (d.net, d.location))
-        .collect();
+    let decap_pads: Vec<(NetId, Point)> =
+        board.decaps().iter().map(|d| (d.net, d.location)).collect();
     for (net, loc) in decap_pads {
         board
             .add_element(Element::terminal(
@@ -372,8 +386,7 @@ pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
     let nets: Vec<NetId> = (0..cfg.nets)
         .map(|k| {
             let current = rng.f64_range(0.5, 5.0);
-            board
-                .add_net(Net::power(format!("P{k}"), current, 1e9, 1.0).expect("valid range"))
+            board.add_net(Net::power(format!("P{k}"), current, 1e9, 1.0).expect("valid range"))
         })
         .collect();
 
@@ -398,7 +411,12 @@ pub fn random_board(seed: u64, cfg: RandomBoardConfig) -> Board {
                 (cy + r * angle.sin()).clamp(1.0, s - 1.0),
             );
             board
-                .add_element(Element::terminal(net, l, via_pad(c, pad), ElementRole::Sink))
+                .add_element(Element::terminal(
+                    net,
+                    l,
+                    via_pad(c, pad),
+                    ElementRole::Sink,
+                ))
                 .expect("inside outline");
         }
     }
@@ -505,7 +523,13 @@ mod tests {
         let b = random_board(42, RandomBoardConfig::default());
         assert_eq!(a.elements().len(), b.elements().len());
         a.validate().unwrap();
-        let c = random_board(7, RandomBoardConfig { nets: 3, ..Default::default() });
+        let c = random_board(
+            7,
+            RandomBoardConfig {
+                nets: 3,
+                ..Default::default()
+            },
+        );
         assert_eq!(c.power_nets().count(), 3);
         c.validate().unwrap();
     }

@@ -38,7 +38,10 @@ impl DesignRules {
         via_drill_mm: f64,
         via_plating_um: f64,
     ) -> Result<Self, BoardError> {
-        if clearance_mm <= 0.0 || min_width_mm <= 0.0 || via_drill_mm <= 0.0 || via_plating_um <= 0.0
+        if clearance_mm <= 0.0
+            || min_width_mm <= 0.0
+            || via_drill_mm <= 0.0
+            || via_plating_um <= 0.0
         {
             return Err(BoardError::InvalidParameter(
                 "design rule values must be positive",

@@ -1,0 +1,108 @@
+//! Hostile-input robustness for [`sprout_board::io::parse_board`]:
+//! every rejection is a typed, line-numbered error — never a panic,
+//! never a silently absurd board. Sibling to `io_fuzz.rs`, which
+//! covers arbitrary byte soup; this file targets the specific hostile
+//! shapes a parser is most likely to meet (non-finite numbers,
+//! out-of-range magnitudes, degenerate pads, oversized files).
+
+use sprout_board::io::parse_board;
+
+/// A minimal valid board with one `{}` hole to splice a hostile line
+/// into a known position.
+fn board_with(line: &str) -> String {
+    format!(
+        "board demo 20 16\n\
+         stackup eight\n\
+         net power VDD 2 5e7 1\n\
+         {line}\n\
+         sink VDD 7 16 12 1\n"
+    )
+}
+
+#[test]
+fn baseline_board_parses() {
+    let b = parse_board(&board_with("source VDD 7 4 4 1")).expect("valid board");
+    assert_eq!(b.elements().len(), 2);
+}
+
+#[test]
+fn non_finite_numbers_are_rejected_with_their_line() {
+    for token in ["NaN", "nan", "inf", "-inf", "infinity"] {
+        let text = board_with(&format!("source VDD 7 {token} 4 1"));
+        let e = parse_board(&text).expect_err(token);
+        assert_eq!(e.line, 4, "{token}: wrong line");
+        assert!(e.message.contains("not finite"), "{token}: {}", e.message);
+    }
+}
+
+#[test]
+fn absurd_geometry_is_rejected_but_fast_slew_rates_pass() {
+    // 1e8 mm is a hundred-kilometre board: hostile, line-numbered.
+    let e = parse_board("board huge 1e8 10\n").expect_err("absurd width");
+    assert_eq!(e.line, 1);
+    assert!(e.message.contains("beyond any board"), "{}", e.message);
+
+    // An element coordinate past the mm cap fails on its own line even
+    // though the same magnitude is a legitimate electrical value (the
+    // baseline board's 5e7 A/s slew parses fine).
+    let e = parse_board(&board_with("source VDD 7 5e7 4 1")).expect_err("absurd x");
+    assert_eq!(e.line, 4);
+    assert!(e.message.contains("beyond any board"), "{}", e.message);
+
+    // Electrical values have their own (much higher) cap.
+    let e = parse_board("board d 20 16\nnet power VDD 2 1e16 1\n").expect_err("absurd slew");
+    assert_eq!(e.line, 2);
+    assert!(e.message.contains("absurdly large"), "{}", e.message);
+}
+
+#[test]
+fn non_positive_pad_widths_are_rejected() {
+    for pad in ["0", "-1", "-0.001"] {
+        let text = board_with(&format!("source VDD 7 4 4 {pad}"));
+        let e = parse_board(&text).expect_err(pad);
+        assert_eq!(e.line, 4, "pad {pad}: wrong line");
+        assert!(
+            e.message.contains("pad width must be positive"),
+            "pad {pad}: {}",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn non_positive_board_dimensions_are_rejected() {
+    for dims in ["0 10", "10 0", "-5 10"] {
+        let e = parse_board(&format!("board d {dims}\n")).expect_err(dims);
+        assert_eq!(e.line, 1, "{dims}");
+        assert!(
+            e.message.contains("must be positive"),
+            "{dims}: {}",
+            e.message
+        );
+    }
+}
+
+#[test]
+fn oversized_inputs_fail_up_front_as_file_level_errors() {
+    // Byte cap: 4 MiB + 1 of comment, rejected before any parsing.
+    let big = "#".repeat((4 << 20) + 1);
+    let e = parse_board(&big).expect_err("byte cap");
+    assert_eq!(e.line, 0, "file-level problems report line 0");
+    assert!(e.message.contains("bytes"), "{}", e.message);
+
+    // Line cap: far under the byte cap, still rejected.
+    let many = "#\n".repeat(100_001);
+    let e = parse_board(&many).expect_err("line cap");
+    assert_eq!(e.line, 0);
+    assert!(e.message.contains("lines"), "{}", e.message);
+}
+
+#[test]
+fn errors_display_with_their_line_number() {
+    let e = parse_board("board d 10 10\nbogus directive here\n").expect_err("unknown directive");
+    assert_eq!(e.line, 2);
+    assert!(
+        e.to_string().starts_with("line 2:"),
+        "Display must lead with the line: {e}"
+    );
+}

@@ -136,8 +136,8 @@ pub fn anneal_refine(
         solves += metric.solves();
         let new_r = metric.resistance_sq();
         let delta = new_r - current_r;
-        let accept = delta <= 0.0
-            || (temperature > 0.0 && rng.f64() < (-delta / temperature).exp());
+        let accept =
+            delta <= 0.0 || (temperature > 0.0 && rng.f64() < (-delta / temperature).exp());
         if accept {
             current_r = new_r;
             accepted += 1;
@@ -174,22 +174,16 @@ mod tests {
     use crate::grow::grow_to_area;
     use crate::seed::{seed_subgraph, SeedOptions};
     use crate::space::SpaceSpec;
-    use crate::tile::{identify_terminals, space_to_graph, TileOptions, Terminal};
+    use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
     use sprout_board::presets;
 
-    fn setup() -> (
-        RoutingGraph,
-        Subgraph,
-        Vec<InjectionPair>,
-        Vec<Terminal>,
-    ) {
+    fn setup() -> (RoutingGraph, Subgraph, Vec<InjectionPair>, Vec<Terminal>) {
         let board = presets::two_rail();
         let (vdd1, _) = board.power_nets().next().unwrap();
         let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
         let graph = space_to_graph(&spec, TileOptions::square(0.5)).unwrap();
         let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
-        let mut sub =
-            seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        let mut sub = seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
         let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
         let budget = sub.area_mm2() * 1.8;
         grow_to_area(&graph, &mut sub, &pairs, 20, budget).unwrap();
@@ -231,7 +225,15 @@ mod tests {
         let (graph, mut sub, pairs, terminals) = setup();
         let (prot, tn) = guards(&terminals);
         let order = sub.order();
-        anneal_refine(&graph, &mut sub, &pairs, &prot, &tn, AnnealConfig::default()).unwrap();
+        anneal_refine(
+            &graph,
+            &mut sub,
+            &pairs,
+            &prot,
+            &tn,
+            AnnealConfig::default(),
+        )
+        .unwrap();
         assert_eq!(sub.order(), order, "swaps preserve the node count");
         for t in &terminals {
             assert!(sub.contains(t.node));

@@ -7,7 +7,6 @@
 use crate::graph::{RoutingGraph, Subgraph};
 use sprout_geom::stitch::{union_grid_cells, Contour};
 use sprout_geom::{Point, Polygon, Rect};
-use std::collections::HashMap;
 
 /// The physical shape produced for one routed net on one layer.
 #[derive(Debug, Clone)]
@@ -68,6 +67,31 @@ impl RoutedShape {
         let mut out = self.run_rects.clone();
         out.extend(self.fragments.iter().cloned());
         out
+    }
+
+    /// The horizontal run-merged full-cell rectangles (the blocker cover
+    /// minus the fragments). Exposed for checkpoint serialization.
+    pub fn run_rects(&self) -> &[Polygon] {
+        &self.run_rects
+    }
+
+    /// Reassembles a shape from its serialized parts — the supervisor's
+    /// checkpoint-restore constructor. The caller is responsible for the
+    /// parts being mutually consistent (they must come from a shape this
+    /// type produced); no geometric validation is re-run, so a restored
+    /// shape is bit-identical to the checkpointed one.
+    pub fn from_parts(
+        contours: Vec<Contour>,
+        fragments: Vec<Polygon>,
+        run_rects: Vec<Polygon>,
+        area_mm2: f64,
+    ) -> Self {
+        RoutedShape {
+            contours,
+            fragments,
+            area_mm2,
+            run_rects,
+        }
     }
 
     /// Drops fragments whose area is below `min_area_mm2` or not finite
@@ -136,9 +160,11 @@ pub fn back_convert(graph: &RoutingGraph, sub: &Subgraph) -> RoutedShape {
     }
 }
 
-/// Merges lattice cells into maximal horizontal run rectangles.
+/// Merges lattice cells into maximal horizontal run rectangles. Row
+/// order is deterministic (bottom to top): the resulting blocker list
+/// is compared and checkpointed exactly.
 fn merge_runs(cells: &[(i64, i64)], frame: sprout_geom::stitch::GridFrame) -> Vec<Polygon> {
-    let mut rows: HashMap<i64, Vec<i64>> = HashMap::new();
+    let mut rows: std::collections::BTreeMap<i64, Vec<i64>> = std::collections::BTreeMap::new();
     for &(i, j) in cells {
         rows.entry(j).or_default().push(i);
     }
@@ -180,10 +206,13 @@ mod tests {
         let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
         let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
         let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
-        let mut sub =
-            seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        let mut sub = seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
         let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
-        { let budget = sub.area_mm2() * 2.0; grow_to_area(&graph, &mut sub, &pairs, 24, budget) }.unwrap();
+        {
+            let budget = sub.area_mm2() * 2.0;
+            grow_to_area(&graph, &mut sub, &pairs, 24, budget)
+        }
+        .unwrap();
         (graph, sub)
     }
 

@@ -102,7 +102,11 @@ mod tests {
         let mut sub =
             seed_subgraph(&graph, &terminals, vdd1, layer, SeedOptions::default()).unwrap();
         let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
-        { let budget = sub.area_mm2() * 2.5; grow_to_area(&graph, &mut sub, &pairs, 24, budget) }.unwrap();
+        {
+            let budget = sub.area_mm2() * 2.5;
+            grow_to_area(&graph, &mut sub, &pairs, 24, budget)
+        }
+        .unwrap();
         let shape = crate::backconv::back_convert(&graph, &sub);
         let violations = check_route(&board, vdd1, layer, &shape, &[]).unwrap();
         assert!(violations.is_empty(), "violations: {violations:?}");

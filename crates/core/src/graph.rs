@@ -117,11 +117,7 @@ pub struct RoutingGraph {
 
 impl RoutingGraph {
     /// Assembles a graph from parts (used by the tiling stage).
-    pub(crate) fn assemble(
-        frame: GridFrame,
-        nodes: Vec<TileNode>,
-        edges: Vec<GraphEdge>,
-    ) -> Self {
+    pub(crate) fn assemble(frame: GridFrame, nodes: Vec<TileNode>, edges: Vec<GraphEdge>) -> Self {
         let mut adj: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); nodes.len()];
         for (k, e) in edges.iter().enumerate() {
             adj[e.a.index()].push((e.b, k as u32));
@@ -564,6 +560,8 @@ mod tests {
         assert!(node.contains_point(Point::new(0.2, 0.2)));
         assert!(!node.contains_point(Point::new(0.9, 0.9)));
         // The centroid of the triangle, not the rect centre.
-        assert!(node.center().approx_eq(Point::new(1.0 / 3.0, 1.0 / 3.0), 1e-9));
+        assert!(node
+            .center()
+            .approx_eq(Point::new(1.0 / 3.0, 1.0 / 3.0), 1e-9));
     }
 }

@@ -63,10 +63,7 @@ pub fn grow_with_metric(
             (score, c)
         })
         .collect();
-    scored.sort_by(|a, b| {
-        b.0.total_cmp(&a.0)
-            .then_with(|| a.1.cmp(&b.1))
-    });
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
     let take = k.min(scored.len());
     for &(_, c) in scored.iter().take(take) {
         sub.insert(graph, c);
@@ -169,11 +166,12 @@ mod tests {
     #[test]
     fn grow_keeps_subgraph_connected() {
         let (graph, mut sub, pairs) = setup();
-        let terminal_nodes: Vec<NodeId> = pairs
-            .iter()
-            .flat_map(|p| [p.source, p.sink])
-            .collect();
-        { let budget = sub.area_mm2() * 2.5; grow_to_area(&graph, &mut sub, &pairs, 16, budget) }.unwrap();
+        let terminal_nodes: Vec<NodeId> = pairs.iter().flat_map(|p| [p.source, p.sink]).collect();
+        {
+            let budget = sub.area_mm2() * 2.5;
+            grow_to_area(&graph, &mut sub, &pairs, 16, budget)
+        }
+        .unwrap();
         assert!(sub.connects(&graph, &terminal_nodes));
     }
 

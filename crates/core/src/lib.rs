@@ -62,13 +62,18 @@ pub mod reheat;
 pub mod router;
 pub mod seed;
 pub mod space;
+pub mod supervisor;
 pub mod tile;
 
 pub use graph::{NodeId, RoutingGraph, Subgraph};
 pub use recovery::{
-    Degradation, FaultPlan, RecoveryConfig, RecoveryPolicy, RouteDiagnostics, StageBudget,
+    CancelToken, Degradation, FaultPlan, RecoveryConfig, RecoveryPolicy, RouteDiagnostics,
+    StageBudget,
 };
 pub use router::{RouteResult, Router, RouterConfig};
+pub use supervisor::{
+    JobReport, RailOutcome, RailReport, RestoredRail, Supervisor, SupervisorConfig,
+};
 
 use std::fmt;
 
@@ -125,6 +130,28 @@ pub enum SproutError {
         /// The error that stopped the remainder of the route.
         source: Box<SproutError>,
     },
+    /// A supervisor worker thread panicked while routing a rail. The
+    /// panic was contained by the worker's `catch_unwind` boundary; the
+    /// rest of the job is unaffected.
+    WorkerPanicked {
+        /// Net whose worker panicked.
+        net: sprout_board::NetId,
+        /// Layer the rail was routing on.
+        layer: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// The job's [`CancelToken`](recovery::CancelToken) was triggered
+    /// before or while this rail was routing.
+    Cancelled,
+    /// The job-level wall-clock deadline expired before this rail could
+    /// start.
+    DeadlineExpired {
+        /// The configured deadline (ms).
+        deadline_ms: f64,
+        /// Wall-clock already spent when this rail was considered (ms).
+        elapsed_ms: f64,
+    },
 }
 
 impl fmt::Display for SproutError {
@@ -156,6 +183,18 @@ impl fmt::Display for SproutError {
                 "route partially failed ({} warning(s), {} degradation(s)): {source}",
                 diagnostics.warnings.len(),
                 diagnostics.degradations.len()
+            ),
+            SproutError::WorkerPanicked { net, layer, message } => write!(
+                f,
+                "worker routing {net} on layer {layer} panicked: {message}"
+            ),
+            SproutError::Cancelled => write!(f, "routing job was cancelled"),
+            SproutError::DeadlineExpired {
+                deadline_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "job deadline of {deadline_ms:.0} ms expired ({elapsed_ms:.0} ms elapsed)"
             ),
         }
     }

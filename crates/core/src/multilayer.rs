@@ -10,12 +10,14 @@
 use crate::graph::{NodeId, RoutingGraph};
 use crate::router::{RouteResult, Router};
 use crate::space::SpaceSpec;
+use crate::supervisor::{JobReport, RailOutcome, RailReport};
 use crate::tile::{space_to_graph, TileOptions};
 use crate::SproutError;
 use sprout_board::{Board, ElementRole, NetId};
 use sprout_geom::Point;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
 
 /// Multilayer planning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,7 +177,9 @@ pub fn plan_multilayer(
             .iter()
             .map(|&(p, n)| global(p, n))
             .collect();
-        let path = dijkstra_3d(&graphs, &offsets, &via_edges, config, total, source, &targets);
+        let path = dijkstra_3d(
+            &graphs, &offsets, &via_edges, config, total, source, &targets,
+        );
         let path = match path {
             Some(p) => p,
             None => continue,
@@ -187,10 +191,7 @@ pub fn plan_multilayer(
             if pos_a != pos_b {
                 let cell_center = graphs[pos_a].node(node_a).center();
                 let _ = node_b;
-                let layer_pair = (
-                    layers[pos_a.min(pos_b)],
-                    layers[pos_a.max(pos_b)],
-                );
+                let layer_pair = (layers[pos_a.min(pos_b)], layers[pos_a.max(pos_b)]);
                 if !vias
                     .iter()
                     .any(|v| v.location.approx_eq(cell_center, 1e-9) && v.layers == layer_pair)
@@ -220,9 +221,7 @@ pub fn plan_multilayer(
         .copied()
         .filter(|l| {
             layer_terminals.contains_key(l)
-                || terminal_nodes
-                    .iter()
-                    .any(|&(pos, _)| layers[pos] == *l)
+                || terminal_nodes.iter().any(|&(pos, _)| layers[pos] == *l)
         })
         .collect();
     layers_used.dedup();
@@ -293,7 +292,10 @@ fn dijkstra_3d(
             if c < dist[next] {
                 dist[next] = c;
                 prev[next] = Some(node);
-                heap.push(HeapEntry { cost: c, node: next });
+                heap.push(HeapEntry {
+                    cost: c,
+                    node: next,
+                });
             }
         }
         // Via moves.
@@ -303,7 +305,10 @@ fn dijkstra_3d(
                 if c < dist[next] {
                     dist[next] = c;
                     prev[next] = Some(node);
-                    heap.push(HeapEntry { cost: c, node: next });
+                    heap.push(HeapEntry {
+                        cost: c,
+                        node: next,
+                    });
                 }
             }
         }
@@ -311,9 +316,102 @@ fn dijkstra_3d(
     None
 }
 
-/// Executes a multilayer plan: routes the net on every used layer, via
-/// landing points acting as extra sink terminals, and each layer's shape
-/// blocking nothing on other layers (layers are independent copper).
+/// Executes a multilayer plan and reports every layer's outcome — the
+/// supervisor-style counterpart of [`route_multilayer`]. The net is
+/// routed on every used layer, via landing points acting as extra sink
+/// terminals, and each layer's shape blocking nothing on other layers
+/// (layers are independent copper).
+///
+/// `budget_per_layer_mm2` applies to each layer that carries routing.
+///
+/// Each used layer becomes one [`RailReport`]: layers with fewer than
+/// two terminals (a via landing directly on the only terminal) come
+/// back [`RailOutcome::Skipped`]; a failing layer comes back
+/// [`RailOutcome::Failed`] with its typed error instead of collapsing
+/// the whole run into one `Degraded` chain. Under
+/// [`RecoveryPolicy::FailFast`] the first failure stops execution and
+/// the remaining layers report as skipped; the lenient policies route
+/// every layer regardless.
+///
+/// # Errors
+///
+/// Only planning errors ([`plan_multilayer`]); per-layer routing
+/// failures are in the report.
+///
+/// [`RecoveryPolicy::FailFast`]: crate::recovery::RecoveryPolicy::FailFast
+pub fn route_multilayer_report(
+    router: &Router<'_>,
+    board: &Board,
+    net: NetId,
+    layers: &[usize],
+    budget_per_layer_mm2: f64,
+    config: MultilayerConfig,
+) -> Result<(MultilayerPlan, JobReport), SproutError> {
+    use crate::recovery::RecoveryPolicy;
+
+    let start = Instant::now();
+    let plan = plan_multilayer(board, net, layers, config)?;
+    let fail_fast = router.config().recovery.policy == RecoveryPolicy::FailFast;
+    let mut report = JobReport {
+        waves: plan.layers_used.len(),
+        ..JobReport::default()
+    };
+    let mut stopped = false;
+    for (wave, &layer) in plan.layers_used.iter().enumerate() {
+        let rail = |attempts: usize, outcome: RailOutcome| RailReport {
+            net,
+            layer,
+            budget_mm2: budget_per_layer_mm2,
+            wave,
+            attempts,
+            outcome,
+        };
+        if stopped {
+            report.rails.push(rail(
+                0,
+                RailOutcome::Skipped {
+                    reason: "not attempted after a fail-fast stop".into(),
+                },
+            ));
+            continue;
+        }
+        let extra: Vec<(Point, ElementRole)> = plan
+            .layer_terminals
+            .get(&layer)
+            .map(|pts| pts.iter().map(|&p| (p, ElementRole::Sink)).collect())
+            .unwrap_or_default();
+        // A layer with fewer than two terminals total has nothing to
+        // route (e.g. a via lands directly on the only terminal).
+        let own_terminals = board.terminals(net, layer).len();
+        if own_terminals + extra.len() < 2 {
+            report.rails.push(rail(
+                0,
+                RailOutcome::Skipped {
+                    reason: "fewer than two terminals on this layer".into(),
+                },
+            ));
+            continue;
+        }
+        // Within a layer the terminals may sit in disjoint space regions
+        // (that is exactly why vias were needed); route each region.
+        match router.route_net_components(net, layer, budget_per_layer_mm2, &[], &extra) {
+            Ok(layer_results) => report
+                .rails
+                .push(rail(1, RailOutcome::Routed(layer_results))),
+            Err(e) => {
+                report.rails.push(rail(1, RailOutcome::Failed(e)));
+                if fail_fast {
+                    stopped = true;
+                }
+            }
+        }
+    }
+    report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok((plan, report))
+}
+
+/// Executes a multilayer plan with the classic result contract. Thin
+/// wrapper over [`route_multilayer_report`].
 ///
 /// `budget_per_layer_mm2` applies to each layer that carries routing.
 ///
@@ -337,36 +435,26 @@ pub fn route_multilayer(
 ) -> Result<(MultilayerPlan, Vec<RouteResult>), SproutError> {
     use crate::recovery::{Degradation, RecoveryPolicy, RouteDiagnostics};
 
-    let plan = plan_multilayer(board, net, layers, config)?;
+    let (plan, report) =
+        route_multilayer_report(router, board, net, layers, budget_per_layer_mm2, config)?;
+    let fail_fast = router.config().recovery.policy == RecoveryPolicy::FailFast;
     let mut results = Vec::new();
     let mut diagnostics = RouteDiagnostics::default();
     let mut first_err: Option<SproutError> = None;
-    for &layer in &plan.layers_used {
-        let extra: Vec<(Point, ElementRole)> = plan
-            .layer_terminals
-            .get(&layer)
-            .map(|pts| pts.iter().map(|&p| (p, ElementRole::Sink)).collect())
-            .unwrap_or_default();
-        // A layer with fewer than two terminals total has nothing to
-        // route (e.g. a via lands directly on the only terminal).
-        let own_terminals = board.terminals(net, layer).len();
-        if own_terminals + extra.len() < 2 {
-            continue;
-        }
-        // Within a layer the terminals may sit in disjoint space regions
-        // (that is exactly why vias were needed); route each region.
-        match router.route_net_components(net, layer, budget_per_layer_mm2, &[], &extra) {
-            Ok(layer_results) => results.extend(layer_results),
-            Err(e) => {
-                if router.config().recovery.policy == RecoveryPolicy::FailFast {
+    for rail in report.rails {
+        match rail.outcome {
+            RailOutcome::Routed(layer_results) => results.extend(layer_results),
+            RailOutcome::Failed(e) => {
+                if fail_fast {
                     return Err(e);
                 }
-                diagnostics.record(Degradation::LayerFailed { layer });
-                diagnostics.warn(format!("layer {layer} failed: {e}"));
+                diagnostics.record(Degradation::LayerFailed { layer: rail.layer });
+                diagnostics.warn(format!("layer {} failed: {e}", rail.layer));
                 if first_err.is_none() {
                     first_err = Some(e);
                 }
             }
+            RailOutcome::Restored(_) | RailOutcome::Skipped { .. } => {}
         }
     }
     if let Some(e) = first_err {
@@ -456,8 +544,7 @@ mod tests {
     #[test]
     fn planner_places_vias_around_the_wall() {
         let (board, vdd) = walled_board();
-        let plan =
-            plan_multilayer(&board, vdd, &[4, 6], MultilayerConfig::default()).unwrap();
+        let plan = plan_multilayer(&board, vdd, &[4, 6], MultilayerConfig::default()).unwrap();
         // The path must descend to layer 4 and come back: two vias.
         assert_eq!(plan.vias.len(), 2, "{:?}", plan.vias);
         for v in &plan.vias {
@@ -503,10 +590,93 @@ mod tests {
         for r in &results {
             assert!(r.shape.area_mm2() > 0.0);
             // Each region's terminals are connected in its subgraph.
-            let nodes: Vec<crate::graph::NodeId> =
-                r.terminals.iter().map(|t| t.node).collect();
+            let nodes: Vec<crate::graph::NodeId> = r.terminals.iter().map(|t| t.node).collect();
             assert!(r.subgraph.connects(&r.graph, &nodes));
         }
+    }
+
+    #[test]
+    fn report_surfaces_per_layer_outcomes() {
+        let (board, vdd) = walled_board();
+        let router = Router::new(
+            &board,
+            RouterConfig {
+                tile_pitch_mm: 0.5,
+                grow_iterations: 8,
+                refine_iterations: 2,
+                reheat: None,
+                ..RouterConfig::default()
+            },
+        );
+        let (plan, report) = route_multilayer_report(
+            &router,
+            &board,
+            vdd,
+            &[4, 6],
+            10.0,
+            MultilayerConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.rails.len(), plan.layers_used.len());
+        assert!(report.is_complete(), "{:?}", report.warnings);
+        assert_eq!(report.results().count(), 3);
+    }
+
+    #[test]
+    fn report_isolates_a_failing_layer_and_fail_fast_stops() {
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+
+        let (board, vdd) = walled_board();
+        let router = Router::new(
+            &board,
+            RouterConfig {
+                tile_pitch_mm: 0.5,
+                grow_iterations: 8,
+                refine_iterations: 2,
+                reheat: None,
+                recovery: RecoveryConfig {
+                    policy: RecoveryPolicy::FailFast,
+                    ..RecoveryConfig::default()
+                },
+                ..RouterConfig::default()
+            },
+        );
+        // A budget below any connected seed fails every attempted layer.
+        let (_, report) = route_multilayer_report(
+            &router,
+            &board,
+            vdd,
+            &[4, 6],
+            0.05,
+            MultilayerConfig::default(),
+        )
+        .unwrap();
+        assert!(!report.is_complete());
+        let first = &report.rails[0];
+        assert!(
+            matches!(
+                first.outcome,
+                RailOutcome::Failed(SproutError::AreaBudgetTooSmall { .. })
+            ),
+            "{:?}",
+            first.outcome
+        );
+        // Under fail-fast the remaining layers are skipped, not
+        // attempted.
+        assert!(report.rails[1..]
+            .iter()
+            .all(|r| matches!(r.outcome, RailOutcome::Skipped { .. })));
+        // The classic wrapper preserves its error contract.
+        let err = route_multilayer(
+            &router,
+            &board,
+            vdd,
+            &[4, 6],
+            0.05,
+            MultilayerConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SproutError::AreaBudgetTooSmall { .. }));
     }
 
     #[test]
@@ -544,8 +714,7 @@ mod tests {
                 ElementRole::Sink,
             ))
             .unwrap();
-        let plan =
-            plan_multilayer(&board, vdd, &[4, 6], MultilayerConfig::default()).unwrap();
+        let plan = plan_multilayer(&board, vdd, &[4, 6], MultilayerConfig::default()).unwrap();
         assert!(plan.vias.is_empty(), "{:?}", plan.vias);
     }
 
@@ -584,8 +753,7 @@ mod tests {
                 ElementRole::Sink,
             ))
             .unwrap();
-        let plan =
-            plan_multilayer(&board, vdd, &[4, 6], MultilayerConfig::default()).unwrap();
+        let plan = plan_multilayer(&board, vdd, &[4, 6], MultilayerConfig::default()).unwrap();
         assert_eq!(plan.vias.len(), 1, "{:?}", plan.vias);
         assert_eq!(plan.vias[0].layers, (4, 6));
         // Both layers participate.

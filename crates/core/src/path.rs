@@ -88,7 +88,10 @@ pub fn dijkstra_to_nearest(
             if c < dist[next.index()] {
                 dist[next.index()] = c;
                 prev[next.index()] = Some(node);
-                heap.push(HeapEntry { cost: c, node: next });
+                heap.push(HeapEntry {
+                    cost: c,
+                    node: next,
+                });
             }
         }
     }
@@ -279,7 +282,11 @@ mod tests {
         let t = g.node_near(sprout_geom::Point::new(15.0, 8.0), 3).unwrap();
         let p = dijkstra_to_nearest(&g, s, &[t]).unwrap();
         let straight = g.node(s).center().distance(g.node(t).center());
-        assert!(p.cost > straight * 1.15, "path must detour, cost {}", p.cost);
+        assert!(
+            p.cost > straight * 1.15,
+            "path must detour, cost {}",
+            p.cost
+        );
         for &n in &p.nodes {
             let c = g.node(n).center();
             let inside_blockage = c.x > 9.5 && c.x < 13.0 && c.y > 6.0 && c.y < 10.0;

@@ -20,11 +20,17 @@
 //!   a connected, DRC-clean shape (or a typed error) under every
 //!   injected fault. Faults cost one thread-local read per query when
 //!   disabled.
+//! * [`CancelToken`] / [`CancelScope`] — cooperative cancellation,
+//!   polled by the router between pipeline stages and by the
+//!   [`Supervisor`](crate::supervisor::Supervisor) between rails and
+//!   waves.
 
 use sprout_linalg::fallback::Rung;
 use sprout_rng::{hash3, u64_to_f64};
 use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A pipeline stage, as named in degradations and fault plans.
@@ -264,6 +270,68 @@ impl StageGuard {
     }
 }
 
+/// Cooperative cancellation handle shared between a
+/// [`Supervisor`](crate::supervisor::Supervisor) job and its caller.
+///
+/// Cloning is cheap (an `Arc` bump); every clone observes the same
+/// flag. The router checks the innermost installed token between
+/// pipeline stages and aborts the rail with
+/// [`SproutError::Cancelled`](crate::SproutError::Cancelled) once it is
+/// set — cancellation is cooperative, so a stage in flight finishes its
+/// current step first.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; observed by every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Installs a [`CancelToken`] on the current thread for the guard's
+/// lifetime; the router polls it between pipeline stages. Scopes nest;
+/// the innermost token wins. The supervisor installs one per worker —
+/// direct use is only needed when driving pipeline stages by hand.
+pub struct CancelScope(());
+
+impl CancelScope {
+    /// Installs `token`; checks deactivate when the guard drops.
+    pub fn install(token: CancelToken) -> CancelScope {
+        CANCEL.with(|s| s.borrow_mut().push(token));
+        CancelScope(())
+    }
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        CANCEL.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// `true` when the innermost installed [`CancelToken`] (if any) has
+/// been cancelled. Without a scope this is a single thread-local read.
+pub(crate) fn cancel_requested() -> bool {
+    CANCEL.with(|s| {
+        s.borrow()
+            .last()
+            .map(CancelToken::is_cancelled)
+            .unwrap_or(false)
+    })
+}
+
 /// A deterministic, seed-driven fault-injection plan.
 ///
 /// Every decision is a pure function of `(seed, site, counter)` through
@@ -281,6 +349,10 @@ pub struct FaultPlan {
     pub degenerate_polygon: bool,
     /// Force this stage's budget guard to fire immediately.
     pub timeout_stage: Option<Stage>,
+    /// Per-rail probability that a supervisor worker panics outright
+    /// before routing (exercises the `catch_unwind` isolation boundary;
+    /// ignored by `route_net`, which runs no worker).
+    pub worker_panic_rate: f64,
 }
 
 impl FaultPlan {
@@ -292,6 +364,7 @@ impl FaultPlan {
             nan_conductance_rate: 0.0,
             degenerate_polygon: false,
             timeout_stage: None,
+            worker_panic_rate: 0.0,
         }
     }
 
@@ -312,9 +385,19 @@ impl FaultPlan {
                 2 => Some(Stage::Reheat),
                 _ => None,
             },
+            // One scenario in four panics a subset of worker rails.
+            worker_panic_rate: if (h >> 19) & 0b11 == 0 { 0.5 } else { 0.0 },
         }
     }
 
+    /// Deterministic per-rail draw of the "this worker panics" decision.
+    /// A pure function of `(seed, rail_index)` — independent of thread
+    /// count, retry attempt, and routing progress, so an injected panic
+    /// replays identically on resume.
+    pub fn worker_panics(&self, rail_index: usize) -> bool {
+        self.worker_panic_rate > 0.0
+            && u64_to_f64(hash3(self.seed, SITE_PANIC, rail_index as u64)) < self.worker_panic_rate
+    }
 }
 
 struct FaultFrame {
@@ -325,6 +408,7 @@ struct FaultFrame {
 thread_local! {
     static FAULTS: RefCell<Vec<FaultFrame>> = const { RefCell::new(Vec::new()) };
     static EVENTS: RefCell<Vec<Vec<SolverEvent>>> = const { RefCell::new(Vec::new()) };
+    static CANCEL: RefCell<Vec<CancelToken>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Activates a [`FaultPlan`] on the current thread for the guard's
@@ -356,6 +440,7 @@ fn with_fault<T>(f: impl FnOnce(&mut FaultFrame) -> T) -> Option<T> {
 
 const SITE_SOLVER: u64 = 1;
 const SITE_NAN: u64 = 2;
+const SITE_PANIC: u64 = 3;
 
 /// Draws the "force this solve to fail" decision. One draw per metric
 /// evaluation.
@@ -467,7 +552,9 @@ mod tests {
             stage: Stage::Refine,
             count: 3,
         });
-        d.record(Degradation::StageSkipped { stage: Stage::Reheat });
+        d.record(Degradation::StageSkipped {
+            stage: Stage::Reheat,
+        });
         d.record(Degradation::BudgetOverrun {
             stage: Stage::Grow,
             elapsed_ms: 12.0,
@@ -533,8 +620,7 @@ mod tests {
         };
         let run = || {
             let _scope = FaultScope::install(plan);
-            let mut edges: Vec<(usize, usize, f64)> =
-                (0..50).map(|i| (i, i + 1, 1.0)).collect();
+            let mut edges: Vec<(usize, usize, f64)> = (0..50).map(|i| (i, i + 1, 1.0)).collect();
             let hit = fault_corrupt_conductances(&mut edges);
             (hit, edges.iter().map(|e| e.2.is_nan()).collect::<Vec<_>>())
         };
@@ -574,6 +660,43 @@ mod tests {
         assert!(guard.over_budget(0).is_some());
         let other = StageGuard::begin(Stage::Grow, StageBudget::default(), 0);
         assert!(other.over_budget(0).is_none(), "only the named stage");
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_scoped() {
+        assert!(!cancel_requested(), "no scope: never cancelled");
+        let token = CancelToken::new();
+        let clone = token.clone();
+        {
+            let _scope = CancelScope::install(token.clone());
+            assert!(!cancel_requested());
+            clone.cancel();
+            assert!(token.is_cancelled(), "clones share the flag");
+            assert!(cancel_requested());
+        }
+        assert!(!cancel_requested(), "scope dropped");
+    }
+
+    #[test]
+    fn worker_panic_draw_is_deterministic_per_rail() {
+        let plan = FaultPlan {
+            worker_panic_rate: 0.5,
+            ..FaultPlan::quiet(21)
+        };
+        let a: Vec<bool> = (0..32).map(|i| plan.worker_panics(i)).collect();
+        let b: Vec<bool> = (0..32).map(|i| plan.worker_panics(i)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "rate 0.5 hits some rails");
+        assert!(a.iter().any(|&x| !x), "rate 0.5 spares some rails");
+        assert!(
+            !FaultPlan::quiet(21).worker_panics(0),
+            "quiet plans never panic"
+        );
+        // The sweep generator must produce both panicking and quiet
+        // scenarios.
+        let plans: Vec<FaultPlan> = (0..64).map(FaultPlan::for_scenario).collect();
+        assert!(plans.iter().any(|p| p.worker_panic_rate > 0.0));
+        assert!(plans.iter().any(|p| p.worker_panic_rate == 0.0));
     }
 
     #[test]

@@ -102,22 +102,16 @@ mod tests {
     use crate::grow::grow_to_area;
     use crate::seed::{seed_subgraph, SeedOptions};
     use crate::space::SpaceSpec;
-    use crate::tile::{identify_terminals, space_to_graph, TileOptions, Terminal};
+    use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
     use sprout_board::presets;
 
-    fn setup() -> (
-        RoutingGraph,
-        Subgraph,
-        Vec<InjectionPair>,
-        Vec<Terminal>,
-    ) {
+    fn setup() -> (RoutingGraph, Subgraph, Vec<InjectionPair>, Vec<Terminal>) {
         let board = presets::two_rail();
         let (vdd1, _) = board.power_nets().next().unwrap();
         let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
         let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
         let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
-        let mut sub =
-            seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        let mut sub = seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
         let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
         // Grow to a workable size first.
         let budget = sub.area_mm2() * 2.5;

@@ -97,9 +97,7 @@ pub fn reheat(
         });
         let mut removed_this_round = 0usize;
         for id in candidates {
-            if removed_this_round >= config.erode_step
-                || sub.area_mm2() <= area_budget_mm2
-            {
+            if removed_this_round >= config.erode_step || sub.area_mm2() <= area_budget_mm2 {
                 break;
             }
             if protected_mask[id.index()] {
@@ -132,7 +130,7 @@ mod tests {
     use crate::grow::grow_to_area;
     use crate::seed::{seed_subgraph, SeedOptions};
     use crate::space::SpaceSpec;
-    use crate::tile::{identify_terminals, space_to_graph, TileOptions, Terminal};
+    use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
     use sprout_board::presets;
 
     fn setup() -> (
@@ -147,8 +145,7 @@ mod tests {
         let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
         let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
         let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
-        let mut sub =
-            seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        let mut sub = seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
         let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
         let budget = sub.area_mm2() * 2.5;
         grow_to_area(&graph, &mut sub, &pairs, 24, budget).unwrap();
@@ -159,8 +156,7 @@ mod tests {
     #[test]
     fn reheat_restores_area_budget() {
         let (graph, mut sub, pairs, terminals, budget) = setup();
-        let protected: Vec<NodeId> =
-            terminals.iter().flat_map(|t| t.covered.clone()).collect();
+        let protected: Vec<NodeId> = terminals.iter().flat_map(|t| t.covered.clone()).collect();
         let tn: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
         let out = reheat(
             &graph,
@@ -185,8 +181,7 @@ mod tests {
     #[test]
     fn reheat_keeps_terminals_and_connectivity() {
         let (graph, mut sub, pairs, terminals, budget) = setup();
-        let protected: Vec<NodeId> =
-            terminals.iter().flat_map(|t| t.covered.clone()).collect();
+        let protected: Vec<NodeId> = terminals.iter().flat_map(|t| t.covered.clone()).collect();
         let tn: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
         reheat(
             &graph,
@@ -210,8 +205,7 @@ mod tests {
     #[test]
     fn reheat_does_not_blow_up_objective() {
         let (graph, mut sub, pairs, terminals, budget) = setup();
-        let protected: Vec<NodeId> =
-            terminals.iter().flat_map(|t| t.covered.clone()).collect();
+        let protected: Vec<NodeId> = terminals.iter().flat_map(|t| t.covered.clone()).collect();
         let tn: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
         let before = crate::current::node_current(&graph, &sub, &pairs)
             .unwrap()
@@ -239,8 +233,7 @@ mod tests {
     #[test]
     fn zero_dilation_erodes_nothing_when_within_budget() {
         let (graph, mut sub, pairs, terminals, budget) = setup();
-        let protected: Vec<NodeId> =
-            terminals.iter().flat_map(|t| t.covered.clone()).collect();
+        let protected: Vec<NodeId> = terminals.iter().flat_map(|t| t.covered.clone()).collect();
         let tn: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
         let order = sub.order();
         let out = reheat(

@@ -168,6 +168,11 @@ impl<'b> Router<'b> {
         &self.config
     }
 
+    /// The board this router is bound to.
+    pub fn board(&self) -> &'b Board {
+        self.board
+    }
+
     /// Routes one net on one layer under an area budget (mm²).
     ///
     /// # Errors
@@ -209,6 +214,9 @@ impl<'b> Router<'b> {
         }
         if area_budget_mm2 <= 0.0 {
             return Err(SproutError::InvalidConfig("area budget must be positive"));
+        }
+        if recovery::cancel_requested() {
+            return Err(SproutError::Cancelled);
         }
         let mut timings = StageTimings::default();
 
@@ -319,10 +327,7 @@ impl<'b> Router<'b> {
         let mut groups: std::collections::HashMap<u32, Vec<Terminal>> =
             std::collections::HashMap::new();
         for t in terminals {
-            groups
-                .entry(component[t.node.index()])
-                .or_default()
-                .push(t);
+            groups.entry(component[t.node.index()]).or_default().push(t);
         }
         let total_terms: usize = groups.values().map(|g| g.len()).sum();
         let mut group_list: Vec<Vec<Terminal>> =
@@ -426,6 +431,12 @@ impl<'b> Router<'b> {
         let mut best_sub = sub.clone();
         let mut history: Vec<f64> = Vec::new();
 
+        // Cooperative cancellation (supervisor jobs): checked between
+        // pipeline stages so a cancelled rail stops within one stage.
+        if recovery::cancel_requested() {
+            return Err(SproutError::Cancelled);
+        }
+
         // Stage 4: SmartGrow to the area budget (Algorithm 4), stepwise
         // so the guard can truncate between steps.
         let t = Instant::now();
@@ -441,8 +452,7 @@ impl<'b> Router<'b> {
                 break;
             }
             // Don't overshoot by more than one step: shrink the last batch.
-            let remaining =
-                ((area_budget_mm2 - sub.area_mm2()) / frame_cell_area).ceil() as usize;
+            let remaining = ((area_budget_mm2 - sub.area_mm2()) / frame_cell_area).ceil() as usize;
             let step = grow_step.min(remaining.max(1));
             match smart_grow(&graph, &mut sub, &pairs, step) {
                 Ok(out) => {
@@ -460,7 +470,14 @@ impl<'b> Router<'b> {
         }
         timings.grow_ms = t.elapsed().as_secs_f64() * 1e3;
         if let Some(e) = stage_err {
-            apply_policy(rec.policy, Stage::Grow, e, &mut sub, &best_sub, &mut diagnostics)?;
+            apply_policy(
+                rec.policy,
+                Stage::Grow,
+                e,
+                &mut sub,
+                &best_sub,
+                &mut diagnostics,
+            )?;
         }
 
         // Objective after growth; feeds best-seen tracking.
@@ -480,6 +497,10 @@ impl<'b> Router<'b> {
             },
         }
         diagnostics.absorb_events(Stage::Grow);
+
+        if recovery::cancel_requested() {
+            return Err(SproutError::Cancelled);
+        }
 
         // Stage 5: SmartRefine (Algorithm 5) with a decreasing move
         // count (§II-E: fewer moves later yield lower impedance).
@@ -521,6 +542,10 @@ impl<'b> Router<'b> {
         }
         diagnostics.absorb_events(Stage::Refine);
         timings.refine_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        if recovery::cancel_requested() {
+            return Err(SproutError::Cancelled);
+        }
 
         // Stage 6: reheating (§II-F), then a short post-refine.
         if let Some(rh) = self.config.reheat {
@@ -572,8 +597,7 @@ impl<'b> Router<'b> {
                         diagnostics.record(d);
                         break;
                     }
-                    match smart_refine(&graph, &mut sub, &pairs, &protected, &terminal_nodes, 4)
-                    {
+                    match smart_refine(&graph, &mut sub, &pairs, &protected, &terminal_nodes, 4) {
                         Ok(out) => {
                             timings.solves += out.solves;
                             history.push(out.resistance_after_sq);
@@ -638,24 +662,25 @@ impl<'b> Router<'b> {
         })
     }
 
-    /// Routes several nets sequentially on one layer; each routed shape
-    /// is removed from the available space of the nets after it (§II-G).
+    /// Routes several nets on the calling thread with sequential
+    /// semantics; each routed shape is removed from the available space
+    /// of the *same-layer* nets after it, in request order (§II-G).
+    /// Nets on different layers never block each other — layers are
+    /// independent copper (see [`crate::supervisor`] for the ordering
+    /// guarantee and for concurrent, deadline-bounded, checkpointed
+    /// jobs).
     ///
-    /// # Errors
-    ///
-    /// Fails on the first net that cannot be routed.
-    pub fn route_all(
-        &self,
-        requests: &[(NetId, usize, f64)],
-    ) -> Result<Vec<RouteResult>, SproutError> {
-        let mut results: Vec<RouteResult> = Vec::with_capacity(requests.len());
-        let mut claimed: Vec<Polygon> = Vec::new();
-        for &(net, layer, budget) in requests {
-            let result = self.route_net_with(net, layer, budget, &claimed, &[])?;
-            claimed.extend(result.shape.blocker_polygons());
-            results.push(result);
-        }
-        Ok(results)
+    /// Unlike the pre-supervisor `route_all`, a rail failure no longer
+    /// discards the whole job: every rail's outcome — including typed
+    /// panic containment — is reported. Use
+    /// [`JobReport::into_results`] for the old all-or-first-error shape.
+    pub fn route_all(&self, requests: &[(NetId, usize, f64)]) -> crate::supervisor::JobReport {
+        crate::supervisor::Supervisor::new(
+            self.board,
+            self.config,
+            crate::supervisor::SupervisorConfig::sequential(),
+        )
+        .run(requests)
     }
 
     /// Builds injection pairs; when a terminal set has no source (a
@@ -685,7 +710,6 @@ impl<'b> Router<'b> {
     }
 }
 
-
 /// Fragments below this area are numerical noise, never routable copper
 /// (the smallest legitimate irregular cell is `min_cell_fraction` of a
 /// tile — ~1e-2 mm² at the default configuration, two orders of
@@ -714,7 +738,9 @@ fn apply_policy(
         RecoveryPolicy::BestSoFar => {
             *sub = best_sub.clone();
             diagnostics.record(Degradation::RevertedToBest { stage });
-            diagnostics.warn(format!("{stage} stage failed, reverted to best subgraph: {err}"));
+            diagnostics.warn(format!(
+                "{stage} stage failed, reverted to best subgraph: {err}"
+            ));
             Ok(())
         }
     }
@@ -801,6 +827,7 @@ mod tests {
         let layer = presets::TWO_RAIL_ROUTE_LAYER;
         let results = router
             .route_all(&[(nets[0], layer, 22.0), (nets[1], layer, 22.0)])
+            .into_results()
             .unwrap();
         assert_eq!(results.len(), 2);
         // The second net must be DRC-clean against the first's shape.
@@ -900,12 +927,20 @@ mod component_tests {
         );
         let vdd = board.add_net(Net::power("VDD", 2.0, 1e7, 1.0).unwrap());
         let pad = |x: f64, y: f64| {
-            Polygon::rectangle(Point::new(x - 0.25, y - 0.25), Point::new(x + 0.25, y + 0.25))
-                .unwrap()
+            Polygon::rectangle(
+                Point::new(x - 0.25, y - 0.25),
+                Point::new(x + 0.25, y + 0.25),
+            )
+            .unwrap()
         };
         // Left island: source + sink.
         board
-            .add_element(Element::terminal(vdd, 6, pad(1.5, 4.0), ElementRole::Source))
+            .add_element(Element::terminal(
+                vdd,
+                6,
+                pad(1.5, 4.0),
+                ElementRole::Source,
+            ))
             .unwrap();
         board
             .add_element(Element::terminal(vdd, 6, pad(5.0, 4.0), ElementRole::Sink))
@@ -947,9 +982,7 @@ mod component_tests {
             Err(SproutError::DisjointSpace { .. })
         ));
         // …while the component-aware one routes both islands.
-        let results = router
-            .route_net_components(vdd, 6, 16.0, &[], &[])
-            .unwrap();
+        let results = router.route_net_components(vdd, 6, 16.0, &[], &[]).unwrap();
         assert_eq!(results.len(), 2);
         // Budget split 2:2 across the four terminals.
         for r in &results {

@@ -79,11 +79,7 @@ pub fn seed_subgraph(
 
 /// Removes subgraph members not connected (within the subgraph) to the
 /// terminal representatives.
-fn retain_terminal_component(
-    graph: &RoutingGraph,
-    sub: &mut Subgraph,
-    terminals: &[Terminal],
-) {
+fn retain_terminal_component(graph: &RoutingGraph, sub: &mut Subgraph, terminals: &[Terminal]) {
     let mut reached = vec![false; graph.node_count()];
     let mut queue: VecDeque<NodeId> = VecDeque::new();
     for t in terminals {
@@ -118,11 +114,7 @@ pub fn fill_voids(graph: &RoutingGraph, sub: &mut Subgraph) {
     if sub.order() == 0 {
         return;
     }
-    let cells: HashSet<(i64, i64)> = sub
-        .members()
-        .iter()
-        .map(|&m| graph.node(m).cell)
-        .collect();
+    let cells: HashSet<(i64, i64)> = sub.members().iter().map(|&m| graph.node(m).cell).collect();
     let (mut min_i, mut max_i, mut min_j, mut max_j) = (i64::MAX, i64::MIN, i64::MAX, i64::MIN);
     for &(i, j) in &cells {
         min_i = min_i.min(i);

@@ -262,10 +262,8 @@ mod tests {
     fn extra_blockers_shrink_space() {
         let board = presets::two_rail();
         let (vdd1, _) = board.power_nets().next().unwrap();
-        let claim =
-            Polygon::rectangle(Point::new(5.0, 4.0), Point::new(7.0, 6.0)).unwrap();
-        let spec =
-            SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[claim]).unwrap();
+        let claim = Polygon::rectangle(Point::new(5.0, 4.0), Point::new(7.0, 6.0)).unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[claim]).unwrap();
         assert!(!spec.contains_point(Point::new(6.0, 5.0)));
     }
 

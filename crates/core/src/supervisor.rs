@@ -1,0 +1,930 @@
+//! Routing job supervisor: panic-isolated concurrent multi-net routing
+//! with deadlines, retries, and checkpoint/resume.
+//!
+//! A real board run is many rails × many layers (§II-G back-conversion
+//! ordering, §III multilayer experiments). [`Router::route_all`] gives
+//! the sequential semantics — each net's claimed copper removed from the
+//! available space of the nets after it — but a production run needs
+//! more than a `for` loop:
+//!
+//! * **Panic isolation** — every rail routes behind a `catch_unwind`
+//!   boundary on a worker thread. A panic in one rail becomes a typed
+//!   [`SproutError::WorkerPanicked`] outcome in the [`JobReport`]
+//!   instead of poisoning the whole board run.
+//! * **Wave scheduling** — nets on the *same layer* contend for copper,
+//!   so same-layer requests are strictly ordered (request order), while
+//!   requests on *different layers* are independent (layers are
+//!   independent copper — see [`crate::multilayer`]) and route
+//!   concurrently. Wave `k` holds the `k`-th request of every layer;
+//!   claimed geometry is merged between waves in request order, so a
+//!   concurrent run reproduces the sequential result bit for bit.
+//! * **Deadlines, cancellation, retry** — a job-level wall-clock
+//!   deadline is folded into the per-stage [`StageBudget`]s of every
+//!   worker; a cooperative [`CancelToken`] is polled between pipeline
+//!   stages and between rails; transient failures are retried with
+//!   policy escalation (`FailFast` → `BestSoFar`) and relaxed budgets.
+//! * **Checkpoint/resume** — after each wave the completed shapes are
+//!   serialized to a versioned text checkpoint (same line-oriented
+//!   discipline as [`sprout_board::io`], fingerprint-guarded). A
+//!   restarted run over the same board and request list restores the
+//!   completed rails bit-identically and resumes mid-board.
+//!
+//! # Claimed-geometry ordering guarantee
+//!
+//! For requests `i < j` on the same layer, request `j` always routes
+//! with request `i`'s shape (if `i` completed) among its blockers, and
+//! blockers accumulate in request order. Requests on different layers
+//! never block each other. Failed rails claim nothing. This holds for
+//! every thread count, for retried rails, and across checkpoint/resume
+//! — which is why shapes are reproducible run to run.
+
+use crate::backconv::RoutedShape;
+use crate::recovery::{CancelScope, CancelToken, RecoveryPolicy};
+use crate::router::{RouteResult, Router, RouterConfig};
+use crate::SproutError;
+use sprout_board::io::{board_fingerprint, fnv1a64};
+use sprout_board::{Board, NetId};
+use sprout_geom::stitch::Contour;
+use sprout_geom::{Point, Polygon};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// One rail request: `(net, layer, area budget mm²)` — the same triple
+/// [`Router::route_all`] takes.
+pub type RailRequest = (NetId, usize, f64);
+
+/// Checkpoint format version written and accepted by this build.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Worker threads per wave. `0` and `1` both mean "run rails on the
+    /// calling thread" (still panic-isolated); higher values route
+    /// independent rails of a wave concurrently.
+    pub threads: usize,
+    /// Job-level wall-clock deadline (ms). Folded into each worker's
+    /// per-stage wall-clock budget; rails considered after expiry fail
+    /// with [`SproutError::DeadlineExpired`] without routing.
+    pub deadline_ms: Option<f64>,
+    /// Retries per rail after a retryable failure (0 = single attempt).
+    pub max_retries: usize,
+    /// Stage-budget relaxation factor per retry (wall-clock multiplied,
+    /// solve cap doubled per attempt). Values below 1 are treated as 1.
+    pub retry_budget_relax: f64,
+    /// Checkpoint file. `Some` enables write-after-every-wave and
+    /// resume-on-start; `None` disables checkpointing entirely.
+    pub checkpoint: Option<PathBuf>,
+    /// Cooperative cancellation handle. Clone it, hand the clone to the
+    /// controlling thread, and call [`CancelToken::cancel`].
+    pub cancel: CancelToken,
+    /// Test-only mid-run kill: stop the job right after the checkpoint
+    /// of this wave is written, leaving later rails unrouted — the
+    /// deterministic stand-in for `kill -9` in resume tests.
+    pub kill_after_wave: Option<usize>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            deadline_ms: None,
+            max_retries: 0,
+            retry_budget_relax: 2.0,
+            checkpoint: None,
+            cancel: CancelToken::new(),
+            kill_after_wave: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The configuration [`Router::route_all`] uses: calling-thread
+    /// execution, no deadline, no retries, no checkpoint — sequential
+    /// semantics, per-rail outcomes.
+    pub fn sequential() -> Self {
+        SupervisorConfig {
+            threads: 1,
+            ..SupervisorConfig::default()
+        }
+    }
+}
+
+/// A restored (checkpoint-loaded) rail: the shape and objective survive;
+/// the in-memory graph/subgraph do not.
+#[derive(Debug, Clone)]
+pub struct RestoredRail {
+    /// The checkpointed shape, bit-identical to the original run's.
+    pub shape: RoutedShape,
+    /// Final objective in squares (may be infinite — see
+    /// [`RouteResult::final_resistance_sq`]).
+    pub final_resistance_sq: f64,
+    /// Whether the original run's diagnostics were clean.
+    pub was_clean: bool,
+}
+
+/// The outcome of one rail of a job.
+#[derive(Debug)]
+pub enum RailOutcome {
+    /// Routed in this run. The supervisor produces exactly one result
+    /// per rail; the multilayer executor produces one per connected
+    /// region of the layer.
+    Routed(Vec<RouteResult>),
+    /// Restored from a checkpoint; not re-routed.
+    Restored(RestoredRail),
+    /// Failed with a typed error (after any retries). Worker panics
+    /// surface here as [`SproutError::WorkerPanicked`], cancellation as
+    /// [`SproutError::Cancelled`], deadline expiry as
+    /// [`SproutError::DeadlineExpired`].
+    Failed(SproutError),
+    /// Nothing to route (multilayer: a layer whose only terminal is a
+    /// via landing, or layers behind a fail-fast stop).
+    Skipped {
+        /// Why the rail was not attempted.
+        reason: String,
+    },
+}
+
+impl RailOutcome {
+    /// `true` for [`RailOutcome::Routed`] and [`RailOutcome::Restored`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, RailOutcome::Routed(_) | RailOutcome::Restored(_))
+    }
+
+    /// The error, if the rail failed.
+    pub fn error(&self) -> Option<&SproutError> {
+        match self {
+            RailOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Report for one rail of a job.
+#[derive(Debug)]
+pub struct RailReport {
+    /// The routed net.
+    pub net: NetId,
+    /// The routing layer.
+    pub layer: usize,
+    /// Requested area budget (mm²).
+    pub budget_mm2: f64,
+    /// Wave the rail was scheduled in.
+    pub wave: usize,
+    /// Routing attempts made this run (0 for restored/skipped rails).
+    pub attempts: usize,
+    /// What happened.
+    pub outcome: RailOutcome,
+}
+
+/// The full report of a supervised routing job: one entry per request,
+/// in request order, plus job-level telemetry. Unlike the pre-supervisor
+/// `route_all`, a failing rail never discards the rails that completed —
+/// every outcome is reported.
+#[derive(Debug, Default)]
+pub struct JobReport {
+    /// Per-rail outcomes, in request order.
+    pub rails: Vec<RailReport>,
+    /// Number of scheduling waves the job spanned.
+    pub waves: usize,
+    /// Wall-clock for the whole job (ms).
+    pub elapsed_ms: f64,
+    /// Rails restored from a checkpoint instead of routed.
+    pub resumed: usize,
+    /// Job-level warnings (stale/corrupt checkpoint ignored, injected
+    /// kill, …) — rail-level trouble lives in each rail's outcome.
+    pub warnings: Vec<String>,
+}
+
+impl JobReport {
+    /// `true` when every rail completed (routed or restored).
+    pub fn is_complete(&self) -> bool {
+        self.rails.iter().all(|r| r.outcome.is_complete())
+    }
+
+    /// Rails that failed, with their errors.
+    pub fn failures(&self) -> impl Iterator<Item = (&RailReport, &SproutError)> {
+        self.rails
+            .iter()
+            .filter_map(|r| r.outcome.error().map(|e| (r, e)))
+    }
+
+    /// All in-memory route results, in request order (restored rails
+    /// contribute nothing here — see [`JobReport::shapes`]).
+    pub fn results(&self) -> impl Iterator<Item = &RouteResult> {
+        self.rails.iter().flat_map(|r| match &r.outcome {
+            RailOutcome::Routed(v) => v.as_slice(),
+            _ => &[],
+        })
+    }
+
+    /// Every completed shape — routed or restored — as
+    /// `(net, layer, shape)`, in request order.
+    pub fn shapes(&self) -> Vec<(NetId, usize, &RoutedShape)> {
+        let mut out = Vec::new();
+        for r in &self.rails {
+            match &r.outcome {
+                RailOutcome::Routed(v) => {
+                    out.extend(v.iter().map(|res| (r.net, r.layer, &res.shape)))
+                }
+                RailOutcome::Restored(rr) => out.push((r.net, r.layer, &rr.shape)),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The outcome of the first request matching `(net, layer)`.
+    pub fn outcome(&self, net: NetId, layer: usize) -> Option<&RailOutcome> {
+        self.rails
+            .iter()
+            .find(|r| r.net == net && r.layer == layer)
+            .map(|r| &r.outcome)
+    }
+
+    /// Collapses the report into the pre-supervisor `route_all` shape:
+    /// all results on success, the first rail error otherwise. Skipped
+    /// rails contribute nothing.
+    ///
+    /// # Errors
+    ///
+    /// The first failed rail's error; or
+    /// [`SproutError::InvalidConfig`] if the report contains restored
+    /// rails (their graphs no longer exist — read
+    /// [`JobReport::shapes`] instead).
+    pub fn into_results(self) -> Result<Vec<RouteResult>, SproutError> {
+        let mut out = Vec::new();
+        for rail in self.rails {
+            match rail.outcome {
+                RailOutcome::Routed(v) => out.extend(v),
+                RailOutcome::Failed(e) => return Err(e),
+                RailOutcome::Restored(_) => {
+                    return Err(SproutError::InvalidConfig(
+                        "restored rails carry no in-memory RouteResult; read JobReport::shapes",
+                    ))
+                }
+                RailOutcome::Skipped { .. } => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The routing job supervisor. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct Supervisor<'b> {
+    board: &'b Board,
+    router_config: RouterConfig,
+    config: SupervisorConfig,
+}
+
+impl<'b> Supervisor<'b> {
+    /// Creates a supervisor over `board`, routing every rail with
+    /// `router_config` (possibly escalated on retries) under the job
+    /// policy in `config`.
+    pub fn new(board: &'b Board, router_config: RouterConfig, config: SupervisorConfig) -> Self {
+        Supervisor {
+            board,
+            router_config,
+            config,
+        }
+    }
+
+    /// The active supervisor configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// Runs the job: partitions `requests` into waves, routes each wave
+    /// (concurrently when [`SupervisorConfig::threads`] allows), merges
+    /// claimed geometry between waves, checkpoints, and reports every
+    /// outcome. Never panics and never aborts the process: worker
+    /// panics, deadline expiry, and cancellation all come back as typed
+    /// rail outcomes.
+    pub fn run(&self, requests: &[RailRequest]) -> JobReport {
+        let start = Instant::now();
+        let mut report = JobReport::default();
+        let waves = partition_waves(requests);
+        report.waves = waves.len();
+
+        let mut slots: Vec<Option<RailReport>> = (0..requests.len()).map(|_| None).collect();
+
+        // Resume: restore completed rails from a fingerprint-matched
+        // checkpoint; a stale or corrupt file is ignored with a warning.
+        let board_fp = board_fingerprint(self.board);
+        let job_fp = job_fingerprint(requests);
+        if let Some(path) = &self.config.checkpoint {
+            match checkpoint::load(path, board_fp, job_fp, requests) {
+                Ok(restored) => {
+                    for r in restored {
+                        report.resumed += 1;
+                        slots[r.index] = Some(RailReport {
+                            net: requests[r.index].0,
+                            layer: requests[r.index].1,
+                            budget_mm2: requests[r.index].2,
+                            wave: wave_of(&waves, r.index),
+                            attempts: 0,
+                            outcome: RailOutcome::Restored(r.rail),
+                        });
+                    }
+                }
+                Err(checkpoint::LoadError::Absent) => {}
+                Err(checkpoint::LoadError::Rejected(why)) => {
+                    report
+                        .warnings
+                        .push(format!("checkpoint ignored ({why}); starting fresh"));
+                }
+            }
+        }
+
+        // Claimed geometry, per layer, merged between waves in request
+        // order (the ordering guarantee in the module docs).
+        let mut claimed: HashMap<usize, Vec<Polygon>> = HashMap::new();
+        let mut killed = false;
+
+        for (wave_no, wave) in waves.iter().enumerate() {
+            let pending: Vec<usize> = wave
+                .iter()
+                .copied()
+                .filter(|&i| slots[i].is_none())
+                .collect();
+
+            if !pending.is_empty() && !killed {
+                let outcomes = self.run_wave(wave_no, &pending, requests, &claimed, start);
+                for (i, rail_report) in outcomes {
+                    slots[i] = Some(rail_report);
+                }
+            } else if killed {
+                for &i in &pending {
+                    slots[i] = Some(self.unrun_rail(requests[i], wave_no, SproutError::Cancelled));
+                }
+            }
+
+            // Merge claims in request order (wave lists are ascending).
+            for &i in wave {
+                let layer = requests[i].1;
+                if let Some(slot) = &slots[i] {
+                    let claims = claimed.entry(layer).or_default();
+                    match &slot.outcome {
+                        RailOutcome::Routed(v) => {
+                            for res in v {
+                                claims.extend(res.shape.blocker_polygons());
+                            }
+                        }
+                        RailOutcome::Restored(rr) => {
+                            claims.extend(rr.shape.blocker_polygons());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+
+            // Checkpoint the completed prefix of the job.
+            if let Some(path) = &self.config.checkpoint {
+                if let Err(e) = checkpoint::save(path, board_fp, job_fp, requests, &slots) {
+                    report
+                        .warnings
+                        .push(format!("checkpoint write failed after wave {wave_no}: {e}"));
+                }
+            }
+
+            if self.config.kill_after_wave == Some(wave_no) && !killed {
+                killed = true;
+                report.warnings.push(format!(
+                    "job killed after wave {wave_no} (injected mid-run kill)"
+                ));
+            }
+        }
+
+        report.rails = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    self.unrun_rail(requests[i], wave_of(&waves, i), SproutError::Cancelled)
+                })
+            })
+            .collect();
+        report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        report
+    }
+
+    /// Routes one wave's pending rails, on the calling thread or across
+    /// a worker pool, and returns `(request index, report)` pairs.
+    fn run_wave(
+        &self,
+        wave_no: usize,
+        pending: &[usize],
+        requests: &[RailRequest],
+        claimed: &HashMap<usize, Vec<Polygon>>,
+        start: Instant,
+    ) -> Vec<(usize, RailReport)> {
+        if self.config.threads <= 1 || pending.len() <= 1 {
+            return pending
+                .iter()
+                .map(|&i| (i, self.run_rail(i, wave_no, requests[i], claimed, start)))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, RailReport)>();
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads.min(pending.len()) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&i) = pending.get(slot) else { break };
+                    let rail = self.run_rail(i, wave_no, requests[i], claimed, start);
+                    if tx.send((i, rail)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            rx.iter().collect()
+        })
+    }
+
+    /// Routes one rail behind the `catch_unwind` boundary, with deadline
+    /// checks between attempts and bounded retry-with-escalation.
+    fn run_rail(
+        &self,
+        index: usize,
+        wave: usize,
+        request: RailRequest,
+        claimed: &HashMap<usize, Vec<Polygon>>,
+        start: Instant,
+    ) -> RailReport {
+        let (net, layer, budget) = request;
+        let blockers: &[Polygon] = claimed.get(&layer).map(Vec::as_slice).unwrap_or(&[]);
+        let mut attempts = 0usize;
+        let mut last_err: Option<SproutError> = None;
+
+        while attempts <= self.config.max_retries {
+            if self.config.cancel.is_cancelled() {
+                return self.finished_rail(request, wave, attempts, SproutError::Cancelled);
+            }
+            if let Some(deadline_ms) = self.config.deadline_ms {
+                let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+                if elapsed_ms >= deadline_ms {
+                    // Prefer reporting the real failure over the expiry
+                    // when an attempt already ran.
+                    let e = last_err.take().unwrap_or(SproutError::DeadlineExpired {
+                        deadline_ms,
+                        elapsed_ms,
+                    });
+                    return self.finished_rail(request, wave, attempts, e);
+                }
+            }
+            let config = self.attempt_config(attempts, start);
+            attempts += 1;
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _cancel = CancelScope::install(self.config.cancel.clone());
+                if let Some(plan) = config.recovery.fault {
+                    if plan.worker_panics(index) {
+                        panic!(
+                            "injected worker panic (fault seed {}, rail {index})",
+                            plan.seed
+                        );
+                    }
+                }
+                Router::new(self.board, config).route_net_with(net, layer, budget, blockers, &[])
+            }));
+
+            match outcome {
+                Ok(Ok(result)) => {
+                    return RailReport {
+                        net,
+                        layer,
+                        budget_mm2: budget,
+                        wave,
+                        attempts,
+                        outcome: RailOutcome::Routed(vec![result]),
+                    }
+                }
+                Ok(Err(e)) => {
+                    if !is_retryable(&e) {
+                        return self.finished_rail(request, wave, attempts, e);
+                    }
+                    last_err = Some(e);
+                }
+                Err(payload) => {
+                    last_err = Some(SproutError::WorkerPanicked {
+                        net,
+                        layer,
+                        message: panic_message(payload),
+                    });
+                }
+            }
+        }
+        let e = last_err.unwrap_or(SproutError::InvalidConfig(
+            "rail exhausted its attempts without running", // unreachable
+        ));
+        self.finished_rail(request, wave, attempts, e)
+    }
+
+    fn finished_rail(
+        &self,
+        (net, layer, budget): RailRequest,
+        wave: usize,
+        attempts: usize,
+        e: SproutError,
+    ) -> RailReport {
+        RailReport {
+            net,
+            layer,
+            budget_mm2: budget,
+            wave,
+            attempts,
+            outcome: RailOutcome::Failed(e),
+        }
+    }
+
+    fn unrun_rail(&self, request: RailRequest, wave: usize, e: SproutError) -> RailReport {
+        self.finished_rail(request, wave, 0, e)
+    }
+
+    /// The router configuration for retry attempt `attempt` (0-based):
+    /// escalated policy and relaxed budgets after the first failure,
+    /// with the job deadline folded into the per-stage wall-clock cap.
+    fn attempt_config(&self, attempt: usize, start: Instant) -> RouterConfig {
+        let mut config = self.router_config;
+        if attempt > 0 {
+            // A rail that failed under FailFast gets the lenient ladder:
+            // better a degraded shape than a dead rail.
+            if config.recovery.policy == RecoveryPolicy::FailFast {
+                config.recovery.policy = RecoveryPolicy::BestSoFar;
+            }
+            let relax = self.config.retry_budget_relax.max(1.0).powi(attempt as i32);
+            if config.recovery.budget.wall_clock_ms.is_finite() {
+                config.recovery.budget.wall_clock_ms *= relax;
+            }
+            config.recovery.budget.max_solves = config
+                .recovery
+                .budget
+                .max_solves
+                .saturating_mul(1usize << attempt.min(16));
+        }
+        if let Some(deadline_ms) = self.config.deadline_ms {
+            let remaining = (deadline_ms - start.elapsed().as_secs_f64() * 1e3).max(1.0);
+            config.recovery.budget.wall_clock_ms =
+                config.recovery.budget.wall_clock_ms.min(remaining);
+        }
+        config
+    }
+}
+
+/// Partitions request indices into waves: wave `k` holds the `k`-th
+/// request of every layer, in request order. Same-layer requests land in
+/// distinct waves (they contend for copper); cross-layer requests share
+/// waves (layers are independent copper).
+fn partition_waves(requests: &[RailRequest]) -> Vec<Vec<usize>> {
+    let mut per_layer: HashMap<usize, usize> = HashMap::new();
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    for (i, &(_, layer, _)) in requests.iter().enumerate() {
+        let count = per_layer.entry(layer).or_insert(0);
+        let wave = *count;
+        *count += 1;
+        if waves.len() <= wave {
+            waves.push(Vec::new());
+        }
+        waves[wave].push(i);
+    }
+    waves
+}
+
+fn wave_of(waves: &[Vec<usize>], index: usize) -> usize {
+    waves.iter().position(|w| w.contains(&index)).unwrap_or(0)
+}
+
+/// Stable fingerprint of the request list — with the board fingerprint,
+/// the checkpoint's identity key.
+fn job_fingerprint(requests: &[RailRequest]) -> u64 {
+    let mut bytes = Vec::with_capacity(requests.len() * 24);
+    for &(net, layer, budget) in requests {
+        bytes.extend_from_slice(&(net.0 as u64).to_le_bytes());
+        bytes.extend_from_slice(&(layer as u64).to_le_bytes());
+        bytes.extend_from_slice(&budget.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Errors that should not be retried: they are deterministic properties
+/// of the input (bad config, blocked terminals, impossible budgets) or
+/// job-control outcomes (cancellation, deadline expiry). Solver
+/// breakdowns, degraded multilayer runs, and worker panics may be
+/// transient — those retry under an escalated policy.
+fn is_retryable(e: &SproutError) -> bool {
+    !matches!(
+        e,
+        SproutError::InvalidConfig(_)
+            | SproutError::Board(_)
+            | SproutError::NoTerminals { .. }
+            | SproutError::TerminalBlocked { .. }
+            | SproutError::DisjointSpace { .. }
+            | SproutError::AreaBudgetTooSmall { .. }
+            | SproutError::NoMultilayerPath
+            | SproutError::Cancelled
+            | SproutError::DeadlineExpired { .. }
+    )
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Versioned text checkpoints. Same line-oriented, dependency-free
+/// discipline as [`sprout_board::io`]; all floating-point payload is
+/// written as IEEE-754 bit patterns in hex, so a restored shape is
+/// bit-identical to the checkpointed one. A file that fails any check —
+/// version, board fingerprint, job fingerprint, rail identity,
+/// geometry reconstruction — is rejected wholesale and the job starts
+/// fresh (a checkpoint is an optimization, never an obligation).
+mod checkpoint {
+    use super::*;
+    use std::fmt::Write as _;
+
+    pub(super) struct Restored {
+        pub index: usize,
+        pub rail: RestoredRail,
+    }
+
+    pub(super) enum LoadError {
+        /// No checkpoint file at the path (a fresh run, not a problem).
+        Absent,
+        /// The file exists but cannot be used; the reason is reported as
+        /// a job warning.
+        Rejected(String),
+    }
+
+    fn hex(v: f64) -> String {
+        format!("{:016x}", v.to_bits())
+    }
+
+    fn unhex(token: &str) -> Result<f64, String> {
+        u64::from_str_radix(token, 16)
+            .map(f64::from_bits)
+            .map_err(|_| format!("bad f64 bits `{token}`"))
+    }
+
+    fn write_ring(out: &mut String, kind: &str, points: &[Point]) {
+        let _ = write!(out, "{kind} {}", points.len());
+        for p in points {
+            let _ = write!(out, " {} {}", hex(p.x), hex(p.y));
+        }
+        out.push('\n');
+    }
+
+    pub(super) fn save(
+        path: &Path,
+        board_fp: u64,
+        job_fp: u64,
+        requests: &[RailRequest],
+        slots: &[Option<RailReport>],
+    ) -> Result<(), String> {
+        let mut out = String::new();
+        let _ = writeln!(out, "sprout-checkpoint v{CHECKPOINT_VERSION}");
+        let _ = writeln!(out, "board {board_fp:016x}");
+        let _ = writeln!(out, "job {job_fp:016x}");
+        let _ = writeln!(out, "rails {}", requests.len());
+        for (i, slot) in slots.iter().enumerate() {
+            let Some(rail) = slot else { continue };
+            let (shape, resistance, clean) = match &rail.outcome {
+                RailOutcome::Routed(v) if v.len() == 1 => (
+                    &v[0].shape,
+                    v[0].final_resistance_sq,
+                    v[0].diagnostics.is_clean(),
+                ),
+                RailOutcome::Restored(rr) => (&rr.shape, rr.final_resistance_sq, rr.was_clean),
+                // Failed rails re-run on resume; multi-result rails are
+                // not produced by the supervisor.
+                _ => continue,
+            };
+            let (net, layer, budget) = requests[i];
+            let _ = writeln!(
+                out,
+                "rail {i} {} {layer} {} {} {}",
+                net.0,
+                hex(budget),
+                hex(resistance),
+                u8::from(clean),
+            );
+            let _ = writeln!(out, "area {}", hex(shape.area_mm2()));
+            for c in &shape.contours {
+                let _ = write!(out, "contour {}", u8::from(c.is_hole));
+                let _ = write!(out, " {}", c.points.len());
+                for p in &c.points {
+                    let _ = write!(out, " {} {}", hex(p.x), hex(p.y));
+                }
+                out.push('\n');
+            }
+            for f in &shape.fragments {
+                write_ring(&mut out, "fragment", f.vertices());
+            }
+            for r in shape.run_rects() {
+                write_ring(&mut out, "runrect", r.vertices());
+            }
+            let _ = writeln!(out, "endrail");
+        }
+        let _ = writeln!(out, "end");
+
+        // Atomic-enough: write a sibling temp file, then rename over.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &out).map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, path).map_err(|e| e.to_string())
+    }
+
+    pub(super) fn load(
+        path: &Path,
+        board_fp: u64,
+        job_fp: u64,
+        requests: &[RailRequest],
+    ) -> Result<Vec<Restored>, LoadError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Absent),
+            Err(e) => return Err(LoadError::Rejected(e.to_string())),
+        };
+        parse(&text, board_fp, job_fp, requests).map_err(LoadError::Rejected)
+    }
+
+    fn parse(
+        text: &str,
+        board_fp: u64,
+        job_fp: u64,
+        requests: &[RailRequest],
+    ) -> Result<Vec<Restored>, String> {
+        let mut lines = text.lines();
+        let expect = |line: Option<&str>, what: &str| -> Result<Vec<String>, String> {
+            let line = line.ok_or_else(|| format!("truncated before {what}"))?;
+            Ok(line.split_whitespace().map(str::to_owned).collect())
+        };
+
+        let header = expect(lines.next(), "header")?;
+        if header.len() != 2
+            || header[0] != "sprout-checkpoint"
+            || header[1] != format!("v{CHECKPOINT_VERSION}")
+        {
+            return Err(format!("unsupported header {header:?}"));
+        }
+        let board = expect(lines.next(), "board fingerprint")?;
+        if board.len() != 2 || board[0] != "board" || board[1] != format!("{board_fp:016x}") {
+            return Err("board fingerprint mismatch".into());
+        }
+        let job = expect(lines.next(), "job fingerprint")?;
+        if job.len() != 2 || job[0] != "job" || job[1] != format!("{job_fp:016x}") {
+            return Err("request-list fingerprint mismatch".into());
+        }
+        let rails = expect(lines.next(), "rail count")?;
+        if rails.len() != 2 || rails[0] != "rails" || rails[1] != requests.len().to_string() {
+            return Err("rail count mismatch".into());
+        }
+
+        let mut out: Vec<Restored> = Vec::new();
+        loop {
+            let tokens = expect(lines.next(), "rail or end")?;
+            match tokens.first().map(String::as_str) {
+                Some("end") => break,
+                Some("rail") => {}
+                other => return Err(format!("expected rail/end, got {other:?}")),
+            }
+            if tokens.len() != 7 {
+                return Err("malformed rail line".into());
+            }
+            let index: usize = tokens[1].parse().map_err(|_| "bad rail index")?;
+            let (net, layer, budget) = *requests.get(index).ok_or("rail index out of range")?;
+            if tokens[2] != net.0.to_string()
+                || tokens[3] != layer.to_string()
+                || unhex(&tokens[4])?.to_bits() != budget.to_bits()
+            {
+                return Err(format!("rail {index} does not match the request list"));
+            }
+            let resistance = unhex(&tokens[5])?;
+            let clean = tokens[6] == "1";
+
+            let area_line = expect(lines.next(), "area")?;
+            if area_line.len() != 2 || area_line[0] != "area" {
+                return Err("expected area line".into());
+            }
+            let area = unhex(&area_line[1])?;
+
+            let mut contours: Vec<Contour> = Vec::new();
+            let mut fragments: Vec<Polygon> = Vec::new();
+            let mut run_rects: Vec<Polygon> = Vec::new();
+            loop {
+                let tokens = expect(lines.next(), "shape record")?;
+                match tokens.first().map(String::as_str) {
+                    Some("endrail") => break,
+                    Some("contour") => {
+                        if tokens.len() < 3 {
+                            return Err("malformed contour".into());
+                        }
+                        let is_hole = tokens[1] == "1";
+                        let points = parse_points(&tokens[3..], &tokens[2])?;
+                        contours.push(Contour { points, is_hole });
+                    }
+                    Some(kind @ ("fragment" | "runrect")) => {
+                        if tokens.len() < 2 {
+                            return Err(format!("malformed {kind}"));
+                        }
+                        let points = parse_points(&tokens[2..], &tokens[1])?;
+                        let poly =
+                            Polygon::new(points).map_err(|e| format!("{kind} rejected: {e}"))?;
+                        if kind == "fragment" {
+                            fragments.push(poly);
+                        } else {
+                            run_rects.push(poly);
+                        }
+                    }
+                    other => return Err(format!("unknown shape record {other:?}")),
+                }
+            }
+            out.push(Restored {
+                index,
+                rail: RestoredRail {
+                    shape: RoutedShape::from_parts(contours, fragments, run_rects, area),
+                    final_resistance_sq: resistance,
+                    was_clean: clean,
+                },
+            });
+        }
+        // Duplicate rail records would silently double-claim geometry.
+        let mut seen = std::collections::HashSet::new();
+        if !out.iter().all(|r| seen.insert(r.index)) {
+            return Err("duplicate rail record".into());
+        }
+        Ok(out)
+    }
+
+    fn parse_points(tokens: &[String], count: &str) -> Result<Vec<Point>, String> {
+        let n: usize = count.parse().map_err(|_| "bad point count")?;
+        if tokens.len() != 2 * n {
+            return Err(format!("expected {n} points, got {} tokens", tokens.len()));
+        }
+        let mut points = Vec::with_capacity(n);
+        for pair in tokens.chunks_exact(2) {
+            points.push(Point::new(unhex(&pair[0])?, unhex(&pair[1])?));
+        }
+        Ok(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_serialize_same_layer_and_parallelize_across_layers() {
+        let n = NetId(0);
+        let waves = partition_waves(&[
+            (n, 6, 10.0), // wave 0
+            (n, 6, 10.0), // wave 1 (same layer as #0)
+            (n, 4, 10.0), // wave 0 (different layer)
+            (n, 4, 10.0), // wave 1
+            (n, 2, 10.0), // wave 0
+        ]);
+        assert_eq!(waves, vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn job_fingerprint_tracks_content() {
+        let a = job_fingerprint(&[(NetId(0), 6, 20.0), (NetId(1), 6, 22.0)]);
+        let b = job_fingerprint(&[(NetId(0), 6, 20.0), (NetId(1), 6, 22.0)]);
+        let c = job_fingerprint(&[(NetId(0), 6, 20.0), (NetId(1), 6, 22.5)]);
+        let d = job_fingerprint(&[(NetId(1), 6, 22.0), (NetId(0), 6, 20.0)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "budget changes the fingerprint");
+        assert_ne!(a, d, "order changes the fingerprint");
+    }
+
+    #[test]
+    fn retry_classification_is_conservative() {
+        assert!(!is_retryable(&SproutError::InvalidConfig("x")));
+        assert!(!is_retryable(&SproutError::Cancelled));
+        assert!(!is_retryable(&SproutError::DeadlineExpired {
+            deadline_ms: 1.0,
+            elapsed_ms: 2.0,
+        }));
+        assert!(is_retryable(&SproutError::WorkerPanicked {
+            net: NetId(0),
+            layer: 6,
+            message: "boom".into(),
+        }));
+        assert!(is_retryable(&SproutError::Linalg(
+            sprout_linalg::LinalgError::NotFinite { row: 0, col: 0 }
+        )));
+    }
+}

@@ -78,8 +78,8 @@ pub fn space_to_graph(spec: &SpaceSpec, opts: TileOptions) -> Result<RoutingGrap
             if x1 - x0 < 1e-12 || y1 - y0 < 1e-12 {
                 continue;
             }
-            let rect = Rect::new(Point::new(x0, y0), Point::new(x1, y1))
-                .expect("positive cell extent");
+            let rect =
+                Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("positive cell extent");
             let nearby: Vec<_> = spec
                 .blockers_near(&rect)
                 .filter(|b| b.bounds().intersects(&rect))
@@ -373,8 +373,7 @@ mod tests {
         let fine = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
         assert!(fine.node_count() > 3 * coarse.node_count());
         // Area estimates agree within a few percent.
-        let rel = (fine.total_area_mm2() - coarse.total_area_mm2()).abs()
-            / fine.total_area_mm2();
+        let rel = (fine.total_area_mm2() - coarse.total_area_mm2()).abs() / fine.total_area_mm2();
         assert!(rel < 0.05, "rel {rel}");
     }
 }

@@ -40,7 +40,10 @@ pub fn ac_impedance_25mhz(network: &RailNetwork) -> Result<AcExtraction, Extract
 ///
 /// * [`ExtractError::InvalidParameter`] — non-positive frequency.
 /// * [`ExtractError::Linalg`] — solver breakdown (disconnected network).
-pub fn ac_impedance(network: &RailNetwork, frequency_hz: f64) -> Result<AcExtraction, ExtractError> {
+pub fn ac_impedance(
+    network: &RailNetwork,
+    frequency_hz: f64,
+) -> Result<AcExtraction, ExtractError> {
     if frequency_hz <= 0.0 {
         return Err(ExtractError::InvalidParameter("frequency must be positive"));
     }

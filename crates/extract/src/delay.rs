@@ -33,8 +33,7 @@ impl FinFetModel {
         // Solve delay(vnom + 36 mV) / delay(vnom) = 0.93 exactly:
         // (v'/v) · ((vnom - vth)/(v' - vth))^α = 0.93.
         let v_up = vnom + 0.036;
-        let alpha = (0.93f64 / (v_up / vnom)).ln()
-            / ((vnom - vth) / (v_up - vth)).ln();
+        let alpha = (0.93f64 / (v_up / vnom)).ln() / ((vnom - vth) / (v_up - vth)).ln();
         // Anchor the nominal gate delay at 10 ps.
         let t0_ps = 10.0 / (vnom / (vnom - vth).powf(alpha));
         FinFetModel {

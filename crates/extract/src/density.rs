@@ -80,7 +80,11 @@ pub fn current_density(
         let i_abs = i.abs();
         // Contact width from the branch conductance: w = g·R_sheet·pitch.
         let width_mm = (network.sheet_resistance / b.resistance_ohm) * tile_pitch_mm;
-        let density = if width_mm > 0.0 { i_abs / width_mm } else { 0.0 };
+        let density = if width_mm > 0.0 {
+            i_abs / width_mm
+        } else {
+            0.0
+        };
         dissipation += i * i * b.resistance_ohm;
         if density > max_density {
             max_density = density;

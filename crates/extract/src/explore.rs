@@ -139,6 +139,7 @@ pub fn explore(
     for spec in specs {
         let routes = router
             .route_all(&spec.rails)
+            .into_results()
             .map_err(|source| ExploreError::Routing {
                 label: spec.label.clone(),
                 source,
@@ -300,8 +301,8 @@ pub fn balance_budgets(
             .map(|(&(net, layer), &b)| (net, layer, b))
             .collect(),
     };
-    let mut evaluation = explore(board, config, &[spec_of(&budgets, "balance 0".into())])?
-        .remove(0);
+    let mut evaluation =
+        explore(board, config, &[spec_of(&budgets, "balance 0".into())])?.remove(0);
     let mut iterations = 0usize;
     while iterations < max_iterations {
         let (worst, best) = {
@@ -385,15 +386,12 @@ mod balance_tests {
         .remove(0);
         let spread0 = {
             let v: Vec<f64> = start.rails.iter().map(|r| r.v_min).collect();
-            v.iter().cloned().fold(f64::MIN, f64::max)
-                - v.iter().cloned().fold(f64::MAX, f64::min)
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
         };
-        let balanced =
-            balance_budgets(&board, config, &rails, 44.0, 1e-4, 6).unwrap();
+        let balanced = balance_budgets(&board, config, &rails, 44.0, 1e-4, 6).unwrap();
         let spread1 = {
             let v: Vec<f64> = balanced.evaluation.rails.iter().map(|r| r.v_min).collect();
-            v.iter().cloned().fold(f64::MIN, f64::max)
-                - v.iter().cloned().fold(f64::MAX, f64::min)
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
         };
         // Total area conserved.
         let total: f64 = balanced.budgets_mm2.iter().sum();

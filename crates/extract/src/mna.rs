@@ -101,7 +101,9 @@ impl Circuit {
     /// non-positive R/L/C values.
     pub fn add(&mut self, element: Element) -> Result<(), ExtractError> {
         let (a, b) = match element {
-            Element::Resistor(a, b, v) | Element::Capacitor(a, b, v) | Element::Inductor(a, b, v) => {
+            Element::Resistor(a, b, v)
+            | Element::Capacitor(a, b, v)
+            | Element::Inductor(a, b, v) => {
                 if v <= 0.0 {
                     return Err(ExtractError::InvalidParameter(
                         "R/L/C values must be positive",
@@ -162,7 +164,11 @@ impl TransientResult {
 ///
 /// * [`ExtractError::InvalidParameter`] — non-positive step/horizon.
 /// * [`ExtractError::Linalg`] — singular MNA matrix (floating nodes).
-pub fn simulate(circuit: &Circuit, h_s: f64, t_end_s: f64) -> Result<TransientResult, ExtractError> {
+pub fn simulate(
+    circuit: &Circuit,
+    h_s: f64,
+    t_end_s: f64,
+) -> Result<TransientResult, ExtractError> {
     if h_s <= 0.0 || t_end_s <= h_s {
         return Err(ExtractError::InvalidParameter(
             "step and horizon must be positive with t_end > h",
@@ -178,7 +184,13 @@ pub fn simulate(circuit: &Circuit, h_s: f64, t_end_s: f64) -> Result<TransientRe
 
     // Assemble the constant MNA matrix (companion conductances).
     let mut g = DenseMatrix::<f64>::zeros(dim, dim);
-    let idx = |node: Node| -> Option<usize> { if node == 0 { None } else { Some(node - 1) } };
+    let idx = |node: Node| -> Option<usize> {
+        if node == 0 {
+            None
+        } else {
+            Some(node - 1)
+        }
+    };
     let stamp_g = |m: &mut DenseMatrix<f64>, a: Node, b: Node, y: f64| {
         if let Some(i) = idx(a) {
             m.add(i, i, y);

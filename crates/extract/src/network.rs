@@ -132,7 +132,9 @@ impl RailNetwork {
         let top = 0usize;
         let bottom = stackup.layer_count() - 1;
         let sink_len = stackup.via_length_mm(route.layer, top)?;
-        let source_len = stackup.via_length_mm(route.layer, bottom).unwrap_or(sink_len);
+        let source_len = stackup
+            .via_length_mm(route.layer, bottom)
+            .unwrap_or(sink_len);
         let sink_via_r = rules.via_resistance_ohm(sink_len.max(0.05));
         let sink_via_l = rules.via_inductance_h(sink_len.max(0.05));
         let src_via_r = rules.via_resistance_ohm(source_len.max(0.05));
@@ -215,7 +217,10 @@ mod tests {
         let (board, route) = fast_route();
         let net = RailNetwork::build(&board, &route).unwrap();
         assert_eq!(net.node_count, route.subgraph.order() + 1);
-        assert_eq!(net.mesh.len(), route.subgraph.induced_edges(&route.graph).count());
+        assert_eq!(
+            net.mesh.len(),
+            route.subgraph.induced_edges(&route.graph).count()
+        );
         assert_eq!(net.sources.len(), 1);
         assert_eq!(net.sinks.len(), 9);
         assert_eq!(net.sink_vias.len(), 9);

@@ -26,9 +26,8 @@ pub struct DcExtraction {
 /// * [`ExtractError::Linalg`] — the network is electrically
 ///   disconnected.
 pub fn dc_resistance(network: &RailNetwork) -> Result<DcExtraction, ExtractError> {
-    let mut edges: Vec<(usize, usize, f64)> = Vec::with_capacity(
-        network.mesh.len() + network.sink_vias.len(),
-    );
+    let mut edges: Vec<(usize, usize, f64)> =
+        Vec::with_capacity(network.mesh.len() + network.sink_vias.len());
     for b in network.mesh.iter().chain(&network.sink_vias) {
         if b.a != b.b {
             edges.push((b.a, b.b, 1.0 / b.resistance_ohm));

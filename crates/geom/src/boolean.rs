@@ -113,11 +113,7 @@ impl PolygonSet {
     /// Removes `other` from the set.
     pub fn subtract_polygon(&self, other: &Polygon) -> PolygonSet {
         let sub_parts = convex_parts(other);
-        let mut pieces: Vec<Polygon> = self
-            .pieces
-            .iter()
-            .flat_map(convex_parts)
-            .collect();
+        let mut pieces: Vec<Polygon> = self.pieces.iter().flat_map(convex_parts).collect();
         for t in &sub_parts {
             let mut next: Vec<Polygon> = Vec::with_capacity(pieces.len());
             for c in pieces {
@@ -164,17 +160,17 @@ impl PolygonSet {
     /// Interval set of `y` values covered by the set on the vertical line
     /// `x = x0`.
     pub fn cross_section_x(&self, x0: f64) -> IntervalSet {
-        self.pieces
-            .iter()
-            .fold(IntervalSet::new(), |acc, p| acc.union(&p.cross_section_x(x0)))
+        self.pieces.iter().fold(IntervalSet::new(), |acc, p| {
+            acc.union(&p.cross_section_x(x0))
+        })
     }
 
     /// Interval set of `x` values covered by the set on the horizontal
     /// line `y = y0`.
     pub fn cross_section_y(&self, y0: f64) -> IntervalSet {
-        self.pieces
-            .iter()
-            .fold(IntervalSet::new(), |acc, p| acc.union(&p.cross_section_y(y0)))
+        self.pieces.iter().fold(IntervalSet::new(), |acc, p| {
+            acc.union(&p.cross_section_y(y0))
+        })
     }
 
     fn push_checked(&mut self, p: Polygon) {
@@ -261,10 +257,7 @@ fn subtract_convex(c: &Polygon, t: &Polygon) -> Vec<Polygon> {
     let mut out: Vec<Polygon> = Vec::new();
     for i in 0..k {
         // Wedge i: outside edge i, inside edges 0..i.
-        let mut piece = match clip_halfplane(
-            c,
-            &HalfPlane::right_of_edge(tv[i], tv[(i + 1) % k]),
-        ) {
+        let mut piece = match clip_halfplane(c, &HalfPlane::right_of_edge(tv[i], tv[(i + 1) % k])) {
             Some(p) => p,
             None => continue,
         };
@@ -421,7 +414,11 @@ mod tests {
         let b = square(0.5, 0.5, 2.5, 3.5);
         let d = difference(&a, &b).area();
         let i = intersection(&a, &b).area();
-        assert!((d + i - a.area()).abs() < 1e-9, "d={d} i={i} a={}", a.area());
+        assert!(
+            (d + i - a.area()).abs() < 1e-9,
+            "d={d} i={i} a={}",
+            a.area()
+        );
     }
 
     #[test]
@@ -466,12 +463,9 @@ mod tests {
 
     #[test]
     fn from_iterator_unions() {
-        let set: PolygonSet = vec![
-            square(0.0, 0.0, 2.0, 2.0),
-            square(1.0, 0.0, 3.0, 2.0),
-        ]
-        .into_iter()
-        .collect();
+        let set: PolygonSet = vec![square(0.0, 0.0, 2.0, 2.0), square(1.0, 0.0, 3.0, 2.0)]
+            .into_iter()
+            .collect();
         assert!((set.area() - 6.0).abs() < 1e-9);
     }
 }

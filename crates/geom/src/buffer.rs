@@ -65,11 +65,7 @@ impl Default for BufferStyle {
 /// # Ok(())
 /// # }
 /// ```
-pub fn buffer_polygon(
-    poly: &Polygon,
-    d: f64,
-    style: BufferStyle,
-) -> Result<PolygonSet, GeomError> {
+pub fn buffer_polygon(poly: &Polygon, d: f64, style: BufferStyle) -> Result<PolygonSet, GeomError> {
     if d < 0.0 {
         return Err(GeomError::InvalidParameter("buffer distance must be >= 0"));
     }

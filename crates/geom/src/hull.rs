@@ -32,9 +32,7 @@ use crate::{GeomError, EPS};
 /// ```
 pub fn convex_hull(points: &[Point]) -> Result<Polygon, GeomError> {
     let mut pts: Vec<Point> = points.to_vec();
-    pts.sort_by(|a, b| {
-        a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y))
-    });
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     pts.dedup_by(|a, b| a.approx_eq(*b, EPS));
     if pts.len() < 3 {
         return Err(GeomError::DegeneratePolygon {

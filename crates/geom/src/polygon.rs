@@ -80,12 +80,7 @@ impl Polygon {
     pub fn rectangle(a: Point, b: Point) -> Result<Self, GeomError> {
         let r = Rect::from_corners(a, b)?;
         let (lo, hi) = (r.min(), r.max());
-        Polygon::new(vec![
-            lo,
-            Point::new(hi.x, lo.y),
-            hi,
-            Point::new(lo.x, hi.y),
-        ])
+        Polygon::new(vec![lo, Point::new(hi.x, lo.y), hi, Point::new(lo.x, hi.y)])
     }
 
     /// Regular `n`-gon approximating a circle (used for via and capacitor
@@ -167,10 +162,7 @@ impl Polygon {
         }
         if a.abs() < EPS {
             // Fall back to the vertex average for (near) degenerate rings.
-            let sum = self
-                .vertices
-                .iter()
-                .fold(Point::ORIGIN, |acc, &v| acc + v);
+            let sum = self.vertices.iter().fold(Point::ORIGIN, |acc, &v| acc + v);
             return sum / n as f64;
         }
         Point::new(cx / (3.0 * a), cy / (3.0 * a))
@@ -409,7 +401,12 @@ fn clean_ring(vertices: Vec<Point>) -> Vec<Point> {
 
 impl std::fmt::Display for Polygon {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Polygon[{} vertices, area {:.4}]", self.len(), self.area())
+        write!(
+            f,
+            "Polygon[{} vertices, area {:.4}]",
+            self.len(),
+            self.area()
+        )
     }
 }
 

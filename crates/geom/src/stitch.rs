@@ -7,7 +7,7 @@
 //! boundary loops — no floating-point boolean ops required.
 
 use crate::point::Point;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// A closed boundary loop produced by [`union_grid_cells`].
 #[derive(Debug, Clone, PartialEq)]
@@ -72,14 +72,21 @@ impl GridFrame {
 /// ```
 pub fn union_grid_cells(cells: &[(i64, i64)], frame: GridFrame) -> Vec<Contour> {
     let cell_set: HashSet<(i64, i64)> = cells.iter().copied().collect();
+    // Deterministic traversal order: the output contour list, each
+    // loop's starting vertex, and tie-breaks at checkerboard corners
+    // must not depend on hash-map iteration order — downstream
+    // consumers (checkpoint/resume, multi-run reproducibility) compare
+    // shapes exactly.
+    let mut sorted_cells: Vec<(i64, i64)> = cell_set.iter().copied().collect();
+    sorted_cells.sort_unstable();
 
     // Directed boundary edges: an edge of a cell survives iff the
     // neighbouring cell across it is absent. CCW orientation per cell
     // makes outer loops CCW and hole loops CW automatically.
     type V = (i64, i64);
-    let mut outgoing: HashMap<V, Vec<V>> = HashMap::new();
+    let mut outgoing: BTreeMap<V, Vec<V>> = BTreeMap::new();
     let mut edge_count = 0usize;
-    for &(i, j) in &cell_set {
+    for &(i, j) in &sorted_cells {
         let candidates: [(V, V, (i64, i64)); 4] = [
             ((i, j), (i + 1, j), (i, j - 1)),         // bottom
             ((i + 1, j), (i + 1, j + 1), (i + 1, j)), // right

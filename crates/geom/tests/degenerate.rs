@@ -277,10 +277,7 @@ fn union_all_of_degenerate_mix_is_finite_and_bounded() {
             total += poly.area();
             polys.push(poly);
         }
-        let max_single = polys
-            .iter()
-            .map(|q| q.area())
-            .fold(0.0f64, f64::max);
+        let max_single = polys.iter().map(|q| q.area()).fold(0.0f64, f64::max);
         let merged = union_all(polys);
         assert!(
             merged.area().is_finite()
@@ -324,8 +321,7 @@ fn polygon_set_ops_tolerate_degenerate_windows() {
         let before = set.area();
         set.add_polygon(&sliver);
         assert!(
-            set.area() <= before + sliver.area() + AREA_TOL
-                && set.area() >= before - AREA_TOL,
+            set.area() <= before + sliver.area() + AREA_TOL && set.area() >= before - AREA_TOL,
             "case {case}: add_polygon area {} from {}",
             set.area(),
             before

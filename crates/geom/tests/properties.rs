@@ -93,10 +93,7 @@ fn union_inclusion_exclusion() {
         let b = random_convex(&mut rng);
         let u = boolean::union(&a, &b).area();
         let i = boolean::intersection(&a, &b).area();
-        assert!(
-            (u + i - a.area() - b.area()).abs() < 1e-6,
-            "case {case}"
-        );
+        assert!((u + i - a.area() - b.area()).abs() < 1e-6, "case {case}");
     }
 }
 

@@ -97,12 +97,8 @@ pub fn solve_bicgstab<T: Scalar>(
             }
         })
         .collect();
-    let precondition = |v: &[T]| -> Vec<T> {
-        v.iter()
-            .zip(&inv_diag)
-            .map(|(&vi, &di)| vi * di)
-            .collect()
-    };
+    let precondition =
+        |v: &[T]| -> Vec<T> { v.iter().zip(&inv_diag).map(|(&vi, &di)| vi * di).collect() };
 
     let mut x = vec![T::ZERO; n];
     let mut r = b.to_vec();

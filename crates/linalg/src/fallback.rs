@@ -367,7 +367,9 @@ impl UnionFind {
     }
 
     pub(crate) fn components(&mut self) -> usize {
-        (0..self.parent.len()).filter(|&i| self.find(i) == i).count()
+        (0..self.parent.len())
+            .filter(|&i| self.find(i) == i)
+            .count()
     }
 }
 
@@ -446,7 +448,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(iter.rung(), Rung::ConjugateGradient);
-        let b: Vec<f64> = (0..a.rows()).map(|i| if i == 0 { 1.0 } else { 0.0 }).collect();
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| if i == 0 { 1.0 } else { 0.0 })
+            .collect();
         let xd = direct.solve(&b).unwrap();
         let xi = iter.solve(&b).unwrap();
         for (d, i) in xd.iter().zip(&xi) {
@@ -482,8 +486,7 @@ mod tests {
     #[test]
     fn floating_component_is_detected() {
         // 0-1 tied to ground (node 0), 2-3 floating after grounding 0.
-        let lap =
-            GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let lap = GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         let a = lap.grounded(0).unwrap();
         match build_grounded_solver(&a, FallbackOptions::default()) {
             Err(LinalgError::Disconnected { components }) => assert_eq!(components, 1),

@@ -5,7 +5,9 @@
 //! Laplacian and `E` holds ±1 injections per terminal pair.
 
 use crate::cholesky::SparseCholesky;
-use crate::fallback::{build_grounded_solver, FallbackOptions, FallbackReport, LadderSolver, UnionFind};
+use crate::fallback::{
+    build_grounded_solver, FallbackOptions, FallbackReport, LadderSolver, UnionFind,
+};
 use crate::sparse::{Csr, Triplets};
 use crate::LinalgError;
 
@@ -397,9 +399,7 @@ mod tests {
             }
         }
         let lap = GraphLaplacian::from_edges(w * h, &edges).unwrap();
-        let r = lap
-            .effective_resistance(idx(10, 10), idx(11, 10))
-            .unwrap();
+        let r = lap.effective_resistance(idx(10, 10), idx(11, 10)).unwrap();
         assert!((r - 0.5).abs() < 0.02, "grid resistance {r}");
     }
 
@@ -444,8 +444,7 @@ mod tests {
 
     #[test]
     fn solve_currents_superposition() {
-        let lap =
-            GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let lap = GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let f = lap.factor_grounded(3).unwrap();
         let v1 = f.solve_injection(0, 3).unwrap();
         let v2 = f.solve_injection(1, 3).unwrap();
@@ -457,8 +456,7 @@ mod tests {
 
     #[test]
     fn voltages_decrease_along_path() {
-        let lap =
-            GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
+        let lap = GraphLaplacian::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
         let f = lap.factor_grounded(3).unwrap();
         let v = f.solve_injection(0, 3).unwrap();
         assert!(v[0] > v[1] && v[1] > v[2] && v[2] > v[3]);

@@ -115,7 +115,10 @@ impl fmt::Display for LinalgError {
                 "solver did not converge after {iterations} iterations (residual {residual:.3e})"
             ),
             LinalgError::SingularMatrix { at } => {
-                write!(f, "matrix is singular or not positive definite at pivot {at}")
+                write!(
+                    f,
+                    "matrix is singular or not positive definite at pivot {at}"
+                )
             }
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
             LinalgError::NotFinite { row, col } => {

@@ -35,10 +35,7 @@ pub fn reverse_cuthill_mckee<T: Scalar>(a: &Csr<T>) -> Vec<usize> {
     let mut order: Vec<usize> = Vec::with_capacity(n);
     let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
 
-    while let Some(start) = (0..n)
-        .filter(|&i| !visited[i])
-        .min_by_key(|&i| degree[i])
-    {
+    while let Some(start) = (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree[i]) {
         // `start` is an unvisited node of minimum degree.
         visited[start] = true;
         queue.push_back(start);

@@ -354,9 +354,7 @@ mod tests {
         t.push(0, 0, Complex::new(1.0, 1.0)).unwrap();
         t.push(1, 1, Complex::J).unwrap();
         let m = t.to_csr();
-        let y = m
-            .mul_vec(&[Complex::ONE, Complex::new(2.0, 0.0)])
-            .unwrap();
+        let y = m.mul_vec(&[Complex::ONE, Complex::new(2.0, 0.0)]).unwrap();
         assert_eq!(y[0], Complex::new(1.0, 1.0));
         assert_eq!(y[1], Complex::new(0.0, 2.0));
     }

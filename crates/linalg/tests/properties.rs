@@ -108,10 +108,7 @@ fn effective_resistance_symmetric() {
         let lap = GraphLaplacian::from_edges(n, &edges).expect("valid edges");
         let r_st = lap.effective_resistance(0, n - 1).expect("connected");
         let r_ts = lap.effective_resistance(n - 1, 0).expect("connected");
-        assert!(
-            (r_st - r_ts).abs() < 1e-6 * r_st.max(1e-12),
-            "case {case}"
-        );
+        assert!((r_st - r_ts).abs() < 1e-6 * r_st.max(1e-12), "case {case}");
         assert!(r_st > 0.0, "case {case}");
     }
 }

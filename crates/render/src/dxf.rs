@@ -30,13 +30,11 @@ impl DxfDocument {
             self.layers.push(layer.to_owned());
         }
         for contour in &shape.contours {
-            let pts: Vec<(f64, f64)> =
-                contour.points.iter().map(|p| (p.x, p.y)).collect();
+            let pts: Vec<(f64, f64)> = contour.points.iter().map(|p| (p.x, p.y)).collect();
             self.push_polyline(layer, &pts);
         }
         for fragment in &shape.fragments {
-            let pts: Vec<(f64, f64)> =
-                fragment.vertices().iter().map(|p| (p.x, p.y)).collect();
+            let pts: Vec<(f64, f64)> = fragment.vertices().iter().map(|p| (p.x, p.y)).collect();
             self.push_polyline(layer, &pts);
         }
         self
@@ -119,7 +117,9 @@ mod tests {
     fn multiple_layers_registered_once() {
         let shape = routed();
         let mut doc = DxfDocument::new();
-        doc.add_shape("A", &shape).add_shape("A", &shape).add_shape("B", &shape);
+        doc.add_shape("A", &shape)
+            .add_shape("A", &shape)
+            .add_shape("B", &shape);
         let dxf = doc.to_dxf();
         assert_eq!(dxf.matches("0\nLAYER\n2\nA").count(), 1);
         assert_eq!(dxf.matches("0\nLAYER\n2\nB").count(), 1);

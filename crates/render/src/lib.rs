@@ -123,9 +123,8 @@ impl<'b> SvgScene<'b> {
         let width = outline.width() * s;
         let height = outline.height() * s;
         // SVG y grows downward; flip so board +y is up.
-        let tx = |p: Point| -> (f64, f64) {
-            ((p.x - outline.min().x) * s, (outline.max().y - p.y) * s)
-        };
+        let tx =
+            |p: Point| -> (f64, f64) { ((p.x - outline.min().x) * s, (outline.max().y - p.y) * s) };
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -232,7 +231,9 @@ fn points_attr(vertices: &[Point], tx: &impl Fn(Point) -> (f64, f64)) -> String 
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('"', "&quot;")
 }
 
 #[cfg(test)]

@@ -56,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let board = parse_board(&text)?;
     board.validate()?;
-    println!("board `{}`: {} power rails", board.name(), board.power_nets().count());
+    println!(
+        "board `{}`: {} power rails",
+        board.name(),
+        board.power_nets().count()
+    );
 
     let config = example_config();
     let router = Router::new(&board, config);
@@ -66,9 +70,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut claimed = Vec::new();
 
     for (net_id, net) in board.power_nets() {
-        println!("\n=== rail {} ({} A @ {:.0} A/µs) ===", net.name, net.current_a, net.slew_a_per_s / 1e6);
+        println!(
+            "\n=== rail {} ({} A @ {:.0} A/µs) ===",
+            net.name,
+            net.current_a,
+            net.slew_a_per_s / 1e6
+        );
         let route = router.route_net_with(net_id, LAYER, 20.0, &claimed, &[])?;
-        println!("  synthesized {:.1} mm² over {} tiles", route.shape.area_mm2(), route.subgraph.order());
+        println!(
+            "  synthesized {:.1} mm² over {} tiles",
+            route.shape.area_mm2(),
+            route.subgraph.order()
+        );
 
         let drc = check_route(&board, net_id, LAYER, &route.shape, &claimed)?;
         println!("  DRC: {} violations", drc.len());
@@ -76,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let network = RailNetwork::build(&board, &route)?;
         let dc = dc_resistance(&network)?;
         let ac = ac_impedance_25mhz(&network)?;
-        println!("  R_dc = {:.2} mΩ, L@25MHz = {:.0} pH", dc.total_ohm * 1e3, ac.inductance_h * 1e12);
+        println!(
+            "  R_dc = {:.2} mΩ, L@25MHz = {:.0} pH",
+            dc.total_ohm * 1e3,
+            ac.inductance_h * 1e12
+        );
 
         // Impedance profile vs target mask (Fig. 1's pass/fail check).
         let profile = impedance_profile(&network, 1e5, 1e9, 41)?;

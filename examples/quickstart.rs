@@ -21,8 +21,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let board = presets::two_rail();
     let layer = presets::TWO_RAIL_ROUTE_LAYER;
     let (vdd1, net) = board.power_nets().next().expect("preset has rails");
-    println!("board: {} ({} layers)", board.name(), board.stackup().layer_count());
-    println!("routing {} on layer {} (rail current {} A)", net.name, layer + 1, net.current_a);
+    println!(
+        "board: {} ({} layers)",
+        board.name(),
+        board.stackup().layer_count()
+    );
+    println!(
+        "routing {} on layer {} (rail current {} A)",
+        net.name,
+        layer + 1,
+        net.current_a
+    );
 
     // 2. Synthesize the power shape under a 25 mm² metal budget.
     let router = Router::new(&board, example_config());
@@ -36,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "objective fell {:.3} → {:.3} squares over {} optimizer steps",
-        result.resistance_history_sq.first().copied().unwrap_or(f64::NAN),
+        result
+            .resistance_history_sq
+            .first()
+            .copied()
+            .unwrap_or(f64::NAN),
         result.final_resistance_sq,
         result.resistance_history_sq.len(),
     );

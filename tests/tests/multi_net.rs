@@ -1,0 +1,215 @@
+//! Multi-net interaction: determinism of `route_all` across runs and
+//! thread counts, and the claimed-geometry contract — net N's routed
+//! copper genuinely shrinks net N+1's available space on the same layer.
+
+use sprout_board::{presets, Board, Element};
+use sprout_core::backconv::RoutedShape;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_core::space::SpaceSpec;
+use sprout_core::supervisor::{Supervisor, SupervisorConfig};
+use sprout_core::tile::{space_to_graph, TileOptions};
+
+const BUDGET_MM2: f64 = 20.0;
+
+fn fast_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 8,
+        refine_iterations: 2,
+        reheat: None,
+        ..RouterConfig::default()
+    }
+}
+
+fn same_shape(a: &RoutedShape, b: &RoutedShape) -> bool {
+    a.area_mm2().to_bits() == b.area_mm2().to_bits()
+        && a.contours.len() == b.contours.len()
+        && a.contours
+            .iter()
+            .zip(&b.contours)
+            .all(|(x, y)| x.is_hole == y.is_hole && x.points == y.points)
+        && a.fragments.len() == b.fragments.len()
+        && a.fragments
+            .iter()
+            .zip(&b.fragments)
+            .all(|(x, y)| x.vertices() == y.vertices())
+}
+
+/// The two_rail preset with every rail's layer-6 terminals mirrored onto
+/// layer 4 — a job whose rails span two independent copper layers, so
+/// the supervisor genuinely routes cross-layer rails concurrently.
+fn stacked_two_rail() -> Board {
+    let mut board = presets::two_rail();
+    let mirrored: Vec<Element> = board
+        .elements()
+        .iter()
+        .filter(|e| e.layer == presets::TWO_RAIL_ROUTE_LAYER && e.is_terminal())
+        .cloned()
+        .map(|mut e| {
+            e.layer = 4;
+            e
+        })
+        .collect();
+    for e in mirrored {
+        board.add_element(e).unwrap();
+    }
+    board
+}
+
+#[test]
+fn route_all_is_deterministic_across_runs() {
+    let board = presets::two_rail();
+    let requests: Vec<_> = board
+        .power_nets()
+        .map(|(id, _)| (id, presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2))
+        .collect();
+    let router = Router::new(&board, fast_config());
+    let a = router.route_all(&requests);
+    let b = router.route_all(&requests);
+    assert!(a.is_complete() && b.is_complete());
+    let (sa, sb) = (a.shapes(), b.shapes());
+    assert_eq!(sa.len(), sb.len());
+    for ((_, _, x), (_, _, y)) in sa.iter().zip(sb.iter()) {
+        assert!(same_shape(x, y), "same board + requests must reproduce");
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_the_shapes() {
+    // Four rails across two layers: wave 0 routes both layer-6/layer-4
+    // first rails concurrently (threads > 1), wave 1 the second pair.
+    // Every thread count must produce the sequential run's shapes — the
+    // ordering guarantee that same-layer claims merge in request order.
+    let board = stacked_two_rail();
+    let nets: Vec<_> = board.power_nets().map(|(id, _)| id).collect();
+    let requests = vec![
+        (nets[0], presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2),
+        (nets[1], presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2),
+        (nets[0], 4, BUDGET_MM2),
+        (nets[1], 4, BUDGET_MM2),
+    ];
+    let reference = Router::new(&board, fast_config()).route_all(&requests);
+    assert!(reference.is_complete(), "{:?}", reference.warnings);
+    assert_eq!(reference.waves, 2);
+    let reference_shapes = reference.shapes();
+
+    for threads in [2, 4, 8] {
+        let report = Supervisor::new(
+            &board,
+            fast_config(),
+            SupervisorConfig {
+                threads,
+                ..SupervisorConfig::default()
+            },
+        )
+        .run(&requests);
+        assert!(
+            report.is_complete(),
+            "{threads} threads: {:?}",
+            report.warnings
+        );
+        let shapes = report.shapes();
+        assert_eq!(shapes.len(), reference_shapes.len());
+        for ((net, layer, x), (_, _, y)) in shapes.iter().zip(reference_shapes.iter()) {
+            assert!(
+                same_shape(x, y),
+                "{threads} threads diverged on {net:?} layer {layer}"
+            );
+        }
+    }
+}
+
+#[test]
+fn claimed_copper_shrinks_the_next_nets_space() {
+    // Route net 0, then tile net 1's available space with and without
+    // net 0's claimed copper as blockers: the claimed geometry must
+    // strictly remove routable tiles.
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let nets: Vec<_> = board.power_nets().map(|(id, _)| id).collect();
+    let first = Router::new(&board, fast_config())
+        .route_net(nets[0], layer, BUDGET_MM2)
+        .unwrap();
+    let claims = first.shape.blocker_polygons();
+    assert!(!claims.is_empty());
+
+    let tiles = |blockers: &[sprout_geom::Polygon]| {
+        let spec = SpaceSpec::build(&board, nets[1], layer, blockers).unwrap();
+        space_to_graph(&spec, TileOptions::square(0.5))
+            .unwrap()
+            .node_count()
+    };
+    let open = tiles(&[]);
+    let blocked = tiles(&claims);
+    assert!(
+        blocked < open,
+        "claimed copper must shrink the space: {blocked} vs {open} tiles"
+    );
+}
+
+#[test]
+fn second_rail_routes_around_the_first_rails_copper() {
+    // Two nets whose straight-line routes cross in the middle of an
+    // open board: the first rail claims the crossing, so the second
+    // rail's shape in a two-rail job must differ from its solo route,
+    // while staying DRC-clean against the first rail's copper.
+    use sprout_board::{DesignRules, ElementRole, Net, Stackup};
+    use sprout_geom::{Point, Polygon, Rect};
+
+    let outline = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 8.0)).unwrap();
+    let mut board = Board::new(
+        "crossing",
+        outline,
+        Stackup::eight_layer(),
+        DesignRules::default(),
+    );
+    let a = board.add_net(Net::power("VA", 2.0, 1e7, 1.0).unwrap());
+    let b = board.add_net(Net::power("VB", 2.0, 1e7, 1.0).unwrap());
+    let pad = |x: f64, y: f64| {
+        Polygon::rectangle(
+            Point::new(x - 0.25, y - 0.25),
+            Point::new(x + 0.25, y + 0.25),
+        )
+        .unwrap()
+    };
+    let layer = 6;
+    for (net, src, snk) in [(a, (2.0, 3.0), (8.0, 5.0)), (b, (2.0, 5.0), (8.0, 3.0))] {
+        board
+            .add_element(Element::terminal(
+                net,
+                layer,
+                pad(src.0, src.1),
+                ElementRole::Source,
+            ))
+            .unwrap();
+        board
+            .add_element(Element::terminal(
+                net,
+                layer,
+                pad(snk.0, snk.1),
+                ElementRole::Sink,
+            ))
+            .unwrap();
+    }
+
+    let router = Router::new(&board, fast_config());
+    let job = router
+        .route_all(&[(a, layer, 8.0), (b, layer, 8.0)])
+        .into_results()
+        .unwrap();
+    let solo = router.route_net(b, layer, 8.0).unwrap();
+    assert!(
+        !same_shape(&job[1].shape, &solo.shape),
+        "second rail ignored the first rail's claims"
+    );
+    // And the in-job shape is clean against the first rail's copper.
+    let violations = sprout_core::drc::check_route(
+        &board,
+        b,
+        layer,
+        &job[1].shape,
+        &job[0].shape.blocker_polygons(),
+    )
+    .unwrap();
+    assert!(violations.is_empty(), "{violations:?}");
+}

@@ -27,7 +27,10 @@ fn two_rail_end_to_end() {
         .power_nets()
         .map(|(id, _)| (id, layer, 20.0))
         .collect();
-    let results = router.route_all(&requests).expect("both rails route");
+    let results = router
+        .route_all(&requests)
+        .into_results()
+        .expect("both rails route");
     assert_eq!(results.len(), 2);
 
     let mut claimed = Vec::new();
@@ -38,15 +41,18 @@ fn two_rail_end_to_end() {
         // Budget respected with one grow step of slack.
         assert!(result.shape.area_mm2() <= 20.0 + 2.5);
         // DRC-clean including against the previously routed net.
-        let v = check_route(&board, result.net, layer, &result.shape, &claimed)
-            .expect("drc runs");
+        let v = check_route(&board, result.net, layer, &result.shape, &claimed).expect("drc runs");
         assert!(v.is_empty(), "{v:?}");
         claimed.extend(result.shape.blocker_polygons());
         // Extraction yields physical values.
         let network = RailNetwork::build(&board, result).expect("network");
         let dc = dc_resistance(&network).expect("dc");
         let ac = ac_impedance_25mhz(&network).expect("ac");
-        assert!(dc.total_ohm > 1e-3 && dc.total_ohm < 0.1, "{}", dc.total_ohm);
+        assert!(
+            dc.total_ohm > 1e-3 && dc.total_ohm < 0.1,
+            "{}",
+            dc.total_ohm
+        );
         assert!(
             ac.inductance_h > 1e-10 && ac.inductance_h < 1e-8,
             "{}",
@@ -118,6 +124,7 @@ fn three_rail_sequential_routing() {
     };
     let results = router
         .route_all(&[(modem, layer, 32.0), (cpu, layer, 32.0), (dsp, layer, 7.0)])
+        .into_results()
         .expect("all three rails route");
     assert_eq!(results.len(), 3);
     // Later nets must be clean against earlier shapes.
@@ -162,13 +169,23 @@ fn unroutable_boards_fail_cleanly() {
     use sprout_geom::{Point, Polygon, Rect};
     // Terminals separated by a full-height wall: typed error, no panic.
     let outline = Rect::new(Point::new(0.0, 0.0), Point::new(10.0, 6.0)).unwrap();
-    let mut board = Board::new("blocked", outline, Stackup::eight_layer(), DesignRules::default());
+    let mut board = Board::new(
+        "blocked",
+        outline,
+        Stackup::eight_layer(),
+        DesignRules::default(),
+    );
     let vdd = board.add_net(Net::power("VDD", 1.0, 1e7, 1.0).unwrap());
     let pad = |x: f64, y: f64| {
         Polygon::rectangle(Point::new(x - 0.2, y - 0.2), Point::new(x + 0.2, y + 0.2)).unwrap()
     };
     board
-        .add_element(Element::terminal(vdd, 6, pad(1.0, 3.0), ElementRole::Source))
+        .add_element(Element::terminal(
+            vdd,
+            6,
+            pad(1.0, 3.0),
+            ElementRole::Source,
+        ))
         .unwrap();
     board
         .add_element(Element::terminal(vdd, 6, pad(9.0, 3.0), ElementRole::Sink))
@@ -195,8 +212,7 @@ fn random_boards_route_or_fail_cleanly() {
         for (net, _) in board.power_nets() {
             match router.route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 15.0) {
                 Ok(result) => {
-                    let nodes: Vec<NodeId> =
-                        result.terminals.iter().map(|t| t.node).collect();
+                    let nodes: Vec<NodeId> = result.terminals.iter().map(|t| t.node).collect();
                     assert!(result.subgraph.connects(&result.graph, &nodes));
                     let v = check_route(
                         &board,
