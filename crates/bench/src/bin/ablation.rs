@@ -1,7 +1,7 @@
 //! Ablations of the design choices §II calls out.
 //!
 //! ```text
-//! cargo run -p sprout-bench --release --bin ablation
+//! cargo run -p sprout-bench --release --bin ablation [--json] [--quiet]
 //! ```
 //!
 //! * void filling in the seed (Algorithm 2's convergence-acceleration
@@ -10,11 +10,13 @@
 //! * the decreasing refinement move count (§II-E's discussion),
 //! * the terminal-pair policy of Algorithm 3.
 
+use sprout_bench::{outln, BenchOutput};
 use sprout_board::presets;
 use sprout_core::current::PairPolicy;
 use sprout_core::reheat::ReheatConfig;
 use sprout_core::router::{Router, RouterConfig};
 use sprout_core::seed::SeedOptions;
+use sprout_core::RunReport;
 use sprout_extract::ac::ac_impedance_25mhz;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::resistance::dc_resistance;
@@ -29,7 +31,11 @@ fn base_config() -> RouterConfig {
     }
 }
 
-fn run(label: &str, config: RouterConfig) -> Result<(), Box<dyn std::error::Error>> {
+fn run(
+    out: &BenchOutput,
+    label: &str,
+    config: RouterConfig,
+) -> Result<(), Box<dyn std::error::Error>> {
     // The comparison metric must be independent of the knob under test
     // (all-pairs changes the *objective definition*), so every variant
     // is judged by the same extracted DC resistance and 25 MHz
@@ -43,7 +49,8 @@ fn run(label: &str, config: RouterConfig) -> Result<(), Box<dyn std::error::Erro
     let network = RailNetwork::build(&board, &result)?;
     let dc = dc_resistance(&network)?;
     let ac = ac_impedance_25mhz(&network)?;
-    println!(
+    outln!(
+        out,
         "{:<30} R_dc {:>6.2} mΩ   L {:>7.1} pH   {:>6.2} s   {:>5} solves",
         label,
         dc.total_ohm * 1e3,
@@ -51,12 +58,16 @@ fn run(label: &str, config: RouterConfig) -> Result<(), Box<dyn std::error::Erro
         elapsed,
         result.timings.solves
     );
+    let mut report =
+        RunReport::from_results(&format!("ablation {label}"), std::slice::from_ref(&result));
+    report.rails[0].budget_mm2 = 22.0;
+    out.emit_report("ablation", &report);
     Ok(())
 }
 
 /// The future-work variant (§IV): SmartGrow followed by simulated
 /// annealing instead of SmartRefine + reheating.
-fn run_annealed(label: &str) -> Result<(), Box<dyn std::error::Error>> {
+fn run_annealed(out: &BenchOutput, label: &str) -> Result<(), Box<dyn std::error::Error>> {
     use sprout_core::anneal::{anneal_refine, AnnealConfig};
     use sprout_core::current::node_current;
     use sprout_core::NodeId;
@@ -74,7 +85,7 @@ fn run_annealed(label: &str) -> Result<(), Box<dyn std::error::Error>> {
         .flat_map(|t| t.covered.clone())
         .collect();
     let terminal_nodes: Vec<NodeId> = result.terminals.iter().map(|t| t.node).collect();
-    let out = anneal_refine(
+    let anneal_out = anneal_refine(
         &result.graph,
         &mut result.subgraph,
         &result.pairs,
@@ -88,55 +99,79 @@ fn run_annealed(label: &str) -> Result<(), Box<dyn std::error::Error>> {
     let network = RailNetwork::build(&board, &result)?;
     let dc = dc_resistance(&network)?;
     let ac = ac_impedance_25mhz(&network)?;
-    println!(
+    outln!(
+        out,
         "{:<30} R_dc {:>6.2} mΩ   L {:>7.1} pH   {:>6.2} s   {:>5} solves",
         label,
         dc.total_ohm * 1e3,
         ac.inductance_h * 1e12,
         elapsed,
-        result.timings.solves + out.solves
+        result.timings.solves + anneal_out.solves
     );
+    let mut report =
+        RunReport::from_results(&format!("ablation {label}"), std::slice::from_ref(&result));
+    report.rails[0].budget_mm2 = 22.0;
+    out.emit_report("ablation", &report);
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("=== SPROUT ablations (two-rail VDD1, 22 mm² budget) ===");
-    run("baseline (all features)", base_config())?;
+    let out = BenchOutput::from_args();
+    outln!(
+        out,
+        "=== SPROUT ablations (two-rail VDD1, 22 mm² budget) ==="
+    );
+    run(&out, "baseline (all features)", base_config())?;
 
     let mut no_voids = base_config();
     no_voids.seed = SeedOptions { fill_voids: false };
-    run("no void filling (Alg. 2)", no_voids)?;
+    run(&out, "no void filling (Alg. 2)", no_voids)?;
 
     let mut no_reheat = base_config();
     no_reheat.reheat = None;
-    run("no reheating (§II-F)", no_reheat)?;
+    run(&out, "no reheating (§II-F)", no_reheat)?;
 
     let mut deep_reheat = base_config();
     deep_reheat.reheat = Some(ReheatConfig {
         dilate_iterations: 4,
         erode_step: 16,
     });
-    run("deep reheating (4 rings)", deep_reheat)?;
+    run(&out, "deep reheating (4 rings)", deep_reheat)?;
 
     let mut fixed_step = base_config();
     fixed_step.refine_step = Some(24);
-    run("large fixed refine moves", fixed_step)?;
+    run(&out, "large fixed refine moves", fixed_step)?;
 
     let mut few_iters = base_config();
     few_iters.grow_iterations = 5;
-    run("coarse growth (ΔA large)", few_iters)?;
+    run(&out, "coarse growth (ΔA large)", few_iters)?;
 
     let mut all_pairs = base_config();
     all_pairs.pair_policy = PairPolicy::AllPairs;
-    run("all-pairs injections (Alg. 3)", all_pairs)?;
+    run(&out, "all-pairs injections (Alg. 3)", all_pairs)?;
 
-    run_annealed("simulated annealing (§IV)")?;
+    run_annealed(&out, "simulated annealing (§IV)")?;
 
-    println!();
-    println!("expected: removing void filling or reheating costs impedance or runtime;");
-    println!("large fixed refine moves converge worse late (§II-E); all-pairs costs");
-    println!("solves for marginal objective change (BGA-BGA currents are small, §II-D);");
-    println!("annealing at a similar solve count trails the node-current-guided");
-    println!("SmartRefine — evidence for the paper's gradient-proxy design.");
+    outln!(out);
+    outln!(
+        out,
+        "expected: removing void filling or reheating costs impedance or runtime;"
+    );
+    outln!(
+        out,
+        "large fixed refine moves converge worse late (§II-E); all-pairs costs"
+    );
+    outln!(
+        out,
+        "solves for marginal objective change (BGA-BGA currents are small, §II-D);"
+    );
+    outln!(
+        out,
+        "annealing at a similar solve count trails the node-current-guided"
+    );
+    outln!(
+        out,
+        "SmartRefine — evidence for the paper's gradient-proxy design."
+    );
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! trade-off.
 //!
 //! ```text
-//! cargo run -p sprout-bench --release --bin fig12 [--svg] [--quick]
+//! cargo run -p sprout-bench --release --bin fig12 [--svg] [--quick] [--json] [--quiet]
 //! ```
 //!
 //! Generates the nine prototype layouts of Table IV (modem/CPU/DSP area
@@ -11,9 +11,10 @@
 //! inductance, minimum load voltage, and relative FinFET propagation
 //! delay. `--quick` runs layouts {1, 5, 9} only.
 
-use sprout_bench::{experiments_dir, svg_requested};
+use sprout_bench::{experiments_dir, outln, svg_requested, BenchOutput};
 use sprout_board::presets;
 use sprout_core::router::{Router, RouterConfig};
+use sprout_core::RunReport;
 use sprout_extract::ac::ac_impedance_25mhz;
 use sprout_extract::delay::FinFetModel;
 use sprout_extract::network::RailNetwork;
@@ -22,6 +23,7 @@ use sprout_extract::resistance::dc_resistance;
 use sprout_render::SvgScene;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = BenchOutput::from_args();
     let board = presets::three_rail();
     let layer = presets::TEN_LAYER_ROUTE_LAYER;
     let quick = std::env::args().any(|a| a == "--quick");
@@ -44,9 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (0..9).collect()
     };
 
-    println!("=== Table IV schedule (normalized units = mm²) ===");
+    outln!(out, "=== Table IV schedule (normalized units = mm²) ===");
     for (k, (m, c, d)) in schedule.iter().enumerate() {
-        println!(
+        outln!(
+            out,
             "layout {}: modem {:>5.1}, CPU {:>5.1}, DSP {:>5.2}",
             k + 1,
             m,
@@ -54,11 +57,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             d
         );
     }
-    println!();
-    println!("=== Fig. 12 series ===");
-    println!(
+    outln!(out);
+    outln!(out, "=== Fig. 12 series ===");
+    outln!(
+        out,
         "{:<7} {:<6} {:>9} {:>10} {:>10} {:>9} {:>11}",
-        "layout", "rail", "area mm²", "R_eff mΩ", "L_eff pH", "Vmin V", "delay rel"
+        "layout",
+        "rail",
+        "area mm²",
+        "R_eff mΩ",
+        "L_eff pH",
+        "Vmin V",
+        "delay rel"
     );
 
     let nets: Vec<(sprout_board::NetId, sprout_board::Net)> =
@@ -71,6 +81,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             a_dsp * AREA_UNIT_MM2,
         ];
         let mut claimed = Vec::new();
+        let mut routes = Vec::new();
         let mut scene = SvgScene::new(&board, layer);
         for ((net_id, net), budget) in nets.iter().zip(budgets) {
             let route = router.route_net_with(*net_id, layer, budget, &claimed, &[])?;
@@ -87,7 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let droop = pdn.simulate_droop()?;
             let v_for_delay = droop.v_min.max(finfet.vth_v + 0.05);
-            println!(
+            outln!(
+                out,
                 "{:<7} {:<6} {:>9.1} {:>10.2} {:>10.1} {:>9.4} {:>11.4}",
                 k + 1,
                 net.name,
@@ -99,18 +111,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             scene.add_route(net.name.clone(), &route.shape);
             claimed.extend(route.shape.blocker_polygons());
+            routes.push(route);
         }
+        let mut report = RunReport::from_results(&format!("fig12 layout={}", k + 1), &routes);
+        for (rec, budget) in report.rails.iter_mut().zip(budgets) {
+            rec.budget_mm2 = budget;
+        }
+        out.emit_report("fig12", &report);
         if svg_requested() {
             let path = experiments_dir().join(format!("fig11_layout{}.svg", k + 1));
             std::fs::write(&path, scene.to_svg())?;
-            println!("  → {}", path.display());
+            outln!(out, "  → {}", path.display());
         }
     }
-    println!();
-    println!("expected shapes (paper Fig. 12):");
-    println!("  a) resistance falls with area at a diminishing rate for all rails;");
-    println!("  b) DSP inductance falls with area; modem/CPU inductance is flattened by decaps;");
-    println!("  c) V_min rises with area; modem/CPU droop larger than DSP;");
-    println!("  d) delay falls as V_min rises (≈7 % per 36 mV around 1 V).");
+    outln!(out);
+    outln!(out, "expected shapes (paper Fig. 12):");
+    outln!(
+        out,
+        "  a) resistance falls with area at a diminishing rate for all rails;"
+    );
+    outln!(
+        out,
+        "  b) DSP inductance falls with area; modem/CPU inductance is flattened by decaps;"
+    );
+    outln!(
+        out,
+        "  c) V_min rises with area; modem/CPU droop larger than DSP;"
+    );
+    outln!(
+        out,
+        "  d) delay falls as V_min rises (≈7 % per 36 mV around 1 V)."
+    );
     Ok(())
 }

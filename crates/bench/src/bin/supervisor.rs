@@ -1,7 +1,7 @@
 //! Supervisor throughput: sequential vs concurrent multi-rail jobs.
 //!
 //! ```text
-//! cargo run -p sprout-bench --release --bin supervisor
+//! cargo run -p sprout-bench --release --bin supervisor [--json] [--quiet]
 //! ```
 //!
 //! Times `route_all`-equivalent jobs on the `two_rail` preset under the
@@ -19,10 +19,11 @@
 //!   second copper layer (four rails, two waves of two) — cross-layer
 //!   rails route concurrently, so threads buy real wall-clock.
 
-use sprout_bench::experiments_dir;
+use sprout_bench::{experiments_dir, outln, BenchOutput};
 use sprout_board::{presets, Board, Element};
 use sprout_core::router::RouterConfig;
 use sprout_core::supervisor::{JobReport, Supervisor, SupervisorConfig};
+use sprout_core::RunReport;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -124,6 +125,7 @@ fn run_job(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = BenchOutput::from_args();
     let flat = presets::two_rail();
     let flat_requests: Vec<_> = flat
         .power_nets()
@@ -138,10 +140,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (stacked_nets[1], 4, BUDGET_MM2),
     ];
 
-    println!("=== supervisor throughput (median of {REPS}) ===");
-    println!(
+    outln!(out, "=== supervisor throughput (median of {REPS}) ===");
+    outln!(
+        out,
         "{:>10} {:>8} {:>6} {:>6} {:>10} {:>9} {:>8}",
-        "job", "threads", "rails", "waves", "median ms", "complete", "matches"
+        "job",
+        "threads",
+        "rails",
+        "waves",
+        "median ms",
+        "complete",
+        "matches"
     );
     let mut rows: Vec<Measurement> = Vec::new();
     for (job, board, requests) in [
@@ -149,15 +158,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("stacked", &stacked, &stacked_requests),
     ] {
         let (seq, seq_report) = run_job(job, board, requests, 1, None);
+        out.emit_report(
+            "supervisor",
+            &RunReport::from_job(&format!("supervisor {job} threads=1"), &seq_report),
+        );
         let mut per_job = vec![seq];
         for threads in [2, 4] {
-            let (m, _) = run_job(job, board, requests, threads, Some(&seq_report));
+            let (m, report) = run_job(job, board, requests, threads, Some(&seq_report));
+            out.emit_report(
+                "supervisor",
+                &RunReport::from_job(&format!("supervisor {job} threads={threads}"), &report),
+            );
             per_job.push(m);
         }
         for m in per_job {
-            println!(
+            outln!(
+                out,
                 "{:>10} {:>8} {:>6} {:>6} {:>10.1} {:>9} {:>8}",
-                m.job, m.threads, m.rails, m.waves, m.median_ms, m.complete, m.matches_sequential
+                m.job,
+                m.threads,
+                m.rails,
+                m.waves,
+                m.median_ms,
+                m.complete,
+                m.matches_sequential
             );
             rows.push(m);
         }
@@ -185,7 +209,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     json.push_str("  ]\n}\n");
     let path = experiments_dir().join("BENCH_supervisor.json");
     std::fs::write(&path, &json)?;
-    println!("wrote {}", path.display());
+    outln!(out, "wrote {}", path.display());
 
     let broken: Vec<_> = rows
         .iter()

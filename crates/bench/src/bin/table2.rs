@@ -1,7 +1,7 @@
 //! Table II reproduction: the two-rail system, manual vs SPROUT.
 //!
 //! ```text
-//! cargo run -p sprout-bench --release --bin table2 [--svg]
+//! cargo run -p sprout-bench --release --bin table2 [--svg] [--json] [--quiet]
 //! ```
 //!
 //! Routes both rails of the §III-A board with SPROUT and with the
@@ -11,13 +11,17 @@
 //! 10.0 mΩ).
 
 use sprout_baseline::{ManualConfig, ManualRouter};
-use sprout_bench::{experiments_dir, extract_row, print_comparison, svg_requested, ExtractedRow};
+use sprout_bench::{
+    experiments_dir, extract_row, outln, print_comparison, svg_requested, BenchOutput, ExtractedRow,
+};
 use sprout_board::presets;
 use sprout_core::drc::check_route;
 use sprout_core::router::{Router, RouterConfig};
+use sprout_core::RunReport;
 use sprout_render::SvgScene;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = BenchOutput::from_args();
     let board = presets::two_rail();
     let layer = presets::TWO_RAIL_ROUTE_LAYER;
     let config = RouterConfig {
@@ -37,6 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let budgets = [22.0, 20.0];
     let mut rows: Vec<ExtractedRow> = Vec::new();
+    let mut sprout_routes = Vec::new();
+    let mut route_budgets = Vec::new();
     let mut claimed_sprout = Vec::new();
     let mut claimed_manual = Vec::new();
     let mut scene = SvgScene::new(&board, layer);
@@ -57,21 +63,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         scene.add_route(format!("{} SPROUT", net.name), &s.shape);
         claimed_sprout.extend(s.shape.blocker_polygons());
         claimed_manual.extend(m.shape.blocker_polygons());
+        sprout_routes.push(s);
+        route_budgets.push(budget);
     }
 
-    println!("=== Table II: two-rail system, manual vs SPROUT ===");
-    println!("(normalization anchored at manual VDD1: L = 100, R = 10.0 mΩ, as the paper)");
-    print_comparison(&rows, 10.0, 100.0);
-    println!();
-    println!("paper reference (normalized): VDD1 manual L=100 R=10.0 | SPROUT L=87.5 R=10.1");
-    println!("                              VDD2 manual L=136 R=12.7 | SPROUT L=138  R=13.1");
-    println!("expected agreement: SPROUT within ~±15 % of manual per rail;");
-    println!("inductance trend favours SPROUT, resistance roughly equal or slightly higher.");
+    let mut report = RunReport::from_results("table2", &sprout_routes);
+    for (rec, budget) in report.rails.iter_mut().zip(&route_budgets) {
+        rec.budget_mm2 = *budget;
+    }
+    out.emit_report("table2", &report);
+
+    outln!(out, "=== Table II: two-rail system, manual vs SPROUT ===");
+    outln!(
+        out,
+        "(normalization anchored at manual VDD1: L = 100, R = 10.0 mΩ, as the paper)"
+    );
+    print_comparison(&out, &rows, 10.0, 100.0);
+    outln!(out);
+    outln!(
+        out,
+        "paper reference (normalized): VDD1 manual L=100 R=10.0 | SPROUT L=87.5 R=10.1"
+    );
+    outln!(
+        out,
+        "                              VDD2 manual L=136 R=12.7 | SPROUT L=138  R=13.1"
+    );
+    outln!(
+        out,
+        "expected agreement: SPROUT within ~±15 % of manual per rail;"
+    );
+    outln!(
+        out,
+        "inductance trend favours SPROUT, resistance roughly equal or slightly higher."
+    );
 
     if svg_requested() {
         let path = experiments_dir().join("fig9_two_rail.svg");
         std::fs::write(&path, scene.to_svg())?;
-        println!("Fig. 9-style layout written to {}", path.display());
+        outln!(out, "Fig. 9-style layout written to {}", path.display());
     }
     Ok(())
 }

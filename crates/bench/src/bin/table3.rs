@@ -1,7 +1,7 @@
 //! Table III reproduction: the six-rail congested-BGA system.
 //!
 //! ```text
-//! cargo run -p sprout-bench --release --bin table3 [--svg]
+//! cargo run -p sprout-bench --release --bin table3 [--svg] [--json] [--quiet]
 //! ```
 //!
 //! Routes the six rails sequentially (each routed shape blocks the nets
@@ -10,14 +10,18 @@
 //! approximately 11 minutes" on the authors' machine; we report ours).
 
 use sprout_baseline::{ManualConfig, ManualRouter};
-use sprout_bench::{experiments_dir, extract_row, print_comparison, svg_requested, ExtractedRow};
+use sprout_bench::{
+    experiments_dir, extract_row, outln, print_comparison, svg_requested, BenchOutput, ExtractedRow,
+};
 use sprout_board::presets;
 use sprout_core::drc::check_route;
 use sprout_core::router::{Router, RouterConfig, StageTimings};
+use sprout_core::RunReport;
 use sprout_render::SvgScene;
 use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = BenchOutput::from_args();
     let board = presets::six_rail();
     let layer = presets::TEN_LAYER_ROUTE_LAYER;
     let config = RouterConfig {
@@ -43,6 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget_for = |current_a: f64| 16.0 + 1.8 * current_a;
     let started = Instant::now();
     let mut rows: Vec<ExtractedRow> = Vec::new();
+    let mut sprout_routes = Vec::new();
+    let mut route_budgets = Vec::new();
     let mut claimed_sprout = Vec::new();
     let mut claimed_manual = Vec::new();
     let mut totals = StageTimings::default();
@@ -55,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             match manual.route_net_with(net_id, layer, manual_budget, &claimed_manual) {
                 Ok(m) => (m.shape.area_mm2(), Some(m)),
                 Err(e) => {
-                    println!("note: manual baseline failed on {}: {e}", net.name);
+                    outln!(out, "note: manual baseline failed on {}: {e}", net.name);
                     (manual_budget, None)
                 }
             };
@@ -75,25 +81,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals.reheat_ms += s.timings.reheat_ms;
         totals.backconv_ms += s.timings.backconv_ms;
         totals.solves += s.timings.solves;
-        rows.push(extract_row(&board, &net.name, "SPROUT", s_ref(&s))?);
+        rows.push(extract_row(&board, &net.name, "SPROUT", &s)?);
         scene.add_route(net.name.clone(), &s.shape);
         claimed_sprout.extend(s.shape.blocker_polygons());
+        sprout_routes.push(s);
+        route_budgets.push(sprout_budget);
     }
     let wall_s = started.elapsed().as_secs_f64();
 
-    println!("=== Table III: six-rail system, manual vs SPROUT ===");
-    println!("(normalization anchored at manual VDD1: L = 133, R = 15.0 mΩ, as the paper)");
-    print_comparison(&rows, 15.0, 133.0);
-    println!();
-    println!("paper reference (normalized L / R): VDD1 133/15.0→131/16.8, V2 103/8.4→99/9.1,");
-    println!(
+    let mut report = RunReport::from_results("table3", &sprout_routes);
+    for (rec, budget) in report.rails.iter_mut().zip(&route_budgets) {
+        rec.budget_mm2 = *budget;
+    }
+    out.emit_report("table3", &report);
+
+    outln!(out, "=== Table III: six-rail system, manual vs SPROUT ===");
+    outln!(
+        out,
+        "(normalization anchored at manual VDD1: L = 133, R = 15.0 mΩ, as the paper)"
+    );
+    print_comparison(&out, &rows, 15.0, 133.0);
+    outln!(out);
+    outln!(
+        out,
+        "paper reference (normalized L / R): VDD1 133/15.0→131/16.8, V2 103/8.4→99/9.1,"
+    );
+    outln!(
+        out,
         "  V3 131/13.0→127/14.2, V4 161/18.4→155/18.2, V5 152/18.5→150/18.9, V6 116/9.2→114/9.2"
     );
-    println!("expected: SPROUT inductance 1-4 % below manual; resistance within ~11 %.");
-    println!();
-    println!("=== §III-B runtime (ours; the paper reports ~11 min on an i7-6700) ===");
-    println!("total wall clock: {wall_s:.1} s for six rails");
-    println!(
+    outln!(
+        out,
+        "expected: SPROUT inductance 1-4 % below manual; resistance within ~11 %."
+    );
+    outln!(out);
+    outln!(
+        out,
+        "=== §III-B runtime (ours; the paper reports ~11 min on an i7-6700) ==="
+    );
+    outln!(out, "total wall clock: {wall_s:.1} s for six rails");
+    outln!(
+        out,
         "stage breakdown (ms): space {:.0}, tile {:.0}, seed {:.0}, grow {:.0}, refine {:.0}, reheat {:.0}, backconv {:.0}",
         totals.space_ms,
         totals.tile_ms,
@@ -103,7 +131,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals.reheat_ms,
         totals.backconv_ms
     );
-    println!(
+    outln!(
+        out,
         "solve-stage fraction: {:.0} % across {} linear solves (paper: ≈90 %)",
         totals.solve_stage_fraction() * 100.0,
         totals.solves
@@ -112,12 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if svg_requested() {
         let path = experiments_dir().join("fig10_six_rail.svg");
         std::fs::write(&path, scene.to_svg())?;
-        println!("Fig. 10-style layout written to {}", path.display());
+        outln!(out, "Fig. 10-style layout written to {}", path.display());
     }
     Ok(())
-}
-
-/// Identity helper keeping borrowck happy while rows borrow the route.
-fn s_ref(r: &sprout_core::router::RouteResult) -> &sprout_core::router::RouteResult {
-    r
 }

@@ -1,0 +1,101 @@
+//! Telemetry overhead smoke check.
+//!
+//! ```text
+//! cargo run -p sprout-bench --release --bin telemetry_overhead
+//! ```
+//!
+//! Routes the scaling bench's smallest case (two-rail VDD1, 0.8 mm
+//! pitch, 22 mm² budget) with no recorder installed and with the
+//! [`NoopRecorder`] installed (dispatch exercised, events discarded),
+//! interleaving the runs and comparing medians. Exits non-zero when the
+//! no-op recorder costs more than 2 % wall time plus a small absolute
+//! slack — the guard CI runs to keep instrumentation effectively free
+//! when observability is off.
+
+use sprout_bench::{outln, BenchOutput};
+use sprout_board::presets;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_telemetry as telemetry;
+use std::sync::Arc;
+use std::time::Instant;
+
+const REPS: usize = 7;
+/// Relative overhead budget for the no-op recorder.
+const MAX_RELATIVE: f64 = 0.02;
+/// Absolute slack (ms) so sub-millisecond jitter on a fast case cannot
+/// fail the relative check spuriously.
+const ABS_SLACK_MS: f64 = 2.0;
+
+fn route_once(router: &Router, net: sprout_board::NetId, layer: usize) -> f64 {
+    let t0 = Instant::now();
+    let result = router
+        .route_net(net, layer, 22.0)
+        .expect("smallest case routes");
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(result.shape.area_mm2() > 0.0);
+    ms
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = BenchOutput::from_args();
+    let board = presets::two_rail();
+    let (vdd1, _) = board.power_nets().next().expect("preset has rails");
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let config = RouterConfig {
+        tile_pitch_mm: 0.8,
+        grow_iterations: 12,
+        refine_iterations: 4,
+        ..RouterConfig::default()
+    };
+    let router = Router::new(&board, config);
+
+    // Warm-up: fault the page cache and the lazy statics out of the
+    // measurement.
+    route_once(&router, vdd1, layer);
+
+    // Interleave bare and no-op-recorder runs so drift (thermal, cache)
+    // hits both arms equally.
+    let mut bare = Vec::with_capacity(REPS);
+    let mut noop = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        bare.push(route_once(&router, vdd1, layer));
+        let _scope = telemetry::RecorderScope::install(Arc::new(telemetry::sinks::NoopRecorder));
+        noop.push(route_once(&router, vdd1, layer));
+    }
+    let bare_ms = median(bare);
+    let noop_ms = median(noop);
+    let overhead = noop_ms - bare_ms;
+    let limit = bare_ms * MAX_RELATIVE + ABS_SLACK_MS;
+
+    outln!(out, "=== telemetry no-op overhead (median of {REPS}) ===");
+    outln!(out, "bare:           {bare_ms:>8.2} ms");
+    outln!(out, "noop recorder:  {noop_ms:>8.2} ms");
+    outln!(
+        out,
+        "overhead:       {overhead:>8.2} ms (limit {limit:.2} ms = {:.0} % + {ABS_SLACK_MS} ms slack)",
+        MAX_RELATIVE * 100.0
+    );
+    if out.json() {
+        let mut o = telemetry::json::Obj::new();
+        o.str("report", "telemetry-overhead")
+            .f64("bare_ms", bare_ms)
+            .f64("noop_ms", noop_ms)
+            .f64("overhead_ms", overhead)
+            .f64("limit_ms", limit)
+            .bool("pass", overhead <= limit);
+        println!("{}", o.finish());
+    }
+    if overhead > limit {
+        return Err(format!(
+            "no-op telemetry overhead {overhead:.2} ms exceeds limit {limit:.2} ms \
+             (bare {bare_ms:.2} ms, noop {noop_ms:.2} ms)"
+        )
+        .into());
+    }
+    Ok(())
+}

@@ -23,10 +23,104 @@ pub mod timing;
 
 use sprout_board::Board;
 use sprout_core::router::RouteResult;
+use sprout_core::RunReport;
 use sprout_extract::ac::ac_impedance_25mhz;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::resistance::dc_resistance;
+use sprout_telemetry as telemetry;
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Output controller shared by every experiment binary.
+///
+/// Flags parsed from the command line:
+///
+/// * `--quiet` / `-q` — suppress the human-readable tables and prose.
+/// * `--json` — emit one [`RunReport`] JSONL line per run to stdout
+///   (implies `--quiet`, so stdout stays pure JSONL).
+/// * `--trace` — stream the telemetry span tree to stderr while the
+///   run executes (a [`telemetry::sinks::StderrSink`] scope).
+///
+/// Run reports are *always* mirrored to
+/// `target/experiments/<name>.jsonl`, regardless of flags, so every
+/// invocation leaves a machine-readable artifact behind.
+pub struct BenchOutput {
+    quiet: bool,
+    json: bool,
+    written: RefCell<HashSet<PathBuf>>,
+    _trace: Option<telemetry::RecorderScope>,
+}
+
+impl BenchOutput {
+    /// Parses the process arguments.
+    pub fn from_args() -> BenchOutput {
+        Self::from_flags(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit flag list (for tests).
+    pub fn from_flags(args: impl IntoIterator<Item = String>) -> BenchOutput {
+        let (mut quiet, mut json, mut trace) = (false, false, false);
+        for a in args {
+            match a.as_str() {
+                "--quiet" | "-q" => quiet = true,
+                "--json" => json = true,
+                "--trace" => trace = true,
+                _ => {}
+            }
+        }
+        let _trace = trace
+            .then(|| telemetry::RecorderScope::install(Arc::new(telemetry::sinks::StderrSink)));
+        BenchOutput {
+            quiet: quiet || json,
+            json,
+            written: RefCell::new(HashSet::new()),
+            _trace,
+        }
+    }
+
+    /// `true` when human-readable output should be printed.
+    pub fn verbose(&self) -> bool {
+        !self.quiet
+    }
+
+    /// `true` when `--json` was requested.
+    pub fn json(&self) -> bool {
+        self.json
+    }
+
+    /// Emits `report` as one JSONL line: to stdout when `--json` is on,
+    /// and always appended to `target/experiments/<name>.jsonl` (the
+    /// file is truncated on this instance's first write, so each
+    /// invocation starts a fresh artifact).
+    pub fn emit_report(&self, name: &str, report: &RunReport) {
+        let line = report.to_json();
+        if self.json {
+            println!("{line}");
+        }
+        let path = experiments_dir().join(format!("{name}.jsonl"));
+        let fresh = self.written.borrow_mut().insert(path.clone());
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(!fresh)
+            .truncate(fresh)
+            .write(true)
+            .open(&path);
+        if let Ok(mut f) = file {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// `println!` gated on [`BenchOutput::verbose`] — the drop-in
+/// replacement for ad-hoc prints in experiment binaries.
+#[macro_export]
+macro_rules! outln {
+    ($out:expr) => { if $out.verbose() { println!(); } };
+    ($out:expr, $($arg:tt)*) => { if $out.verbose() { println!($($arg)*); } };
+}
 
 /// One extracted row of a comparison table.
 #[derive(Debug, Clone)]
@@ -70,7 +164,15 @@ pub fn extract_row(
 /// way the paper normalizes: the *manual* layout of the first net
 /// anchors the scales (its inductance defines "100", its resistance
 /// defines the paper's first-row value).
-pub fn print_comparison(rows: &[ExtractedRow], anchor_r_mohm: f64, anchor_l: f64) {
+pub fn print_comparison(
+    out: &BenchOutput,
+    rows: &[ExtractedRow],
+    anchor_r_mohm: f64,
+    anchor_l: f64,
+) {
+    if !out.verbose() {
+        return;
+    }
     let anchor = rows
         .iter()
         .find(|r| r.engine == "manual")

@@ -16,6 +16,7 @@ use sprout_board::ElementRole;
 use sprout_linalg::fallback::FallbackOptions;
 use sprout_linalg::laplacian::GraphLaplacian;
 use sprout_linalg::LinalgError;
+use sprout_telemetry as telemetry;
 
 /// How terminal pairs are enumerated for current injection.
 ///
@@ -189,6 +190,10 @@ pub fn node_current(
     let dropped = lap.sanitize_conductances();
     if dropped > 0 {
         recovery::note_event(SolverEvent::Sanitized(dropped));
+        telemetry::counter!("solver.edges_sanitized", dropped as u64);
+        telemetry::point("edges_sanitized")
+            .field("count", dropped)
+            .emit();
         edges.retain(|&(_, _, g)| g.is_finite() && g > 0.0);
     }
     let ground = compact[pairs[0].sink.index()];
@@ -196,6 +201,11 @@ pub fn node_current(
     if let Some(report) = factor.fallback_report() {
         if report.degraded() {
             recovery::note_event(SolverEvent::Fallback(report.rung));
+            telemetry::counter!("solver.fallbacks");
+            telemetry::point("solver_fallback")
+                .field("rung", format!("{:?}", report.rung))
+                .field("attempts", report.factor_attempts)
+                .emit();
         }
     }
 
@@ -224,6 +234,9 @@ pub fn node_current(
     } else {
         0.0
     };
+
+    telemetry::counter!("metric.evaluations");
+    telemetry::histogram!("metric.solves_per_eval", solves as u64);
 
     Ok(NodeCurrents {
         current: node_metric,

@@ -59,6 +59,7 @@ pub mod path;
 pub mod recovery;
 pub mod refine;
 pub mod reheat;
+pub mod report;
 pub mod router;
 pub mod seed;
 pub mod space;
@@ -70,6 +71,7 @@ pub use recovery::{
     CancelToken, Degradation, FaultPlan, RecoveryConfig, RecoveryPolicy, RouteDiagnostics,
     StageBudget,
 };
+pub use report::{RailRunRecord, RunReport, StageBreakdown};
 pub use router::{RouteResult, Router, RouterConfig};
 pub use supervisor::{
     JobReport, RailOutcome, RailReport, RestoredRail, Supervisor, SupervisorConfig,

@@ -15,6 +15,7 @@ use crate::tile::{space_to_graph, TileOptions};
 use crate::SproutError;
 use sprout_board::{Board, ElementRole, NetId};
 use sprout_geom::Point;
+use sprout_telemetry as telemetry;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
@@ -350,7 +351,15 @@ pub fn route_multilayer_report(
     use crate::recovery::RecoveryPolicy;
 
     let start = Instant::now();
+    let mut plan_span = telemetry::span("plan")
+        .field("net", net.0 as u64)
+        .field("layers", layers.len())
+        .field("budget_per_layer_mm2", budget_per_layer_mm2)
+        .enter();
     let plan = plan_multilayer(board, net, layers, config)?;
+    plan_span.record("layers_used", plan.layers_used.len());
+    plan_span.record("vias", plan.vias.len());
+    drop(plan_span);
     let fail_fast = router.config().recovery.policy == RecoveryPolicy::FailFast;
     let mut report = JobReport {
         waves: plan.layers_used.len(),

@@ -27,6 +27,7 @@
 
 use sprout_linalg::fallback::Rung;
 use sprout_rng::{hash3, u64_to_f64};
+use sprout_telemetry as telemetry;
 use std::cell::RefCell;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -164,6 +165,36 @@ pub enum Degradation {
     },
 }
 
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Degradation::SolverFallback { stage, rung } => {
+                write!(f, "solver fallback to {rung:?} during {stage}")
+            }
+            Degradation::EdgesSanitized { stage, count } => {
+                write!(f, "{count} non-finite edge(s) sanitized during {stage}")
+            }
+            Degradation::StageSkipped { stage } => write!(f, "{stage} stage skipped"),
+            Degradation::RevertedToBest { stage } => {
+                write!(f, "{stage} stage reverted to best subgraph")
+            }
+            Degradation::BudgetOverrun {
+                stage,
+                elapsed_ms,
+                solves,
+            } => write!(
+                f,
+                "{stage} stage over budget ({elapsed_ms:.1} ms, {solves} solve(s))"
+            ),
+            Degradation::FragmentsDropped { count } => {
+                write!(f, "{count} degenerate fragment(s) dropped")
+            }
+            Degradation::GroupSkipped => f.write_str("terminal group skipped"),
+            Degradation::LayerFailed { layer } => write!(f, "layer {layer} failed"),
+        }
+    }
+}
+
 /// Everything that went sideways while producing a
 /// [`RouteResult`](crate::router::RouteResult).
 ///
@@ -259,6 +290,12 @@ impl StageGuard {
             || elapsed_ms > self.budget.wall_clock_ms
             || solves > self.budget.max_solves
         {
+            telemetry::counter!("router.budget_overruns");
+            telemetry::point("budget_overrun")
+                .field("stage", self.stage.to_string())
+                .field("elapsed_ms", elapsed_ms)
+                .field("solves", solves)
+                .emit();
             Some(Degradation::BudgetOverrun {
                 stage: self.stage,
                 elapsed_ms,

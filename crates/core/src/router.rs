@@ -32,6 +32,7 @@ use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
 use crate::SproutError;
 use sprout_board::{Board, ElementRole, NetId};
 use sprout_geom::{Point, Polygon};
+use sprout_telemetry as telemetry;
 use std::time::Instant;
 
 /// Router configuration (the paper's design variables of §II-H).
@@ -218,12 +219,18 @@ impl<'b> Router<'b> {
         if recovery::cancel_requested() {
             return Err(SproutError::Cancelled);
         }
+        let _route_span = telemetry::span("route")
+            .field("net", net.0 as u64)
+            .field("layer", layer)
+            .field("budget_mm2", area_budget_mm2)
+            .enter();
         let mut timings = StageTimings::default();
 
         // Stage 1: available space. Transit layers (multilayer routing)
         // may have no board terminals of their own — the via landing
         // points supplied in `extra_terminals` stand in.
         let t = Instant::now();
+        let mut space_span = telemetry::span("space").enter();
         let mut spec = if extra_terminals.is_empty() {
             SpaceSpec::build(self.board, net, layer, extra_blockers)?
         } else {
@@ -242,10 +249,15 @@ impl<'b> Router<'b> {
         if spec.terminals.is_empty() {
             return Err(SproutError::NoTerminals { net, layer });
         }
+        space_span.record("terminals", spec.terminals.len());
+        drop(space_span);
         timings.space_ms = t.elapsed().as_secs_f64() * 1e3;
 
         // Stage 2: tiling (Algorithm 1).
         let t = Instant::now();
+        let mut tile_span = telemetry::span("tile")
+            .field("pitch_mm", self.config.tile_pitch_mm)
+            .enter();
         let graph = space_to_graph(
             &spec,
             TileOptions {
@@ -254,6 +266,9 @@ impl<'b> Router<'b> {
                 min_cell_fraction: self.config.min_cell_fraction,
             },
         )?;
+        tile_span.record("nodes", graph.node_count());
+        tile_span.record("edges", graph.edge_count());
+        drop(tile_span);
         timings.tile_ms = t.elapsed().as_secs_f64() * 1e3;
 
         let terminals = identify_terminals(&graph, &spec, net)?;
@@ -294,6 +309,12 @@ impl<'b> Router<'b> {
         if area_budget_mm2 <= 0.0 {
             return Err(SproutError::InvalidConfig("area budget must be positive"));
         }
+        let _route_span = telemetry::span("route")
+            .field("net", net.0 as u64)
+            .field("layer", layer)
+            .field("budget_mm2", area_budget_mm2)
+            .field("components", true)
+            .enter();
         let mut spec = if extra_terminals.is_empty() {
             SpaceSpec::build(self.board, net, layer, extra_blockers)?
         } else {
@@ -406,8 +427,13 @@ impl<'b> Router<'b> {
 
         // Stage 3: seed (Algorithm 2). A failure here is always fatal.
         let t = Instant::now();
+        let mut seed_span = telemetry::span("seed")
+            .field("terminals", terminals.len())
+            .enter();
         let guard = StageGuard::begin(Stage::Seed, rec.budget, timings.solves);
         let mut sub = seed_subgraph(&graph, &terminals, net, layer, self.config.seed)?;
+        seed_span.record("nodes", sub.order());
+        drop(seed_span);
         timings.seed_ms = t.elapsed().as_secs_f64() * 1e3;
         if let Some(d) = guard.over_budget(timings.solves) {
             diagnostics.record(d);
@@ -440,6 +466,11 @@ impl<'b> Router<'b> {
         // Stage 4: SmartGrow to the area budget (Algorithm 4), stepwise
         // so the guard can truncate between steps.
         let t = Instant::now();
+        let solves_at_grow = timings.solves;
+        let mut grow_span = telemetry::span("grow")
+            .field("budget_cells", budget_cells)
+            .field("step", grow_step)
+            .enter();
         let guard = StageGuard::begin(Stage::Grow, rec.budget, timings.solves);
         let frame_cell_area = {
             let f = graph.frame();
@@ -468,6 +499,9 @@ impl<'b> Router<'b> {
                 }
             }
         }
+        grow_span.record("nodes", sub.order());
+        grow_span.record("solves", timings.solves - solves_at_grow);
+        drop(grow_span);
         timings.grow_ms = t.elapsed().as_secs_f64() * 1e3;
         if let Some(e) = stage_err {
             apply_policy(
@@ -505,6 +539,10 @@ impl<'b> Router<'b> {
         // Stage 5: SmartRefine (Algorithm 5) with a decreasing move
         // count (§II-E: fewer moves later yield lower impedance).
         let t = Instant::now();
+        let solves_at_refine = timings.solves;
+        let mut refine_span = telemetry::span("refine")
+            .field("iterations", self.config.refine_iterations)
+            .enter();
         let guard = StageGuard::begin(Stage::Refine, rec.budget, timings.solves);
         let base_step = self.config.refine_step.unwrap_or((grow_step / 2).max(2));
         for i in 0..self.config.refine_iterations {
@@ -541,6 +579,9 @@ impl<'b> Router<'b> {
             }
         }
         diagnostics.absorb_events(Stage::Refine);
+        refine_span.record("nodes", sub.order());
+        refine_span.record("solves", timings.solves - solves_at_refine);
+        drop(refine_span);
         timings.refine_ms = t.elapsed().as_secs_f64() * 1e3;
 
         if recovery::cancel_requested() {
@@ -550,6 +591,8 @@ impl<'b> Router<'b> {
         // Stage 6: reheating (§II-F), then a short post-refine.
         if let Some(rh) = self.config.reheat {
             let t = Instant::now();
+            let solves_at_reheat = timings.solves;
+            let mut reheat_span = telemetry::span("reheat").enter();
             let guard = StageGuard::begin(Stage::Reheat, rec.budget, timings.solves);
             'reheat: {
                 if let Some(d) = guard.over_budget(timings.solves) {
@@ -621,6 +664,9 @@ impl<'b> Router<'b> {
                 }
             }
             diagnostics.absorb_events(Stage::Reheat);
+            reheat_span.record("nodes", sub.order());
+            reheat_span.record("solves", timings.solves - solves_at_reheat);
+            drop(reheat_span);
             timings.reheat_ms = t.elapsed().as_secs_f64() * 1e3;
         }
 
@@ -636,6 +682,9 @@ impl<'b> Router<'b> {
 
         // Stage 7: back conversion (§II-G), then sliver cleanup.
         let t = Instant::now();
+        let mut backconv_span = telemetry::span("backconv")
+            .field("nodes", sub.order())
+            .enter();
         let mut shape = back_convert(&graph, &sub);
         if recovery::fault_degenerate_polygon() {
             shape.inject_degenerate_fragment(graph.frame().origin);
@@ -645,6 +694,9 @@ impl<'b> Router<'b> {
             diagnostics.record(Degradation::FragmentsDropped { count: dropped });
         }
         diagnostics.absorb_events(Stage::BackConvert);
+        backconv_span.record("area_mm2", shape.area_mm2());
+        backconv_span.record("fragments_dropped", dropped);
+        drop(backconv_span);
         timings.backconv_ms = t.elapsed().as_secs_f64() * 1e3;
 
         Ok(RouteResult {

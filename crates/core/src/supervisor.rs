@@ -46,6 +46,7 @@ use sprout_board::io::{board_fingerprint, fnv1a64};
 use sprout_board::{Board, NetId};
 use sprout_geom::stitch::Contour;
 use sprout_geom::{Point, Polygon};
+use sprout_telemetry as telemetry;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -312,6 +313,11 @@ impl<'b> Supervisor<'b> {
         let mut report = JobReport::default();
         let waves = partition_waves(requests);
         report.waves = waves.len();
+        let mut job_span = telemetry::span("job")
+            .field("rails", requests.len())
+            .field("waves", waves.len())
+            .field("threads", self.config.threads)
+            .enter();
 
         let mut slots: Vec<Option<RailReport>> = (0..requests.len()).map(|_| None).collect();
 
@@ -320,8 +326,10 @@ impl<'b> Supervisor<'b> {
         let board_fp = board_fingerprint(self.board);
         let job_fp = job_fingerprint(requests);
         if let Some(path) = &self.config.checkpoint {
+            let mut load_span = telemetry::span("checkpoint_load").enter();
             match checkpoint::load(path, board_fp, job_fp, requests) {
                 Ok(restored) => {
+                    load_span.record("restored", restored.len());
                     for r in restored {
                         report.resumed += 1;
                         slots[r.index] = Some(RailReport {
@@ -354,6 +362,10 @@ impl<'b> Supervisor<'b> {
                 .copied()
                 .filter(|&i| slots[i].is_none())
                 .collect();
+            let _wave_span = telemetry::span("wave")
+                .field("wave", wave_no)
+                .field("pending", pending.len())
+                .enter();
 
             if !pending.is_empty() && !killed {
                 let outcomes = self.run_wave(wave_no, &pending, requests, &claimed, start);
@@ -387,6 +399,9 @@ impl<'b> Supervisor<'b> {
 
             // Checkpoint the completed prefix of the job.
             if let Some(path) = &self.config.checkpoint {
+                let _save_span = telemetry::span("checkpoint_save")
+                    .field("wave", wave_no)
+                    .enter();
                 if let Err(e) = checkpoint::save(path, board_fp, job_fp, requests, &slots) {
                     report
                         .warnings
@@ -412,6 +427,8 @@ impl<'b> Supervisor<'b> {
             })
             .collect();
         report.elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+        job_span.record("resumed", report.resumed);
+        job_span.record("complete", report.is_complete());
         report
     }
 
@@ -433,16 +450,23 @@ impl<'b> Supervisor<'b> {
         }
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, RailReport)>();
+        // Recorders are scoped per thread: capture the caller's and
+        // re-install it inside each worker so rail spans keep flowing.
+        let recorder = telemetry::current();
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads.min(pending.len()) {
                 let tx = tx.clone();
                 let next = &next;
-                scope.spawn(move || loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = pending.get(slot) else { break };
-                    let rail = self.run_rail(i, wave_no, requests[i], claimed, start);
-                    if tx.send((i, rail)).is_err() {
-                        break;
+                let recorder = recorder.clone();
+                scope.spawn(move || {
+                    let _telemetry = recorder.map(telemetry::RecorderScope::install);
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = pending.get(slot) else { break };
+                        let rail = self.run_rail(i, wave_no, requests[i], claimed, start);
+                        if tx.send((i, rail)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -462,6 +486,12 @@ impl<'b> Supervisor<'b> {
         start: Instant,
     ) -> RailReport {
         let (net, layer, budget) = request;
+        let _rail_span = telemetry::span("rail")
+            .field("net", net.0 as u64)
+            .field("layer", layer)
+            .field("budget_mm2", budget)
+            .field("wave", wave)
+            .enter();
         let blockers: &[Polygon] = claimed.get(&layer).map(Vec::as_slice).unwrap_or(&[]);
         let mut attempts = 0usize;
         let mut last_err: Option<SproutError> = None;
@@ -513,13 +543,28 @@ impl<'b> Supervisor<'b> {
                     if !is_retryable(&e) {
                         return self.finished_rail(request, wave, attempts, e);
                     }
+                    telemetry::counter!("supervisor.retries");
+                    telemetry::point("retry")
+                        .field("net", net.0 as u64)
+                        .field("layer", layer)
+                        .field("attempt", attempts)
+                        .field("error", e.to_string())
+                        .emit();
                     last_err = Some(e);
                 }
                 Err(payload) => {
+                    let message = panic_message(payload);
+                    telemetry::counter!("supervisor.worker_panics");
+                    telemetry::point("worker_panic")
+                        .field("net", net.0 as u64)
+                        .field("layer", layer)
+                        .field("attempt", attempts)
+                        .field("message", message.clone())
+                        .emit();
                     last_err = Some(SproutError::WorkerPanicked {
                         net,
                         layer,
-                        message: panic_message(payload),
+                        message,
                     });
                 }
             }

@@ -18,6 +18,7 @@ use crate::ExtractError;
 use sprout_board::{Board, NetId};
 use sprout_core::router::{Router, RouterConfig};
 use sprout_core::SproutError;
+use sprout_telemetry as telemetry;
 
 /// One prototype to synthesize: a label plus per-rail area budgets.
 #[derive(Debug, Clone)]
@@ -137,6 +138,10 @@ pub fn explore(
     let finfet = FinFetModel::paper_32nm();
     let mut out = Vec::with_capacity(specs.len());
     for spec in specs {
+        let mut proto_span = telemetry::span("prototype")
+            .field("label", spec.label.clone())
+            .field("rails", spec.rails.len())
+            .enter();
         let routes = router
             .route_all(&spec.rails)
             .into_results()
@@ -174,8 +179,15 @@ pub fn explore(
                 label: spec.label.clone(),
                 source,
             })?;
+            telemetry::point("rail_metrics")
+                .field("net", metrics.net.0 as u64)
+                .field("area_mm2", metrics.area_mm2)
+                .field("resistance_ohm", metrics.resistance_ohm)
+                .field("v_min", metrics.v_min)
+                .emit();
             rails.push(metrics);
         }
+        proto_span.record("routed", rails.len());
         out.push(PrototypeEvaluation {
             label: spec.label.clone(),
             rails,
@@ -291,6 +303,10 @@ pub fn balance_budgets(
     max_iterations: usize,
 ) -> Result<BalanceResult, ExploreError> {
     assert!(!rails.is_empty(), "need at least one rail");
+    let mut balance_span = telemetry::span("balance")
+        .field("rails", rails.len())
+        .field("total_area_mm2", total_area_mm2)
+        .enter();
     let n = rails.len();
     let mut budgets = vec![total_area_mm2 / n as f64; n];
     let spec_of = |budgets: &[f64], label: String| PrototypeSpec {
@@ -347,6 +363,7 @@ pub fn balance_budgets(
             }
         }
     }
+    balance_span.record("iterations", iterations);
     Ok(BalanceResult {
         budgets_mm2: budgets,
         evaluation,

@@ -26,6 +26,7 @@ use crate::polygon::Polygon;
 use crate::rect::Rect;
 use crate::triangulate::convex_parts;
 use crate::{IntervalSet, AREA_EPS};
+use sprout_telemetry as telemetry;
 
 /// A set of interior-disjoint simple polygons (no holes).
 ///
@@ -178,6 +179,8 @@ impl PolygonSet {
         let scale = b.width().max(b.height()).max(1.0);
         if p.area() > AREA_EPS * scale {
             self.pieces.push(p);
+        } else {
+            telemetry::counter!("geom.degenerate_dropped");
         }
     }
 }
@@ -198,6 +201,7 @@ impl<'a> IntoIterator for &'a PolygonSet {
 
 /// `a ∩ b` for arbitrary simple polygons.
 pub fn intersection(a: &Polygon, b: &Polygon) -> PolygonSet {
+    telemetry::counter!("geom.intersection");
     if !a.bounds().intersects(&b.bounds()) {
         return PolygonSet::new();
     }
@@ -216,6 +220,7 @@ pub fn intersection(a: &Polygon, b: &Polygon) -> PolygonSet {
 
 /// `a \ b` for arbitrary simple polygons.
 pub fn difference(a: &Polygon, b: &Polygon) -> PolygonSet {
+    telemetry::counter!("geom.difference");
     if !a.bounds().intersects(&b.bounds()) {
         return PolygonSet::from_polygon(a.clone());
     }
@@ -224,6 +229,7 @@ pub fn difference(a: &Polygon, b: &Polygon) -> PolygonSet {
 
 /// `a ∪ b` for arbitrary simple polygons.
 pub fn union(a: &Polygon, b: &Polygon) -> PolygonSet {
+    telemetry::counter!("geom.union");
     let mut set = PolygonSet::from_polygon(a.clone());
     set.add_polygon(b);
     set
@@ -231,6 +237,7 @@ pub fn union(a: &Polygon, b: &Polygon) -> PolygonSet {
 
 /// Union of any number of polygons.
 pub fn union_all<I: IntoIterator<Item = Polygon>>(polys: I) -> PolygonSet {
+    telemetry::counter!("geom.union_all");
     let mut set = PolygonSet::new();
     for p in polys {
         set.add_polygon(&p);

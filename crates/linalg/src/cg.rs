@@ -7,6 +7,7 @@
 use crate::scalar::{axpy, dot, norm2};
 use crate::sparse::Csr;
 use crate::LinalgError;
+use sprout_telemetry as telemetry;
 
 /// Options controlling the CG iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -113,6 +114,8 @@ pub fn solve_cg(a: &Csr<f64>, b: &[f64], opts: CgOptions) -> Result<CgSolution, 
         axpy(-alpha, &ap, &mut r);
         let res = norm2(&r) / b_norm;
         if res <= opts.tolerance {
+            telemetry::counter!("cg.solves");
+            telemetry::histogram!("cg.iterations", (iter + 1) as u64);
             return Ok(CgSolution {
                 x,
                 iterations: iter + 1,
@@ -129,9 +132,15 @@ pub fn solve_cg(a: &Csr<f64>, b: &[f64], opts: CgOptions) -> Result<CgSolution, 
             p[i] = z[i] + beta * p[i];
         }
     }
+    let residual = norm2(&r) / b_norm;
+    telemetry::counter!("cg.not_converged");
+    telemetry::point("cg_not_converged")
+        .field("iterations", max_iter)
+        .field("residual", residual)
+        .emit();
     Err(LinalgError::NotConverged {
         iterations: max_iter,
-        residual: norm2(&r) / b_norm,
+        residual,
     })
 }
 

@@ -25,6 +25,7 @@ use crate::cg::{solve_cg, CgOptions};
 use crate::cholesky::SparseCholesky;
 use crate::sparse::{Csr, Triplets};
 use crate::LinalgError;
+use sprout_telemetry as telemetry;
 
 /// Which rung of the ladder produced the working solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +206,7 @@ pub fn build_grounded_solver(
         factor_attempts += 1;
         match SparseCholesky::factor(a) {
             Ok(chol) => {
+                telemetry::counter!("ladder.cholesky");
                 return Ok(LadderSolver {
                     a: a.clone(),
                     backend: Backend::Direct(chol),
@@ -213,7 +215,7 @@ pub fn build_grounded_solver(
                         factor_attempts,
                         regularization: 0.0,
                     },
-                })
+                });
             }
             Err(e) => last_err = e,
         }
@@ -227,6 +229,12 @@ pub fn build_grounded_solver(
             let jittered = add_diagonal(a, eps);
             match SparseCholesky::factor(&jittered) {
                 Ok(chol) => {
+                    telemetry::counter!("ladder.regularized");
+                    telemetry::point("ladder_fallback")
+                        .field("rung", "RegularizedCholesky")
+                        .field("factor_attempts", factor_attempts)
+                        .field("regularization", eps)
+                        .emit();
                     return Ok(LadderSolver {
                         a: a.clone(),
                         backend: Backend::Regularized(chol),
@@ -235,7 +243,7 @@ pub fn build_grounded_solver(
                             factor_attempts,
                             regularization: eps,
                         },
-                    })
+                    });
                 }
                 Err(e) => last_err = e,
             }
@@ -248,15 +256,25 @@ pub fn build_grounded_solver(
     let x_probe: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
     let b_probe = a.mul_vec(&x_probe)?;
     match solve_cg(a, &b_probe, opts.cg) {
-        Ok(_) => Ok(LadderSolver {
-            a: a.clone(),
-            backend: Backend::Iterative(opts.cg),
-            report: FallbackReport {
-                rung: Rung::ConjugateGradient,
-                factor_attempts,
-                regularization: 0.0,
-            },
-        }),
+        Ok(probe) => {
+            telemetry::counter!("ladder.cg");
+            if !opts.force_iterative {
+                telemetry::point("ladder_fallback")
+                    .field("rung", "ConjugateGradient")
+                    .field("factor_attempts", factor_attempts)
+                    .field("probe_iterations", probe.iterations)
+                    .emit();
+            }
+            Ok(LadderSolver {
+                a: a.clone(),
+                backend: Backend::Iterative(opts.cg),
+                report: FallbackReport {
+                    rung: Rung::ConjugateGradient,
+                    factor_attempts,
+                    regularization: 0.0,
+                },
+            })
+        }
         Err(e) => {
             // Every rung failed; prefer the direct-rung error when we
             // have one, since it names the structural problem.

@@ -1,0 +1,205 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The workspace is dependency-free by design, so sinks and run
+//! reports build their JSON with this module instead of serde. Output
+//! is always a single line per object — the JSONL contract.
+
+use std::fmt::Write as _;
+
+use crate::Value;
+
+/// Escapes `s` into `out` as JSON string contents (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values map to `null`.
+pub fn fmt_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental single-line JSON object builder.
+///
+/// ```
+/// use sprout_telemetry::json::Obj;
+/// let mut o = Obj::new();
+/// o.str("name", "grow").u64("rail", 1);
+/// assert_eq!(o.finish(), r#"{"name":"grow","rail":1}"#);
+/// ```
+#[derive(Debug)]
+pub struct Obj {
+    buf: String,
+    any: bool,
+}
+
+impl Default for Obj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        self.buf.push('"');
+        escape_into(&mut self.buf, key);
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Adds a string member.
+    pub fn str(&mut self, key: &str, v: &str) -> &mut Obj {
+        let buf = self.key(key);
+        buf.push('"');
+        escape_into(buf, v);
+        buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned-integer member.
+    pub fn u64(&mut self, key: &str, v: u64) -> &mut Obj {
+        let buf = self.key(key);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    /// Adds a signed-integer member.
+    pub fn i64(&mut self, key: &str, v: i64) -> &mut Obj {
+        let buf = self.key(key);
+        let _ = write!(buf, "{v}");
+        self
+    }
+
+    /// Adds a float member (`null` when non-finite).
+    pub fn f64(&mut self, key: &str, v: f64) -> &mut Obj {
+        let buf = self.key(key);
+        fmt_f64(buf, v);
+        self
+    }
+
+    /// Adds a boolean member.
+    pub fn bool(&mut self, key: &str, v: bool) -> &mut Obj {
+        let buf = self.key(key);
+        buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (nested object/array).
+    pub fn raw(&mut self, key: &str, v: &str) -> &mut Obj {
+        let buf = self.key(key);
+        buf.push_str(v);
+        self
+    }
+
+    /// Adds a typed telemetry [`Value`].
+    pub fn value(&mut self, key: &str, v: &Value) -> &mut Obj {
+        match v {
+            Value::U64(x) => self.u64(key, *x),
+            Value::I64(x) => self.i64(key, *x),
+            Value::F64(x) => self.f64(key, *x),
+            Value::Bool(x) => self.bool(key, *x),
+            Value::Str(x) => self.str(key, x),
+        }
+    }
+
+    /// Closes the object and returns the rendered line (no trailing
+    /// newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders an iterator of pre-rendered JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Renders an iterator of plain strings as a JSON array of strings.
+pub fn str_array<'a, I: IntoIterator<Item = &'a str>>(items: I) -> String {
+    array(items.into_iter().map(|s| {
+        let mut buf = String::from("\"");
+        escape_into(&mut buf, s);
+        buf.push('"');
+        buf
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut o = Obj::new();
+        o.f64("nan", f64::NAN)
+            .f64("inf", f64::INFINITY)
+            .f64("ok", 1.5);
+        assert_eq!(o.finish(), r#"{"nan":null,"inf":null,"ok":1.5}"#);
+    }
+
+    #[test]
+    fn builder_chains_all_types() {
+        let mut o = Obj::new();
+        o.str("s", "x")
+            .u64("u", 2)
+            .i64("i", -3)
+            .bool("b", false)
+            .raw("arr", &str_array(["a", "b"]));
+        assert_eq!(
+            o.finish(),
+            r#"{"s":"x","u":2,"i":-3,"b":false,"arr":["a","b"]}"#
+        );
+    }
+
+    #[test]
+    fn typed_values_render() {
+        let mut o = Obj::new();
+        o.value("v", &Value::Str("q\"q".into()));
+        assert_eq!(o.finish(), r#"{"v":"q\"q"}"#);
+    }
+}

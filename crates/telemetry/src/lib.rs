@@ -1,0 +1,598 @@
+//! # sprout-telemetry
+//!
+//! Zero-dependency structured observability for the SPROUT workspace:
+//! hierarchical spans with monotonic timing, typed lock-free metrics,
+//! a bounded event ring buffer, and pluggable sinks.
+//!
+//! The routing pipeline (available space → tiling → seed → SmartGrow →
+//! SmartRefine → reheat → back conversion, §II of the paper) is a long
+//! chain of numerical stages whose cost and quality the paper accounts
+//! per stage (Table III, Fig. 12, §II-H). This crate is the measurement
+//! substrate for that accounting: every stage, solver-ladder climb,
+//! boolean-op call, supervisor wave, and checkpoint write can report
+//! itself without printing, without allocating when nobody listens, and
+//! without pulling a single external crate into the workspace.
+//!
+//! ## Model
+//!
+//! * [`Event`] — what instrumented code emits: span start/end pairs,
+//!   instant [`Event::Point`]s, each carrying typed key/value
+//!   [`Fields`].
+//! * [`Recorder`] — where events go. The default is *nobody*: with no
+//!   recorder installed, [`span`] and [`point`] skip field collection
+//!   entirely and cost a thread-local read.
+//! * Sinks — [`sinks::StderrSink`] (pretty tree for humans),
+//!   [`sinks::JsonlSink`] (one JSON object per line for machines),
+//!   [`sinks::MemorySink`] (test inspection), [`ring::RingSink`]
+//!   (bounded in-process buffer, lossless until the cap).
+//! * [`metrics`] — always-on lock-free counters/gauges/histograms,
+//!   aggregated globally and snapshotted into run reports.
+//!
+//! ## Installation
+//!
+//! Recorders install two ways, mirroring the scope discipline of the
+//! router's fault and cancel scopes:
+//!
+//! * [`RecorderScope::install`] — thread-local, innermost-wins; the
+//!   right tool for tests and single-threaded runs.
+//! * [`set_global`] — process-wide fallback used when no scope is
+//!   active; the right tool for bench binaries. Code that spawns worker
+//!   threads (the supervisor) captures [`current`] and re-installs it
+//!   inside each worker so spans keep flowing.
+//!
+//! ## Example
+//!
+//! ```
+//! use sprout_telemetry::{self as telemetry, sinks::MemorySink, Event, RecorderScope};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! {
+//!     let _scope = RecorderScope::install(sink.clone());
+//!     let mut outer = telemetry::span("grow").field("rail", 1u64).enter();
+//!     {
+//!         let _inner = telemetry::span("solve").enter();
+//!     }
+//!     outer.record("solves", 42u64);
+//! }
+//! let events = sink.events();
+//! assert_eq!(events.len(), 4); // two starts, two ends
+//! match &events[1] {
+//!     Event::SpanStart { name, depth, .. } => {
+//!         assert_eq!(*name, "solve");
+//!         assert_eq!(*depth, 1); // nested under `grow`
+//!     }
+//!     other => panic!("expected inner start, got {other:?}"),
+//! }
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod sinks;
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// A typed field value attached to spans and points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, ids, sizes).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (times, areas, residuals).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Text (labels, reasons).
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.3}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Ordered key/value pairs attached to an event.
+pub type Fields = Vec<(&'static str, Value)>;
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A span opened.
+    SpanStart {
+        /// Process-unique span id.
+        id: u64,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Span name (a pipeline stage, a job phase, …).
+        name: &'static str,
+        /// Nesting depth at open (0 = root).
+        depth: usize,
+        /// Entry fields.
+        fields: Fields,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Id from the matching [`Event::SpanStart`].
+        id: u64,
+        /// Span name, repeated so sinks need not join.
+        name: &'static str,
+        /// Nesting depth at close (matches the start's depth).
+        depth: usize,
+        /// Monotonic wall time between start and end (ns).
+        elapsed_ns: u64,
+        /// Exit fields recorded via [`SpanGuard::record`].
+        fields: Fields,
+    },
+    /// An instant event (a retry, a fallback, a checkpoint written).
+    Point {
+        /// Event name.
+        name: &'static str,
+        /// Enclosing span on the same thread, if any.
+        parent: Option<u64>,
+        /// Nesting depth (0 = outside all spans).
+        depth: usize,
+        /// Payload.
+        fields: Fields,
+    },
+}
+
+impl Event {
+    /// The event's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SpanStart { name, .. }
+            | Event::SpanEnd { name, .. }
+            | Event::Point { name, .. } => name,
+        }
+    }
+
+    /// The event's fields.
+    pub fn fields(&self) -> &Fields {
+        match self {
+            Event::SpanStart { fields, .. }
+            | Event::SpanEnd { fields, .. }
+            | Event::Point { fields, .. } => fields,
+        }
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields()
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Where events go. Implementations must be cheap and non-blocking —
+/// they are called from routing hot paths (though only between stages
+/// and solves, never inside inner numeric loops).
+pub trait Recorder: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+    /// Flushes buffered output (JSONL writers). Default: no-op.
+    fn flush(&self) {}
+}
+
+static GLOBAL_ACTIVE: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn global_slot() -> &'static RwLock<Option<Arc<dyn Recorder>>> {
+    static SLOT: std::sync::OnceLock<RwLock<Option<Arc<dyn Recorder>>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+thread_local! {
+    static SCOPED: RefCell<Vec<Arc<dyn Recorder>>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Installs (or with `None`, removes) the process-wide fallback
+/// recorder. Scoped recorders take precedence on their threads.
+pub fn set_global(recorder: Option<Arc<dyn Recorder>>) {
+    let mut slot = global_slot().write().unwrap_or_else(|e| e.into_inner());
+    GLOBAL_ACTIVE.store(recorder.is_some(), Ordering::Release);
+    *slot = recorder;
+}
+
+/// The recorder active on this thread: the innermost
+/// [`RecorderScope`], else the global one, else `None`.
+pub fn current() -> Option<Arc<dyn Recorder>> {
+    let scoped = SCOPED.with(|s| s.borrow().last().cloned());
+    if scoped.is_some() {
+        return scoped;
+    }
+    if !GLOBAL_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    global_slot()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// `true` when any recorder would receive events from this thread.
+pub fn active() -> bool {
+    SCOPED.with(|s| !s.borrow().is_empty()) || GLOBAL_ACTIVE.load(Ordering::Acquire)
+}
+
+/// Installs a recorder on the current thread for the guard's lifetime.
+/// Scopes nest; the innermost wins. Worker-spawning code (the routing
+/// supervisor) captures [`current`] before spawning and re-installs it
+/// in each worker so spans keep flowing across thread boundaries.
+pub struct RecorderScope(());
+
+impl RecorderScope {
+    /// Installs `recorder`; deactivates when the guard drops.
+    pub fn install(recorder: Arc<dyn Recorder>) -> RecorderScope {
+        SCOPED.with(|s| s.borrow_mut().push(recorder));
+        RecorderScope(())
+    }
+}
+
+impl Drop for RecorderScope {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Builder for a span. Created by [`span`]; call
+/// [`field`](SpanBuilder::field) to attach entry fields and
+/// [`enter`](SpanBuilder::enter) to start timing.
+#[must_use = "a span only starts when .enter() is called"]
+pub struct SpanBuilder {
+    name: &'static str,
+    recorder: Option<Arc<dyn Recorder>>,
+    fields: Fields,
+}
+
+impl SpanBuilder {
+    /// Attaches an entry field (skipped entirely when no recorder is
+    /// active).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if self.recorder.is_some() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Starts the span: emits [`Event::SpanStart`] and returns a guard
+    /// that emits [`Event::SpanEnd`] with monotonic elapsed time when
+    /// dropped.
+    pub fn enter(self) -> SpanGuard {
+        let Some(recorder) = self.recorder else {
+            return SpanGuard { active: None };
+        };
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent, depth) = SPAN_STACK.with(|s| {
+            let s = s.borrow();
+            (s.last().copied(), s.len())
+        });
+        recorder.record(&Event::SpanStart {
+            id,
+            parent,
+            name: self.name,
+            depth,
+            fields: self.fields,
+        });
+        SPAN_STACK.with(|s| s.borrow_mut().push(id));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                id,
+                name: self.name,
+                depth,
+                recorder,
+                start: Instant::now(),
+                exit_fields: Vec::new(),
+            }),
+        }
+    }
+}
+
+struct ActiveSpan {
+    id: u64,
+    name: &'static str,
+    depth: usize,
+    recorder: Arc<dyn Recorder>,
+    start: Instant,
+    exit_fields: Fields,
+}
+
+/// An open span. Dropping it (including during unwinding) closes the
+/// span and emits the end event with its monotonic duration.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches an exit field, reported on the span's end event.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(a) = &mut self.active {
+            a.exit_fields.push((key, value.into()));
+        }
+    }
+
+    /// `true` when a recorder is listening (lets callers skip expensive
+    /// field computation).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        // Pop this span; tolerate out-of-order drops by removing the
+        // matching id wherever it sits (never panics during unwind).
+        SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            if s.last() == Some(&a.id) {
+                s.pop();
+            } else if let Some(pos) = s.iter().rposition(|&x| x == a.id) {
+                s.remove(pos);
+            }
+        });
+        a.recorder.record(&Event::SpanEnd {
+            id: a.id,
+            name: a.name,
+            depth: a.depth,
+            elapsed_ns: a.start.elapsed().as_nanos() as u64,
+            fields: a.exit_fields,
+        });
+    }
+}
+
+/// Opens a span builder. With no recorder active this is a thread-local
+/// read and the returned guard does nothing.
+pub fn span(name: &'static str) -> SpanBuilder {
+    SpanBuilder {
+        name,
+        recorder: current(),
+        fields: Vec::new(),
+    }
+}
+
+/// Builder for an instant event. Created by [`point`]; call
+/// [`emit`](PointBuilder::emit) to send it.
+#[must_use = "a point is only recorded when .emit() is called"]
+pub struct PointBuilder {
+    name: &'static str,
+    recorder: Option<Arc<dyn Recorder>>,
+    fields: Fields,
+}
+
+impl PointBuilder {
+    /// Attaches a field (skipped when no recorder is active).
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if self.recorder.is_some() {
+            self.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Emits the event to the active recorder, tagged with the current
+    /// span context.
+    pub fn emit(self) {
+        let Some(recorder) = self.recorder else {
+            return;
+        };
+        let (parent, depth) = SPAN_STACK.with(|s| {
+            let s = s.borrow();
+            (s.last().copied(), s.len())
+        });
+        recorder.record(&Event::Point {
+            name: self.name,
+            parent,
+            depth,
+            fields: self.fields,
+        });
+    }
+}
+
+/// Opens an instant-event builder (a retry, a solver fallback, a
+/// checkpoint written). Free when no recorder is active.
+pub fn point(name: &'static str) -> PointBuilder {
+    PointBuilder {
+        name,
+        recorder: current(),
+        fields: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sinks::MemorySink;
+    use super::*;
+
+    #[test]
+    fn no_recorder_means_no_events_and_inert_guards() {
+        assert!(current().is_none() || GLOBAL_ACTIVE.load(Ordering::Acquire));
+        let mut g = span("idle").field("k", 1u64).enter();
+        assert!(!g.is_recording());
+        g.record("x", 2u64);
+        point("nothing").field("y", 3u64).emit();
+        drop(g);
+        // Span stack stays empty: the inert guard never pushed.
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let sink = Arc::new(MemorySink::new());
+        {
+            let _scope = RecorderScope::install(sink.clone());
+            let mut outer = span("outer").field("rail", 7u64).enter();
+            point("mid").field("why", "because").emit();
+            {
+                let _inner = span("inner").enter();
+            }
+            outer.record("solves", 3u64);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 5);
+        let (outer_id, outer_depth) = match &events[0] {
+            Event::SpanStart {
+                id,
+                name: "outer",
+                depth,
+                parent: None,
+                fields,
+            } => {
+                assert_eq!(fields[0], ("rail", Value::U64(7)));
+                (*id, *depth)
+            }
+            other => panic!("bad first event {other:?}"),
+        };
+        assert_eq!(outer_depth, 0);
+        match &events[1] {
+            Event::Point {
+                name: "mid",
+                parent,
+                depth,
+                ..
+            } => {
+                assert_eq!(*parent, Some(outer_id));
+                assert_eq!(*depth, 1);
+            }
+            other => panic!("bad point {other:?}"),
+        }
+        match &events[2] {
+            Event::SpanStart {
+                name: "inner",
+                parent,
+                depth,
+                ..
+            } => {
+                assert_eq!(*parent, Some(outer_id));
+                assert_eq!(*depth, 1);
+            }
+            other => panic!("bad inner start {other:?}"),
+        }
+        match &events[4] {
+            Event::SpanEnd {
+                id,
+                name: "outer",
+                fields,
+                ..
+            } => {
+                assert_eq!(*id, outer_id);
+                assert_eq!(fields[0], ("solves", Value::U64(3)));
+            }
+            other => panic!("bad outer end {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scoped_recorder_wins_over_global_and_pops_cleanly() {
+        let global = Arc::new(MemorySink::new());
+        let scoped = Arc::new(MemorySink::new());
+        set_global(Some(global.clone()));
+        {
+            let _scope = RecorderScope::install(scoped.clone());
+            let _g = span("scoped-only").enter();
+        }
+        {
+            let _g = span("global-only").enter();
+        }
+        set_global(None);
+        assert!(scoped.events().iter().all(|e| e.name() == "scoped-only"));
+        assert!(global.events().iter().any(|e| e.name() == "global-only"));
+        assert!(global.events().iter().all(|e| e.name() != "scoped-only"));
+    }
+
+    #[test]
+    fn elapsed_is_monotonic_and_positive() {
+        let sink = Arc::new(MemorySink::new());
+        {
+            let _scope = RecorderScope::install(sink.clone());
+            let _g = span("timed").enter();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let events = sink.events();
+        match &events[1] {
+            Event::SpanEnd { elapsed_ns, .. } => assert!(*elapsed_ns >= 1_000_000),
+            other => panic!("expected end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_conversions_and_lookup() {
+        let sink = Arc::new(MemorySink::new());
+        {
+            let _scope = RecorderScope::install(sink.clone());
+            point("p")
+                .field("u", 1usize)
+                .field("i", -2i64)
+                .field("f", 0.5f64)
+                .field("b", true)
+                .field("s", "text")
+                .emit();
+        }
+        let events = sink.events();
+        let e = &events[0];
+        assert_eq!(e.field("u"), Some(&Value::U64(1)));
+        assert_eq!(e.field("i"), Some(&Value::I64(-2)));
+        assert_eq!(e.field("f"), Some(&Value::F64(0.5)));
+        assert_eq!(e.field("b"), Some(&Value::Bool(true)));
+        assert_eq!(e.field("s"), Some(&Value::Str("text".into())));
+        assert_eq!(e.field("missing"), None);
+    }
+}

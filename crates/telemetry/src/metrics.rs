@@ -1,0 +1,425 @@
+//! Lock-free typed metrics: counters, gauges, and log2 histograms.
+//!
+//! Metrics are always on — unlike spans they do not check for an
+//! active recorder, because a relaxed atomic increment is cheaper than
+//! the check would make worthwhile. Handles are registered once in a
+//! global registry and cached at the call site by the [`counter!`],
+//! [`gauge!`], and [`histogram!`] macros, so the hot path is a single
+//! `fetch_add`.
+//!
+//! Snapshots ([`Registry::snapshot`]) are taken by run reports and
+//! bench binaries; [`Registry::reset`] zeroes everything between
+//! repetitions so per-run deltas are exact.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing count (solver fallbacks, boolean-op
+/// calls, degenerate pieces dropped, …).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins signed level (active workers, queue depth, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets: values 0, 1, 2, 4, … 2^62, +∞.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram of `u64` samples (CG iteration
+/// counts, span durations in µs, …). Bucket `i` holds samples whose
+/// highest set bit is `i-1` (bucket 0 holds zeros), i.e. bucket
+/// boundaries are powers of two.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a sample: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, v: u64) {
+        let idx = bucket_index(v).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps only past u64::MAX total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge name → level.
+    pub gauges: BTreeMap<&'static str, i64>,
+    /// Histogram name → (count, sum, max).
+    pub histograms: BTreeMap<&'static str, (u64, u64, u64)>,
+}
+
+impl Snapshot {
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter-wise difference against an earlier snapshot (saturating
+    /// at zero), for per-run deltas without resetting.
+    pub fn counter_delta(&self, earlier: &Snapshot, name: &str) -> u64 {
+        self.counter(name).saturating_sub(earlier.counter(name))
+    }
+}
+
+/// Holds named metric handles. Registration locks; reads and updates
+/// do not.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry (tests; production uses [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name).or_default().clone()
+    }
+
+    /// Copies every metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&k, v)| (k, v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&k, v)| (k, v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&k, v)| (k, (v.count(), v.sum(), v.max())))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Zeroes every registered metric (handles stay valid).
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            g.reset();
+        }
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// The process-wide registry used by the instrumentation macros.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Increments (or adds to) a named global counter. The handle is
+/// looked up once and cached at the call site.
+///
+/// ```
+/// use sprout_telemetry::counter;
+/// counter!("solver.fallbacks");
+/// counter!("geom.pieces_dropped", 3);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        $crate::counter!($name, 1)
+    }};
+    ($name:literal, $n:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::metrics::global().counter($name))
+            .add($n);
+    }};
+}
+
+/// Sets a named global gauge.
+///
+/// ```
+/// use sprout_telemetry::gauge;
+/// gauge!("supervisor.workers", 4);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $v:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::metrics::global().gauge($name))
+            .set($v);
+    }};
+}
+
+/// Records a sample in a named global histogram.
+///
+/// ```
+/// use sprout_telemetry::histogram;
+/// histogram!("cg.iterations", 17);
+/// ```
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal, $v:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE
+            .get_or_init(|| $crate::metrics::global().histogram($name))
+            .observe($v);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(reg.counter("x").get(), 5, "same handle by name");
+        reg.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_sets_and_adjusts() {
+        let reg = Registry::new();
+        let g = reg.gauge("level");
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+
+        let h = Histogram::default();
+        for v in [0, 1, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 108);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.6).abs() < 1e-12);
+        let b = h.buckets();
+        assert_eq!(b[0], 1); // 0
+        assert_eq!(b[1], 1); // 1
+        assert_eq!(b[2], 1); // 3
+        assert_eq!(b[3], 1); // 4
+        assert_eq!(b[7], 1); // 100 (64..128)
+    }
+
+    #[test]
+    fn snapshot_and_delta() {
+        let reg = Registry::new();
+        reg.counter("a").add(2);
+        let before = reg.snapshot();
+        reg.counter("a").add(3);
+        reg.gauge("g").set(-1);
+        reg.histogram("h").observe(9);
+        let after = reg.snapshot();
+        assert_eq!(after.counter("a"), 5);
+        assert_eq!(after.counter_delta(&before, "a"), 3);
+        assert_eq!(after.counter_delta(&before, "missing"), 0);
+        assert_eq!(after.gauges.get("g"), Some(&-1));
+        assert_eq!(after.histograms.get("h"), Some(&(1, 9, 9)));
+    }
+
+    #[test]
+    fn macros_hit_the_global_registry() {
+        crate::counter!("test.macro.counter", 2);
+        crate::gauge!("test.macro.gauge", 11);
+        crate::histogram!("test.macro.hist", 5);
+        let snap = global().snapshot();
+        assert!(snap.counter("test.macro.counter") >= 2);
+        assert_eq!(snap.gauges.get("test.macro.gauge"), Some(&11));
+        assert!(snap.histograms.get("test.macro.hist").unwrap().0 >= 1);
+    }
+
+    #[test]
+    fn concurrent_increments_do_not_lose_updates() {
+        let reg = Registry::new();
+        let c = reg.counter("contended");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,154 @@
+//! Bounded in-process event buffer.
+//!
+//! [`RingSink`] keeps the most recent events up to a fixed capacity —
+//! lossless until the cap, then oldest-first eviction with an explicit
+//! drop counter so consumers can tell truncation from a quiet run.
+//! Useful as a flight recorder: attach it for a whole job, then dump
+//! the tail only when something goes wrong.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::{Event, Recorder};
+
+/// A bounded FIFO of recent [`Event`]s.
+#[derive(Debug)]
+pub struct RingSink {
+    inner: Mutex<Ring>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events evicted so far (0 means the buffer is still
+    /// lossless).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).dropped
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .events
+            .len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Removes and returns the retained events, oldest first, and
+    /// zeroes the drop counter.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        ring.dropped = 0;
+        ring.events.drain(..).collect()
+    }
+}
+
+impl Recorder for RingSink {
+    fn record(&self, event: &Event) {
+        let mut ring = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fields;
+
+    fn pt(name: &'static str) -> Event {
+        Event::Point {
+            name,
+            parent: None,
+            depth: 0,
+            fields: Fields::new(),
+        }
+    }
+
+    #[test]
+    fn lossless_under_capacity() {
+        let ring = RingSink::new(4);
+        ring.record(&pt("a"));
+        ring.record(&pt("b"));
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(
+            ring.events().iter().map(|e| e.name()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+    }
+
+    #[test]
+    fn evicts_oldest_and_counts_drops() {
+        let ring = RingSink::new(2);
+        for name in ["a", "b", "c", "d"] {
+            ring.record(&pt(name));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(
+            ring.events().iter().map(|e| e.name()).collect::<Vec<_>>(),
+            ["c", "d"]
+        );
+    }
+
+    #[test]
+    fn drain_empties_and_resets() {
+        let ring = RingSink::new(1);
+        ring.record(&pt("a"));
+        ring.record(&pt("b"));
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = RingSink::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(&pt("only"));
+        assert_eq!(ring.len(), 1);
+    }
+}

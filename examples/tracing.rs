@@ -1,0 +1,87 @@
+//! Observability demo: span trees, JSONL traces, and metrics.
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin tracing
+//! ```
+//!
+//! Routes one rail three times under the three bundled recorders:
+//!
+//! 1. [`StderrSink`] — live depth-indented span tree on stderr,
+//! 2. [`JsonlSink`] — one JSON object per event, written to
+//!    `target/examples/trace.jsonl` (query with `jq`),
+//! 3. [`MemorySink`] — in-process capture, used here to print the
+//!    stage order the router actually executed.
+//!
+//! Finally prints the global metric registry — counters accumulate
+//! across all three runs because metrics, unlike spans, are always on.
+
+use sprout_board::presets;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_core::RunReport;
+use sprout_examples::out_dir;
+use sprout_telemetry::sinks::{JsonlSink, MemorySink, StderrSink};
+use sprout_telemetry::{metrics, Event, Recorder, RecorderScope};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = presets::two_rail();
+    let (vdd1, _) = board.power_nets().next().expect("preset has rails");
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let config = RouterConfig {
+        tile_pitch_mm: 0.6,
+        grow_iterations: 8,
+        refine_iterations: 2,
+        ..RouterConfig::default()
+    };
+    let router = Router::new(&board, config);
+
+    // 1. Live span tree on stderr.
+    println!("--- stderr span tree ---");
+    {
+        let _scope = RecorderScope::install(Arc::new(StderrSink));
+        router.route_net(vdd1, layer, 22.0)?;
+    }
+
+    // 2. JSONL trace file.
+    let path = out_dir().join("trace.jsonl");
+    let sink = Arc::new(JsonlSink::new(std::fs::File::create(&path)?));
+    let result = {
+        let _scope = RecorderScope::install(sink.clone());
+        router.route_net(vdd1, layer, 22.0)?
+    };
+    sink.flush();
+    println!("--- JSONL trace written to {} ---", path.display());
+    println!(
+        "    try: jq -r 'select(.ev==\"span_end\") | \"\\(.name) \\(.elapsed_ns/1e6)ms\"' {}",
+        path.display()
+    );
+
+    // The same run condensed into a machine-readable report line.
+    let report = RunReport::from_results("tracing example", std::slice::from_ref(&result));
+    println!("--- RunReport ---");
+    println!("{}", report.to_json());
+
+    // 3. In-memory capture: the executed stage order.
+    let memory = Arc::new(MemorySink::new());
+    {
+        let _scope = RecorderScope::install(memory.clone());
+        router.route_net(vdd1, layer, 22.0)?;
+    }
+    let stages: Vec<&str> = memory
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::SpanStart { name, depth: 1, .. } => Some(*name),
+            _ => None,
+        })
+        .collect();
+    println!("--- stage spans under the route span: {stages:?} ---");
+
+    // Metrics are always on; the registry now holds all three runs.
+    let snap = metrics::global().snapshot();
+    println!("--- global counters ---");
+    for (name, value) in &snap.counters {
+        println!("{name:<28} {value}");
+    }
+    Ok(())
+}

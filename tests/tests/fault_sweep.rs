@@ -12,7 +12,9 @@ use sprout_board::presets;
 use sprout_core::drc::check_route;
 use sprout_core::recovery::{FaultPlan, RecoveryConfig, RecoveryPolicy, StageBudget};
 use sprout_core::router::{RouteResult, Router, RouterConfig};
-use sprout_core::{NodeId, SproutError};
+use sprout_core::{NodeId, RailRunRecord, RunReport, SproutError};
+use std::io::Write as _;
+use std::path::PathBuf;
 
 const SWEEP_SEEDS: u64 = 24;
 const BUDGET_MM2: f64 = 20.0;
@@ -115,6 +117,52 @@ fn fault_sweep_scenarios_never_panic() {
             assert_route_contract(result, plan);
         }
     }
+}
+
+/// Runs a compact version of the sweep and writes one [`RunReport`]
+/// JSONL line per scenario to `target/experiments/` — the artifact CI
+/// uploads so every pipeline run leaves a queryable robustness record.
+#[test]
+fn fault_sweep_writes_run_report_artifact() {
+    let board = presets::two_rail();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let (net, _) = board.power_nets().next().unwrap();
+    let mut lines = Vec::new();
+    for seed in 0..8 {
+        let plan = FaultPlan::for_scenario(seed);
+        let router = Router::new(&board, sweep_config(plan, RecoveryPolicy::BestSoFar));
+        let label = format!("fault_sweep seed={seed}");
+        let mut report = match router.route_net(net, layer, BUDGET_MM2) {
+            Ok(r) => RunReport::from_results(&label, std::slice::from_ref(&r)),
+            Err(e) => RunReport {
+                label,
+                rails: vec![RailRunRecord {
+                    net: net.0,
+                    layer,
+                    outcome: "failed",
+                    error: Some(e.to_string()),
+                    ..RailRunRecord::default()
+                }],
+                ..RunReport::default()
+            },
+        };
+        for rail in &mut report.rails {
+            rail.budget_mm2 = BUDGET_MM2;
+        }
+        let json = report.to_json();
+        assert!(!json.contains('\n'), "one line per scenario");
+        lines.push(json);
+    }
+    // Tests run with the package dir as cwd; the workspace target/ is
+    // one level up.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join("fault_sweep_report.jsonl");
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    for line in &lines {
+        writeln!(f, "{line}").expect("write artifact");
+    }
+    assert_eq!(lines.len(), 8);
 }
 
 #[test]
