@@ -173,5 +173,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out,
         "SmartRefine — evidence for the paper's gradient-proxy design."
     );
+    out.finish("ablation")?;
     Ok(())
 }

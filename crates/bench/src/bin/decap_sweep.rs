@@ -96,5 +96,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "added, with diminishing returns — the §I intuition, now with numbers"
     );
     outln!(out, "attached before any floorplan is committed.");
+    out.finish("decap_sweep")?;
     Ok(())
 }

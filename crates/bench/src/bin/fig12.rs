@@ -20,6 +20,7 @@ use sprout_extract::delay::FinFetModel;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::pdn::RailPdn;
 use sprout_extract::resistance::dc_resistance;
+use sprout_observe::{build_heatmaps, heatmap_svg, hotspots};
 use sprout_render::SvgScene;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -117,6 +118,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (rec, budget) in report.rails.iter_mut().zip(budgets) {
             rec.budget_mm2 = budget;
         }
+        // Spatial observability: per-rail current/voltage/IR-drop maps.
+        // Top-5 hotspots ride along in the report; the full rasters are
+        // written as CSV (+ SVG overlay with --svg) for the last layout
+        // of the sweep only, keeping artifact count bounded.
+        let last_pick = k == *picks.last().expect("picks is non-empty");
+        for route in &routes {
+            let maps = build_heatmaps(&route.graph, &route.subgraph, &route.pairs)?;
+            report
+                .hotspots
+                .extend(hotspots(&maps, route.net.0, route.layer, 5));
+            if last_pick {
+                for map in [&maps.current, &maps.voltage, &maps.ir_drop] {
+                    let csv = experiments_dir().join(format!(
+                        "fig12_heatmap_net{}_{}.csv",
+                        route.net.0, map.quantity
+                    ));
+                    map.write_csv(&csv)?;
+                    outln!(out, "  → {}", csv.display());
+                }
+                if svg_requested() {
+                    let svg = experiments_dir()
+                        .join(format!("fig12_heatmap_net{}_ir_drop.svg", route.net.0));
+                    std::fs::write(&svg, heatmap_svg(&board, layer, &maps.ir_drop))?;
+                    outln!(out, "  → {}", svg.display());
+                }
+            }
+        }
         out.emit_report("fig12", &report);
         if svg_requested() {
             let path = experiments_dir().join(format!("fig11_layout{}.svg", k + 1));
@@ -142,5 +170,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out,
         "  d) delay falls as V_min rises (≈7 % per 36 mV around 1 V)."
     );
+    out.finish("fig12")?;
     Ok(())
 }

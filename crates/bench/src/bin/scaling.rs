@@ -104,5 +104,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "finer tiles lower the final resistance (smoother shapes) at higher cost,"
     );
     outln!(out, "matching the §II-B/§II-H trade-off discussion.");
+    out.finish("scaling")?;
     Ok(())
 }

@@ -211,6 +211,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(&path, &json)?;
     outln!(out, "wrote {}", path.display());
 
+    out.finish("supervisor")?;
+
     let broken: Vec<_> = rows
         .iter()
         .filter(|m| !m.complete || !m.matches_sequential)

@@ -102,5 +102,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&path, scene.to_svg())?;
         outln!(out, "Fig. 9-style layout written to {}", path.display());
     }
+    out.finish("table2")?;
     Ok(())
 }

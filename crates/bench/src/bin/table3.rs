@@ -143,5 +143,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&path, scene.to_svg())?;
         outln!(out, "Fig. 10-style layout written to {}", path.display());
     }
+    out.finish("table3")?;
     Ok(())
 }

@@ -97,5 +97,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+    out.finish("telemetry_overhead")?;
     Ok(())
 }

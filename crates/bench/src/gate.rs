@@ -1,0 +1,439 @@
+//! Perf-baseline regression gate.
+//!
+//! Bench binaries record one [`PerfEntry`] per [`RunReport`] they emit
+//! (wall time, solver-iteration count, per-stage breakdown). With
+//! `--update-baseline` the collected entries are written to a baseline
+//! JSON file; with `--baseline <file>` alone they are compared against
+//! the committed baseline and the process exits nonzero when the run
+//! regressed:
+//!
+//! * **wall time** — more than 15 % (configurable via
+//!   `--wall-tolerance`) over the baseline, checked only when both
+//!   sides were built with the same profile (debug vs release) and the
+//!   run is large enough to be above measurement jitter;
+//! * **solver iterations** — more than 5 % over the baseline. Solve
+//!   counts are deterministic and machine-independent, so this check
+//!   always applies.
+//!
+//! `--slowdown <factor>` multiplies the current run's wall times *and*
+//! solve counts before comparison — an artificial regression for
+//! self-testing the gate in CI.
+
+use sprout_core::RunReport;
+use sprout_telemetry::json::{self, Json, Obj};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// One benchmark label's perf footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Whole-run wall clock (ms).
+    pub total_ms: f64,
+    /// Linear solves performed across all rails.
+    pub solves: u64,
+    /// Per-stage wall time (ms), aggregated across rails, in pipeline
+    /// order.
+    pub stages: Vec<(String, f64)>,
+}
+
+impl PerfEntry {
+    /// Condenses a [`RunReport`] into a perf entry.
+    pub fn from_report(report: &RunReport) -> PerfEntry {
+        let mut stages: Vec<(String, f64)> = Vec::new();
+        for rail in &report.rails {
+            for s in &rail.stages {
+                match stages.iter_mut().find(|(n, _)| n == s.name) {
+                    Some((_, ms)) => *ms += s.duration_ms,
+                    None => stages.push((s.name.to_owned(), s.duration_ms)),
+                }
+            }
+        }
+        PerfEntry {
+            total_ms: report.elapsed_ms,
+            solves: report.rails.iter().map(|r| r.solves as u64).sum(),
+            stages,
+        }
+    }
+
+    /// Returns the entry with wall times and solve counts multiplied by
+    /// `factor` (the `--slowdown` self-test hook).
+    pub fn slowed(&self, factor: f64) -> PerfEntry {
+        PerfEntry {
+            total_ms: self.total_ms * factor,
+            solves: (self.solves as f64 * factor).round() as u64,
+            stages: self
+                .stages
+                .iter()
+                .map(|(n, ms)| (n.clone(), ms * factor))
+                .collect(),
+        }
+    }
+}
+
+/// A set of labelled perf entries, stamped with the build profile that
+/// produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfBaseline {
+    /// Bench binary name (`scaling`, `table2`, …).
+    pub bench: String,
+    /// `true` when built with debug assertions (unoptimized profile).
+    /// Wall-time comparisons across differing profiles are meaningless
+    /// and are skipped.
+    pub debug_profile: bool,
+    /// `(label, entry)` pairs in emission order.
+    pub entries: Vec<(String, PerfEntry)>,
+}
+
+impl PerfBaseline {
+    /// Wraps collected entries with this build's profile stamp.
+    pub fn from_entries(bench: &str, entries: Vec<(String, PerfEntry)>) -> PerfBaseline {
+        PerfBaseline {
+            bench: bench.to_owned(),
+            debug_profile: cfg!(debug_assertions),
+            entries,
+        }
+    }
+
+    /// Serializes the baseline as a single JSON line.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.str("report", "sprout-perf-baseline")
+            .str("bench", &self.bench)
+            .bool("debug_profile", self.debug_profile);
+        let mut entries = Obj::new();
+        for (label, e) in &self.entries {
+            let mut eo = Obj::new();
+            eo.f64("total_ms", e.total_ms).u64("solves", e.solves);
+            let mut so = Obj::new();
+            for (name, ms) in &e.stages {
+                so.f64(name, *ms);
+            }
+            eo.raw("stages", &so.finish());
+            entries.raw(label, &eo.finish());
+        }
+        o.raw("entries", &entries.finish());
+        o.finish()
+    }
+
+    /// Parses a baseline file's contents.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformed construct.
+    pub fn parse(text: &str) -> Result<PerfBaseline, String> {
+        let root = json::parse(text.trim())?;
+        if root.get("report").and_then(Json::as_str) != Some("sprout-perf-baseline") {
+            return Err("not a sprout-perf-baseline document".to_owned());
+        }
+        let bench = root
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("missing `bench`")?
+            .to_owned();
+        let debug_profile = match root.get("debug_profile") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("missing `debug_profile`".to_owned()),
+        };
+        let mut entries = Vec::new();
+        for (label, e) in root
+            .get("entries")
+            .and_then(Json::as_object)
+            .ok_or("missing `entries`")?
+        {
+            let total_ms = e
+                .get("total_ms")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("entry `{label}` missing total_ms"))?;
+            let solves = e
+                .get("solves")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("entry `{label}` missing solves"))?;
+            let mut stages = Vec::new();
+            if let Some(so) = e.get("stages").and_then(Json::as_object) {
+                for (name, ms) in so {
+                    stages.push((
+                        name.clone(),
+                        ms.as_f64()
+                            .ok_or_else(|| format!("stage `{name}` is not a number"))?,
+                    ));
+                }
+            }
+            entries.push((
+                label.clone(),
+                PerfEntry {
+                    total_ms,
+                    solves,
+                    stages,
+                },
+            ));
+        }
+        Ok(PerfBaseline {
+            bench,
+            debug_profile,
+            entries,
+        })
+    }
+
+    /// Loads and parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and parse errors, both as strings.
+    pub fn load(path: impl AsRef<Path>) -> Result<PerfBaseline, String> {
+        let path = path.as_ref();
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+
+    /// Writes the baseline to `path` (single JSON line + newline).
+    ///
+    /// # Errors
+    ///
+    /// Any error from creating or writing the file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+/// Gate tolerances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateOptions {
+    /// Allowed wall-time growth before failing (percent).
+    pub wall_tolerance_pct: f64,
+    /// Allowed solver-iteration growth before failing (percent).
+    pub solve_tolerance_pct: f64,
+    /// Runs where both wall times sit under this floor (ms) skip the
+    /// wall check — sub-jitter measurements would only flake.
+    pub min_wall_ms: f64,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            wall_tolerance_pct: 15.0,
+            solve_tolerance_pct: 5.0,
+            min_wall_ms: 20.0,
+        }
+    }
+}
+
+/// Outcome of a baseline comparison: human-readable per-label lines
+/// plus the subset that constitutes failures.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Per-label diff lines (always populated, pass or fail).
+    pub lines: Vec<String>,
+    /// Violation descriptions; empty means the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no regression was detected.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The gate failed; carries every violation.
+#[derive(Debug)]
+pub struct GateFailure {
+    /// Violation descriptions (non-empty).
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for GateFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "perf gate failed ({} violation(s)):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GateFailure {}
+
+fn pct_delta(base: f64, cur: f64) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    (cur - base) / base * 100.0
+}
+
+/// Compares a current run against a baseline.
+pub fn compare(baseline: &PerfBaseline, current: &PerfBaseline, opts: &GateOptions) -> GateReport {
+    let mut report = GateReport::default();
+    let same_profile = baseline.debug_profile == current.debug_profile;
+    if !same_profile {
+        report.lines.push(format!(
+            "profile mismatch (baseline debug={}, current debug={}): wall-time checks skipped, \
+             solver-iteration checks still apply",
+            baseline.debug_profile, current.debug_profile
+        ));
+    }
+    for (label, base) in &baseline.entries {
+        let Some((_, cur)) = current.entries.iter().find(|(l, _)| l == label) else {
+            report.violations.push(format!(
+                "`{label}`: present in baseline but not in this run"
+            ));
+            continue;
+        };
+        let wall_delta = pct_delta(base.total_ms, cur.total_ms);
+        let solve_delta = pct_delta(base.solves as f64, cur.solves as f64);
+        report.lines.push(format!(
+            "`{label}`: wall {:.1} ms → {:.1} ms ({:+.1} %), solves {} → {} ({:+.1} %)",
+            base.total_ms, cur.total_ms, wall_delta, base.solves, cur.solves, solve_delta
+        ));
+        // Per-stage breakdown diff, baseline order first.
+        let mut names: Vec<&str> = base.stages.iter().map(|(n, _)| n.as_str()).collect();
+        for (n, _) in &cur.stages {
+            if !names.contains(&n.as_str()) {
+                names.push(n);
+            }
+        }
+        for name in names {
+            let b = base
+                .stages
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0.0, |(_, ms)| *ms);
+            let c = cur
+                .stages
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0.0, |(_, ms)| *ms);
+            report.lines.push(format!(
+                "    {name:<9} {b:>8.1} ms → {c:>8.1} ms ({:+.1} %)",
+                pct_delta(b, c)
+            ));
+        }
+        if same_profile
+            && base.total_ms.max(cur.total_ms) >= opts.min_wall_ms
+            && cur.total_ms > base.total_ms * (1.0 + opts.wall_tolerance_pct / 100.0)
+        {
+            report.violations.push(format!(
+                "`{label}`: wall time regressed {:.1} ms → {:.1} ms ({:+.1} %, tolerance {} %)",
+                base.total_ms, cur.total_ms, wall_delta, opts.wall_tolerance_pct
+            ));
+        }
+        if (cur.solves as f64) > base.solves as f64 * (1.0 + opts.solve_tolerance_pct / 100.0) {
+            report.violations.push(format!(
+                "`{label}`: solver iterations regressed {} → {} ({:+.1} %, tolerance {} %)",
+                base.solves, cur.solves, solve_delta, opts.solve_tolerance_pct
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_ms: f64, solves: u64) -> PerfEntry {
+        PerfEntry {
+            total_ms,
+            solves,
+            stages: vec![
+                ("grow".to_owned(), total_ms * 0.6),
+                ("refine".to_owned(), total_ms * 0.4),
+            ],
+        }
+    }
+
+    fn baseline(entries: Vec<(String, PerfEntry)>) -> PerfBaseline {
+        PerfBaseline {
+            bench: "unit".to_owned(),
+            debug_profile: true,
+            entries,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let b = baseline(vec![
+            ("pitch=0.8".to_owned(), entry(120.0, 40)),
+            ("pitch=0.4".to_owned(), entry(900.5, 160)),
+        ]);
+        let parsed = PerfBaseline::parse(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_documents() {
+        assert!(PerfBaseline::parse("{\"report\":\"sprout-run\"}").is_err());
+        assert!(PerfBaseline::parse("not json").is_err());
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = baseline(vec![("x".to_owned(), entry(100.0, 50))]);
+        let r = compare(&b, &b, &GateOptions::default());
+        assert!(r.pass(), "{:?}", r.violations);
+        assert!(!r.lines.is_empty());
+    }
+
+    #[test]
+    fn wall_regression_fails_within_profile() {
+        let base = baseline(vec![("x".to_owned(), entry(100.0, 50))]);
+        let cur = baseline(vec![("x".to_owned(), entry(130.0, 50))]);
+        let r = compare(&base, &cur, &GateOptions::default());
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].contains("wall time regressed"));
+    }
+
+    #[test]
+    fn small_runs_skip_the_wall_check() {
+        let base = baseline(vec![("x".to_owned(), entry(2.0, 50))]);
+        let cur = baseline(vec![("x".to_owned(), entry(3.0, 50))]);
+        assert!(compare(&base, &cur, &GateOptions::default()).pass());
+    }
+
+    #[test]
+    fn solve_regression_fails_even_across_profiles() {
+        let base = baseline(vec![("x".to_owned(), entry(100.0, 100))]);
+        let mut cur = baseline(vec![("x".to_owned(), entry(500.0, 110))]);
+        cur.debug_profile = false; // wall check disarmed…
+        let r = compare(&base, &cur, &GateOptions::default());
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].contains("solver iterations"));
+    }
+
+    #[test]
+    fn missing_label_is_a_violation() {
+        let base = baseline(vec![("x".to_owned(), entry(100.0, 50))]);
+        let cur = baseline(Vec::new());
+        let r = compare(&base, &cur, &GateOptions::default());
+        assert_eq!(r.violations.len(), 1);
+        assert!(r.violations[0].contains("not in this run"));
+    }
+
+    #[test]
+    fn slowdown_scales_wall_and_solves() {
+        let e = entry(100.0, 50).slowed(2.0);
+        assert_eq!(e.total_ms, 200.0);
+        assert_eq!(e.solves, 100);
+        let base = baseline(vec![("x".to_owned(), entry(100.0, 50))]);
+        let cur = baseline(vec![("x".to_owned(), e)]);
+        let r = compare(&base, &cur, &GateOptions::default());
+        // Both checks trip: wall +100 %, solves +100 %.
+        assert_eq!(r.violations.len(), 2);
+    }
+
+    #[test]
+    fn stage_diff_lines_cover_both_sides() {
+        let base = baseline(vec![("x".to_owned(), entry(100.0, 50))]);
+        let mut cur_entry = entry(100.0, 50);
+        cur_entry.stages.push(("backconv".to_owned(), 1.0));
+        let cur = baseline(vec![("x".to_owned(), cur_entry)]);
+        let r = compare(&base, &cur, &GateOptions::default());
+        assert!(r.lines.iter().any(|l| l.contains("grow")));
+        assert!(r.lines.iter().any(|l| l.contains("backconv")));
+    }
+}

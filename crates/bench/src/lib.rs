@@ -19,14 +19,17 @@
 //! Pass `--svg` to `table2`, `table3`, or `fig12` to also write Fig. 9 /
 //! Fig. 10 / Fig. 11-style SVGs under `target/experiments/`.
 
+pub mod gate;
 pub mod timing;
 
+use gate::{GateFailure, GateOptions, PerfBaseline, PerfEntry};
 use sprout_board::Board;
 use sprout_core::router::RouteResult;
 use sprout_core::RunReport;
 use sprout_extract::ac::ac_impedance_25mhz;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::resistance::dc_resistance;
+use sprout_observe::TraceSink;
 use sprout_telemetry as telemetry;
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -42,7 +45,19 @@ use std::sync::Arc;
 /// * `--json` — emit one [`RunReport`] JSONL line per run to stdout
 ///   (implies `--quiet`, so stdout stays pure JSONL).
 /// * `--trace` — stream the telemetry span tree to stderr while the
-///   run executes (a [`telemetry::sinks::StderrSink`] scope).
+///   run executes *and* capture convergence points in a
+///   [`TraceSink`]; [`finish`](BenchOutput::finish) exports them as
+///   `target/experiments/<name>_trace.jsonl`.
+/// * `--baseline <file>` — after the run, compare against the perf
+///   baseline in `<file>` and fail (nonzero exit) on regression.
+/// * `--update-baseline` — with `--baseline`, (re)write `<file>` from
+///   this run instead of comparing.
+/// * `--wall-tolerance <pct>` — override the 15 % wall-time gate
+///   tolerance (e.g. for committed baselines checked on foreign CI
+///   hardware, where only solve counts are meaningful).
+/// * `--slowdown <factor>` — multiply measured wall times and solve
+///   counts before the gate comparison (self-test hook; see
+///   [`gate`]).
 ///
 /// Run reports are *always* mirrored to
 /// `target/experiments/<name>.jsonl`, regardless of flags, so every
@@ -51,7 +66,13 @@ pub struct BenchOutput {
     quiet: bool,
     json: bool,
     written: RefCell<HashSet<PathBuf>>,
+    trace_sink: Option<Arc<TraceSink>>,
     _trace: Option<telemetry::RecorderScope>,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+    slowdown: f64,
+    wall_tolerance_pct: Option<f64>,
+    entries: RefCell<Vec<(String, PerfEntry)>>,
 }
 
 impl BenchOutput {
@@ -63,21 +84,49 @@ impl BenchOutput {
     /// Parses an explicit flag list (for tests).
     pub fn from_flags(args: impl IntoIterator<Item = String>) -> BenchOutput {
         let (mut quiet, mut json, mut trace) = (false, false, false);
-        for a in args {
+        let mut baseline = None;
+        let mut update_baseline = false;
+        let mut slowdown = 1.0;
+        let mut wall_tolerance_pct = None;
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--quiet" | "-q" => quiet = true,
                 "--json" => json = true,
                 "--trace" => trace = true,
+                "--baseline" => baseline = args.next().map(PathBuf::from),
+                "--update-baseline" => update_baseline = true,
+                "--slowdown" => {
+                    slowdown = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&f: &f64| f.is_finite() && f > 0.0)
+                        .unwrap_or(1.0);
+                }
+                "--wall-tolerance" => {
+                    wall_tolerance_pct = args.next().and_then(|v| v.parse().ok());
+                }
                 _ => {}
             }
         }
-        let _trace = trace
-            .then(|| telemetry::RecorderScope::install(Arc::new(telemetry::sinks::StderrSink)));
+        let trace_sink = trace.then(|| Arc::new(TraceSink::new()));
+        let _trace = trace_sink.as_ref().map(|sink| {
+            telemetry::RecorderScope::install(Arc::new(telemetry::sinks::TeeSink::new(vec![
+                Arc::new(telemetry::sinks::StderrSink),
+                sink.clone(),
+            ])))
+        });
         BenchOutput {
             quiet: quiet || json,
             json,
             written: RefCell::new(HashSet::new()),
+            trace_sink,
             _trace,
+            baseline,
+            update_baseline,
+            slowdown,
+            wall_tolerance_pct,
+            entries: RefCell::new(Vec::new()),
         }
     }
 
@@ -91,11 +140,20 @@ impl BenchOutput {
         self.json
     }
 
+    /// The convergence-trace sink, when `--trace` is active.
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace_sink.as_ref()
+    }
+
     /// Emits `report` as one JSONL line: to stdout when `--json` is on,
     /// and always appended to `target/experiments/<name>.jsonl` (the
     /// file is truncated on this instance's first write, so each
-    /// invocation starts a fresh artifact).
+    /// invocation starts a fresh artifact). The report's perf footprint
+    /// is also collected for the [`finish`](BenchOutput::finish) gate.
     pub fn emit_report(&self, name: &str, report: &RunReport) {
+        self.entries
+            .borrow_mut()
+            .push((report.label.clone(), PerfEntry::from_report(report)));
         let line = report.to_json();
         if self.json {
             println!("{line}");
@@ -110,6 +168,74 @@ impl BenchOutput {
             .open(&path);
         if let Ok(mut f) = file {
             let _ = writeln!(f, "{line}");
+        }
+    }
+
+    /// End-of-run hook for experiment binaries: exports the convergence
+    /// trace (under `--trace`) and runs the perf-baseline gate (under
+    /// `--baseline`).
+    ///
+    /// # Errors
+    ///
+    /// [`GateFailure`] when the run regressed past the gate tolerances
+    /// — propagate it from `main` so the process exits nonzero; I/O
+    /// errors writing the trace or baseline files.
+    pub fn finish(&self, name: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(sink) = &self.trace_sink {
+            let path = experiments_dir().join(format!("{name}_trace.jsonl"));
+            sink.write_to(&path)?;
+            if self.verbose() {
+                println!(
+                    "convergence trace: {} ({} records)",
+                    path.display(),
+                    sink.len()
+                );
+            }
+        }
+        let Some(path) = &self.baseline else {
+            return Ok(());
+        };
+        let entries: Vec<(String, PerfEntry)> = self
+            .entries
+            .borrow()
+            .iter()
+            .map(|(label, e)| (label.clone(), e.slowed(self.slowdown)))
+            .collect();
+        let current = PerfBaseline::from_entries(name, entries);
+        if self.update_baseline {
+            current.write_to(path)?;
+            if self.verbose() {
+                println!(
+                    "perf baseline written: {} ({} entr{})",
+                    path.display(),
+                    current.entries.len(),
+                    if current.entries.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                );
+            }
+            return Ok(());
+        }
+        let reference = PerfBaseline::load(path)?;
+        let mut options = GateOptions::default();
+        if let Some(tol) = self.wall_tolerance_pct {
+            options.wall_tolerance_pct = tol;
+        }
+        let report = gate::compare(&reference, &current, &options);
+        // Diff goes to stderr so `--json` keeps stdout pure JSONL.
+        eprintln!("=== perf gate vs {} ===", path.display());
+        for line in &report.lines {
+            eprintln!("{line}");
+        }
+        if report.pass() {
+            eprintln!("perf gate: PASS");
+            Ok(())
+        } else {
+            Err(Box::new(GateFailure {
+                violations: report.violations,
+            }))
         }
     }
 }

@@ -140,6 +140,12 @@ impl NodeCurrents {
     pub fn solves(&self) -> usize {
         self.solves
     }
+
+    /// The largest per-node metric — the current-crowding hotspot that
+    /// SmartGrow targets (amperes).
+    pub fn max_current_a(&self) -> f64 {
+        self.current.iter().fold(0.0f64, |m, &v| m.max(v))
+    }
 }
 
 /// Evaluates the node-current metric on a subgraph (Algorithm 3).
@@ -243,6 +249,61 @@ pub fn node_current(
         resistance_sq,
         solves,
     })
+}
+
+/// Solves the superposed nodal voltages for an injection set: all pair
+/// currents are injected at once and `V = L⁻¹E` is evaluated with one
+/// solve, grounded at the first pair's sink (the same ground
+/// [`node_current`] uses).
+///
+/// Returns a per-node vector indexed by `NodeId::index()`; nodes
+/// outside the subgraph hold `NaN`. Voltages are in ampere-squares —
+/// multiply by the layer sheet resistance for volts. The spatial
+/// IR-drop map is `max(V) - V(node)` over the members.
+///
+/// # Errors
+///
+/// Same conditions as [`node_current`].
+pub fn node_voltages(
+    graph: &RoutingGraph,
+    sub: &Subgraph,
+    pairs: &[InjectionPair],
+) -> Result<Vec<f64>, SproutError> {
+    if pairs.is_empty() {
+        return Err(SproutError::InvalidConfig("no injection pairs"));
+    }
+    for p in pairs {
+        if !sub.contains(p.source) || !sub.contains(p.sink) {
+            return Err(SproutError::InvalidConfig(
+                "injection pair endpoint outside the subgraph",
+            ));
+        }
+    }
+    let mut members: Vec<NodeId> = sub.members().to_vec();
+    members.sort_unstable();
+    let mut compact = vec![usize::MAX; graph.node_count()];
+    for (k, &m) in members.iter().enumerate() {
+        compact[m.index()] = k;
+    }
+    let edges: Vec<(usize, usize, f64)> = sub
+        .induced_edges(graph)
+        .map(|e| (compact[e.a.index()], compact[e.b.index()], e.weight))
+        .collect();
+    let mut lap = GraphLaplacian::from_edges(members.len(), &edges)?;
+    lap.sanitize_conductances();
+    let ground = compact[pairs[0].sink.index()];
+    let factor = lap.factor_grounded_resilient(ground, FallbackOptions::default())?;
+    let mut currents = vec![0.0f64; members.len()];
+    for p in pairs {
+        currents[compact[p.source.index()]] += p.current_a;
+        currents[compact[p.sink.index()]] -= p.current_a;
+    }
+    let v = factor.solve_currents(&currents)?;
+    let mut out = vec![f64::NAN; graph.node_count()];
+    for (k, &m) in members.iter().enumerate() {
+        out[m.index()] = v[k];
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -363,6 +424,35 @@ mod tests {
             node_current(&graph, &sub, &pairs),
             Err(SproutError::Linalg(_))
         ));
+    }
+
+    #[test]
+    fn voltages_ground_at_first_sink_and_peak_at_source() {
+        let (graph, sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let v = node_voltages(&graph, &sub, &pairs).unwrap();
+        // Ground reference: the first pair's sink sits at 0 V.
+        assert!(v[pairs[0].sink.index()].abs() < 1e-12);
+        // The source feeds every sink, so it holds the peak potential.
+        let src = pairs[0].source;
+        let peak = sub
+            .members()
+            .iter()
+            .map(|m| v[m.index()])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((v[src.index()] - peak).abs() < 1e-9, "source is the peak");
+        // Nodes outside the subgraph are NaN (empty tiles in the map).
+        let outside = (0..graph.node_count() as u32)
+            .map(NodeId)
+            .find(|&id| !sub.contains(id))
+            .unwrap();
+        assert!(v[outside.index()].is_nan());
+        // max_current_a matches a manual scan of the metric.
+        let nc = node_current(&graph, &sub, &pairs).unwrap();
+        let manual = (0..graph.node_count() as u32)
+            .map(|i| nc.of(NodeId(i)))
+            .fold(0.0f64, f64::max);
+        assert!((nc.max_current_a() - manual).abs() < 1e-15);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub struct GrowOutcome {
     /// Objective (mean effective resistance in squares) measured on the
     /// subgraph *before* the growth step.
     pub resistance_sq: f64,
+    /// Largest node current seen in the pre-step metric (amperes) — the
+    /// crowding hotspot this step grew toward.
+    pub max_current_a: f64,
     /// Linear solves performed.
     pub solves: usize,
 }
@@ -36,6 +39,7 @@ pub fn smart_grow(
     Ok(GrowOutcome {
         added,
         resistance_sq: metric.resistance_sq(),
+        max_current_a: metric.max_current_a(),
         solves: metric.solves(),
     })
 }

@@ -71,7 +71,7 @@ pub use recovery::{
     CancelToken, Degradation, FaultPlan, RecoveryConfig, RecoveryPolicy, RouteDiagnostics,
     StageBudget,
 };
-pub use report::{RailRunRecord, RunReport, StageBreakdown};
+pub use report::{HotspotRecord, RailRunRecord, RunReport, StageBreakdown};
 pub use router::{RouteResult, Router, RouterConfig};
 pub use supervisor::{
     JobReport, RailOutcome, RailReport, RestoredRail, Supervisor, SupervisorConfig,

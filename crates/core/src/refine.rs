@@ -20,6 +20,9 @@ pub struct RefineOutcome {
     pub resistance_before_sq: f64,
     /// Objective after the step (squares).
     pub resistance_after_sq: f64,
+    /// Largest node current in the final metric evaluation (amperes);
+    /// equals the pre-step maximum when nothing moved.
+    pub max_current_a: f64,
     /// Linear solves performed.
     pub solves: usize,
 }
@@ -78,6 +81,7 @@ pub fn smart_refine(
     // Reinvest next to the hot spots (Algorithm 5 line 7 calls
     // SmartGrow). A fresh metric reflects the removals.
     let mut resistance_after_sq = resistance_before_sq;
+    let mut max_current_a = metric.max_current_a();
     if removed > 0 {
         let metric_after = node_current(graph, sub, pairs)?;
         solves += metric_after.solves();
@@ -85,12 +89,14 @@ pub fn smart_refine(
         let metric_final = node_current(graph, sub, pairs)?;
         solves += metric_final.solves();
         resistance_after_sq = metric_final.resistance_sq();
+        max_current_a = metric_final.max_current_a();
     }
 
     Ok(RefineOutcome {
         moved: removed,
         resistance_before_sq,
         resistance_after_sq,
+        max_current_a,
         solves,
     })
 }

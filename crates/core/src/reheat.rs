@@ -36,6 +36,8 @@ pub struct ReheatOutcome {
     pub eroded: usize,
     /// Objective after the pass (squares).
     pub resistance_after_sq: f64,
+    /// Largest node current in the final metric evaluation (amperes).
+    pub max_current_a: f64,
     /// Linear solves performed.
     pub solves: usize,
 }
@@ -81,10 +83,12 @@ pub fn reheat(
     let mut eroded = 0usize;
     let mut solves = 0usize;
     let mut resistance_after_sq;
+    let mut max_current_a;
     loop {
         let metric = node_current(graph, sub, pairs)?;
         solves += metric.solves();
         resistance_after_sq = metric.resistance_sq();
+        max_current_a = metric.max_current_a();
         if sub.area_mm2() <= area_budget_mm2 {
             break;
         }
@@ -119,6 +123,7 @@ pub fn reheat(
         dilated,
         eroded,
         resistance_after_sq,
+        max_current_a,
         solves,
     })
 }

@@ -184,6 +184,46 @@ impl RailRunRecord {
     }
 }
 
+/// One spatial IR-drop/current hotspot — a row of the top-k report a
+/// heatmap builder attaches to a [`RunReport`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HotspotRecord {
+    /// Net the hotspot belongs to.
+    pub net: usize,
+    /// Routing layer.
+    pub layer: usize,
+    /// Tile cell column (grid i index).
+    pub cell_i: i64,
+    /// Tile cell row (grid j index).
+    pub cell_j: i64,
+    /// Tile center x (mm, board frame).
+    pub x_mm: f64,
+    /// Tile center y (mm, board frame).
+    pub y_mm: f64,
+    /// Node-current metric at the tile (A).
+    pub current_a: f64,
+    /// Nodal potential relative to the grounded sink (A·squares).
+    pub voltage_sq: f64,
+    /// IR drop below the peak potential (A·squares).
+    pub ir_drop_sq: f64,
+}
+
+impl HotspotRecord {
+    fn to_json_obj(&self) -> String {
+        let mut o = Obj::new();
+        o.u64("net", self.net as u64)
+            .u64("layer", self.layer as u64)
+            .i64("cell_i", self.cell_i)
+            .i64("cell_j", self.cell_j)
+            .f64("x_mm", self.x_mm)
+            .f64("y_mm", self.y_mm)
+            .f64("current_a", self.current_a)
+            .f64("voltage_sq", self.voltage_sq)
+            .f64("ir_drop_sq", self.ir_drop_sq);
+        o.finish()
+    }
+}
+
 /// A machine-readable summary of one routing run, serializable as a
 /// single JSONL line via [`RunReport::to_json`].
 #[derive(Debug, Clone, Default)]
@@ -203,6 +243,9 @@ pub struct RunReport {
     /// Snapshot of the global telemetry counters at report time
     /// (process-cumulative; diff two snapshots for per-run deltas).
     pub counters: Vec<(&'static str, u64)>,
+    /// Top-k spatial hotspots, highest current first (attached by the
+    /// heatmap builder; empty unless spatial observability ran).
+    pub hotspots: Vec<HotspotRecord>,
 }
 
 impl RunReport {
@@ -277,6 +320,7 @@ impl RunReport {
             resumed: job.resumed,
             warnings: job.warnings.clone(),
             counters: counter_snapshot(),
+            hotspots: Vec::new(),
         }
     }
 
@@ -323,6 +367,12 @@ impl RunReport {
             counters.u64(k, *v);
         }
         o.raw("counters", &counters.finish());
+        if !self.hotspots.is_empty() {
+            o.raw(
+                "hotspots",
+                &array(self.hotspots.iter().map(HotspotRecord::to_json_obj)),
+            );
+        }
         o.finish()
     }
 }

@@ -477,6 +477,8 @@ impl<'b> Router<'b> {
             f.dx * f.dy
         };
         let mut stage_err: Option<SproutError> = None;
+        let mut grow_iter = 0usize;
+        let mut prev_objective = f64::NAN;
         while sub.area_mm2() < area_budget_mm2 {
             if let Some(d) = guard.over_budget(timings.solves) {
                 diagnostics.record(d);
@@ -489,6 +491,17 @@ impl<'b> Router<'b> {
                 Ok(out) => {
                     history.push(out.resistance_sq);
                     timings.solves += out.solves;
+                    telemetry::point("grow_iter")
+                        .field("iter", grow_iter)
+                        .field("added", out.added)
+                        .field("area_mm2", sub.area_mm2())
+                        .field("budget_mm2", area_budget_mm2)
+                        .field("resistance_sq", out.resistance_sq)
+                        .field("objective_delta", prev_objective - out.resistance_sq)
+                        .field("max_current_a", out.max_current_a)
+                        .emit();
+                    prev_objective = out.resistance_sq;
+                    grow_iter += 1;
                     if out.added == 0 {
                         break; // saturated: every reachable node is in
                     }
@@ -557,6 +570,18 @@ impl<'b> Router<'b> {
                 Ok(out) => {
                     timings.solves += out.solves;
                     history.push(out.resistance_after_sq);
+                    telemetry::point("refine_iter")
+                        .field("iter", i)
+                        .field("moved", out.moved)
+                        .field("area_mm2", sub.area_mm2())
+                        .field("budget_mm2", area_budget_mm2)
+                        .field("resistance_sq", out.resistance_after_sq)
+                        .field(
+                            "objective_delta",
+                            out.resistance_before_sq - out.resistance_after_sq,
+                        )
+                        .field("max_current_a", out.max_current_a)
+                        .emit();
                     if out.resistance_after_sq < best_resistance {
                         best_resistance = out.resistance_after_sq;
                         best_sub = sub.clone();
@@ -615,6 +640,15 @@ impl<'b> Router<'b> {
                     Ok(out) => {
                         timings.solves += out.solves;
                         history.push(out.resistance_after_sq);
+                        telemetry::point("reheat_iter")
+                            .field("phase", "dilate_erode")
+                            .field("dilated", out.dilated)
+                            .field("eroded", out.eroded)
+                            .field("area_mm2", sub.area_mm2())
+                            .field("budget_mm2", area_budget_mm2)
+                            .field("resistance_sq", out.resistance_after_sq)
+                            .field("max_current_a", out.max_current_a)
+                            .emit();
                         if out.resistance_after_sq < best_resistance {
                             best_resistance = out.resistance_after_sq;
                             best_sub = sub.clone();
@@ -635,7 +669,7 @@ impl<'b> Router<'b> {
                         break 'reheat;
                     }
                 }
-                for _ in 0..2 {
+                for post_iter in 0..2 {
                     if let Some(d) = guard.over_budget(timings.solves) {
                         diagnostics.record(d);
                         break;
@@ -644,6 +678,19 @@ impl<'b> Router<'b> {
                         Ok(out) => {
                             timings.solves += out.solves;
                             history.push(out.resistance_after_sq);
+                            telemetry::point("reheat_iter")
+                                .field("phase", "post_refine")
+                                .field("iter", post_iter as u64)
+                                .field("moved", out.moved)
+                                .field("area_mm2", sub.area_mm2())
+                                .field("budget_mm2", area_budget_mm2)
+                                .field("resistance_sq", out.resistance_after_sq)
+                                .field(
+                                    "objective_delta",
+                                    out.resistance_before_sq - out.resistance_after_sq,
+                                )
+                                .field("max_current_a", out.max_current_a)
+                                .emit();
                             if out.resistance_after_sq < best_resistance {
                                 best_resistance = out.resistance_after_sq;
                                 best_sub = sub.clone();
@@ -698,6 +745,17 @@ impl<'b> Router<'b> {
         backconv_span.record("fragments_dropped", dropped);
         drop(backconv_span);
         timings.backconv_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        // Terminal convergence record: `area_mm2` here is the shipped
+        // shape's area, byte-identical to `RailRunRecord::area_mm2`.
+        telemetry::point("route_final")
+            .field("net", net.0 as u64)
+            .field("layer", layer)
+            .field("area_mm2", shape.area_mm2())
+            .field("budget_mm2", area_budget_mm2)
+            .field("resistance_sq", best_resistance)
+            .field("solves", timings.solves)
+            .emit();
 
         Ok(RouteResult {
             net,

@@ -5,8 +5,10 @@
 //! not apply; BiCGSTAB with Jacobi preconditioning handles them.
 
 use crate::scalar::{dot_unconjugated, norm2, Scalar};
+use crate::solver_trace::ResidualTrace;
 use crate::sparse::Csr;
 use crate::LinalgError;
+use sprout_telemetry as telemetry;
 
 /// Options controlling the BiCGSTAB iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,6 +111,7 @@ pub fn solve_bicgstab<T: Scalar>(
     let mut v = vec![T::ZERO; n];
     let mut p = vec![T::ZERO; n];
     let mut residual = 1.0;
+    let mut trace = ResidualTrace::start();
 
     for iter in 0..max_iter {
         let rho_next = dot_unconjugated(&r_hat, &r);
@@ -139,6 +142,10 @@ pub fn solve_bicgstab<T: Scalar>(
             for i in 0..n {
                 x[i] += alpha * p_hat[i];
             }
+            telemetry::counter!("bicgstab.solves");
+            telemetry::histogram!("bicgstab.iterations", (iter + 1) as u64);
+            trace.push(s_norm);
+            trace.emit("bicgstab_solve", iter + 1, s_norm);
             return Ok(BiCgStabSolution {
                 x,
                 iterations: iter + 1,
@@ -161,7 +168,11 @@ pub fn solve_bicgstab<T: Scalar>(
             r[i] = s[i] - omega * t_vec[i];
         }
         residual = norm2(&r) / b_norm;
+        trace.push(residual);
         if residual <= opts.tolerance {
+            telemetry::counter!("bicgstab.solves");
+            telemetry::histogram!("bicgstab.iterations", (iter + 1) as u64);
+            trace.emit("bicgstab_solve", iter + 1, residual);
             return Ok(BiCgStabSolution {
                 x,
                 iterations: iter + 1,
@@ -175,6 +186,12 @@ pub fn solve_bicgstab<T: Scalar>(
             });
         }
     }
+    telemetry::counter!("bicgstab.not_converged");
+    telemetry::point("bicgstab_not_converged")
+        .field("iterations", max_iter)
+        .field("residual", residual)
+        .emit();
+    trace.emit("bicgstab_solve", max_iter, residual);
     Err(LinalgError::NotConverged {
         iterations: max_iter,
         residual,

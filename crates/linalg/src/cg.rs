@@ -5,6 +5,7 @@
 //! the `q ≈ 1.5` end of the complexity range the paper quotes in §II-H.
 
 use crate::scalar::{axpy, dot, norm2};
+use crate::solver_trace::ResidualTrace;
 use crate::sparse::Csr;
 use crate::LinalgError;
 use sprout_telemetry as telemetry;
@@ -99,6 +100,7 @@ pub fn solve_cg(a: &Csr<f64>, b: &[f64], opts: CgOptions) -> Result<CgSolution, 
     let mut p = z.clone();
     let mut rz = dot(&r, &z);
     let mut ap = vec![0.0; n];
+    let mut trace = ResidualTrace::start();
 
     for iter in 0..max_iter {
         a.mul_vec_into(&p, &mut ap);
@@ -113,9 +115,11 @@ pub fn solve_cg(a: &Csr<f64>, b: &[f64], opts: CgOptions) -> Result<CgSolution, 
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &ap, &mut r);
         let res = norm2(&r) / b_norm;
+        trace.push(res);
         if res <= opts.tolerance {
             telemetry::counter!("cg.solves");
             telemetry::histogram!("cg.iterations", (iter + 1) as u64);
+            trace.emit("cg_solve", iter + 1, res);
             return Ok(CgSolution {
                 x,
                 iterations: iter + 1,
@@ -138,6 +142,7 @@ pub fn solve_cg(a: &Csr<f64>, b: &[f64], opts: CgOptions) -> Result<CgSolution, 
         .field("iterations", max_iter)
         .field("residual", residual)
         .emit();
+    trace.emit("cg_solve", max_iter, residual);
     Err(LinalgError::NotConverged {
         iterations: max_iter,
         residual,

@@ -42,6 +42,7 @@ pub mod fallback;
 pub mod laplacian;
 pub mod rcm;
 pub mod scalar;
+pub mod solver_trace;
 pub mod sparse;
 
 pub use complex::Complex;

@@ -1,0 +1,361 @@
+//! Spatial observability: rasterized per-tile current, voltage, and
+//! IR-drop maps over the routing tile grid (§II-D nodal analysis),
+//! with CSV/SVG export and a top-k hotspot report.
+
+use sprout_board::Board;
+use sprout_core::current::{node_current, node_voltages, InjectionPair};
+use sprout_core::{HotspotRecord, RoutingGraph, SproutError, Subgraph};
+use sprout_geom::Point;
+use sprout_render::SvgScene;
+use std::io;
+use std::path::Path;
+
+/// A rasterized per-tile scalar field over the routing grid. Cells
+/// outside the routed subgraph hold `NaN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Heatmap {
+    /// What the values measure (`current_a`, `voltage_sq`, `ir_drop_sq`).
+    pub quantity: &'static str,
+    /// Grid columns.
+    pub nx: usize,
+    /// Grid rows.
+    pub ny: usize,
+    /// Board coordinate of the grid's lower-left corner (mm).
+    pub origin: Point,
+    /// Cell width (mm).
+    pub dx: f64,
+    /// Cell height (mm).
+    pub dy: f64,
+    values: Vec<f64>,
+}
+
+impl Heatmap {
+    /// The value at grid cell `(i, j)`; `NaN` outside the subgraph.
+    ///
+    /// # Panics
+    ///
+    /// If `i >= nx` or `j >= ny`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.nx && j < self.ny, "cell out of range");
+        self.values[j * self.nx + i]
+    }
+
+    /// Row-major values (`j * nx + i`), `NaN` outside the subgraph.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `(min, max)` over finite cells, or `None` when the map is empty.
+    pub fn finite_range(&self) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for &v in &self.values {
+            if v.is_finite() {
+                let (lo, hi) = range.unwrap_or((v, v));
+                range = Some((lo.min(v), hi.max(v)));
+            }
+        }
+        range
+    }
+
+    /// Serializes the map as CSV: `#`-prefixed metadata lines carrying
+    /// the grid geometry, then `ny` data rows (row `j = 0`, the
+    /// southmost, first) of `nx` comma-separated values. Empty cells
+    /// serialize as `NaN`.
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# sprout-heatmap quantity={}", self.quantity);
+        let _ = writeln!(
+            out,
+            "# nx={} ny={} origin_x_mm={} origin_y_mm={} dx_mm={} dy_mm={}",
+            self.nx, self.ny, self.origin.x, self.origin.y, self.dx, self.dy
+        );
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                if i > 0 {
+                    out.push(',');
+                }
+                let v = self.values[j * self.nx + i];
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("NaN");
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV serialization to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any error from creating or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut buf = io::BufWriter::new(file);
+        io::Write::write_all(&mut buf, self.to_csv().as_bytes())?;
+        io::Write::flush(&mut buf)
+    }
+
+    /// Finite cells as `(cell min, cell max, normalized intensity)`
+    /// tuples for [`SvgScene::add_heatmap`]. Intensities are min-max
+    /// normalized over the map; a constant map renders at intensity 1.
+    pub fn overlay_cells(&self) -> Vec<(Point, Point, f64)> {
+        let Some((lo, hi)) = self.finite_range() else {
+            return Vec::new();
+        };
+        let span = hi - lo;
+        let mut cells = Vec::new();
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let v = self.values[j * self.nx + i];
+                if !v.is_finite() {
+                    continue;
+                }
+                let min = Point::new(
+                    self.origin.x + i as f64 * self.dx,
+                    self.origin.y + j as f64 * self.dy,
+                );
+                let max = Point::new(min.x + self.dx, min.y + self.dy);
+                let t = if span > 0.0 { (v - lo) / span } else { 1.0 };
+                cells.push((min, max, t));
+            }
+        }
+        cells
+    }
+}
+
+/// The three spatial views computed from one metric evaluation plus one
+/// superposed voltage solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatmapSet {
+    /// Node-current metric per tile (Algorithm 3, amperes).
+    pub current: Heatmap,
+    /// Nodal potential relative to the grounded sink (A·squares;
+    /// multiply by the layer sheet resistance for volts).
+    pub voltage: Heatmap,
+    /// Drop below the peak potential (A·squares).
+    pub ir_drop: Heatmap,
+}
+
+/// Rasterizes current, voltage, and IR-drop maps for a routed subgraph.
+///
+/// The grid spans the full routing graph (its tile lattice), so CSV
+/// dimensions match the tiling stage's `nx × ny` output; only subgraph
+/// member cells hold finite values.
+///
+/// # Errors
+///
+/// Propagates metric-evaluation and voltage-solve errors
+/// ([`SproutError::InvalidConfig`] on empty pairs,
+/// [`SproutError::Linalg`] on a singular subgraph).
+pub fn build_heatmaps(
+    graph: &RoutingGraph,
+    sub: &Subgraph,
+    pairs: &[InjectionPair],
+) -> Result<HeatmapSet, SproutError> {
+    let metric = node_current(graph, sub, pairs)?;
+    let volts = node_voltages(graph, sub, pairs)?;
+
+    // Grid extent over the whole graph; cells are lattice-indexed.
+    let mut i_range = (i64::MAX, i64::MIN);
+    let mut j_range = (i64::MAX, i64::MIN);
+    for n in graph.nodes() {
+        i_range = (i_range.0.min(n.cell.0), i_range.1.max(n.cell.0));
+        j_range = (j_range.0.min(n.cell.1), j_range.1.max(n.cell.1));
+    }
+    if graph.nodes().is_empty() {
+        return Err(SproutError::InvalidConfig("empty routing graph"));
+    }
+    let nx = (i_range.1 - i_range.0 + 1) as usize;
+    let ny = (j_range.1 - j_range.0 + 1) as usize;
+    let frame = graph.frame();
+    let origin = frame.corner(i_range.0, j_range.0);
+
+    let blank = || Heatmap {
+        quantity: "",
+        nx,
+        ny,
+        origin,
+        dx: frame.dx,
+        dy: frame.dy,
+        values: vec![f64::NAN; nx * ny],
+    };
+    let mut current = Heatmap {
+        quantity: "current_a",
+        ..blank()
+    };
+    let mut voltage = Heatmap {
+        quantity: "voltage_sq",
+        ..blank()
+    };
+    let mut ir_drop = Heatmap {
+        quantity: "ir_drop_sq",
+        ..blank()
+    };
+
+    let v_peak = sub
+        .members()
+        .iter()
+        .map(|&m| volts[m.index()])
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    for &m in sub.members() {
+        let node = graph.node(m);
+        let idx = (node.cell.1 - j_range.0) as usize * nx + (node.cell.0 - i_range.0) as usize;
+        current.values[idx] = metric.of(m);
+        let v = volts[m.index()];
+        voltage.values[idx] = v;
+        ir_drop.values[idx] = if v.is_finite() { v_peak - v } else { f64::NAN };
+    }
+
+    Ok(HeatmapSet {
+        current,
+        voltage,
+        ir_drop,
+    })
+}
+
+/// The `k` worst cells of a [`HeatmapSet`], ranked by IR drop (ties by
+/// node current), as [`HotspotRecord`]s ready for
+/// [`RunReport`](sprout_core::RunReport) attachment.
+pub fn hotspots(set: &HeatmapSet, net: usize, layer: usize, k: usize) -> Vec<HotspotRecord> {
+    let m = &set.ir_drop;
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for j in 0..m.ny {
+        for i in 0..m.nx {
+            if m.get(i, j).is_finite() {
+                cells.push((i, j));
+            }
+        }
+    }
+    cells.sort_by(|&(ia, ja), &(ib, jb)| {
+        m.get(ib, jb)
+            .total_cmp(&m.get(ia, ja))
+            .then_with(|| set.current.get(ib, jb).total_cmp(&set.current.get(ia, ja)))
+            .then_with(|| (ja, ia).cmp(&(jb, ib)))
+    });
+    cells
+        .into_iter()
+        .take(k)
+        .map(|(i, j)| HotspotRecord {
+            net,
+            layer,
+            cell_i: i as i64,
+            cell_j: j as i64,
+            x_mm: m.origin.x + (i as f64 + 0.5) * m.dx,
+            y_mm: m.origin.y + (j as f64 + 0.5) * m.dy,
+            current_a: set.current.get(i, j),
+            voltage_sq: set.voltage.get(i, j),
+            ir_drop_sq: m.get(i, j),
+        })
+        .collect()
+}
+
+/// Renders a heatmap as an SVG overlay on `layer` of `board` (colour
+/// ramp per [`sprout_render::heat_color`]).
+pub fn heatmap_svg(board: &Board, layer: usize, map: &Heatmap) -> String {
+    let mut scene = SvgScene::new(board, layer);
+    scene.add_heatmap(map.quantity, map.overlay_cells());
+    scene.to_svg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_board::presets;
+    use sprout_core::router::{Router, RouterConfig};
+    use sprout_core::RouteResult;
+
+    fn route() -> (sprout_board::Board, RouteResult) {
+        let board = presets::two_rail();
+        let config = RouterConfig {
+            tile_pitch_mm: 0.6,
+            grow_iterations: 5,
+            refine_iterations: 1,
+            reheat: None,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(&board, config);
+        let (net, _) = board.power_nets().next().unwrap();
+        let result = router
+            .route_net(net, presets::TWO_RAIL_ROUTE_LAYER, 25.0)
+            .unwrap();
+        (board, result)
+    }
+
+    #[test]
+    fn maps_cover_grid_and_members_only() {
+        let (_, r) = route();
+        let set = build_heatmaps(&r.graph, &r.subgraph, &r.pairs).unwrap();
+        assert!(set.current.nx > 1 && set.current.ny > 1);
+        assert_eq!(set.current.nx, set.ir_drop.nx);
+        assert_eq!(set.current.ny, set.voltage.ny);
+        let finite = set
+            .current
+            .values()
+            .iter()
+            .filter(|v| v.is_finite())
+            .count();
+        assert_eq!(finite, r.subgraph.order());
+        // Current metric is non-negative where defined.
+        assert!(set
+            .current
+            .values()
+            .iter()
+            .filter(|v| v.is_finite())
+            .all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn ir_drop_is_nonnegative_with_a_zero_minimum() {
+        let (_, r) = route();
+        let set = build_heatmaps(&r.graph, &r.subgraph, &r.pairs).unwrap();
+        let (lo, hi) = set.ir_drop.finite_range().unwrap();
+        assert!(lo.abs() < 1e-9, "peak-potential cell must have zero drop");
+        assert!(hi > 0.0, "some cell must sit below the peak");
+    }
+
+    #[test]
+    fn csv_dimensions_match_grid() {
+        let (_, r) = route();
+        let set = build_heatmaps(&r.graph, &r.subgraph, &r.pairs).unwrap();
+        let csv = set.voltage.to_csv();
+        let data: Vec<&str> = csv.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(data.len(), set.voltage.ny);
+        for row in &data {
+            assert_eq!(row.split(',').count(), set.voltage.nx);
+        }
+        assert!(csv.starts_with("# sprout-heatmap quantity=voltage_sq"));
+    }
+
+    #[test]
+    fn hotspots_are_sorted_and_capped() {
+        let (_, r) = route();
+        let set = build_heatmaps(&r.graph, &r.subgraph, &r.pairs).unwrap();
+        let spots = hotspots(&set, 0, presets::TWO_RAIL_ROUTE_LAYER, 5);
+        assert_eq!(spots.len(), 5);
+        for w in spots.windows(2) {
+            assert!(w[0].ir_drop_sq >= w[1].ir_drop_sq);
+        }
+        // Hotspot coordinates land inside the board outline.
+        let outline = route().0.outline();
+        for s in &spots {
+            assert!(s.x_mm >= outline.min().x && s.x_mm <= outline.max().x);
+            assert!(s.y_mm >= outline.min().y && s.y_mm <= outline.max().y);
+        }
+    }
+
+    #[test]
+    fn svg_overlay_renders_member_cells() {
+        let (board, r) = route();
+        let set = build_heatmaps(&r.graph, &r.subgraph, &r.pairs).unwrap();
+        let svg = heatmap_svg(&board, presets::TWO_RAIL_ROUTE_LAYER, &set.ir_drop);
+        assert!(svg.contains("id=\"ir_drop_sq\""));
+        // Background rect + one rect per member cell.
+        assert_eq!(svg.matches("<rect").count(), 1 + r.subgraph.order());
+    }
+}

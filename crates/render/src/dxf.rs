@@ -8,6 +8,8 @@
 
 use sprout_core::backconv::RoutedShape;
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 
 /// A DXF document under construction.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +71,29 @@ impl DxfDocument {
         out.push_str("0\nENDSEC\n0\nEOF\n");
         out
     }
+
+    /// Streams the serialized document into `w`, propagating I/O errors
+    /// instead of panicking (write failures on handoff files are real:
+    /// full disks, revoked permissions, dead network mounts).
+    ///
+    /// # Errors
+    ///
+    /// Any error from the underlying writer.
+    pub fn emit<W: io::Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(self.to_dxf().as_bytes())
+    }
+
+    /// Writes the document to `path`, creating or truncating the file.
+    ///
+    /// # Errors
+    ///
+    /// Any error from creating or writing the file.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut buf = io::BufWriter::new(file);
+        self.emit(&mut buf)?;
+        io::Write::flush(&mut buf)
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +148,23 @@ mod tests {
         let dxf = doc.to_dxf();
         assert_eq!(dxf.matches("0\nLAYER\n2\nA").count(), 1);
         assert_eq!(dxf.matches("0\nLAYER\n2\nB").count(), 1);
+    }
+
+    #[test]
+    fn emit_streams_same_bytes_as_to_dxf() {
+        let shape = routed();
+        let mut doc = DxfDocument::new();
+        doc.add_shape("VDD1_L7", &shape);
+        let mut buf = Vec::new();
+        doc.emit(&mut buf).unwrap();
+        assert_eq!(buf, doc.to_dxf().into_bytes());
+    }
+
+    #[test]
+    fn write_to_propagates_io_error_for_bad_path() {
+        let doc = DxfDocument::new();
+        let err = doc.write_to("/nonexistent-dir-xyzzy/out.dxf");
+        assert!(err.is_err());
     }
 
     #[test]

@@ -53,6 +53,47 @@ enum Overlay {
         color: String,
         cells: Vec<(Point, Point)>,
     },
+    Heatmap {
+        label: String,
+        // (cell min, cell max, normalized intensity in [0, 1])
+        cells: Vec<(Point, Point, f64)>,
+    },
+}
+
+/// Maps a normalized intensity in `[0, 1]` onto a cold-to-hot colour
+/// ramp (deep blue → cyan → yellow → red), the conventional palette of
+/// IR-drop plots. Out-of-range and non-finite values clamp.
+pub fn heat_color(t: f64) -> String {
+    let t = if t.is_finite() {
+        t.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    // Piecewise-linear ramp over 4 anchor colours.
+    let anchors: [(f64, (u8, u8, u8)); 4] = [
+        (0.0, (24, 48, 140)),  // deep blue
+        (0.35, (0, 176, 200)), // cyan
+        (0.7, (250, 210, 60)), // yellow
+        (1.0, (205, 30, 30)),  // red
+    ];
+    let mut lo = anchors[0];
+    let mut hi = anchors[anchors.len() - 1];
+    for w in anchors.windows(2) {
+        if t >= w[0].0 && t <= w[1].0 {
+            lo = w[0];
+            hi = w[1];
+            break;
+        }
+    }
+    let span = (hi.0 - lo.0).max(1e-12);
+    let f = (t - lo.0) / span;
+    let lerp = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * f).round() as u8 };
+    format!(
+        "#{:02x}{:02x}{:02x}",
+        lerp(lo.1 .0, hi.1 .0),
+        lerp(lo.1 .1, hi.1 .1),
+        lerp(lo.1 .2, hi.1 .2)
+    )
 }
 
 impl<'b> SvgScene<'b> {
@@ -111,6 +152,21 @@ impl<'b> SvgScene<'b> {
             .collect();
         self.overlays.push(Overlay::Tiles {
             color: color.into(),
+            cells,
+        });
+        self
+    }
+
+    /// Adds a spatial heatmap overlay: per-cell rectangles coloured by
+    /// a cold-to-hot ramp over the normalized intensity (third tuple
+    /// element, expected in `[0, 1]`; non-finite cells are skipped).
+    pub fn add_heatmap(
+        &mut self,
+        label: impl Into<String>,
+        cells: Vec<(Point, Point, f64)>,
+    ) -> &mut Self {
+        self.overlays.push(Overlay::Heatmap {
+            label: label.into(),
             cells,
         });
         self
@@ -214,6 +270,26 @@ impl<'b> SvgScene<'b> {
                     }
                     let _ = writeln!(out, "</g>");
                 }
+                Overlay::Heatmap { label, cells } => {
+                    let _ = writeln!(out, "<g id=\"{}\">", xml_escape(label));
+                    for &(min, max, t) in cells {
+                        if !t.is_finite() {
+                            continue;
+                        }
+                        let (x0, y1) = tx(min);
+                        let (x1, y0) = tx(max);
+                        let _ = writeln!(
+                            out,
+                            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{}\" fill-opacity=\"0.65\"/>",
+                            x0,
+                            y0,
+                            x1 - x0,
+                            y1 - y0,
+                            heat_color(t)
+                        );
+                    }
+                    let _ = writeln!(out, "</g>");
+                }
             }
         }
         out.push_str("</svg>\n");
@@ -294,6 +370,37 @@ mod tests {
         scene.add_subgraph(&route.graph, &route.subgraph, "#ff0000");
         let svg = scene.to_svg();
         assert!(svg.matches("<rect").count() > route.subgraph.order() / 2);
+    }
+
+    #[test]
+    fn heatmap_overlay_renders_colored_cells() {
+        let board = presets::two_rail();
+        let mut scene = SvgScene::new(&board, presets::TWO_RAIL_ROUTE_LAYER);
+        let cells = vec![
+            (Point::new(1.0, 1.0), Point::new(2.0, 2.0), 0.0),
+            (Point::new(2.0, 1.0), Point::new(3.0, 2.0), 1.0),
+            (Point::new(3.0, 1.0), Point::new(4.0, 2.0), f64::NAN),
+        ];
+        scene.add_heatmap("ir_drop", cells);
+        let svg = scene.to_svg();
+        assert!(svg.contains("id=\"ir_drop\""));
+        // NaN cell is skipped: background rect + 2 heatmap rects.
+        assert_eq!(svg.matches("<rect").count(), 3);
+        assert!(svg.contains(&heat_color(0.0)));
+        assert!(svg.contains(&heat_color(1.0)));
+    }
+
+    #[test]
+    fn heat_color_ramp_endpoints_and_clamping() {
+        assert_eq!(heat_color(0.0), "#18308c");
+        assert_eq!(heat_color(1.0), "#cd1e1e");
+        assert_eq!(heat_color(-5.0), heat_color(0.0));
+        assert_eq!(heat_color(7.0), heat_color(1.0));
+        assert_eq!(heat_color(f64::NAN), heat_color(0.0));
+        // Interior values are distinct from both endpoints.
+        let mid = heat_color(0.5);
+        assert_ne!(mid, heat_color(0.0));
+        assert_ne!(mid, heat_color(1.0));
     }
 
     #[test]

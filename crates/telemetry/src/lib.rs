@@ -317,6 +317,7 @@ impl SpanBuilder {
     /// Starts the span: emits [`Event::SpanStart`] and returns a guard
     /// that emits [`Event::SpanEnd`] with monotonic elapsed time when
     /// dropped.
+    #[must_use = "bind the guard — dropping it immediately closes the span"]
     pub fn enter(self) -> SpanGuard {
         let Some(recorder) = self.recorder else {
             return SpanGuard { active: None };
@@ -358,6 +359,7 @@ struct ActiveSpan {
 
 /// An open span. Dropping it (including during unwinding) closes the
 /// span and emits the end event with its monotonic duration.
+#[must_use = "bind the guard — dropping it immediately closes the span"]
 pub struct SpanGuard {
     active: Option<ActiveSpan>,
 }

@@ -141,6 +141,38 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
+    /// Estimates the `p`-th percentile (0–100) from the log2 buckets.
+    ///
+    /// Returns the upper bound of the bucket containing the rank
+    /// (clamped by the exact observed maximum), so the estimate is
+    /// conservative: never below the true percentile, and at most one
+    /// power of two above it. Returns 0.0 when empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Rank of the percentile sample, 1-based (nearest-rank method).
+        let rank = ((p / 100.0 * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets().iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // Bucket 0 holds zeros; bucket i holds [2^(i-1), 2^i - 1].
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+                return upper.min(self.max()) as f64;
+            }
+        }
+        self.max() as f64
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -377,6 +409,73 @@ mod tests {
         assert_eq!(b[2], 1); // 3
         assert_eq!(b[3], 1); // 4
         assert_eq!(b[7], 1); // 100 (64..128)
+    }
+
+    #[test]
+    fn percentile_on_empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.percentile(50.0), 0.0);
+        assert_eq!(h.percentile(0.0), 0.0);
+        assert_eq!(h.percentile(100.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_of_uniform_sample_is_bucket_upper_bound() {
+        let h = Histogram::default();
+        // 100 samples of 10 → every percentile lands in bucket 4
+        // ([8, 15]), clamped by the exact max of 10.
+        for _ in 0..100 {
+            h.observe(10);
+        }
+        assert_eq!(h.percentile(1.0), 10.0);
+        assert_eq!(h.percentile(50.0), 10.0);
+        assert_eq!(h.percentile(99.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_separates_modes_across_buckets() {
+        let h = Histogram::default();
+        // 90 small samples (bucket 3: [4,7]) and 10 large (bucket 10:
+        // [512,1023]). p50 must report the small mode, p99 the large.
+        for _ in 0..90 {
+            h.observe(5);
+        }
+        for _ in 0..10 {
+            h.observe(600);
+        }
+        let p50 = h.percentile(50.0);
+        assert!((4.0..=7.0).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile(99.0);
+        assert!((512.0..=1023.0).contains(&p99), "p99 {p99}");
+        // Tail percentile never exceeds the exact observed max.
+        assert_eq!(h.percentile(100.0), 600.0);
+    }
+
+    #[test]
+    fn percentile_is_conservative_never_below_true_value() {
+        let h = Histogram::default();
+        let samples: Vec<u64> = (1..=64).collect();
+        for &s in &samples {
+            h.observe(s);
+        }
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0] {
+            let rank = ((p / 100.0 * samples.len() as f64).ceil() as usize).max(1);
+            let truth = samples[rank - 1] as f64;
+            let est = h.percentile(p);
+            assert!(est >= truth, "p{p}: est {est} < truth {truth}");
+            assert!(est <= truth * 2.0, "p{p}: est {est} > 2x truth {truth}");
+        }
+    }
+
+    #[test]
+    fn percentile_handles_zeros_and_out_of_range_p() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(0);
+        h.observe(8);
+        assert_eq!(h.percentile(50.0), 0.0, "majority of samples are zero");
+        assert_eq!(h.percentile(-5.0), 0.0, "p clamps to 0");
+        assert_eq!(h.percentile(250.0), 8.0, "p clamps to 100");
     }
 
     #[test]

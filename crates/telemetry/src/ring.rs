@@ -151,4 +151,77 @@ mod tests {
         ring.record(&pt("only"));
         assert_eq!(ring.len(), 1);
     }
+
+    #[test]
+    fn fill_to_exact_capacity_is_still_lossless() {
+        let ring = RingSink::new(3);
+        for name in ["a", "b", "c"] {
+            ring.record(&pt(name));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0, "hitting capacity exactly drops nothing");
+        // One more event tips it over.
+        ring.record(&pt("d"));
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(
+            ring.events().iter().map(|e| e.name()).collect::<Vec<_>>(),
+            ["b", "c", "d"]
+        );
+    }
+
+    #[test]
+    fn wrap_many_times_keeps_newest_window_and_total_drop_count() {
+        let ring = RingSink::new(4);
+        let names: Vec<String> = (0..25).map(|i| format!("e{i}")).collect();
+        let leaked: Vec<&'static str> = names
+            .iter()
+            .map(|s| Box::leak(s.clone().into_boxed_str()) as &'static str)
+            .collect();
+        for &name in &leaked {
+            ring.record(&pt(name));
+        }
+        // 25 events through a 4-slot ring → 21 evictions, newest 4 kept
+        // in arrival order.
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.dropped(), 21);
+        assert_eq!(
+            ring.events().iter().map(|e| e.name()).collect::<Vec<_>>(),
+            ["e21", "e22", "e23", "e24"]
+        );
+    }
+
+    #[test]
+    fn refill_after_drain_wraps_independently() {
+        let ring = RingSink::new(2);
+        for name in ["a", "b", "c"] {
+            ring.record(&pt(name));
+        }
+        assert_eq!(ring.dropped(), 1);
+        ring.drain();
+        // After drain the ring restarts lossless from empty.
+        ring.record(&pt("x"));
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(ring.len(), 1);
+        ring.record(&pt("y"));
+        ring.record(&pt("z"));
+        assert_eq!(ring.dropped(), 1, "second wrap counts from zero");
+        assert_eq!(
+            ring.events().iter().map(|e| e.name()).collect::<Vec<_>>(),
+            ["y", "z"]
+        );
+    }
+
+    #[test]
+    fn events_is_non_destructive_while_wrapping() {
+        let ring = RingSink::new(2);
+        ring.record(&pt("a"));
+        ring.record(&pt("b"));
+        let first = ring.events();
+        let second = ring.events();
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 2, "peeking does not consume");
+        ring.record(&pt("c"));
+        assert_eq!(ring.dropped(), 1, "peeking does not reset drop counter");
+    }
 }

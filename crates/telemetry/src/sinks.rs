@@ -1,8 +1,8 @@
 //! Recorder implementations: no-op, stderr pretty-printer, JSONL
-//! writer, and an in-memory collector for tests.
+//! writer, a fan-out tee, and an in-memory collector for tests.
 
 use std::io::Write;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::json::Obj;
 use crate::{Event, Recorder};
@@ -157,6 +157,36 @@ impl<W: Write + Send> Recorder for JsonlSink<W> {
     }
 }
 
+/// Forwards every event to each of a fixed set of recorders, in order.
+///
+/// Lets one scope feed multiple consumers at once — e.g. `--trace`
+/// streaming to stderr while a `TraceSink` captures convergence
+/// records for JSONL export.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl TeeSink {
+    /// Wraps `sinks`; events are forwarded in the given order.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> TeeSink {
+        TeeSink { sinks }
+    }
+}
+
+impl Recorder for TeeSink {
+    fn record(&self, event: &Event) {
+        for s in &self.sinks {
+            s.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
 /// Collects every event in memory, in arrival order. The test sink:
 /// assert on [`events`](MemorySink::events) after the scope closes.
 #[derive(Debug, Default)]
@@ -274,6 +304,17 @@ mod tests {
             fields: Fields::new(),
         };
         assert_eq!(StderrSink::render(&end), "  \u{25c0} grow 2.0ms");
+    }
+
+    #[test]
+    fn tee_sink_fans_out_to_every_branch() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let tee = TeeSink::new(vec![a.clone() as Arc<dyn Recorder>, b.clone()]);
+        tee.record(&sample_start());
+        tee.flush();
+        assert_eq!(a.names(), ["grow"]);
+        assert_eq!(b.names(), ["grow"]);
     }
 
     #[test]

@@ -147,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let dir = out_dir();
-    std::fs::write(dir.join("pdn_report.dxf"), dxf.to_dxf())?;
+    dxf.write_to(dir.join("pdn_report.dxf"))?;
     std::fs::write(dir.join("pdn_report.svg"), scene.to_svg())?;
     println!("\nhandoff files: {}/pdn_report.{{dxf,svg}}", dir.display());
     Ok(())
