@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tile_pitch_mm: pitch,
             grow_iterations: 12,
             refine_iterations: 4,
+            solver: out.solver_config(),
             ..RouterConfig::default()
         };
         let router = Router::new(&board, config);

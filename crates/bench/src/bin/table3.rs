@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         tile_pitch_mm: 0.25,
         grow_iterations: 15,
         refine_iterations: 4,
+        solver: out.solver_config(),
         ..RouterConfig::default()
     };
     let router = Router::new(&board, config);

@@ -25,7 +25,7 @@ pub mod timing;
 use gate::{GateFailure, GateOptions, PerfBaseline, PerfEntry};
 use sprout_board::Board;
 use sprout_core::router::RouteResult;
-use sprout_core::RunReport;
+use sprout_core::{RunReport, SolverConfig, SolverEngine};
 use sprout_extract::ac::ac_impedance_25mhz;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::resistance::dc_resistance;
@@ -58,6 +58,14 @@ use std::sync::Arc;
 /// * `--slowdown <factor>` — multiply measured wall times and solve
 ///   counts before the gate comparison (self-test hook; see
 ///   [`gate`]).
+/// * `--solver incremental|scratch` — nodal-analysis backend
+///   (default `incremental`; `scratch` rebuilds the factorization on
+///   every metric evaluation, the pre-session behavior).
+/// * `--solver-threads <n>` — worker threads for the multi-RHS solve
+///   (default 1; results are bit-identical at any thread count).
+/// * `--smw-rank <r>` — maximum Sherman-Morrison-Woodbury correction
+///   rank before the incremental session refactorizes (default 0 =
+///   disabled, keeping the engine bit-exact against `scratch`).
 ///
 /// Run reports are *always* mirrored to
 /// `target/experiments/<name>.jsonl`, regardless of flags, so every
@@ -72,6 +80,7 @@ pub struct BenchOutput {
     update_baseline: bool,
     slowdown: f64,
     wall_tolerance_pct: Option<f64>,
+    solver: SolverConfig,
     entries: RefCell<Vec<(String, PerfEntry)>>,
 }
 
@@ -88,9 +97,26 @@ impl BenchOutput {
         let mut update_baseline = false;
         let mut slowdown = 1.0;
         let mut wall_tolerance_pct = None;
+        let mut solver = SolverConfig::default();
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
+                "--solver" => {
+                    solver.engine = match args.next().as_deref() {
+                        Some("scratch") => SolverEngine::Scratch,
+                        _ => SolverEngine::Incremental,
+                    };
+                }
+                "--solver-threads" => {
+                    solver.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &usize| n >= 1)
+                        .unwrap_or(1);
+                }
+                "--smw-rank" => {
+                    solver.smw_max_rank = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                }
                 "--quiet" | "-q" => quiet = true,
                 "--json" => json = true,
                 "--trace" => trace = true,
@@ -126,8 +152,17 @@ impl BenchOutput {
             update_baseline,
             slowdown,
             wall_tolerance_pct,
+            solver,
             entries: RefCell::new(Vec::new()),
         }
+    }
+
+    /// The nodal-analysis backend selected by `--solver` /
+    /// `--solver-threads` / `--smw-rank` (defaults to the incremental
+    /// session). Experiment binaries assign this to
+    /// `RouterConfig::solver`.
+    pub fn solver_config(&self) -> SolverConfig {
+        self.solver
     }
 
     /// `true` when human-readable output should be printed.

@@ -14,7 +14,7 @@ use crate::tile::Terminal;
 use crate::SproutError;
 use sprout_board::ElementRole;
 use sprout_linalg::fallback::FallbackOptions;
-use sprout_linalg::laplacian::GraphLaplacian;
+use sprout_linalg::laplacian::{GraphLaplacian, GroundedFactor};
 use sprout_linalg::LinalgError;
 use sprout_telemetry as telemetry;
 
@@ -126,6 +126,16 @@ pub struct NodeCurrents {
 }
 
 impl NodeCurrents {
+    /// Assembles a result from raw parts (the incremental nodal session
+    /// produces the same fields through a different solve path).
+    pub(crate) fn from_parts(current: Vec<f64>, resistance_sq: f64, solves: usize) -> Self {
+        NodeCurrents {
+            current,
+            resistance_sq,
+            solves,
+        }
+    }
+
     /// The metric for a node (zero outside the subgraph).
     pub fn of(&self, id: NodeId) -> f64 {
         self.current[id.index()]
@@ -148,19 +158,9 @@ impl NodeCurrents {
     }
 }
 
-/// Evaluates the node-current metric on a subgraph (Algorithm 3).
-///
-/// # Errors
-///
-/// * [`SproutError::InvalidConfig`] — empty pair list or a pair endpoint
-///   outside the subgraph.
-/// * [`SproutError::Linalg`] — the subgraph is electrically disconnected
-///   (singular grounded Laplacian).
-pub fn node_current(
-    graph: &RoutingGraph,
-    sub: &Subgraph,
-    pairs: &[InjectionPair],
-) -> Result<NodeCurrents, SproutError> {
+/// Validates an injection-pair list against a subgraph (shared by the
+/// scratch and incremental metric evaluators).
+pub(crate) fn validate_pairs(sub: &Subgraph, pairs: &[InjectionPair]) -> Result<(), SproutError> {
     if pairs.is_empty() {
         return Err(SproutError::InvalidConfig("no injection pairs"));
     }
@@ -171,7 +171,34 @@ pub fn node_current(
             ));
         }
     }
+    Ok(())
+}
 
+/// A subgraph's nodal system, assembled and factored from scratch: the
+/// shared preamble of [`node_current`] and [`node_voltages`].
+pub(crate) struct NodalSystem {
+    /// Sorted member list; position = compact index.
+    pub members: Vec<NodeId>,
+    /// `compact[NodeId::index()]` → compact index (`usize::MAX` outside).
+    pub compact: Vec<usize>,
+    /// Induced edges in graph-edge order, compact endpoints, sanitized.
+    pub edges: Vec<(usize, usize, f64)>,
+    /// Resilient grounded factor (grounded at the first pair's sink).
+    pub factor: GroundedFactor,
+}
+
+/// Builds the compacted, sanitized, grounded-and-factored nodal system
+/// for a subgraph. With `with_fault_hooks` the (test-only) fault
+/// injection points fire and sanitize/fallback degradations are recorded
+/// as solver events + telemetry — exactly the [`node_current`] pipeline
+/// behavior; without it the assembly is silent ([`node_voltages`] is a
+/// read-only observer and must not re-report degradations).
+pub(crate) fn assemble_system(
+    graph: &RoutingGraph,
+    sub: &Subgraph,
+    pairs: &[InjectionPair],
+    with_fault_hooks: bool,
+) -> Result<NodalSystem, SproutError> {
     // Compact index: sorted member list for determinism.
     let mut members: Vec<NodeId> = sub.members().to_vec();
     members.sort_unstable();
@@ -184,37 +211,63 @@ pub fn node_current(
         .induced_edges(graph)
         .map(|e| (compact[e.a.index()], compact[e.b.index()], e.weight))
         .collect();
-    // Fault-injection hooks: no-ops unless a FaultScope is active.
-    recovery::fault_corrupt_conductances(&mut edges);
-    if recovery::fault_solver_failure() {
-        return Err(SproutError::Linalg(LinalgError::NotConverged {
-            iterations: 0,
-            residual: f64::INFINITY,
-        }));
+    if with_fault_hooks {
+        // Fault-injection hooks: no-ops unless a FaultScope is active.
+        recovery::fault_corrupt_conductances(&mut edges);
+        if recovery::fault_solver_failure() {
+            return Err(SproutError::Linalg(LinalgError::NotConverged {
+                iterations: 0,
+                residual: f64::INFINITY,
+            }));
+        }
     }
     let mut lap = GraphLaplacian::from_edges(members.len(), &edges)?;
     let dropped = lap.sanitize_conductances();
     if dropped > 0 {
-        recovery::note_event(SolverEvent::Sanitized(dropped));
-        telemetry::counter!("solver.edges_sanitized", dropped as u64);
-        telemetry::point("edges_sanitized")
-            .field("count", dropped)
-            .emit();
+        if with_fault_hooks {
+            recovery::note_event(SolverEvent::Sanitized(dropped));
+            telemetry::counter!("solver.edges_sanitized", dropped as u64);
+            telemetry::point("edges_sanitized")
+                .field("count", dropped)
+                .emit();
+        }
         edges.retain(|&(_, _, g)| g.is_finite() && g > 0.0);
     }
     let ground = compact[pairs[0].sink.index()];
     let factor = lap.factor_grounded_resilient(ground, FallbackOptions::default())?;
-    if let Some(report) = factor.fallback_report() {
-        if report.degraded() {
-            recovery::note_event(SolverEvent::Fallback(report.rung));
-            telemetry::counter!("solver.fallbacks");
-            telemetry::point("solver_fallback")
-                .field("rung", format!("{:?}", report.rung))
-                .field("attempts", report.factor_attempts)
-                .emit();
+    if with_fault_hooks {
+        if let Some(report) = factor.fallback_report() {
+            if report.degraded() {
+                recovery::note_event(SolverEvent::Fallback(report.rung));
+                telemetry::counter!("solver.fallbacks");
+                telemetry::point("solver_fallback")
+                    .field("rung", format!("{:?}", report.rung))
+                    .field("attempts", report.factor_attempts)
+                    .emit();
+            }
         }
     }
+    Ok(NodalSystem {
+        members,
+        compact,
+        edges,
+        factor,
+    })
+}
 
+/// The Algorithm-3 metric loop against an already-factored system: one
+/// solve per pair, edge-current accumulation, and the current-weighted
+/// resistance. Shared by [`node_current`] and the incremental session's
+/// resilient-ladder fallback so both report identical numbers and
+/// telemetry.
+pub(crate) fn metric_from_factor(
+    graph: &RoutingGraph,
+    members: &[NodeId],
+    compact: &[usize],
+    edges: &[(usize, usize, f64)],
+    factor: &GroundedFactor,
+    pairs: &[InjectionPair],
+) -> Result<NodeCurrents, SproutError> {
     let mut node_metric = vec![0.0f64; graph.node_count()];
     let mut resistance_weighted = 0.0f64;
     let mut weight_total = 0.0f64;
@@ -226,7 +279,7 @@ pub fn node_current(
         currents[compact[p.sink.index()]] -= p.current_a;
         let v = factor.solve_currents(&currents)?;
         solves += 1;
-        for (a, b, w) in &edges {
+        for (a, b, w) in edges {
             let i_edge = w * (v[*a] - v[*b]);
             node_metric[members[*a].index()] += i_edge.abs();
             node_metric[members[*b].index()] += i_edge.abs();
@@ -251,6 +304,29 @@ pub fn node_current(
     })
 }
 
+/// Evaluates the node-current metric on a subgraph (Algorithm 3).
+///
+/// # Errors
+///
+/// * [`SproutError::InvalidConfig`] — empty pair list or a pair endpoint
+///   outside the subgraph.
+/// * [`SproutError::Linalg`] — the subgraph is electrically disconnected
+///   (singular grounded Laplacian).
+pub fn node_current(
+    graph: &RoutingGraph,
+    sub: &Subgraph,
+    pairs: &[InjectionPair],
+) -> Result<NodeCurrents, SproutError> {
+    validate_pairs(sub, pairs)?;
+    let NodalSystem {
+        members,
+        compact,
+        edges,
+        factor,
+    } = assemble_system(graph, sub, pairs, true)?;
+    metric_from_factor(graph, &members, &compact, &edges, &factor, pairs)
+}
+
 /// Solves the superposed nodal voltages for an injection set: all pair
 /// currents are injected at once and `V = L⁻¹E` is evaluated with one
 /// solve, grounded at the first pair's sink (the same ground
@@ -269,30 +345,13 @@ pub fn node_voltages(
     sub: &Subgraph,
     pairs: &[InjectionPair],
 ) -> Result<Vec<f64>, SproutError> {
-    if pairs.is_empty() {
-        return Err(SproutError::InvalidConfig("no injection pairs"));
-    }
-    for p in pairs {
-        if !sub.contains(p.source) || !sub.contains(p.sink) {
-            return Err(SproutError::InvalidConfig(
-                "injection pair endpoint outside the subgraph",
-            ));
-        }
-    }
-    let mut members: Vec<NodeId> = sub.members().to_vec();
-    members.sort_unstable();
-    let mut compact = vec![usize::MAX; graph.node_count()];
-    for (k, &m) in members.iter().enumerate() {
-        compact[m.index()] = k;
-    }
-    let edges: Vec<(usize, usize, f64)> = sub
-        .induced_edges(graph)
-        .map(|e| (compact[e.a.index()], compact[e.b.index()], e.weight))
-        .collect();
-    let mut lap = GraphLaplacian::from_edges(members.len(), &edges)?;
-    lap.sanitize_conductances();
-    let ground = compact[pairs[0].sink.index()];
-    let factor = lap.factor_grounded_resilient(ground, FallbackOptions::default())?;
+    validate_pairs(sub, pairs)?;
+    let NodalSystem {
+        members,
+        compact,
+        factor,
+        ..
+    } = assemble_system(graph, sub, pairs, false)?;
     let mut currents = vec![0.0f64; members.len()];
     for p in pairs {
         currents[compact[p.source.index()]] += p.current_a;

@@ -406,6 +406,158 @@ impl Subgraph {
     }
 }
 
+/// Reusable workspace for fast removal-connectivity checks.
+///
+/// [`Subgraph::connected_without`] answers "does removing this node keep
+/// the subgraph connected?" with a full BFS over the subgraph per
+/// candidate — the dominant non-solver cost of the refinement and
+/// erosion sweeps, which test hundreds of candidates per round. This
+/// check reaches the same verdict *locally*: when the subgraph is
+/// connected (which every router path maintains — seeds are connected,
+/// growth adds boundary nodes, and removals are gated on this very
+/// check), removing `id` keeps it connected **iff** the member-neighbors
+/// of `id` stay mutually reachable with `id` masked out. A BFS from one
+/// neighbor stops as soon as the others are seen, touching tens of nodes
+/// instead of the whole subgraph.
+///
+/// The visit marks are epoch-stamped so repeated checks inside one sweep
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub struct RemovalCheck {
+    stamp: Vec<u32>,
+    epoch: u32,
+    queue: Vec<NodeId>,
+    nbrs: Vec<NodeId>,
+}
+
+impl RemovalCheck {
+    /// An empty workspace (sized lazily on first use).
+    pub fn new() -> Self {
+        RemovalCheck::default()
+    }
+
+    /// Verdict of [`Subgraph::connected_without`] for removing `id`,
+    /// computed without mutating `sub`.
+    ///
+    /// Exact under the precondition that `sub` is connected (see the
+    /// type docs). The "disconnects" direction needs no precondition:
+    /// if the local search cannot rejoin the neighbors, the removal
+    /// provably splits the subgraph.
+    pub fn keeps_connected(
+        &mut self,
+        graph: &RoutingGraph,
+        sub: &Subgraph,
+        id: NodeId,
+        targets: &[NodeId],
+    ) -> bool {
+        if !sub.contains(id) {
+            return sub.connects(graph, targets);
+        }
+        debug_assert!(
+            {
+                let mut probe = RemovalCheck::new();
+                sub.order() <= 1
+                    || probe.component_size(graph, sub, sub.members()[0], None) == sub.order()
+            },
+            "RemovalCheck requires a connected subgraph"
+        );
+        let contains_after = |n: NodeId| n != id && sub.contains(n);
+        let Some(&anchor) = targets.iter().find(|&&t| contains_after(t)) else {
+            // No target survives the removal: `connected_without` only
+            // accepts this when the remainder is empty.
+            return sub.order() == 1;
+        };
+        if targets.iter().any(|&t| !contains_after(t)) {
+            return false;
+        }
+        self.nbrs.clear();
+        self.nbrs.extend(
+            graph
+                .neighbors(id)
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|&v| sub.contains(v)),
+        );
+        if self.nbrs.is_empty() {
+            // `id` is an isolated member (precondition violated unless
+            // it is the whole subgraph): fall back to the exact check.
+            return self.component_size(graph, sub, anchor, Some(id)) == sub.order() - 1;
+        }
+        // Local early-exit BFS in `sub ∖ {id}` from one neighbor of
+        // `id`: connected iff every other neighbor is reached.
+        self.begin(graph.node_count());
+        let epoch = self.epoch;
+        self.stamp[id.index()] = epoch; // mask the removed node
+        let start = self.nbrs[0];
+        self.stamp[start.index()] = epoch;
+        let goal = self.nbrs.len();
+        let mut found = 1usize;
+        self.queue.clear();
+        self.queue.push(start);
+        let mut head = 0usize;
+        while head < self.queue.len() && found < goal {
+            let u = self.queue[head];
+            head += 1;
+            for &(v, _) in graph.neighbors(u) {
+                if sub.contains(v) && self.stamp[v.index()] != epoch {
+                    self.stamp[v.index()] = epoch;
+                    if self.nbrs.contains(&v) {
+                        found += 1;
+                    }
+                    self.queue.push(v);
+                }
+            }
+        }
+        found == goal
+    }
+
+    /// Size of `anchor`'s connected component within `sub`, optionally
+    /// masking out one node (exact fallback and debug probe).
+    fn component_size(
+        &mut self,
+        graph: &RoutingGraph,
+        sub: &Subgraph,
+        anchor: NodeId,
+        without: Option<NodeId>,
+    ) -> usize {
+        self.begin(graph.node_count());
+        let epoch = self.epoch;
+        if let Some(w) = without {
+            self.stamp[w.index()] = epoch;
+        }
+        self.stamp[anchor.index()] = epoch;
+        self.queue.clear();
+        self.queue.push(anchor);
+        let mut head = 0usize;
+        let mut reached = 1usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            for &(v, _) in graph.neighbors(u) {
+                if sub.contains(v) && self.stamp[v.index()] != epoch {
+                    self.stamp[v.index()] = epoch;
+                    reached += 1;
+                    self.queue.push(v);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Starts a new epoch, (re)sizing the stamp buffer for `n` nodes.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() != n {
+            self.stamp = vec![0; n];
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -538,6 +690,39 @@ mod tests {
         s.insert(&g, NodeId(3));
         s.insert(&g, NodeId(4));
         assert!(s.connected_without(&g, NodeId(1), &targets));
+    }
+
+    #[test]
+    fn removal_check_matches_connected_without() {
+        let g = grid3();
+        // Sweep every connected subgraph shape we can easily build, every
+        // removal candidate, and several target sets: the fast local
+        // check must agree with the exact one everywhere.
+        let shapes: [&[u32]; 4] = [
+            &[0, 1, 2, 5],                // L
+            &[0, 1, 2, 3, 4, 5],          // two rows
+            &[0, 1, 2, 3, 4, 5, 6, 7, 8], // full grid
+            &[4],                         // single node
+        ];
+        let target_sets: [&[u32]; 3] = [&[0, 5], &[0], &[4]];
+        let mut check = RemovalCheck::new();
+        for shape in shapes {
+            let mut s = Subgraph::new(&g);
+            for &id in shape {
+                s.insert(&g, NodeId(id));
+            }
+            for cand in 0..9u32 {
+                for ts in target_sets {
+                    let targets: Vec<NodeId> = ts.iter().map(|&t| NodeId(t)).collect();
+                    let fast = check.keeps_connected(&g, &s, NodeId(cand), &targets);
+                    let exact = s.connected_without(&g, NodeId(cand), &targets);
+                    assert_eq!(
+                        fast, exact,
+                        "shape {shape:?} candidate {cand} targets {ts:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! Boundary nodes adjacent to the subgraph's highest-current regions are
 //! added, maximizing the reduction in resistance per unit of added metal.
 
-use crate::current::{node_current, InjectionPair, NodeCurrents};
+use crate::current::{InjectionPair, NodeCurrents};
 use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::session::Engine;
 use crate::SproutError;
 
 /// Outcome of one SmartGrow step.
@@ -34,8 +35,24 @@ pub fn smart_grow(
     pairs: &[InjectionPair],
     k: usize,
 ) -> Result<GrowOutcome, SproutError> {
-    let metric = node_current(graph, sub, pairs)?;
-    let added = grow_with_metric(graph, sub, &metric, k);
+    smart_grow_with(&mut Engine::scratch(), graph, sub, pairs, k)
+}
+
+/// [`smart_grow`] driven through a caller-owned nodal-analysis
+/// [`Engine`], so the incremental session sees every mutation.
+///
+/// # Errors
+///
+/// Propagates metric-evaluation errors ([`Engine::eval`]).
+pub fn smart_grow_with(
+    engine: &mut Engine,
+    graph: &RoutingGraph,
+    sub: &mut Subgraph,
+    pairs: &[InjectionPair],
+    k: usize,
+) -> Result<GrowOutcome, SproutError> {
+    let metric = engine.eval(graph, sub, pairs)?;
+    let added = grow_with_metric_with(engine, graph, sub, &metric, k);
     Ok(GrowOutcome {
         added,
         resistance_sq: metric.resistance_sq(),
@@ -47,6 +64,17 @@ pub fn smart_grow(
 /// Frontier expansion given an already-computed metric (shared with the
 /// refinement and reheating stages). Returns the number of nodes added.
 pub fn grow_with_metric(
+    graph: &RoutingGraph,
+    sub: &mut Subgraph,
+    metric: &NodeCurrents,
+    k: usize,
+) -> usize {
+    grow_with_metric_with(&mut Engine::scratch(), graph, sub, metric, k)
+}
+
+/// [`grow_with_metric`] applying the insertions through `engine`.
+pub fn grow_with_metric_with(
+    engine: &mut Engine,
     graph: &RoutingGraph,
     sub: &mut Subgraph,
     metric: &NodeCurrents,
@@ -70,7 +98,7 @@ pub fn grow_with_metric(
     scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
     let take = k.min(scored.len());
     for &(_, c) in scored.iter().take(take) {
-        sub.insert(graph, c);
+        engine.insert(graph, sub, c);
     }
     take
 }

@@ -62,6 +62,7 @@ pub mod reheat;
 pub mod report;
 pub mod router;
 pub mod seed;
+pub mod session;
 pub mod space;
 pub mod supervisor;
 pub mod tile;
@@ -73,6 +74,7 @@ pub use recovery::{
 };
 pub use report::{HotspotRecord, RailRunRecord, RunReport, StageBreakdown};
 pub use router::{RouteResult, Router, RouterConfig};
+pub use session::{Engine, NodalSession, SessionStats, SolverConfig, SolverEngine};
 pub use supervisor::{
     JobReport, RailOutcome, RailReport, RestoredRail, Supervisor, SupervisorConfig,
 };

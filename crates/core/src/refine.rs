@@ -6,9 +6,10 @@
 //! guards against explicitly: terminal tiles must never be removed, and
 //! a removal must not disconnect the terminals (checked per candidate).
 
-use crate::current::{node_current, InjectionPair};
-use crate::graph::{NodeId, RoutingGraph, Subgraph};
-use crate::grow::grow_with_metric;
+use crate::current::InjectionPair;
+use crate::graph::{NodeId, RemovalCheck, RoutingGraph, Subgraph};
+use crate::grow::grow_with_metric_with;
+use crate::session::Engine;
 use crate::SproutError;
 
 /// Outcome of one SmartRefine step.
@@ -44,7 +45,33 @@ pub fn smart_refine(
     terminal_nodes: &[NodeId],
     k: usize,
 ) -> Result<RefineOutcome, SproutError> {
-    let metric = node_current(graph, sub, pairs)?;
+    smart_refine_with(
+        &mut Engine::scratch(),
+        graph,
+        sub,
+        pairs,
+        protected,
+        terminal_nodes,
+        k,
+    )
+}
+
+/// [`smart_refine`] driven through a caller-owned nodal-analysis
+/// [`Engine`], so the incremental session sees every mutation.
+///
+/// # Errors
+///
+/// Propagates metric-evaluation errors.
+pub fn smart_refine_with(
+    engine: &mut Engine,
+    graph: &RoutingGraph,
+    sub: &mut Subgraph,
+    pairs: &[InjectionPair],
+    protected: &[NodeId],
+    terminal_nodes: &[NodeId],
+    k: usize,
+) -> Result<RefineOutcome, SproutError> {
+    let metric = engine.eval(graph, sub, pairs)?;
     let mut solves = metric.solves();
     let resistance_before_sq = metric.resistance_sq();
 
@@ -62,6 +89,7 @@ pub fn smart_refine(
             .then_with(|| a.cmp(&b))
     });
 
+    let mut check = RemovalCheck::new();
     let mut removed = 0usize;
     for id in candidates {
         if removed >= k {
@@ -71,10 +99,10 @@ pub fn smart_refine(
             continue;
         }
         // Guard: keep the terminals electrically connected.
-        if !sub.connected_without(graph, id, terminal_nodes) {
+        if !check.keeps_connected(graph, sub, id, terminal_nodes) {
             continue;
         }
-        sub.remove(graph, id);
+        engine.remove(graph, sub, id);
         removed += 1;
     }
 
@@ -83,10 +111,10 @@ pub fn smart_refine(
     let mut resistance_after_sq = resistance_before_sq;
     let mut max_current_a = metric.max_current_a();
     if removed > 0 {
-        let metric_after = node_current(graph, sub, pairs)?;
+        let metric_after = engine.eval(graph, sub, pairs)?;
         solves += metric_after.solves();
-        grow_with_metric(graph, sub, &metric_after, removed);
-        let metric_final = node_current(graph, sub, pairs)?;
+        grow_with_metric_with(engine, graph, sub, &metric_after, removed);
+        let metric_final = engine.eval(graph, sub, pairs)?;
         solves += metric_final.solves();
         resistance_after_sq = metric_final.resistance_sq();
         max_current_a = metric_final.max_current_a();

@@ -4,8 +4,9 @@
 //! beyond the area budget followed by current-guided erosion — lets the
 //! optimizer escape local minima, in the spirit of simulated annealing.
 
-use crate::current::{node_current, InjectionPair};
-use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::current::InjectionPair;
+use crate::graph::{NodeId, RemovalCheck, RoutingGraph, Subgraph};
+use crate::session::Engine;
 use crate::SproutError;
 
 /// Reheating parameters.
@@ -61,6 +62,35 @@ pub fn reheat(
     area_budget_mm2: f64,
     config: ReheatConfig,
 ) -> Result<ReheatOutcome, SproutError> {
+    reheat_with(
+        &mut Engine::scratch(),
+        graph,
+        sub,
+        pairs,
+        protected,
+        terminal_nodes,
+        area_budget_mm2,
+        config,
+    )
+}
+
+/// [`reheat`] driven through a caller-owned nodal-analysis [`Engine`],
+/// so the incremental session sees every dilation and erosion delta.
+///
+/// # Errors
+///
+/// Propagates metric-evaluation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn reheat_with(
+    engine: &mut Engine,
+    graph: &RoutingGraph,
+    sub: &mut Subgraph,
+    pairs: &[InjectionPair],
+    protected: &[NodeId],
+    terminal_nodes: &[NodeId],
+    area_budget_mm2: f64,
+    config: ReheatConfig,
+) -> Result<ReheatOutcome, SproutError> {
     // Dilation: add whole boundary rings (cheap, no metric needed).
     let mut dilated = 0usize;
     for _ in 0..config.dilate_iterations {
@@ -69,7 +99,7 @@ pub fn reheat(
             break;
         }
         for id in ring {
-            sub.insert(graph, id);
+            engine.insert(graph, sub, id);
             dilated += 1;
         }
     }
@@ -80,37 +110,59 @@ pub fn reheat(
     }
 
     // Erosion: repeatedly strip the lowest-current nodes (Eq. 10-11).
+    let mut check = RemovalCheck::new();
     let mut eroded = 0usize;
     let mut solves = 0usize;
     let mut resistance_after_sq;
     let mut max_current_a;
+    let mut candidates: Vec<NodeId> = Vec::new();
     loop {
-        let metric = node_current(graph, sub, pairs)?;
+        let metric = engine.eval(graph, sub, pairs)?;
         solves += metric.solves();
         resistance_after_sq = metric.resistance_sq();
         max_current_a = metric.max_current_a();
         if sub.area_mm2() <= area_budget_mm2 {
             break;
         }
-        let mut candidates: Vec<NodeId> = sub.members().to_vec();
-        candidates.sort_by(|&a, &b| {
+        let cmp = |a: &NodeId, b: &NodeId| {
             metric
-                .of(a)
-                .total_cmp(&metric.of(b))
-                .then_with(|| a.cmp(&b))
-        });
+                .of(*a)
+                .total_cmp(&metric.of(*b))
+                .then_with(|| a.cmp(b))
+        };
+        candidates.clear();
+        candidates.extend_from_slice(sub.members());
+        // Only the lowest-current prefix is ever visited; selecting it
+        // first keeps the round linear in the member count. The
+        // comparator is a strict total order (ties broken by id), so the
+        // partition point is unambiguous and the visit order matches a
+        // full sort exactly — the suffix is sorted lazily in the rare
+        // round that exhausts the prefix on protected/critical nodes.
+        let prefix = (config.erode_step * 4 + 32).min(candidates.len());
+        if prefix < candidates.len() {
+            candidates.select_nth_unstable_by(prefix - 1, cmp);
+        }
+        candidates[..prefix].sort_unstable_by(cmp);
         let mut removed_this_round = 0usize;
-        for id in candidates {
+        let mut suffix_sorted = prefix == candidates.len();
+        let mut idx = 0usize;
+        while idx < candidates.len() {
             if removed_this_round >= config.erode_step || sub.area_mm2() <= area_budget_mm2 {
                 break;
             }
+            if idx == prefix && !suffix_sorted {
+                candidates[prefix..].sort_unstable_by(cmp);
+                suffix_sorted = true;
+            }
+            let id = candidates[idx];
+            idx += 1;
             if protected_mask[id.index()] {
                 continue;
             }
-            if !sub.connected_without(graph, id, terminal_nodes) {
+            if !check.keeps_connected(graph, sub, id, terminal_nodes) {
                 continue;
             }
-            sub.remove(graph, id);
+            engine.remove(graph, sub, id);
             removed_this_round += 1;
             eroded += 1;
         }

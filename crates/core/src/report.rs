@@ -83,6 +83,11 @@ pub struct RailRunRecord {
     pub final_resistance_sq: Option<f64>,
     /// Linear solves performed.
     pub solves: usize,
+    /// Full Cholesky factorizations computed.
+    pub factorizations: usize,
+    /// Evaluations served from the incremental session without a full
+    /// factorization (reuse, numeric refactor, SMW correction).
+    pub factor_updates: usize,
     /// Total rail wall clock (ms).
     pub total_ms: f64,
     /// Per-stage breakdown (empty for restored/failed/skipped rails).
@@ -121,6 +126,8 @@ impl RailRunRecord {
                 .is_finite()
                 .then_some(r.final_resistance_sq),
             solves: r.timings.solves,
+            factorizations: r.timings.factorizations,
+            factor_updates: r.timings.factor_updates,
             total_ms: r.timings.total_ms(),
             stages: stage_breakdown(&r.timings),
             attempts: 1,
@@ -152,6 +159,8 @@ impl RailRunRecord {
             None => o.raw("final_resistance_sq", "null"),
         };
         o.u64("solves", self.solves as u64)
+            .u64("factorizations", self.factorizations as u64)
+            .u64("factor_updates", self.factor_updates as u64)
             .f64("total_ms", self.total_ms)
             .raw(
                 "stages",
@@ -395,6 +404,8 @@ mod tests {
             reheat_ms: 4.0,
             backconv_ms: 0.5,
             solves: 42,
+            factorizations: 3,
+            factor_updates: 39,
         }
     }
 

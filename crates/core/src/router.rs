@@ -18,15 +18,16 @@
 //! yet, there is nothing to degrade to.
 
 use crate::backconv::{back_convert, RoutedShape};
-use crate::current::{injection_pairs, node_current, InjectionPair, PairPolicy};
+use crate::current::{injection_pairs, InjectionPair, PairPolicy};
 use crate::graph::{NodeId, RoutingGraph, Subgraph};
-use crate::grow::smart_grow;
+use crate::grow::smart_grow_with;
 use crate::recovery::{
     self, Degradation, RecoveryConfig, RecoveryPolicy, RouteDiagnostics, Stage, StageGuard,
 };
-use crate::refine::smart_refine;
-use crate::reheat::{reheat, ReheatConfig};
+use crate::refine::smart_refine_with;
+use crate::reheat::{reheat_with, ReheatConfig};
 use crate::seed::{seed_subgraph, SeedOptions};
+use crate::session::{Engine, SolverConfig};
 use crate::space::{SpaceSpec, TerminalShape};
 use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
 use crate::SproutError;
@@ -59,6 +60,10 @@ pub struct RouterConfig {
     /// Stage-failure policy, per-stage budgets, and (test-only) fault
     /// injection.
     pub recovery: RecoveryConfig,
+    /// Nodal-analysis backend: incremental session (delta factor
+    /// updates, warm starts) or from-scratch per evaluation. Both yield
+    /// bit-identical routes at the default settings.
+    pub solver: SolverConfig,
 }
 
 impl Default for RouterConfig {
@@ -73,6 +78,7 @@ impl Default for RouterConfig {
             pair_policy: PairPolicy::SourceToSinks,
             seed: SeedOptions { fill_voids: true },
             recovery: RecoveryConfig::default(),
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -96,6 +102,13 @@ pub struct StageTimings {
     pub backconv_ms: f64,
     /// Linear solves performed (the §II-H bottleneck counter).
     pub solves: usize,
+    /// Full Cholesky factorizations computed (each a from-scratch
+    /// symbolic + numeric factor of the grounded Laplacian).
+    pub factorizations: usize,
+    /// Metric evaluations served without a full factorization —
+    /// verbatim factor reuses, numeric-only refactorizations on a
+    /// cached elimination plan, and low-rank SMW corrections.
+    pub factor_updates: usize,
 }
 
 impl StageTimings {
@@ -457,6 +470,13 @@ impl<'b> Router<'b> {
         let mut best_sub = sub.clone();
         let mut history: Vec<f64> = Vec::new();
 
+        // One nodal-analysis engine spans every optimization stage, so
+        // the incremental session's cached factor survives across
+        // grow/refine/reheat iterations (the tentpole of §II-H's
+        // bottleneck). `best_sub` restores are out-of-band mutations;
+        // the session detects and resyncs from them.
+        let mut engine = Engine::new(self.config.solver);
+
         // Cooperative cancellation (supervisor jobs): checked between
         // pipeline stages so a cancelled rail stops within one stage.
         if recovery::cancel_requested() {
@@ -487,7 +507,7 @@ impl<'b> Router<'b> {
             // Don't overshoot by more than one step: shrink the last batch.
             let remaining = ((area_budget_mm2 - sub.area_mm2()) / frame_cell_area).ceil() as usize;
             let step = grow_step.min(remaining.max(1));
-            match smart_grow(&graph, &mut sub, &pairs, step) {
+            match smart_grow_with(&mut engine, &graph, &mut sub, &pairs, step) {
                 Ok(out) => {
                     history.push(out.resistance_sq);
                     timings.solves += out.solves;
@@ -528,7 +548,7 @@ impl<'b> Router<'b> {
         }
 
         // Objective after growth; feeds best-seen tracking.
-        match node_current(&graph, &sub, &pairs) {
+        match engine.eval(&graph, &sub, &pairs) {
             Ok(nc) => {
                 timings.solves += nc.solves();
                 let r = nc.resistance_sq();
@@ -566,7 +586,15 @@ impl<'b> Router<'b> {
             let step = (base_step * (self.config.refine_iterations - i)
                 / self.config.refine_iterations)
                 .max(1);
-            match smart_refine(&graph, &mut sub, &pairs, &protected, &terminal_nodes, step) {
+            match smart_refine_with(
+                &mut engine,
+                &graph,
+                &mut sub,
+                &pairs,
+                &protected,
+                &terminal_nodes,
+                step,
+            ) {
                 Ok(out) => {
                     timings.solves += out.solves;
                     history.push(out.resistance_after_sq);
@@ -628,7 +656,8 @@ impl<'b> Router<'b> {
                 // shrinking back, so abandoning it mid-way must restore
                 // the pre-reheat subgraph rather than ship the overshoot.
                 let pre_reheat = sub.clone();
-                match reheat(
+                match reheat_with(
+                    &mut engine,
                     &graph,
                     &mut sub,
                     &pairs,
@@ -674,7 +703,15 @@ impl<'b> Router<'b> {
                         diagnostics.record(d);
                         break;
                     }
-                    match smart_refine(&graph, &mut sub, &pairs, &protected, &terminal_nodes, 4) {
+                    match smart_refine_with(
+                        &mut engine,
+                        &graph,
+                        &mut sub,
+                        &pairs,
+                        &protected,
+                        &terminal_nodes,
+                        4,
+                    ) {
                         Ok(out) => {
                             timings.solves += out.solves;
                             history.push(out.resistance_after_sq);
@@ -716,6 +753,13 @@ impl<'b> Router<'b> {
             drop(reheat_span);
             timings.reheat_ms = t.elapsed().as_secs_f64() * 1e3;
         }
+
+        // Factorization accounting from the nodal engine (§II-H: full
+        // factors are the bottleneck the incremental session avoids).
+        let solver_stats = engine.stats();
+        timings.factorizations = solver_stats.full_factors;
+        timings.factor_updates =
+            solver_stats.factor_reuses + solver_stats.numeric_refactors + solver_stats.smw_evals;
 
         // Ship the best subgraph seen, not necessarily the last. When no
         // evaluation ever succeeded the current subgraph (at minimum the

@@ -1,0 +1,1446 @@
+//! Incremental nodal-analysis session (§II-H).
+//!
+//! The scratch evaluator in [`crate::current`] rebuilds and re-factors
+//! the grounded subgraph Laplacian on every metric evaluation, even
+//! though SmartGrow/SmartRefine/reheat mutate only a handful of nodes
+//! between evaluations. A [`NodalSession`] keeps the system alive across
+//! evaluations and pays only for what actually changed:
+//!
+//! * **Factor reuse** — if the membership and conductances are unchanged
+//!   since the cached factor, every solve runs against it directly.
+//! * **Numeric refactor** — if only conductance values changed (same
+//!   sparsity pattern), the cached Cholesky refactors in its stored RCM
+//!   ordering without re-planning the envelope
+//!   ([`SparseCholesky::try_refactor`]).
+//! * **Low-rank correction** — node removals can be folded into the
+//!   cached factor as Sherman–Morrison–Woodbury rank-`k` updates
+//!   ([`sprout_linalg::smw`]) instead of re-factoring. Off by default
+//!   (`smw_max_rank = 0`): on SPROUT's rail envelopes a full factor
+//!   costs only ~10–20 solve-equivalents, so erosion bursts (rank 60+)
+//!   never profit, and keeping the default exact preserves bit-identical
+//!   results between the incremental and scratch engines.
+//! * **Warm-started iteration** — with [`SolverConfig::force_iterative`]
+//!   all solves run through preconditioned CG, warm-started from the
+//!   previous evaluation's voltages and preconditioned with the last
+//!   exact factor.
+//!
+//! Independent per-sink right-hand sides solve as one blocked
+//! multi-RHS pass, optionally split across threads. The metric
+//! reduction always runs on the calling thread in pair-index order, so
+//! results are **bit-identical at any thread count**.
+//!
+//! The session replays the scratch evaluator's fault-injection hooks,
+//! sanitize events, and solver-fallback events in the same order, so
+//! the recovery pipeline and telemetry observe the same stream either
+//! way. When a cached-factor path cannot be used safely the session
+//! falls back to the scratch evaluator's resilient ladder, producing
+//! identical errors and degradation events.
+
+use crate::current::{self, InjectionPair, NodeCurrents};
+use crate::graph::{NodeId, RoutingGraph, Subgraph};
+use crate::recovery::{self, SolverEvent};
+use crate::SproutError;
+use sprout_linalg::cg::{solve_pcg_warm, CgOptions};
+use sprout_linalg::cholesky::SparseCholesky;
+use sprout_linalg::fallback::FallbackOptions;
+use sprout_linalg::laplacian::GraphLaplacian;
+use sprout_linalg::smw::{SmwUpdate, UpdateCol};
+use sprout_linalg::{Csr, LinalgError};
+use sprout_telemetry as telemetry;
+
+/// Which nodal-analysis engine the router drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverEngine {
+    /// Persistent [`NodalSession`] with delta Laplacian updates (default).
+    #[default]
+    Incremental,
+    /// Rebuild-and-refactor on every evaluation (the original pipeline).
+    Scratch,
+}
+
+/// Configuration for the nodal-analysis engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Engine selection.
+    pub engine: SolverEngine,
+    /// Threads for the independent per-sink right-hand sides. The metric
+    /// reduction stays on the calling thread in pair-index order, so any
+    /// value yields bit-identical results.
+    pub threads: usize,
+    /// Maximum accumulated low-rank correction before a node-removal
+    /// burst forces a refactor; `0` disables SMW corrections entirely.
+    /// Disabled by default: the rank-`k` solve is exact only to solver
+    /// precision (not bit-identical to the refactored system), and on
+    /// rail-sized envelopes a refactor is cheap enough that corrections
+    /// only pay off for rank ≲ 12.
+    pub smw_max_rank: usize,
+    /// Route all solves through warm-started preconditioned CG instead
+    /// of direct substitution (experiments/tests; not bit-identical to
+    /// the direct path).
+    pub force_iterative: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            engine: SolverEngine::Incremental,
+            threads: 1,
+            smw_max_rank: 0,
+            force_iterative: false,
+        }
+    }
+}
+
+/// Counters describing how a session (or scratch engine) spent its
+/// evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Metric evaluations served.
+    pub evals: usize,
+    /// Full symbolic + numeric factorizations (fresh RCM ordering).
+    pub full_factors: usize,
+    /// Numeric refactorizations into a cached ordering/envelope.
+    pub numeric_refactors: usize,
+    /// Evaluations served through a low-rank SMW correction.
+    pub smw_evals: usize,
+    /// Evaluations that reused the cached factor untouched.
+    pub factor_reuses: usize,
+    /// Warm-started iterative solves performed.
+    pub warm_solves: usize,
+    /// Full state resyncs after out-of-band subgraph edits.
+    pub resyncs: usize,
+    /// Evaluations that fell back to the resilient solver ladder.
+    pub ladder_fallbacks: usize,
+}
+
+/// A routing-stage handle over either engine. Stage code calls
+/// [`Engine::insert`]/[`Engine::remove`] instead of mutating the
+/// [`Subgraph`] directly so the incremental session can mirror the
+/// mutations; the scratch engine forwards them untouched.
+#[derive(Debug)]
+pub enum Engine {
+    /// Stateless per-evaluation assembly and factorization.
+    Scratch(SessionStats),
+    /// Persistent incremental session.
+    Incremental(Box<NodalSession>),
+}
+
+impl Engine {
+    /// Builds the engine selected by `cfg`.
+    pub fn new(cfg: SolverConfig) -> Engine {
+        match cfg.engine {
+            SolverEngine::Scratch => Engine::Scratch(SessionStats::default()),
+            SolverEngine::Incremental => Engine::Incremental(Box::new(NodalSession::new(cfg))),
+        }
+    }
+
+    /// A scratch engine (used by the legacy stage entry points).
+    pub fn scratch() -> Engine {
+        Engine::Scratch(SessionStats::default())
+    }
+
+    /// Evaluates the node-current metric through this engine.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`current::node_current`].
+    pub fn eval(
+        &mut self,
+        graph: &RoutingGraph,
+        sub: &Subgraph,
+        pairs: &[InjectionPair],
+    ) -> Result<NodeCurrents, SproutError> {
+        match self {
+            Engine::Scratch(stats) => {
+                let nc = current::node_current(graph, sub, pairs)?;
+                stats.evals += 1;
+                stats.full_factors += 1;
+                Ok(nc)
+            }
+            Engine::Incremental(session) => session.eval(graph, sub, pairs),
+        }
+    }
+
+    /// Inserts `id` into the subgraph, mirroring the delta into the
+    /// session.
+    pub fn insert(&mut self, graph: &RoutingGraph, sub: &mut Subgraph, id: NodeId) {
+        match self {
+            Engine::Scratch(_) => sub.insert(graph, id),
+            Engine::Incremental(session) => {
+                if !sub.contains(id) {
+                    sub.insert(graph, id);
+                    session.note_insert(graph, sub, id);
+                }
+            }
+        }
+    }
+
+    /// Removes `id` from the subgraph, mirroring the delta into the
+    /// session.
+    pub fn remove(&mut self, graph: &RoutingGraph, sub: &mut Subgraph, id: NodeId) {
+        match self {
+            Engine::Scratch(_) => sub.remove(graph, id),
+            Engine::Incremental(session) => {
+                if sub.contains(id) {
+                    sub.remove(graph, id);
+                    session.note_remove(graph, sub, id);
+                }
+            }
+        }
+    }
+
+    /// Accumulated engine statistics.
+    pub fn stats(&self) -> SessionStats {
+        match self {
+            Engine::Scratch(stats) => *stats,
+            Engine::Incremental(session) => session.stats(),
+        }
+    }
+}
+
+/// Sentinel for a conductance stamp that lands on the grounded
+/// (dropped) row/column.
+const SKIP: usize = usize::MAX;
+
+/// Cached grounded-CSR assembly plan: sparsity structure plus, for each
+/// induced edge, the four value slots its conductance stamps into. A
+/// value-only change replays the stamp list into the cached structure
+/// without re-planning — and the stamp order matches the scratch
+/// evaluator's triplet assembly exactly, so the refreshed matrix is
+/// bit-identical to a from-scratch build.
+#[derive(Debug)]
+struct CsrPlan {
+    /// Grounded (dropped) compact index this plan was built for.
+    ground: usize,
+    /// Mutation generation at build time.
+    gen: u64,
+    /// Whether the edge list had sanitized (dropped) entries; such plans
+    /// are never reused because equal-length edge lists may still differ.
+    sanitized: bool,
+    /// Induced-edge count at build time.
+    edge_count: usize,
+    /// Per-edge `[diag_a, diag_b, off_ab, off_ba]` value slots (the
+    /// structure itself lives in the cached CSR).
+    edge_slots: Vec<[usize; 4]>,
+}
+
+/// Persistent incremental nodal-analysis state for one routing net.
+///
+/// Mirrors [`Subgraph`] mutations through [`Engine::insert`] /
+/// [`Engine::remove`]; out-of-band edits (clones, restores) are detected
+/// at the next evaluation and trigger a full resync, so the session is
+/// always safe — just slower when bypassed.
+#[derive(Debug)]
+pub struct NodalSession {
+    cfg: SolverConfig,
+    stats: SessionStats,
+
+    // --- membership mirror ---
+    synced: bool,
+    graph_nodes: usize,
+    graph_edges: usize,
+    /// Sorted member list; position = compact index.
+    members: Vec<NodeId>,
+    /// `compact[NodeId::index()]` → compact index (refreshed per eval).
+    compact: Vec<usize>,
+    /// Membership bitmap (refreshed per eval alongside `compact`, which
+    /// keeps stale entries for removed nodes).
+    member_mask: Vec<bool>,
+    /// Sorted induced-edge indices into `graph.edges()`.
+    edge_ids: Vec<u32>,
+    /// Bumped on every membership mutation or resync.
+    mutation_gen: u64,
+
+    // --- cached factor and its base system ---
+    factor: Option<SparseCholesky>,
+    base_csr: Option<Csr<f64>>,
+    plan: Option<CsrPlan>,
+    /// Membership the cached factor was built for.
+    base_members: Vec<NodeId>,
+    base_ground_node: Option<NodeId>,
+    /// Whether the cached factor's conductances are the true (unfaulted)
+    /// graph weights.
+    base_clean: bool,
+    /// Mutation generation the factor (plus any folded SMW correction)
+    /// corresponds to.
+    factor_gen: u64,
+
+    // --- low-rank delta tracking ---
+    smw: SmwUpdate,
+    pending_cols: Vec<UpdateCol>,
+    pending_inserts: usize,
+    /// Set when the recorded delta no longer describes the drift from
+    /// the base factor (resync, rank overflow, ground removal).
+    smw_broken: bool,
+
+    // --- reusable buffers ---
+    edges_buf: Vec<(usize, usize, f64)>,
+    /// Per-row column builder for plan rebuilds; rows keep their
+    /// capacity across evaluations so re-planning allocates nothing.
+    plan_rows: Vec<Vec<usize>>,
+    /// Scratch space for in-place re-orderings ([`SparseCholesky::refactor_into`]).
+    rcm_ws: sprout_linalg::rcm::RcmWorkspace,
+    uf: Vec<usize>,
+    rhs: Vec<f64>,
+    out: Vec<f64>,
+    /// Previous evaluation's reduced voltages (warm starts).
+    prev: Vec<f64>,
+    prev_dim: usize,
+    prev_pairs: usize,
+    scratch: Vec<f64>,
+    vfull: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Reuse,
+    Smw,
+    Refresh,
+    Full,
+}
+
+impl NodalSession {
+    /// Creates an empty session; state materializes at the first
+    /// evaluation.
+    pub fn new(cfg: SolverConfig) -> Self {
+        NodalSession {
+            cfg,
+            stats: SessionStats::default(),
+            synced: false,
+            graph_nodes: 0,
+            graph_edges: 0,
+            members: Vec::new(),
+            compact: Vec::new(),
+            member_mask: Vec::new(),
+            edge_ids: Vec::new(),
+            mutation_gen: 0,
+            factor: None,
+            base_csr: None,
+            plan: None,
+            base_members: Vec::new(),
+            base_ground_node: None,
+            base_clean: false,
+            factor_gen: u64::MAX,
+            smw: SmwUpdate::new(),
+            pending_cols: Vec::new(),
+            pending_inserts: 0,
+            smw_broken: false,
+            edges_buf: Vec::new(),
+            plan_rows: Vec::new(),
+            rcm_ws: sprout_linalg::rcm::RcmWorkspace::default(),
+            uf: Vec::new(),
+            rhs: Vec::new(),
+            out: Vec::new(),
+            prev: Vec::new(),
+            prev_dim: 0,
+            prev_pairs: 0,
+            scratch: Vec::new(),
+            vfull: Vec::new(),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Evaluates the node-current metric, reusing as much cached solver
+    /// state as the accumulated deltas allow. Numerically identical to
+    /// [`current::node_current`] (bit-identical at the default
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`current::node_current`].
+    pub fn eval(
+        &mut self,
+        graph: &RoutingGraph,
+        sub: &Subgraph,
+        pairs: &[InjectionPair],
+    ) -> Result<NodeCurrents, SproutError> {
+        current::validate_pairs(sub, pairs)?;
+        self.sync(graph, sub);
+        self.materialize_edges(graph);
+
+        // Fault-injection hooks fire in the same order and count as the
+        // scratch evaluator, so fault sweeps see identical behavior.
+        let corrupted = recovery::fault_corrupt_conductances(&mut self.edges_buf) > 0;
+        if recovery::fault_solver_failure() {
+            return Err(SproutError::from(LinalgError::NotConverged {
+                iterations: 0,
+                residual: f64::INFINITY,
+            }));
+        }
+        let dropped = self
+            .edges_buf
+            .iter()
+            .filter(|&&(_, _, g)| !(g.is_finite() && g > 0.0))
+            .count();
+        if dropped > 0 {
+            recovery::note_event(SolverEvent::Sanitized(dropped));
+            telemetry::counter!("solver.edges_sanitized", dropped as u64);
+            telemetry::point("edges_sanitized")
+                .field("count", dropped)
+                .emit();
+            self.edges_buf.retain(|&(_, _, g)| g.is_finite() && g > 0.0);
+        }
+        // "Clean" = the buffered conductances are the true graph weights
+        // (a finite-positive corruption can survive sanitation, so the
+        // corruption flag matters independently of `dropped`).
+        let clean = !corrupted && dropped == 0;
+        let sanitized = dropped > 0;
+
+        let m = self.members.len();
+        if m == 1 {
+            return Err(SproutError::from(LinalgError::Empty));
+        }
+        let ground_node = pairs[0].sink;
+        let ground = self.compact[ground_node.index()];
+        let dim = m - 1;
+        let p_count = pairs.len();
+        self.stats.evals += 1;
+
+        if self.cfg.force_iterative {
+            return self.eval_iterative(graph, pairs, ground_node, ground, clean, sanitized);
+        }
+
+        // ---- pick the cheapest safe backend ----
+        let ground_same = self.base_ground_node == Some(ground_node);
+        let factored = self.factor.is_some();
+        let gen_same = factored && ground_same && self.factor_gen == self.mutation_gen;
+        let set_same = gen_same || (factored && ground_same && self.members == self.base_members);
+
+        let mut backend = if set_same {
+            if !gen_same {
+                // The membership wandered and returned to the factored
+                // set (refine removes then regrows): the cached base is
+                // current again — drop any recorded delta.
+                self.reset_delta();
+                self.factor_gen = self.mutation_gen;
+            }
+            if clean && self.base_clean {
+                if self.smw.rank() > 0 {
+                    Backend::Smw
+                } else {
+                    Backend::Reuse
+                }
+            } else {
+                self.reset_delta();
+                Backend::Refresh
+            }
+        } else if self.smw_eligible(clean, ground_node) {
+            Backend::Smw
+        } else {
+            Backend::Full
+        };
+
+        if backend == Backend::Smw && !self.pending_cols.is_empty() {
+            // Engage: screen the mutated system, then fold the recorded
+            // removal columns into the running correction.
+            self.screen_components()?;
+            let factor = self.factor.as_ref().expect("SMW requires a base factor");
+            let cols = std::mem::take(&mut self.pending_cols);
+            let mut folded = true;
+            for col in cols {
+                if self.smw.push_col(factor, col).is_err() {
+                    folded = false;
+                    break;
+                }
+            }
+            if folded {
+                self.factor_gen = self.mutation_gen;
+            } else {
+                self.reset_delta();
+                backend = Backend::Full;
+            }
+        }
+
+        let mut need_full_factor = false;
+        match backend {
+            Backend::Reuse | Backend::Smw => {}
+            Backend::Refresh => {
+                // Same membership, different conductances: refresh the
+                // cached structure's values and refactor in place.
+                let plan_reused = self.refresh_csr(graph, m, ground, sanitized)?;
+                if plan_reused {
+                    let factor = self.factor.as_mut().expect("refresh requires a factor");
+                    let csr = self.base_csr.as_ref().expect("refresh requires a matrix");
+                    match factor.try_refactor(csr) {
+                        Ok(true) => {
+                            self.base_clean = clean;
+                            self.stats.numeric_refactors += 1;
+                            telemetry::counter!("session.factor_refresh");
+                        }
+                        Ok(false) => need_full_factor = true,
+                        Err(_) => {
+                            self.factor = None;
+                            return self.eval_ladder(graph, pairs, m, ground);
+                        }
+                    }
+                } else {
+                    need_full_factor = true;
+                }
+            }
+            Backend::Full => {
+                self.refresh_csr(graph, m, ground, sanitized)?;
+                need_full_factor = true;
+            }
+        }
+
+        if need_full_factor {
+            match self.factor_current() {
+                Ok(()) => {
+                    self.base_members.clear();
+                    self.base_members.extend_from_slice(&self.members);
+                    self.base_ground_node = Some(ground_node);
+                    self.base_clean = clean;
+                    self.factor_gen = self.mutation_gen;
+                    self.reset_delta();
+                    self.stats.full_factors += 1;
+                    telemetry::counter!("session.factor_full");
+                }
+                Err(_) => {
+                    self.factor = None;
+                    return self.eval_ladder(graph, pairs, m, ground);
+                }
+            }
+        }
+
+        if backend == Backend::Smw && self.smw.rank() > 0 {
+            self.solve_smw(pairs, ground, ground_node, dim)?;
+            self.stats.smw_evals += 1;
+            telemetry::counter!("session.smw_evals");
+        } else {
+            if backend == Backend::Reuse {
+                self.stats.factor_reuses += 1;
+                telemetry::counter!("session.factor_reuse");
+            }
+            self.stamp_rhs(pairs, ground, dim);
+            self.solve_direct(p_count, dim)?;
+        }
+
+        Ok(self.finish(graph, pairs, m, ground, dim, p_count))
+    }
+
+    // ---- mutation mirroring -------------------------------------------
+
+    /// Records the insertion of `id` (already applied to `sub`).
+    pub(crate) fn note_insert(&mut self, graph: &RoutingGraph, sub: &Subgraph, id: NodeId) {
+        if !self.synced {
+            return;
+        }
+        match self.members.binary_search(&id) {
+            Ok(_) => return, // desync guard; resync will repair
+            Err(pos) => self.members.insert(pos, id),
+        }
+        for &(v, eid) in graph.neighbors(id) {
+            if sub.contains(v) {
+                if let Err(p) = self.edge_ids.binary_search(&eid) {
+                    self.edge_ids.insert(p, eid);
+                }
+            }
+        }
+        self.mutation_gen += 1;
+        self.pending_inserts += 1;
+    }
+
+    /// Records the removal of `id` (already applied to `sub`).
+    pub(crate) fn note_remove(&mut self, graph: &RoutingGraph, sub: &Subgraph, id: NodeId) {
+        if !self.synced {
+            return;
+        }
+        let Ok(pos) = self.members.binary_search(&id) else {
+            return; // desync guard; resync will repair
+        };
+        self.record_removal_cols(graph, sub, id);
+        self.members.remove(pos);
+        for &(v, eid) in graph.neighbors(id) {
+            if sub.contains(v) {
+                if let Ok(p) = self.edge_ids.binary_search(&eid) {
+                    self.edge_ids.remove(p);
+                }
+            }
+        }
+        self.mutation_gen += 1;
+    }
+
+    /// Records the SMW columns for removing `id` from the *base* system:
+    /// per surviving incident edge `(id, v, g)` a rank-1 column
+    /// `-g·(e_id - e_v)(e_id - e_v)ᵀ` (ground component dropped), plus a
+    /// `+1` identity pin on the vacated slot so the corrected operator
+    /// stays positive definite. Edges to already-removed neighbors are
+    /// excluded naturally — their own removal columns subtracted them.
+    fn record_removal_cols(&mut self, graph: &RoutingGraph, sub: &Subgraph, id: NodeId) {
+        if self.cfg.smw_max_rank == 0
+            || self.smw_broken
+            || self.factor.is_none()
+            || self.pending_inserts > 0
+        {
+            return;
+        }
+        let Some(bg) = self.base_ground_node else {
+            self.smw_broken = true;
+            return;
+        };
+        if id == bg {
+            self.smw_broken = true;
+            return;
+        }
+        let Some(wi) = self.base_grounded_index(id) else {
+            self.smw_broken = true;
+            return;
+        };
+        let mut new_cols: Vec<UpdateCol> = Vec::new();
+        for &(v, eid) in graph.neighbors(id) {
+            if !sub.contains(v) {
+                continue;
+            }
+            let g = graph.edge(eid).weight;
+            let entries = if v == bg {
+                vec![(wi, 1.0)]
+            } else {
+                match self.base_grounded_index(v) {
+                    Some(vi) => vec![(wi, 1.0), (vi, -1.0)],
+                    None => {
+                        self.smw_broken = true;
+                        return;
+                    }
+                }
+            };
+            new_cols.push(UpdateCol { entries, scale: -g });
+        }
+        new_cols.push(UpdateCol {
+            entries: vec![(wi, 1.0)],
+            scale: 1.0,
+        });
+        if self.smw.rank() + self.pending_cols.len() + new_cols.len() > self.cfg.smw_max_rank {
+            // Over budget: the next evaluation refactors instead.
+            self.smw_broken = true;
+            self.pending_cols.clear();
+            return;
+        }
+        self.pending_cols.extend(new_cols);
+    }
+
+    /// Grounded index of `id` in the base (factored) system.
+    fn base_grounded_index(&self, id: NodeId) -> Option<usize> {
+        let bg = self.base_ground_node?;
+        let gpos = self.base_members.binary_search(&bg).ok()?;
+        let pos = self.base_members.binary_search(&id).ok()?;
+        if pos == gpos {
+            None
+        } else {
+            Some(pos - usize::from(pos > gpos))
+        }
+    }
+
+    // ---- synchronization ----------------------------------------------
+
+    /// Verifies the mirrored membership against the subgraph (O(m)) and
+    /// resyncs on any divergence (clone-restores, direct mutations).
+    fn sync(&mut self, graph: &RoutingGraph, sub: &Subgraph) {
+        let matches = self.synced
+            && self.graph_nodes == graph.node_count()
+            && self.graph_edges == graph.edge_count()
+            && self.members.len() == sub.order()
+            && self.members.iter().all(|&m| sub.contains(m));
+        if !matches {
+            let first = !self.synced;
+            self.members.clear();
+            self.members.extend_from_slice(sub.members());
+            self.members.sort_unstable();
+            self.edge_ids.clear();
+            for (idx, e) in graph.edges().iter().enumerate() {
+                if sub.contains(e.a) && sub.contains(e.b) {
+                    self.edge_ids.push(idx as u32);
+                }
+            }
+            self.graph_nodes = graph.node_count();
+            self.graph_edges = graph.edge_count();
+            self.synced = true;
+            self.mutation_gen += 1;
+            self.pending_cols.clear();
+            self.pending_inserts = 0;
+            self.smw_broken = true;
+            if !first {
+                self.stats.resyncs += 1;
+                telemetry::counter!("session.resyncs");
+            }
+        }
+        if self.compact.len() != graph.node_count() {
+            self.compact = vec![usize::MAX; graph.node_count()];
+        }
+        self.member_mask.clear();
+        self.member_mask.resize(graph.node_count(), false);
+        for (k, &mid) in self.members.iter().enumerate() {
+            self.compact[mid.index()] = k;
+            self.member_mask[mid.index()] = true;
+        }
+    }
+
+    /// Rebuilds the compact induced-edge list in ascending graph-edge
+    /// order — the same order the scratch evaluator's induced-edge scan
+    /// produces.
+    fn materialize_edges(&mut self, graph: &RoutingGraph) {
+        self.edges_buf.clear();
+        self.edges_buf.reserve(self.edge_ids.len());
+        for &eid in &self.edge_ids {
+            let e = graph.edge(eid);
+            self.edges_buf.push((
+                self.compact[e.a.index()],
+                self.compact[e.b.index()],
+                e.weight,
+            ));
+        }
+    }
+
+    fn reset_delta(&mut self) {
+        self.smw = SmwUpdate::new();
+        self.pending_cols.clear();
+        self.pending_inserts = 0;
+        self.smw_broken = false;
+    }
+
+    fn smw_eligible(&self, clean: bool, ground_node: NodeId) -> bool {
+        self.cfg.smw_max_rank > 0
+            && !self.smw_broken
+            && clean
+            && self.base_clean
+            && self.factor.is_some()
+            && self.base_csr.is_some()
+            && self.pending_inserts == 0
+            && !self.pending_cols.is_empty()
+            && self.base_ground_node == Some(ground_node)
+            && self.smw.rank() + self.pending_cols.len() <= self.cfg.smw_max_rank
+    }
+
+    // ---- assembly ------------------------------------------------------
+
+    /// Union-find component screen over the sanitized induced edges —
+    /// the same verdict (and error) the scratch evaluator's
+    /// `component_count` check produces, without building a Laplacian.
+    fn screen_components(&mut self) -> Result<(), SproutError> {
+        let m = self.members.len();
+        self.uf.clear();
+        self.uf.extend(0..m);
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]]; // path halving
+                x = uf[x];
+            }
+            x
+        }
+        for i in 0..self.edges_buf.len() {
+            let (a, b, _) = self.edges_buf[i];
+            let ra = find(&mut self.uf, a);
+            let rb = find(&mut self.uf, b);
+            if ra != rb {
+                self.uf[ra] = rb;
+            }
+        }
+        let mut components = 0usize;
+        for i in 0..m {
+            if find(&mut self.uf, i) == i {
+                components += 1;
+            }
+        }
+        if components > 1 {
+            Err(SproutError::from(LinalgError::Disconnected { components }))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Ensures `base_csr` holds the exact current grounded system.
+    /// Returns `true` when the cached sparsity plan was reused (values
+    /// refreshed in place), `false` when the plan and structure were
+    /// rebuilt. Screens for floating components first.
+    fn refresh_csr(
+        &mut self,
+        graph: &RoutingGraph,
+        m: usize,
+        ground: usize,
+        sanitized: bool,
+    ) -> Result<bool, SproutError> {
+        self.screen_components()?;
+        let plan_ok = !sanitized
+            && self.base_csr.is_some()
+            && self.plan.as_ref().is_some_and(|p| {
+                p.gen == self.mutation_gen
+                    && p.ground == ground
+                    && !p.sanitized
+                    && p.edge_count == self.edges_buf.len()
+            });
+        if plan_ok {
+            self.rebuild_values();
+            Ok(true)
+        } else {
+            self.rebuild_plan(graph, m, ground, sanitized)?;
+            Ok(false)
+        }
+    }
+
+    /// Plans the grounded-CSR structure and per-edge value slots, then
+    /// builds the matrix. Duplicate (parallel) edges share slots, and
+    /// the value replay accumulates them in edge order — matching the
+    /// scratch evaluator's stable triplet summation bit for bit.
+    fn rebuild_plan(
+        &mut self,
+        graph: &RoutingGraph,
+        m: usize,
+        ground: usize,
+        sanitized: bool,
+    ) -> Result<(), SproutError> {
+        let dim = m - 1;
+        let gidx = |i: usize| if i < ground { i } else { i - 1 };
+        // Recycle the previous plan's and matrix's allocations: the
+        // router re-plans on every membership change, so this path must
+        // not allocate per evaluation.
+        let mut edge_slots = match self.plan.take() {
+            Some(p) => {
+                let mut v = p.edge_slots;
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        };
+        let (mut row_ptr, mut col_idx, mut values) = match self.base_csr.take() {
+            Some(csr) => csr.into_raw_parts(),
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
+        row_ptr.clear();
+        row_ptr.reserve(dim + 1);
+        row_ptr.push(0usize);
+        col_idx.clear();
+        // Fast path: walk the graph adjacency of the mirrored members
+        // directly — each grounded row is its member-neighbor columns
+        // plus the diagonal, gathered into a fixed-size buffer and
+        // insertion-sorted. Only valid when no edge was sanitized away
+        // (the structure must mirror `edges_buf` exactly) and degrees
+        // stay small; otherwise fall back to the general per-edge
+        // scatter. Both produce identical sorted, deduplicated rows.
+        let mut fast_ok = !sanitized;
+        if fast_ok {
+            'walk: for (i, &node) in self.members.iter().enumerate() {
+                if i == ground {
+                    continue;
+                }
+                let mut row = [0usize; 8];
+                let mut len = 0usize;
+                row[len] = gidx(i);
+                len += 1;
+                for &(v, _) in graph.neighbors(node) {
+                    if !self.member_mask[v.index()] {
+                        continue;
+                    }
+                    let ci = self.compact[v.index()];
+                    if ci == ground {
+                        continue;
+                    }
+                    if len == row.len() {
+                        fast_ok = false;
+                        break 'walk;
+                    }
+                    row[len] = gidx(ci);
+                    len += 1;
+                }
+                let r = &mut row[..len];
+                r.sort_unstable();
+                let mut prev = usize::MAX;
+                for &c in r.iter() {
+                    if c != prev {
+                        col_idx.push(c);
+                        prev = c;
+                    }
+                }
+                row_ptr.push(col_idx.len());
+            }
+        }
+        if !fast_ok {
+            row_ptr.clear();
+            row_ptr.push(0usize);
+            col_idx.clear();
+            if self.plan_rows.len() < dim {
+                self.plan_rows.resize_with(dim, Vec::new);
+            }
+            for list in &mut self.plan_rows[..dim] {
+                list.clear();
+            }
+            for &(a, b, _) in &self.edges_buf {
+                if a != ground && b != ground {
+                    self.plan_rows[gidx(a)].push(gidx(b));
+                    self.plan_rows[gidx(b)].push(gidx(a));
+                }
+                if a != ground {
+                    self.plan_rows[gidx(a)].push(gidx(a));
+                }
+                if b != ground {
+                    self.plan_rows[gidx(b)].push(gidx(b));
+                }
+            }
+            for list in &mut self.plan_rows[..dim] {
+                list.sort_unstable();
+                list.dedup();
+                col_idx.extend_from_slice(list);
+                row_ptr.push(col_idx.len());
+            }
+        }
+        let slot = |r: usize, c: usize| -> usize {
+            let lo = row_ptr[r];
+            let hi = row_ptr[r + 1];
+            lo + col_idx[lo..hi]
+                .binary_search(&c)
+                .expect("planned CSR entry")
+        };
+        edge_slots.reserve(self.edges_buf.len());
+        for &(a, b, _) in &self.edges_buf {
+            let mut s = [SKIP; 4];
+            if a != ground {
+                s[0] = slot(gidx(a), gidx(a));
+            }
+            if b != ground {
+                s[1] = slot(gidx(b), gidx(b));
+            }
+            if a != ground && b != ground {
+                s[2] = slot(gidx(a), gidx(b));
+                s[3] = slot(gidx(b), gidx(a));
+            }
+            edge_slots.push(s);
+        }
+        values.clear();
+        values.resize(col_idx.len(), 0.0);
+        self.plan = Some(CsrPlan {
+            ground,
+            gen: self.mutation_gen,
+            sanitized,
+            edge_count: self.edges_buf.len(),
+            edge_slots,
+        });
+        let csr = Csr::from_raw_parts(dim, dim, row_ptr, col_idx, values)?;
+        self.base_csr = Some(csr);
+        self.rebuild_values();
+        Ok(())
+    }
+
+    /// Replays the conductance stamps into the cached structure.
+    fn rebuild_values(&mut self) {
+        let plan = self.plan.as_ref().expect("value replay requires a plan");
+        let csr = self
+            .base_csr
+            .as_mut()
+            .expect("value replay requires a matrix");
+        let vals = csr.values_mut();
+        vals.fill(0.0);
+        for (k, &(_, _, g)) in self.edges_buf.iter().enumerate() {
+            let [da, db, ab, ba] = plan.edge_slots[k];
+            if da != SKIP {
+                vals[da] += g;
+            }
+            if db != SKIP {
+                vals[db] += g;
+            }
+            if ab != SKIP {
+                vals[ab] -= g;
+            }
+            if ba != SKIP {
+                vals[ba] -= g;
+            }
+        }
+    }
+
+    // ---- solve paths ---------------------------------------------------
+
+    /// Stamps the per-pair grounded right-hand sides (column-major).
+    fn stamp_rhs(&mut self, pairs: &[InjectionPair], ground: usize, dim: usize) {
+        self.rhs.clear();
+        self.rhs.resize(pairs.len() * dim, 0.0);
+        let gidx = |i: usize| if i < ground { i } else { i - 1 };
+        for (pi, p) in pairs.iter().enumerate() {
+            let s = self.compact[p.source.index()];
+            if s != ground {
+                self.rhs[pi * dim + gidx(s)] += p.current_a;
+            }
+            let t = self.compact[p.sink.index()];
+            if t != ground {
+                self.rhs[pi * dim + gidx(t)] -= p.current_a;
+            }
+        }
+    }
+
+    /// Solves all right-hand sides against the cached factor as one
+    /// blocked pass, optionally split across threads by contiguous pair
+    /// ranges. Each column's substitution is independent of the
+    /// grouping, so the result bits do not depend on the thread count.
+    fn solve_direct(&mut self, p_count: usize, dim: usize) -> Result<(), SproutError> {
+        let factor = self
+            .factor
+            .as_ref()
+            .expect("direct solve requires a factor");
+        let threads = self.cfg.threads.max(1).min(p_count);
+        if threads <= 1 {
+            // `solve_block_into` sizes and fully overwrites `out`.
+            factor.solve_block_into(&self.rhs, p_count, &mut self.out, &mut self.scratch)?;
+            return Ok(());
+        }
+        self.out.clear();
+        self.out.resize(p_count * dim, 0.0);
+        let chunk = p_count.div_ceil(threads) * dim;
+        let rhs = &self.rhs;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (rhs_c, out_c) in rhs.chunks(chunk).zip(self.out.chunks_mut(chunk)) {
+                handles.push(scope.spawn(move || -> Result<(), LinalgError> {
+                    let width = rhs_c.len() / dim;
+                    let mut out = Vec::new();
+                    let mut scratch = Vec::new();
+                    factor.solve_block_into(rhs_c, width, &mut out, &mut scratch)?;
+                    out_c.copy_from_slice(&out);
+                    Ok(())
+                }));
+            }
+            let mut result = Ok(());
+            for h in handles {
+                let r = h.join().expect("solver thread panicked");
+                if result.is_ok() {
+                    result = r;
+                }
+            }
+            result
+        })?;
+        Ok(())
+    }
+
+    /// Solves through the accumulated SMW correction in the base index
+    /// space, then maps voltages back to the current compact space.
+    fn solve_smw(
+        &mut self,
+        pairs: &[InjectionPair],
+        ground: usize,
+        ground_node: NodeId,
+        dim: usize,
+    ) -> Result<(), SproutError> {
+        let base_dim = self.base_members.len() - 1;
+        let mut cur_to_base = Vec::with_capacity(self.members.len());
+        for &node in &self.members {
+            if node == ground_node {
+                cur_to_base.push(usize::MAX);
+            } else {
+                cur_to_base.push(
+                    self.base_grounded_index(node)
+                        .expect("SMW member missing from base"),
+                );
+            }
+        }
+        let p_count = pairs.len();
+        self.out.clear();
+        self.out.resize(p_count * dim, 0.0);
+        let factor = self.factor.as_ref().expect("SMW requires a base factor");
+        let base_csr = self.base_csr.as_ref().expect("SMW requires a base matrix");
+        let mut b = vec![0.0f64; base_dim];
+        for (pi, p) in pairs.iter().enumerate() {
+            b.fill(0.0);
+            let sk = self.compact[p.source.index()];
+            if p.source != ground_node {
+                b[cur_to_base[sk]] += p.current_a;
+            }
+            let tk = self.compact[p.sink.index()];
+            if p.sink != ground_node {
+                b[cur_to_base[tk]] -= p.current_a;
+            }
+            let x = self.smw.solve(factor, base_csr, &b)?;
+            let col = &mut self.out[pi * dim..(pi + 1) * dim];
+            for (k, &bi) in cur_to_base.iter().enumerate() {
+                if k == ground {
+                    continue;
+                }
+                col[if k < ground { k } else { k - 1 }] = x[bi];
+            }
+        }
+        Ok(())
+    }
+
+    /// Warm-started preconditioned-CG path (`force_iterative`): the
+    /// last exact factor preconditions, the previous evaluation's
+    /// voltages seed, and the exact current matrix defines the system.
+    fn eval_iterative(
+        &mut self,
+        graph: &RoutingGraph,
+        pairs: &[InjectionPair],
+        ground_node: NodeId,
+        ground: usize,
+        clean: bool,
+        sanitized: bool,
+    ) -> Result<NodeCurrents, SproutError> {
+        let m = self.members.len();
+        let dim = m - 1;
+        let p_count = pairs.len();
+        self.reset_delta();
+        self.refresh_csr(graph, m, ground, sanitized)?;
+        let stale_ok = self.factor.as_ref().is_some_and(|f| f.dimension() == dim);
+        if !stale_ok && !self.refactor_exact(ground_node, clean) {
+            return self.eval_ladder(graph, pairs, m, ground);
+        }
+        self.stamp_rhs(pairs, ground, dim);
+        self.out.clear();
+        self.out.resize(p_count * dim, 0.0);
+        let warm = self.prev_dim == dim && self.prev_pairs == p_count;
+        let zeros = vec![0.0f64; dim];
+        let mut converged = true;
+        {
+            let factor = self.factor.as_ref().expect("iterative preconditioner");
+            let csr = self.base_csr.as_ref().expect("iterative system matrix");
+            for pi in 0..p_count {
+                let b = &self.rhs[pi * dim..(pi + 1) * dim];
+                let x0: &[f64] = if warm {
+                    &self.prev[pi * dim..(pi + 1) * dim]
+                } else {
+                    &zeros
+                };
+                let precond = |r: &[f64], z: &mut [f64]| {
+                    let mut out = Vec::new();
+                    let mut scratch = Vec::new();
+                    if factor
+                        .solve_block_into(r, 1, &mut out, &mut scratch)
+                        .is_ok()
+                    {
+                        z.copy_from_slice(&out);
+                    } else {
+                        z.copy_from_slice(r);
+                    }
+                };
+                let opts = CgOptions {
+                    tolerance: 1e-12,
+                    max_iterations: 0,
+                };
+                match solve_pcg_warm(csr, b, x0, precond, opts) {
+                    Ok(sol) => {
+                        self.out[pi * dim..(pi + 1) * dim].copy_from_slice(&sol.x);
+                        self.stats.warm_solves += 1;
+                        telemetry::counter!("session.warm_solves");
+                    }
+                    Err(_) => {
+                        converged = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !converged {
+            // The stale preconditioner drifted too far — recover with an
+            // exact factor and direct substitution.
+            if !self.refactor_exact(ground_node, clean) {
+                return self.eval_ladder(graph, pairs, m, ground);
+            }
+            self.solve_direct(p_count, dim)?;
+        }
+        Ok(self.finish(graph, pairs, m, ground, dim, p_count))
+    }
+
+    /// Factors the current `base_csr` into the cached factor object
+    /// (fresh ordering, reused buffers — bit-identical to a fresh
+    /// [`SparseCholesky::factor`]).
+    fn factor_current(&mut self) -> Result<(), LinalgError> {
+        let csr = self
+            .base_csr
+            .as_ref()
+            .expect("full factor requires a matrix");
+        if let Some(f) = self.factor.as_mut() {
+            f.refactor_into(csr, &mut self.rcm_ws)
+        } else {
+            self.factor = Some(SparseCholesky::factor(csr)?);
+            Ok(())
+        }
+    }
+
+    /// Factors the current `base_csr` exactly and adopts it as the new
+    /// base. Returns `false` on factorization failure.
+    fn refactor_exact(&mut self, ground_node: NodeId, clean: bool) -> bool {
+        match self.factor_current() {
+            Ok(()) => {
+                self.base_members.clear();
+                self.base_members.extend_from_slice(&self.members);
+                self.base_ground_node = Some(ground_node);
+                self.base_clean = clean;
+                self.factor_gen = self.mutation_gen;
+                self.stats.full_factors += 1;
+                telemetry::counter!("session.factor_full");
+                true
+            }
+            Err(_) => {
+                self.factor = None;
+                false
+            }
+        }
+    }
+
+    /// Last-resort path: run the scratch evaluator's resilient solver
+    /// ladder on the already-assembled system, emitting the same
+    /// degradation events it would.
+    fn eval_ladder(
+        &mut self,
+        graph: &RoutingGraph,
+        pairs: &[InjectionPair],
+        m: usize,
+        ground: usize,
+    ) -> Result<NodeCurrents, SproutError> {
+        self.stats.ladder_fallbacks += 1;
+        telemetry::counter!("session.ladder_fallbacks");
+        let mut lap = GraphLaplacian::from_edges(m, &self.edges_buf)?;
+        let _ = lap.sanitize_conductances(); // parity no-op: edges are clean
+        let factor = lap.factor_grounded_resilient(ground, FallbackOptions::default())?;
+        if let Some(report) = factor.fallback_report() {
+            if report.degraded() {
+                recovery::note_event(SolverEvent::Fallback(report.rung));
+                telemetry::counter!("solver.fallbacks");
+                telemetry::point("solver_fallback")
+                    .field("rung", format!("{:?}", report.rung))
+                    .field("attempts", report.factor_attempts)
+                    .emit();
+            }
+        }
+        current::metric_from_factor(
+            graph,
+            &self.members,
+            &self.compact,
+            &self.edges_buf,
+            &factor,
+            pairs,
+        )
+    }
+
+    // ---- reduction -----------------------------------------------------
+
+    /// Expands the reduced solution columns and accumulates the metric —
+    /// always sequentially, in pair-index order, on the calling thread —
+    /// then caches the voltages as next evaluation's warm starts.
+    fn finish(
+        &mut self,
+        graph: &RoutingGraph,
+        pairs: &[InjectionPair],
+        m: usize,
+        ground: usize,
+        dim: usize,
+        p_count: usize,
+    ) -> NodeCurrents {
+        let mut node_metric = vec![0.0f64; graph.node_count()];
+        let mut resistance_weighted = 0.0f64;
+        let mut weight_total = 0.0f64;
+        self.vfull.clear();
+        self.vfull.resize(m, 0.0);
+        for (pi, p) in pairs.iter().enumerate() {
+            let col = &self.out[pi * dim..(pi + 1) * dim];
+            self.vfull[ground] = 0.0;
+            for (i, &v) in col.iter().enumerate() {
+                let full = if i < ground { i } else { i + 1 };
+                self.vfull[full] = v;
+            }
+            for &(a, b, w) in &self.edges_buf {
+                let i_edge = w * (self.vfull[a] - self.vfull[b]);
+                node_metric[self.members[a].index()] += i_edge.abs();
+                node_metric[self.members[b].index()] += i_edge.abs();
+            }
+            let drop = self.vfull[self.compact[p.source.index()]]
+                - self.vfull[self.compact[p.sink.index()]];
+            resistance_weighted += drop; // = R_eff · i_pair
+            weight_total += p.current_a;
+        }
+        let resistance_sq = if weight_total > 0.0 {
+            resistance_weighted / weight_total
+        } else {
+            0.0
+        };
+        std::mem::swap(&mut self.prev, &mut self.out);
+        self.prev_dim = dim;
+        self.prev_pairs = p_count;
+        telemetry::counter!("metric.evaluations");
+        telemetry::histogram!("metric.solves_per_eval", p_count as u64);
+        NodeCurrents::from_parts(node_metric, resistance_sq, p_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::current::{injection_pairs, node_current, PairPolicy};
+    use crate::graph::RemovalCheck;
+    use crate::seed::{seed_subgraph, SeedOptions};
+    use crate::space::SpaceSpec;
+    use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
+    use sprout_board::presets;
+
+    fn setup() -> (RoutingGraph, Subgraph, Vec<Terminal>) {
+        let board = presets::two_rail();
+        let (vdd1, _) = board.power_nets().next().unwrap();
+        let spec = SpaceSpec::build(&board, vdd1, presets::TWO_RAIL_ROUTE_LAYER, &[]).unwrap();
+        let graph = space_to_graph(&spec, TileOptions::square(0.4)).unwrap();
+        let terminals = identify_terminals(&graph, &spec, vdd1).unwrap();
+        let sub = seed_subgraph(&graph, &terminals, vdd1, 6, SeedOptions::default()).unwrap();
+        (graph, sub, terminals)
+    }
+
+    fn assert_bitwise_match(
+        graph: &RoutingGraph,
+        sub: &Subgraph,
+        pairs: &[InjectionPair],
+        engine: &mut Engine,
+    ) {
+        let scratch = node_current(graph, sub, pairs).unwrap();
+        let incr = engine.eval(graph, sub, pairs).unwrap();
+        assert_eq!(
+            scratch.resistance_sq().to_bits(),
+            incr.resistance_sq().to_bits(),
+            "resistance must match bit for bit"
+        );
+        assert_eq!(scratch.solves(), incr.solves());
+        for i in 0..graph.node_count() as u32 {
+            let id = NodeId(i);
+            assert_eq!(
+                scratch.of(id).to_bits(),
+                incr.of(id).to_bits(),
+                "metric mismatch at node {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_scratch_bitwise_through_mutations() {
+        let (graph, mut sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let tnodes: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
+        let mut engine = Engine::new(SolverConfig::default());
+
+        // Seed evaluation: first full factor.
+        assert_bitwise_match(&graph, &sub, &pairs, &mut engine);
+        // Repeat without mutations: factor reuse.
+        assert_bitwise_match(&graph, &sub, &pairs, &mut engine);
+
+        // Grow a boundary ring through the engine.
+        for id in sub.boundary(&graph) {
+            engine.insert(&graph, &mut sub, id);
+        }
+        assert_bitwise_match(&graph, &sub, &pairs, &mut engine);
+
+        // Remove a few connectivity-safe non-terminal nodes.
+        let mut check = RemovalCheck::new();
+        let candidates: Vec<NodeId> = sub.members().to_vec();
+        let mut removed = 0;
+        for id in candidates {
+            if removed >= 3 || tnodes.contains(&id) {
+                continue;
+            }
+            if check.keeps_connected(&graph, &sub, id, &tnodes) {
+                engine.remove(&graph, &mut sub, id);
+                removed += 1;
+            }
+        }
+        assert!(removed > 0, "expected at least one safe removal");
+        assert_bitwise_match(&graph, &sub, &pairs, &mut engine);
+
+        // Out-of-band mutation (clone restore) must trigger a resync,
+        // not wrong answers.
+        let mut restored = sub.clone();
+        for id in sub.boundary(&graph).into_iter().take(2) {
+            restored.insert(&graph, id);
+        }
+        assert_bitwise_match(&graph, &restored, &pairs, &mut engine);
+
+        let stats = engine.stats();
+        assert!(stats.full_factors >= 1, "stats: {stats:?}");
+        assert!(stats.factor_reuses >= 1, "stats: {stats:?}");
+        assert!(stats.resyncs >= 1, "stats: {stats:?}");
+        assert_eq!(
+            stats.evals,
+            stats.full_factors
+                + stats.numeric_refactors
+                + stats.smw_evals
+                + stats.factor_reuses
+                + stats.ladder_fallbacks,
+            "every eval must be accounted to exactly one backend: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn smw_correction_tracks_removals_within_tolerance() {
+        let (graph, mut sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let tnodes: Vec<NodeId> = terminals.iter().map(|t| t.node).collect();
+        for id in sub.boundary(&graph) {
+            sub.insert(&graph, id);
+        }
+        let mut engine = Engine::new(SolverConfig {
+            smw_max_rank: 12,
+            ..SolverConfig::default()
+        });
+        engine.eval(&graph, &sub, &pairs).unwrap();
+
+        // Remove one safe node: rank ≤ #incident-edges + 1 ≤ 5.
+        let mut check = RemovalCheck::new();
+        let id = sub
+            .members()
+            .to_vec()
+            .into_iter()
+            .find(|&id| !tnodes.contains(&id) && check.keeps_connected(&graph, &sub, id, &tnodes))
+            .expect("a safe removal exists");
+        engine.remove(&graph, &mut sub, id);
+
+        let scratch = node_current(&graph, &sub, &pairs).unwrap();
+        let incr = engine.eval(&graph, &sub, &pairs).unwrap();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.smw_evals, 1,
+            "removal must ride the SMW path: {stats:?}"
+        );
+        let rel =
+            (incr.resistance_sq() - scratch.resistance_sq()).abs() / scratch.resistance_sq().abs();
+        assert!(rel < 1e-9, "SMW resistance drift {rel}");
+        // Per-node drift scaled by the hotspot magnitude (near-zero
+        // metrics are rounding noise in both evaluators).
+        let scale = scratch.max_current_a();
+        for i in 0..graph.node_count() as u32 {
+            let id = NodeId(i);
+            let (a, b) = (scratch.of(id), incr.of(id));
+            assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "SMW metric drift at node {i}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_iterative_warm_solves_match_direct_within_tolerance() {
+        let (graph, mut sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let mut engine = Engine::new(SolverConfig {
+            force_iterative: true,
+            ..SolverConfig::default()
+        });
+        let first = engine.eval(&graph, &sub, &pairs).unwrap();
+        let scratch = node_current(&graph, &sub, &pairs).unwrap();
+        let rel = (first.resistance_sq() - scratch.resistance_sq()).abs() / scratch.resistance_sq();
+        assert!(rel.abs() < 1e-9, "iterative drift {rel}");
+        // Mutate and re-evaluate: the second eval warm-starts from the
+        // first one's voltages against a stale preconditioner.
+        for id in sub.boundary(&graph).into_iter().take(3) {
+            engine.insert(&graph, &mut sub, id);
+        }
+        let second = engine.eval(&graph, &sub, &pairs).unwrap();
+        let scratch2 = node_current(&graph, &sub, &pairs).unwrap();
+        let rel2 =
+            (second.resistance_sq() - scratch2.resistance_sq()).abs() / scratch2.resistance_sq();
+        assert!(rel2.abs() < 1e-9, "warm iterative drift {rel2}");
+        assert!(engine.stats().warm_solves >= pairs.len());
+    }
+
+    #[test]
+    fn scratch_engine_matches_node_current_and_counts() {
+        let (graph, sub, terminals) = setup();
+        let pairs = injection_pairs(&terminals, PairPolicy::SourceToSinks, 3.0);
+        let mut engine = Engine::scratch();
+        let a = engine.eval(&graph, &sub, &pairs).unwrap();
+        let b = node_current(&graph, &sub, &pairs).unwrap();
+        assert_eq!(a.resistance_sq().to_bits(), b.resistance_sq().to_bits());
+        let stats = engine.stats();
+        assert_eq!(stats.evals, 1);
+        assert_eq!(stats.full_factors, 1);
+    }
+}

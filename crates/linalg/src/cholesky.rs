@@ -8,10 +8,44 @@
 //! reverse Cuthill–McKee ordering ([`crate::rcm`]) the fill stays within
 //! the matrix envelope (≈ `n·√n` for the grid Laplacians of Algorithm 1),
 //! landing at the `q ≈ 1.5–2` end of the paper's §II-H complexity range.
+//!
+//! The factor is stored as one flat envelope buffer (row offsets into a
+//! single `Vec<f64>`), which keeps re-factorization allocation-free: a
+//! session that mutates matrix *values* while keeping the sparsity
+//! pattern fixed can call [`SparseCholesky::try_refactor`] to reuse the
+//! ordering and the symbolic structure and only redo the numeric sweep.
 
 use crate::rcm::reverse_cuthill_mckee;
 use crate::sparse::Csr;
 use crate::LinalgError;
+
+/// Number of right-hand-side columns eliminated together by the blocked
+/// substitution kernel. Each column keeps its own accumulator, so the
+/// per-column arithmetic (and therefore the bits of the result) is
+/// independent of how columns are grouped into blocks.
+const BLOCK: usize = 8;
+
+/// Four-lane dot product. The independent accumulator lanes break the
+/// floating-point dependency chain of a naive loop; the lane layout is a
+/// function of length alone, so the summation order — and therefore the
+/// result bits — is deterministic for given inputs.
+#[inline]
+fn dot4(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    let mid = xs.len() & !3;
+    let mut lanes = [0.0f64; 4];
+    for (x4, y4) in xs[..mid].chunks_exact(4).zip(ys[..mid].chunks_exact(4)) {
+        lanes[0] += x4[0] * y4[0];
+        lanes[1] += x4[1] * y4[1];
+        lanes[2] += x4[2] * y4[2];
+        lanes[3] += x4[3] * y4[3];
+    }
+    let mut tail = 0.0;
+    for (&x, &y) in xs[mid..].iter().zip(&ys[mid..]) {
+        tail += x * y;
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
 
 /// Sparse envelope Cholesky factorization `P·A·Pᵀ = L·Lᵀ` of a symmetric
 /// positive-definite matrix, with an RCM fill-reducing permutation.
@@ -38,8 +72,10 @@ pub struct SparseCholesky {
     inv: Vec<usize>,
     /// Start column (in permuted indices) of each factor row's envelope.
     first: Vec<usize>,
-    /// Row data: `rows[i]` holds `L[i][first[i]..=i]`.
-    rows: Vec<Vec<f64>>,
+    /// `start[i]` = offset of permuted row `i` in `vals`; row `i` holds
+    /// `L[i][first[i]..=i]`, so its length is `i - first[i] + 1`.
+    start: Vec<usize>,
+    vals: Vec<f64>,
 }
 
 impl SparseCholesky {
@@ -51,6 +87,122 @@ impl SparseCholesky {
     /// * [`LinalgError::Empty`] — zero-dimension input.
     /// * [`LinalgError::SingularMatrix`] — non-positive pivot (not SPD).
     pub fn factor(a: &Csr<f64>) -> Result<Self, LinalgError> {
+        Self::check_square(a)?;
+        let perm = reverse_cuthill_mckee(a);
+        Self::factor_with_ordering(a, perm)
+    }
+
+    /// Factors `a` under a caller-supplied fill-reducing ordering
+    /// (`perm[new] = old`), skipping the internal RCM computation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseCholesky::factor`], plus
+    /// [`LinalgError::DimensionMismatch`] when `perm` is not a
+    /// permutation of `0..n`.
+    pub fn factor_with_ordering(a: &Csr<f64>, perm: Vec<usize>) -> Result<Self, LinalgError> {
+        Self::check_square(a)?;
+        let n = a.rows();
+        if perm.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: n,
+                got: perm.len(),
+            });
+        }
+        let mut inv = vec![usize::MAX; n];
+        for (new, &old) in perm.iter().enumerate() {
+            if old >= n || inv[old] != usize::MAX {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: n,
+                    got: old,
+                });
+            }
+            inv[old] = new;
+        }
+
+        let mut chol = SparseCholesky {
+            n,
+            perm,
+            inv,
+            first: vec![0; n],
+            start: vec![0; n + 1],
+            vals: Vec::new(),
+        };
+        chol.symbolic(a);
+        chol.numeric(a)?;
+        Ok(chol)
+    }
+
+    /// Fully re-factors `a` in place — fresh RCM ordering, symbolic and
+    /// numeric sweeps — reusing this factor's buffers and the supplied
+    /// RCM workspace. Produces bits identical to
+    /// [`SparseCholesky::factor`] while allocating nothing once the
+    /// buffers reach steady size; sessions that re-factor on every
+    /// membership change keep one factor and one workspace alive.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SparseCholesky::factor`]. On error the factor contents
+    /// are invalid and must not be used for solves.
+    pub fn refactor_into(
+        &mut self,
+        a: &Csr<f64>,
+        ws: &mut crate::rcm::RcmWorkspace,
+    ) -> Result<(), LinalgError> {
+        Self::check_square(a)?;
+        let n = a.rows();
+        crate::rcm::reverse_cuthill_mckee_into(a, ws, &mut self.perm);
+        self.inv.clear();
+        self.inv.resize(n, 0);
+        for (new, &old) in self.perm.iter().enumerate() {
+            self.inv[old] = new;
+        }
+        self.n = n;
+        self.first.clear();
+        self.first.resize(n, 0);
+        self.start.clear();
+        self.start.resize(n + 1, 0);
+        self.symbolic(a);
+        self.numeric(a)
+    }
+
+    /// Re-runs the numeric factorization against a matrix whose values
+    /// changed but whose sparsity pattern is unchanged, reusing the
+    /// stored ordering and symbolic envelope without allocating.
+    ///
+    /// Returns `Ok(true)` on success. Returns `Ok(false)` — leaving the
+    /// existing factor intact — when `a` has a different dimension or a
+    /// different pattern (its envelope does not match), in which case the
+    /// caller should fall back to a full [`SparseCholesky::factor`].
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::SingularMatrix`] when the numeric sweep hits a
+    /// non-positive pivot; the factor contents are invalid afterwards and
+    /// must not be used for solves.
+    pub fn try_refactor(&mut self, a: &Csr<f64>) -> Result<bool, LinalgError> {
+        if a.rows() != self.n || a.cols() != self.n {
+            return Ok(false);
+        }
+        // Pattern check: the envelope implied by `a` under the stored
+        // ordering must equal the stored envelope exactly, so that the
+        // refactor is bit-identical to a fresh factor with this ordering.
+        for new_row in 0..self.n {
+            let implied = a
+                .row(self.perm[new_row])
+                .map(|(c, _)| self.inv[c])
+                .filter(|&c| c <= new_row)
+                .min()
+                .unwrap_or(new_row);
+            if implied != self.first[new_row] {
+                return Ok(false);
+            }
+        }
+        self.numeric(a)?;
+        Ok(true)
+    }
+
+    fn check_square(a: &Csr<f64>) -> Result<(), LinalgError> {
         let n = a.rows();
         if a.cols() != n {
             return Err(LinalgError::DimensionMismatch {
@@ -61,69 +213,73 @@ impl SparseCholesky {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
-        let perm = reverse_cuthill_mckee(a);
-        let mut inv = vec![0usize; n];
-        for (new, &old) in perm.iter().enumerate() {
-            inv[old] = new;
-        }
+        Ok(())
+    }
 
-        // Envelope start per permuted row.
-        let mut first = vec![0usize; n];
+    /// Computes `first` and `start` (envelope structure) for the current
+    /// ordering and sizes `vals`.
+    fn symbolic(&mut self, a: &Csr<f64>) {
+        let n = self.n;
         for new_row in 0..n {
-            let old_row = perm[new_row];
-            first[new_row] = a
+            let old_row = self.perm[new_row];
+            self.first[new_row] = a
                 .row(old_row)
-                .map(|(c, _)| inv[c])
+                .map(|(c, _)| self.inv[c])
                 .filter(|&c| c <= new_row)
                 .min()
                 .unwrap_or(new_row);
         }
-        // The envelope must be monotone for in-envelope updates: row i's
-        // dot products reach back to max(first[i], first[j]), which is
-        // already handled; no adjustment needed.
-
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+        self.start[0] = 0;
         for i in 0..n {
-            let fi = first[i];
-            let mut row = vec![0.0f64; i - fi + 1];
+            self.start[i + 1] = self.start[i] + (i - self.first[i] + 1);
+        }
+        // No need to zero the envelope: the numeric sweep zero-fills
+        // every row before scattering into it, so stale contents from a
+        // previous factorization are never observable.
+        let need = self.start[n];
+        if self.vals.len() < need {
+            self.vals.resize(need, 0.0);
+        } else {
+            self.vals.truncate(need);
+        }
+    }
+
+    /// Numeric envelope factorization sweep over the symbolic structure.
+    fn numeric(&mut self, a: &Csr<f64>) -> Result<(), LinalgError> {
+        let n = self.n;
+        for i in 0..n {
+            let fi = self.first[i];
+            let si = self.start[i];
+            let (done, rest) = self.vals.split_at_mut(si);
+            let row = &mut rest[..i - fi + 1];
+            row.fill(0.0);
             // Scatter A's permuted row i entries within the envelope.
-            let old_row = perm[i];
+            let old_row = self.perm[i];
             for (c, v) in a.row(old_row) {
-                let nc = inv[c];
+                let nc = self.inv[c];
                 if nc >= fi && nc <= i {
                     row[nc - fi] += v;
                 }
             }
             // Eliminate: L[i][j] for j in fi..i.
             for j in fi..i {
-                let fj = first[j];
+                let fj = self.first[j];
                 let lo = fi.max(fj);
-                let mut sum = row[j - fi];
-                for k in lo..j {
-                    sum -= row[k - fi] * rows[j][k - fj];
-                }
-                let djj = rows[j][j - fj];
-                row[j - fi] = sum / djj;
+                let rowj = &done[self.start[j]..self.start[j + 1]];
+                let xs = &rowj[lo - fj..j - fj];
+                let ys = &row[lo - fi..j - fi];
+                let djj = rowj[j - fj];
+                row[j - fi] = (row[j - fi] - dot4(xs, ys)) / djj;
             }
             // Diagonal.
-            let mut diag = row[i - fi];
-            for k in fi..i {
-                let lik = row[k - fi];
-                diag -= lik * lik;
-            }
+            let head = &row[..i - fi];
+            let diag = row[i - fi] - dot4(head, head);
             if diag <= 0.0 || !diag.is_finite() {
                 return Err(LinalgError::SingularMatrix { at: i });
             }
             row[i - fi] = diag.sqrt();
-            rows.push(row);
         }
-        Ok(SparseCholesky {
-            n,
-            perm,
-            inv,
-            first,
-            rows,
-        })
+        Ok(())
     }
 
     /// Dimension of the factored matrix.
@@ -133,7 +289,7 @@ impl SparseCholesky {
 
     /// Total stored envelope entries (a measure of fill).
     pub fn envelope_size(&self) -> usize {
-        self.rows.iter().map(|r| r.len()).sum()
+        self.vals.len()
     }
 
     /// Solves `A·x = b`.
@@ -142,41 +298,10 @@ impl SparseCholesky {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] for a wrong-length `b`.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
-        if b.len() != self.n {
-            return Err(LinalgError::DimensionMismatch {
-                expected: self.n,
-                got: b.len(),
-            });
-        }
-        let n = self.n;
-        // Permute.
-        let mut y: Vec<f64> = self.perm.iter().map(|&old| b[old]).collect();
-        // Forward substitution L·y = Pb.
-        for i in 0..n {
-            let fi = self.first[i];
-            let row = &self.rows[i];
-            let mut acc = y[i];
-            for k in fi..i {
-                acc -= row[k - fi] * y[k];
-            }
-            y[i] = acc / row[i - fi];
-        }
-        // Backward substitution Lᵀ·z = y.
-        for i in (0..n).rev() {
-            let fi = self.first[i];
-            let row = &self.rows[i];
-            let zi = y[i] / row[i - fi];
-            y[i] = zi;
-            for k in fi..i {
-                y[k] -= row[k - fi] * zi;
-            }
-        }
-        // Un-permute.
-        let mut x = vec![0.0f64; n];
-        for new in 0..n {
-            x[self.perm[new]] = y[new];
-        }
-        Ok(x)
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.solve_block_into(b, 1, &mut out, &mut scratch)?;
+        Ok(out)
     }
 
     /// Solves against many right-hand sides, reusing the factorization.
@@ -185,7 +310,142 @@ impl SparseCholesky {
     ///
     /// Propagates the first [`LinalgError::DimensionMismatch`] hit.
     pub fn solve_many(&self, columns: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, LinalgError> {
-        columns.iter().map(|b| self.solve(b)).collect()
+        let mut packed = Vec::with_capacity(columns.len() * self.n);
+        for b in columns {
+            if b.len() != self.n {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: self.n,
+                    got: b.len(),
+                });
+            }
+            packed.extend_from_slice(b);
+        }
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.solve_block_into(&packed, columns.len(), &mut out, &mut scratch)?;
+        Ok(out.chunks(self.n).map(<[f64]>::to_vec).collect())
+    }
+
+    /// Solves `A·X = B` for a block of right-hand sides stored
+    /// column-major: `rhs` holds `width` columns of length `n` back to
+    /// back, and `out` receives the solutions in the same layout.
+    ///
+    /// Columns are processed through a blocked substitution kernel that
+    /// traverses the factor once per small group of columns; every column
+    /// keeps its own accumulator, so each solution is bit-identical to
+    /// the one [`SparseCholesky::solve`] produces for that column alone.
+    /// `scratch` is a reusable workspace (cleared and resized here).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when
+    /// `rhs.len() != width * n`.
+    pub fn solve_block_into(
+        &self,
+        rhs: &[f64],
+        width: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(), LinalgError> {
+        let n = self.n;
+        if rhs.len() != width * n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: width * n,
+                got: rhs.len(),
+            });
+        }
+        // Both buffers are written in full before being read (the
+        // permutation loops below touch every slot), so stale contents
+        // are never observable and zeroing them would be wasted work.
+        if out.len() < width * n {
+            out.resize(width * n, 0.0);
+        } else {
+            out.truncate(width * n);
+        }
+        let mut c0 = 0;
+        while c0 < width {
+            let w = BLOCK.min(width - c0);
+            if scratch.len() < n * w {
+                scratch.resize(n * w, 0.0);
+            } else {
+                scratch.truncate(n * w);
+            }
+            // Permute the block: scratch[i*w + c] = rhs column (c0+c) at
+            // old index perm[i].
+            for (i, &old) in self.perm.iter().enumerate() {
+                for c in 0..w {
+                    scratch[i * w + c] = rhs[(c0 + c) * n + old];
+                }
+            }
+            self.substitute_block(scratch, w);
+            // Un-permute into the output columns.
+            for (i, &old) in self.perm.iter().enumerate() {
+                for c in 0..w {
+                    out[(c0 + c) * n + old] = scratch[i * w + c];
+                }
+            }
+            c0 += w;
+        }
+        Ok(())
+    }
+
+    /// Forward + backward substitution on a permuted block `y` of `w`
+    /// interleaved columns (`y[i*w + c]`), in place.
+    fn substitute_block(&self, y: &mut [f64], w: usize) {
+        match w {
+            1 => self.substitute_fixed::<1>(y),
+            2 => self.substitute_fixed::<2>(y),
+            3 => self.substitute_fixed::<3>(y),
+            4 => self.substitute_fixed::<4>(y),
+            5 => self.substitute_fixed::<5>(y),
+            6 => self.substitute_fixed::<6>(y),
+            7 => self.substitute_fixed::<7>(y),
+            _ => self.substitute_fixed::<8>(y),
+        }
+    }
+
+    fn substitute_fixed<const W: usize>(&self, y: &mut [f64]) {
+        let n = self.n;
+        // Forward substitution L·y = Pb. Rows before the first row with
+        // any exactly-(+0.0) -free entry would compute exact +0.0 (their
+        // inputs and all earlier outputs are +0.0 and every pivot is
+        // positive), so they can be skipped bit-identically.
+        let skip = (0..n)
+            .find(|&i| y[i * W..i * W + W].iter().any(|v| v.to_bits() != 0))
+            .unwrap_or(n);
+        for i in skip..n {
+            let fi = self.first[i];
+            let row = &self.vals[self.start[i]..self.start[i + 1]];
+            let mut acc = [0.0f64; W];
+            acc.copy_from_slice(&y[i * W..i * W + W]);
+            for (k, &l) in (fi..i).zip(row.iter()) {
+                let yk = &y[k * W..k * W + W];
+                for c in 0..W {
+                    acc[c] -= l * yk[c];
+                }
+            }
+            let d = row[i - fi];
+            for c in 0..W {
+                y[i * W + c] = acc[c] / d;
+            }
+        }
+        // Backward substitution Lᵀ·z = y.
+        for i in (0..n).rev() {
+            let fi = self.first[i];
+            let row = &self.vals[self.start[i]..self.start[i + 1]];
+            let d = row[i - fi];
+            let mut zi = [0.0f64; W];
+            for c in 0..W {
+                zi[c] = y[i * W + c] / d;
+                y[i * W + c] = zi[c];
+            }
+            for (k, &l) in (fi..i).zip(row.iter()) {
+                let yk = &mut y[k * W..k * W + W];
+                for c in 0..W {
+                    yk[c] -= l * zi[c];
+                }
+            }
+        }
     }
 
     /// The fill-reducing permutation used (`perm[new] = old`).
@@ -332,6 +592,95 @@ mod tests {
             let solo = chol.solve(col).unwrap();
             assert_eq!(&solo, x);
         }
+    }
+
+    #[test]
+    fn blocked_solve_is_bit_identical_at_any_width() {
+        // Whether a column rides in a block of 1, with 3 others, or with
+        // 8 others must not change a single bit of its solution.
+        let a = grid_laplacian(8, 5, 11);
+        let n = a.rows();
+        let chol = SparseCholesky::factor(&a).unwrap();
+        let cols: Vec<Vec<f64>> = (0..9)
+            .map(|k| {
+                (0..n)
+                    .map(|i| if i == (k * 5) % n { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect();
+        let solo: Vec<Vec<f64>> = cols.iter().map(|b| chol.solve(b).unwrap()).collect();
+        for width in [1usize, 4, 9] {
+            let mut packed = Vec::new();
+            for b in cols.iter().take(width) {
+                packed.extend_from_slice(b);
+            }
+            let (mut out, mut scratch) = (Vec::new(), Vec::new());
+            chol.solve_block_into(&packed, width, &mut out, &mut scratch)
+                .unwrap();
+            for (c, want) in solo.iter().take(width).enumerate() {
+                let got = &out[c * n..(c + 1) * n];
+                for (p, q) in got.iter().zip(want) {
+                    assert_eq!(p.to_bits(), q.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_structure_bit_identically() {
+        let a = grid_laplacian(9, 6, 3);
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        let perm_before = chol.permutation().to_vec();
+        // Same pattern, scaled values.
+        let mut t = Triplets::new(a.rows(), a.cols());
+        for r in 0..a.rows() {
+            for (c, v) in a.row(r) {
+                t.push(r, c, v * 2.5).unwrap();
+            }
+        }
+        let b = t.to_csr();
+        assert!(chol.try_refactor(&b).unwrap());
+        assert_eq!(chol.permutation(), &perm_before[..]);
+        let fresh = SparseCholesky::factor_with_ordering(&b, perm_before).unwrap();
+        let rhs: Vec<f64> = (0..a.rows()).map(|i| (i as f64 * 0.3).sin()).collect();
+        let x1 = chol.solve(&rhs).unwrap();
+        let x2 = fresh.solve(&rhs).unwrap();
+        for (p, q) in x1.iter().zip(&x2) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+    }
+
+    #[test]
+    fn refactor_declines_changed_pattern() {
+        let a = poisson(8);
+        let mut chol = SparseCholesky::factor(&a).unwrap();
+        // A wider-band matrix: extra (0, 4) coupling changes the pattern.
+        let mut t = Triplets::new(8, 8);
+        for r in 0..8 {
+            for (c, v) in a.row(r) {
+                t.push(r, c, v).unwrap();
+            }
+        }
+        t.push(0, 4, -0.25).unwrap();
+        t.push(4, 0, -0.25).unwrap();
+        let wider = t.to_csr();
+        assert!(!chol.try_refactor(&wider).unwrap());
+        // Old factor still solves the old system.
+        let b = a.mul_vec(&[1.0; 8]).unwrap();
+        let x = chol.solve(&b).unwrap();
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+        // Dimension change also declines.
+        assert!(!chol.try_refactor(&poisson(5)).unwrap());
+    }
+
+    #[test]
+    fn factor_with_ordering_validates_permutation() {
+        let a = poisson(4);
+        assert!(SparseCholesky::factor_with_ordering(&a, vec![0, 1, 2]).is_err());
+        assert!(SparseCholesky::factor_with_ordering(&a, vec![0, 0, 1, 2]).is_err());
+        assert!(SparseCholesky::factor_with_ordering(&a, vec![3, 2, 1, 0]).is_ok());
     }
 
     #[test]

@@ -26,35 +26,65 @@ use crate::Scalar;
 /// assert_eq!(perm.len(), 3);
 /// ```
 pub fn reverse_cuthill_mckee<T: Scalar>(a: &Csr<T>) -> Vec<usize> {
+    let mut order = Vec::new();
+    let mut ws = RcmWorkspace::default();
+    reverse_cuthill_mckee_into(a, &mut ws, &mut order);
+    order
+}
+
+/// Reusable buffers for [`reverse_cuthill_mckee_into`]; sessions that
+/// reorder repeatedly keep one workspace alive so each ordering
+/// allocates nothing once the buffers reach steady size.
+#[derive(Debug, Default)]
+pub struct RcmWorkspace {
+    degree: Vec<usize>,
+    visited: Vec<bool>,
+    queue: std::collections::VecDeque<usize>,
+    neighbors: Vec<usize>,
+}
+
+/// [`reverse_cuthill_mckee`] writing into a caller-owned `order` vector
+/// and drawing scratch space from `ws`. Produces the identical
+/// permutation.
+pub fn reverse_cuthill_mckee_into<T: Scalar>(
+    a: &Csr<T>,
+    ws: &mut RcmWorkspace,
+    order: &mut Vec<usize>,
+) {
     let n = a.rows();
-    let degree: Vec<usize> = (0..n)
-        .map(|r| a.row(r).filter(|&(c, _)| c != r).count())
-        .collect();
+    ws.degree.clear();
+    ws.degree
+        .extend((0..n).map(|r| a.row(r).filter(|&(c, _)| c != r).count()));
 
-    let mut visited = vec![false; n];
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    ws.visited.clear();
+    ws.visited.resize(n, false);
+    ws.queue.clear();
+    order.clear();
+    order.reserve(n);
 
-    while let Some(start) = (0..n).filter(|&i| !visited[i]).min_by_key(|&i| degree[i]) {
+    while let Some(start) = (0..n)
+        .filter(|&i| !ws.visited[i])
+        .min_by_key(|&i| ws.degree[i])
+    {
         // `start` is an unvisited node of minimum degree.
-        visited[start] = true;
-        queue.push_back(start);
-        while let Some(u) = queue.pop_front() {
+        ws.visited[start] = true;
+        ws.queue.push_back(start);
+        while let Some(u) = ws.queue.pop_front() {
             order.push(u);
-            let mut neighbors: Vec<usize> = a
-                .row(u)
-                .map(|(c, _)| c)
-                .filter(|&c| c != u && !visited[c])
-                .collect();
-            neighbors.sort_by_key(|&c| degree[c]);
-            for c in neighbors {
-                visited[c] = true;
-                queue.push_back(c);
+            ws.neighbors.clear();
+            ws.neighbors.extend(
+                a.row(u)
+                    .map(|(c, _)| c)
+                    .filter(|&c| c != u && !ws.visited[c]),
+            );
+            ws.neighbors.sort_by_key(|&c| ws.degree[c]);
+            for &c in &ws.neighbors {
+                ws.visited[c] = true;
+                ws.queue.push_back(c);
             }
         }
     }
     order.reverse();
-    order
 }
 
 /// Profile (envelope size) of a symmetric matrix under a permutation —

@@ -162,6 +162,77 @@ impl<T: Scalar> Csr<T> {
         self.values.len()
     }
 
+    /// Builds a CSR matrix directly from its raw arrays, for assembly
+    /// paths that produce rows in order (bypassing [`Triplets`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when the arrays are
+    /// inconsistent, and [`LinalgError::IndexOutOfBounds`] when a column
+    /// index is out of range or a row's columns are not strictly
+    /// ascending.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Csr<T>, LinalgError> {
+        if row_ptr.len() != rows + 1 || row_ptr[0] != 0 {
+            return Err(LinalgError::DimensionMismatch {
+                expected: rows + 1,
+                got: row_ptr.len(),
+            });
+        }
+        if col_idx.len() != values.len() || *row_ptr.last().unwrap() != col_idx.len() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: col_idx.len(),
+                got: values.len(),
+            });
+        }
+        for r in 0..rows {
+            if row_ptr[r] > row_ptr[r + 1] {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: row_ptr[r],
+                    got: row_ptr[r + 1],
+                });
+            }
+            let mut prev: Option<usize> = None;
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                if c >= cols || prev.is_some_and(|p| p >= c) {
+                    return Err(LinalgError::IndexOutOfBounds {
+                        index: c,
+                        dimension: cols,
+                    });
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Csr {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Mutable view of the stored values, in row-major nonzero order.
+    ///
+    /// The sparsity structure is fixed; this refreshes numeric values in
+    /// place (the incremental nodal session re-stamps conductances into
+    /// an unchanged pattern between factorizations).
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.values
+    }
+
+    /// Decomposes the matrix into its raw arrays (`row_ptr`, `col_idx`,
+    /// `values`), letting assembly paths recycle the allocations when
+    /// rebuilding a matrix of a different shape.
+    pub fn into_raw_parts(self) -> (Vec<usize>, Vec<usize>, Vec<T>) {
+        (self.row_ptr, self.col_idx, self.values)
+    }
+
     /// The `(col, value)` pairs of row `r`, sorted by column.
     ///
     /// # Panics

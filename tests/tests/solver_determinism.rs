@@ -1,0 +1,122 @@
+//! End-to-end routing determinism across solver configurations.
+//!
+//! The incremental nodal engine guarantees bit-identical routes at any
+//! solver thread count (the multi-RHS reduction is sequential in pair
+//! order regardless of how columns are distributed) and, at the default
+//! settings, bit-identical routes with the engine on or off. This test
+//! routes a multi-rail job under each configuration and compares the
+//! shipped shapes, subgraphs, and objectives exactly.
+
+use sprout_board::presets;
+use sprout_core::reheat::ReheatConfig;
+use sprout_core::router::{Router, RouterConfig};
+use sprout_core::{NodeId, RouteResult, SolverConfig, SolverEngine};
+
+fn config(solver: SolverConfig) -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 8,
+        refine_iterations: 3,
+        reheat: Some(ReheatConfig {
+            dilate_iterations: 1,
+            erode_step: 24,
+        }),
+        solver,
+        ..RouterConfig::default()
+    }
+}
+
+fn route_all(solver: SolverConfig) -> Vec<RouteResult> {
+    let board = presets::two_rail();
+    let router = Router::new(&board, config(solver));
+    let nets: Vec<_> = board.power_nets().map(|(id, _)| id).collect();
+    let layer = presets::TWO_RAIL_ROUTE_LAYER;
+    let requests: Vec<_> = nets.into_iter().map(|n| (n, layer, 20.0)).collect();
+    router.route_all(&requests).into_results().unwrap()
+}
+
+fn assert_identical(label: &str, a: &[RouteResult], b: &[RouteResult]) {
+    assert_eq!(a.len(), b.len(), "{label}: rail count");
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.net, rb.net, "{label}: rail order");
+        assert_eq!(
+            ra.final_resistance_sq.to_bits(),
+            rb.final_resistance_sq.to_bits(),
+            "{label}: objective must be bit-identical for {:?}",
+            ra.net
+        );
+        let ma: &[NodeId] = ra.subgraph.members();
+        let mb: &[NodeId] = rb.subgraph.members();
+        assert_eq!(ma, mb, "{label}: subgraph membership for {:?}", ra.net);
+        assert_eq!(
+            ra.shape.area_mm2().to_bits(),
+            rb.shape.area_mm2().to_bits(),
+            "{label}: shipped area for {:?}",
+            ra.net
+        );
+        assert_eq!(
+            ra.resistance_history_sq.len(),
+            rb.resistance_history_sq.len(),
+            "{label}: history length for {:?}",
+            ra.net
+        );
+        for (ha, hb) in ra
+            .resistance_history_sq
+            .iter()
+            .zip(&rb.resistance_history_sq)
+        {
+            assert_eq!(
+                ha.to_bits(),
+                hb.to_bits(),
+                "{label}: history entry for {:?}",
+                ra.net
+            );
+        }
+    }
+}
+
+#[test]
+fn routes_are_bit_identical_across_thread_counts_and_engines() {
+    let reference = route_all(SolverConfig::default());
+    assert_eq!(reference.len(), 2, "two-rail preset routes two rails");
+
+    for threads in [2usize, 8] {
+        let multi = route_all(SolverConfig {
+            threads,
+            ..SolverConfig::default()
+        });
+        assert_identical(&format!("threads={threads}"), &reference, &multi);
+    }
+
+    let scratch = route_all(SolverConfig {
+        engine: SolverEngine::Scratch,
+        ..SolverConfig::default()
+    });
+    assert_identical("engine=scratch", &reference, &scratch);
+}
+
+#[test]
+fn incremental_engine_skips_factorizations() {
+    let incremental = route_all(SolverConfig::default());
+    let scratch = route_all(SolverConfig {
+        engine: SolverEngine::Scratch,
+        ..SolverConfig::default()
+    });
+    for (inc, scr) in incremental.iter().zip(&scratch) {
+        assert_eq!(
+            inc.timings.factorizations + inc.timings.factor_updates,
+            scr.timings.factorizations + scr.timings.factor_updates,
+            "both engines perform the same number of metric evaluations"
+        );
+        assert!(
+            inc.timings.factorizations < scr.timings.factorizations,
+            "the session must avoid full factorizations: {} vs {}",
+            inc.timings.factorizations,
+            scr.timings.factorizations
+        );
+        assert_eq!(
+            scr.timings.factor_updates, 0,
+            "the scratch engine factors from scratch every time"
+        );
+    }
+}
