@@ -156,6 +156,11 @@ pub enum SproutError {
         /// Wall-clock already spent when this rail was considered (ms).
         elapsed_ms: f64,
     },
+    /// An internal invariant did not hold. Replaces what used to be an
+    /// `expect` panic on a fallible path: the pipeline reports the
+    /// broken invariant as a typed, non-retryable error instead of
+    /// tearing the worker down.
+    Internal(&'static str),
 }
 
 impl fmt::Display for SproutError {
@@ -200,6 +205,9 @@ impl fmt::Display for SproutError {
                 f,
                 "job deadline of {deadline_ms:.0} ms expired ({elapsed_ms:.0} ms elapsed)"
             ),
+            SproutError::Internal(what) => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }

@@ -438,7 +438,10 @@ impl NodalSession {
             // Engage: screen the mutated system, then fold the recorded
             // removal columns into the running correction.
             self.screen_components()?;
-            let factor = self.factor.as_ref().expect("SMW requires a base factor");
+            let factor = self
+                .factor
+                .as_ref()
+                .ok_or(SproutError::Internal("SMW engage requires a base factor"))?;
             let cols = std::mem::take(&mut self.pending_cols);
             let mut folded = true;
             for col in cols {
@@ -463,8 +466,14 @@ impl NodalSession {
                 // cached structure's values and refactor in place.
                 let plan_reused = self.refresh_csr(graph, m, ground, sanitized)?;
                 if plan_reused {
-                    let factor = self.factor.as_mut().expect("refresh requires a factor");
-                    let csr = self.base_csr.as_ref().expect("refresh requires a matrix");
+                    let factor = self
+                        .factor
+                        .as_mut()
+                        .ok_or(SproutError::Internal("refresh requires a factor"))?;
+                    let csr = self
+                        .base_csr
+                        .as_ref()
+                        .ok_or(SproutError::Internal("refresh requires a matrix"))?;
                     match factor.try_refactor(csr) {
                         Ok(true) => {
                             self.base_clean = clean;
@@ -772,7 +781,7 @@ impl NodalSession {
                     && p.edge_count == self.edges_buf.len()
             });
         if plan_ok {
-            self.rebuild_values();
+            self.rebuild_values()?;
             Ok(true)
         } else {
             self.rebuild_plan(graph, m, ground, sanitized)?;
@@ -885,25 +894,26 @@ impl NodalSession {
                 row_ptr.push(col_idx.len());
             }
         }
-        let slot = |r: usize, c: usize| -> usize {
+        let slot = |r: usize, c: usize| -> Result<usize, SproutError> {
             let lo = row_ptr[r];
             let hi = row_ptr[r + 1];
-            lo + col_idx[lo..hi]
+            col_idx[lo..hi]
                 .binary_search(&c)
-                .expect("planned CSR entry")
+                .map(|off| lo + off)
+                .map_err(|_| SproutError::Internal("planned CSR entry missing"))
         };
         edge_slots.reserve(self.edges_buf.len());
         for &(a, b, _) in &self.edges_buf {
             let mut s = [SKIP; 4];
             if a != ground {
-                s[0] = slot(gidx(a), gidx(a));
+                s[0] = slot(gidx(a), gidx(a))?;
             }
             if b != ground {
-                s[1] = slot(gidx(b), gidx(b));
+                s[1] = slot(gidx(b), gidx(b))?;
             }
             if a != ground && b != ground {
-                s[2] = slot(gidx(a), gidx(b));
-                s[3] = slot(gidx(b), gidx(a));
+                s[2] = slot(gidx(a), gidx(b))?;
+                s[3] = slot(gidx(b), gidx(a))?;
             }
             edge_slots.push(s);
         }
@@ -918,17 +928,20 @@ impl NodalSession {
         });
         let csr = Csr::from_raw_parts(dim, dim, row_ptr, col_idx, values)?;
         self.base_csr = Some(csr);
-        self.rebuild_values();
+        self.rebuild_values()?;
         Ok(())
     }
 
     /// Replays the conductance stamps into the cached structure.
-    fn rebuild_values(&mut self) {
-        let plan = self.plan.as_ref().expect("value replay requires a plan");
+    fn rebuild_values(&mut self) -> Result<(), SproutError> {
+        let plan = self
+            .plan
+            .as_ref()
+            .ok_or(SproutError::Internal("value replay requires a plan"))?;
         let csr = self
             .base_csr
             .as_mut()
-            .expect("value replay requires a matrix");
+            .ok_or(SproutError::Internal("value replay requires a matrix"))?;
         let vals = csr.values_mut();
         vals.fill(0.0);
         for (k, &(_, _, g)) in self.edges_buf.iter().enumerate() {
@@ -946,6 +959,7 @@ impl NodalSession {
                 vals[ba] -= g;
             }
         }
+        Ok(())
     }
 
     // ---- solve paths ---------------------------------------------------
@@ -975,7 +989,7 @@ impl NodalSession {
         let factor = self
             .factor
             .as_ref()
-            .expect("direct solve requires a factor");
+            .ok_or(SproutError::Internal("direct solve requires a factor"))?;
         let threads = self.cfg.threads.max(1).min(p_count);
         if threads <= 1 {
             // `solve_block_into` sizes and fully overwrites `out`.
@@ -998,11 +1012,22 @@ impl NodalSession {
                     Ok(())
                 }));
             }
-            let mut result = Ok(());
+            let mut result: Result<(), SproutError> = Ok(());
             for h in handles {
-                let r = h.join().expect("solver thread panicked");
-                if result.is_ok() {
-                    result = r;
+                // A panicked solver thread is reported as a typed error,
+                // not re-raised — the supervisor's catch_unwind boundary
+                // should never be the first line of defense.
+                match h.join() {
+                    Ok(r) => {
+                        if result.is_ok() {
+                            result = r.map_err(SproutError::from);
+                        }
+                    }
+                    Err(_) => {
+                        if result.is_ok() {
+                            result = Err(SproutError::Internal("solver thread panicked"));
+                        }
+                    }
                 }
             }
             result
@@ -1027,15 +1052,21 @@ impl NodalSession {
             } else {
                 cur_to_base.push(
                     self.base_grounded_index(node)
-                        .expect("SMW member missing from base"),
+                        .ok_or(SproutError::Internal("SMW member missing from base"))?,
                 );
             }
         }
         let p_count = pairs.len();
         self.out.clear();
         self.out.resize(p_count * dim, 0.0);
-        let factor = self.factor.as_ref().expect("SMW requires a base factor");
-        let base_csr = self.base_csr.as_ref().expect("SMW requires a base matrix");
+        let factor = self
+            .factor
+            .as_ref()
+            .ok_or(SproutError::Internal("SMW requires a base factor"))?;
+        let base_csr = self
+            .base_csr
+            .as_ref()
+            .ok_or(SproutError::Internal("SMW requires a base matrix"))?;
         let mut b = vec![0.0f64; base_dim];
         for (pi, p) in pairs.iter().enumerate() {
             b.fill(0.0);
@@ -1087,8 +1118,12 @@ impl NodalSession {
         let zeros = vec![0.0f64; dim];
         let mut converged = true;
         {
-            let factor = self.factor.as_ref().expect("iterative preconditioner");
-            let csr = self.base_csr.as_ref().expect("iterative system matrix");
+            let factor = self.factor.as_ref().ok_or(SproutError::Internal(
+                "iterative solve lost its preconditioner",
+            ))?;
+            let csr = self.base_csr.as_ref().ok_or(SproutError::Internal(
+                "iterative solve lost its system matrix",
+            ))?;
             for pi in 0..p_count {
                 let b = &self.rhs[pi * dim..(pi + 1) * dim];
                 let x0: &[f64] = if warm {
@@ -1139,13 +1174,14 @@ impl NodalSession {
     /// Factors the current `base_csr` into the cached factor object
     /// (fresh ordering, reused buffers — bit-identical to a fresh
     /// [`SparseCholesky::factor`]).
-    fn factor_current(&mut self) -> Result<(), LinalgError> {
+    fn factor_current(&mut self) -> Result<(), SproutError> {
         let csr = self
             .base_csr
             .as_ref()
-            .expect("full factor requires a matrix");
+            .ok_or(SproutError::Internal("full factor requires a matrix"))?;
         if let Some(f) = self.factor.as_mut() {
             f.refactor_into(csr, &mut self.rcm_ws)
+                .map_err(SproutError::from)
         } else {
             self.factor = Some(SparseCholesky::factor(csr)?);
             Ok(())

@@ -48,6 +48,7 @@ use sprout_geom::stitch::Contour;
 use sprout_geom::{Point, Polygon};
 use sprout_telemetry as telemetry;
 use std::collections::HashMap;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -60,6 +61,90 @@ pub type RailRequest = (NetId, usize, f64);
 
 /// Checkpoint format version written and accepted by this build.
 pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Largest checkpoint file the loader will read (bytes). Checkpoints
+/// the supervisor itself writes are orders of magnitude smaller; a
+/// larger file is hostile or corrupt and is rejected before any
+/// allocation is sized from its contents.
+pub const MAX_CHECKPOINT_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Why a checkpoint file could not be used. Every variant is a typed
+/// rejection — hostile or damaged checkpoint input never panics, it
+/// reports one of these and the job starts fresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// The file could not be read.
+    Io(String),
+    /// The file exceeds [`MAX_CHECKPOINT_BYTES`].
+    Oversized {
+        /// Size on disk.
+        bytes: u64,
+        /// The loader's cap.
+        cap: u64,
+    },
+    /// The file ended before a required record.
+    Truncated(String),
+    /// The header names a version this build does not accept.
+    VersionMismatch(String),
+    /// The file is well-formed but belongs to a different board or
+    /// request list (fingerprint or rail-identity mismatch).
+    Mismatch(String),
+    /// A record is syntactically invalid (bad token, bad count,
+    /// unreconstructable geometry, duplicate rail).
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint unreadable: {e}"),
+            CheckpointError::Oversized { bytes, cap } => {
+                write!(f, "checkpoint is {bytes} bytes, over the {cap}-byte cap")
+            }
+            CheckpointError::Truncated(what) => write!(f, "checkpoint truncated before {what}"),
+            CheckpointError::VersionMismatch(what) => {
+                write!(f, "checkpoint version not accepted: {what}")
+            }
+            CheckpointError::Mismatch(what) => {
+                write!(f, "checkpoint belongs to a different job: {what}")
+            }
+            CheckpointError::Malformed(what) => write!(f, "checkpoint malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<String> for CheckpointError {
+    fn from(e: String) -> Self {
+        CheckpointError::Malformed(e)
+    }
+}
+
+/// Inspects a checkpoint file against a board and request list without
+/// running a job: `Ok(None)` when no file exists, `Ok(Some(n))` when
+/// the file would restore `n` rails, and a typed [`CheckpointError`]
+/// when the file exists but cannot be used. Never panics, whatever the
+/// file contains — this is the same hardened loader the supervisor
+/// resume path uses.
+///
+/// # Errors
+///
+/// The [`CheckpointError`] describing why the file was rejected.
+pub fn verify_checkpoint(
+    path: &Path,
+    board: &Board,
+    requests: &[RailRequest],
+) -> Result<Option<usize>, CheckpointError> {
+    let board_fp = board_fingerprint(board);
+    let job_fp = job_fingerprint(requests);
+    match checkpoint::load(path, board_fp, job_fp, requests) {
+        Ok(restored) => Ok(Some(restored.len())),
+        Err(checkpoint::LoadError::Absent) => Ok(None),
+        Err(checkpoint::LoadError::Rejected(e)) => Err(e),
+    }
+}
 
 /// Supervisor configuration.
 #[derive(Debug, Clone)]
@@ -666,7 +751,10 @@ fn job_fingerprint(requests: &[RailRequest]) -> u64 {
 /// job-control outcomes (cancellation, deadline expiry). Solver
 /// breakdowns, degraded multilayer runs, and worker panics may be
 /// transient — those retry under an escalated policy.
-fn is_retryable(e: &SproutError) -> bool {
+///
+/// Public so service layers (retry queues, schedulers) share the
+/// supervisor's classification instead of inventing their own.
+pub fn is_retryable(e: &SproutError) -> bool {
     !matches!(
         e,
         SproutError::InvalidConfig(_)
@@ -678,6 +766,7 @@ fn is_retryable(e: &SproutError) -> bool {
             | SproutError::NoMultilayerPath
             | SproutError::Cancelled
             | SproutError::DeadlineExpired { .. }
+            | SproutError::Internal(_)
     )
 }
 
@@ -710,9 +799,9 @@ mod checkpoint {
     pub(super) enum LoadError {
         /// No checkpoint file at the path (a fresh run, not a problem).
         Absent,
-        /// The file exists but cannot be used; the reason is reported as
-        /// a job warning.
-        Rejected(String),
+        /// The file exists but cannot be used; the typed reason is
+        /// reported as a job warning.
+        Rejected(CheckpointError),
     }
 
     fn hex(v: f64) -> String {
@@ -798,10 +887,23 @@ mod checkpoint {
         job_fp: u64,
         requests: &[RailRequest],
     ) -> Result<Vec<Restored>, LoadError> {
+        // Size-gate before reading: nothing downstream may size an
+        // allocation from a file the supervisor could not have written.
+        match std::fs::metadata(path) {
+            Ok(meta) if meta.len() > MAX_CHECKPOINT_BYTES => {
+                return Err(LoadError::Rejected(CheckpointError::Oversized {
+                    bytes: meta.len(),
+                    cap: MAX_CHECKPOINT_BYTES,
+                }))
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Absent),
+            Err(e) => return Err(LoadError::Rejected(CheckpointError::Io(e.to_string()))),
+        }
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(LoadError::Absent),
-            Err(e) => return Err(LoadError::Rejected(e.to_string())),
+            Err(e) => return Err(LoadError::Rejected(CheckpointError::Io(e.to_string()))),
         };
         parse(&text, board_fp, job_fp, requests).map_err(LoadError::Rejected)
     }
@@ -811,31 +913,36 @@ mod checkpoint {
         board_fp: u64,
         job_fp: u64,
         requests: &[RailRequest],
-    ) -> Result<Vec<Restored>, String> {
+    ) -> Result<Vec<Restored>, CheckpointError> {
         let mut lines = text.lines();
-        let expect = |line: Option<&str>, what: &str| -> Result<Vec<String>, String> {
-            let line = line.ok_or_else(|| format!("truncated before {what}"))?;
+        let expect = |line: Option<&str>, what: &str| -> Result<Vec<String>, CheckpointError> {
+            let line = line.ok_or_else(|| CheckpointError::Truncated(what.to_owned()))?;
             Ok(line.split_whitespace().map(str::to_owned).collect())
         };
 
         let header = expect(lines.next(), "header")?;
-        if header.len() != 2
-            || header[0] != "sprout-checkpoint"
-            || header[1] != format!("v{CHECKPOINT_VERSION}")
-        {
-            return Err(format!("unsupported header {header:?}"));
+        if header.len() != 2 || header[0] != "sprout-checkpoint" {
+            return Err(CheckpointError::Malformed(format!(
+                "unsupported header {header:?}"
+            )));
+        }
+        if header[1] != format!("v{CHECKPOINT_VERSION}") {
+            return Err(CheckpointError::VersionMismatch(format!(
+                "{} (this build accepts v{CHECKPOINT_VERSION})",
+                header[1]
+            )));
         }
         let board = expect(lines.next(), "board fingerprint")?;
         if board.len() != 2 || board[0] != "board" || board[1] != format!("{board_fp:016x}") {
-            return Err("board fingerprint mismatch".into());
+            return Err(CheckpointError::Mismatch("board fingerprint".into()));
         }
         let job = expect(lines.next(), "job fingerprint")?;
         if job.len() != 2 || job[0] != "job" || job[1] != format!("{job_fp:016x}") {
-            return Err("request-list fingerprint mismatch".into());
+            return Err(CheckpointError::Mismatch("request-list fingerprint".into()));
         }
         let rails = expect(lines.next(), "rail count")?;
         if rails.len() != 2 || rails[0] != "rails" || rails[1] != requests.len().to_string() {
-            return Err("rail count mismatch".into());
+            return Err(CheckpointError::Mismatch("rail count".into()));
         }
 
         let mut out: Vec<Restored> = Vec::new();
@@ -844,25 +951,35 @@ mod checkpoint {
             match tokens.first().map(String::as_str) {
                 Some("end") => break,
                 Some("rail") => {}
-                other => return Err(format!("expected rail/end, got {other:?}")),
+                other => {
+                    return Err(CheckpointError::Malformed(format!(
+                        "expected rail/end, got {other:?}"
+                    )))
+                }
             }
             if tokens.len() != 7 {
-                return Err("malformed rail line".into());
+                return Err(CheckpointError::Malformed("malformed rail line".into()));
             }
-            let index: usize = tokens[1].parse().map_err(|_| "bad rail index")?;
-            let (net, layer, budget) = *requests.get(index).ok_or("rail index out of range")?;
+            let index: usize = tokens[1]
+                .parse()
+                .map_err(|_| CheckpointError::Malformed("bad rail index".into()))?;
+            let (net, layer, budget) = *requests
+                .get(index)
+                .ok_or_else(|| CheckpointError::Mismatch("rail index out of range".into()))?;
             if tokens[2] != net.0.to_string()
                 || tokens[3] != layer.to_string()
                 || unhex(&tokens[4])?.to_bits() != budget.to_bits()
             {
-                return Err(format!("rail {index} does not match the request list"));
+                return Err(CheckpointError::Mismatch(format!(
+                    "rail {index} does not match the request list"
+                )));
             }
             let resistance = unhex(&tokens[5])?;
             let clean = tokens[6] == "1";
 
             let area_line = expect(lines.next(), "area")?;
             if area_line.len() != 2 || area_line[0] != "area" {
-                return Err("expected area line".into());
+                return Err(CheckpointError::Malformed("expected area line".into()));
             }
             let area = unhex(&area_line[1])?;
 
@@ -875,7 +992,7 @@ mod checkpoint {
                     Some("endrail") => break,
                     Some("contour") => {
                         if tokens.len() < 3 {
-                            return Err("malformed contour".into());
+                            return Err(CheckpointError::Malformed("malformed contour".into()));
                         }
                         let is_hole = tokens[1] == "1";
                         let points = parse_points(&tokens[3..], &tokens[2])?;
@@ -883,18 +1000,23 @@ mod checkpoint {
                     }
                     Some(kind @ ("fragment" | "runrect")) => {
                         if tokens.len() < 2 {
-                            return Err(format!("malformed {kind}"));
+                            return Err(CheckpointError::Malformed(format!("malformed {kind}")));
                         }
                         let points = parse_points(&tokens[2..], &tokens[1])?;
-                        let poly =
-                            Polygon::new(points).map_err(|e| format!("{kind} rejected: {e}"))?;
+                        let poly = Polygon::new(points).map_err(|e| {
+                            CheckpointError::Malformed(format!("{kind} rejected: {e}"))
+                        })?;
                         if kind == "fragment" {
                             fragments.push(poly);
                         } else {
                             run_rects.push(poly);
                         }
                     }
-                    other => return Err(format!("unknown shape record {other:?}")),
+                    other => {
+                        return Err(CheckpointError::Malformed(format!(
+                            "unknown shape record {other:?}"
+                        )))
+                    }
                 }
             }
             out.push(Restored {
@@ -909,15 +1031,25 @@ mod checkpoint {
         // Duplicate rail records would silently double-claim geometry.
         let mut seen = std::collections::HashSet::new();
         if !out.iter().all(|r| seen.insert(r.index)) {
-            return Err("duplicate rail record".into());
+            return Err(CheckpointError::Malformed("duplicate rail record".into()));
         }
         Ok(out)
     }
 
-    fn parse_points(tokens: &[String], count: &str) -> Result<Vec<Point>, String> {
-        let n: usize = count.parse().map_err(|_| "bad point count")?;
-        if tokens.len() != 2 * n {
-            return Err(format!("expected {n} points, got {} tokens", tokens.len()));
+    fn parse_points(tokens: &[String], count: &str) -> Result<Vec<Point>, CheckpointError> {
+        let n: usize = count
+            .parse()
+            .map_err(|_| CheckpointError::Malformed("bad point count".into()))?;
+        // checked_mul: a hostile count near usize::MAX must not trip the
+        // debug-build overflow panic before the length comparison.
+        let expected = n
+            .checked_mul(2)
+            .ok_or_else(|| CheckpointError::Malformed(format!("point count {n} overflows")))?;
+        if tokens.len() != expected {
+            return Err(CheckpointError::Malformed(format!(
+                "expected {n} points, got {} tokens",
+                tokens.len()
+            )));
         }
         let mut points = Vec::with_capacity(n);
         for pair in tokens.chunks_exact(2) {

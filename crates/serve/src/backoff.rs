@@ -1,0 +1,122 @@
+//! Retry backoff with exponential growth and deterministic jitter.
+//!
+//! The service retries failed jobs after a delay that grows
+//! exponentially with the attempt number. Plain exponential backoff
+//! synchronizes retry storms (every client that failed together retries
+//! together), so each delay is jittered — but the jitter is *seeded*:
+//! a pure function of `(seed, token, attempt)` through
+//! [`sprout_rng::hash3`]. The same configuration replays the same
+//! schedule bit for bit on any machine and any thread count, which is
+//! what lets the chaos tests assert exact retry timing.
+//!
+//! The schedule is monotone by construction: attempt `n`'s delay is the
+//! running maximum of the jittered envelope up to `n`, so a retry never
+//! fires sooner than the previous one would have.
+
+use sprout_rng::{hash3, u64_to_f64};
+
+/// Backoff schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// First-retry delay (ms).
+    pub base_ms: f64,
+    /// Multiplier per attempt (values below 1 are treated as 1).
+    pub factor: f64,
+    /// Delay ceiling (ms); the schedule saturates here.
+    pub max_ms: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is drawn uniformly from
+    /// `[(1 - jitter) * envelope, envelope]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter draws.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base_ms: 50.0,
+            factor: 2.0,
+            max_ms: 5_000.0,
+            jitter: 0.25,
+            seed: 0xB0FF,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// The delay before retry `attempt` (0-based) of the job identified
+    /// by `token` (the service uses the job id).
+    ///
+    /// Pure function of `(self, token, attempt)`: bit-identical across
+    /// processes, machines, and thread counts. Monotone non-decreasing
+    /// in `attempt` and bounded by [`BackoffConfig::max_ms`].
+    pub fn delay_ms(&self, token: u64, attempt: u32) -> f64 {
+        let base = self.base_ms.max(0.0);
+        let factor = self.factor.max(1.0);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let mut best = 0.0f64;
+        for a in 0..=attempt {
+            let envelope = (base * factor.powi(a as i32)).min(self.max_ms);
+            let u = u64_to_f64(hash3(self.seed, token, a as u64));
+            let jittered = envelope * (1.0 - jitter * u);
+            if jittered > best {
+                best = jittered;
+            }
+        }
+        best.min(self.max_ms)
+    }
+
+    /// The full schedule for one token, `attempts` entries long.
+    pub fn schedule(&self, token: u64, attempts: u32) -> Vec<f64> {
+        (0..attempts).map(|a| self.delay_ms(token, a)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_monotone_and_bounded() {
+        let cfg = BackoffConfig::default();
+        for token in 0..16 {
+            let s = cfg.schedule(token, 20);
+            for w in s.windows(2) {
+                assert!(w[1] >= w[0], "monotone: {w:?}");
+            }
+            assert!(s.iter().all(|&d| d <= cfg.max_ms && d >= 0.0));
+        }
+    }
+
+    #[test]
+    fn jitter_separates_tokens() {
+        let cfg = BackoffConfig::default();
+        let a = cfg.schedule(1, 6);
+        let b = cfg.schedule(2, 6);
+        assert_ne!(a, b, "distinct tokens must desynchronize");
+    }
+
+    #[test]
+    fn same_seed_replays_bit_identically() {
+        let cfg = BackoffConfig::default();
+        let a = cfg.schedule(7, 12);
+        let b = cfg.schedule(7, 12);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn degenerate_parameters_stay_sane() {
+        let cfg = BackoffConfig {
+            base_ms: -5.0,
+            factor: 0.1,
+            max_ms: 10.0,
+            jitter: 7.0,
+            seed: 1,
+        };
+        let s = cfg.schedule(0, 8);
+        assert!(s.iter().all(|&d| (0.0..=10.0).contains(&d)));
+        for w in s.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! `sprout_served` — the routing-service daemon.
+//!
+//! Starts a [`RoutingService`] and serves the HTTP/1.1 JSON API until
+//! interrupted (or until `--run-for-ms` elapses, for scripted smoke
+//! tests).
+//!
+//! ```text
+//! sprout_served [--addr 127.0.0.1:7171] [--workers N] [--queue-capacity N]
+//!               [--data-dir DIR] [--deadline-ms MS] [--run-for-ms MS]
+//! ```
+
+use sprout_serve::http::HttpServer;
+use sprout_serve::service::{RoutingService, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7171".to_owned();
+    let mut config = ServiceConfig::default();
+    let mut run_for_ms: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = take(&args, &mut i, "--addr"),
+            "--workers" => config.workers = parse(&take(&args, &mut i, "--workers"), "--workers"),
+            "--queue-capacity" => {
+                config.queue_capacity =
+                    parse(&take(&args, &mut i, "--queue-capacity"), "--queue-capacity")
+            }
+            "--data-dir" => config.data_dir = Some(take(&args, &mut i, "--data-dir").into()),
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(parse(
+                    &take(&args, &mut i, "--deadline-ms"),
+                    "--deadline-ms",
+                ))
+            }
+            "--run-for-ms" => {
+                run_for_ms = Some(parse(&take(&args, &mut i, "--run-for-ms"), "--run-for-ms"))
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sprout_served [--addr A] [--workers N] [--queue-capacity N] \
+                     [--data-dir DIR] [--deadline-ms MS] [--run-for-ms MS]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let service = match RoutingService::start(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("sprout_served: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut server = match HttpServer::bind(&addr, Arc::clone(&service)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sprout_served: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("sprout_served listening on http://{}", server.addr());
+
+    match run_for_ms {
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        None => loop {
+            // No signal handling without dependencies: park forever;
+            // the process dies with the terminal.
+            std::thread::park();
+        },
+    }
+
+    server.stop();
+    service.shutdown(true);
+    let m = service.metrics();
+    println!("sprout_served: drained; {}", m.to_json());
+}
+
+fn take(args: &[String], i: &mut usize, what: &str) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| {
+        eprintln!("missing value for {what}");
+        std::process::exit(2);
+    })
+}
+
+fn parse<T: std::str::FromStr>(v: &str, what: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value `{v}` for {what}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,116 @@
+//! Deterministic service-level fault injection.
+//!
+//! [`ServeFaultPlan`] is the service's counterpart to the router's
+//! `FaultPlan`: a seeded, reproducible description of what to break.
+//! Decisions are pure functions of `(seed, job id, attempt)` through
+//! [`sprout_rng::hash3`] — no RNG state, no ordering sensitivity — so a
+//! chaos sweep that fails replays identically from its seed.
+//!
+//! Faults injected at this layer:
+//!
+//! * **Worker panic** — the service worker panics before the job runs;
+//!   the service's `catch_unwind` boundary must convert it to a typed
+//!   retryable error. Injected only on attempt 0, so a retried job
+//!   always makes progress.
+//! * **Mid-job kill** — the job routes its first wave, checkpoints, and
+//!   then its worker "dies" (the deterministic stand-in for `kill -9`):
+//!   the job never finalizes and no completion record is journaled.
+//!   Only a restarted service can recover it — which is exactly what
+//!   the crash-recovery tests assert. Mutually exclusive with the panic
+//!   fault and injected only on attempt 0.
+//! * **Slow job** — the worker stalls before routing, driving deadline
+//!   and backpressure paths.
+
+use sprout_rng::{hash3, u64_to_f64};
+
+/// Seeded service-fault plan. `None` everywhere in production.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Probability a job's first attempt panics in the worker.
+    pub panic_rate: f64,
+    /// Probability a job's first attempt is killed mid-job after its
+    /// first checkpoint. Exclusive with `panic_rate` per job: a job
+    /// that panics is never also killed.
+    pub kill_rate: f64,
+    /// Probability any attempt stalls for [`ServeFaultPlan::slow_ms`]
+    /// before routing.
+    pub slow_rate: f64,
+    /// Stall duration for slow jobs (ms).
+    pub slow_ms: u64,
+}
+
+impl ServeFaultPlan {
+    /// A quiet plan: nothing injected.
+    pub fn quiet(seed: u64) -> ServeFaultPlan {
+        ServeFaultPlan {
+            seed,
+            panic_rate: 0.0,
+            kill_rate: 0.0,
+            slow_rate: 0.0,
+            slow_ms: 0,
+        }
+    }
+
+    fn draw(&self, salt: u64, job: u64, attempt: usize) -> f64 {
+        u64_to_f64(hash3(self.seed ^ salt, job, attempt as u64))
+    }
+
+    /// Should this attempt panic in the worker? (Attempt 0 only.)
+    pub fn panics(&self, job: u64, attempt: usize) -> bool {
+        attempt == 0 && self.draw(0x50A71C, job, attempt) < self.panic_rate
+    }
+
+    /// Should this attempt be killed mid-job? (Attempt 0 only, never
+    /// when the panic fault already claimed the job.)
+    pub fn kills(&self, job: u64, attempt: usize) -> bool {
+        attempt == 0
+            && !self.panics(job, attempt)
+            && self.draw(0x4B11, job, attempt) < self.kill_rate
+    }
+
+    /// Should this attempt stall before routing?
+    pub fn slows(&self, job: u64, attempt: usize) -> bool {
+        self.draw(0x510, job, attempt) < self.slow_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_exclusive() {
+        let plan = ServeFaultPlan {
+            seed: 42,
+            panic_rate: 0.5,
+            kill_rate: 0.5,
+            slow_rate: 0.3,
+            slow_ms: 5,
+        };
+        for job in 0..64 {
+            assert_eq!(plan.panics(job, 0), plan.panics(job, 0));
+            assert_eq!(plan.kills(job, 0), plan.kills(job, 0));
+            assert!(
+                !(plan.panics(job, 0) && plan.kills(job, 0)),
+                "panic and kill are exclusive"
+            );
+            // Retries always make progress: no attempt-1 injection.
+            assert!(!plan.panics(job, 1));
+            assert!(!plan.kills(job, 1));
+        }
+    }
+
+    #[test]
+    fn quiet_plan_injects_nothing() {
+        let plan = ServeFaultPlan::quiet(7);
+        for job in 0..32 {
+            for attempt in 0..3 {
+                assert!(!plan.panics(job, attempt));
+                assert!(!plan.kills(job, attempt));
+                assert!(!plan.slows(job, attempt));
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! A hardened, dependency-free HTTP/1.1 front end for
+//! [`RoutingService`].
+//!
+//! Deliberately minimal: one request per connection
+//! (`Connection: close`), thread-per-connection with a hard cap, and a
+//! parser with explicit limits on request-line, header, and body sizes.
+//! Anything outside those limits is answered with a typed status code
+//! — the server never panics on hostile input and never buffers an
+//! unbounded body.
+//!
+//! Routes:
+//!
+//! | Method | Path               | Meaning                             |
+//! |--------|--------------------|-------------------------------------|
+//! | POST   | `/jobs`            | submit a [`JobSpec`] (JSON body)    |
+//! | GET    | `/jobs`            | snapshots of all jobs               |
+//! | GET    | `/jobs/<id>`       | one job's snapshot                  |
+//! | POST   | `/jobs/<id>/cancel`| cancel a job                        |
+//! | GET    | `/healthz`         | liveness (always 200 while serving) |
+//! | GET    | `/readyz`          | readiness (503 when not `Ready`)    |
+//! | GET    | `/metrics`         | [`ServiceMetrics`] as JSON          |
+//!
+//! Backpressure surfaces as HTTP: a saturated queue is `429` with a
+//! `Retry-After` header, a draining service is `503`.
+
+use crate::job::JobSpec;
+use crate::service::{Readiness, RoutingService, SubmitError};
+use sprout_telemetry::json::Obj;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum request-line length (bytes).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum single header line (bytes).
+const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum header count.
+const MAX_HEADERS: usize = 64;
+/// Maximum request body (bytes) — far above any legitimate [`JobSpec`].
+const MAX_BODY: usize = 1024 * 1024;
+/// Per-connection read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Concurrent connections before the listener answers 503 immediately.
+const MAX_CONNECTIONS: usize = 64;
+
+/// The HTTP server handle. Dropping it stops the listener.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `service` until [`HttpServer::stop`] or drop.
+    ///
+    /// # Errors
+    ///
+    /// The bind error as a string.
+    pub fn bind(addr: &str, service: Arc<RoutingService>) -> Result<HttpServer, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| e.to_string())?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let live = Arc::new(AtomicUsize::new(0));
+        let accept_thread = std::thread::Builder::new()
+            .name("sprout-serve-http".into())
+            .spawn(move || {
+                // A short accept timeout lets the loop observe `stop`.
+                let _ = listener.set_nonblocking(false);
+                for stream in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if live.load(Ordering::SeqCst) >= MAX_CONNECTIONS {
+                        let _ = respond_plain(&stream, 503, "Service Unavailable", "over capacity");
+                        continue;
+                    }
+                    live.fetch_add(1, Ordering::SeqCst);
+                    let service = Arc::clone(&service);
+                    let live = Arc::clone(&live);
+                    let _ = std::thread::Builder::new()
+                        .name("sprout-serve-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(&stream, &service);
+                            live.fetch_sub(1, Ordering::SeqCst);
+                        });
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(HttpServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with one last local connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+enum ParseOutcome {
+    Ok(Request),
+    /// `(status, reason, detail)` — the request was rejected before
+    /// reaching a route.
+    Reject(u16, &'static str, String),
+}
+
+fn handle_connection(stream: &TcpStream, service: &RoutingService) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let request = match parse_request(stream) {
+        Ok(ParseOutcome::Ok(r)) => r,
+        Ok(ParseOutcome::Reject(status, reason, detail)) => {
+            return respond_plain(stream, status, reason, &detail);
+        }
+        Err(_) => return respond_plain(stream, 408, "Request Timeout", "read failed"),
+    };
+    route(stream, service, &request)
+}
+
+fn parse_request(stream: &TcpStream) -> std::io::Result<ParseOutcome> {
+    let mut reader = BufReader::new(stream);
+
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_REQUEST_LINE as u64 + 1)
+        .read_line(&mut line)?;
+    if n == 0 || n > MAX_REQUEST_LINE {
+        return Ok(ParseOutcome::Reject(
+            414,
+            "URI Too Long",
+            "request line too long or empty".into(),
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(ParseOutcome::Reject(
+            400,
+            "Bad Request",
+            "malformed request line".into(),
+        ));
+    };
+    let method = method.to_owned();
+    let path = path.to_owned();
+
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let mut header = String::new();
+        let n = reader
+            .by_ref()
+            .take(MAX_HEADER_LINE as u64 + 1)
+            .read_line(&mut header)?;
+        if n == 0 || n > MAX_HEADER_LINE {
+            return Ok(ParseOutcome::Reject(
+                431,
+                "Request Header Fields Too Large",
+                "header too long or connection closed mid-headers".into(),
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            let body = if content_length > 0 {
+                let mut buf = vec![0u8; content_length];
+                reader.read_exact(&mut buf)?;
+                match String::from_utf8(buf) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        return Ok(ParseOutcome::Reject(
+                            400,
+                            "Bad Request",
+                            "body is not UTF-8".into(),
+                        ))
+                    }
+                }
+            } else {
+                String::new()
+            };
+            return Ok(ParseOutcome::Ok(Request { method, path, body }));
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(len) if len <= MAX_BODY => content_length = len,
+                    _ => {
+                        return Ok(ParseOutcome::Reject(
+                            413,
+                            "Payload Too Large",
+                            format!("content-length above the {MAX_BODY}-byte cap"),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+    Ok(ParseOutcome::Reject(
+        431,
+        "Request Header Fields Too Large",
+        "too many headers".into(),
+    ))
+}
+
+fn route(stream: &TcpStream, service: &RoutingService, req: &Request) -> std::io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/jobs") => match JobSpec::parse(&req.body) {
+            Ok(spec) => match service.submit(spec) {
+                Ok(id) => {
+                    let mut o = Obj::new();
+                    o.u64("id", id).str("state", "queued");
+                    respond_json(stream, 202, "Accepted", &o.finish(), &[])
+                }
+                Err(SubmitError::Saturated { retry_after_ms }) => {
+                    let retry_s = (retry_after_ms / 1e3).ceil().max(1.0) as u64;
+                    let header = format!("Retry-After: {retry_s}");
+                    let mut o = Obj::new();
+                    o.str("error", "queue saturated")
+                        .f64("retry_after_ms", retry_after_ms);
+                    respond_json(stream, 429, "Too Many Requests", &o.finish(), &[&header])
+                }
+                Err(SubmitError::Draining) => {
+                    respond_plain(stream, 503, "Service Unavailable", "draining")
+                }
+                Err(SubmitError::Invalid(e)) => {
+                    respond_plain(stream, 400, "Bad Request", &e.to_string())
+                }
+                Err(SubmitError::Journal(e)) => {
+                    respond_plain(stream, 500, "Internal Server Error", &e)
+                }
+            },
+            Err(e) => respond_plain(stream, 400, "Bad Request", &e.to_string()),
+        },
+        ("GET", "/jobs") => {
+            let body = sprout_telemetry::json::array(service.jobs().iter().map(|j| j.to_json()));
+            respond_json(stream, 200, "OK", &body, &[])
+        }
+        ("GET", "/healthz") => respond_plain(stream, 200, "OK", "alive"),
+        ("GET", "/readyz") => {
+            let r = service.ready();
+            let (status, reason) = match r {
+                Readiness::Ready | Readiness::Overloaded => (200, "OK"),
+                Readiness::Draining => (503, "Service Unavailable"),
+            };
+            respond_plain(stream, status, reason, r.name())
+        }
+        ("GET", "/metrics") => respond_json(stream, 200, "OK", &service.metrics().to_json(), &[]),
+        ("POST", path) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
+            let id = path
+                .strip_prefix("/jobs/")
+                .and_then(|r| r.strip_suffix("/cancel"))
+                .and_then(|r| r.parse::<u64>().ok());
+            match id {
+                Some(id) if service.cancel(id) => respond_plain(stream, 200, "OK", "cancelling"),
+                Some(_) => respond_plain(stream, 404, "Not Found", "unknown or terminal job"),
+                None => respond_plain(stream, 400, "Bad Request", "bad job id"),
+            }
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            match path
+                .strip_prefix("/jobs/")
+                .and_then(|r| r.parse::<u64>().ok())
+            {
+                Some(id) => match service.status(id) {
+                    Some(snap) => respond_json(stream, 200, "OK", &snap.to_json(), &[]),
+                    None => respond_plain(stream, 404, "Not Found", "unknown job"),
+                },
+                None => respond_plain(stream, 400, "Bad Request", "bad job id"),
+            }
+        }
+        _ => respond_plain(stream, 404, "Not Found", "no such route"),
+    }
+}
+
+fn respond_json(
+    mut stream: &TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+    extra_headers: &[&str],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn respond_plain(
+    mut stream: &TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

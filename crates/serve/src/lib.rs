@@ -1,0 +1,52 @@
+//! # sprout-serve — fault-hardened routing as a service
+//!
+//! The supervisor (`sprout-core`) makes one routing job robust; this
+//! crate makes a *stream* of jobs robust. It wraps the supervisor in a
+//! long-running service with the failure-handling machinery a
+//! deployment needs, all std-only like the rest of the workspace:
+//!
+//! * **Admission control and backpressure** — a [`queue::BoundedQueue`]
+//!   caps in-flight work; saturation sheds strictly-lower-priority jobs
+//!   or rejects with a retry-after hint. The queue never grows without
+//!   bound.
+//! * **Deadline propagation** — per-job deadlines, measured from
+//!   admission, flow into the supervisor and from there into every
+//!   pipeline stage's wall budget.
+//! * **Retries with deterministic backoff** — [`backoff::BackoffConfig`]
+//!   produces a monotone, bounded, *seeded* schedule: bit-identical on
+//!   any machine and thread count, so chaos runs replay exactly.
+//! * **Crash recovery** — accepted jobs are journaled before they
+//!   queue; terminal states are journaled exactly once; a restarted
+//!   service re-admits unfinished jobs and resumes them from their
+//!   supervisor checkpoints.
+//! * **Graceful degradation** — past the overload watermark, attempts
+//!   run under the `BestSoFar` policy with tightened budgets, and
+//!   `/readyz` reports the pressure.
+//! * **Chaos harness** — [`chaos::ServeFaultPlan`] injects worker
+//!   panics, mid-job kills, and stalls, seeded and reproducible.
+//!
+//! The service invariant, asserted end to end by the chaos suite:
+//! *every accepted job ends in exactly one terminal state — completed,
+//! a best-so-far partial, or a typed error — and the service never
+//! panics and never loses an accepted job.*
+//!
+//! Two binaries ship with the crate: `sprout_served` (the HTTP daemon)
+//! and `serve_batch` (a load-driving batch client).
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod chaos;
+pub mod http;
+pub mod job;
+pub mod queue;
+pub mod service;
+
+pub use backoff::BackoffConfig;
+pub use chaos::ServeFaultPlan;
+pub use http::HttpServer;
+pub use job::{JobSnapshot, JobSpec, JobState, Priority, SpecError};
+pub use queue::{AdmitError, Admitted, BoundedQueue};
+pub use service::{
+    Readiness, RoutingService, ServeError, ServiceConfig, ServiceMetrics, SubmitError,
+};

@@ -1,0 +1,148 @@
+//! Routing-as-a-service walkthrough: the fault-hardened job service.
+//!
+//! ```text
+//! cargo run -p sprout-examples --bin serve_demo
+//! ```
+//!
+//! Four acts, each exercising one robustness mechanism of
+//! [`RoutingService`]:
+//!
+//! 1. **Happy path** — submit a sweep of jobs, watch them all complete.
+//! 2. **Backpressure** — flood a tiny queue with no workers: equal
+//!    priority saturates with a typed retry-after hint; a high-priority
+//!    arrival sheds the newest lower-priority job instead.
+//! 3. **Chaos** — a seeded fault plan panics and stalls workers; the
+//!    service contains every panic and retries each job to a terminal
+//!    state.
+//! 4. **Crash recovery** — a job is killed mid-run (after its first
+//!    wave's checkpoint), the service instance is dropped, and a second
+//!    instance over the same data directory resumes the job from the
+//!    checkpoint and finishes it.
+
+use sprout_serve::chaos::ServeFaultPlan;
+use sprout_serve::job::{JobSpec, Priority};
+use sprout_serve::service::{RoutingService, ServiceConfig, SubmitError};
+use std::time::Duration;
+
+fn demo_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        router: sprout_examples::example_config(),
+        ..ServiceConfig::default()
+    }
+}
+
+fn main() {
+    // ---- Act 1: the happy path -----------------------------------------
+    println!("=== 1. happy path ===");
+    let svc = RoutingService::start(demo_config()).expect("service starts");
+    let mut ids = Vec::new();
+    for k in 0..4 {
+        let budget = 20.0 + (k % 3) as f64 * 2.0;
+        ids.push(svc.submit(JobSpec::two_rail(budget)).expect("accepted"));
+    }
+    assert!(svc.wait_idle(Duration::from_secs(300)));
+    svc.shutdown(true);
+    for id in &ids {
+        let snap = svc.status(*id).expect("known");
+        println!(
+            "job {id}: {} after {} attempt(s), {:.1} ms, {:.1} mm2",
+            snap.state, snap.attempts, snap.run_ms, snap.area_mm2
+        );
+    }
+
+    // ---- Act 2: backpressure -------------------------------------------
+    println!("\n=== 2. backpressure ===");
+    let svc = RoutingService::start(ServiceConfig {
+        workers: 0, // nobody drains the queue: saturation on demand
+        queue_capacity: 3,
+        ..demo_config()
+    })
+    .expect("service starts");
+    for _ in 0..3 {
+        svc.submit(JobSpec::two_rail(20.0)).expect("accepted");
+    }
+    match svc.submit(JobSpec::two_rail(20.0)) {
+        Err(SubmitError::Saturated { retry_after_ms }) => {
+            println!("4th normal job rejected; retry after {retry_after_ms:.0} ms");
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+    let mut vip = JobSpec::two_rail(20.0);
+    vip.priority = Priority::High;
+    let vip_id = svc.submit(vip).expect("high priority displaces");
+    println!(
+        "high-priority job {vip_id} admitted by shedding; shed count = {}",
+        svc.metrics().shed
+    );
+    svc.shutdown(false);
+
+    // ---- Act 3: chaos --------------------------------------------------
+    println!("\n=== 3. chaos: panics and stalls ===");
+    let svc = RoutingService::start(ServiceConfig {
+        fault: Some(ServeFaultPlan {
+            seed: 7,
+            panic_rate: 0.5,
+            kill_rate: 0.0,
+            slow_rate: 0.3,
+            slow_ms: 5,
+        }),
+        ..demo_config()
+    })
+    .expect("service starts");
+    for _ in 0..6 {
+        svc.submit(JobSpec::two_rail(20.0)).expect("accepted");
+    }
+    assert!(svc.wait_idle(Duration::from_secs(300)));
+    svc.shutdown(true);
+    let m = svc.metrics();
+    println!(
+        "6 jobs: {} completed, {} panics contained, {} retries, {} invariant violations",
+        m.completed, m.worker_panics, m.retries, m.terminal_violations
+    );
+
+    // ---- Act 4: crash recovery -----------------------------------------
+    println!("\n=== 4. crash recovery ===");
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("sprout-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let svc = RoutingService::start(ServiceConfig {
+        workers: 1,
+        data_dir: Some(dir.clone()),
+        fault: Some(ServeFaultPlan {
+            seed: 0,
+            panic_rate: 0.0,
+            kill_rate: 1.1, // every first attempt dies mid-job
+            slow_rate: 0.0,
+            slow_ms: 0,
+        }),
+        ..demo_config()
+    })
+    .expect("service starts");
+    let id = svc.submit(JobSpec::two_rail(20.0)).expect("accepted");
+    svc.wait_idle(Duration::from_secs(300));
+    let snap = svc.status(id).expect("known");
+    println!(
+        "job {id} killed mid-run (state {}, killed={}): journal survives, no terminal record",
+        snap.state, snap.killed
+    );
+    svc.shutdown(true);
+    drop(svc);
+
+    let svc = RoutingService::start(ServiceConfig {
+        workers: 1,
+        data_dir: Some(dir.clone()),
+        ..demo_config()
+    })
+    .expect("restarted service");
+    assert!(svc.wait_idle(Duration::from_secs(300)));
+    svc.shutdown(true);
+    let snap = svc.status(id).expect("recovered job");
+    println!(
+        "after restart: job {id} {} (recovered={}, {} rail(s) restored from checkpoint)",
+        snap.state, snap.recovered, snap.resumed
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,303 @@
+//! Hostile-input hardening for the supervisor's checkpoint loader.
+//!
+//! A checkpoint file is attacker-controlled input as far as the resume
+//! path is concerned: it may be truncated mid-write by a crash, flipped
+//! by disk corruption, swapped with another job's file, or crafted with
+//! hostile counts. The contract, asserted here through the public
+//! [`verify_checkpoint`] entry point and through full supervisor runs:
+//! **every such file yields a typed [`CheckpointError`] (or a clean
+//! fresh start with a warning), never a panic and never an oversized
+//! allocation.**
+
+use sprout_board::presets;
+use sprout_core::router::RouterConfig;
+use sprout_core::supervisor::{
+    verify_checkpoint, CheckpointError, Supervisor, SupervisorConfig, MAX_CHECKPOINT_BYTES,
+};
+use std::path::PathBuf;
+
+const BUDGET_MM2: f64 = 20.0;
+
+fn fast_config() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 8,
+        refine_iterations: 2,
+        reheat: None,
+        ..RouterConfig::default()
+    }
+}
+
+fn two_rail_requests(board: &sprout_board::Board) -> Vec<(sprout_board::NetId, usize, f64)> {
+    board
+        .power_nets()
+        .map(|(id, _)| (id, presets::TWO_RAIL_ROUTE_LAYER, BUDGET_MM2))
+        .collect()
+}
+
+fn scratch_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sprout-ckpt-hostile-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// A genuine checkpoint holding exactly one completed rail, produced by
+/// a mid-run-killed supervisor — the raw material every corruption in
+/// this suite starts from.
+fn genuine_checkpoint(
+    name: &str,
+) -> (
+    sprout_board::Board,
+    Vec<(sprout_board::NetId, usize, f64)>,
+    PathBuf,
+) {
+    let board = presets::two_rail();
+    let requests = two_rail_requests(&board);
+    let path = scratch_path(name);
+    let report = Supervisor::new(
+        &board,
+        fast_config(),
+        SupervisorConfig {
+            threads: 1,
+            checkpoint: Some(path.clone()),
+            kill_after_wave: Some(0),
+            ..SupervisorConfig::default()
+        },
+    )
+    .run(&requests);
+    assert!(report.rails[0].outcome.is_complete());
+    assert!(path.exists(), "the killed run must leave its checkpoint");
+    (board, requests, path)
+}
+
+#[test]
+fn genuine_checkpoint_verifies_and_absent_is_none() {
+    let (board, requests, path) = genuine_checkpoint("genuine");
+    assert_eq!(
+        verify_checkpoint(&path, &board, &requests).expect("valid file"),
+        Some(1),
+        "the wave-0 checkpoint restores exactly the killed wave's rail"
+    );
+    let absent = scratch_path("never-written");
+    assert_eq!(
+        verify_checkpoint(&absent, &board, &requests).expect("absent is fine"),
+        None
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncation_at_every_line_is_a_typed_error_never_a_panic() {
+    let (board, requests, path) = genuine_checkpoint("truncate");
+    let full = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() >= 6, "checkpoint unexpectedly small: {full}");
+
+    for keep in 0..lines.len() {
+        let partial: String = lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, &partial).unwrap();
+        match verify_checkpoint(&path, &board, &requests) {
+            Err(e) => {
+                // Typed, displayable, and sourced like any std error.
+                let rendered = format!("{e}");
+                assert!(!rendered.is_empty());
+            }
+            Ok(n) => panic!("truncation after {keep} lines accepted as {n:?}"),
+        }
+    }
+
+    // Truncating mid-line (half a record) must be typed too. The last
+    // cut bites into the final `end` token itself — one byte less and
+    // only the trailing newline is gone, which still parses.
+    for cut in [full.len() / 3, full.len() / 2, full.len() - 2] {
+        let mut partial = full.as_bytes()[..cut].to_vec();
+        // Keep it valid UTF-8: back off to a char boundary.
+        while !partial.is_empty() && std::str::from_utf8(&partial).is_err() {
+            partial.pop();
+        }
+        std::fs::write(&path, &partial).unwrap();
+        assert!(
+            verify_checkpoint(&path, &board, &requests).is_err(),
+            "mid-line truncation at byte {cut} accepted"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_bytes_never_panic_the_loader() {
+    let (board, requests, path) = genuine_checkpoint("byteflip");
+    let full = std::fs::read(&path).unwrap();
+    // Flip one byte at a stride of positions across the file. The
+    // loader may reject (typed) or — when the flip lands in a point's
+    // hex payload without breaking syntax — still accept; it must
+    // never panic either way.
+    let stride = (full.len() / 97).max(1);
+    for pos in (0..full.len()).step_by(stride) {
+        let mut bad = full.clone();
+        bad[pos] ^= 0x15;
+        std::fs::write(&path, &bad).unwrap();
+        let _ = verify_checkpoint(&path, &board, &requests);
+    }
+    // Entirely non-UTF-8 garbage is an Io/Malformed rejection.
+    std::fs::write(&path, [0xFFu8, 0xFE, 0x00, 0x9B, 0xFF]).unwrap();
+    assert!(verify_checkpoint(&path, &board, &requests).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn version_bump_is_a_version_mismatch() {
+    let (board, requests, path) = genuine_checkpoint("version");
+    let full = std::fs::read_to_string(&path).unwrap();
+    let bumped = full.replacen("sprout-checkpoint v1", "sprout-checkpoint v2", 1);
+    assert_ne!(full, bumped);
+    std::fs::write(&path, bumped).unwrap();
+    match verify_checkpoint(&path, &board, &requests) {
+        Err(CheckpointError::VersionMismatch(what)) => {
+            assert!(what.contains("v2"), "{what}");
+            assert!(what.contains("accepts v1"), "{what}");
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn foreign_board_or_job_is_a_fingerprint_mismatch() {
+    let (board, requests, path) = genuine_checkpoint("foreign");
+    // Same board, different request list (budget changed).
+    let other_requests = vec![requests[0], (requests[1].0, requests[1].1, 33.0)];
+    match verify_checkpoint(&path, &board, &other_requests) {
+        Err(CheckpointError::Mismatch(_)) => {}
+        other => panic!("expected Mismatch, got {other:?}"),
+    }
+    // Tampered board fingerprint line.
+    let full = std::fs::read_to_string(&path).unwrap();
+    let mut lines: Vec<String> = full.lines().map(str::to_owned).collect();
+    lines[1] = "board 0123456789abcdef".into();
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    match verify_checkpoint(&path, &board, &requests) {
+        Err(CheckpointError::Mismatch(what)) => assert!(what.contains("board"), "{what}"),
+        other => panic!("expected board Mismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn hostile_counts_are_rejected_without_allocation_or_overflow() {
+    let (board, requests, path) = genuine_checkpoint("counts");
+    let full = std::fs::read_to_string(&path).unwrap();
+
+    // A contour claiming usize::MAX points: the pre-fix loader hit a
+    // debug-build multiply overflow before the length check; now it
+    // must be a typed Malformed rejection.
+    let huge = format!("{}", usize::MAX);
+    for count in [huge.as_str(), "18446744073709551616", "-3", "1e9", "abc"] {
+        let mut lines: Vec<String> = full.lines().map(str::to_owned).collect();
+        let contour_at = lines
+            .iter()
+            .position(|l| l.starts_with("contour "))
+            .expect("a contour record exists");
+        let mut tokens: Vec<&str> = lines[contour_at].split_whitespace().collect();
+        tokens[2] = count;
+        lines[contour_at] = tokens.join(" ");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        match verify_checkpoint(&path, &board, &requests) {
+            Err(CheckpointError::Malformed(_)) => {}
+            other => panic!("count `{count}`: expected Malformed, got {other:?}"),
+        }
+    }
+
+    // A duplicated rail record would double-claim geometry.
+    let mut lines: Vec<String> = full.lines().map(str::to_owned).collect();
+    let rail_at = lines
+        .iter()
+        .position(|l| l.starts_with("rail "))
+        .expect("a rail record exists");
+    let end_at = lines
+        .iter()
+        .position(|l| l.as_str() == "endrail")
+        .expect("endrail exists");
+    let block: Vec<String> = lines[rail_at..=end_at].to_vec();
+    lines.splice(end_at + 1..end_at + 1, block);
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    match verify_checkpoint(&path, &board, &requests) {
+        Err(CheckpointError::Malformed(what)) => assert!(what.contains("duplicate"), "{what}"),
+        other => panic!("expected duplicate Malformed, got {other:?}"),
+    }
+
+    // A rail index past the request list is a Mismatch, not an index
+    // panic.
+    let mut lines: Vec<String> = full.lines().map(str::to_owned).collect();
+    let mut tokens: Vec<String> = lines[rail_at]
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect();
+    tokens[1] = "999".into();
+    lines[rail_at] = tokens.join(" ");
+    std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+    match verify_checkpoint(&path, &board, &requests) {
+        Err(CheckpointError::Mismatch(what)) => assert!(what.contains("range"), "{what}"),
+        other => panic!("expected out-of-range Mismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn oversized_file_is_rejected_before_reading() {
+    let (board, requests, path) = genuine_checkpoint("oversized");
+    // A sparse file over the cap: set_len is instant, and the loader
+    // must reject on metadata alone — reading 64 MiB of zeroes would
+    // already be the bug.
+    let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(MAX_CHECKPOINT_BYTES + 1).unwrap();
+    drop(f);
+    match verify_checkpoint(&path, &board, &requests) {
+        Err(CheckpointError::Oversized { bytes, cap }) => {
+            assert_eq!(bytes, MAX_CHECKPOINT_BYTES + 1);
+            assert_eq!(cap, MAX_CHECKPOINT_BYTES);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn supervisor_resume_over_hostile_checkpoint_warns_and_completes() {
+    // End to end: the supervisor itself, handed every flavor of bad
+    // file, must warn, start fresh, and still finish the job.
+    let (board, requests, path) = genuine_checkpoint("resume");
+    let full = std::fs::read_to_string(&path).unwrap();
+    let hostile = [
+        String::new(),                                                     // empty
+        full.lines().next().unwrap().to_owned() + "\n",                    // header only
+        full.replacen("v1", "v9", 1),                                      // version bump
+        full.replacen("contour 0", "contour 0 99999999", 1),               // hostile count
+        "sprout-checkpoint v1\nboard 0\njob 0\nrails 2\nend\n".to_owned(), // short fp
+    ];
+    for (i, text) in hostile.iter().enumerate() {
+        std::fs::write(&path, text).unwrap();
+        let report = Supervisor::new(
+            &board,
+            fast_config(),
+            SupervisorConfig {
+                threads: 1,
+                checkpoint: Some(path.clone()),
+                ..SupervisorConfig::default()
+            },
+        )
+        .run(&requests);
+        assert_eq!(report.resumed, 0, "case {i}: nothing may restore");
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("checkpoint ignored")),
+            "case {i}: {:?}",
+            report.warnings
+        );
+        assert!(report.is_complete(), "case {i}: fresh start must finish");
+    }
+    let _ = std::fs::remove_file(&path);
+}

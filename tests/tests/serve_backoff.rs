@@ -1,0 +1,166 @@
+//! Property tests for the service retry/backoff schedule.
+//!
+//! The schedule's three contractual properties, checked over a grid of
+//! configurations and tokens rather than single examples:
+//!
+//! 1. **Monotone** — a retry never fires sooner than the previous one
+//!    would have.
+//! 2. **Bounded** — every delay lies in `[0, max_ms]`.
+//! 3. **Deterministic** — for a given seed the schedule is bit-identical
+//!    across repeated evaluation and across thread counts: backoff draws
+//!    are pure functions of `(seed, token, attempt)`, with no hidden
+//!    global state a second thread could perturb.
+
+use sprout_serve::backoff::BackoffConfig;
+use std::sync::Arc;
+
+/// A small deterministic configuration grid: seeds, growth shapes, and
+/// jitter levels, including degenerate corners.
+fn config_grid() -> Vec<BackoffConfig> {
+    let mut grid = Vec::new();
+    for (seed, base_ms, factor, max_ms, jitter) in [
+        (0u64, 50.0, 2.0, 5_000.0, 0.25),
+        (1, 50.0, 2.0, 5_000.0, 0.25),
+        (0xB0FF, 10.0, 1.5, 300.0, 0.5),
+        (42, 100.0, 3.0, 1_000.0, 0.0), // no jitter
+        (7, 1.0, 1.0, 50.0, 1.0),       // flat envelope, full jitter
+        (9, 0.0, 2.0, 100.0, 0.25),     // zero base
+        (11, 50.0, 0.5, 100.0, 0.25),   // sub-1 factor (clamped to 1)
+        (13, 50.0, 2.0, 0.0, 0.25),     // zero ceiling
+    ] {
+        grid.push(BackoffConfig {
+            base_ms,
+            factor,
+            max_ms,
+            jitter,
+            seed,
+        });
+    }
+    grid
+}
+
+#[test]
+fn schedules_are_monotone_and_bounded_across_the_grid() {
+    for cfg in config_grid() {
+        for token in 0..64u64 {
+            let schedule = cfg.schedule(token, 24);
+            assert_eq!(schedule.len(), 24);
+            for (a, pair) in schedule.windows(2).enumerate() {
+                assert!(
+                    pair[1] >= pair[0],
+                    "seed {} token {token}: delay shrank at attempt {}: {} -> {}",
+                    cfg.seed,
+                    a + 1,
+                    pair[0],
+                    pair[1]
+                );
+            }
+            let cap = cfg.max_ms.max(0.0);
+            for (a, &d) in schedule.iter().enumerate() {
+                assert!(
+                    d.is_finite() && (0.0..=cap).contains(&d),
+                    "seed {} token {token} attempt {a}: {d} outside [0, {cap}]",
+                    cfg.seed
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn jitter_desynchronizes_tokens_but_respects_the_envelope() {
+    let cfg = BackoffConfig::default();
+    // Across many tokens the first-retry delays must not all collapse
+    // to one value (that would re-synchronize retry storms) and must
+    // stay within the jitter band of the base envelope.
+    let first: Vec<f64> = (0..256u64).map(|t| cfg.delay_ms(t, 0)).collect();
+    let lo = cfg.base_ms * (1.0 - cfg.jitter);
+    assert!(first.iter().all(|&d| d >= lo && d <= cfg.base_ms));
+    let distinct = {
+        let mut bits: Vec<u64> = first.iter().map(|d| d.to_bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        bits.len()
+    };
+    assert!(distinct > 200, "only {distinct}/256 distinct first delays");
+}
+
+#[test]
+fn schedule_is_bit_identical_across_thread_counts() {
+    // The chaos suite replays runs by seed; that only works if backoff
+    // computed on 1, 2, 4, or 8 threads is the same function. Compute
+    // every (config, token) schedule serially, then recompute the same
+    // set sharded over varying thread counts and compare exact bits.
+    let grid = Arc::new(config_grid());
+    let tokens: Vec<u64> = (0..32).collect();
+
+    let serial: Vec<Vec<u64>> = grid
+        .iter()
+        .flat_map(|cfg| {
+            tokens.iter().map(move |&t| {
+                cfg.schedule(t, 16)
+                    .into_iter()
+                    .map(f64::to_bits)
+                    .collect::<Vec<u64>>()
+            })
+        })
+        .collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        let mut flat: Vec<(usize, BackoffConfig, u64)> = Vec::new();
+        let mut idx = 0;
+        for cfg in grid.iter() {
+            for &t in &tokens {
+                flat.push((idx, *cfg, t));
+                idx += 1;
+            }
+        }
+        let chunk = flat.len().div_ceil(threads);
+        let mut results: Vec<Option<(usize, Vec<u64>)>> = vec![None; flat.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for shard in flat.chunks(chunk) {
+                let shard: Vec<(usize, BackoffConfig, u64)> = shard.to_vec();
+                handles.push(scope.spawn(move || {
+                    shard
+                        .into_iter()
+                        .map(|(i, cfg, t)| {
+                            let bits: Vec<u64> =
+                                cfg.schedule(t, 16).into_iter().map(f64::to_bits).collect();
+                            (i, bits)
+                        })
+                        .collect::<Vec<(usize, Vec<u64>)>>()
+                }));
+            }
+            for h in handles {
+                for (i, bits) in h.join().expect("backoff worker must not panic") {
+                    results[i] = Some((i, bits));
+                }
+            }
+        });
+        for (i, slot) in results.into_iter().enumerate() {
+            let (_, bits) = slot.expect("every schedule computed");
+            assert_eq!(
+                bits, serial[i],
+                "{threads} threads: schedule {i} diverged from the serial run"
+            );
+        }
+    }
+}
+
+#[test]
+fn distinct_seeds_produce_distinct_schedules() {
+    let a = BackoffConfig {
+        seed: 1,
+        ..BackoffConfig::default()
+    };
+    let b = BackoffConfig {
+        seed: 2,
+        ..BackoffConfig::default()
+    };
+    assert_ne!(
+        a.schedule(5, 8),
+        b.schedule(5, 8),
+        "the seed must actually feed the draws"
+    );
+}
