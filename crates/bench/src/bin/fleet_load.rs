@@ -1,0 +1,240 @@
+//! Fleet load bench: routing throughput through the multi-process
+//! fleet — coordinator, worker processes, leases, journaling.
+//!
+//! ```text
+//! cargo run -p sprout-bench --release --bin fleet_load [--json] [--quiet]
+//!     [--baseline FILE [--update-baseline]] [--wall-tolerance PCT]
+//!     [--worker PATH]
+//! ```
+//!
+//! Runs a fixed budget sweep of two-rail jobs at 1, 2, and 4 worker
+//! processes, quiet and under seeded kill chaos (every job's first
+//! attempt SIGKILLs its own worker mid-run), and writes a
+//! `BENCH_fleet.json` summary to `target/experiments/`. The quiet
+//! single-worker run feeds the perf-baseline gate: per-job solve
+//! counts cross the wire protocol and are deterministic, so a
+//! committed baseline catches algorithmic regressions through the
+//! whole process boundary, on any hardware.
+//!
+//! The run doubles as a smoke check: any lost job, terminal-state
+//! violation, or chaos run without re-dispatches exits nonzero.
+
+use sprout_bench::gate::PerfEntry;
+use sprout_bench::{experiments_dir, outln, BenchOutput};
+use sprout_serve::chaos::FleetFaultPlan;
+use sprout_serve::fleet::{FleetConfig, FleetCoordinator};
+use sprout_serve::job::{JobSpec, JobState};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const JOBS: usize = 6;
+
+struct Row {
+    workers: usize,
+    chaos: bool,
+    wall_ms: f64,
+    boards_per_s: f64,
+    completed: u64,
+    redispatches: u64,
+    workers_dead: u64,
+    stale_finalizes: u64,
+    resumed_jobs: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    violations: u64,
+}
+
+fn fleet_config(workers: usize, chaos: bool, worker_cmd: Option<PathBuf>) -> FleetConfig {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!(
+        "sprout-fleet-bench-{}-{workers}-{chaos}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    FleetConfig {
+        workers,
+        worker_cmd,
+        worker_args: vec!["--router".into(), "fast".into()],
+        queue_capacity: JOBS + 2,
+        data_dir: Some(dir),
+        max_worker_restarts: JOBS + 8,
+        fault: chaos.then_some(FleetFaultPlan {
+            seed: 7,
+            kill_rate: 1.0,
+            stall_rate: 0.0,
+            stall_ms: 0,
+            blackout_rate: 0.0,
+            blackout_ms: 0,
+        }),
+        ..FleetConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = BenchOutput::from_args();
+    // `--worker PATH` overrides the default resolution (the
+    // `sprout_fleet_worker` binary next to this executable).
+    let mut worker_cmd: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--worker" {
+            worker_cmd = args.next().map(PathBuf::from);
+        }
+    }
+
+    outln!(
+        out,
+        "=== fleet_load: {JOBS} jobs across worker processes ==="
+    );
+    outln!(
+        out,
+        "{:>8} {:>6} {:>10} {:>10} {:>10} {:>9} {:>6} {:>9} {:>9}",
+        "workers",
+        "chaos",
+        "wall ms",
+        "boards/s",
+        "completed",
+        "redisp",
+        "dead",
+        "p50 ms",
+        "p99 ms"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        for chaos in [false, true] {
+            let config = fleet_config(workers, chaos, worker_cmd.clone());
+            let dir = config.data_dir.clone().expect("bench always sets data_dir");
+            let fleet = FleetCoordinator::start(config)?;
+            let t0 = Instant::now();
+            let mut ids = Vec::new();
+            for k in 0..JOBS {
+                // Budgets all comfortably routable on the two_rail preset.
+                let budget = 20.0 + (k % 3) as f64 * 2.0;
+                ids.push(fleet.submit(JobSpec::two_rail(budget))?);
+            }
+            if !fleet.wait_idle(Duration::from_secs(600)) {
+                return Err("fleet_load: jobs did not settle within 600 s".into());
+            }
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let mut resumed_jobs = 0usize;
+            for (k, &id) in ids.iter().enumerate() {
+                let snap = fleet.status(id).ok_or("accepted job lost")?;
+                if snap.state != JobState::Completed {
+                    return Err(format!(
+                        "fleet_load: job {id} ({workers} workers, chaos {chaos}) \
+                         ended {} instead of completed",
+                        snap.state.name()
+                    )
+                    .into());
+                }
+                if snap.resumed > 0 {
+                    resumed_jobs += 1;
+                }
+                // Only the quiet single-worker run feeds the gate: its
+                // solve counts are deterministic; chaos runs resume
+                // from checkpoints and legitimately solve less.
+                if workers == 1 && !chaos {
+                    out.record_entry(
+                        &format!("fleet-job-{}", k + 1),
+                        PerfEntry {
+                            total_ms: snap.run_ms,
+                            solves: snap.solves,
+                            stages: Vec::new(),
+                        },
+                    );
+                }
+            }
+
+            let m = fleet.metrics();
+            fleet.drain(Duration::from_secs(30));
+            drop(fleet);
+            let _ = std::fs::remove_dir_all(&dir);
+
+            let row = Row {
+                workers,
+                chaos,
+                wall_ms,
+                boards_per_s: JOBS as f64 / (wall_ms / 1e3).max(1e-9),
+                completed: m.completed,
+                redispatches: m.redispatches,
+                workers_dead: m.workers_dead,
+                stale_finalizes: m.stale_finalizes,
+                resumed_jobs,
+                p50_ms: m.latency_p50_ms,
+                p99_ms: m.latency_p99_ms,
+                violations: m.terminal_violations,
+            };
+            outln!(
+                out,
+                "{:>8} {:>6} {:>10.1} {:>10.2} {:>10} {:>9} {:>6} {:>9.1} {:>9.1}",
+                row.workers,
+                if row.chaos { "kill" } else { "-" },
+                row.wall_ms,
+                row.boards_per_s,
+                row.completed,
+                row.redispatches,
+                row.workers_dead,
+                row.p50_ms,
+                row.p99_ms
+            );
+            rows.push(row);
+        }
+    }
+
+    // Hand-rolled JSON: the workspace is dependency-free by design.
+    let mut json = String::from("{\n  \"bench\": \"fleet_load\",\n");
+    let _ = writeln!(json, "  \"jobs\": {JOBS},");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"chaos\": {}, \"wall_ms\": {:.3}, \
+             \"boards_per_s\": {:.3}, \"completed\": {}, \"redispatches\": {}, \
+             \"workers_dead\": {}, \"stale_finalizes\": {}, \"resumed_jobs\": {}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \
+             \"terminal_violations\": {}}}{}",
+            r.workers,
+            r.chaos,
+            r.wall_ms,
+            r.boards_per_s,
+            r.completed,
+            r.redispatches,
+            r.workers_dead,
+            r.stale_finalizes,
+            r.resumed_jobs,
+            r.p50_ms,
+            r.p99_ms,
+            r.violations,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = experiments_dir().join("BENCH_fleet.json");
+    std::fs::write(&path, &json)?;
+    outln!(out, "wrote {}", path.display());
+
+    out.finish("fleet_load")?;
+
+    let mut broken: Vec<String> = Vec::new();
+    for r in &rows {
+        if r.completed != JOBS as u64 || r.violations > 0 {
+            broken.push(format!(
+                "{} workers (chaos {}): lost jobs or terminal violations",
+                r.workers, r.chaos
+            ));
+        }
+        if r.chaos && r.redispatches < JOBS as u64 {
+            broken.push(format!(
+                "{} workers: kill chaos produced only {} re-dispatches",
+                r.workers, r.redispatches
+            ));
+        }
+    }
+    if !broken.is_empty() {
+        return Err(broken.join("; ").into());
+    }
+    Ok(())
+}

@@ -206,6 +206,15 @@ impl BenchOutput {
         }
     }
 
+    /// Collects a hand-built perf entry for the
+    /// [`finish`](BenchOutput::finish) gate. For benches whose routing
+    /// runs in *other processes* (fleet mode), no [`RunReport`] crosses
+    /// the process boundary — the wire protocol carries solve counts
+    /// and wall times per job, and the bench reassembles entries here.
+    pub fn record_entry(&self, label: &str, entry: PerfEntry) {
+        self.entries.borrow_mut().push((label.to_owned(), entry));
+    }
+
     /// End-of-run hook for experiment binaries: exports the convergence
     /// trace (under `--trace`) and runs the perf-baseline gate (under
     /// `--baseline`).

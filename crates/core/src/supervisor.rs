@@ -53,6 +53,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One rail request: `(net, layer, area budget mm²)` — the same triple
@@ -146,8 +147,28 @@ pub fn verify_checkpoint(
     }
 }
 
+/// Per-wave progress snapshot handed to [`SupervisorConfig::on_wave`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveProgress {
+    /// The wave that just finished (0-based).
+    pub wave: usize,
+    /// Total waves in the job.
+    pub waves: usize,
+    /// Rails complete so far (routed or checkpoint-restored).
+    pub rails_complete: usize,
+    /// Rails in the job.
+    pub rails_total: usize,
+}
+
+/// Progress callback: invoked after each wave, *after* that wave's
+/// checkpoint hit disk — so an observer that acts on the callback (a
+/// fleet worker emitting a progress frame, a coordinator killing the
+/// process to test resume) is guaranteed the completed prefix is
+/// already recoverable by another process.
+pub type WaveHook = Arc<dyn Fn(WaveProgress) + Send + Sync>;
+
 /// Supervisor configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SupervisorConfig {
     /// Worker threads per wave. `0` and `1` both mean "run rails on the
     /// calling thread" (still panic-isolated); higher values route
@@ -172,6 +193,24 @@ pub struct SupervisorConfig {
     /// of this wave is written, leaving later rails unrouted — the
     /// deterministic stand-in for `kill -9` in resume tests.
     pub kill_after_wave: Option<usize>,
+    /// Per-wave progress hook, fired after each wave's checkpoint is on
+    /// disk. `None` (the default) costs nothing.
+    pub on_wave: Option<WaveHook>,
+}
+
+impl fmt::Debug for SupervisorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SupervisorConfig")
+            .field("threads", &self.threads)
+            .field("deadline_ms", &self.deadline_ms)
+            .field("max_retries", &self.max_retries)
+            .field("retry_budget_relax", &self.retry_budget_relax)
+            .field("checkpoint", &self.checkpoint)
+            .field("cancel", &self.cancel)
+            .field("kill_after_wave", &self.kill_after_wave)
+            .field("on_wave", &self.on_wave.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for SupervisorConfig {
@@ -186,6 +225,7 @@ impl Default for SupervisorConfig {
             checkpoint: None,
             cancel: CancelToken::new(),
             kill_after_wave: None,
+            on_wave: None,
         }
     }
 }
@@ -492,6 +532,18 @@ impl<'b> Supervisor<'b> {
                         .warnings
                         .push(format!("checkpoint write failed after wave {wave_no}: {e}"));
                 }
+            }
+
+            if let Some(hook) = &self.config.on_wave {
+                hook(WaveProgress {
+                    wave: wave_no,
+                    waves: waves.len(),
+                    rails_complete: slots
+                        .iter()
+                        .filter(|s| s.as_ref().is_some_and(|r| r.outcome.is_complete()))
+                        .count(),
+                    rails_total: requests.len(),
+                });
             }
 
             if self.config.kill_after_wave == Some(wave_no) && !killed {

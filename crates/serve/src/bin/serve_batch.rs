@@ -14,10 +14,36 @@
 
 use sprout_core::recovery::{RecoveryConfig, RecoveryPolicy, StageBudget};
 use sprout_core::router::RouterConfig;
+use sprout_serve::backoff::BackoffConfig;
 use sprout_serve::chaos::ServeFaultPlan;
 use sprout_serve::job::{JobSpec, JobState};
 use sprout_serve::service::{RoutingService, ServiceConfig, SubmitError};
 use std::time::{Duration, Instant};
+
+/// Saturation retries per job before giving up on it.
+const SUBMIT_ATTEMPTS: u32 = 4;
+
+/// Submits `spec`, riding out saturation with the same seeded backoff
+/// schedule the service itself uses — deterministic per job index, and
+/// never shorter than the service's own retry-after hint.
+fn submit_with_backoff(
+    service: &RoutingService,
+    backoff: &BackoffConfig,
+    k: usize,
+    spec: JobSpec,
+) -> Result<u64, SubmitError> {
+    let mut attempt = 0u32;
+    loop {
+        match service.submit(spec.clone()) {
+            Err(SubmitError::Saturated { retry_after_ms }) if attempt + 1 < SUBMIT_ATTEMPTS => {
+                let delay_ms = backoff.delay_ms(k as u64, attempt).max(retry_after_ms);
+                std::thread::sleep(Duration::from_secs_f64(delay_ms / 1e3));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
 
 fn main() {
     let mut jobs = 8usize;
@@ -96,6 +122,7 @@ fn main() {
         }
     };
 
+    let submit_backoff = BackoffConfig::default();
     let start = Instant::now();
     let mut ids = Vec::new();
     for k in 0..jobs {
@@ -103,14 +130,10 @@ fn main() {
         // comfortably routable on the preset so any failure is the
         // chaos plan's doing rather than the budget's.
         let budget = 20.0 + (k % 3) as f64 * 2.0;
-        match service.submit(JobSpec::two_rail(budget)) {
+        match submit_with_backoff(&service, &submit_backoff, k, JobSpec::two_rail(budget)) {
             Ok(id) => ids.push(id),
-            Err(SubmitError::Saturated { retry_after_ms }) => {
-                std::thread::sleep(Duration::from_secs_f64(retry_after_ms / 1e3));
-                match service.submit(JobSpec::two_rail(budget)) {
-                    Ok(id) => ids.push(id),
-                    Err(e) => eprintln!("serve_batch: job {k} rejected twice: {e}"),
-                }
+            Err(SubmitError::Saturated { .. }) => {
+                eprintln!("serve_batch: job {k} rejected after {SUBMIT_ATTEMPTS} attempts")
             }
             Err(e) => {
                 eprintln!("serve_batch: submit {k}: {e}");

@@ -1,0 +1,10 @@
+//! `sprout_fleet_worker` — one fleet worker process.
+//!
+//! Spawned by the fleet coordinator with stdin/stdout piped; speaks the
+//! newline-delimited JSON frame protocol. All logic lives in
+//! [`sprout_serve::worker`] so the integration-test harness can build a
+//! bit-identical worker binary in its own package.
+
+fn main() {
+    sprout_serve::worker::worker_main();
+}

@@ -1,23 +1,30 @@
 //! `sprout_served` — the routing-service daemon.
 //!
-//! Starts a [`RoutingService`] and serves the HTTP/1.1 JSON API until
-//! interrupted (or until `--run-for-ms` elapses, for scripted smoke
-//! tests).
+//! Starts a [`RoutingService`] — or, with `--fleet N`, a
+//! [`FleetCoordinator`] over N worker processes — and serves the same
+//! HTTP/1.1 JSON API until interrupted (or until `--run-for-ms`
+//! elapses, for scripted smoke tests). In fleet mode SIGTERM triggers
+//! a graceful drain: no new leases, in-flight jobs finish or
+//! checkpoint, queued work stays journaled for the next coordinator.
 //!
 //! ```text
 //! sprout_served [--addr 127.0.0.1:7171] [--workers N] [--queue-capacity N]
 //!               [--data-dir DIR] [--deadline-ms MS] [--run-for-ms MS]
+//!               [--fleet N]
 //! ```
 
+use sprout_serve::fleet::{sigterm_flag, FleetConfig, FleetCoordinator};
 use sprout_serve::http::HttpServer;
 use sprout_serve::service::{RoutingService, ServiceConfig};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn main() {
     let mut addr = "127.0.0.1:7171".to_owned();
     let mut config = ServiceConfig::default();
     let mut run_for_ms: Option<u64> = None;
+    let mut fleet_workers: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -39,10 +46,11 @@ fn main() {
             "--run-for-ms" => {
                 run_for_ms = Some(parse(&take(&args, &mut i, "--run-for-ms"), "--run-for-ms"))
             }
+            "--fleet" => fleet_workers = Some(parse(&take(&args, &mut i, "--fleet"), "--fleet")),
             "--help" | "-h" => {
                 println!(
                     "sprout_served [--addr A] [--workers N] [--queue-capacity N] \
-                     [--data-dir DIR] [--deadline-ms MS] [--run-for-ms MS]"
+                     [--data-dir DIR] [--deadline-ms MS] [--run-for-ms MS] [--fleet N]"
                 );
                 return;
             }
@@ -52,6 +60,11 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    if let Some(workers) = fleet_workers {
+        run_fleet(&addr, workers, &config, run_for_ms);
+        return;
     }
 
     let service = match RoutingService::start(config) {
@@ -83,6 +96,54 @@ fn main() {
     service.shutdown(true);
     let m = service.metrics();
     println!("sprout_served: drained; {}", m.to_json());
+}
+
+/// Fleet-backed daemon: same HTTP API, jobs sharded across worker
+/// processes, SIGTERM drains gracefully.
+fn run_fleet(addr: &str, workers: usize, base: &ServiceConfig, run_for_ms: Option<u64>) {
+    let config = FleetConfig {
+        workers,
+        queue_capacity: base.queue_capacity,
+        data_dir: base.data_dir.clone(),
+        default_deadline_ms: base.default_deadline_ms,
+        worker_args: vec!["--router".into(), "fast".into()],
+        ..FleetConfig::default()
+    };
+    let sigterm = sigterm_flag();
+    let fleet = match FleetCoordinator::start(config) {
+        Ok(f) => Arc::new(f),
+        Err(e) => {
+            eprintln!("sprout_served: fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut server = match HttpServer::bind(addr, Arc::clone(&fleet)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sprout_served: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "sprout_served listening on http://{} (fleet, {workers} workers)",
+        server.addr()
+    );
+
+    let stop_at = run_for_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if sigterm.load(Ordering::SeqCst) {
+            eprintln!("sprout_served: SIGTERM — draining fleet");
+            break;
+        }
+        if stop_at.is_some_and(|t| Instant::now() >= t) {
+            break;
+        }
+    }
+
+    server.stop();
+    fleet.drain(Duration::from_secs(60));
+    println!("sprout_served: drained; {}", fleet.metrics().to_json());
 }
 
 fn take(args: &[String], i: &mut usize, what: &str) -> String {

@@ -76,9 +76,109 @@ impl ServeFaultPlan {
     }
 }
 
+/// Seeded *process-level* fault plan for fleet workers — the
+/// [`ServeFaultPlan`] idea one robustness boundary out. Decisions are
+/// pure functions of `(seed, job id, attempt)`, drawn inside the worker
+/// process itself, so a fleet chaos run replays identically from its
+/// seed at any worker count.
+///
+/// * **Kill** — the worker calls `exit(9)` right after the first wave's
+///   checkpoint hits disk (the deterministic stand-in for `kill -9`).
+///   The coordinator sees EOF on the worker's pipe, expires the lease,
+///   and re-dispatches the job; the next worker resumes from the
+///   checkpoint. Attempt 0 only, so a re-dispatched job always makes
+///   progress.
+/// * **Stall** — the worker sleeps before routing (SIGSTOP stand-in);
+///   long stalls trip the heartbeat timeout and force re-dispatch.
+/// * **Heartbeat blackout** — the worker keeps routing but suppresses
+///   heartbeats for a window, then *finishes and reports anyway*: the
+///   slow-then-revived case whose stale completion the coordinator must
+///   reject. Attempt 0 only.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetFaultPlan {
+    /// Seed for every injection decision.
+    pub seed: u64,
+    /// Probability a job's first attempt kills its worker process right
+    /// after the first checkpoint.
+    pub kill_rate: f64,
+    /// Probability any attempt stalls before routing.
+    pub stall_rate: f64,
+    /// Stall duration (ms).
+    pub stall_ms: u64,
+    /// Probability a job's first attempt suppresses heartbeats for
+    /// [`FleetFaultPlan::blackout_ms`] while still finishing the job.
+    pub blackout_rate: f64,
+    /// Heartbeat-blackout window (ms). Longer than the coordinator's
+    /// heartbeat timeout, or nothing interesting happens.
+    pub blackout_ms: u64,
+}
+
+impl FleetFaultPlan {
+    /// A quiet plan: nothing injected.
+    pub fn quiet(seed: u64) -> FleetFaultPlan {
+        FleetFaultPlan {
+            seed,
+            kill_rate: 0.0,
+            stall_rate: 0.0,
+            stall_ms: 0,
+            blackout_rate: 0.0,
+            blackout_ms: 0,
+        }
+    }
+
+    fn draw(&self, salt: u64, job: u64, attempt: usize) -> f64 {
+        u64_to_f64(hash3(self.seed ^ salt, job, attempt as u64))
+    }
+
+    /// Should this attempt kill the worker process after the first
+    /// wave's checkpoint? (Attempt 0 only.)
+    pub fn kills(&self, job: u64, attempt: usize) -> bool {
+        attempt == 0 && self.draw(0xF1EE74B11, job, attempt) < self.kill_rate
+    }
+
+    /// Should this attempt stall before routing?
+    pub fn stalls(&self, job: u64, attempt: usize) -> bool {
+        self.draw(0xF1EE7510, job, attempt) < self.stall_rate
+    }
+
+    /// Should this attempt black out heartbeats while still finishing?
+    /// (Attempt 0 only, never on an attempt that already kills.)
+    pub fn blackouts(&self, job: u64, attempt: usize) -> bool {
+        attempt == 0
+            && !self.kills(job, attempt)
+            && self.draw(0xF1EE7B1AC, job, attempt) < self.blackout_rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_decisions_are_deterministic_and_kill_excludes_blackout() {
+        let plan = FleetFaultPlan {
+            seed: 42,
+            kill_rate: 0.5,
+            stall_rate: 0.3,
+            stall_ms: 5,
+            blackout_rate: 0.5,
+            blackout_ms: 50,
+        };
+        for job in 0..64 {
+            assert_eq!(plan.kills(job, 0), plan.kills(job, 0));
+            assert!(
+                !(plan.kills(job, 0) && plan.blackouts(job, 0)),
+                "kill and blackout are exclusive"
+            );
+            // Re-dispatched attempts always make progress.
+            assert!(!plan.kills(job, 1));
+            assert!(!plan.blackouts(job, 1));
+        }
+        let quiet = FleetFaultPlan::quiet(7);
+        for job in 0..32 {
+            assert!(!quiet.kills(job, 0) && !quiet.stalls(job, 0) && !quiet.blackouts(job, 0));
+        }
+    }
 
     #[test]
     fn decisions_are_deterministic_and_exclusive() {

@@ -23,7 +23,8 @@
 //! Backpressure surfaces as HTTP: a saturated queue is `429` with a
 //! `Retry-After` header, a draining service is `503`.
 
-use crate::job::JobSpec;
+use crate::fleet::FleetCoordinator;
+use crate::job::{JobSnapshot, JobSpec};
 use crate::service::{Readiness, RoutingService, SubmitError};
 use sprout_telemetry::json::Obj;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -46,6 +47,66 @@ const READ_TIMEOUT: Duration = Duration::from_secs(5);
 /// Concurrent connections before the listener answers 503 immediately.
 const MAX_CONNECTIONS: usize = 64;
 
+/// The service surface the HTTP front end routes to. Implemented by
+/// both the in-process [`RoutingService`] and the multi-process
+/// [`FleetCoordinator`], so the same daemon binary can front either.
+pub trait JobBackend: Send + Sync {
+    /// Admit a job; `Err` carries the backpressure/validation verdict.
+    fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError>;
+    /// One job's snapshot, if known.
+    fn status(&self, id: u64) -> Option<JobSnapshot>;
+    /// Snapshots of every job.
+    fn jobs(&self) -> Vec<JobSnapshot>;
+    /// Request cancellation; `true` if the job could still be cancelled.
+    fn cancel(&self, id: u64) -> bool;
+    /// Readiness verdict for `/readyz`.
+    fn ready(&self) -> Readiness;
+    /// The `/metrics` JSON body.
+    fn metrics_json(&self) -> String;
+}
+
+impl JobBackend for RoutingService {
+    fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        RoutingService::submit(self, spec)
+    }
+    fn status(&self, id: u64) -> Option<JobSnapshot> {
+        RoutingService::status(self, id)
+    }
+    fn jobs(&self) -> Vec<JobSnapshot> {
+        RoutingService::jobs(self)
+    }
+    fn cancel(&self, id: u64) -> bool {
+        RoutingService::cancel(self, id)
+    }
+    fn ready(&self) -> Readiness {
+        RoutingService::ready(self)
+    }
+    fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
+
+impl JobBackend for FleetCoordinator {
+    fn submit(&self, spec: JobSpec) -> Result<u64, SubmitError> {
+        FleetCoordinator::submit(self, spec)
+    }
+    fn status(&self, id: u64) -> Option<JobSnapshot> {
+        FleetCoordinator::status(self, id)
+    }
+    fn jobs(&self) -> Vec<JobSnapshot> {
+        FleetCoordinator::jobs(self)
+    }
+    fn cancel(&self, id: u64) -> bool {
+        FleetCoordinator::cancel(self, id)
+    }
+    fn ready(&self) -> Readiness {
+        FleetCoordinator::ready(self)
+    }
+    fn metrics_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
+
 /// The HTTP server handle. Dropping it stops the listener.
 #[derive(Debug)]
 pub struct HttpServer {
@@ -56,12 +117,17 @@ pub struct HttpServer {
 
 impl HttpServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
-    /// serves `service` until [`HttpServer::stop`] or drop.
+    /// serves `service` — a [`RoutingService`] or a
+    /// [`FleetCoordinator`] — until [`HttpServer::stop`] or drop.
     ///
     /// # Errors
     ///
     /// The bind error as a string.
-    pub fn bind(addr: &str, service: Arc<RoutingService>) -> Result<HttpServer, String> {
+    pub fn bind<B: JobBackend + 'static>(
+        addr: &str,
+        service: Arc<B>,
+    ) -> Result<HttpServer, String> {
+        let service: Arc<dyn JobBackend> = service;
         let listener = TcpListener::bind(addr).map_err(|e| e.to_string())?;
         let local = listener.local_addr().map_err(|e| e.to_string())?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -87,7 +153,7 @@ impl HttpServer {
                     let _ = std::thread::Builder::new()
                         .name("sprout-serve-conn".into())
                         .spawn(move || {
-                            let _ = handle_connection(&stream, &service);
+                            let _ = handle_connection(&stream, &*service);
                             live.fetch_sub(1, Ordering::SeqCst);
                         });
                 }
@@ -135,7 +201,7 @@ enum ParseOutcome {
     Reject(u16, &'static str, String),
 }
 
-fn handle_connection(stream: &TcpStream, service: &RoutingService) -> std::io::Result<()> {
+fn handle_connection(stream: &TcpStream, service: &dyn JobBackend) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let request = match parse_request(stream) {
         Ok(ParseOutcome::Ok(r)) => r,
@@ -229,7 +295,7 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<ParseOutcome> {
     ))
 }
 
-fn route(stream: &TcpStream, service: &RoutingService, req: &Request) -> std::io::Result<()> {
+fn route(stream: &TcpStream, service: &dyn JobBackend, req: &Request) -> std::io::Result<()> {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/jobs") => match JobSpec::parse(&req.body) {
             Ok(spec) => match service.submit(spec) {
@@ -271,7 +337,7 @@ fn route(stream: &TcpStream, service: &RoutingService, req: &Request) -> std::io
             };
             respond_plain(stream, status, reason, r.name())
         }
-        ("GET", "/metrics") => respond_json(stream, 200, "OK", &service.metrics().to_json(), &[]),
+        ("GET", "/metrics") => respond_json(stream, 200, "OK", &service.metrics_json(), &[]),
         ("POST", path) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
             let id = path
                 .strip_prefix("/jobs/")

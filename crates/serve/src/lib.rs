@@ -24,29 +24,44 @@
 //!   `/readyz` reports the pressure.
 //! * **Chaos harness** — [`chaos::ServeFaultPlan`] injects worker
 //!   panics, mid-job kills, and stalls, seeded and reproducible.
+//! * **Fleet mode** — [`fleet::FleetCoordinator`] shards jobs across
+//!   worker *processes* ([`worker`], speaking the framed protocol of
+//!   [`proto`]) with heartbeat liveness, lease-based assignment,
+//!   idempotent journal-fingerprinted finalize, and bounded worker
+//!   respawn — the robustness boundary above panicked threads: lost
+//!   processes. [`chaos::FleetFaultPlan`] injects the process-level
+//!   faults (kill -9, stalls, heartbeat blackouts).
 //!
-//! The service invariant, asserted end to end by the chaos suite:
-//! *every accepted job ends in exactly one terminal state — completed,
-//! a best-so-far partial, or a typed error — and the service never
-//! panics and never loses an accepted job.*
+//! The service invariant, asserted end to end by the chaos suites at
+//! both levels: *every accepted job ends in exactly one terminal state
+//! — completed, a best-so-far partial, or a typed error — and the
+//! service never panics and never loses an accepted job.*
 //!
-//! Two binaries ship with the crate: `sprout_served` (the HTTP daemon)
-//! and `serve_batch` (a load-driving batch client).
+//! Four binaries ship with the crate: `sprout_served` (the HTTP
+//! daemon), `serve_batch` (a load-driving batch client),
+//! `sprout_fleet` (the fleet coordinator CLI) and
+//! `sprout_fleet_worker` (the per-process fleet worker).
 
 #![warn(missing_docs)]
 
 pub mod backoff;
 pub mod chaos;
+pub mod fleet;
 pub mod http;
 pub mod job;
+pub mod proto;
 pub mod queue;
 pub mod service;
+pub mod worker;
 
 pub use backoff::BackoffConfig;
-pub use chaos::ServeFaultPlan;
-pub use http::HttpServer;
+pub use chaos::{FleetFaultPlan, ServeFaultPlan};
+pub use fleet::{replay_journal, FleetConfig, FleetCoordinator, FleetMetrics, JournalReplay};
+pub use http::{HttpServer, JobBackend};
 pub use job::{JobSnapshot, JobSpec, JobState, Priority, SpecError};
+pub use proto::{spec_fingerprint, CoordFrame, DoneFrame, ProtoError, WorkerFrame};
 pub use queue::{AdmitError, Admitted, BoundedQueue};
 pub use service::{
     Readiness, RoutingService, ServeError, ServiceConfig, ServiceMetrics, SubmitError,
 };
+pub use worker::{run_worker, WorkerConfig};

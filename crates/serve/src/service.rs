@@ -217,6 +217,16 @@ pub struct ServiceMetrics {
     pub latency_p50_ms: f64,
     /// 99th-percentile admission→terminal latency (ms).
     pub latency_p99_ms: f64,
+    /// Worker *processes* alive — always 0 for the in-process service;
+    /// populated by fleet mode. Emitted so `/metrics` scrapes the same
+    /// field names against either backend.
+    pub workers_live: usize,
+    /// Jobs out under a process lease — always 0 for the in-process
+    /// service.
+    pub leased: usize,
+    /// Leases expired by worker death and re-dispatched — always 0 for
+    /// the in-process service.
+    pub redispatches: u64,
 }
 
 impl ServiceMetrics {
@@ -239,7 +249,10 @@ impl ServiceMetrics {
             .u64("worker_panics", self.worker_panics)
             .u64("terminal_violations", self.terminal_violations)
             .f64("latency_p50_ms", self.latency_p50_ms)
-            .f64("latency_p99_ms", self.latency_p99_ms);
+            .f64("latency_p99_ms", self.latency_p99_ms)
+            .u64("workers_live", self.workers_live as u64)
+            .u64("leased", self.leased as u64)
+            .u64("redispatches", self.redispatches);
         o.finish()
     }
 }
@@ -554,6 +567,9 @@ impl RoutingService {
             terminal_violations: c.terminal_violations.load(Ordering::Relaxed),
             latency_p50_ms: p50,
             latency_p99_ms: p99,
+            workers_live: 0,
+            leased: 0,
+            redispatches: 0,
         }
     }
 
@@ -755,8 +771,9 @@ fn overloaded(s: &Shared) -> bool {
 
 /// Renders a parsed [`sprout_telemetry::json::Json`] back to text —
 /// the journal embeds the spec as a nested object and `JobSpec::parse`
-/// wants the text form.
-fn render_json(v: &sprout_telemetry::json::Json) -> String {
+/// wants the text form. Shared with the fleet journal and protocol,
+/// which embed specs the same way.
+pub(crate) fn render_json(v: &sprout_telemetry::json::Json) -> String {
     use sprout_telemetry::json::{array, escape_into, fmt_f64, Json};
     match v {
         Json::Null => "null".into(),
@@ -783,7 +800,7 @@ fn render_json(v: &sprout_telemetry::json::Json) -> String {
     }
 }
 
-fn percentiles(latencies: &[f64]) -> (f64, f64) {
+pub(crate) fn percentiles(latencies: &[f64]) -> (f64, f64) {
     if latencies.is_empty() {
         return (0.0, 0.0);
     }

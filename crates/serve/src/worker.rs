@@ -1,0 +1,493 @@
+//! Fleet worker: one process, one job at a time, heartbeats always.
+//!
+//! [`run_worker`] is the whole worker: it announces itself with a
+//! `hello` frame, starts a heartbeat thread, and then serves
+//! [`CoordFrame::Lease`] frames from its input until EOF or a
+//! [`CoordFrame::Drain`]. Each leased job runs under the supervisor
+//! with the lease's checkpoint path, so a job re-dispatched from a
+//! dead worker resumes from whatever waves the dead worker finished —
+//! the checkpoint file in the coordinator's data directory is the
+//! cross-process handoff.
+//!
+//! The worker *classifies* its outcome (completed / expired / failed +
+//! retryable) in a [`DoneFrame`]; the coordinator owns the retry
+//! decision. Heartbeats run on their own thread, so they keep flowing
+//! while a long job routes — only an injected blackout, a SIGSTOP, or
+//! real death silences them.
+//!
+//! Process-level faults ([`FleetFaultPlan`]) are drawn *inside* the
+//! worker from `(seed, job, attempt)` carried by the lease, so a chaos
+//! schedule replays identically whichever worker a job lands on. The
+//! injected kill is `exit(9)` immediately after wave 0's checkpoint is
+//! on disk — by construction the coordinator can always resume what it
+//! re-dispatches.
+
+use crate::chaos::FleetFaultPlan;
+use crate::job::JobSpec;
+use crate::proto::{CoordFrame, DoneFrame, WorkerFrame};
+use sprout_core::recovery::{RecoveryConfig, RecoveryPolicy, StageBudget};
+use sprout_core::router::RouterConfig;
+use sprout_core::supervisor::{is_retryable, Supervisor, SupervisorConfig, WaveProgress};
+use sprout_core::SproutError;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Worker configuration, normally parsed from the command line by
+/// [`worker_main`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Heartbeat period (ms).
+    pub heartbeat_ms: u64,
+    /// Router configuration for every job (pitch may be overridden per
+    /// job spec).
+    pub router: RouterConfig,
+    /// Supervisor threads per job.
+    pub supervisor_threads: usize,
+    /// Supervisor-level retries per rail.
+    pub supervisor_retries: usize,
+    /// Process-level fault injection (testing only).
+    pub fault: Option<FleetFaultPlan>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            heartbeat_ms: 100,
+            router: RouterConfig::default(),
+            supervisor_threads: 1,
+            supervisor_retries: 1,
+            fault: None,
+        }
+    }
+}
+
+/// The router profile the chaos suites and smoke binaries use: coarse
+/// pitch, few iterations, `BestSoFar` — fast enough to run dozens of
+/// jobs per test, complete enough to exercise every wave path.
+pub fn fast_router() -> RouterConfig {
+    RouterConfig {
+        tile_pitch_mm: 0.5,
+        grow_iterations: 8,
+        refine_iterations: 2,
+        reheat: None,
+        recovery: RecoveryConfig {
+            policy: RecoveryPolicy::BestSoFar,
+            budget: StageBudget::default(),
+            fault: None,
+        },
+        ..RouterConfig::default()
+    }
+}
+
+struct Outbound<W: Write> {
+    out: Mutex<W>,
+}
+
+impl<W: Write> Outbound<W> {
+    fn send(&self, frame: &WorkerFrame) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        // A closed pipe means the coordinator is gone; the read loop
+        // will see EOF and exit — nothing useful to do with the error.
+        let _ = writeln!(out, "{}", frame.to_json());
+        let _ = out.flush();
+    }
+}
+
+/// Runs the worker protocol over the given streams until EOF or a
+/// drain frame. Returns the number of jobs completed (all outcomes).
+///
+/// Input is normally the process's stdin and output its stdout; tests
+/// drive it with in-memory pipes.
+pub fn run_worker<R, W>(config: WorkerConfig, input: R, output: W) -> usize
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let out = Arc::new(Outbound {
+        out: Mutex::new(output),
+    });
+    out.send(&WorkerFrame::Hello {
+        pid: std::process::id(),
+    });
+
+    // Heartbeats flow on their own thread for the whole process
+    // lifetime; `blackout` silences them without stopping the clock.
+    let stop = Arc::new(AtomicBool::new(false));
+    let blackout = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let out = Arc::clone(&out);
+        let stop = Arc::clone(&stop);
+        let blackout = Arc::clone(&blackout);
+        let period = Duration::from_millis(config.heartbeat_ms.max(1));
+        let seq = AtomicU64::new(0);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                if !blackout.load(Ordering::SeqCst) {
+                    out.send(&WorkerFrame::Heartbeat {
+                        seq: seq.fetch_add(1, Ordering::SeqCst),
+                    });
+                }
+                std::thread::sleep(period);
+            }
+        })
+    };
+
+    let mut served = 0usize;
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match CoordFrame::parse(&line) {
+            Ok(CoordFrame::Lease {
+                job,
+                lease,
+                attempt,
+                spec,
+                deadline_ms,
+                checkpoint,
+            }) => {
+                let done = run_lease(
+                    &config,
+                    &out,
+                    &blackout,
+                    job,
+                    lease,
+                    attempt,
+                    &spec,
+                    deadline_ms,
+                    checkpoint.map(PathBuf::from),
+                );
+                out.send(&WorkerFrame::Done(done));
+                served += 1;
+            }
+            Ok(CoordFrame::Drain) => break,
+            // A frame this worker cannot parse is the coordinator's
+            // bug, not a reason to die: skip it and keep heartbeating.
+            Err(_) => continue,
+        }
+    }
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = beat.join();
+    served
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lease<W>(
+    config: &WorkerConfig,
+    out: &Arc<Outbound<W>>,
+    blackout: &Arc<AtomicBool>,
+    job: u64,
+    lease: u64,
+    attempt: usize,
+    spec: &JobSpec,
+    deadline_ms: Option<f64>,
+    checkpoint: Option<PathBuf>,
+) -> DoneFrame
+where
+    W: Write + Send + 'static,
+{
+    let mut done = DoneFrame {
+        job,
+        lease,
+        state: "failed".into(),
+        resumed: 0,
+        rails_complete: 0,
+        rails_total: spec.rails.len(),
+        area_mm2: 0.0,
+        solves: 0,
+        run_ms: 0.0,
+        error: None,
+        retryable: false,
+    };
+
+    // Injected process faults, decided from (seed, job, attempt) so the
+    // schedule is identical whichever worker the job lands on.
+    let mut kill = false;
+    if let Some(plan) = config.fault {
+        if plan.stalls(job, attempt) {
+            std::thread::sleep(Duration::from_millis(plan.stall_ms));
+        }
+        if plan.blackouts(job, attempt) {
+            // The slow-then-revived worker: heartbeats stop long enough
+            // for the lease to expire, but the job still finishes and
+            // reports — the stale `done` the coordinator must ignore.
+            blackout.store(true, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(plan.blackout_ms));
+            blackout.store(false, Ordering::SeqCst);
+        }
+        kill = plan.kills(job, attempt);
+    }
+
+    let board = match spec.resolve_board() {
+        Ok(b) => b,
+        Err(e) => {
+            done.error = Some(e.to_string());
+            return done;
+        }
+    };
+    let requests = match spec.requests(&board) {
+        Ok(r) => r,
+        Err(e) => {
+            done.error = Some(e.to_string());
+            return done;
+        }
+    };
+
+    let mut router = config.router;
+    if let Some(pitch) = spec.tile_pitch_mm {
+        router.tile_pitch_mm = pitch;
+    }
+
+    let on_wave: sprout_core::supervisor::WaveHook = {
+        let out = Arc::clone(out);
+        Arc::new(move |p: WaveProgress| {
+            out.send(&WorkerFrame::Progress {
+                job,
+                lease,
+                wave: p.wave,
+                waves: p.waves,
+                rails_complete: p.rails_complete,
+            });
+            if kill && p.wave == 0 {
+                // The deterministic `kill -9`: wave 0's checkpoint is
+                // on disk (the hook fires after the save), the progress
+                // frame above is flushed, and the process dies without
+                // unwinding — exactly what a real SIGKILL leaves behind.
+                std::process::exit(9);
+            }
+        })
+    };
+
+    let sup_config = SupervisorConfig {
+        threads: config.supervisor_threads,
+        deadline_ms,
+        max_retries: config.supervisor_retries,
+        checkpoint,
+        on_wave: Some(on_wave),
+        ..SupervisorConfig::default()
+    };
+
+    let start = Instant::now();
+    let report = Supervisor::new(&board, router, sup_config).run(&requests);
+    done.run_ms = start.elapsed().as_secs_f64() * 1e3;
+    done.resumed = report.resumed;
+    done.rails_complete = report
+        .rails
+        .iter()
+        .filter(|r| r.outcome.is_complete())
+        .count();
+    done.solves = report.results().map(|r| r.timings.solves as u64).sum();
+    done.area_mm2 = report.shapes().iter().map(|(_, _, sh)| sh.area_mm2()).sum();
+
+    if report.is_complete() {
+        done.state = "completed".into();
+        return done;
+    }
+
+    let mut any_deadline = false;
+    for (_, e) in report.failures() {
+        if done.error.is_none() {
+            done.error = Some(e.to_string());
+        }
+        if is_retryable(e) {
+            done.retryable = true;
+        }
+        if matches!(e, SproutError::DeadlineExpired { .. }) {
+            any_deadline = true;
+        }
+    }
+    done.state = if any_deadline { "expired" } else { "failed" }.into();
+    done
+}
+
+/// The `sprout_fleet_worker` entry point: parses the worker command
+/// line and serves leases over stdin/stdout. Shared as a library
+/// function so the integration-test harness can build a bit-identical
+/// worker binary in its own package.
+pub fn worker_main() {
+    let mut config = WorkerConfig::default();
+    let mut fault = FleetFaultPlan::quiet(0);
+    let mut have_fault = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--heartbeat-ms" => {
+                config.heartbeat_ms =
+                    parse(&take(&args, &mut i, "--heartbeat-ms"), "--heartbeat-ms")
+            }
+            "--router" => match take(&args, &mut i, "--router").as_str() {
+                "fast" => config.router = fast_router(),
+                "default" => config.router = RouterConfig::default(),
+                other => {
+                    eprintln!("unknown router profile `{other}` (expected fast|default)");
+                    std::process::exit(2);
+                }
+            },
+            "--supervisor-threads" => {
+                config.supervisor_threads = parse(
+                    &take(&args, &mut i, "--supervisor-threads"),
+                    "--supervisor-threads",
+                )
+            }
+            "--supervisor-retries" => {
+                config.supervisor_retries = parse(
+                    &take(&args, &mut i, "--supervisor-retries"),
+                    "--supervisor-retries",
+                )
+            }
+            "--chaos-seed" => {
+                fault.seed = parse(&take(&args, &mut i, "--chaos-seed"), "--chaos-seed");
+                have_fault = true;
+            }
+            "--kill-rate" => {
+                fault.kill_rate = parse(&take(&args, &mut i, "--kill-rate"), "--kill-rate");
+                have_fault = true;
+            }
+            "--stall-rate" => {
+                fault.stall_rate = parse(&take(&args, &mut i, "--stall-rate"), "--stall-rate");
+                have_fault = true;
+            }
+            "--stall-ms" => {
+                fault.stall_ms = parse(&take(&args, &mut i, "--stall-ms"), "--stall-ms");
+                have_fault = true;
+            }
+            "--blackout-rate" => {
+                fault.blackout_rate =
+                    parse(&take(&args, &mut i, "--blackout-rate"), "--blackout-rate");
+                have_fault = true;
+            }
+            "--blackout-ms" => {
+                fault.blackout_ms = parse(&take(&args, &mut i, "--blackout-ms"), "--blackout-ms");
+                have_fault = true;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sprout_fleet_worker [--heartbeat-ms N] [--router fast|default] \
+                     [--supervisor-threads N] [--supervisor-retries N] [--chaos-seed S] \
+                     [--kill-rate F] [--stall-rate F] [--stall-ms N] \
+                     [--blackout-rate F] [--blackout-ms N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if have_fault {
+        config.fault = Some(fault);
+    }
+
+    let stdin = std::io::stdin();
+    run_worker(config, stdin.lock(), std::io::stdout());
+}
+
+fn take(args: &[String], i: &mut usize, what: &str) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| {
+        eprintln!("missing value for {what}");
+        std::process::exit(2);
+    })
+}
+
+fn parse<T: std::str::FromStr>(v: &str, what: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad value `{v}` for {what}");
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A Vec<u8> sink shared with the test thread.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn frames(buf: &SharedBuf) -> Vec<WorkerFrame> {
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .map(|l| WorkerFrame::parse(l).expect("worker emits valid frames"))
+            .collect()
+    }
+
+    #[test]
+    fn worker_serves_a_lease_in_process() {
+        let lease = CoordFrame::Lease {
+            job: 1,
+            lease: 100,
+            attempt: 0,
+            spec: JobSpec::two_rail(20.0),
+            deadline_ms: None,
+            checkpoint: None,
+        };
+        let input = format!("{}\n{}\n", lease.to_json(), CoordFrame::Drain.to_json());
+        let out = SharedBuf::default();
+        let config = WorkerConfig {
+            router: fast_router(),
+            ..WorkerConfig::default()
+        };
+        let served = run_worker(config, Cursor::new(input), out.clone());
+        assert_eq!(served, 1);
+        let fs = frames(&out);
+        assert!(matches!(fs.first(), Some(WorkerFrame::Hello { .. })));
+        let done = fs
+            .iter()
+            .find_map(|f| match f {
+                WorkerFrame::Done(d) => Some(d.clone()),
+                _ => None,
+            })
+            .expect("done frame");
+        assert_eq!(done.job, 1);
+        assert_eq!(done.lease, 100);
+        assert_eq!(done.state, "completed");
+        assert_eq!(done.rails_complete, 2);
+        // Two rails on one layer = two waves = two progress frames.
+        let progress: Vec<_> = fs
+            .iter()
+            .filter(|f| matches!(f, WorkerFrame::Progress { .. }))
+            .collect();
+        assert_eq!(progress.len(), 2);
+    }
+
+    #[test]
+    fn worker_heartbeats_while_idle_and_skips_garbage() {
+        // No lease at all: just garbage lines, then EOF.
+        let input = "nonsense\n{\"type\":\"warp\"}\n";
+        let out = SharedBuf::default();
+        let config = WorkerConfig {
+            heartbeat_ms: 5,
+            router: fast_router(),
+            ..WorkerConfig::default()
+        };
+        let served = run_worker(config, Cursor::new(input), out.clone());
+        assert_eq!(served, 0);
+        // The heartbeat thread gets at least the startup beat out.
+        assert!(frames(&out)
+            .iter()
+            .any(|f| matches!(f, WorkerFrame::Heartbeat { .. })));
+    }
+}

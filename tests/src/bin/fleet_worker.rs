@@ -1,0 +1,9 @@
+//! Test-package build of the fleet worker executable.
+//!
+//! Bit-identical in behavior to `sprout_fleet_worker`; exists so
+//! integration tests can hand the coordinator a worker path that cargo
+//! guarantees is built (`env!("CARGO_BIN_EXE_fleet_worker")`).
+
+fn main() {
+    sprout_serve::worker::worker_main();
+}
