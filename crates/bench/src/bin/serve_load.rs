@@ -50,6 +50,8 @@ struct Row {
     completed: u64,
     p50_ms: f64,
     p99_ms: f64,
+    qw50_ms: f64,
+    qw99_ms: f64,
     violations: u64,
 }
 
@@ -59,13 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     outln!(out, "=== serve_load: {JOBS} jobs through the service ===");
     outln!(
         out,
-        "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "workers",
         "wall ms",
         "boards/s",
         "completed",
         "p50 ms",
-        "p99 ms"
+        "p99 ms",
+        "qw50 ms",
+        "qw99 ms"
     );
 
     let mut rows: Vec<Row> = Vec::new();
@@ -97,17 +101,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             completed: m.completed,
             p50_ms: m.latency_p50_ms,
             p99_ms: m.latency_p99_ms,
+            qw50_ms: m.queue_wait_p50_ms,
+            qw99_ms: m.queue_wait_p99_ms,
             violations: m.terminal_violations,
         };
         outln!(
             out,
-            "{:>8} {:>10.1} {:>10.2} {:>10} {:>9.1} {:>9.1}",
+            "{:>8} {:>10.1} {:>10.2} {:>10} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
             row.workers,
             row.wall_ms,
             row.boards_per_s,
             row.completed,
             row.p50_ms,
-            row.p99_ms
+            row.p99_ms,
+            row.qw50_ms,
+            row.qw99_ms
         );
 
         // Only the single-worker run feeds the gate: its job labels are
@@ -133,6 +141,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             json,
             "    {{\"workers\": {}, \"wall_ms\": {:.3}, \"boards_per_s\": {:.3}, \
              \"completed\": {}, \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}, \
+             \"queue_wait_p50_ms\": {:.3}, \"queue_wait_p99_ms\": {:.3}, \
              \"terminal_violations\": {}}}{}",
             r.workers,
             r.wall_ms,
@@ -140,6 +149,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.completed,
             r.p50_ms,
             r.p99_ms,
+            r.qw50_ms,
+            r.qw99_ms,
             r.violations,
             if i + 1 < rows.len() { "," } else { "" }
         );

@@ -148,7 +148,7 @@ pub fn verify_checkpoint(
 }
 
 /// Per-wave progress snapshot handed to [`SupervisorConfig::on_wave`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaveProgress {
     /// The wave that just finished (0-based).
     pub wave: usize,
@@ -158,6 +158,11 @@ pub struct WaveProgress {
     pub rails_complete: usize,
     /// Rails in the job.
     pub rails_total: usize,
+    /// Wall-clock since the job started (ms).
+    pub elapsed_ms: f64,
+    /// Cumulative wall time in the solve-heavy stages (grow + refine +
+    /// reheat, §II-H) across routed rails so far (ms).
+    pub solve_ms: f64,
 }
 
 /// Progress callback: invoked after each wave, *after* that wave's
@@ -535,6 +540,16 @@ impl<'b> Supervisor<'b> {
             }
 
             if let Some(hook) = &self.config.on_wave {
+                let solve_ms = slots
+                    .iter()
+                    .flatten()
+                    .filter_map(|r| match &r.outcome {
+                        RailOutcome::Routed(v) => Some(v),
+                        _ => None,
+                    })
+                    .flatten()
+                    .map(|res| res.timings.grow_ms + res.timings.refine_ms + res.timings.reheat_ms)
+                    .sum();
                 hook(WaveProgress {
                     wave: wave_no,
                     waves: waves.len(),
@@ -543,6 +558,8 @@ impl<'b> Supervisor<'b> {
                         .filter(|s| s.as_ref().is_some_and(|r| r.outcome.is_complete()))
                         .count(),
                     rails_total: requests.len(),
+                    elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+                    solve_ms,
                 });
             }
 

@@ -1,0 +1,433 @@
+//! Bounded per-job event bus: the live observability plane.
+//!
+//! Everything a client can watch over `GET /jobs/:id/events` flows
+//! through one [`EventBus`]: supervisor wave progress, per-stage span
+//! timings (grow/refine/reheat — the paper's §II stages), solver
+//! residual points, retry/panic incidents, and exactly one terminal
+//! event per job. Producers never block on consumers: each job owns a
+//! bounded ring (drop-oldest, like [`sprout_telemetry::ring::RingSink`])
+//! and every publish is a short mutex hold plus a condvar notify —
+//! whether zero or many HTTP streams are attached.
+//!
+//! Events carry a per-job monotone sequence number starting at 1, so a
+//! long-poll client can resume with `?since=seq` and replay is
+//! idempotent: the same `since` always yields the same suffix (minus
+//! anything the ring has dropped, which the `dropped` counters admit
+//! to).
+//!
+//! In-process jobs feed the bus two ways: the supervisor's `on_wave`
+//! hook publishes [`EventKind::Progress`], and a [`JobRecorder`]
+//! installed around the routing run captures telemetry spans/points
+//! with job attribution. Fleet mode feeds the same bus from
+//! [`WorkerFrame::Progress`](crate::proto::WorkerFrame) frames instead,
+//! so streaming behaves identically under `--fleet N`.
+
+use sprout_telemetry::json::Obj;
+use sprout_telemetry::{Event, Recorder};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default per-job ring capacity. Generous for a routing job (a few
+/// dozen stage spans plus iteration points per rail) while bounding a
+/// pathological producer to ~tens of KiB of rendered lines per job.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// What a bus event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A supervisor wave finished (checkpoint already on disk).
+    Progress,
+    /// A pipeline stage span closed (space/tile/seed/grow/refine/
+    /// reheat/backconv).
+    Stage,
+    /// A solver/iteration point: objective residuals, solver
+    /// fallbacks, budget overruns.
+    Residual,
+    /// A rail or job attempt is being retried.
+    Retry,
+    /// A worker panic was caught at the isolation boundary.
+    Panic,
+    /// The job reached its single terminal state. Always the last
+    /// event of a stream.
+    Terminal,
+}
+
+impl EventKind {
+    /// Wire name used in the `"event"` field of every NDJSON line.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Progress => "progress",
+            EventKind::Stage => "stage",
+            EventKind::Residual => "residual",
+            EventKind::Retry => "retry",
+            EventKind::Panic => "panic",
+            EventKind::Terminal => "terminal",
+        }
+    }
+}
+
+/// One published event: the rendered NDJSON line plus the metadata
+/// consumers filter on without re-parsing it.
+#[derive(Debug, Clone)]
+pub struct JobEvent {
+    /// Per-job monotone sequence number, starting at 1.
+    pub seq: u64,
+    /// The job this event belongs to.
+    pub job: u64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Rendered JSON object (single line, no trailing newline).
+    pub line: String,
+}
+
+/// A `snapshot_since`/`wait_since` result page.
+#[derive(Debug, Clone, Default)]
+pub struct EventPage {
+    /// Events with `seq > since`, in sequence order.
+    pub events: Vec<JobEvent>,
+    /// Events this job's ring has dropped so far (drop-oldest).
+    pub dropped: u64,
+    /// Whether the job's terminal event has been published. Once true
+    /// the stream is complete: no further events will ever arrive.
+    pub terminal: bool,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    events: VecDeque<JobEvent>,
+    next_seq: u64,
+    dropped: u64,
+    terminals: u64,
+}
+
+/// The bus: per-job bounded rings plus process-wide publish/drop
+/// counters surfaced as `events_published`/`events_dropped` metrics.
+#[derive(Debug)]
+pub struct EventBus {
+    capacity: usize,
+    channels: Mutex<HashMap<u64, Channel>>,
+    wake: Condvar,
+    published: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        EventBus::new(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventBus {
+    /// A bus whose per-job rings hold at most `capacity` events
+    /// (clamped to at least 1).
+    pub fn new(capacity: usize) -> EventBus {
+        EventBus {
+            capacity: capacity.max(1),
+            channels: Mutex::new(HashMap::new()),
+            wake: Condvar::new(),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Publishes one event for `job`. The bus assigns the sequence
+    /// number and renders the line as
+    /// `{"seq":N,"job":J,"event":"kind",...}` with `fields` appending
+    /// the kind-specific rest. Never blocks on consumers: a full ring
+    /// drops its oldest event and counts it.
+    pub fn publish(&self, job: u64, kind: EventKind, fields: impl FnOnce(&mut Obj)) {
+        let mut channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        let ch = channels.entry(job).or_default();
+        ch.next_seq += 1;
+        let seq = ch.next_seq;
+        let mut obj = Obj::new();
+        obj.u64("seq", seq)
+            .u64("job", job)
+            .str("event", kind.name());
+        fields(&mut obj);
+        if ch.events.len() >= self.capacity {
+            ch.events.pop_front();
+            ch.dropped += 1;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        if kind == EventKind::Terminal {
+            ch.terminals += 1;
+        }
+        ch.events.push_back(JobEvent {
+            seq,
+            job,
+            kind,
+            line: obj.finish(),
+        });
+        self.published.fetch_add(1, Ordering::Relaxed);
+        drop(channels);
+        self.wake.notify_all();
+    }
+
+    /// Every buffered event for `job` with `seq > since`, without
+    /// waiting. An unknown job yields an empty non-terminal page.
+    pub fn snapshot_since(&self, job: u64, since: u64) -> EventPage {
+        let channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        Self::page(&channels, job, since)
+    }
+
+    /// Like [`EventBus::snapshot_since`], but blocks until the page is
+    /// non-empty, the job is terminal, or `timeout` elapses — the
+    /// long-poll primitive.
+    pub fn wait_since(&self, job: u64, since: u64, timeout: Duration) -> EventPage {
+        let deadline = Instant::now() + timeout;
+        let mut channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let page = Self::page(&channels, job, since);
+            if !page.events.is_empty() || page.terminal {
+                return page;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return page;
+            };
+            if left.is_zero() {
+                return page;
+            }
+            let (guard, _timed_out) = self
+                .wake
+                .wait_timeout(channels, left)
+                .unwrap_or_else(|e| e.into_inner());
+            channels = guard;
+        }
+    }
+
+    fn page(channels: &HashMap<u64, Channel>, job: u64, since: u64) -> EventPage {
+        let Some(ch) = channels.get(&job) else {
+            return EventPage::default();
+        };
+        EventPage {
+            events: ch
+                .events
+                .iter()
+                .filter(|e| e.seq > since)
+                .cloned()
+                .collect(),
+            dropped: ch.dropped,
+            terminal: ch.terminals > 0,
+        }
+    }
+
+    /// Terminal events ever published for `job` — the exactly-once
+    /// observability contract (counted even if the ring later drops
+    /// the event itself).
+    pub fn terminal_events(&self, job: u64) -> u64 {
+        let channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        channels.get(&job).map(|c| c.terminals).unwrap_or(0)
+    }
+
+    /// Total events published since the bus was created.
+    pub fn events_published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Total events dropped to drop-oldest backpressure.
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Stage spans forwarded to the bus, in pipeline order — the paper's
+/// §II stages as instrumented in `sprout-core`'s router.
+pub const STAGE_SPANS: [&str; 7] = [
+    "space", "tile", "seed", "grow", "refine", "reheat", "backconv",
+];
+
+/// Points forwarded as [`EventKind::Residual`]: per-iteration
+/// objective samples plus solver incidents.
+const RESIDUAL_POINTS: [&str; 7] = [
+    "grow_iter",
+    "refine_iter",
+    "reheat_iter",
+    "cg_not_converged",
+    "bicgstab_not_converged",
+    "solver_fallback",
+    "budget_overrun",
+];
+
+/// A [`Recorder`] adapter that tags telemetry with a job id and feeds
+/// the bus, chaining to whatever recorder was already current so
+/// existing sinks keep seeing everything.
+///
+/// Only an allowlist is forwarded — stage span ends, residual points,
+/// retry and panic points — so the per-event cost stays a filtered
+/// match for the torrent of solver-internal events.
+pub struct JobRecorder {
+    bus: Arc<EventBus>,
+    job: u64,
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl JobRecorder {
+    /// An adapter for `job` publishing to `bus` and chaining to
+    /// `inner` (pass [`sprout_telemetry::current`]'s result to keep
+    /// the previously-installed recorder live).
+    pub fn new(bus: Arc<EventBus>, job: u64, inner: Option<Arc<dyn Recorder>>) -> JobRecorder {
+        JobRecorder { bus, job, inner }
+    }
+}
+
+impl std::fmt::Debug for JobRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobRecorder")
+            .field("job", &self.job)
+            .field("chained", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Recorder for JobRecorder {
+    fn record(&self, event: &Event) {
+        match event {
+            Event::SpanEnd {
+                name,
+                elapsed_ns,
+                fields,
+                ..
+            } if STAGE_SPANS.contains(name) => {
+                self.bus.publish(self.job, EventKind::Stage, |obj| {
+                    obj.str("stage", name)
+                        .f64("elapsed_ms", *elapsed_ns as f64 / 1e6);
+                    for (k, v) in fields {
+                        obj.value(k, v);
+                    }
+                });
+            }
+            Event::Point { name, fields, .. } => {
+                let kind = match *name {
+                    "retry" => EventKind::Retry,
+                    "worker_panic" => EventKind::Panic,
+                    n if RESIDUAL_POINTS.contains(&n) => EventKind::Residual,
+                    _ => {
+                        if let Some(inner) = &self.inner {
+                            inner.record(event);
+                        }
+                        return;
+                    }
+                };
+                self.bus.publish(self.job, kind, |obj| {
+                    obj.str("point", name);
+                    for (k, v) in fields {
+                        obj.value(k, v);
+                    }
+                });
+            }
+            _ => {}
+        }
+        if let Some(inner) = &self.inner {
+            inner.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_telemetry::json::{parse, Json};
+    use sprout_telemetry::{self as telemetry, RecorderScope};
+
+    #[test]
+    fn sequences_are_monotone_and_replay_is_idempotent() {
+        let bus = EventBus::new(16);
+        for i in 0..5u64 {
+            bus.publish(7, EventKind::Progress, |o| {
+                o.u64("wave", i);
+            });
+        }
+        let all = bus.snapshot_since(7, 0);
+        assert_eq!(all.events.len(), 5);
+        assert_eq!(
+            all.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        // Replay from the same cursor twice: identical pages.
+        let a = bus.snapshot_since(7, 2);
+        let b = bus.snapshot_since(7, 2);
+        assert_eq!(
+            a.events.iter().map(|e| &e.line).collect::<Vec<_>>(),
+            b.events.iter().map(|e| &e.line).collect::<Vec<_>>()
+        );
+        assert_eq!(a.events.first().map(|e| e.seq), Some(3));
+        // Every line parses and self-describes.
+        let root = parse(&all.events[0].line).expect("event line is JSON");
+        assert_eq!(root.get("seq").and_then(Json::as_u64), Some(1));
+        assert_eq!(root.get("job").and_then(Json::as_u64), Some(7));
+        assert_eq!(root.get("event").and_then(Json::as_str), Some("progress"));
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts_it() {
+        let bus = EventBus::new(3);
+        for i in 0..5u64 {
+            bus.publish(1, EventKind::Progress, |o| {
+                o.u64("wave", i);
+            });
+        }
+        let page = bus.snapshot_since(1, 0);
+        assert_eq!(page.events.len(), 3);
+        assert_eq!(page.events[0].seq, 3, "oldest two evicted");
+        assert_eq!(page.dropped, 2);
+        assert_eq!(bus.events_published(), 5);
+        assert_eq!(bus.events_dropped(), 2);
+    }
+
+    #[test]
+    fn wait_since_wakes_on_publish_and_on_terminal() {
+        let bus = Arc::new(EventBus::new(8));
+        let b2 = Arc::clone(&bus);
+        let waiter = std::thread::spawn(move || b2.wait_since(3, 0, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(30));
+        bus.publish(3, EventKind::Terminal, |o| {
+            o.str("state", "completed");
+        });
+        let page = waiter.join().expect("waiter");
+        assert_eq!(page.events.len(), 1);
+        assert!(page.terminal);
+        assert_eq!(bus.terminal_events(3), 1);
+        // A drained cursor on a terminal job returns immediately.
+        let t0 = Instant::now();
+        let page = bus.wait_since(3, 1, Duration::from_secs(10));
+        assert!(page.terminal && page.events.is_empty());
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn recorder_adapter_forwards_the_allowlist_with_attribution() {
+        let bus = Arc::new(EventBus::new(32));
+        {
+            let rec = Arc::new(JobRecorder::new(Arc::clone(&bus), 42, None));
+            let _scope = RecorderScope::install(rec);
+            let _stage = telemetry::span("grow").field("rail", 1u64).enter();
+            telemetry::point("grow_iter").field("iter", 0u64).emit();
+            telemetry::point("worker_panic").field("why", "test").emit();
+            telemetry::point("uninteresting").emit();
+            // `_stage` drops here: SpanEnd("grow") forwarded.
+        }
+        let page = bus.snapshot_since(42, 0);
+        let kinds: Vec<EventKind> = page.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::Residual, EventKind::Panic, EventKind::Stage]
+        );
+        for e in &page.events {
+            let root = parse(&e.line).expect("line parses");
+            assert_eq!(root.get("job").and_then(Json::as_u64), Some(42));
+        }
+        let stage = &page.events[2];
+        let root = parse(&stage.line).expect("stage line parses");
+        assert_eq!(root.get("stage").and_then(Json::as_str), Some("grow"));
+        assert!(root.get("elapsed_ms").and_then(Json::as_f64).is_some());
+    }
+}

@@ -37,6 +37,7 @@
 
 use crate::backoff::BackoffConfig;
 use crate::chaos::FleetFaultPlan;
+use crate::events::{EventBus, EventKind};
 use crate::job::{JobSnapshot, JobSpec, JobState, Priority};
 use crate::proto::{spec_fingerprint, CoordFrame, DoneFrame, WorkerFrame, MAX_FRAME_BYTES};
 use crate::queue::{Admitted, BoundedQueue, Popped, QueueEntry};
@@ -166,6 +167,22 @@ pub struct FleetMetrics {
     pub latency_p50_ms: f64,
     /// 99th-percentile admission→terminal latency (ms).
     pub latency_p99_ms: f64,
+    /// Seconds since the coordinator started.
+    pub uptime_seconds: f64,
+    /// Events published onto the fleet's per-job event bus.
+    pub events_published: u64,
+    /// Events evicted from full per-job rings (drop-oldest).
+    pub events_dropped: u64,
+    /// Median admission→lease queue wait (ms).
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile admission→lease queue wait (ms).
+    pub queue_wait_p99_ms: f64,
+    /// Queue-wait samples recorded (one per lease grant).
+    pub queue_wait_count: u64,
+    /// Sum of all queue waits (ms) — the Prometheus summary `_sum`.
+    pub queue_wait_sum_ms: f64,
+    /// Sum of all terminal latencies (ms) — the Prometheus summary `_sum`.
+    pub latency_sum_ms: f64,
 }
 
 impl FleetMetrics {
@@ -193,8 +210,150 @@ impl FleetMetrics {
             .u64("journal_duplicates", self.journal_duplicates)
             .u64("terminal_violations", self.terminal_violations)
             .f64("latency_p50_ms", self.latency_p50_ms)
-            .f64("latency_p99_ms", self.latency_p99_ms);
+            .f64("latency_p99_ms", self.latency_p99_ms)
+            .f64("uptime_seconds", self.uptime_seconds)
+            .u64("events_published", self.events_published)
+            .u64("events_dropped", self.events_dropped)
+            .f64("queue_wait_p50_ms", self.queue_wait_p50_ms)
+            .f64("queue_wait_p99_ms", self.queue_wait_p99_ms);
         o.finish()
+    }
+
+    /// Prometheus text exposition of the same counters, under
+    /// `<prefix>` (the fleet server uses `sprout_fleet_`).
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        use sprout_telemetry::prom::PromText;
+        let name = |n: &str| format!("{prefix}{n}");
+        let mut p = PromText::new();
+        p.gauge(
+            &name("queue_depth"),
+            "Jobs waiting in the queue.",
+            self.queue_depth as f64,
+        );
+        p.gauge(
+            &name("leased"),
+            "Jobs currently out under a lease.",
+            self.leased as f64,
+        );
+        p.gauge(
+            &name("workers_live"),
+            "Workers currently alive.",
+            self.workers_live as f64,
+        );
+        p.gauge(
+            &name("uptime_seconds"),
+            "Seconds since the coordinator started.",
+            self.uptime_seconds,
+        );
+        let counters: &[(&str, &str, u64)] = &[
+            (
+                "workers_spawned_total",
+                "Workers spawned since start.",
+                self.workers_spawned,
+            ),
+            (
+                "workers_dead_total",
+                "Workers declared dead.",
+                self.workers_dead,
+            ),
+            (
+                "worker_restarts_total",
+                "Replacement workers spawned.",
+                self.worker_restarts,
+            ),
+            ("accepted_total", "Jobs accepted.", self.accepted),
+            (
+                "rejected_total",
+                "Submissions rejected with backpressure.",
+                self.rejected,
+            ),
+            ("completed_total", "Jobs completed.", self.completed),
+            (
+                "best_so_far_total",
+                "Partial results shipped.",
+                self.best_so_far,
+            ),
+            (
+                "failed_total",
+                "Jobs failed with a typed error.",
+                self.failed,
+            ),
+            ("shed_total", "Jobs shed under saturation.", self.shed),
+            (
+                "expired_total",
+                "Jobs expired past their deadline.",
+                self.expired,
+            ),
+            ("cancelled_total", "Jobs cancelled.", self.cancelled),
+            (
+                "retries_total",
+                "Worker-reported retryable failures re-dispatched.",
+                self.retries,
+            ),
+            (
+                "redispatches_total",
+                "Leases expired by worker death and re-dispatched.",
+                self.redispatches,
+            ),
+            (
+                "stale_finalizes_total",
+                "Double-finalize attempts defeated.",
+                self.stale_finalizes,
+            ),
+            (
+                "recovered_total",
+                "Jobs re-admitted from the journal.",
+                self.recovered,
+            ),
+            (
+                "journal_duplicates_total",
+                "Duplicate journal records ignored.",
+                self.journal_duplicates,
+            ),
+            (
+                "terminal_violations_total",
+                "Exactly-once invariant violations.",
+                self.terminal_violations,
+            ),
+            (
+                "events_published_total",
+                "Events published onto the event bus.",
+                self.events_published,
+            ),
+            (
+                "events_dropped_total",
+                "Events evicted from full per-job rings.",
+                self.events_dropped,
+            ),
+        ];
+        for (n, help, v) in counters {
+            p.counter(&name(n), help, *v);
+        }
+        let terminal = self.completed
+            + self.best_so_far
+            + self.failed
+            + self.shed
+            + self.expired
+            + self.cancelled;
+        p.summary(
+            &name("latency_ms"),
+            "Admission-to-terminal latency (ms).",
+            &[(0.5, self.latency_p50_ms), (0.99, self.latency_p99_ms)],
+            terminal,
+            self.latency_sum_ms,
+        );
+        p.summary(
+            &name("queue_wait_ms"),
+            "Admission-to-lease queue wait (ms).",
+            &[
+                (0.5, self.queue_wait_p50_ms),
+                (0.99, self.queue_wait_p99_ms),
+            ],
+            self.queue_wait_count,
+            self.queue_wait_sum_ms,
+        );
+        p.registry("sprout_", telemetry::metrics::global());
+        p.finish()
     }
 }
 
@@ -417,9 +576,12 @@ struct Shared {
     journal: Mutex<Option<std::fs::File>>,
     counters: Counters,
     latencies: Mutex<Vec<f64>>,
+    queue_waits: Mutex<Vec<f64>>,
     next_id: AtomicU64,
     next_lease: AtomicU64,
     draining: AtomicBool,
+    started: Instant,
+    bus: Arc<EventBus>,
 }
 
 /// The running fleet coordinator. Share behind an `Arc` when multiple
@@ -477,9 +639,12 @@ impl FleetCoordinator {
             journal: Mutex::new(journal_file),
             counters: Counters::default(),
             latencies: Mutex::new(Vec::new()),
+            queue_waits: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(replay.next_id.max(1)),
             next_lease: AtomicU64::new(1),
             draining: AtomicBool::new(false),
+            started: Instant::now(),
+            bus: Arc::new(EventBus::default()),
             config,
         });
         shared
@@ -732,6 +897,13 @@ impl FleetCoordinator {
         }
     }
 
+    /// The per-job event bus feeding `GET /jobs/:id/events`. Worker
+    /// progress frames are republished here, so a fleet-backed stream
+    /// looks identical to an in-process one.
+    pub fn events(&self) -> Arc<EventBus> {
+        Arc::clone(&self.shared.bus)
+    }
+
     /// Current counters and latency percentiles.
     pub fn metrics(&self) -> FleetMetrics {
         let s = &self.shared;
@@ -747,9 +919,15 @@ impl FleetCoordinator {
                 inner.jobs.values().filter(|j| j.lease.is_some()).count(),
             )
         };
-        let (p50, p99) = {
+        let (p50, p99, lat_sum) = {
             let lat = s.latencies.lock().unwrap_or_else(|e| e.into_inner());
-            percentiles(&lat)
+            let (p50, p99) = percentiles(&lat);
+            (p50, p99, lat.iter().sum())
+        };
+        let (qw50, qw99, qw_count, qw_sum) = {
+            let qw = s.queue_waits.lock().unwrap_or_else(|e| e.into_inner());
+            let (p50, p99) = percentiles(&qw);
+            (p50, p99, qw.len() as u64, qw.iter().sum())
         };
         FleetMetrics {
             workers_live,
@@ -774,6 +952,14 @@ impl FleetCoordinator {
             terminal_violations: c.terminal_violations.load(Ordering::Relaxed),
             latency_p50_ms: p50,
             latency_p99_ms: p99,
+            uptime_seconds: s.started.elapsed().as_secs_f64(),
+            events_published: s.bus.events_published(),
+            events_dropped: s.bus.events_dropped(),
+            queue_wait_p50_ms: qw50,
+            queue_wait_p99_ms: qw99,
+            queue_wait_count: qw_count,
+            queue_wait_sum_ms: qw_sum,
+            latency_sum_ms: lat_sum,
         }
     }
 
@@ -989,7 +1175,7 @@ fn journal_done(s: &Shared, id: u64, fp: u64, state: &str) {
 /// terminal counter, one journal record, checkpoint cleanup.
 fn finalize(s: &Shared, id: u64, state: JobState, error: Option<String>) {
     debug_assert!(state.is_terminal());
-    let (latency_ms, fp) = {
+    let (latency_ms, fp, terminal_error) = {
         let mut inner = lock_inner(s);
         let Some(rec) = inner.jobs.get_mut(&id) else {
             return;
@@ -1007,7 +1193,11 @@ fn finalize(s: &Shared, id: u64, state: JobState, error: Option<String>) {
         if rec.error.is_none() {
             rec.error = error;
         }
-        (rec.submitted.elapsed().as_secs_f64() * 1e3, rec.fp)
+        (
+            rec.submitted.elapsed().as_secs_f64() * 1e3,
+            rec.fp,
+            rec.error.clone(),
+        )
     };
 
     let counter = match state {
@@ -1025,6 +1215,14 @@ fn finalize(s: &Shared, id: u64, state: JobState, error: Option<String>) {
         .field("state", state.name())
         .field("latency_ms", latency_ms)
         .emit();
+    // Exactly one Terminal event per job: guarded by the same
+    // terminal_transitions check a zombie finalize cannot pass.
+    s.bus.publish(id, EventKind::Terminal, |o| {
+        o.str("state", state.name()).f64("latency_ms", latency_ms);
+        if let Some(e) = &terminal_error {
+            o.str("error", e);
+        }
+    });
     {
         let mut lat = s.latencies.lock().unwrap_or_else(|e| e.into_inner());
         lat.push(latency_ms);
@@ -1111,16 +1309,42 @@ fn reader_loop(s: &Arc<Shared>, w: usize, stdout: std::process::ChildStdout) {
             WorkerFrame::Progress {
                 job,
                 lease,
+                wave,
+                waves,
                 rails_complete,
-                ..
+                stage,
+                elapsed_ms,
+                solve_ms,
             } => {
-                let mut inner = lock_inner(s);
-                if inner.workers[w].state != SlotState::Dead {
-                    inner.workers[w].last_beat = Instant::now();
-                }
-                if let Some(rec) = inner.jobs.get_mut(&job) {
-                    if rec.lease == Some((lease, w)) {
-                        rec.rails_complete = rec.rails_complete.max(rails_complete);
+                let publish = {
+                    let mut inner = lock_inner(s);
+                    if inner.workers[w].state != SlotState::Dead {
+                        inner.workers[w].last_beat = Instant::now();
+                    }
+                    match inner.jobs.get_mut(&job) {
+                        // Only the current lease publishes: a zombie
+                        // worker's frames must not pollute the stream.
+                        Some(rec) if rec.lease == Some((lease, w)) => {
+                            rec.rails_complete = rec.rails_complete.max(rails_complete);
+                            Some((rec.rails_complete, rec.rails_total))
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((rails_done, rails_total)) = publish {
+                    if stage == "wave" {
+                        s.bus.publish(job, EventKind::Progress, |o| {
+                            o.u64("wave", wave as u64)
+                                .u64("waves", waves as u64)
+                                .u64("rails_complete", rails_done as u64)
+                                .u64("rails_total", rails_total as u64)
+                                .f64("elapsed_ms", elapsed_ms)
+                                .f64("solve_ms", solve_ms);
+                        });
+                    } else {
+                        s.bus.publish(job, EventKind::Stage, |o| {
+                            o.str("stage", &stage).f64("elapsed_ms", elapsed_ms);
+                        });
                     }
                 }
             }
@@ -1218,6 +1442,11 @@ fn expire_lease(s: &Arc<Shared>, job: u64, lease: u64, w: usize) {
                 .config
                 .backoff
                 .delay_ms(job, attempts.saturating_sub(1) as u32);
+            s.bus.publish(job, EventKind::Retry, |o| {
+                o.str("reason", "worker_died")
+                    .u64("attempt", attempts as u64)
+                    .f64("backoff_ms", delay);
+            });
             s.queue.reenter(
                 job,
                 priority,
@@ -1312,6 +1541,11 @@ fn handle_done(s: &Arc<Shared>, w: usize, done: DoneFrame) {
                 .config
                 .backoff
                 .delay_ms(done.job, attempts.saturating_sub(1) as u32);
+            s.bus.publish(done.job, EventKind::Retry, |o| {
+                o.str("reason", "attempt_failed")
+                    .u64("attempt", attempts as u64)
+                    .f64("backoff_ms", delay);
+            });
             s.queue.reenter(
                 done.job,
                 priority,
@@ -1431,6 +1665,11 @@ fn dispatch(s: &Arc<Shared>, entry: QueueEntry) {
     rec.state = JobState::Running;
     rec.attempts = entry.attempt + 1;
     rec.queue_ms = elapsed_ms - rec.run_ms;
+    {
+        let mut qw = s.queue_waits.lock().unwrap_or_else(|e| e.into_inner());
+        qw.push(rec.queue_ms.max(0.0));
+    }
+    telemetry::histogram!("fleet.queue_wait_ms", rec.queue_ms.max(0.0) as u64);
     rec.lease = Some((lease, w));
     let priority = rec.priority;
     let frame = CoordFrame::Lease {

@@ -15,14 +15,21 @@
 //! | POST   | `/jobs`            | submit a [`JobSpec`] (JSON body)    |
 //! | GET    | `/jobs`            | snapshots of all jobs               |
 //! | GET    | `/jobs/<id>`       | one job's snapshot                  |
+//! | GET    | `/jobs/<id>/events`| live NDJSON event stream (chunked); |
+//! |        |                    | `?since=seq` long-polls instead     |
 //! | POST   | `/jobs/<id>/cancel`| cancel a job                        |
 //! | GET    | `/healthz`         | liveness (always 200 while serving) |
 //! | GET    | `/readyz`          | readiness (503 when not `Ready`)    |
-//! | GET    | `/metrics`         | [`ServiceMetrics`] as JSON          |
+//! | GET    | `/metrics`         | metrics as JSON, or Prometheus text |
+//! |        |                    | via `Accept: text/plain` or         |
+//! |        |                    | `?format=prometheus`                |
 //!
 //! Backpressure surfaces as HTTP: a saturated queue is `429` with a
-//! `Retry-After` header, a draining service is `503`.
+//! `Retry-After` header, a draining service is `503`. The event stream
+//! applies a write timeout, so a consumer that stops reading gets its
+//! connection dropped instead of wedging a server thread.
 
+use crate::events::{EventBus, EventKind};
 use crate::fleet::FleetCoordinator;
 use crate::job::{JobSnapshot, JobSpec};
 use crate::service::{Readiness, RoutingService, SubmitError};
@@ -44,8 +51,16 @@ const MAX_HEADERS: usize = 64;
 const MAX_BODY: usize = 1024 * 1024;
 /// Per-connection read timeout.
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Per-connection write timeout — a consumer that stops reading a
+/// chunked stream errors the writer out instead of wedging it.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Concurrent connections before the listener answers 503 immediately.
 const MAX_CONNECTIONS: usize = 64;
+/// How long one `?since=` long-poll blocks before returning empty.
+const LONG_POLL_TIMEOUT: Duration = Duration::from_millis(1500);
+/// Streaming wake-up granularity: the event wait per loop turn, between
+/// which the writer probes for a silent client disconnect.
+const STREAM_TICK: Duration = Duration::from_millis(250);
 
 /// The service surface the HTTP front end routes to. Implemented by
 /// both the in-process [`RoutingService`] and the multi-process
@@ -63,6 +78,10 @@ pub trait JobBackend: Send + Sync {
     fn ready(&self) -> Readiness;
     /// The `/metrics` JSON body.
     fn metrics_json(&self) -> String;
+    /// The `/metrics` Prometheus text-exposition body.
+    fn metrics_prometheus(&self) -> String;
+    /// The per-job event bus backing `/jobs/<id>/events`.
+    fn events(&self) -> Arc<EventBus>;
 }
 
 impl JobBackend for RoutingService {
@@ -84,6 +103,12 @@ impl JobBackend for RoutingService {
     fn metrics_json(&self) -> String {
         self.metrics().to_json()
     }
+    fn metrics_prometheus(&self) -> String {
+        self.metrics().to_prometheus("sprout_serve_")
+    }
+    fn events(&self) -> Arc<EventBus> {
+        RoutingService::events(self)
+    }
 }
 
 impl JobBackend for FleetCoordinator {
@@ -104,6 +129,12 @@ impl JobBackend for FleetCoordinator {
     }
     fn metrics_json(&self) -> String {
         self.metrics().to_json()
+    }
+    fn metrics_prometheus(&self) -> String {
+        self.metrics().to_prometheus("sprout_fleet_")
+    }
+    fn events(&self) -> Arc<EventBus> {
+        FleetCoordinator::events(self)
     }
 }
 
@@ -191,6 +222,8 @@ impl Drop for HttpServer {
 struct Request {
     method: String,
     path: String,
+    query: String,
+    accept: String,
     body: String,
 }
 
@@ -237,9 +270,13 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<ParseOutcome> {
         ));
     };
     let method = method.to_owned();
-    let path = path.to_owned();
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (path.to_owned(), String::new()),
+    };
 
     let mut content_length = 0usize;
+    let mut accept = String::new();
     for _ in 0..MAX_HEADERS {
         let mut header = String::new();
         let n = reader
@@ -271,7 +308,13 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<ParseOutcome> {
             } else {
                 String::new()
             };
-            return Ok(ParseOutcome::Ok(Request { method, path, body }));
+            return Ok(ParseOutcome::Ok(Request {
+                method,
+                path,
+                query,
+                accept,
+                body,
+            }));
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -285,6 +328,8 @@ fn parse_request(stream: &TcpStream) -> std::io::Result<ParseOutcome> {
                         ))
                     }
                 }
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_ascii_lowercase();
             }
         }
     }
@@ -337,7 +382,37 @@ fn route(stream: &TcpStream, service: &dyn JobBackend, req: &Request) -> std::io
             };
             respond_plain(stream, status, reason, r.name())
         }
-        ("GET", "/metrics") => respond_json(stream, 200, "OK", &service.metrics_json(), &[]),
+        ("GET", "/metrics") => {
+            // Content negotiation: Prometheus scrapers send
+            // `Accept: text/plain` (or set `?format=prometheus`);
+            // everything else keeps the JSON body.
+            let wants_prom = query_param(&req.query, "format").as_deref() == Some("prometheus")
+                || (req.accept.contains("text/plain") && !req.accept.contains("application/json"));
+            if wants_prom {
+                let body = service.metrics_prometheus();
+                let head = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let mut w = stream;
+                w.write_all(head.as_bytes())?;
+                w.write_all(body.as_bytes())?;
+                w.flush()
+            } else {
+                respond_json(stream, 200, "OK", &service.metrics_json(), &[])
+            }
+        }
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/events") => {
+            let id = path
+                .strip_prefix("/jobs/")
+                .and_then(|r| r.strip_suffix("/events"))
+                .and_then(|r| r.parse::<u64>().ok());
+            match id {
+                Some(id) if service.status(id).is_some() => serve_events(stream, service, id, req),
+                Some(_) => respond_plain(stream, 404, "Not Found", "unknown job"),
+                None => respond_plain(stream, 400, "Bad Request", "bad job id"),
+            }
+        }
         ("POST", path) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
             let id = path
                 .strip_prefix("/jobs/")
@@ -363,6 +438,108 @@ fn route(stream: &TcpStream, service: &dyn JobBackend, req: &Request) -> std::io
         }
         _ => respond_plain(stream, 404, "Not Found", "no such route"),
     }
+}
+
+/// `GET /jobs/<id>/events` — with `?since=seq` a single bounded
+/// long-poll response, otherwise a chunked NDJSON stream that ends
+/// after the job's terminal event.
+fn serve_events(
+    stream: &TcpStream,
+    service: &dyn JobBackend,
+    id: u64,
+    req: &Request,
+) -> std::io::Result<()> {
+    let bus = service.events();
+
+    if let Some(since) = query_param(&req.query, "since") {
+        let Ok(since) = since.parse::<u64>() else {
+            return respond_plain(stream, 400, "Bad Request", "bad since cursor");
+        };
+        let page = bus.wait_since(id, since, LONG_POLL_TIMEOUT);
+        let mut body = String::new();
+        for ev in &page.events {
+            body.push_str(&ev.line);
+            body.push('\n');
+        }
+        let dropped = format!("X-Dropped-Events: {}", page.dropped);
+        let terminal = format!("X-Stream-Terminal: {}", page.terminal);
+        let head = format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nContent-Length: {}\r\n{dropped}\r\n{terminal}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        let mut w = stream;
+        w.write_all(head.as_bytes())?;
+        w.write_all(body.as_bytes())?;
+        return w.flush();
+    }
+
+    // Streaming path. The write timeout is the backpressure boundary:
+    // a consumer that stops reading fills the socket buffer and the
+    // next chunk write errors out, freeing the thread. The routing hot
+    // path never blocks either way — publishers only append to the
+    // ring.
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut w = stream;
+    w.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+    )?;
+    w.flush()?;
+
+    let mut since = 0u64;
+    loop {
+        let page = bus.wait_since(id, since, STREAM_TICK);
+        let mut saw_terminal = false;
+        for ev in &page.events {
+            since = ev.seq;
+            write_chunk(stream, &format!("{}\n", ev.line))?;
+            if ev.kind == EventKind::Terminal {
+                saw_terminal = true;
+            }
+        }
+        if saw_terminal || (page.terminal && page.events.is_empty()) {
+            break;
+        }
+        // Idle tick: probe for a silent client disconnect so an
+        // abandoned stream on a quiet job does not pin a thread.
+        if page.events.is_empty() && client_gone(stream) {
+            return Ok(());
+        }
+    }
+    let mut w = stream;
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+/// One HTTP/1.1 chunk: hex length, CRLF, data, CRLF.
+fn write_chunk(mut stream: &TcpStream, data: &str) -> std::io::Result<()> {
+    let framed = format!("{:x}\r\n{data}\r\n", data.len());
+    stream.write_all(framed.as_bytes())?;
+    stream.flush()
+}
+
+/// `true` when the peer has closed its end — a non-blocking peek sees
+/// EOF. `WouldBlock` means the client is still there, just quiet.
+fn client_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+/// The value of `key` in a raw query string (`a=1&b=2`), undecoded.
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.to_owned())
+    })
 }
 
 fn respond_json(

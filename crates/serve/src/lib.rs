@@ -24,6 +24,12 @@
 //!   `/readyz` reports the pressure.
 //! * **Chaos harness** — [`chaos::ServeFaultPlan`] injects worker
 //!   panics, mid-job kills, and stalls, seeded and reproducible.
+//! * **Live observability** — every job feeds a bounded
+//!   [`events::EventBus`] ring (wave progress, pipeline stage spans,
+//!   solver residuals, retries, exactly one terminal event), streamed
+//!   to clients as chunked NDJSON via `GET /jobs/<id>/events` or a
+//!   `?since=` long-poll; `/metrics` negotiates JSON or Prometheus
+//!   text exposition. Publishing never blocks the routing hot path.
 //! * **Fleet mode** — [`fleet::FleetCoordinator`] shards jobs across
 //!   worker *processes* ([`worker`], speaking the framed protocol of
 //!   [`proto`]) with heartbeat liveness, lease-based assignment,
@@ -46,6 +52,7 @@
 
 pub mod backoff;
 pub mod chaos;
+pub mod events;
 pub mod fleet;
 pub mod http;
 pub mod job;
@@ -56,6 +63,7 @@ pub mod worker;
 
 pub use backoff::BackoffConfig;
 pub use chaos::{FleetFaultPlan, ServeFaultPlan};
+pub use events::{EventBus, EventKind, EventPage, JobEvent, JobRecorder};
 pub use fleet::{replay_journal, FleetConfig, FleetCoordinator, FleetMetrics, JournalReplay};
 pub use http::{HttpServer, JobBackend};
 pub use job::{JobSnapshot, JobSpec, JobState, Priority, SpecError};

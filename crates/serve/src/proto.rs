@@ -109,7 +109,11 @@ pub enum WorkerFrame {
         /// Monotone per-worker sequence number.
         seq: u64,
     },
-    /// One supervisor wave finished and its checkpoint is on disk.
+    /// One supervisor wave finished and its checkpoint is on disk —
+    /// or, when `stage` names a pipeline stage rather than `"wave"`, a
+    /// stage span closed. Either way the coordinator republishes the
+    /// frame onto its event bus so `GET /jobs/:id/events` streams the
+    /// same shapes in fleet mode as in-process.
     Progress {
         /// Job id.
         job: u64,
@@ -121,6 +125,15 @@ pub enum WorkerFrame {
         waves: usize,
         /// Rails complete so far.
         rails_complete: usize,
+        /// What made progress: `"wave"` for wave completion, else a
+        /// pipeline stage name (`grow`, `refine`, `reheat`, …).
+        stage: String,
+        /// Wall-clock since the attempt started (wave frames) or the
+        /// stage span's own duration (stage frames), in ms.
+        elapsed_ms: f64,
+        /// Cumulative solve-stage wall time so far (ms); 0 for stage
+        /// frames.
+        solve_ms: f64,
     },
     /// A leased job finished.
     Done(DoneFrame),
@@ -143,13 +156,19 @@ impl WorkerFrame {
                 wave,
                 waves,
                 rails_complete,
+                stage,
+                elapsed_ms,
+                solve_ms,
             } => {
                 o.str("type", "progress")
                     .u64("job", *job)
                     .u64("lease", *lease)
                     .u64("wave", *wave as u64)
                     .u64("waves", *waves as u64)
-                    .u64("rails_complete", *rails_complete as u64);
+                    .u64("rails_complete", *rails_complete as u64)
+                    .str("stage", stage)
+                    .f64("elapsed_ms", *elapsed_ms)
+                    .f64("solve_ms", *solve_ms);
             }
             WorkerFrame::Done(d) => {
                 o.str("type", "done")
@@ -192,6 +211,15 @@ impl WorkerFrame {
                 wave: need_u64(&root, "wave")? as usize,
                 waves: need_u64(&root, "waves")? as usize,
                 rails_complete: need_u64(&root, "rails_complete")? as usize,
+                // Lenient, like DoneFrame's optional fields: a frame
+                // from an older worker still parses as wave progress.
+                stage: root
+                    .get("stage")
+                    .and_then(Json::as_str)
+                    .unwrap_or("wave")
+                    .to_owned(),
+                elapsed_ms: root.get("elapsed_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                solve_ms: root.get("solve_ms").and_then(Json::as_f64).unwrap_or(0.0),
             }),
             "done" => Ok(WorkerFrame::Done(DoneFrame {
                 job: need_u64(&root, "job")?,
@@ -342,6 +370,19 @@ mod tests {
                 wave: 1,
                 waves: 2,
                 rails_complete: 1,
+                stage: "wave".into(),
+                elapsed_ms: 12.5,
+                solve_ms: 7.25,
+            },
+            WorkerFrame::Progress {
+                job: 3,
+                lease: 9,
+                wave: 0,
+                waves: 2,
+                rails_complete: 0,
+                stage: "grow".into(),
+                elapsed_ms: 3.5,
+                solve_ms: 0.0,
             },
             WorkerFrame::Done(DoneFrame {
                 job: 3,
@@ -398,6 +439,27 @@ mod tests {
         ];
         for f in frames {
             assert_eq!(CoordFrame::parse(&f.to_json()).expect("roundtrip"), f);
+        }
+    }
+
+    #[test]
+    fn legacy_progress_frames_parse_leniently() {
+        // A frame from a worker predating the enrichment fields must
+        // still parse as wave progress with zeroed timings.
+        let legacy =
+            r#"{"type":"progress","job":3,"lease":9,"wave":1,"waves":2,"rails_complete":1}"#;
+        match WorkerFrame::parse(legacy).expect("legacy frame parses") {
+            WorkerFrame::Progress {
+                stage,
+                elapsed_ms,
+                solve_ms,
+                ..
+            } => {
+                assert_eq!(stage, "wave");
+                assert_eq!(elapsed_ms, 0.0);
+                assert_eq!(solve_ms, 0.0);
+            }
+            other => panic!("expected progress, got {other:?}"),
         }
     }
 

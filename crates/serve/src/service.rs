@@ -31,6 +31,7 @@
 
 use crate::backoff::BackoffConfig;
 use crate::chaos::ServeFaultPlan;
+use crate::events::{EventBus, EventKind, JobRecorder};
 use crate::job::{JobSnapshot, JobSpec, JobState, Priority, SpecError};
 use crate::queue::{Admitted, BoundedQueue, Popped, QueueEntry};
 use sprout_core::recovery::{CancelToken, RecoveryPolicy};
@@ -227,6 +228,22 @@ pub struct ServiceMetrics {
     /// Leases expired by worker death and re-dispatched — always 0 for
     /// the in-process service.
     pub redispatches: u64,
+    /// Seconds since the service started.
+    pub uptime_seconds: f64,
+    /// Events published on the per-job observability bus.
+    pub events_published: u64,
+    /// Bus events dropped to drop-oldest backpressure.
+    pub events_dropped: u64,
+    /// Median admission→start queue wait (ms) over started attempts.
+    pub queue_wait_p50_ms: f64,
+    /// 99th-percentile admission→start queue wait (ms).
+    pub queue_wait_p99_ms: f64,
+    /// Attempt starts measured for the queue-wait percentiles.
+    pub queue_wait_count: u64,
+    /// Sum of measured queue waits (ms) — the Prometheus `_sum`.
+    pub queue_wait_sum_ms: f64,
+    /// Sum of terminal latencies (ms) — the Prometheus `_sum`.
+    pub latency_sum_ms: f64,
 }
 
 impl ServiceMetrics {
@@ -252,8 +269,117 @@ impl ServiceMetrics {
             .f64("latency_p99_ms", self.latency_p99_ms)
             .u64("workers_live", self.workers_live as u64)
             .u64("leased", self.leased as u64)
-            .u64("redispatches", self.redispatches);
+            .u64("redispatches", self.redispatches)
+            .f64("uptime_seconds", self.uptime_seconds)
+            .u64("events_published", self.events_published)
+            .u64("events_dropped", self.events_dropped)
+            .f64("queue_wait_p50_ms", self.queue_wait_p50_ms)
+            .f64("queue_wait_p99_ms", self.queue_wait_p99_ms);
         o.finish()
+    }
+
+    /// Prometheus text exposition of the same counters (the
+    /// `/metrics` body under content negotiation), with `prefix`
+    /// (`sprout_serve_` or `sprout_fleet_`) naming the backend.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        use sprout_telemetry::prom::PromText;
+        let mut p = PromText::new();
+        let n = |name: &str| format!("{prefix}{name}");
+        p.gauge(
+            &n("queue_depth"),
+            "jobs waiting in the queue",
+            self.queue_depth as f64,
+        )
+        .gauge(&n("running"), "jobs currently routing", self.running as f64)
+        .gauge(
+            &n("workers_live"),
+            "worker processes alive",
+            self.workers_live as f64,
+        )
+        .gauge(
+            &n("leased"),
+            "jobs out under a process lease",
+            self.leased as f64,
+        )
+        .gauge(
+            &n("uptime_seconds"),
+            "seconds since service start",
+            self.uptime_seconds,
+        )
+        .counter(&n("accepted_total"), "jobs accepted", self.accepted)
+        .counter(&n("rejected_total"), "submissions rejected", self.rejected)
+        .counter(&n("completed_total"), "jobs completed", self.completed)
+        .counter(
+            &n("best_so_far_total"),
+            "partial results shipped",
+            self.best_so_far,
+        )
+        .counter(&n("failed_total"), "jobs failed", self.failed)
+        .counter(&n("shed_total"), "jobs shed under saturation", self.shed)
+        .counter(
+            &n("expired_total"),
+            "jobs past their deadline",
+            self.expired,
+        )
+        .counter(&n("cancelled_total"), "jobs cancelled", self.cancelled)
+        .counter(&n("retries_total"), "service-level retries", self.retries)
+        .counter(
+            &n("recovered_total"),
+            "jobs re-admitted by recovery",
+            self.recovered,
+        )
+        .counter(&n("killed_total"), "workers killed mid-job", self.killed)
+        .counter(
+            &n("worker_panics_total"),
+            "worker panics contained",
+            self.worker_panics,
+        )
+        .counter(
+            &n("terminal_violations_total"),
+            "exactly-once violations (must stay 0)",
+            self.terminal_violations,
+        )
+        .counter(
+            &n("redispatches_total"),
+            "leases re-dispatched",
+            self.redispatches,
+        )
+        .counter(
+            &n("events_published_total"),
+            "observability events published",
+            self.events_published,
+        )
+        .counter(
+            &n("events_dropped_total"),
+            "observability events dropped",
+            self.events_dropped,
+        )
+        .summary(
+            &n("latency_ms"),
+            "admission to terminal latency (ms)",
+            &[(0.5, self.latency_p50_ms), (0.99, self.latency_p99_ms)],
+            self.terminal_total(),
+            self.latency_sum_ms,
+        )
+        .summary(
+            &n("queue_wait_ms"),
+            "admission to start queue wait (ms)",
+            &[
+                (0.5, self.queue_wait_p50_ms),
+                (0.99, self.queue_wait_p99_ms),
+            ],
+            self.queue_wait_count,
+            self.queue_wait_sum_ms,
+        );
+        // Per-stage wall time and everything else the routing layer
+        // observes into the global registry rides along with the
+        // workspace prefix.
+        p.registry("sprout_", telemetry::metrics::global());
+        p.finish()
+    }
+
+    fn terminal_total(&self) -> u64 {
+        self.completed + self.best_so_far + self.failed + self.shed + self.expired + self.cancelled
     }
 }
 
@@ -332,7 +458,10 @@ struct Shared {
     running: AtomicUsize,
     counters: Counters,
     latencies: Mutex<Vec<f64>>,
+    queue_waits: Mutex<Vec<f64>>,
     reports: Mutex<Vec<RunReport>>,
+    started: Instant,
+    bus: Arc<EventBus>,
 }
 
 /// The running service. Cheap to clone handles are not provided —
@@ -370,7 +499,10 @@ impl RoutingService {
             running: AtomicUsize::new(0),
             counters: Counters::default(),
             latencies: Mutex::new(Vec::new()),
+            queue_waits: Mutex::new(Vec::new()),
             reports: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            bus: Arc::new(EventBus::default()),
             config,
         });
 
@@ -541,13 +673,24 @@ impl RoutingService {
         }
     }
 
+    /// The per-job event bus feeding `GET /jobs/:id/events`.
+    pub fn events(&self) -> Arc<EventBus> {
+        Arc::clone(&self.shared.bus)
+    }
+
     /// Current counters and latency percentiles.
     pub fn metrics(&self) -> ServiceMetrics {
         let s = &self.shared;
         let c = &s.counters;
-        let (p50, p99) = {
+        let (p50, p99, lat_sum) = {
             let lat = s.latencies.lock().unwrap_or_else(|e| e.into_inner());
-            percentiles(&lat)
+            let (p50, p99) = percentiles(&lat);
+            (p50, p99, lat.iter().sum())
+        };
+        let (qw50, qw99, qw_count, qw_sum) = {
+            let qw = s.queue_waits.lock().unwrap_or_else(|e| e.into_inner());
+            let (p50, p99) = percentiles(&qw);
+            (p50, p99, qw.len() as u64, qw.iter().sum())
         };
         ServiceMetrics {
             queue_depth: s.queue.len(),
@@ -570,6 +713,14 @@ impl RoutingService {
             workers_live: 0,
             leased: 0,
             redispatches: 0,
+            uptime_seconds: s.started.elapsed().as_secs_f64(),
+            events_published: s.bus.events_published(),
+            events_dropped: s.bus.events_dropped(),
+            queue_wait_p50_ms: qw50,
+            queue_wait_p99_ms: qw99,
+            queue_wait_count: qw_count,
+            queue_wait_sum_ms: qw_sum,
+            latency_sum_ms: lat_sum,
         }
     }
 
@@ -863,6 +1014,11 @@ fn handle_worker_panic(s: &Arc<Shared>, id: u64, attempt: usize) {
             s.counters.retries.fetch_add(1, Ordering::Relaxed);
             telemetry::counter!("serve.retries");
             let delay = s.config.backoff.delay_ms(id, (attempts - 1) as u32);
+            s.bus.publish(id, EventKind::Retry, |o| {
+                o.str("reason", "worker_panic")
+                    .u64("attempt", attempts as u64)
+                    .f64("backoff_ms", delay);
+            });
             s.queue
                 .reenter(id, priority, attempts, Duration::from_secs_f64(delay / 1e3));
         }
@@ -878,7 +1034,7 @@ fn handle_worker_panic(s: &Arc<Shared>, id: u64, attempt: usize) {
 
 fn run_one(s: &Arc<Shared>, entry: QueueEntry) {
     let id = entry.id;
-    let (spec, cancel, deadline_ms, submitted, cancel_requested) = {
+    let (spec, cancel, deadline_ms, submitted, cancel_requested, queue_ms) = {
         let mut jobs = s.jobs.lock().unwrap_or_else(|e| e.into_inner());
         let Some(rec) = jobs.get_mut(&id) else { return };
         if rec.state.is_terminal() {
@@ -893,8 +1049,14 @@ fn run_one(s: &Arc<Shared>, entry: QueueEntry) {
             rec.deadline_ms,
             rec.submitted,
             rec.cancel_requested,
+            rec.queue_ms,
         )
     };
+    {
+        let mut qw = s.queue_waits.lock().unwrap_or_else(|e| e.into_inner());
+        qw.push(queue_ms.max(0.0));
+    }
+    telemetry::histogram!("serve.queue_wait_ms", queue_ms.max(0.0) as u64);
 
     if cancel_requested {
         finalize(s, id, JobState::Cancelled, Some("cancelled".into()), 0.0);
@@ -962,6 +1124,20 @@ fn run_one(s: &Arc<Shared>, entry: QueueEntry) {
     }
 
     let killed = fault.is_some_and(|p| p.kills(id, entry.attempt));
+    // Wave completions go straight onto the event bus; the hook runs on
+    // the supervisor thread after the wave's checkpoint save, so it is
+    // off the rail-routing hot path.
+    let wave_bus = Arc::clone(&s.bus);
+    let on_wave: sprout_core::supervisor::WaveHook = Arc::new(move |p| {
+        wave_bus.publish(id, EventKind::Progress, |o| {
+            o.u64("wave", p.wave as u64)
+                .u64("waves", p.waves as u64)
+                .u64("rails_complete", p.rails_complete as u64)
+                .u64("rails_total", p.rails_total as u64)
+                .f64("elapsed_ms", p.elapsed_ms)
+                .f64("solve_ms", p.solve_ms);
+        });
+    });
     let sup_config = SupervisorConfig {
         threads: s.config.supervisor_threads,
         deadline_ms: remaining_ms,
@@ -973,11 +1149,23 @@ fn run_one(s: &Arc<Shared>, entry: QueueEntry) {
             .map(|d| d.join(format!("ckpt-{id}"))),
         cancel: cancel.clone(),
         kill_after_wave: if killed { Some(0) } else { None },
+        on_wave: Some(on_wave),
         ..SupervisorConfig::default()
     };
 
     let run_start = Instant::now();
-    let report = Supervisor::new(&board, router, sup_config).run(&requests);
+    // Stage spans, residual points, retries and panics recorded during
+    // this attempt flow onto the event bus with this job's id attached;
+    // the recorder chains to whatever sink the host installed.
+    let job_recorder = Arc::new(JobRecorder::new(
+        Arc::clone(&s.bus),
+        id,
+        telemetry::current(),
+    ));
+    let report = {
+        let _telemetry = telemetry::RecorderScope::install(job_recorder);
+        Supervisor::new(&board, router, sup_config).run(&requests)
+    };
     let run_ms = run_start.elapsed().as_secs_f64() * 1e3;
     telemetry::histogram!("serve.attempt_ms", run_ms as u64);
 
@@ -1090,6 +1278,11 @@ fn run_one(s: &Arc<Shared>, entry: QueueEntry) {
             s.counters.retries.fetch_add(1, Ordering::Relaxed);
             telemetry::counter!("serve.retries");
             let delay = s.config.backoff.delay_ms(id, (attempts - 1) as u32);
+            s.bus.publish(id, EventKind::Retry, |o| {
+                o.str("reason", "attempt_failed")
+                    .u64("attempt", attempts as u64)
+                    .f64("backoff_ms", delay);
+            });
             s.queue
                 .reenter(id, priority, attempts, Duration::from_secs_f64(delay / 1e3));
             return;
@@ -1148,6 +1341,18 @@ fn finalize(s: &Arc<Shared>, id: u64, state: JobState, error: Option<String>, _r
         .field("state", state.name())
         .field("latency_ms", latency_ms)
         .emit();
+    // Exactly one Terminal event per job: this runs only after the
+    // terminal_transitions guard above admitted the first transition.
+    let terminal_error = {
+        let jobs = s.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        jobs.get(&id).and_then(|r| r.error.clone())
+    };
+    s.bus.publish(id, EventKind::Terminal, |o| {
+        o.str("state", state.name()).f64("latency_ms", latency_ms);
+        if let Some(e) = &terminal_error {
+            o.str("error", e);
+        }
+    });
     {
         let mut lat = s.latencies.lock().unwrap_or_else(|e| e.into_inner());
         lat.push(latency_ms);

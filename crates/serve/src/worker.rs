@@ -23,12 +23,14 @@
 //! re-dispatches.
 
 use crate::chaos::FleetFaultPlan;
+use crate::events::STAGE_SPANS;
 use crate::job::JobSpec;
 use crate::proto::{CoordFrame, DoneFrame, WorkerFrame};
 use sprout_core::recovery::{RecoveryConfig, RecoveryPolicy, StageBudget};
 use sprout_core::router::RouterConfig;
 use sprout_core::supervisor::{is_retryable, Supervisor, SupervisorConfig, WaveProgress};
 use sprout_core::SproutError;
+use sprout_telemetry::{self as telemetry, Event, Recorder};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -93,6 +95,85 @@ impl<W: Write> Outbound<W> {
         // will see EOF and exit — nothing useful to do with the error.
         let _ = writeln!(out, "{}", frame.to_json());
         let _ = out.flush();
+    }
+}
+
+/// Telemetry adapter installed around each leased run: pipeline stage
+/// span ends (`grow`, `refine`, … — [`STAGE_SPANS`]) go out as
+/// enriched [`WorkerFrame::Progress`] frames so the coordinator can
+/// republish them on its event bus, giving `--fleet N` the same
+/// per-stage stream in-process jobs get from their `JobRecorder`.
+/// Wave attribution comes from watching `wave`/`job` span starts.
+struct StageRecorder<W: Write> {
+    out: Arc<Outbound<W>>,
+    job: u64,
+    lease: u64,
+    wave: AtomicU64,
+    waves: AtomicU64,
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+fn field_u64(fields: &[(&'static str, telemetry::Value)], key: &str) -> Option<u64> {
+    fields.iter().find_map(|(k, v)| {
+        if *k != key {
+            return None;
+        }
+        match v {
+            telemetry::Value::U64(n) => Some(*n),
+            telemetry::Value::I64(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    })
+}
+
+impl<W: Write + Send> Recorder for StageRecorder<W> {
+    fn record(&self, event: &Event) {
+        match event {
+            Event::SpanStart {
+                name: "job",
+                fields,
+                ..
+            } => {
+                if let Some(w) = field_u64(fields, "waves") {
+                    self.waves.store(w, Ordering::Relaxed);
+                }
+            }
+            Event::SpanStart {
+                name: "wave",
+                fields,
+                ..
+            } => {
+                if let Some(w) = field_u64(fields, "wave") {
+                    self.wave.store(w, Ordering::Relaxed);
+                }
+            }
+            Event::SpanEnd {
+                name, elapsed_ns, ..
+            } if STAGE_SPANS.contains(name) => {
+                self.out.send(&WorkerFrame::Progress {
+                    job: self.job,
+                    lease: self.lease,
+                    wave: self.wave.load(Ordering::Relaxed) as usize,
+                    waves: self.waves.load(Ordering::Relaxed) as usize,
+                    // Stage frames carry no rail count; the coordinator
+                    // folds `rails_complete` in with `max`, so 0 is inert.
+                    rails_complete: 0,
+                    stage: (*name).to_owned(),
+                    elapsed_ms: *elapsed_ns as f64 / 1e6,
+                    solve_ms: 0.0,
+                });
+            }
+            _ => {}
+        }
+        if let Some(inner) = &self.inner {
+            inner.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flush();
+        }
     }
 }
 
@@ -252,6 +333,9 @@ where
                 wave: p.wave,
                 waves: p.waves,
                 rails_complete: p.rails_complete,
+                stage: "wave".into(),
+                elapsed_ms: p.elapsed_ms,
+                solve_ms: p.solve_ms,
             });
             if kill && p.wave == 0 {
                 // The deterministic `kill -9`: wave 0's checkpoint is
@@ -273,7 +357,21 @@ where
     };
 
     let start = Instant::now();
-    let report = Supervisor::new(&board, router, sup_config).run(&requests);
+    // Stage spans flow out as enriched progress frames for the
+    // coordinator's event bus; the scope chains to whatever recorder
+    // was already current so nothing is hidden from existing sinks.
+    let stage_recorder = Arc::new(StageRecorder {
+        out: Arc::clone(out),
+        job,
+        lease,
+        wave: AtomicU64::new(0),
+        waves: AtomicU64::new(0),
+        inner: telemetry::current(),
+    });
+    let report = {
+        let _telemetry = telemetry::RecorderScope::install(stage_recorder);
+        Supervisor::new(&board, router, sup_config).run(&requests)
+    };
     done.run_ms = start.elapsed().as_secs_f64() * 1e3;
     done.resumed = report.resumed;
     done.rails_complete = report
@@ -465,12 +563,23 @@ mod tests {
         assert_eq!(done.lease, 100);
         assert_eq!(done.state, "completed");
         assert_eq!(done.rails_complete, 2);
-        // Two rails on one layer = two waves = two progress frames.
-        let progress: Vec<_> = fs
+        // Two rails on one layer = two waves = two wave-progress
+        // frames; stage spans ride along as their own frames.
+        let wave_frames: Vec<_> = fs
             .iter()
-            .filter(|f| matches!(f, WorkerFrame::Progress { .. }))
+            .filter(|f| matches!(f, WorkerFrame::Progress { stage, .. } if stage == "wave"))
             .collect();
-        assert_eq!(progress.len(), 2);
+        assert_eq!(wave_frames.len(), 2);
+        assert!(
+            fs.iter()
+                .any(|f| matches!(f, WorkerFrame::Progress { stage, .. } if stage == "grow")),
+            "stage spans must be forwarded as progress frames"
+        );
+        let timed = fs.iter().any(|f| {
+            matches!(f, WorkerFrame::Progress { stage, elapsed_ms, .. }
+                if stage == "wave" && *elapsed_ms > 0.0)
+        });
+        assert!(timed, "wave frames must carry elapsed_ms");
     }
 
     #[test]

@@ -240,6 +240,16 @@ impl Registry {
         map.entry(name).or_default().clone()
     }
 
+    /// Visits every registered histogram with its live handle — the
+    /// full-bucket view [`Snapshot`] deliberately flattens away, needed
+    /// by quantile renderers such as [`crate::prom`].
+    pub fn visit_histograms(&self, mut f: impl FnMut(&'static str, &Histogram)) {
+        let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        for (&name, h) in map.iter() {
+            f(name, h);
+        }
+    }
+
     /// Copies every metric's current value.
     pub fn snapshot(&self) -> Snapshot {
         let counters = self

@@ -1,0 +1,332 @@
+//! Prometheus text exposition (version 0.0.4), hand-rolled.
+//!
+//! The serve layer negotiates `GET /metrics` between the original JSON
+//! body and this format; everything here is dependency-free string
+//! assembly plus a small lint used by CI to prove the output actually
+//! parses as exposition text.
+//!
+//! Only the subset the workspace emits is supported: `counter` and
+//! `gauge` samples plus summary-style quantile lines derived from the
+//! log2 [`Histogram`](crate::metrics::Histogram) buckets. Labels are
+//! restricted to the `quantile` label summaries need.
+
+use crate::metrics::{Histogram, Registry};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Maps an internal metric name (`serve.stage.grow_ms`) onto a valid
+/// Prometheus metric name (`serve_stage_grow_ms`): `[a-zA-Z_:]` first,
+/// `[a-zA-Z0-9_:]` after, everything else folded to `_`.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a sample value: integers stay integral, floats keep their
+/// shortest round-trip form, non-finite values become `NaN`/`+Inf`
+/// (both valid exposition values).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_owned()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Incremental builder for one exposition document.
+///
+/// Family names are first-write-wins: appending a second metric that
+/// sanitizes to an already-emitted name is a silent no-op. That keeps
+/// the document scrapeable when hand-curated summaries and the
+/// auto-exported [`Registry`] overlap on a name (exposition forbids
+/// duplicate families).
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    seen: HashSet<String>,
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> PromText {
+        PromText::default()
+    }
+
+    /// Claims `name` (and any derived sample suffixes); returns false
+    /// if a family with that name was already emitted.
+    fn claim(&mut self, name: &str, suffixes: &[&str]) -> bool {
+        if self.seen.contains(name)
+            || suffixes
+                .iter()
+                .any(|s| self.seen.contains(&format!("{name}{s}")))
+        {
+            return false;
+        }
+        self.seen.insert(name.to_owned());
+        for s in suffixes {
+            self.seen.insert(format!("{name}{s}"));
+        }
+        true
+    }
+
+    /// Appends a `counter` sample with its `# HELP`/`# TYPE` header.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) -> &mut PromText {
+        let name = sanitize(name);
+        if !self.claim(&name, &[]) {
+            return self;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} counter");
+        let _ = writeln!(self.out, "{name} {value}");
+        self
+    }
+
+    /// Appends a `gauge` sample with its `# HELP`/`# TYPE` header.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut PromText {
+        let name = sanitize(name);
+        if !self.claim(&name, &[]) {
+            return self;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} gauge");
+        let _ = writeln!(self.out, "{name} {}", fmt_value(value));
+        self
+    }
+
+    /// Appends a `summary` family: one `{quantile="q"}` line per entry
+    /// plus the conventional `_count` and `_sum` samples.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &str,
+        quantiles: &[(f64, f64)],
+        count: u64,
+        sum: f64,
+    ) -> &mut PromText {
+        let name = sanitize(name);
+        if !self.claim(&name, &["_count", "_sum"]) {
+            return self;
+        }
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} summary");
+        for &(q, v) in quantiles {
+            let _ = writeln!(
+                self.out,
+                "{name}{{quantile=\"{}\"}} {}",
+                fmt_value(q),
+                fmt_value(v)
+            );
+        }
+        let _ = writeln!(self.out, "{name}_count {count}");
+        let _ = writeln!(self.out, "{name}_sum {}", fmt_value(sum));
+        self
+    }
+
+    /// Appends a summary derived from a log2 histogram: p50/p90/p99
+    /// quantiles via [`Histogram::percentile`], plus count and sum.
+    pub fn histogram_summary(&mut self, name: &str, help: &str, h: &Histogram) -> &mut PromText {
+        let qs = [
+            (0.5, h.percentile(50.0)),
+            (0.9, h.percentile(90.0)),
+            (0.99, h.percentile(99.0)),
+        ];
+        self.summary(name, help, &qs, h.count(), h.sum() as f64)
+    }
+
+    /// Appends every metric registered in `registry`, names prefixed
+    /// with `prefix` (counters as counters, gauges as gauges,
+    /// histograms as quantile summaries).
+    pub fn registry(&mut self, prefix: &str, registry: &Registry) -> &mut PromText {
+        let snap = registry.snapshot();
+        for (name, value) in &snap.counters {
+            self.counter(
+                &format!("{prefix}{name}"),
+                "workspace counter (sprout-telemetry registry)",
+                *value,
+            );
+        }
+        for (name, value) in &snap.gauges {
+            self.gauge(
+                &format!("{prefix}{name}"),
+                "workspace gauge (sprout-telemetry registry)",
+                *value as f64,
+            );
+        }
+        registry.visit_histograms(|name, h| {
+            self.histogram_summary(
+                &format!("{prefix}{name}"),
+                "workspace histogram (sprout-telemetry registry)",
+                h,
+            );
+        });
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validates `text` as Prometheus exposition format: every line is a
+/// comment (`# HELP` / `# TYPE` with a known type), blank, or a sample
+/// `name{labels} value` with a well-formed name, balanced quoted
+/// labels, and a parseable value. Each family may be `# TYPE`-declared
+/// at most once — Prometheus aborts the whole scrape on duplicates.
+/// Returns the first offending line.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut declared = HashSet::new();
+    for (no, line) in text.lines().enumerate() {
+        let err = |why: &str| Err(format!("line {}: {why}: {line:?}", no + 1));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(t) = rest.strip_prefix("TYPE ") {
+                let mut parts = t.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_name(name) {
+                    return err("bad metric name in TYPE comment");
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return err("unknown metric type");
+                }
+                if !declared.insert(name.to_owned()) {
+                    return err("duplicate TYPE declaration for metric family");
+                }
+            }
+            // HELP and free comments are unconstrained.
+            continue;
+        }
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_labels, tail) = match line.split_once(|c: char| c.is_ascii_whitespace()) {
+            Some(parts) => parts,
+            None => return err("sample line has no value"),
+        };
+        let name = match name_labels.split_once('{') {
+            Some((n, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else {
+                    return err("unterminated label set");
+                };
+                if labels.chars().filter(|&c| c == '"').count() % 2 != 0 {
+                    return err("unbalanced quotes in labels");
+                }
+                n
+            }
+            None => name_labels,
+        };
+        if !valid_name(name) {
+            return err("bad metric name");
+        }
+        let value = tail.split_whitespace().next().unwrap_or("");
+        let ok = value.parse::<f64>().is_ok() || matches!(value, "+Inf" | "-Inf" | "NaN");
+        if !ok {
+            return err("unparseable sample value");
+        }
+    }
+    Ok(())
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_folds_invalid_chars() {
+        assert_eq!(sanitize("serve.stage.grow_ms"), "serve_stage_grow_ms");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn builder_output_passes_the_lint() {
+        let mut p = PromText::new();
+        p.counter("jobs_total", "accepted jobs", 7)
+            .gauge("queue_depth", "queued jobs", 3.0)
+            .summary(
+                "latency_ms",
+                "end-to-end latency",
+                &[(0.5, 12.0), (0.99, 80.5)],
+                42,
+                512.25,
+            );
+        let h = Histogram::default();
+        h.observe(3);
+        h.observe(900);
+        p.histogram_summary("queue.wait_ms", "queue wait", &h);
+        let text = p.finish();
+        lint(&text).expect("builder output must lint clean");
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("latency_ms{quantile=\"0.5\"} 12"));
+        assert!(text.contains("queue_wait_ms_count 2"));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_lines() {
+        assert!(lint("9bad 1").is_err());
+        assert!(lint("name{open 1").is_err());
+        assert!(lint("name notanumber").is_err());
+        assert!(lint("# TYPE ok flavor").is_err());
+        assert!(lint("# HELP anything goes here\nok_name 4.5\n").is_ok());
+        assert!(lint("x{quantile=\"0.5\"} +Inf").is_ok());
+        assert!(lint("# TYPE x counter\nx 1\n# TYPE x counter\nx 2\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_families_are_skipped_first_write_wins() {
+        let mut p = PromText::new();
+        p.summary("wait_ms", "curated", &[(0.5, 7.0)], 1, 7.0);
+        let h = Histogram::default();
+        h.observe(1);
+        p.histogram_summary("wait.ms", "registry shadow", &h) // sanitizes to wait_ms
+            .counter("wait_ms_count", "would collide with summary suffix", 9)
+            .counter("jobs_total", "kept", 2)
+            .counter("jobs_total", "dropped", 5);
+        let text = p.finish();
+        lint(&text).expect("deduped output must lint clean");
+        assert_eq!(text.matches("# TYPE wait_ms summary").count(), 1);
+        assert!(text.contains("wait_ms{quantile=\"0.5\"} 7"));
+        assert!(!text.contains("registry shadow"));
+        assert!(!text.contains("would collide"));
+        assert!(text.contains("jobs_total 2"));
+        assert!(!text.contains("jobs_total 5"));
+    }
+
+    #[test]
+    fn registry_rendering_lints_clean() {
+        let r = Registry::new();
+        r.counter("a.count").add(3);
+        r.gauge("b.level").set(-2);
+        r.histogram("c.ms").observe(17);
+        let mut p = PromText::new();
+        p.registry("sprout_", &r);
+        let text = p.finish();
+        lint(&text).expect("registry output must lint clean");
+        assert!(text.contains("sprout_a_count 3"));
+        assert!(text.contains("sprout_b_level -2"));
+        assert!(text.contains("sprout_c_ms{quantile=\"0.99\"}"));
+    }
+}

@@ -275,6 +275,16 @@ fn heartbeat_blackout_zombie_cannot_double_finalize() {
         std::thread::sleep(Duration::from_millis(20));
     }
     assert_fleet_contract(&fleet, &ids);
+    // The event stream tells the same story: the zombie's defeated
+    // double finalize must not leak a second terminal event.
+    let bus = fleet.events();
+    for &id in &ids {
+        assert_eq!(
+            bus.terminal_events(id),
+            1,
+            "job {id}: stream terminal events"
+        );
+    }
 }
 
 #[test]

@@ -371,6 +371,9 @@ fn http_smoke_submit_status_metrics() {
     let (status, body) = request("GET", "/metrics", "");
     assert_eq!(status, 200);
     assert!(body.contains("\"completed\":1"), "{body}");
+    assert!(body.contains("\"uptime_seconds\""), "{body}");
+    assert!(body.contains("\"events_published\""), "{body}");
+    assert!(body.contains("\"events_dropped\""), "{body}");
 
     // Hostile inputs answer with typed statuses, never a hang or crash.
     let (status, _) = request("POST", "/jobs", "{not json");
