@@ -26,12 +26,22 @@
 //! records the verdict as `scaling_ok`, so the known contention
 //! regression on the stacked workload (see ROADMAP) stays visible in
 //! every artifact even when the gate itself is run non-blocking.
+//!
+//! Under `--scaling-gate` or `--profile <base>` every measured
+//! configuration also runs one *profiled* rep (outside the timed
+//! medians): the thread timeline feeds a
+//! [`ScalingDiagnosis`](sprout_telemetry::prof::ScalingDiagnosis)
+//! persisted per row in the JSON, a gate failure prints the 1→4-thread
+//! wall-time gap decomposed into serialized-critical-path vs overhead
+//! (with lock-wait and alloc-churn attributions), and `--profile`
+//! exports `<base>_<job>_t<threads>.trace.json` / `.folded` artifacts.
 
-use sprout_bench::{experiments_dir, outln, BenchOutput};
+use sprout_bench::{experiments_dir, export_profile, outln, BenchOutput};
 use sprout_board::{presets, Board, Element};
 use sprout_core::router::RouterConfig;
 use sprout_core::supervisor::{JobReport, Supervisor, SupervisorConfig};
 use sprout_core::RunReport;
+use sprout_telemetry::prof;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -76,6 +86,7 @@ struct Measurement {
     median_ms: f64,
     complete: bool,
     matches_sequential: bool,
+    diagnosis: Option<prof::ScalingDiagnosis>,
 }
 
 fn median(mut xs: Vec<f64>) -> f64 {
@@ -102,10 +113,9 @@ fn run_job(
     requests: &[(sprout_board::NetId, usize, f64)],
     threads: usize,
     reference: Option<&JobReport>,
-) -> (Measurement, JobReport) {
-    let mut times = Vec::with_capacity(REPS);
-    let mut last: Option<JobReport> = None;
-    for _ in 0..REPS {
+    profiler: Option<&prof::Profiler>,
+) -> (Measurement, JobReport, Option<prof::Timeline>) {
+    let run_once = || {
         let supervisor = Supervisor::new(
             board,
             bench_config(),
@@ -114,12 +124,37 @@ fn run_job(
                 ..SupervisorConfig::default()
             },
         );
+        supervisor.run(requests)
+    };
+    // Timed reps run with capture disarmed so the medians stay
+    // comparable to unprofiled invocations.
+    if let Some(p) = profiler {
+        p.set_armed(false);
+    }
+    let mut times = Vec::with_capacity(REPS);
+    let mut last: Option<JobReport> = None;
+    for _ in 0..REPS {
         let t0 = Instant::now();
-        let report = supervisor.run(requests);
+        let report = run_once();
         times.push(t0.elapsed().as_secs_f64() * 1e3);
         last = Some(report);
     }
     let report = last.expect("at least one rep");
+    // One extra rep with capture armed feeds the diagnosis and trace.
+    let (diagnosis, timeline) = match profiler {
+        Some(p) => {
+            p.set_armed(true);
+            let _ = p.drain();
+            let contention_base = prof::snapshot();
+            run_once();
+            p.set_armed(false);
+            let timeline = p.drain();
+            let contention = prof::snapshot().delta_since(&contention_base);
+            let d = prof::diagnose(&timeline, &contention, threads);
+            (Some(d), Some(timeline))
+        }
+        None => (None, None),
+    };
     let m = Measurement {
         job,
         threads,
@@ -128,8 +163,9 @@ fn run_job(
         median_ms: median(times),
         complete: report.is_complete(),
         matches_sequential: reference.map(|r| shapes_equal(r, &report)).unwrap_or(true),
+        diagnosis,
     };
-    (m, report)
+    (m, report, timeline)
 }
 
 /// Per-job verdict: wall@4 within the noise allowance of wall@1.
@@ -160,6 +196,9 @@ fn scaling_verdicts(rows: &[Measurement]) -> Vec<(&'static str, f64, f64, bool)>
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = BenchOutput::from_args();
     let scaling_gate = std::env::args().any(|a| a == "--scaling-gate");
+    // The gate needs a diagnosis to explain a failure even when no
+    // export path was requested.
+    let profiler = (scaling_gate || out.profile_base().is_some()).then(|| out.ensure_profiler());
     let flat = presets::two_rail();
     let flat_requests: Vec<_> = flat
         .power_nets()
@@ -191,18 +230,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("two_rail", &flat, &flat_requests),
         ("stacked", &stacked, &stacked_requests),
     ] {
-        let (seq, seq_report) = run_job(job, board, requests, 1, None);
+        let (seq, seq_report, seq_timeline) =
+            run_job(job, board, requests, 1, None, profiler.as_ref());
         out.emit_report(
             "supervisor",
             &RunReport::from_job(&format!("supervisor {job} threads=1"), &seq_report),
         );
+        if let (Some(base), Some(t)) = (out.profile_base(), &seq_timeline) {
+            export_profile(base, &format!("_{job}_t1"), t)?;
+        }
         let mut per_job = vec![seq];
         for threads in [2, 4] {
-            let (m, report) = run_job(job, board, requests, threads, Some(&seq_report));
+            let (m, report, timeline) = run_job(
+                job,
+                board,
+                requests,
+                threads,
+                Some(&seq_report),
+                profiler.as_ref(),
+            );
             out.emit_report(
                 "supervisor",
                 &RunReport::from_job(&format!("supervisor {job} threads={threads}"), &report),
             );
+            if let (Some(base), Some(t)) = (out.profile_base(), &timeline) {
+                export_profile(base, &format!("_{job}_t{threads}"), t)?;
+            }
             per_job.push(m);
         }
         for m in per_job {
@@ -223,12 +276,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let verdicts = scaling_verdicts(&rows);
     let scaling_ok = verdicts.iter().all(|(_, _, _, ok)| *ok);
+    let diagnosis_at = |job: &str, threads: usize| {
+        rows.iter()
+            .find(|m| m.job == job && m.threads == threads)
+            .and_then(|m| m.diagnosis.as_ref())
+    };
     for (job, w1, w4, ok) in &verdicts {
         outln!(
             out,
             "scaling {job}: wall@1 {w1:.1} ms, wall@4 {w4:.1} ms — {}",
             if *ok { "ok" } else { "NEGATIVE SCALING" }
         );
+        if let Some(d) = diagnosis_at(job, 4) {
+            outln!(out, "{}", d.render());
+        }
     }
 
     // Hand-rolled JSON: the workspace is dependency-free by design.
@@ -239,10 +300,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ",\n  \"reps\": {REPS},\n  \"scaling_ok\": {scaling_ok},\n  \"jobs\": [\n"
     );
     for (i, m) in rows.iter().enumerate() {
+        let diagnosis = m
+            .diagnosis
+            .as_ref()
+            .map(|d| format!(", \"diagnosis\": {}", d.to_json()))
+            .unwrap_or_default();
         let _ = writeln!(
             json,
             "    {{\"job\": \"{}\", \"threads\": {}, \"rails\": {}, \"waves\": {}, \
-             \"median_ms\": {:.3}, \"complete\": {}, \"matches_sequential\": {}}}{}",
+             \"median_ms\": {:.3}, \"complete\": {}, \"matches_sequential\": {}{}}}{}",
             m.job,
             m.threads,
             m.rails,
@@ -250,7 +316,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.median_ms,
             m.complete,
             m.matches_sequential,
+            diagnosis,
             if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"verdicts\": [\n");
+    for (i, (job, w1, w4, ok)) in verdicts.iter().enumerate() {
+        let gap = match (diagnosis_at(job, 1), diagnosis_at(job, 4)) {
+            (Some(d1), Some(d4)) => format!(", \"gap\": {}", prof::critical::gap_json(d1, d4)),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"job\": \"{job}\", \"wall_1_ms\": {w1:.3}, \"wall_4_ms\": {w4:.3}, \
+             \"ok\": {ok}{gap}}}{}",
+            if i + 1 < verdicts.len() { "," } else { "" }
         );
     }
     json.push_str("  ]\n}\n");
@@ -277,6 +357,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|(_, _, _, ok)| !ok)
             .map(|(job, w1, w4, _)| format!("{job} ({w1:.1} ms @1 -> {w4:.1} ms @4)"))
             .collect();
+        // Don't just report the wall times: decompose the gap so the failure
+        // output names serialized critical path vs lock wait vs overhead.
+        for (job, _, _, ok) in &verdicts {
+            if *ok {
+                continue;
+            }
+            if let (Some(d1), Some(d4)) = (diagnosis_at(job, 1), diagnosis_at(job, 4)) {
+                eprintln!("{}", prof::explain_gap(d1, d4));
+                eprintln!("{}", d4.render());
+            }
+        }
         return Err(format!("negative thread scaling: {}", bad.join(", ")).into());
     }
     Ok(())

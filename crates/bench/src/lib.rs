@@ -48,6 +48,13 @@ use std::sync::Arc;
 ///   run executes *and* capture convergence points in a
 ///   [`TraceSink`]; [`finish`](BenchOutput::finish) exports them as
 ///   `target/experiments/<name>_trace.jsonl`.
+/// * `--profile <base>` — capture a thread timeline of the run with
+///   the [`telemetry::prof`] profiler and export it as
+///   `<base>.trace.json` (Chrome trace-event JSON, loadable in
+///   `chrome://tracing` / Perfetto) plus `<base>.folded`
+///   (collapsed stacks for flamegraph tooling). Binaries that run
+///   several configurations export per-configuration files via
+///   [`export_profile`] instead, suffixing `<base>`.
 /// * `--baseline <file>` — after the run, compare against the perf
 ///   baseline in `<file>` and fail (nonzero exit) on regression.
 /// * `--update-baseline` — with `--baseline`, (re)write `<file>` from
@@ -75,6 +82,11 @@ pub struct BenchOutput {
     json: bool,
     written: RefCell<HashSet<PathBuf>>,
     trace_sink: Option<Arc<TraceSink>>,
+    profile: Option<PathBuf>,
+    profiler: RefCell<Option<telemetry::prof::Profiler>>,
+    // Declared before `_trace`: scopes pop LIFO, and the profiler
+    // scope is installed after (on top of) the trace scope.
+    prof_scope: RefCell<Option<telemetry::RecorderScope>>,
     _trace: Option<telemetry::RecorderScope>,
     baseline: Option<PathBuf>,
     update_baseline: bool,
@@ -93,6 +105,7 @@ impl BenchOutput {
     /// Parses an explicit flag list (for tests).
     pub fn from_flags(args: impl IntoIterator<Item = String>) -> BenchOutput {
         let (mut quiet, mut json, mut trace) = (false, false, false);
+        let mut profile = None;
         let mut baseline = None;
         let mut update_baseline = false;
         let mut slowdown = 1.0;
@@ -120,6 +133,7 @@ impl BenchOutput {
                 "--quiet" | "-q" => quiet = true,
                 "--json" => json = true,
                 "--trace" => trace = true,
+                "--profile" => profile = args.next().map(PathBuf::from),
                 "--baseline" => baseline = args.next().map(PathBuf::from),
                 "--update-baseline" => update_baseline = true,
                 "--slowdown" => {
@@ -138,15 +152,18 @@ impl BenchOutput {
         let trace_sink = trace.then(|| Arc::new(TraceSink::new()));
         let _trace = trace_sink.as_ref().map(|sink| {
             telemetry::RecorderScope::install(Arc::new(telemetry::sinks::TeeSink::new(vec![
-                Arc::new(telemetry::sinks::StderrSink),
+                Arc::new(telemetry::sinks::StderrSink::new()),
                 sink.clone(),
             ])))
         });
-        BenchOutput {
+        let out = BenchOutput {
             quiet: quiet || json,
             json,
             written: RefCell::new(HashSet::new()),
             trace_sink,
+            profile,
+            profiler: RefCell::new(None),
+            prof_scope: RefCell::new(None),
             _trace,
             baseline,
             update_baseline,
@@ -154,7 +171,37 @@ impl BenchOutput {
             wall_tolerance_pct,
             solver,
             entries: RefCell::new(Vec::new()),
+        };
+        if out.profile.is_some() {
+            out.ensure_profiler();
         }
+        out
+    }
+
+    /// The active profiler, creating and installing one if none exists
+    /// yet. `--profile` installs it eagerly; binaries that need capture
+    /// without an export path (`supervisor --scaling-gate`) call this
+    /// directly. The profiler's recorder chains to whatever recorder
+    /// was already current (the `--trace` tee keeps working).
+    pub fn ensure_profiler(&self) -> telemetry::prof::Profiler {
+        if let Some(p) = self.profiler.borrow().as_ref() {
+            return p.clone();
+        }
+        let p = telemetry::prof::Profiler::new();
+        let scope = telemetry::RecorderScope::install(p.recorder(telemetry::current()));
+        *self.prof_scope.borrow_mut() = Some(scope);
+        *self.profiler.borrow_mut() = Some(p.clone());
+        p
+    }
+
+    /// The profiler, when one was installed.
+    pub fn profiler(&self) -> Option<telemetry::prof::Profiler> {
+        self.profiler.borrow().clone()
+    }
+
+    /// The `--profile` export base path, when given.
+    pub fn profile_base(&self) -> Option<&PathBuf> {
+        self.profile.as_ref()
     }
 
     /// The nodal-analysis backend selected by `--solver` /
@@ -236,6 +283,20 @@ impl BenchOutput {
                 );
             }
         }
+        if let Some(base) = &self.profile {
+            let timeline = self.profiler.borrow().as_ref().map(|p| p.drain());
+            if let Some(t) = timeline.filter(|t| !t.is_empty()) {
+                let (trace, folded) = export_profile(base, "", &t)?;
+                if self.verbose() {
+                    println!(
+                        "profile: {} ({} slices) / {}",
+                        trace.display(),
+                        t.slice_count(),
+                        folded.display()
+                    );
+                }
+            }
+        }
         let Some(path) = &self.baseline else {
             return Ok(());
         };
@@ -283,6 +344,35 @@ impl BenchOutput {
         }
     }
 }
+
+/// Exports a drained [`telemetry::prof::Timeline`] as
+/// `<base><suffix>.trace.json` (Chrome trace-event JSON) and
+/// `<base><suffix>.folded` (collapsed stacks), creating parent
+/// directories as needed.
+///
+/// # Errors
+///
+/// I/O errors creating or writing either file.
+pub fn export_profile(
+    base: &std::path::Path,
+    suffix: &str,
+    timeline: &telemetry::prof::Timeline,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    let trace = PathBuf::from(format!("{}{suffix}.trace.json", base.display()));
+    let folded = PathBuf::from(format!("{}{suffix}.folded", base.display()));
+    if let Some(dir) = trace.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&trace, telemetry::prof::chrome_trace(timeline))?;
+    std::fs::write(&folded, telemetry::prof::collapsed_stacks(timeline))?;
+    Ok((trace, folded))
+}
+
+// Opt-in allocation attribution: linking the counting shim as the
+// global allocator is what turns the profiler's alloc columns on.
+#[cfg(feature = "prof-alloc")]
+#[global_allocator]
+static PROF_ALLOC: telemetry::prof::alloc::CountingAlloc = telemetry::prof::alloc::CountingAlloc;
 
 /// `println!` gated on [`BenchOutput::verbose`] — the drop-in
 /// replacement for ad-hoc prints in experiment binaries.

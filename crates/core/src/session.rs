@@ -474,7 +474,11 @@ impl NodalSession {
                         .base_csr
                         .as_ref()
                         .ok_or(SproutError::Internal("refresh requires a matrix"))?;
-                    match factor.try_refactor(csr) {
+                    let refactor = {
+                        let _span = telemetry::span("factor_refresh").enter();
+                        factor.try_refactor(csr)
+                    };
+                    match refactor {
                         Ok(true) => {
                             self.base_clean = clean;
                             self.stats.numeric_refactors += 1;
@@ -497,7 +501,11 @@ impl NodalSession {
         }
 
         if need_full_factor {
-            match self.factor_current() {
+            let factored = {
+                let _span = telemetry::span("factor_full").enter();
+                self.factor_current()
+            };
+            match factored {
                 Ok(()) => {
                     self.base_members.clear();
                     self.base_members.extend_from_slice(&self.members);

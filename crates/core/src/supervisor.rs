@@ -607,18 +607,23 @@ impl<'b> Supervisor<'b> {
         // Recorders are scoped per thread: capture the caller's and
         // re-install it inside each worker so rail spans keep flowing.
         let recorder = telemetry::current();
+        // Contention probe on the result handoff: a worker stalling in
+        // `send` shows up as wait time under this name in the profiler's
+        // ScalingDiagnosis.
+        let handoff = telemetry::prof::lock_stats("supervisor.result_handoff");
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads.min(pending.len()) {
                 let tx = tx.clone();
                 let next = &next;
                 let recorder = recorder.clone();
+                let handoff = Arc::clone(&handoff);
                 scope.spawn(move || {
                     let _telemetry = recorder.map(telemetry::RecorderScope::install);
                     loop {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = pending.get(slot) else { break };
                         let rail = self.run_rail(i, wave_no, requests[i], claimed, start);
-                        if tx.send((i, rail)).is_err() {
+                        if handoff.time(|| tx.send((i, rail)).is_err()) {
                             break;
                         }
                     }

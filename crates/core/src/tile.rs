@@ -12,6 +12,7 @@ use crate::SproutError;
 use sprout_board::{ElementRole, NetId};
 use sprout_geom::stitch::GridFrame;
 use sprout_geom::{Point, PolygonSet, Rect};
+use sprout_telemetry as telemetry;
 
 /// Tiling options for [`space_to_graph`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +70,10 @@ pub fn space_to_graph(spec: &SpaceSpec, opts: TileOptions) -> Result<RoutingGrap
     // Dense cell → node index map for edge construction.
     let mut cell_node: Vec<Option<u32>> = vec![None; (nx * ny) as usize];
 
+    // The profiler splits the dominant `tile` stage into its two
+    // phases: cell clipping (boolean ops against blockers) and edge
+    // construction (cross-section contacts).
+    let mut cells_span = telemetry::span("tile.cells").enter();
     for j in 0..ny {
         for i in 0..nx {
             let x0 = origin.x + i as f64 * opts.dx;
@@ -116,9 +121,13 @@ pub fn space_to_graph(spec: &SpaceSpec, opts: TileOptions) -> Result<RoutingGrap
         }
     }
 
+    cells_span.record("nodes", nodes.len() as u64);
+    drop(cells_span);
+
     // Edges between lattice-adjacent tiles, weighted by contact width.
     // The contact is measured by intersecting cross-sections taken a hair
     // inside each tile, which sidesteps collinear-boundary degeneracies.
+    let mut edges_span = telemetry::span("tile.edges").enter();
     let mut edges: Vec<GraphEdge> = Vec::new();
     let delta = 1e-4 * opts.dx.min(opts.dy);
     for j in 0..ny {
@@ -167,6 +176,9 @@ pub fn space_to_graph(spec: &SpaceSpec, opts: TileOptions) -> Result<RoutingGrap
             }
         }
     }
+
+    edges_span.record("edges", edges.len() as u64);
+    drop(edges_span);
 
     Ok(RoutingGraph::assemble(frame, nodes, edges))
 }

@@ -185,6 +185,9 @@ pub fn build_grounded_solver(
     a: &Csr<f64>,
     opts: FallbackOptions,
 ) -> Result<LadderSolver, LinalgError> {
+    // Spanned so the profiler separates factorization cost (all rungs)
+    // from solve cost in the timeline.
+    let _span = telemetry::span("ladder.build").enter();
     let n = a.rows();
     if a.cols() != n {
         return Err(LinalgError::DimensionMismatch {

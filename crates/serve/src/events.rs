@@ -23,10 +23,11 @@
 //! so streaming behaves identically under `--fleet N`.
 
 use sprout_telemetry::json::Obj;
+use sprout_telemetry::prof::ProfMutex;
 use sprout_telemetry::{Event, Recorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// Default per-job ring capacity. Generous for a routing job (a few
@@ -107,7 +108,10 @@ struct Channel {
 #[derive(Debug)]
 pub struct EventBus {
     capacity: usize,
-    channels: Mutex<HashMap<u64, Channel>>,
+    // Contention-accounted: every publisher and every streaming client
+    // serializes here, so under load this lock is the first suspect the
+    // profiler's ScalingDiagnosis should be able to confirm or clear.
+    channels: ProfMutex<HashMap<u64, Channel>>,
     wake: Condvar,
     published: AtomicU64,
     dropped: AtomicU64,
@@ -125,7 +129,7 @@ impl EventBus {
     pub fn new(capacity: usize) -> EventBus {
         EventBus {
             capacity: capacity.max(1),
-            channels: Mutex::new(HashMap::new()),
+            channels: ProfMutex::new("serve.event_bus", HashMap::new()),
             wake: Condvar::new(),
             published: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
@@ -138,7 +142,7 @@ impl EventBus {
     /// the kind-specific rest. Never blocks on consumers: a full ring
     /// drops its oldest event and counts it.
     pub fn publish(&self, job: u64, kind: EventKind, fields: impl FnOnce(&mut Obj)) {
-        let mut channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        let mut channels = self.channels.lock();
         let ch = channels.entry(job).or_default();
         ch.next_seq += 1;
         let seq = ch.next_seq;
@@ -169,7 +173,7 @@ impl EventBus {
     /// Every buffered event for `job` with `seq > since`, without
     /// waiting. An unknown job yields an empty non-terminal page.
     pub fn snapshot_since(&self, job: u64, since: u64) -> EventPage {
-        let channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        let channels = self.channels.lock();
         Self::page(&channels, job, since)
     }
 
@@ -178,7 +182,7 @@ impl EventBus {
     /// long-poll primitive.
     pub fn wait_since(&self, job: u64, since: u64, timeout: Duration) -> EventPage {
         let deadline = Instant::now() + timeout;
-        let mut channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        let mut channels = self.channels.lock();
         loop {
             let page = Self::page(&channels, job, since);
             if !page.events.is_empty() || page.terminal {
@@ -218,7 +222,7 @@ impl EventBus {
     /// observability contract (counted even if the ring later drops
     /// the event itself).
     pub fn terminal_events(&self, job: u64) -> u64 {
-        let channels = self.channels.lock().unwrap_or_else(|e| e.into_inner());
+        let channels = self.channels.lock();
         channels.get(&job).map(|c| c.terminals).unwrap_or(0)
     }
 
@@ -381,6 +385,93 @@ mod tests {
         assert_eq!(page.dropped, 2);
         assert_eq!(bus.events_published(), 5);
         assert_eq!(bus.events_dropped(), 2);
+    }
+
+    #[test]
+    fn exactly_at_capacity_nothing_drops_one_more_evicts_first() {
+        let bus = EventBus::new(4);
+        for i in 0..4u64 {
+            bus.publish(9, EventKind::Progress, |o| {
+                o.u64("wave", i);
+            });
+        }
+        // Exactly full: every event still present, nothing dropped.
+        let page = bus.snapshot_since(9, 0);
+        assert_eq!(
+            page.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        assert_eq!(page.dropped, 0);
+        assert_eq!(bus.events_dropped(), 0);
+        // One past capacity: exactly the oldest goes.
+        bus.publish(9, EventKind::Progress, |o| {
+            o.u64("wave", 4);
+        });
+        let page = bus.snapshot_since(9, 0);
+        assert_eq!(
+            page.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4, 5]
+        );
+        assert_eq!(page.dropped, 1);
+    }
+
+    #[test]
+    fn since_cursor_replays_consistently_across_eviction() {
+        let bus = EventBus::new(3);
+        for i in 0..6u64 {
+            bus.publish(5, EventKind::Progress, |o| {
+                o.u64("wave", i);
+            });
+        }
+        // Ring now holds seqs 4..6; the client's cursor (1) predates
+        // the eviction horizon. The page yields the surviving suffix
+        // and admits to the gap via `dropped`.
+        let a = bus.snapshot_since(5, 1);
+        assert_eq!(
+            a.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert_eq!(a.dropped, 3);
+        // Replay with the same cursor is idempotent...
+        let b = bus.snapshot_since(5, 1);
+        assert_eq!(
+            a.events.iter().map(|e| &e.line).collect::<Vec<_>>(),
+            b.events.iter().map(|e| &e.line).collect::<Vec<_>>()
+        );
+        // ...and a caught-up cursor yields an empty page, not an error.
+        let done = bus.snapshot_since(5, 6);
+        assert!(done.events.is_empty());
+        assert_eq!(done.dropped, 3);
+    }
+
+    #[test]
+    fn terminal_state_survives_full_ring_eviction() {
+        let bus = EventBus::new(2);
+        bus.publish(8, EventKind::Terminal, |o| {
+            o.str("state", "completed");
+        });
+        // Flood the ring until the terminal *event* itself is evicted.
+        for i in 0..5u64 {
+            bus.publish(8, EventKind::Progress, |o| {
+                o.u64("wave", i);
+            });
+        }
+        let page = bus.snapshot_since(8, 0);
+        assert!(
+            page.events.iter().all(|e| e.kind != EventKind::Terminal),
+            "terminal event was evicted from the ring"
+        );
+        // The terminal *state* must survive eviction: streams still
+        // complete and the exactly-once counter still reads 1.
+        assert!(page.terminal);
+        assert_eq!(bus.terminal_events(8), 1);
+        let t0 = Instant::now();
+        let page = bus.wait_since(8, 6, Duration::from_secs(10));
+        assert!(page.terminal && page.events.is_empty());
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "terminal job must not block the long-poll"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! | GET    | `/jobs/<id>`       | one job's snapshot                  |
 //! | GET    | `/jobs/<id>/events`| live NDJSON event stream (chunked); |
 //! |        |                    | `?since=seq` long-polls instead     |
+//! | GET    | `/jobs/<id>/profile`| the job's performance profile      |
+//! |        |                    | (timeline summary + ScalingDiagnosis)|
 //! | POST   | `/jobs/<id>/cancel`| cancel a job                        |
 //! | GET    | `/healthz`         | liveness (always 200 while serving) |
 //! | GET    | `/readyz`          | readiness (503 when not `Ready`)    |
@@ -82,6 +84,12 @@ pub trait JobBackend: Send + Sync {
     fn metrics_prometheus(&self) -> String;
     /// The per-job event bus backing `/jobs/<id>/events`.
     fn events(&self) -> Arc<EventBus>;
+    /// The job's performance profile (JSON), if one was recorded.
+    /// Default `None`: backends whose routing runs in other processes
+    /// (fleet mode) have no in-process timeline to serve.
+    fn profile(&self, _id: u64) -> Option<String> {
+        None
+    }
 }
 
 impl JobBackend for RoutingService {
@@ -108,6 +116,9 @@ impl JobBackend for RoutingService {
     }
     fn events(&self) -> Arc<EventBus> {
         RoutingService::events(self)
+    }
+    fn profile(&self, id: u64) -> Option<String> {
+        RoutingService::profile(self, id)
     }
 }
 
@@ -410,6 +421,22 @@ fn route(stream: &TcpStream, service: &dyn JobBackend, req: &Request) -> std::io
             match id {
                 Some(id) if service.status(id).is_some() => serve_events(stream, service, id, req),
                 Some(_) => respond_plain(stream, 404, "Not Found", "unknown job"),
+                None => respond_plain(stream, 400, "Bad Request", "bad job id"),
+            }
+        }
+        ("GET", path) if path.starts_with("/jobs/") && path.ends_with("/profile") => {
+            let id = path
+                .strip_prefix("/jobs/")
+                .and_then(|r| r.strip_suffix("/profile"))
+                .and_then(|r| r.parse::<u64>().ok());
+            match id {
+                Some(id) => match service.profile(id) {
+                    Some(body) => respond_json(stream, 200, "OK", &body, &[]),
+                    None if service.status(id).is_some() => {
+                        respond_plain(stream, 404, "Not Found", "no profile recorded")
+                    }
+                    None => respond_plain(stream, 404, "Not Found", "unknown job"),
+                },
                 None => respond_plain(stream, 400, "Bad Request", "bad job id"),
             }
         }

@@ -462,6 +462,9 @@ struct Shared {
     reports: Mutex<Vec<RunReport>>,
     started: Instant,
     bus: Arc<EventBus>,
+    // Latest attempt's performance profile per job, served over
+    // `GET /jobs/<id>/profile`. Rendered JSON, bounded by job count.
+    profiles: Mutex<HashMap<u64, String>>,
 }
 
 /// The running service. Cheap to clone handles are not provided —
@@ -503,6 +506,7 @@ impl RoutingService {
             reports: Mutex::new(Vec::new()),
             started: Instant::now(),
             bus: Arc::new(EventBus::default()),
+            profiles: Mutex::new(HashMap::new()),
             config,
         });
 
@@ -676,6 +680,19 @@ impl RoutingService {
     /// The per-job event bus feeding `GET /jobs/:id/events`.
     pub fn events(&self) -> Arc<EventBus> {
         Arc::clone(&self.shared.bus)
+    }
+
+    /// The latest attempt's performance profile for `id` (rendered
+    /// JSON: timeline summary plus
+    /// [`sprout_telemetry::prof::ScalingDiagnosis`]), once a routing
+    /// attempt has run. Feeds `GET /jobs/<id>/profile`.
+    pub fn profile(&self, id: u64) -> Option<String> {
+        let profiles = self
+            .shared
+            .profiles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        profiles.get(&id).cloned()
     }
 
     /// Current counters and latency percentiles.
@@ -1162,12 +1179,37 @@ fn run_one(s: &Arc<Shared>, entry: QueueEntry) {
         id,
         telemetry::current(),
     ));
+    // A per-job profiler captures this attempt's thread timeline; its
+    // recorder forwards every event to the job recorder so the event
+    // bus sees exactly what it did before.
+    let job_profiler = telemetry::prof::Profiler::with_capacity(8192);
+    let contention_base = telemetry::prof::snapshot();
     let report = {
-        let _telemetry = telemetry::RecorderScope::install(job_recorder);
+        let _telemetry = telemetry::RecorderScope::install(
+            job_profiler.recorder(Some(job_recorder as Arc<dyn telemetry::Recorder>)),
+        );
         Supervisor::new(&board, router, sup_config).run(&requests)
     };
     let run_ms = run_start.elapsed().as_secs_f64() * 1e3;
     telemetry::histogram!("serve.attempt_ms", run_ms as u64);
+
+    let timeline = job_profiler.drain();
+    if !timeline.is_empty() {
+        // Lock stats are process-wide, so under concurrent jobs the
+        // delta over-attributes shared-lock waits to each job — fine
+        // for a forensic summary, stated here so nobody sums them.
+        let contention = telemetry::prof::snapshot().delta_since(&contention_base);
+        let diagnosis =
+            telemetry::prof::diagnose(&timeline, &contention, s.config.supervisor_threads);
+        let mut o = Obj::new();
+        o.u64("job", id)
+            .f64("attempt_ms", (run_ms * 1e3).round() / 1e3)
+            .u64("slices", timeline.slice_count() as u64)
+            .raw("diagnosis", &diagnosis.to_json());
+        let mut profiles = s.profiles.lock().unwrap_or_else(|e| e.into_inner());
+        // Latest attempt wins: retries overwrite the failed attempt.
+        profiles.insert(id, o.finish());
+    }
 
     if s.config.keep_reports {
         let label = format!("serve-job-{id}");
@@ -1429,6 +1471,25 @@ mod tests {
         assert_eq!(snap.terminal_transitions, 1);
         svc.shutdown(true);
         assert_eq!(svc.metrics().completed, 1);
+    }
+
+    #[test]
+    fn completed_jobs_expose_a_profile() {
+        use sprout_telemetry::json::{parse, Json};
+        let svc = RoutingService::start(fast_config()).expect("start");
+        let id = svc.submit(JobSpec::two_rail(20.0)).expect("submit");
+        assert!(svc.wait_idle(Duration::from_secs(120)));
+        assert!(svc.profile(id + 100).is_none(), "unknown job: no profile");
+        let body = svc.profile(id).expect("profile recorded");
+        let root = parse(&body).expect("profile is JSON");
+        assert_eq!(root.get("job").and_then(Json::as_u64), Some(id));
+        let diag = root.get("diagnosis").expect("diagnosis attached");
+        assert!(diag.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0) > 0.0);
+        assert!(diag
+            .get("critical_path_fraction")
+            .and_then(Json::as_f64)
+            .is_some());
+        svc.shutdown(true);
     }
 
     #[test]

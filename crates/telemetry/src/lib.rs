@@ -68,6 +68,7 @@
 
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod prom;
 pub mod ring;
 pub mod sinks;

@@ -1,0 +1,148 @@
+//! Thread-local counting-allocator shim.
+//!
+//! [`CountingAlloc`] wraps the system allocator and bumps two
+//! const-initialized thread-local counters — allocation count and bytes
+//! requested — on every `alloc`/`alloc_zeroed`/`realloc`. The timeline
+//! capture ([`super::timeline`]) snapshots [`thread_totals`] at span
+//! start/end and attributes the delta (minus child spans') to the
+//! slice, so allocator churn lands on the span that caused it without
+//! the allocator ever knowing about spans (no reentrancy hazard).
+//!
+//! The shim is *feature-gated at link time* by whichever binary crate
+//! opts in (`sprout-bench` exposes `prof-alloc` and installs it as the
+//! `#[global_allocator]`). Without it, [`thread_totals`] stays `(0,
+//! 0)` and every attribution reads zero — [`tracking_active`] lets
+//! consumers report that honestly. Bytes count what was *requested*
+//! over time (a churn measure), not live heap size: `realloc` adds the
+//! new size and `dealloc` subtracts nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // Const-initialized so first touch never allocates (which would
+    // recurse into the shim); `try_with` tolerates TLS teardown.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn note(bytes: u64) {
+    let _ = ALLOCS.try_with(|c| c.set(c.get().wrapping_add(1)));
+    let _ = BYTES.try_with(|c| c.set(c.get().wrapping_add(bytes)));
+}
+
+/// `(allocation count, bytes requested)` on this thread since it
+/// started — monotone counters, `(0, 0)` when the shim is not linked
+/// in as the global allocator.
+pub fn thread_totals() -> (u64, u64) {
+    (
+        ALLOCS.try_with(Cell::get).unwrap_or(0),
+        BYTES.try_with(Cell::get).unwrap_or(0),
+    )
+}
+
+/// `true` when the shim is evidently installed (this thread has
+/// counted at least one allocation). Used to distinguish "no
+/// allocations in this span" from "no shim linked in".
+pub fn tracking_active() -> bool {
+    thread_totals().0 > 0
+}
+
+/// System-allocator wrapper counting per-thread allocation churn.
+/// Install in a *binary* crate (never a library others link) with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: sprout_telemetry::prof::alloc::CountingAlloc =
+///     sprout_telemetry::prof::alloc::CountingAlloc;
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System` for allocation correctness; the
+// bookkeeping touches only const-initialized thread-locals and never
+// allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size() as u64);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note(layout.size() as u64);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size as u64);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+// Exercise the real shim in this crate's own test binary: unit tests
+// below (and the timeline tests) then observe genuine attribution.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_monotone_and_count_real_allocations() {
+        let (a0, b0) = thread_totals();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        let (a1, b1) = thread_totals();
+        assert!(a1 > a0, "allocation count must advance");
+        assert!(b1 >= b0 + 4096, "bytes must include the 4 KiB buffer");
+        drop(v);
+        // Dealloc subtracts nothing: churn counters are monotone.
+        let (a2, b2) = thread_totals();
+        assert!(a2 >= a1 && b2 >= b1);
+        assert!(tracking_active());
+    }
+
+    #[test]
+    fn spans_attribute_exclusive_allocations() {
+        use crate::prof::timeline::Profiler;
+        use crate::{self as telemetry, RecorderScope};
+
+        let prof = Profiler::new();
+        {
+            let _scope = RecorderScope::install(prof.recorder(None));
+            let _outer = telemetry::span("refine").enter();
+            let _big: Vec<u8> = Vec::with_capacity(1 << 16);
+            {
+                let _inner = telemetry::span("grow").enter();
+                let _small: Vec<u8> = Vec::with_capacity(1 << 12);
+            }
+        }
+        let t = prof.drain();
+        let slice = |name: &str| {
+            t.threads[0]
+                .slices
+                .iter()
+                .find(|s| s.name == name)
+                .expect("slice present")
+                .clone()
+        };
+        let grow = slice("grow");
+        let refine = slice("refine");
+        assert!(grow.alloc_bytes >= 1 << 12);
+        assert!(refine.alloc_bytes >= 1 << 16);
+        // Exclusive: the inner span's 4 KiB is not double-counted in
+        // the outer slice (which would need >= 2^16 + 2^12 plus the
+        // inner span's own bookkeeping).
+        assert!(
+            refine.alloc_bytes < (1 << 16) + (1 << 12),
+            "outer slice must exclude child allocations (got {})",
+            refine.alloc_bytes
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Timeline exporters: Chrome trace-event JSON and collapsed stacks.
+//!
+//! [`chrome_trace`] renders a drained [`Timeline`] in the Chrome
+//! trace-event format (`{"traceEvents": [...]}`, complete `"X"` events
+//! with microsecond `ts`/`dur`, instant `"i"` events for points, and
+//! `"M"` thread-name metadata) — load the file in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev).
+//!
+//! [`collapsed_stacks`] renders the same timeline as folded-stack text
+//! (`thread;span;span <exclusive-ns>` per line), the input format of
+//! flamegraph tooling. Stacks are reconstructed per thread from slice
+//! containment — a parent span strictly contains its children on the
+//! shared clock — so no per-slice stack storage is paid at capture
+//! time.
+
+use super::timeline::{SliceKind, ThreadTimeline, Timeline};
+use crate::json::{self, Obj};
+use std::collections::BTreeMap;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Renders `t` as Chrome trace-event JSON (one self-contained object).
+pub fn chrome_trace(t: &Timeline) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for th in &t.threads {
+        let mut meta = Obj::new();
+        let mut args = Obj::new();
+        args.str("name", &th.label());
+        meta.str("name", "thread_name")
+            .str("ph", "M")
+            .u64("pid", 1)
+            .u64("tid", th.tid)
+            .raw("args", &args.finish());
+        events.push(meta.finish());
+        for s in &th.slices {
+            let mut o = Obj::new();
+            o.str("name", s.name);
+            match s.kind {
+                SliceKind::Span => {
+                    o.str("ph", "X")
+                        .f64("ts", us(s.start_ns))
+                        .f64("dur", us(s.dur_ns));
+                }
+                SliceKind::Instant => {
+                    o.str("ph", "i").f64("ts", us(s.start_ns)).str("s", "t");
+                }
+            }
+            o.u64("pid", 1).u64("tid", th.tid);
+            if s.wave.is_some() || s.net.is_some() || s.allocs > 0 {
+                let mut a = Obj::new();
+                if let Some(w) = s.wave {
+                    a.u64("wave", w);
+                }
+                if let Some(n) = s.net {
+                    a.u64("net", n);
+                }
+                if s.allocs > 0 {
+                    a.u64("allocs", s.allocs).u64("alloc_bytes", s.alloc_bytes);
+                }
+                o.raw("args", &a.finish());
+            }
+            events.push(o.finish());
+        }
+    }
+    let mut top = Obj::new();
+    top.raw("traceEvents", &json::array(events))
+        .str("displayTimeUnit", "ms");
+    top.finish()
+}
+
+/// An open span during stack reconstruction.
+struct OpenSpan {
+    name: &'static str,
+    end_ns: u64,
+    dur_ns: u64,
+    child_ns: u64,
+    path: String,
+}
+
+/// Walks `th`'s span slices in stack order, calling `on_close(name,
+/// path, inclusive_ns, exclusive_ns)` as each span is popped.
+fn walk(th: &ThreadTimeline, mut on_close: impl FnMut(&'static str, &str, u64, u64)) {
+    let mut spans: Vec<&super::timeline::Slice> = th
+        .slices
+        .iter()
+        .filter(|s| s.kind == SliceKind::Span)
+        .collect();
+    // Parents sort before children: earlier start first, and on a
+    // shared start the longer (containing) span first.
+    spans.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then(b.end_ns().cmp(&a.end_ns()))
+    });
+    let label = th.label();
+    let mut stack: Vec<OpenSpan> = Vec::new();
+    let close = |stack: &mut Vec<OpenSpan>,
+                 on_close: &mut dyn FnMut(&'static str, &str, u64, u64)| {
+        let top = stack.pop().expect("close on non-empty stack");
+        let excl = top.dur_ns.saturating_sub(top.child_ns);
+        on_close(top.name, &top.path, top.dur_ns, excl);
+        if let Some(parent) = stack.last_mut() {
+            parent.child_ns += top.dur_ns;
+        }
+    };
+    for s in spans {
+        while stack.last().is_some_and(|t| t.end_ns <= s.start_ns) {
+            close(&mut stack, &mut on_close);
+        }
+        let path = match stack.last() {
+            Some(parent) => format!("{};{}", parent.path, s.name),
+            None => format!("{label};{}", s.name),
+        };
+        stack.push(OpenSpan {
+            name: s.name,
+            end_ns: s.end_ns(),
+            dur_ns: s.dur_ns,
+            child_ns: 0,
+            path,
+        });
+    }
+    while !stack.is_empty() {
+        close(&mut stack, &mut on_close);
+    }
+}
+
+/// Renders `t` as collapsed-stack text: one `thread;a;b <ns>` line per
+/// distinct stack, values in *exclusive* nanoseconds, lines sorted for
+/// determinism. Feed directly to flamegraph tooling.
+pub fn collapsed_stacks(t: &Timeline) -> String {
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for th in &t.threads {
+        walk(th, |_name, path, _incl, excl| {
+            *folded.entry(path.to_owned()).or_insert(0) += excl;
+        });
+    }
+    let mut out = String::new();
+    for (path, ns) in folded {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Per-name aggregate over a timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NameAgg {
+    /// Completed spans (or points) with this name.
+    pub count: u64,
+    /// Exclusive time (inclusive minus children), summed.
+    pub excl_ns: u64,
+    /// Exclusive allocation count, summed.
+    pub allocs: u64,
+    /// Exclusive allocation bytes, summed.
+    pub alloc_bytes: u64,
+}
+
+/// Aggregates `t` by span/point name: exclusive time from stack
+/// reconstruction, allocation churn from the slices' captured
+/// exclusive counters. The self-time leaderboard behind
+/// [`super::critical::ScalingDiagnosis`].
+pub fn exclusive_by_name(t: &Timeline) -> BTreeMap<&'static str, NameAgg> {
+    let mut by_name: BTreeMap<&'static str, NameAgg> = BTreeMap::new();
+    for th in &t.threads {
+        walk(th, |name, _path, _incl, excl| {
+            let e = by_name.entry(name).or_default();
+            e.count += 1;
+            e.excl_ns += excl;
+        });
+        for s in &th.slices {
+            let e = by_name.entry(s.name).or_default();
+            if s.kind == SliceKind::Instant {
+                e.count += 1;
+            }
+            e.allocs += s.allocs;
+            e.alloc_bytes += s.alloc_bytes;
+        }
+    }
+    by_name
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::timeline::{Slice, SliceKind};
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn span(name: &'static str, start: u64, dur: u64, depth: u16) -> Slice {
+        Slice {
+            name,
+            kind: SliceKind::Span,
+            start_ns: start,
+            dur_ns: dur,
+            depth,
+            wave: None,
+            net: None,
+            allocs: 0,
+            alloc_bytes: 0,
+        }
+    }
+
+    fn timeline() -> Timeline {
+        // main: route[0..1000] { tile[100..400], grow[400..900] }, plus
+        // an instant point inside grow.
+        let mut point = span("grow_iter", 500, 0, 2);
+        point.kind = SliceKind::Instant;
+        Timeline {
+            threads: vec![ThreadTimeline {
+                tid: 1,
+                name: "main".into(),
+                // Completion order, as capture produces.
+                slices: vec![
+                    span("tile", 100, 300, 1),
+                    point,
+                    span("grow", 400, 500, 1),
+                    span("route", 0, 1000, 0),
+                ],
+                dropped: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_events() {
+        let out = chrome_trace(&timeline());
+        let root = parse(&out).expect("trace parses");
+        let events = root
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 1 metadata + 4 slices.
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("M"));
+        let tile = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("tile"))
+            .expect("tile event");
+        assert_eq!(tile.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(tile.get("ts").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(tile.get("dur").and_then(Json::as_f64), Some(0.3));
+        let iter = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("grow_iter"))
+            .expect("instant event");
+        assert_eq!(iter.get("ph").and_then(Json::as_str), Some("i"));
+    }
+
+    #[test]
+    fn collapsed_stacks_report_exclusive_time_per_path() {
+        let out = collapsed_stacks(&timeline());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "main;route 200",
+                "main;route;grow 500",
+                "main;route;tile 300",
+            ]
+        );
+    }
+
+    #[test]
+    fn exclusive_by_name_subtracts_children_and_counts_points() {
+        let agg = exclusive_by_name(&timeline());
+        assert_eq!(agg["route"].excl_ns, 200);
+        assert_eq!(agg["tile"].excl_ns, 300);
+        assert_eq!(agg["grow"].excl_ns, 500);
+        assert_eq!(agg["grow_iter"].count, 1);
+        assert_eq!(agg["grow_iter"].excl_ns, 0);
+    }
+
+    #[test]
+    fn sibling_spans_do_not_nest() {
+        // a[0..100], b[100..200] — b starts exactly when a ends.
+        let t = Timeline {
+            threads: vec![ThreadTimeline {
+                tid: 1,
+                name: String::new(),
+                slices: vec![span("a", 0, 100, 0), span("b", 100, 100, 0)],
+                dropped: 0,
+            }],
+        };
+        let out = collapsed_stacks(&t);
+        assert_eq!(out, "thread-1;a 100\nthread-1;b 100\n");
+    }
+}

@@ -1,0 +1,281 @@
+//! Wait/contention accounting: instrumented mutexes and handoff probes.
+//!
+//! Every [`LockStats`] lives in a process-wide named registry so a
+//! diagnosis pass can snapshot all of them at once ([`snapshot`]) and
+//! subtract two snapshots to get a per-run delta
+//! ([`ContentionSnapshot::delta_since`]). Three counters per name:
+//! acquisitions, *contended* acquisitions, and nanoseconds blocked.
+//!
+//! * [`ProfMutex`] wraps [`std::sync::Mutex`]: the uncontended path is
+//!   one relaxed counter bump plus a `try_lock` (one CAS — same cost
+//!   class as the always-on metrics), and only a contended acquisition
+//!   pays two clock reads to time the blocking `lock`.
+//! * [`LockStats::time`] is the probe for handoff points that are not
+//!   mutexes — e.g. the supervisor's wave-result channel send — where
+//!   "blocked" means "the closure took longer than the contended
+//!   threshold".
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
+use std::time::Instant;
+
+/// A [`LockStats::time`] call above this is counted as contended.
+const PROBE_CONTENDED_NS: u64 = 1_000;
+
+/// Named contention counters (lock-free atomics).
+#[derive(Debug)]
+pub struct LockStats {
+    name: &'static str,
+    acquires: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+impl LockStats {
+    fn new(name: &'static str) -> LockStats {
+        LockStats {
+            name,
+            acquires: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Counts one acquisition attempt.
+    pub fn note_acquire(&self) {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one contended acquisition that blocked for `wait_ns`.
+    pub fn note_contended(&self, wait_ns: u64) {
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// Times `f` as a handoff: always counted as an acquisition with
+    /// its duration added to the wait total, counted contended when it
+    /// exceeds the probe threshold (1 µs).
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.acquires.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let r = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        if ns > PROBE_CONTENDED_NS {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+        r
+    }
+
+    fn record(&self) -> LockRecord {
+        LockRecord {
+            name: self.name,
+            acquires: self.acquires.load(Ordering::Relaxed),
+            contended: self.contended.load(Ordering::Relaxed),
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Arc<LockStats>>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Arc<LockStats>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The process-wide [`LockStats`] for `name`, created on first use.
+/// Call once and keep the `Arc` — the lookup takes the registry lock.
+pub fn lock_stats(name: &'static str) -> Arc<LockStats> {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(
+        reg.entry(name)
+            .or_insert_with(|| Arc::new(LockStats::new(name))),
+    )
+}
+
+/// One name's counters at a snapshot instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockRecord {
+    /// Registry name.
+    pub name: &'static str,
+    /// Acquisition attempts.
+    pub acquires: u64,
+    /// Acquisitions that blocked (or probes over threshold).
+    pub contended: u64,
+    /// Total nanoseconds blocked.
+    pub wait_ns: u64,
+}
+
+impl LockRecord {
+    /// Wait in milliseconds.
+    pub fn wait_ms(&self) -> f64 {
+        self.wait_ns as f64 / 1e6
+    }
+}
+
+/// Every registered lock's counters at one instant.
+#[derive(Debug, Clone, Default)]
+pub struct ContentionSnapshot {
+    /// Per-name records, sorted by name.
+    pub locks: Vec<LockRecord>,
+}
+
+/// Snapshots every registered [`LockStats`].
+pub fn snapshot() -> ContentionSnapshot {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    ContentionSnapshot {
+        locks: reg.values().map(|s| s.record()).collect(),
+    }
+}
+
+impl ContentionSnapshot {
+    /// The per-name difference `self - earlier` (counters are
+    /// monotone), dropping names with an all-zero delta.
+    pub fn delta_since(&self, earlier: &ContentionSnapshot) -> ContentionSnapshot {
+        let base: BTreeMap<&'static str, &LockRecord> =
+            earlier.locks.iter().map(|r| (r.name, r)).collect();
+        ContentionSnapshot {
+            locks: self
+                .locks
+                .iter()
+                .filter_map(|r| {
+                    let b = base.get(r.name);
+                    let d = LockRecord {
+                        name: r.name,
+                        acquires: r.acquires - b.map_or(0, |b| b.acquires),
+                        contended: r.contended - b.map_or(0, |b| b.contended),
+                        wait_ns: r.wait_ns - b.map_or(0, |b| b.wait_ns),
+                    };
+                    (d.acquires > 0 || d.contended > 0 || d.wait_ns > 0).then_some(d)
+                })
+                .collect(),
+        }
+    }
+
+    /// Total blocked nanoseconds across all locks.
+    pub fn total_wait_ns(&self) -> u64 {
+        self.locks.iter().map(|r| r.wait_ns).sum()
+    }
+
+    /// The `k` worst locks by blocked time (descending), zero-wait
+    /// entries omitted.
+    pub fn top_by_wait(&self, k: usize) -> Vec<LockRecord> {
+        let mut locks: Vec<LockRecord> = self
+            .locks
+            .iter()
+            .filter(|r| r.wait_ns > 0)
+            .copied()
+            .collect();
+        locks.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.name.cmp(b.name)));
+        locks.truncate(k);
+        locks
+    }
+}
+
+/// A mutex that accounts its contention under a registry name.
+///
+/// `lock` tries an uncontended fast path first; only when that fails
+/// does it time the blocking acquisition. The guard is the plain
+/// [`MutexGuard`], so a [`std::sync::Condvar`] can wait on it
+/// unchanged (condvar re-acquisitions after a wakeup are not counted).
+/// Poisoning is swallowed (`into_inner`), matching the workspace-wide
+/// idiom.
+#[derive(Debug)]
+pub struct ProfMutex<T> {
+    stats: Arc<LockStats>,
+    inner: Mutex<T>,
+}
+
+impl<T> ProfMutex<T> {
+    /// A mutex accounted under `name` in the process registry. Several
+    /// instances may share a name (their counters aggregate).
+    pub fn new(name: &'static str, value: T) -> ProfMutex<T> {
+        ProfMutex {
+            stats: lock_stats(name),
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, accounting contention.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.stats.note_acquire();
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                let t0 = Instant::now();
+                let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                self.stats.note_contended(t0.elapsed().as_nanos() as u64);
+                g
+            }
+        }
+    }
+
+    /// This mutex's counters.
+    pub fn stats(&self) -> &Arc<LockStats> {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn uncontended_locks_count_acquires_only() {
+        let m = ProfMutex::new("test.uncontended", 0u32);
+        for _ in 0..5 {
+            *m.lock() += 1;
+        }
+        let r = m.stats().record();
+        assert_eq!(r.acquires, 5);
+        assert_eq!(r.contended, 0);
+        assert_eq!(r.wait_ns, 0);
+        assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn contended_locks_time_the_block() {
+        let m = Arc::new(ProfMutex::new("test.contended", ()));
+        let m2 = Arc::clone(&m);
+        let guard = m.lock();
+        let waiter = std::thread::spawn(move || {
+            let _g = m2.lock();
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(guard);
+        waiter.join().expect("waiter");
+        let r = m.stats().record();
+        assert!(r.acquires >= 2);
+        assert!(r.contended >= 1, "the waiter blocked");
+        assert!(r.wait_ns >= 5_000_000, "blocked ~10 ms, got {}", r.wait_ns);
+    }
+
+    #[test]
+    fn probe_times_handoffs_and_snapshots_delta() {
+        let before = snapshot();
+        let stats = lock_stats("test.handoff");
+        let v = stats.time(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        let delta = snapshot().delta_since(&before);
+        let r = delta
+            .locks
+            .iter()
+            .find(|r| r.name == "test.handoff")
+            .expect("probe in delta");
+        assert_eq!(r.acquires, 1);
+        assert_eq!(r.contended, 1, "2 ms is over the 1 µs threshold");
+        assert!(r.wait_ns >= 1_000_000);
+        assert!(delta.total_wait_ns() >= r.wait_ns);
+        assert_eq!(delta.top_by_wait(1)[0].name, delta.top_by_wait(9)[0].name);
+    }
+}

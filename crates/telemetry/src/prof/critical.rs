@@ -1,0 +1,556 @@
+//! Critical-path analysis over the supervisor wave DAG and the
+//! machine-readable [`ScalingDiagnosis`].
+//!
+//! The supervisor executes rails in dependency *waves*: every rail in
+//! wave `w` may run in parallel, but wave `w+1` cannot start before
+//! wave `w` finishes. The longest rail of each wave is therefore on
+//! the critical path no matter how many threads exist, and
+//!
+//! ```text
+//! wall = critical_path + overhead
+//! ```
+//!
+//! holds by construction (`overhead` is everything the wave structure
+//! does not force: scheduling, result handoff, allocator pressure,
+//! lock waits, telemetry). [`diagnose`] computes the decomposition for
+//! one profiled run; [`explain_gap`] subtracts two diagnoses — e.g.
+//! 1 thread vs 4 — and names where the extra wall time went, which is
+//! exactly the question behind the stacked workload's negative scaling
+//! in `BENCH_supervisor.json`.
+
+use super::chrome::exclusive_by_name;
+use super::contention::{ContentionSnapshot, LockRecord};
+use super::timeline::{SliceKind, Timeline};
+use crate::json::{self, Obj};
+
+/// Milliseconds from nanoseconds, rounded to 1 µs for stable JSON.
+fn ms(ns: u64) -> f64 {
+    (ns as f64 / 1e3).round() / 1e3
+}
+
+fn delta_ms(cur: u64, base: u64) -> f64 {
+    (cur as f64 - base as f64) / 1e6
+}
+
+/// One wave's cost on the critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveCost {
+    /// Wave index (from the rail spans' `wave` field).
+    pub wave: u64,
+    /// Longest rail in the wave — its critical-path contribution.
+    pub longest_ns: u64,
+    /// Sum of all rail durations in the wave (parallelizable work).
+    pub sum_ns: u64,
+    /// Rails in the wave.
+    pub rails: u64,
+}
+
+/// The wall/critical/work/overhead decomposition of one profiled run.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// End-to-end duration (the `job` span, or the timeline extent).
+    pub wall_ns: u64,
+    /// Σ per-wave longest rail — the serialized lower bound.
+    pub critical_ns: u64,
+    /// Σ all rail durations — total parallelizable work.
+    pub work_ns: u64,
+    /// `wall - critical`: time the wave structure did not force.
+    pub overhead_ns: u64,
+    /// Per-wave breakdown, ordered by wave index.
+    pub waves: Vec<WaveCost>,
+}
+
+impl CriticalPath {
+    /// `critical / wall` — near 1.0 means threads cannot help.
+    pub fn critical_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.critical_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Computes the wave-DAG critical path of a drained timeline.
+///
+/// Wall time is the longest `job` span (falling back to the timeline
+/// extent when no job span survived eviction). Rails are grouped by
+/// their captured `wave` field across all threads. A timeline with no
+/// rail spans is treated as fully serialized: `critical = wall`.
+pub fn critical_path(t: &Timeline) -> CriticalPath {
+    let mut wall_ns = 0u64;
+    let mut waves: Vec<WaveCost> = Vec::new();
+    for th in &t.threads {
+        for s in &th.slices {
+            if s.kind != SliceKind::Span {
+                continue;
+            }
+            if s.name == "job" {
+                wall_ns = wall_ns.max(s.dur_ns);
+            } else if s.name == "rail" {
+                let wave = s.wave.unwrap_or(0);
+                let entry = match waves.iter_mut().find(|w| w.wave == wave) {
+                    Some(w) => w,
+                    None => {
+                        waves.push(WaveCost {
+                            wave,
+                            longest_ns: 0,
+                            sum_ns: 0,
+                            rails: 0,
+                        });
+                        waves.last_mut().expect("just pushed")
+                    }
+                };
+                entry.longest_ns = entry.longest_ns.max(s.dur_ns);
+                entry.sum_ns += s.dur_ns;
+                entry.rails += 1;
+            }
+        }
+    }
+    waves.sort_by_key(|w| w.wave);
+    if wall_ns == 0 {
+        let (lo, hi) = t.extent_ns();
+        wall_ns = hi.saturating_sub(lo);
+    }
+    let critical_ns = if waves.is_empty() {
+        wall_ns
+    } else {
+        waves.iter().map(|w| w.longest_ns).sum::<u64>().min(wall_ns)
+    };
+    CriticalPath {
+        wall_ns,
+        critical_ns,
+        work_ns: waves.iter().map(|w| w.sum_ns).sum(),
+        overhead_ns: wall_ns.saturating_sub(critical_ns),
+        waves,
+    }
+}
+
+/// One span name's exclusive cost in the stage leaderboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageCost {
+    /// Span name (`tile`, `grow`, `refine`, ...).
+    pub name: &'static str,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Exclusive time summed over those spans.
+    pub excl_ns: u64,
+    /// Exclusive allocations attributed to the name.
+    pub allocs: u64,
+    /// Exclusive allocation bytes attributed to the name.
+    pub alloc_bytes: u64,
+}
+
+/// Machine-readable verdict on where a run's wall time went: the
+/// critical-path decomposition plus contended-lock, stage-self-time,
+/// and allocation-hotspot leaderboards.
+#[derive(Debug, Clone, Default)]
+pub struct ScalingDiagnosis {
+    /// Worker thread count the run used.
+    pub threads: usize,
+    /// End-to-end wall time.
+    pub wall_ns: u64,
+    /// Serialized lower bound from the wave DAG.
+    pub critical_ns: u64,
+    /// Total parallelizable rail work.
+    pub work_ns: u64,
+    /// `wall - critical`.
+    pub overhead_ns: u64,
+    /// Nanoseconds blocked across all profiled locks (run delta).
+    pub lock_wait_ns: u64,
+    /// Worst locks by blocked time (at most 5).
+    pub top_locks: Vec<LockRecord>,
+    /// Hottest span names by exclusive time (at most 8).
+    pub stages: Vec<StageCost>,
+    /// Worst span names by exclusive allocation bytes (at most 5).
+    pub alloc_hotspots: Vec<StageCost>,
+    /// Total allocations attributed across the timeline.
+    pub total_allocs: u64,
+    /// Total allocation bytes attributed across the timeline.
+    pub total_alloc_bytes: u64,
+    /// Slices lost to ring eviction or drain races.
+    pub slices_dropped: u64,
+}
+
+impl ScalingDiagnosis {
+    /// `critical / wall`.
+    pub fn critical_fraction(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.critical_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Renders the diagnosis as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = Obj::new();
+        o.u64("threads", self.threads as u64)
+            .f64("wall_ms", ms(self.wall_ns))
+            .f64("critical_path_ms", ms(self.critical_ns))
+            .f64("parallel_work_ms", ms(self.work_ns))
+            .f64("overhead_ms", ms(self.overhead_ns))
+            .f64(
+                "critical_path_fraction",
+                (self.critical_fraction() * 1e4).round() / 1e4,
+            )
+            .f64("lock_wait_ms", ms(self.lock_wait_ns));
+        let locks: Vec<String> = self
+            .top_locks
+            .iter()
+            .map(|l| {
+                let mut lo = Obj::new();
+                lo.str("name", l.name)
+                    .u64("acquires", l.acquires)
+                    .u64("contended", l.contended)
+                    .f64("wait_ms", ms(l.wait_ns));
+                lo.finish()
+            })
+            .collect();
+        o.raw("top_locks", &json::array(locks));
+        let stage_obj = |s: &StageCost| {
+            let mut so = Obj::new();
+            so.str("name", s.name)
+                .u64("count", s.count)
+                .f64("exclusive_ms", ms(s.excl_ns))
+                .u64("allocs", s.allocs)
+                .u64("alloc_bytes", s.alloc_bytes);
+            so.finish()
+        };
+        o.raw("stages", &json::array(self.stages.iter().map(stage_obj)));
+        o.raw(
+            "alloc_hotspots",
+            &json::array(self.alloc_hotspots.iter().map(stage_obj)),
+        );
+        o.u64("total_allocs", self.total_allocs)
+            .u64("total_alloc_bytes", self.total_alloc_bytes)
+            .u64("slices_dropped", self.slices_dropped);
+        o.finish()
+    }
+
+    /// Renders a short human summary (one block, indented lines).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "diagnosis @{} thread(s): wall {:.2} ms = critical path {:.2} ms ({:.0}%) + overhead {:.2} ms; rail work {:.2} ms",
+            self.threads,
+            ms(self.wall_ns),
+            ms(self.critical_ns),
+            self.critical_fraction() * 100.0,
+            ms(self.overhead_ns),
+            ms(self.work_ns),
+        );
+        if !self.top_locks.is_empty() {
+            out.push_str("\n  contended locks:");
+            for l in &self.top_locks {
+                out.push_str(&format!(
+                    " {} {:.2} ms ({}/{} contended);",
+                    l.name,
+                    l.wait_ms(),
+                    l.contended,
+                    l.acquires
+                ));
+            }
+        }
+        if !self.stages.is_empty() {
+            out.push_str("\n  hottest stages (exclusive):");
+            for s in &self.stages {
+                out.push_str(&format!(
+                    " {} {:.2} ms x{};",
+                    s.name,
+                    ms(s.excl_ns),
+                    s.count
+                ));
+            }
+        }
+        if self.total_allocs > 0 {
+            out.push_str("\n  alloc hotspots:");
+            for s in &self.alloc_hotspots {
+                out.push_str(&format!(
+                    " {} {} allocs / {} B;",
+                    s.name, s.allocs, s.alloc_bytes
+                ));
+            }
+        } else {
+            out.push_str(
+                "\n  alloc attribution: shim not linked (build with --features prof-alloc)",
+            );
+        }
+        if self.slices_dropped > 0 {
+            out.push_str(&format!("\n  slices dropped: {}", self.slices_dropped));
+        }
+        out
+    }
+}
+
+/// Diagnoses one profiled run: critical-path decomposition of
+/// `timeline`, the worst locks from `contention` (a run *delta*, not a
+/// process-lifetime snapshot), and the stage/allocation leaderboards.
+pub fn diagnose(
+    timeline: &Timeline,
+    contention: &ContentionSnapshot,
+    threads: usize,
+) -> ScalingDiagnosis {
+    let cp = critical_path(timeline);
+    let agg = exclusive_by_name(timeline);
+    let costs: Vec<StageCost> = agg
+        .iter()
+        .map(|(name, a)| StageCost {
+            name,
+            count: a.count,
+            excl_ns: a.excl_ns,
+            allocs: a.allocs,
+            alloc_bytes: a.alloc_bytes,
+        })
+        .collect();
+    let mut stages: Vec<StageCost> = costs.iter().filter(|s| s.excl_ns > 0).copied().collect();
+    stages.sort_by(|a, b| b.excl_ns.cmp(&a.excl_ns).then(a.name.cmp(b.name)));
+    stages.truncate(8);
+    let mut alloc_hotspots: Vec<StageCost> = costs
+        .iter()
+        .filter(|s| s.alloc_bytes > 0)
+        .copied()
+        .collect();
+    alloc_hotspots.sort_by(|a, b| b.alloc_bytes.cmp(&a.alloc_bytes).then(a.name.cmp(b.name)));
+    alloc_hotspots.truncate(5);
+    ScalingDiagnosis {
+        threads,
+        wall_ns: cp.wall_ns,
+        critical_ns: cp.critical_ns,
+        work_ns: cp.work_ns,
+        overhead_ns: cp.overhead_ns,
+        lock_wait_ns: contention.total_wait_ns(),
+        top_locks: contention.top_by_wait(5),
+        stages,
+        alloc_hotspots,
+        total_allocs: costs.iter().map(|s| s.allocs).sum(),
+        total_alloc_bytes: costs.iter().map(|s| s.alloc_bytes).sum(),
+        slices_dropped: timeline.dropped(),
+    }
+}
+
+/// Explains the wall-time gap between two diagnoses of the *same*
+/// workload (e.g. 1 thread vs 4). Because `wall = critical + overhead`
+/// holds for each run, the gap decomposes exactly:
+/// `Δwall = Δcritical (serialized path) + Δoverhead`, with lock-wait
+/// and allocation-churn deltas reported as attributions inside the
+/// overhead term.
+pub fn explain_gap(base: &ScalingDiagnosis, cur: &ScalingDiagnosis) -> String {
+    let gap = delta_ms(cur.wall_ns, base.wall_ns);
+    let mut out = format!(
+        "scaling gap {}t -> {}t: {:+.2} ms wall ({:.2} -> {:.2})\n  serialized critical path: {:+.2} ms ({:.2} -> {:.2})\n  overhead (scheduling/handoff/alloc): {:+.2} ms ({:.2} -> {:.2})",
+        base.threads,
+        cur.threads,
+        gap,
+        ms(base.wall_ns),
+        ms(cur.wall_ns),
+        delta_ms(cur.critical_ns, base.critical_ns),
+        ms(base.critical_ns),
+        ms(cur.critical_ns),
+        delta_ms(cur.overhead_ns, base.overhead_ns),
+        ms(base.overhead_ns),
+        ms(cur.overhead_ns),
+    );
+    out.push_str(&format!(
+        "\n  lock wait: {:+.2} ms",
+        delta_ms(cur.lock_wait_ns, base.lock_wait_ns)
+    ));
+    for l in &cur.top_locks {
+        let b = base
+            .top_locks
+            .iter()
+            .find(|x| x.name == l.name)
+            .map_or(0, |x| x.wait_ns);
+        out.push_str(&format!(" [{} {:+.2} ms]", l.name, delta_ms(l.wait_ns, b)));
+    }
+    if base.total_allocs > 0 || cur.total_allocs > 0 {
+        out.push_str(&format!(
+            "\n  alloc churn: {:+} allocs / {:+} bytes",
+            cur.total_allocs as i64 - base.total_allocs as i64,
+            cur.total_alloc_bytes as i64 - base.total_alloc_bytes as i64,
+        ));
+    }
+    out
+}
+
+/// The gap between two diagnoses as a JSON object, for persistence
+/// next to the bench rows (`BENCH_supervisor.json`).
+pub fn gap_json(base: &ScalingDiagnosis, cur: &ScalingDiagnosis) -> String {
+    let mut o = Obj::new();
+    o.u64("threads_base", base.threads as u64)
+        .u64("threads_cur", cur.threads as u64)
+        .f64("wall_delta_ms", round3(delta_ms(cur.wall_ns, base.wall_ns)))
+        .f64(
+            "critical_delta_ms",
+            round3(delta_ms(cur.critical_ns, base.critical_ns)),
+        )
+        .f64(
+            "overhead_delta_ms",
+            round3(delta_ms(cur.overhead_ns, base.overhead_ns)),
+        )
+        .f64(
+            "lock_wait_delta_ms",
+            round3(delta_ms(cur.lock_wait_ns, base.lock_wait_ns)),
+        )
+        .i64(
+            "alloc_delta",
+            cur.total_allocs as i64 - base.total_allocs as i64,
+        )
+        .i64(
+            "alloc_bytes_delta",
+            cur.total_alloc_bytes as i64 - base.total_alloc_bytes as i64,
+        );
+    o.finish()
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::timeline::{Slice, SliceKind, ThreadTimeline};
+    use super::*;
+    use crate::json::{parse, Json};
+
+    fn rail(start: u64, dur: u64, wave: u64) -> Slice {
+        Slice {
+            name: "rail",
+            kind: SliceKind::Span,
+            start_ns: start,
+            dur_ns: dur,
+            depth: 2,
+            wave: Some(wave),
+            net: Some(wave + 1),
+            allocs: 10,
+            alloc_bytes: 1000,
+        }
+    }
+
+    fn job(dur: u64) -> Slice {
+        Slice {
+            name: "job",
+            kind: SliceKind::Span,
+            start_ns: 0,
+            dur_ns: dur,
+            depth: 0,
+            wave: None,
+            net: None,
+            allocs: 0,
+            alloc_bytes: 0,
+        }
+    }
+
+    fn two_wave_timeline() -> Timeline {
+        // job 0..1000; wave 0 rails 300+400 on two threads, wave 1
+        // rail 200. Critical = 400 + 200 = 600.
+        Timeline {
+            threads: vec![
+                ThreadTimeline {
+                    tid: 1,
+                    name: "main".into(),
+                    slices: vec![rail(0, 300, 0), rail(500, 200, 1), job(1000)],
+                    dropped: 0,
+                },
+                ThreadTimeline {
+                    tid: 2,
+                    name: String::new(),
+                    slices: vec![rail(0, 400, 0)],
+                    dropped: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn critical_path_sums_longest_rail_per_wave() {
+        let cp = critical_path(&two_wave_timeline());
+        assert_eq!(cp.wall_ns, 1000);
+        assert_eq!(cp.critical_ns, 600);
+        assert_eq!(cp.work_ns, 900);
+        assert_eq!(cp.overhead_ns, 400);
+        assert_eq!(cp.waves.len(), 2);
+        assert_eq!(cp.waves[0].longest_ns, 400);
+        assert_eq!(cp.waves[0].rails, 2);
+        assert_eq!(cp.waves[1].longest_ns, 200);
+        assert!((cp.critical_fraction() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_without_rails_is_fully_serialized() {
+        let t = Timeline {
+            threads: vec![ThreadTimeline {
+                tid: 1,
+                name: String::new(),
+                slices: vec![job(500)],
+                dropped: 0,
+            }],
+        };
+        let cp = critical_path(&t);
+        assert_eq!(cp.critical_ns, cp.wall_ns);
+        assert_eq!(cp.overhead_ns, 0);
+    }
+
+    #[test]
+    fn diagnose_builds_leaderboards_and_json() {
+        let mut contention = ContentionSnapshot::default();
+        contention.locks.push(LockRecord {
+            name: "supervisor.result_handoff",
+            acquires: 9,
+            contended: 4,
+            wait_ns: 2_000_000,
+        });
+        let d = diagnose(&two_wave_timeline(), &contention, 4);
+        assert_eq!(d.threads, 4);
+        assert_eq!(d.lock_wait_ns, 2_000_000);
+        assert_eq!(d.top_locks.len(), 1);
+        assert_eq!(d.slices_dropped, 3);
+        assert_eq!(d.total_allocs, 30);
+        assert!(d.stages.iter().any(|s| s.name == "rail"));
+        assert!(d.alloc_hotspots.iter().any(|s| s.name == "rail"));
+
+        let j = parse(&d.to_json()).expect("diagnosis json parses");
+        assert_eq!(j.get("threads").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("wall_ms").and_then(Json::as_f64), Some(0.001));
+        assert_eq!(
+            j.get("critical_path_fraction").and_then(Json::as_f64),
+            Some(0.6)
+        );
+        assert_eq!(j.get("lock_wait_ms").and_then(Json::as_f64), Some(2.0));
+        let locks = j.get("top_locks").and_then(Json::as_array).expect("locks");
+        assert_eq!(
+            locks[0].get("name").and_then(Json::as_str),
+            Some("supervisor.result_handoff")
+        );
+        assert!(d.render().contains("critical path"));
+    }
+
+    #[test]
+    fn explain_gap_decomposes_wall_delta_exactly() {
+        let base = ScalingDiagnosis {
+            threads: 1,
+            wall_ns: 28_100_000,
+            critical_ns: 20_000_000,
+            overhead_ns: 8_100_000,
+            ..ScalingDiagnosis::default()
+        };
+        let cur = ScalingDiagnosis {
+            threads: 4,
+            wall_ns: 43_200_000,
+            critical_ns: 21_000_000,
+            overhead_ns: 22_200_000,
+            lock_wait_ns: 9_000_000,
+            ..ScalingDiagnosis::default()
+        };
+        let text = explain_gap(&base, &cur);
+        assert!(text.contains("+15.10 ms wall"), "{text}");
+        assert!(text.contains("+1.00 ms"), "{text}");
+        assert!(text.contains("+14.10 ms"), "{text}");
+        assert!(text.contains("lock wait: +9.00 ms"), "{text}");
+
+        let g = parse(&gap_json(&base, &cur)).expect("gap json parses");
+        let wall = g.get("wall_delta_ms").and_then(Json::as_f64).unwrap();
+        let crit = g.get("critical_delta_ms").and_then(Json::as_f64).unwrap();
+        let over = g.get("overhead_delta_ms").and_then(Json::as_f64).unwrap();
+        assert!((wall - (crit + over)).abs() < 1e-6, "exact decomposition");
+    }
+}

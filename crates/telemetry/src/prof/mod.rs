@@ -1,0 +1,61 @@
+//! Performance forensics: thread timelines, contention accounting,
+//! allocation attribution, and critical-path analysis.
+//!
+//! The span/counter layer answers *how long* each pipeline stage took;
+//! this module family answers *why* — which thread ran what and when,
+//! which locks were waited on, which spans allocated, and how much of a
+//! multi-threaded supervisor run was genuinely serialized. It exists to
+//! diagnose the two scaling problems the ROADMAP names: the `tile`
+//! stage dominating every benchmark, and the stacked workload getting
+//! *slower* with threads (negative scaling in BENCH_supervisor.json).
+//!
+//! ## Pieces
+//!
+//! * [`timeline`] — a [`Profiler`] whose [`Recorder`] hook turns the
+//!   existing span stream into per-thread rings of begin/end slices.
+//!   Capture is non-blocking: each ring has a single writer (its owner
+//!   thread) and a push never waits — the only possible contention is
+//!   against a concurrent [`Profiler::drain`], and such pushes are
+//!   dropped and counted rather than blocking the routing hot path.
+//! * [`chrome`] — exports a drained [`Timeline`] as Chrome trace-event
+//!   JSON (loadable in `chrome://tracing` / Perfetto) and as
+//!   collapsed-stack text for flamegraph tooling.
+//! * [`contention`] — [`ProfMutex`] (a mutex that counts acquisitions,
+//!   contended acquisitions, and nanoseconds blocked) plus named
+//!   [`LockStats`] probes for handoff points that are not mutexes
+//!   (the supervisor's wave result channel).
+//! * [`alloc`] — a counting [`std::alloc::GlobalAlloc`] shim
+//!   attributing allocation count/bytes to the active span. Installed
+//!   only behind the consumer's feature gate (`sprout-bench`'s
+//!   `prof-alloc`); without it every attribution reads zero.
+//! * [`critical`] — critical-path analysis over the supervisor wave
+//!   DAG and the machine-readable [`ScalingDiagnosis`] attached to the
+//!   `supervisor --scaling-gate` output.
+//!
+//! ## Overhead discipline
+//!
+//! A disarmed profiler ([`Profiler::set_armed`]`(false)`) reduces
+//! [`Recorder::record`] to one relaxed atomic load plus the downstream
+//! forward — the `telemetry_overhead` smoke bin gates that path under
+//! the same <2 % budget as the no-op recorder.
+//!
+//! [`Recorder`]: crate::Recorder
+//! [`Recorder::record`]: crate::Recorder::record
+//! [`Profiler`]: timeline::Profiler
+//! [`Profiler::drain`]: timeline::Profiler::drain
+//! [`Profiler::set_armed`]: timeline::Profiler::set_armed
+//! [`Timeline`]: timeline::Timeline
+//! [`ProfMutex`]: contention::ProfMutex
+//! [`LockStats`]: contention::LockStats
+//! [`ScalingDiagnosis`]: critical::ScalingDiagnosis
+
+pub mod alloc;
+pub mod chrome;
+pub mod contention;
+pub mod critical;
+pub mod timeline;
+
+pub use chrome::{chrome_trace, collapsed_stacks, exclusive_by_name, NameAgg};
+pub use contention::{lock_stats, snapshot, ContentionSnapshot, LockRecord, LockStats, ProfMutex};
+pub use critical::{critical_path, diagnose, explain_gap, CriticalPath, ScalingDiagnosis};
+pub use timeline::{Profiler, Slice, SliceKind, ThreadTimeline, Timeline};

@@ -16,6 +16,74 @@ impl Recorder for NoopRecorder {
     fn record(&self, _event: &Event) {}
 }
 
+/// Verbosity of one event, for [`StderrSink`]'s level filter.
+/// Ordered from most to least severe, so `level_of(e) <= threshold`
+/// means "print".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Something broke: worker panics.
+    Error,
+    /// Degraded but recovering: retries, fallbacks, budget overruns.
+    Warn,
+    /// Pipeline shape: shallow spans (job/wave level).
+    Info,
+    /// Everything else: deep spans and routine points.
+    Debug,
+}
+
+impl Level {
+    /// Parses `error`/`warn`/`info`/`debug` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Classifies an event for the level filter. Spans carry no explicit
+/// level, so the classification is by shape: panics are errors, the
+/// recovery/fallback points are warnings, shallow spans (depth ≤ 1 —
+/// jobs and waves) are info, and everything else is debug.
+pub fn level_of(event: &Event) -> Level {
+    match event {
+        Event::Point { name, .. } => match *name {
+            "worker_panic" => Level::Error,
+            "retry"
+            | "budget_overrun"
+            | "solver_fallback"
+            | "ladder_fallback"
+            | "cg_not_converged"
+            | "bicgstab_not_converged"
+            | "edges_sanitized" => Level::Warn,
+            _ => Level::Debug,
+        },
+        Event::SpanStart { depth, .. } | Event::SpanEnd { depth, .. } => {
+            if *depth <= 1 {
+                Level::Info
+            } else {
+                Level::Debug
+            }
+        }
+    }
+}
+
+/// The process-wide threshold from `SPROUT_LOG` (parsed once);
+/// unset or unparseable means [`Level::Debug`] — print everything,
+/// preserving historical behavior.
+fn env_level() -> Level {
+    static ENV_LEVEL: std::sync::OnceLock<Level> = std::sync::OnceLock::new();
+    *ENV_LEVEL.get_or_init(|| {
+        std::env::var("SPROUT_LOG")
+            .ok()
+            .and_then(|s| Level::parse(&s))
+            .unwrap_or(Level::Debug)
+    })
+}
+
 /// Pretty-prints events to stderr as a depth-indented tree:
 ///
 /// ```text
@@ -25,10 +93,31 @@ impl Recorder for NoopRecorder {
 ///   · solver_fallback rung=cg
 /// ◀ route 48.1ms
 /// ```
+///
+/// Events are filtered by [`Level`]: an explicit threshold from
+/// [`with_level`](StderrSink::with_level), or else the `SPROUT_LOG`
+/// environment variable (`error`/`warn`/`info`/`debug`, default
+/// `debug` = print everything).
 #[derive(Debug, Default, Clone, Copy)]
-pub struct StderrSink;
+pub struct StderrSink {
+    level: Option<Level>,
+}
 
 impl StderrSink {
+    /// A sink whose threshold comes from `SPROUT_LOG`.
+    pub fn new() -> StderrSink {
+        StderrSink { level: None }
+    }
+
+    /// A sink with a fixed threshold, ignoring the environment.
+    pub fn with_level(level: Level) -> StderrSink {
+        StderrSink { level: Some(level) }
+    }
+
+    fn should_log(&self, event: &Event) -> bool {
+        level_of(event) <= self.level.unwrap_or_else(env_level)
+    }
+
     fn render(event: &Event) -> String {
         let mut line = String::new();
         let (marker, depth) = match event {
@@ -54,7 +143,9 @@ impl StderrSink {
 
 impl Recorder for StderrSink {
     fn record(&self, event: &Event) {
-        eprintln!("{}", Self::render(event));
+        if self.should_log(event) {
+            eprintln!("{}", Self::render(event));
+        }
     }
 }
 
@@ -304,6 +395,55 @@ mod tests {
             fields: Fields::new(),
         };
         assert_eq!(StderrSink::render(&end), "  \u{25c0} grow 2.0ms");
+    }
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" info "), Some(Level::Info));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn events_classify_by_shape() {
+        let point = |name: &'static str| Event::Point {
+            name,
+            parent: None,
+            depth: 3,
+            fields: Fields::new(),
+        };
+        assert_eq!(level_of(&point("worker_panic")), Level::Error);
+        assert_eq!(level_of(&point("retry")), Level::Warn);
+        assert_eq!(level_of(&point("ladder_fallback")), Level::Warn);
+        assert_eq!(level_of(&point("grow_iter")), Level::Debug);
+        // Shallow spans are info, deep spans debug.
+        assert_eq!(level_of(&sample_start()), Level::Debug);
+        let shallow = Event::SpanStart {
+            id: 1,
+            parent: None,
+            name: "job",
+            depth: 0,
+            fields: Fields::new(),
+        };
+        assert_eq!(level_of(&shallow), Level::Info);
+    }
+
+    #[test]
+    fn stderr_sink_filters_below_threshold() {
+        let warn_only = StderrSink::with_level(Level::Warn);
+        let retry = Event::Point {
+            name: "retry",
+            parent: None,
+            depth: 2,
+            fields: Fields::new(),
+        };
+        assert!(warn_only.should_log(&retry));
+        assert!(!warn_only.should_log(&sample_start()));
+        // Default (no env override in tests): print everything.
+        assert!(StderrSink::with_level(Level::Debug).should_log(&sample_start()));
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Live span tree on stderr.
     println!("--- stderr span tree ---");
     {
-        let _scope = RecorderScope::install(Arc::new(StderrSink));
+        let _scope = RecorderScope::install(Arc::new(StderrSink::new()));
         router.route_net(vdd1, layer, 22.0)?;
     }
 

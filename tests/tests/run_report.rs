@@ -87,7 +87,15 @@ fn memory_collector_sees_stages_nested_in_execution_order() {
             _ => None,
         })
         .collect();
-    let names: Vec<&str> = stage_starts.iter().map(|(n, _)| *n).collect();
+    // Solver factorization spans (factor_full / factor_refresh) may
+    // interleave with the stages at depth 1 — they are profiling
+    // resolution, not pipeline stages — so assert the stage *subsequence*
+    // and check everything else is a factorization span.
+    let names: Vec<&str> = stage_starts
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| !n.starts_with("factor"))
+        .collect();
     assert_eq!(
         names,
         ["space", "tile", "seed", "grow", "refine", "reheat", "backconv"],
