@@ -39,6 +39,7 @@ fn bench_router(out: &BenchOutput) -> RouterConfig {
             fault: None,
         },
         solver: out.solver_config(),
+        tile: out.tile_config(),
         ..RouterConfig::default()
     }
 }

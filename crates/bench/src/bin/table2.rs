@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grow_iterations: 22,
         refine_iterations: 8,
         solver: out.solver_config(),
+        tile: out.tile_config(),
         ..RouterConfig::default()
     };
     let router = Router::new(&board, config);

@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grow_iterations: 15,
         refine_iterations: 4,
         solver: out.solver_config(),
+        tile: out.tile_config(),
         ..RouterConfig::default()
     };
     let router = Router::new(&board, config);

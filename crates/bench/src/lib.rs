@@ -25,7 +25,7 @@ pub mod timing;
 use gate::{GateFailure, GateOptions, PerfBaseline, PerfEntry};
 use sprout_board::Board;
 use sprout_core::router::RouteResult;
-use sprout_core::{RunReport, SolverConfig, SolverEngine};
+use sprout_core::{RunReport, SolverConfig, SolverEngine, TileConfig, TileMode};
 use sprout_extract::ac::ac_impedance_25mhz;
 use sprout_extract::network::RailNetwork;
 use sprout_extract::resistance::dc_resistance;
@@ -73,6 +73,12 @@ use std::sync::Arc;
 /// * `--smw-rank <r>` — maximum Sherman-Morrison-Woodbury correction
 ///   rank before the incremental session refactorizes (default 0 =
 ///   disabled, keeping the engine bit-exact against `scratch`).
+/// * `--tile session|scratch` — tiling backend (default `session`;
+///   `scratch` re-tiles the lattice on every graph build, the
+///   pre-session behavior). Both produce bit-identical graphs.
+/// * `--tile-threads <n>` — worker threads for the initial lattice
+///   build (default 0 = all cores; results are bit-identical at any
+///   thread count).
 ///
 /// Run reports are *always* mirrored to
 /// `target/experiments/<name>.jsonl`, regardless of flags, so every
@@ -93,6 +99,7 @@ pub struct BenchOutput {
     slowdown: f64,
     wall_tolerance_pct: Option<f64>,
     solver: SolverConfig,
+    tile: TileConfig,
     entries: RefCell<Vec<(String, PerfEntry)>>,
 }
 
@@ -111,9 +118,19 @@ impl BenchOutput {
         let mut slowdown = 1.0;
         let mut wall_tolerance_pct = None;
         let mut solver = SolverConfig::default();
+        let mut tile = TileConfig::default();
         let mut args = args.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
+                "--tile" => {
+                    tile.mode = match args.next().as_deref() {
+                        Some("scratch") => TileMode::Scratch,
+                        _ => TileMode::Session,
+                    };
+                }
+                "--tile-threads" => {
+                    tile.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+                }
                 "--solver" => {
                     solver.engine = match args.next().as_deref() {
                         Some("scratch") => SolverEngine::Scratch,
@@ -170,6 +187,7 @@ impl BenchOutput {
             slowdown,
             wall_tolerance_pct,
             solver,
+            tile,
             entries: RefCell::new(Vec::new()),
         };
         if out.profile.is_some() {
@@ -210,6 +228,13 @@ impl BenchOutput {
     /// `RouterConfig::solver`.
     pub fn solver_config(&self) -> SolverConfig {
         self.solver
+    }
+
+    /// The tiling backend selected by `--tile` / `--tile-threads`
+    /// (defaults to persistent sessions with all-core initial builds).
+    /// Experiment binaries assign this to `RouterConfig::tile`.
+    pub fn tile_config(&self) -> TileConfig {
+        self.tile
     }
 
     /// `true` when human-readable output should be printed.

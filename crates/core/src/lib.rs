@@ -66,6 +66,7 @@ pub mod session;
 pub mod space;
 pub mod supervisor;
 pub mod tile;
+pub mod tile_session;
 
 pub use graph::{NodeId, RoutingGraph, Subgraph};
 pub use recovery::{
@@ -78,6 +79,7 @@ pub use session::{Engine, NodalSession, SessionStats, SolverConfig, SolverEngine
 pub use supervisor::{
     JobReport, RailOutcome, RailReport, RestoredRail, Supervisor, SupervisorConfig,
 };
+pub use tile_session::{TileConfig, TileMode, TileOutcome, TileSessionStats, TilingSession};
 
 use std::fmt;
 

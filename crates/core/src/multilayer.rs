@@ -99,6 +99,25 @@ pub fn plan_multilayer(
     layers: &[usize],
     config: MultilayerConfig,
 ) -> Result<MultilayerPlan, SproutError> {
+    plan_multilayer_impl(board, net, layers, config, |spec, opts, _layer| {
+        space_to_graph(spec, opts)
+    })
+}
+
+/// The planner body, generic over how per-layer graphs are produced so
+/// [`route_multilayer_report`] can serve them from the router's
+/// persistent tiling sessions while the free-standing
+/// [`plan_multilayer`] stays a one-shot scratch build.
+fn plan_multilayer_impl<F>(
+    board: &Board,
+    net: NetId,
+    layers: &[usize],
+    config: MultilayerConfig,
+    mut tile: F,
+) -> Result<MultilayerPlan, SproutError>
+where
+    F: FnMut(&SpaceSpec, TileOptions, usize) -> Result<RoutingGraph, SproutError>,
+{
     if layers.is_empty() {
         return Err(SproutError::InvalidConfig("no candidate layers"));
     }
@@ -108,7 +127,7 @@ pub fn plan_multilayer(
     let mut terminal_nodes: Vec<(usize, NodeId)> = Vec::new(); // (layer pos, node)
     for (pos, &layer) in layers.iter().enumerate() {
         let spec = SpaceSpec::build_transit(board, net, layer, &[])?;
-        let graph = space_to_graph(&spec, TileOptions::square(config.via_pitch_mm))?;
+        let graph = tile(&spec, TileOptions::square(config.via_pitch_mm), layer)?;
         for (t_idx, t) in spec.terminals.iter().enumerate() {
             match graph.node_near(t.shape.centroid(), 3) {
                 Some(node) => terminal_nodes.push((pos, node)),
@@ -356,7 +375,9 @@ pub fn route_multilayer_report(
         .field("layers", layers.len())
         .field("budget_per_layer_mm2", budget_per_layer_mm2)
         .enter();
-    let plan = plan_multilayer(board, net, layers, config)?;
+    let plan = plan_multilayer_impl(board, net, layers, config, |spec, opts, layer| {
+        router.tiled_graph(spec, net, layer, opts).map(|(g, _)| g)
+    })?;
     plan_span.record("layers_used", plan.layers_used.len());
     plan_span.record("vias", plan.vias.len());
     drop(plan_span);

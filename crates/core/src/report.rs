@@ -88,6 +88,11 @@ pub struct RailRunRecord {
     /// Evaluations served from the incremental session without a full
     /// factorization (reuse, numeric refactor, SMW correction).
     pub factor_updates: usize,
+    /// Routing graphs tiled from scratch.
+    pub tile_rebuilds: usize,
+    /// Routing graphs served from a persistent tiling session (verbatim
+    /// reuse or incremental re-clip).
+    pub tile_reuses: usize,
     /// Total rail wall clock (ms).
     pub total_ms: f64,
     /// Per-stage breakdown (empty for restored/failed/skipped rails).
@@ -128,6 +133,8 @@ impl RailRunRecord {
             solves: r.timings.solves,
             factorizations: r.timings.factorizations,
             factor_updates: r.timings.factor_updates,
+            tile_rebuilds: r.timings.tile_rebuilds,
+            tile_reuses: r.timings.tile_reuses,
             total_ms: r.timings.total_ms(),
             stages: stage_breakdown(&r.timings),
             attempts: 1,
@@ -161,6 +168,8 @@ impl RailRunRecord {
         o.u64("solves", self.solves as u64)
             .u64("factorizations", self.factorizations as u64)
             .u64("factor_updates", self.factor_updates as u64)
+            .u64("tile_rebuilds", self.tile_rebuilds as u64)
+            .u64("tile_reuses", self.tile_reuses as u64)
             .f64("total_ms", self.total_ms)
             .raw(
                 "stages",
@@ -406,6 +415,8 @@ mod tests {
             solves: 42,
             factorizations: 3,
             factor_updates: 39,
+            tile_rebuilds: 1,
+            tile_reuses: 0,
         }
     }
 

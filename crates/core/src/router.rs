@@ -30,10 +30,13 @@ use crate::seed::{seed_subgraph, SeedOptions};
 use crate::session::{Engine, SolverConfig};
 use crate::space::{SpaceSpec, TerminalShape};
 use crate::tile::{identify_terminals, space_to_graph, Terminal, TileOptions};
+use crate::tile_session::{TileConfig, TileMode, TileOutcome, TilingSession};
 use crate::SproutError;
 use sprout_board::{Board, ElementRole, NetId};
 use sprout_geom::{Point, Polygon};
 use sprout_telemetry as telemetry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Router configuration (the paper's design variables of §II-H).
@@ -64,6 +67,10 @@ pub struct RouterConfig {
     /// updates, warm starts) or from-scratch per evaluation. Both yield
     /// bit-identical routes at the default settings.
     pub solver: SolverConfig,
+    /// Tiling backend: persistent [`TilingSession`]s keyed by
+    /// `(net, layer, pitch)` with incremental re-clipping, or a
+    /// from-scratch build per call. Both yield bit-identical graphs.
+    pub tile: TileConfig,
 }
 
 impl Default for RouterConfig {
@@ -79,6 +86,7 @@ impl Default for RouterConfig {
             seed: SeedOptions { fill_voids: true },
             recovery: RecoveryConfig::default(),
             solver: SolverConfig::default(),
+            tile: TileConfig::default(),
         }
     }
 }
@@ -109,6 +117,11 @@ pub struct StageTimings {
     /// verbatim factor reuses, numeric-only refactorizations on a
     /// cached elimination plan, and low-rank SMW corrections.
     pub factor_updates: usize,
+    /// Routing graphs built from scratch (full lattice clip).
+    pub tile_rebuilds: usize,
+    /// Routing graphs served from a persistent [`TilingSession`] —
+    /// verbatim reuses and incremental patches of dirty cells only.
+    pub tile_reuses: usize,
 }
 
 impl StageTimings {
@@ -164,17 +177,50 @@ pub struct RouteResult {
     pub diagnostics: RouteDiagnostics,
 }
 
+/// Cache key for persistent tiling sessions: one session per
+/// `(net, layer, dx, dy, sliver threshold)`. Pitches are keyed by their
+/// bit patterns so distinct configurations never alias.
+pub(crate) type TileKey = (usize, usize, u64, u64, u64);
+
+/// The shared persistent-tiling-session store a [`Router`] draws from.
+pub(crate) type TileCache = Arc<Mutex<HashMap<TileKey, TilingSession>>>;
+
 /// The SPROUT router bound to a board.
 #[derive(Debug, Clone)]
 pub struct Router<'b> {
     board: &'b Board,
     config: RouterConfig,
+    /// Persistent tiling sessions, shared across clones of this router
+    /// (the supervisor clones the router per worker but schedules each
+    /// `(net, layer)` on at most one thread at a time, so a session is
+    /// checked out of the map, mutated privately, and put back).
+    tile_cache: TileCache,
 }
 
 impl<'b> Router<'b> {
     /// Creates a router over `board` with `config`.
     pub fn new(board: &'b Board, config: RouterConfig) -> Self {
-        Router { board, config }
+        Router {
+            board,
+            config,
+            tile_cache: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// Creates a router whose tiling sessions live in `cache` — the
+    /// supervisor constructs one router per attempt but shares a single
+    /// cache across the whole job, so retries and later waves reuse the
+    /// lattices already built for their `(net, layer, pitch)`.
+    pub(crate) fn with_tile_cache(
+        board: &'b Board,
+        config: RouterConfig,
+        cache: TileCache,
+    ) -> Self {
+        Router {
+            board,
+            config,
+            tile_cache: cache,
+        }
     }
 
     /// The active configuration.
@@ -185,6 +231,67 @@ impl<'b> Router<'b> {
     /// The board this router is bound to.
     pub fn board(&self) -> &'b Board {
         self.board
+    }
+
+    /// Snapshot of the persistent tiling sessions' lifetime counters,
+    /// summed across every `(net, layer, pitch)` session this router
+    /// (and its clones) created. Empty-cache snapshots are all zeros.
+    pub fn tile_stats(&self) -> crate::tile_session::TileSessionStats {
+        let cache = self.tile_cache.lock().unwrap_or_else(|e| e.into_inner());
+        let mut total = crate::tile_session::TileSessionStats::default();
+        for session in cache.values() {
+            let s = session.stats();
+            total.rebuilds += s.rebuilds;
+            total.incremental_updates += s.incremental_updates;
+            total.reuse_hits += s.reuse_hits;
+            total.cells_reclipped += s.cells_reclipped;
+        }
+        total
+    }
+
+    /// Builds the routing graph for `spec`, honouring the configured
+    /// [`TileMode`]: `Scratch` tiles from scratch every call; `Session`
+    /// checks a persistent [`TilingSession`] out of the shared cache,
+    /// diffs the spec against it (blocker prefix match → verbatim reuse
+    /// or incremental re-clip of the delta cells), and puts it back.
+    /// Both paths produce bit-identical graphs by construction.
+    pub(crate) fn tiled_graph(
+        &self,
+        spec: &SpaceSpec,
+        net: NetId,
+        layer: usize,
+        opts: TileOptions,
+    ) -> Result<(RoutingGraph, TileOutcome), SproutError> {
+        match self.config.tile.mode {
+            TileMode::Scratch => Ok((space_to_graph(spec, opts)?, TileOutcome::Rebuilt)),
+            TileMode::Session => {
+                let key: TileKey = (
+                    net.0,
+                    layer,
+                    opts.dx.to_bits(),
+                    opts.dy.to_bits(),
+                    opts.min_cell_fraction.to_bits(),
+                );
+                let checked_out = {
+                    let mut cache = self.tile_cache.lock().unwrap_or_else(|e| e.into_inner());
+                    cache.remove(&key)
+                };
+                let (mut session, outcome) = match checked_out {
+                    Some(mut s) => {
+                        let outcome = s.update_to(spec);
+                        (s, outcome)
+                    }
+                    None => (
+                        TilingSession::new(spec, opts, self.config.tile.threads)?,
+                        TileOutcome::Rebuilt,
+                    ),
+                };
+                let graph = session.graph();
+                let mut cache = self.tile_cache.lock().unwrap_or_else(|e| e.into_inner());
+                cache.insert(key, session);
+                Ok((graph, outcome))
+            }
+        }
     }
 
     /// Routes one net on one layer under an area budget (mm²).
@@ -271,14 +378,30 @@ impl<'b> Router<'b> {
         let mut tile_span = telemetry::span("tile")
             .field("pitch_mm", self.config.tile_pitch_mm)
             .enter();
-        let graph = space_to_graph(
+        let (graph, outcome) = self.tiled_graph(
             &spec,
+            net,
+            layer,
             TileOptions {
                 dx: self.config.tile_pitch_mm,
                 dy: self.config.tile_pitch_mm,
                 min_cell_fraction: self.config.min_cell_fraction,
             },
         )?;
+        match outcome {
+            TileOutcome::Rebuilt => {
+                telemetry::counter!("tile.rebuilds");
+                timings.tile_rebuilds += 1;
+            }
+            TileOutcome::Patched => {
+                telemetry::counter!("tile.incremental");
+                timings.tile_reuses += 1;
+            }
+            TileOutcome::Reused => {
+                telemetry::counter!("tile.reuse_hits");
+                timings.tile_reuses += 1;
+            }
+        }
         tile_span.record("nodes", graph.node_count());
         tile_span.record("edges", graph.edge_count());
         drop(tile_span);
@@ -346,14 +469,21 @@ impl<'b> Router<'b> {
         if spec.terminals.is_empty() {
             return Err(SproutError::NoTerminals { net, layer });
         }
-        let graph = space_to_graph(
+        let (graph, outcome) = self.tiled_graph(
             &spec,
+            net,
+            layer,
             TileOptions {
                 dx: self.config.tile_pitch_mm,
                 dy: self.config.tile_pitch_mm,
                 min_cell_fraction: self.config.min_cell_fraction,
             },
         )?;
+        let mut base_timings = StageTimings::default();
+        match outcome {
+            TileOutcome::Rebuilt => base_timings.tile_rebuilds += 1,
+            TileOutcome::Patched | TileOutcome::Reused => base_timings.tile_reuses += 1,
+        }
         let terminals = identify_terminals(&graph, &spec, net)?;
 
         // Group terminals by connected component of the graph.
@@ -373,13 +503,15 @@ impl<'b> Router<'b> {
         let mut first_err: Option<SproutError> = None;
         for group in group_list {
             let share = area_budget_mm2 * group.len() as f64 / total_terms as f64;
+            // The shared graph build is attributed to the first group so
+            // aggregated reports count it exactly once.
             match self.optimize_group(
                 graph.clone(),
                 group,
                 net,
                 layer,
                 share,
-                StageTimings::default(),
+                std::mem::take(&mut base_timings),
             ) {
                 Ok(result) => results.push(result),
                 Err(e) => {

@@ -52,7 +52,6 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -413,6 +412,13 @@ pub struct Supervisor<'b> {
     board: &'b Board,
     router_config: RouterConfig,
     config: SupervisorConfig,
+    /// One tiling-session cache for the whole job: every attempt's
+    /// router draws from it, so retries and later same-rail work reuse
+    /// the lattice instead of re-tiling from scratch. Wave scheduling
+    /// never runs the same `(net, layer)` on two threads at once, and
+    /// sessions are checked out of the map while in use, so sharing is
+    /// safe at any thread count.
+    tile_cache: crate::router::TileCache,
 }
 
 impl<'b> Supervisor<'b> {
@@ -424,6 +430,7 @@ impl<'b> Supervisor<'b> {
             board,
             router_config,
             config,
+            tile_cache: Arc::new(std::sync::Mutex::new(HashMap::new())),
         }
     }
 
@@ -603,18 +610,23 @@ impl<'b> Supervisor<'b> {
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, RailReport)>();
         // Recorders are scoped per thread: capture the caller's and
         // re-install it inside each worker so rail spans keep flowing.
         let recorder = telemetry::current();
-        // Contention probe on the result handoff: a worker stalling in
-        // `send` shows up as wait time under this name in the profiler's
-        // ScalingDiagnosis.
+        // Per-rail result slots: a worker only ever touches the slots it
+        // claimed via `next`, so the handoff is an uncontended write to
+        // a private mutex instead of every worker funnelling through one
+        // shared channel lock. The probe stays on the same name so the
+        // profiler's ScalingDiagnosis tracks the wait time (now ~zero).
         let handoff = telemetry::prof::lock_stats("supervisor.result_handoff");
+        let results: Vec<std::sync::Mutex<Option<RailReport>>> = pending
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
         std::thread::scope(|scope| {
             for _ in 0..self.config.threads.min(pending.len()) {
-                let tx = tx.clone();
                 let next = &next;
+                let results = &results;
                 let recorder = recorder.clone();
                 let handoff = Arc::clone(&handoff);
                 scope.spawn(move || {
@@ -623,15 +635,23 @@ impl<'b> Supervisor<'b> {
                         let slot = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&i) = pending.get(slot) else { break };
                         let rail = self.run_rail(i, wave_no, requests[i], claimed, start);
-                        if handoff.time(|| tx.send((i, rail)).is_err()) {
-                            break;
-                        }
+                        handoff.time(|| {
+                            *results[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(rail);
+                        });
                     }
                 });
             }
-            drop(tx);
-            rx.iter().collect()
-        })
+        });
+        pending
+            .iter()
+            .copied()
+            .zip(results)
+            .filter_map(|(i, cell)| {
+                cell.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .map(|rail| (i, rail))
+            })
+            .collect()
     }
 
     /// Routes one rail behind the `catch_unwind` boundary, with deadline
@@ -684,7 +704,8 @@ impl<'b> Supervisor<'b> {
                         );
                     }
                 }
-                Router::new(self.board, config).route_net_with(net, layer, budget, blockers, &[])
+                Router::with_tile_cache(self.board, config, Arc::clone(&self.tile_cache))
+                    .route_net_with(net, layer, budget, blockers, &[])
             }));
 
             match outcome {

@@ -6,13 +6,11 @@
 //! (Fig. 6). Boundary tiles intersected by buffers or the board outline
 //! become irregular polygons (Fig. 7).
 
-use crate::graph::{GraphEdge, NodeId, RoutingGraph, TileNode};
+use crate::graph::{NodeId, RoutingGraph};
 use crate::space::SpaceSpec;
+use crate::tile_session::TilingSession;
 use crate::SproutError;
 use sprout_board::{ElementRole, NetId};
-use sprout_geom::stitch::GridFrame;
-use sprout_geom::{Point, PolygonSet, Rect};
-use sprout_telemetry as telemetry;
 
 /// Tiling options for [`space_to_graph`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,150 +39,19 @@ impl TileOptions {
 /// Converts the available space into the equivalent graph Γ_n
 /// (Algorithm 1).
 ///
+/// This is the one-shot entry point: it builds a throwaway
+/// [`TilingSession`] and hands out its graph, so the from-scratch and
+/// incremental paths share a single clip kernel and stay bit-identical
+/// by construction. Callers that re-tile the same `(board, layer,
+/// pitch)` repeatedly should hold a [`TilingSession`] instead.
+///
 /// # Errors
 ///
 /// Returns [`SproutError::InvalidConfig`] for non-positive pitches or a
 /// threshold outside `[0, 1)`.
 pub fn space_to_graph(spec: &SpaceSpec, opts: TileOptions) -> Result<RoutingGraph, SproutError> {
-    if opts.dx <= 0.0 || opts.dy <= 0.0 {
-        return Err(SproutError::InvalidConfig("tile pitch must be positive"));
-    }
-    if !(0.0..1.0).contains(&opts.min_cell_fraction) {
-        return Err(SproutError::InvalidConfig(
-            "min_cell_fraction must be in [0, 1)",
-        ));
-    }
-    let u = spec.design_space;
-    let origin = u.min();
-    let nx = (u.width() / opts.dx).ceil() as i64;
-    let ny = (u.height() / opts.dy).ceil() as i64;
-    let frame = GridFrame {
-        origin,
-        dx: opts.dx,
-        dy: opts.dy,
-    };
-    let cell_area = opts.dx * opts.dy;
-    let min_area = opts.min_cell_fraction * cell_area;
-
-    let mut nodes: Vec<TileNode> = Vec::new();
-    // Dense cell → node index map for edge construction.
-    let mut cell_node: Vec<Option<u32>> = vec![None; (nx * ny) as usize];
-
-    // The profiler splits the dominant `tile` stage into its two
-    // phases: cell clipping (boolean ops against blockers) and edge
-    // construction (cross-section contacts).
-    let mut cells_span = telemetry::span("tile.cells").enter();
-    for j in 0..ny {
-        for i in 0..nx {
-            let x0 = origin.x + i as f64 * opts.dx;
-            let y0 = origin.y + j as f64 * opts.dy;
-            let x1 = (x0 + opts.dx).min(u.max().x);
-            let y1 = (y0 + opts.dy).min(u.max().y);
-            if x1 - x0 < 1e-12 || y1 - y0 < 1e-12 {
-                continue;
-            }
-            let rect =
-                Rect::new(Point::new(x0, y0), Point::new(x1, y1)).expect("positive cell extent");
-            let nearby: Vec<_> = spec
-                .blockers_near(&rect)
-                .filter(|b| b.bounds().intersects(&rect))
-                .collect();
-            let node = if nearby.is_empty() {
-                // Fast path: the full (possibly outline-clipped) cell.
-                TileNode {
-                    cell: (i, j),
-                    rect,
-                    area_mm2: rect.area(),
-                    pieces: None,
-                }
-            } else {
-                let mut set = PolygonSet::from_polygon(rect.to_polygon());
-                for b in nearby {
-                    set = set.subtract_polygon(b);
-                    if set.is_empty() {
-                        break;
-                    }
-                }
-                let area = set.area();
-                if area < min_area {
-                    continue;
-                }
-                TileNode {
-                    cell: (i, j),
-                    rect,
-                    area_mm2: area,
-                    pieces: Some(set),
-                }
-            };
-            cell_node[(j * nx + i) as usize] = Some(nodes.len() as u32);
-            nodes.push(node);
-        }
-    }
-
-    cells_span.record("nodes", nodes.len() as u64);
-    drop(cells_span);
-
-    // Edges between lattice-adjacent tiles, weighted by contact width.
-    // The contact is measured by intersecting cross-sections taken a hair
-    // inside each tile, which sidesteps collinear-boundary degeneracies.
-    let mut edges_span = telemetry::span("tile.edges").enter();
-    let mut edges: Vec<GraphEdge> = Vec::new();
-    let delta = 1e-4 * opts.dx.min(opts.dy);
-    for j in 0..ny {
-        for i in 0..nx {
-            let here = match cell_node[(j * nx + i) as usize] {
-                Some(h) => h,
-                None => continue,
-            };
-            // West neighbor (i-1, j): contact on the vertical line x0.
-            if i > 0 {
-                if let Some(west) = cell_node[(j * nx + i - 1) as usize] {
-                    let x_shared = origin.x + i as f64 * opts.dx;
-                    let a = &nodes[west as usize];
-                    let b = &nodes[here as usize];
-                    let width = contact_width(
-                        a.cross_section_x(x_shared - delta),
-                        b.cross_section_x(x_shared + delta),
-                    );
-                    if width > 1e-9 {
-                        edges.push(GraphEdge {
-                            a: NodeId(west),
-                            b: NodeId(here),
-                            weight: width / opts.dx,
-                        });
-                    }
-                }
-            }
-            // South neighbor (i, j-1): contact on the horizontal line y0.
-            if j > 0 {
-                if let Some(south) = cell_node[((j - 1) * nx + i) as usize] {
-                    let y_shared = origin.y + j as f64 * opts.dy;
-                    let a = &nodes[south as usize];
-                    let b = &nodes[here as usize];
-                    let width = contact_width(
-                        a.cross_section_y(y_shared - delta),
-                        b.cross_section_y(y_shared + delta),
-                    );
-                    if width > 1e-9 {
-                        edges.push(GraphEdge {
-                            a: NodeId(south),
-                            b: NodeId(here),
-                            weight: width / opts.dy,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    edges_span.record("edges", edges.len() as u64);
-    drop(edges_span);
-
-    Ok(RoutingGraph::assemble(frame, nodes, edges))
-}
-
-fn contact_width(a: sprout_geom::IntervalSet, b: sprout_geom::IntervalSet) -> f64 {
-    a.intersect(&b).total_length()
+    let mut session = TilingSession::new(spec, opts, 1)?;
+    Ok(session.graph())
 }
 
 /// A routing terminal mapped onto the graph.
@@ -276,6 +143,7 @@ mod tests {
     use super::*;
     use crate::space::SpaceSpec;
     use sprout_board::presets;
+    use sprout_geom::Point;
 
     fn two_rail_graph() -> (RoutingGraph, SpaceSpec, NetId) {
         let board = presets::two_rail();

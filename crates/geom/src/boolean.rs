@@ -20,7 +20,7 @@
 //! well-behaved, which is exactly what the downstream tiling (Algorithm 1)
 //! and extraction stages need.
 
-use crate::clip::{clip_convex, clip_halfplane, HalfPlane};
+use crate::clip::{clip_convex, clip_ring_halfplane_into, HalfPlane};
 use crate::point::Point;
 use crate::polygon::Polygon;
 use crate::rect::Rect;
@@ -161,17 +161,38 @@ impl PolygonSet {
     /// Interval set of `y` values covered by the set on the vertical line
     /// `x = x0`.
     pub fn cross_section_x(&self, x0: f64) -> IntervalSet {
-        self.pieces.iter().fold(IntervalSet::new(), |acc, p| {
-            acc.union(&p.cross_section_x(x0))
-        })
+        let mut crossings = Vec::new();
+        let mut out = IntervalSet::new();
+        self.cross_section_x_into(x0, &mut crossings, &mut out);
+        out
+    }
+
+    /// Vertical cross-section at `x = x0` written into `out` (cleared
+    /// first), with `crossings` as sort scratch. Allocation-free once
+    /// the buffers have capacity.
+    pub fn cross_section_x_into(&self, x0: f64, crossings: &mut Vec<f64>, out: &mut IntervalSet) {
+        out.clear();
+        for p in &self.pieces {
+            p.cross_section_x_append(x0, crossings, out);
+        }
     }
 
     /// Interval set of `x` values covered by the set on the horizontal
     /// line `y = y0`.
     pub fn cross_section_y(&self, y0: f64) -> IntervalSet {
-        self.pieces.iter().fold(IntervalSet::new(), |acc, p| {
-            acc.union(&p.cross_section_y(y0))
-        })
+        let mut crossings = Vec::new();
+        let mut out = IntervalSet::new();
+        self.cross_section_y_into(y0, &mut crossings, &mut out);
+        out
+    }
+
+    /// Horizontal cross-section at `y = y0` written into `out` (cleared
+    /// first), with `crossings` as sort scratch.
+    pub fn cross_section_y_into(&self, y0: f64, crossings: &mut Vec<f64>, out: &mut IntervalSet) {
+        out.clear();
+        for p in &self.pieces {
+            p.cross_section_y_append(y0, crossings, out);
+        }
     }
 
     fn push_checked(&mut self, p: Polygon) {
@@ -259,30 +280,291 @@ fn subtract_convex(c: &Polygon, t: &Polygon) -> Vec<Polygon> {
     if !c.bounds().intersects(&t.bounds()) {
         return vec![c.clone()];
     }
+    let mut out: Vec<Polygon> = Vec::new();
+    wedge_subtract_into(c, t, &mut out);
+    out
+}
+
+/// The wedge loop of [`subtract_convex`], appending into `out` and
+/// skipping the bounds pre-check (callers do it to avoid a clone).
+fn wedge_subtract_into(c: &Polygon, t: &Polygon, out: &mut Vec<Polygon>) {
+    let mut ring_a = Vec::new();
+    let mut ring_b = Vec::new();
+    wedge_subtract_buffered(c, t, out, &mut ring_a, &mut ring_b);
+}
+
+/// The allocation-lean wedge loop: every intermediate Sutherland-
+/// Hodgman pass ping-pongs between the two caller-owned ring buffers,
+/// and only a surviving wedge piece pays a `Polygon` allocation (plus
+/// the one-time validation `clip_halfplane` used to re-run per pass).
+fn wedge_subtract_buffered(
+    c: &Polygon,
+    t: &Polygon,
+    out: &mut Vec<Polygon>,
+    ring_a: &mut Vec<Point>,
+    ring_b: &mut Vec<Point>,
+) {
     let tv = t.vertices();
     let k = tv.len();
-    let mut out: Vec<Polygon> = Vec::new();
     for i in 0..k {
         // Wedge i: outside edge i, inside edges 0..i.
-        let mut piece = match clip_halfplane(c, &HalfPlane::right_of_edge(tv[i], tv[(i + 1) % k])) {
-            Some(p) => p,
-            None => continue,
-        };
+        let hp = HalfPlane::right_of_edge(tv[i], tv[(i + 1) % k]);
+        if !clip_ring_halfplane_into(c.vertices(), &hp, ring_a) {
+            continue;
+        }
         let mut alive = true;
         for j in 0..i {
-            match clip_halfplane(&piece, &HalfPlane::left_of_edge(tv[j], tv[(j + 1) % k])) {
-                Some(p) => piece = p,
-                None => {
-                    alive = false;
-                    break;
-                }
+            let hp = HalfPlane::left_of_edge(tv[j], tv[(j + 1) % k]);
+            if !clip_ring_halfplane_into(ring_a, &hp, ring_b) {
+                alive = false;
+                break;
             }
+            std::mem::swap(ring_a, ring_b);
         }
         if alive {
-            out.push(piece);
+            // A >= 3-vertex raw ring can still be degenerate (collinear
+            // or zero-area); `Polygon::new` is the single validation
+            // point, exactly as the per-pass construction rejected it.
+            if let Ok(piece) = Polygon::new(ring_a.clone()) {
+                out.push(piece);
+            }
         }
     }
-    out
+}
+
+/// Reusable scratch for chains of convex subtractions from a convex seed.
+///
+/// The tiling stage clips tens of thousands of lattice cells against
+/// blocker decompositions. [`PolygonSet::subtract_polygon`] re-decomposes
+/// every surviving piece into convex parts and builds a fresh piece
+/// vector per subtrahend, which dominates the stage's allocation profile
+/// (~95k allocations per graph build on the table3 board). This clipper
+/// keeps two piece buffers alive across cells and relies on an
+/// invariant: the seed is convex and wedge subtraction emits convex
+/// pieces, so pieces stay convex for the whole chain and never need
+/// re-decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct ConvexClipper {
+    cur: Vec<RawPiece>,
+    next: Vec<RawPiece>,
+    /// Retired pieces whose vertex buffers get reused by later pieces.
+    pool: Vec<RawPiece>,
+    ring_a: Vec<Point>,
+    ring_b: Vec<Point>,
+}
+
+/// One surviving piece of a subtraction chain: a raw counter-clockwise
+/// ring plus its cached bounds. Rings skip `Polygon` validation while
+/// the chain runs; [`ConvexClipper::finish`] validates once at the end.
+#[derive(Debug, Clone, Default)]
+struct RawPiece {
+    pts: Vec<Point>,
+    lo: Point,
+    hi: Point,
+}
+
+impl RawPiece {
+    fn fill(&mut self, ring: &[Point]) {
+        self.pts.clear();
+        self.pts.extend_from_slice(ring);
+        self.recompute_bounds();
+    }
+
+    fn recompute_bounds(&mut self) {
+        let mut lo = self.pts[0];
+        let mut hi = self.pts[0];
+        for &v in &self.pts[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        self.lo = lo;
+        self.hi = hi;
+    }
+
+    /// Mirrors [`Rect::intersects`]: touching edges count.
+    fn bounds_intersect(&self, b: &Rect) -> bool {
+        self.lo.x <= b.max().x
+            && b.min().x <= self.hi.x
+            && self.lo.y <= b.max().y
+            && b.min().y <= self.hi.y
+    }
+}
+
+/// Shoelace signed area of a raw ring (CCW positive).
+fn ring_signed_area(ring: &[Point]) -> f64 {
+    let n = ring.len();
+    let mut acc = 0.0;
+    for i in 0..n {
+        let a = ring[i];
+        let b = ring[(i + 1) % n];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc / 2.0
+}
+
+impl ConvexClipper {
+    /// An empty clipper (no seed yet).
+    pub fn new() -> Self {
+        ConvexClipper::default()
+    }
+
+    /// Starts a new chain from a convex seed polygon.
+    pub fn reset(&mut self, seed: Polygon) {
+        self.reset_ring(seed.vertices());
+    }
+
+    /// Starts a new chain from a raw convex counter-clockwise ring,
+    /// without requiring a `Polygon` allocation from the caller.
+    pub fn reset_ring(&mut self, ring: &[Point]) {
+        self.pool.append(&mut self.cur);
+        self.pool.append(&mut self.next);
+        let mut piece = self.pool.pop().unwrap_or_default();
+        piece.fill(ring);
+        self.cur.push(piece);
+    }
+
+    /// Subtracts one convex part from every surviving piece.
+    pub fn subtract(&mut self, part: &Polygon) {
+        self.subtract_bounded(part, &part.bounds());
+    }
+
+    /// [`ConvexClipper::subtract`] with the part's bounds supplied by
+    /// the caller (hot loops cache them alongside the decomposition).
+    pub fn subtract_bounded(&mut self, part: &Polygon, part_bounds: &Rect) {
+        self.next.clear();
+        let tv = part.vertices();
+        let k = tv.len();
+        for mut c in self.cur.drain(..) {
+            if !c.bounds_intersect(part_bounds) {
+                self.next.push(c);
+                continue;
+            }
+            // Separating-axis fast paths over the part's edges (both
+            // shapes are convex). A piece wholly beyond one edge line
+            // overlaps at most an EPS sliver — subtraction is a no-op,
+            // and skipping it keeps the piece unsplit instead of tiled
+            // along the part's wedge lines. A piece strictly interior
+            // to every edge vanishes whole.
+            let mut separated = false;
+            let mut swallowed = true;
+            // Bit i set: some piece vertex lies strictly outside edge
+            // i's line, so that edge actually cuts the piece. Edges
+            // with the bit clear are identities for every wedge pass
+            // (new clip vertices interpolate between piece vertices, so
+            // they can never stray outside a line no original vertex
+            // crosses).
+            let mut cut_mask: u128 = 0;
+            let mask_ok = k <= 128;
+            for i in 0..k {
+                let (a, b) = (tv[i], tv[(i + 1) % k]);
+                let n = (b - a).perp();
+                let cst = n.dot(a);
+                let tol = crate::EPS * n.norm();
+                let mut any_interior = false;
+                let mut any_outside = false;
+                for &p in &c.pts {
+                    // Kept (outside-the-part) side of `right_of_edge` is
+                    // n·p <= c; d > tol means strictly on the interior side.
+                    let d = n.dot(p) - cst;
+                    if d > tol {
+                        any_interior = true;
+                    } else {
+                        swallowed = false;
+                    }
+                    if d < -tol {
+                        any_outside = true;
+                    }
+                }
+                if !any_interior {
+                    separated = true;
+                    break;
+                }
+                if any_outside && mask_ok {
+                    cut_mask |= 1 << i;
+                }
+            }
+            if separated {
+                self.next.push(c);
+                continue;
+            }
+            if swallowed {
+                c.pts.clear();
+                self.pool.push(c);
+                continue;
+            }
+            let cuts = |i: usize| !mask_ok || (cut_mask >> i) & 1 == 1;
+            for i in 0..k {
+                // Wedge i: outside edge i, inside edges 0..i. A
+                // non-cutting edge has no piece vertex beyond it, so its
+                // wedge is empty (at most an EPS sliver).
+                if !cuts(i) {
+                    continue;
+                }
+                let hp = HalfPlane::right_of_edge(tv[i], tv[(i + 1) % k]);
+                if !clip_ring_halfplane_into(&c.pts, &hp, &mut self.ring_a) {
+                    continue;
+                }
+                let mut alive = true;
+                for j in 0..i {
+                    // Identity pass: the whole piece (hence this wedge
+                    // ring) already sits inside edge j.
+                    if !cuts(j) {
+                        continue;
+                    }
+                    let hp = HalfPlane::left_of_edge(tv[j], tv[(j + 1) % k]);
+                    if !clip_ring_halfplane_into(&self.ring_a, &hp, &mut self.ring_b) {
+                        alive = false;
+                        break;
+                    }
+                    std::mem::swap(&mut self.ring_a, &mut self.ring_b);
+                }
+                // The same scale-aware zero-area rejection `Polygon::new`
+                // applies, run on the raw ring so degenerate slivers die
+                // here instead of multiplying through later subtrahends.
+                if alive && !ring_is_sliver(&self.ring_a) {
+                    let mut piece = self.pool.pop().unwrap_or_default();
+                    piece.fill(&self.ring_a);
+                    self.next.push(piece);
+                }
+            }
+            c.pts.clear();
+            self.pool.push(c);
+        }
+        std::mem::swap(&mut self.cur, &mut self.next);
+    }
+
+    /// `true` when nothing survives.
+    pub fn is_empty(&self) -> bool {
+        self.cur.is_empty()
+    }
+
+    /// Drains the surviving pieces into an owned set, validating each
+    /// raw ring once (the same dedup/orientation/area rules every other
+    /// boolean op applies through [`Polygon::new`]).
+    pub fn finish(&mut self) -> PolygonSet {
+        let mut out = PolygonSet::new();
+        for mut piece in self.cur.drain(..) {
+            if let Ok(p) = Polygon::new(piece.pts.clone()) {
+                out.push_checked(p);
+            }
+            piece.pts.clear();
+            self.pool.push(piece);
+        }
+        out
+    }
+}
+
+/// Scale-aware zero-area test on a raw ring, mirroring the rejection in
+/// [`Polygon::new`].
+fn ring_is_sliver(ring: &[Point]) -> bool {
+    let mut lo = ring[0];
+    let mut hi = ring[0];
+    for &v in &ring[1..] {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let extent = (hi.x - lo.x).max(hi.y - lo.y);
+    ring_signed_area(ring).abs() <= crate::EPS * extent * extent.max(1.0)
 }
 
 #[cfg(test)]
@@ -456,6 +738,42 @@ mod tests {
         assert!((clipped.area() - 4.0).abs() < 1e-9);
         let sub = set.subtract_polygon(&square(-1.0, -1.0, 10.0, 1.0));
         assert!((sub.area() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convex_clipper_matches_subtract_polygon() {
+        let cell = square(0.0, 0.0, 2.0, 2.0);
+        let cuts = [
+            square(1.0, -1.0, 3.0, 1.0),
+            square(-0.5, 1.5, 0.5, 3.0),
+            square(0.8, 0.8, 1.2, 1.2),
+        ];
+        let mut reference = PolygonSet::from_polygon(cell.clone());
+        for c in &cuts {
+            reference = reference.subtract_polygon(c);
+        }
+        let mut clipper = ConvexClipper::new();
+        // Reuse the same clipper twice to prove stale state is cleared.
+        for _ in 0..2 {
+            clipper.reset(cell.clone());
+            for c in &cuts {
+                for part in convex_parts(c) {
+                    clipper.subtract(&part);
+                }
+            }
+            let got = clipper.finish();
+            assert_eq!(got.len(), reference.len());
+            assert!((got.area() - reference.area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convex_clipper_empty_when_covered() {
+        let mut clipper = ConvexClipper::new();
+        clipper.reset(square(1.0, 1.0, 2.0, 2.0));
+        clipper.subtract(&square(0.0, 0.0, 3.0, 3.0));
+        assert!(clipper.is_empty());
+        assert!(clipper.finish().is_empty());
     }
 
     #[test]

@@ -78,8 +78,22 @@ pub fn clip_halfplane(poly: &Polygon, hp: &HalfPlane) -> Option<Polygon> {
 }
 
 fn clip_ring_halfplane(ring: &[Point], hp: &HalfPlane) -> Option<Vec<Point>> {
+    let mut out: Vec<Point> = Vec::with_capacity(ring.len() + 4);
+    if clip_ring_halfplane_into(ring, hp, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// The allocation-free core of [`clip_halfplane`]: one Sutherland–
+/// Hodgman pass from `ring` into `out` (cleared first). Returns `false`
+/// when fewer than three vertices remain. `out` is a raw ring — no
+/// dedup, orientation, or area validation; callers chaining many passes
+/// validate once at the end via [`Polygon::new`].
+pub fn clip_ring_halfplane_into(ring: &[Point], hp: &HalfPlane, out: &mut Vec<Point>) -> bool {
+    out.clear();
     let n = ring.len();
-    let mut out: Vec<Point> = Vec::with_capacity(n + 4);
     for i in 0..n {
         let cur = ring[i];
         let next = ring[(i + 1) % n];
@@ -98,11 +112,7 @@ fn clip_ring_halfplane(ring: &[Point], hp: &HalfPlane) -> Option<Vec<Point>> {
             }
         }
     }
-    if out.len() < 3 {
-        None
-    } else {
-        Some(out)
-    }
+    out.len() >= 3
 }
 
 /// Clips `poly` against a *convex* counter-clockwise window polygon.

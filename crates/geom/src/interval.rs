@@ -48,34 +48,34 @@ impl IntervalSet {
         self.intervals.is_empty()
     }
 
+    /// Empties the set, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+
     /// Inserts `[lo, hi]`, merging with existing intervals that touch or
     /// overlap (within `EPS`). Empty/inverted inputs are ignored.
+    ///
+    /// In-place: the tiling edge pass probes tens of thousands of
+    /// cross-sections per graph build, so this must not allocate once
+    /// the backing vector has grown to its working size.
     pub fn insert(&mut self, lo: f64, hi: f64) {
         if hi - lo <= EPS {
             return;
         }
-        let mut new_lo = lo;
-        let mut new_hi = hi;
-        let mut out: Vec<(f64, f64)> = Vec::with_capacity(self.intervals.len() + 1);
-        let mut placed = false;
-        for &(a, b) in &self.intervals {
-            if b < new_lo - EPS {
-                out.push((a, b));
-            } else if a > new_hi + EPS {
-                if !placed {
-                    out.push((new_lo, new_hi));
-                    placed = true;
-                }
-                out.push((a, b));
-            } else {
-                new_lo = new_lo.min(a);
-                new_hi = new_hi.max(b);
-            }
+        // Intervals are sorted and disjoint, so everything that touches
+        // `[lo, hi]` is one contiguous run `lo_idx..hi_idx`.
+        let lo_idx = self.intervals.partition_point(|&(_, b)| b < lo - EPS);
+        let hi_idx = self.intervals.partition_point(|&(a, _)| a <= hi + EPS);
+        if lo_idx == hi_idx {
+            // No overlap: splice in between.
+            self.intervals.insert(lo_idx, (lo, hi));
+            return;
         }
-        if !placed {
-            out.push((new_lo, new_hi));
-        }
-        self.intervals = out;
+        let new_lo = lo.min(self.intervals[lo_idx].0);
+        let new_hi = hi.max(self.intervals[hi_idx - 1].1);
+        self.intervals[lo_idx] = (new_lo, new_hi);
+        self.intervals.drain(lo_idx + 1..hi_idx);
     }
 
     /// Total measure of the set.
@@ -86,6 +86,14 @@ impl IntervalSet {
     /// Intersection with another interval set.
     pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
         let mut out = IntervalSet::new();
+        self.intersect_into(other, &mut out);
+        out
+    }
+
+    /// Intersection with another interval set, written into `out`
+    /// (cleared first). Allocation-free once `out` has capacity.
+    pub fn intersect_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.clear();
         let mut i = 0;
         let mut j = 0;
         while i < self.intervals.len() && j < other.intervals.len() {
@@ -102,7 +110,6 @@ impl IntervalSet {
                 j += 1;
             }
         }
-        out
     }
 
     /// Union with another interval set.
@@ -205,6 +212,40 @@ mod tests {
         let b: IntervalSet = [(0.5, 2.0), (3.0, 4.0)].into_iter().collect();
         let u = a.union(&b);
         assert_eq!(u.intervals(), &[(0.0, 2.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn insert_before_between_and_after() {
+        let mut s = IntervalSet::new();
+        s.insert(4.0, 5.0);
+        s.insert(0.0, 1.0); // before
+        s.insert(2.0, 3.0); // between
+        s.insert(7.0, 8.0); // after
+        assert_eq!(
+            s.intervals(),
+            &[(0.0, 1.0), (2.0, 3.0), (4.0, 5.0), (7.0, 8.0)]
+        );
+        s.insert(0.5, 4.5); // merge the first three, keep the last
+        assert_eq!(s.intervals(), &[(0.0, 5.0), (7.0, 8.0)]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut s: IntervalSet = [(0.0, 1.0), (2.0, 3.0)].into_iter().collect();
+        s.clear();
+        assert!(s.is_empty());
+        s.insert(5.0, 6.0);
+        assert_eq!(s.intervals(), &[(5.0, 6.0)]);
+    }
+
+    #[test]
+    fn intersect_into_matches_intersect_and_clears_stale_state() {
+        let a: IntervalSet = [(0.0, 2.0), (4.0, 6.0)].into_iter().collect();
+        let b: IntervalSet = [(1.0, 5.0)].into_iter().collect();
+        let mut out: IntervalSet = [(100.0, 200.0)].into_iter().collect();
+        a.intersect_into(&b, &mut out);
+        assert_eq!(out, a.intersect(&b));
+        assert_eq!(out.intervals(), &[(1.0, 2.0), (4.0, 5.0)]);
     }
 
     #[test]

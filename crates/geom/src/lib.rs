@@ -52,7 +52,7 @@ pub mod segment;
 pub mod stitch;
 pub mod triangulate;
 
-pub use boolean::PolygonSet;
+pub use boolean::{ConvexClipper, PolygonSet};
 pub use interval::IntervalSet;
 pub use point::Point;
 pub use polygon::Polygon;

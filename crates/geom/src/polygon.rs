@@ -301,6 +301,17 @@ impl Polygon {
     /// the paper): evaluate slightly inside each tile and intersect.
     pub fn cross_section_x(&self, x0: f64) -> IntervalSet {
         let mut crossings: Vec<f64> = Vec::new();
+        let mut set = IntervalSet::new();
+        self.cross_section_x_append(x0, &mut crossings, &mut set);
+        set
+    }
+
+    /// Appends the vertical cross-section at `x = x0` into `out` without
+    /// clearing it, using `crossings` as sort scratch. Allocation-free
+    /// once the buffers have capacity — the tiling edge pass probes two
+    /// cross-sections per lattice edge.
+    pub fn cross_section_x_append(&self, x0: f64, crossings: &mut Vec<f64>, out: &mut IntervalSet) {
+        crossings.clear();
         let n = self.vertices.len();
         for i in 0..n {
             let a = self.vertices[i];
@@ -311,17 +322,24 @@ impl Polygon {
             }
         }
         crossings.sort_by(|p, q| p.total_cmp(q));
-        let mut set = IntervalSet::new();
         for pair in crossings.chunks_exact(2) {
-            set.insert(pair[0], pair[1]);
+            out.insert(pair[0], pair[1]);
         }
-        set
     }
 
     /// Interval set of `x` values where the horizontal line `y = y0` passes
     /// through the polygon interior.
     pub fn cross_section_y(&self, y0: f64) -> IntervalSet {
         let mut crossings: Vec<f64> = Vec::new();
+        let mut set = IntervalSet::new();
+        self.cross_section_y_append(y0, &mut crossings, &mut set);
+        set
+    }
+
+    /// Appends the horizontal cross-section at `y = y0` into `out` without
+    /// clearing it, using `crossings` as sort scratch.
+    pub fn cross_section_y_append(&self, y0: f64, crossings: &mut Vec<f64>, out: &mut IntervalSet) {
+        crossings.clear();
         let n = self.vertices.len();
         for i in 0..n {
             let a = self.vertices[i];
@@ -332,11 +350,9 @@ impl Polygon {
             }
         }
         crossings.sort_by(|p, q| p.total_cmp(q));
-        let mut set = IntervalSet::new();
         for pair in crossings.chunks_exact(2) {
-            set.insert(pair[0], pair[1]);
+            out.insert(pair[0], pair[1]);
         }
-        set
     }
 }
 
